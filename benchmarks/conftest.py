@@ -1,0 +1,37 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each experiment (E1–E9, indexed in DESIGN.md) regenerates its table or
+figure rows, writes them to ``benchmarks/results/`` as both a rendered
+table and CSV, and prints the table so ``pytest benchmarks/ -s`` shows the
+full reproduction output inline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Write an experiment artifact and echo it to stdout."""
+
+    def _publish(name: str, text: str, rows: list[dict] | None = None) -> None:
+        from repro.bench import rows_to_csv
+
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        if rows:
+            (results_dir / f"{name}.csv").write_text(rows_to_csv(rows))
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _publish

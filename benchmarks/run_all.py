@@ -1,0 +1,134 @@
+"""Standalone experiment driver: regenerate every experiment without pytest.
+
+Writes the same artifacts as the benchmark suite (tables, CSV) plus a JSON
+manifest per experiment under ``benchmarks/results/``.
+
+Run:  python benchmarks/run_all.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import (
+    allocation_comparison,
+    format_table,
+    heuristic_quality,
+    run_serial_grid,
+    save_manifest,
+    size_scaling,
+    speedup_curve,
+    sva_effectiveness,
+)
+
+DEFAULT_RESULTS = Path(__file__).parent / "results"
+
+
+def publish(results: Path, name: str, rows: list[dict], meta: dict) -> None:
+    results.mkdir(parents=True, exist_ok=True)
+    (results / f"{name}.txt").write_text(format_table(rows) + "\n")
+    save_manifest(results / f"{name}.json", rows, metadata=meta)
+    print(f"\n=== {name} ===")
+    print(format_table(rows))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller grids (~1 minute total)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_RESULTS,
+        help="artifact directory (default: benchmarks/results)",
+    )
+    args = parser.parse_args(argv)
+    quick = args.quick
+    started = time.perf_counter()
+
+    serial_grid = (
+        [("chain", [8, 10]), ("star", [8, 10]), ("clique", [6, 8])]
+        if quick
+        else [
+            ("chain", [8, 10, 12]),
+            ("cycle", [8, 10, 12]),
+            ("star", [8, 10, 12]),
+            ("clique", [6, 8, 10]),
+        ]
+    )
+    rows = []
+    for topology, sizes in serial_grid:
+        rows.extend(run_serial_grid([topology], sizes, queries=2, seed=1))
+    publish(args.out, "e1_serial_enumerators", rows, {"experiment": "E1"})
+
+    rows = []
+    for topology, sizes in (
+        [("star", [10]), ("clique", [8])]
+        if quick
+        else [("chain", [10, 14]), ("cycle", [10, 14]),
+              ("star", [10, 12]), ("clique", [8, 10])]
+    ):
+        rows.extend(sva_effectiveness([topology], sizes, queries=2, seed=2))
+    publish(args.out, "e2_sva_effectiveness", rows, {"experiment": "E2"})
+
+    rows = []
+    curves = (
+        [("star", 10), ("chain", 12)]
+        if quick
+        else [("star", 12), ("clique", 10), ("cycle", 14), ("chain", 14)]
+    )
+    for topology, n in curves:
+        rows.extend(
+            speedup_curve(
+                topology, n, thread_counts=(1, 2, 4, 8, 16),
+                queries=1 if quick else 2, seed=3,
+            )
+        )
+    publish(args.out, "e3_speedup_curves", rows, {"experiment": "E3"})
+
+    rows = []
+    for topology, n in [("star", 9 if quick else 11), ("clique", 8 if quick else 9)]:
+        for algorithm in ("dpsize", "dpsub", "dpsva"):
+            rows.extend(
+                speedup_curve(
+                    topology, n, algorithm=algorithm,
+                    thread_counts=(1, 2, 4, 8),
+                    queries=1 if quick else 2, seed=4,
+                )
+            )
+    publish(args.out, "e4_parallel_algorithms", rows, {"experiment": "E4"})
+
+    rows = []
+    for topology, n in [("star", 9 if quick else 11), ("clique", 8 if quick else 10)]:
+        for algorithm in ("dpsize", "dpsva"):
+            for row in allocation_comparison(
+                topology, n, algorithm=algorithm, threads=8,
+                queries=1 if quick else 2, seed=5,
+            ):
+                rows.append({"algorithm": algorithm, **row})
+    publish(args.out, "e5_allocation", rows, {"experiment": "E5"})
+
+    rows = size_scaling(
+        "star", [8, 10] if quick else [8, 10, 12, 14],
+        thread_counts=(1, 8), queries=1 if quick else 2, seed=7,
+    )
+    publish(args.out, "e7_size_scaling", rows, {"experiment": "E7"})
+
+    rows = heuristic_quality(
+        ["chain", "star"] if quick else ["chain", "cycle", "star", "clique"],
+        n=7 if quick else 9,
+        queries=2 if quick else 3,
+        seed=9,
+    )
+    publish(args.out, "e9_heuristics", rows, {"experiment": "E9"})
+
+    print(f"\ndone in {time.perf_counter() - started:.1f}s "
+          f"(E6/E8 need timing fixtures; run them via pytest benchmarks/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""E2 — skip vector array effectiveness (paper: SVA savings table).
+
+For each (topology, n): candidate pairs DPsize inspects, scan positions
+the SVA actually visits, entries skipped without inspection, and the skip
+ratio.  Expected shape: the skip ratio grows with stratum density —
+dramatic on stars (most partner sets share the hub with the outer set and
+form huge prefix blocks), large on cliques, and degenerate (zero) on
+chains, whose same-size quantifier sets are intervals with pairwise
+distinct first members, so every prefix block has size one and there is
+nothing to jump over.  This is the data structure's documented regime: it
+pays where DPsize hurts (dense strata) and is neutral where DPsize is
+already cheap.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, sva_effectiveness
+from repro.memo import WorkMeter
+from repro.sva import SkipVectorArray
+from repro.util.bitsets import subsets_of_size, universe
+
+GRID = [
+    ("chain", [10, 14]),
+    ("cycle", [10, 14]),
+    ("star", [10, 12]),
+    ("clique", [8, 10]),
+]
+
+
+def test_e2_sva_effectiveness(benchmark, publish):
+    rows = []
+    for topology, sizes in GRID:
+        rows.extend(sva_effectiveness([topology], sizes, queries=2, seed=2))
+    publish("e2_sva_effectiveness", format_table(rows), rows)
+
+    for row in rows:
+        # Accounting identity: every DPsize candidate is either visited or
+        # skipped by the SVA scan.
+        assert row["sva_positions"] + row["skipped"] == row["dpsize_pairs"]
+        assert 0.0 <= row["skip_ratio"] < 1.0
+    # Stars at n=12 skip the overwhelming majority of candidates.
+    star12 = next(r for r in rows if r["topology"] == "star" and r["n"] == 12)
+    assert star12["skip_ratio"] > 0.9
+    clique10 = next(
+        r for r in rows if r["topology"] == "clique" and r["n"] == 10
+    )
+    assert clique10["skip_ratio"] > 0.5
+    # Degenerate regime: chain prefix blocks have size one.
+    chain14 = next(
+        r for r in rows if r["topology"] == "chain" and r["n"] == 14
+    )
+    assert chain14["skip_ratio"] == 0.0
+
+    # Micro-benchmark: one SVA scan over a large stratum.
+    masks = subsets_of_size(universe(16), 5)
+    sva = SkipVectorArray(masks)
+    meter = WorkMeter()
+    benchmark(lambda: sva.disjoint_partners(0b10101, meter))

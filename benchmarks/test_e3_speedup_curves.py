@@ -1,0 +1,63 @@
+"""E3 — PDPsva simulated speedup versus thread count (headline figure).
+
+One curve per topology.  Expected shape (the paper's central result):
+near-linear speedup where strata are work-dense (star, clique), clearly
+sublinear where strata are thin and barrier overhead dominates (chain);
+speedup monotone in threads until the per-stratum work runs out.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, render_curve, speedup_curve
+from repro.parallel import PDPsva
+from repro.query import WorkloadSpec, generate_query
+
+CURVES = [
+    ("star", 12),
+    ("clique", 10),
+    ("cycle", 14),
+    ("chain", 14),
+]
+THREADS = (1, 2, 4, 8, 16)
+
+
+def test_e3_pdpsva_speedup_curves(benchmark, publish):
+    all_rows = []
+    figures = []
+    for topology, n in CURVES:
+        rows = speedup_curve(
+            topology, n, algorithm="dpsva", thread_counts=THREADS,
+            queries=2, seed=3,
+        )
+        all_rows.extend(rows)
+        figures.append(
+            render_curve(
+                [r["threads"] for r in rows],
+                [r["speedup"] for r in rows],
+                label=f"PDPsva speedup — {topology} n={n}",
+            )
+        )
+    text = format_table(all_rows) + "\n\n" + "\n\n".join(figures)
+    publish("e3_speedup_curves", text, all_rows)
+
+    by_curve = {}
+    for r in all_rows:
+        by_curve.setdefault(r["topology"], {})[r["threads"]] = r
+    # Dense search spaces: speedup grows through 16 threads.
+    for topology in ("star", "clique"):
+        curve = by_curve[topology]
+        assert curve[2]["speedup"] > 1.2
+        assert curve[4]["speedup"] > curve[2]["speedup"]
+        assert curve[8]["speedup"] > curve[4]["speedup"]
+        assert curve[16]["speedup"] > 4.0
+    # Sparse chains cannot use 16 threads as effectively as stars.
+    assert (
+        by_curve["chain"][16]["speedup"] < by_curve["star"][16]["speedup"]
+    )
+    # Efficiency degrades gracefully, never exceeds 1 (no superlinearity
+    # in the model).
+    for r in all_rows:
+        assert r["efficiency"] <= 1.0 + 1e-9
+
+    query = generate_query(WorkloadSpec("star", 12, seed=3, count=2), 0)
+    benchmark(lambda: PDPsva(threads=8).optimize(query))

@@ -1,0 +1,74 @@
+"""E4 — PDPsize vs PDPsub vs PDPsva across thread counts.
+
+Regenerates the parallel-algorithm comparison figure: simulated time per
+(algorithm, threads) on one dense and one medium query.  Expected shape:
+PDPsva dominates PDPsize wherever the skip ratio is high (star); all three
+kernels scale, with the heavier kernels profiting most from threads.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, render_curve, speedup_curve
+from repro.parallel import PDPsub
+from repro.query import WorkloadSpec, generate_query
+
+CASES = [("star", 11), ("clique", 9)]
+THREADS = (1, 2, 4, 8)
+ALGORITHMS = ("dpsize", "dpsub", "dpsva")
+
+
+def test_e4_parallel_algorithm_comparison(benchmark, publish):
+    all_rows = []
+    for topology, n in CASES:
+        for algorithm in ALGORITHMS:
+            all_rows.extend(
+                speedup_curve(
+                    topology,
+                    n,
+                    algorithm=algorithm,
+                    thread_counts=THREADS,
+                    queries=2,
+                    seed=4,
+                )
+            )
+    figures = []
+    for topology, n in CASES:
+        xs = list(THREADS)
+        for algorithm in ALGORITHMS:
+            ys = [
+                r["sim_time"]
+                for r in all_rows
+                if r["topology"] == topology and r["algorithm"] == algorithm
+            ]
+            figures.append(
+                render_curve(
+                    xs, ys, label=f"sim_time — {algorithm} on {topology} n={n}"
+                )
+            )
+    publish(
+        "e4_parallel_algorithms",
+        format_table(all_rows) + "\n\n" + "\n\n".join(figures),
+        all_rows,
+    )
+
+    def cell(topology, algorithm, threads):
+        return next(
+            r
+            for r in all_rows
+            if r["topology"] == topology
+            and r["algorithm"] == algorithm
+            and r["threads"] == threads
+        )
+
+    # PDPsva beats PDPsize on the star at every thread count (skip ratio).
+    for threads in THREADS:
+        assert (
+            cell("star", "dpsva", threads)["sim_time"]
+            < cell("star", "dpsize", threads)["sim_time"]
+        )
+    # Every kernel gains from 8 threads on the dense clique.
+    for algorithm in ALGORITHMS:
+        assert cell("clique", algorithm, 8)["speedup"] > 2.0
+
+    query = generate_query(WorkloadSpec("clique", 9, seed=4, count=2), 0)
+    benchmark(lambda: PDPsub(threads=8).optimize(query))

@@ -1,0 +1,90 @@
+"""E6 — synchronization-overhead decomposition (ablation).
+
+Where does the non-kernel wall time go as threads increase?  The table
+splits the simulated run into critical-path kernel work, barrier cost,
+spawn cost, serial master time, and latch contention, and additionally
+re-runs the query with contention priced at zero and barriers priced 10×
+to show each knob's isolated effect.  Expected shape: barrier + spawn
+share grows with threads; contention grows with threads but stays a minor
+share under the default latch pricing; the 10× barrier ablation visibly
+caps speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.bench import format_table
+from repro.parallel import PDPsva
+from repro.query import WorkloadSpec, generate_query
+from repro.simx import SimCostParams
+
+THREADS = (1, 2, 4, 8, 16, 32)
+
+
+def decompose(query, threads, params):
+    report = (
+        PDPsva(threads=threads, sim_params=params)
+        .optimize(query)
+        .extras["sim_report"]
+    )
+    barriers = sum(s.barrier_cost for s in report.strata)
+    contention_wall = sum(max(s.contention) for s in report.strata)
+    return {
+        "threads": threads,
+        "sim_time": report.total_time,
+        "critical_busy": report.critical_busy,
+        "barriers": barriers,
+        "spawn": report.spawn_cost,
+        "master": report.master_cost,
+        "contention_wall": contention_wall,
+        "overhead_share": report.overhead_wall / report.total_time,
+    }
+
+
+def test_e6_sync_overhead_decomposition(benchmark, publish):
+    query = generate_query(WorkloadSpec("star", 12, seed=6, count=1), 0)
+    default = SimCostParams()
+    rows = [decompose(query, t, default) for t in THREADS]
+
+    no_contention = replace(default, latch_conflict=0.0)
+    heavy_barrier = replace(
+        default,
+        barrier_base=default.barrier_base * 10,
+        barrier_per_thread=default.barrier_per_thread * 10,
+    )
+    ablation_rows = []
+    for threads in (8, 32):
+        base = decompose(query, threads, default)
+        ablation_rows.append({"variant": "default", **base})
+        ablation_rows.append(
+            {"variant": "no_contention", **decompose(query, threads, no_contention)}
+        )
+        ablation_rows.append(
+            {"variant": "barrier_x10", **decompose(query, threads, heavy_barrier)}
+        )
+    text = (
+        format_table(rows)
+        + "\n\nablations:\n"
+        + format_table(ablation_rows)
+    )
+    publish("e6_sync_overhead", text, rows + ablation_rows)
+
+    # Overhead share grows with the thread count.
+    assert rows[0]["overhead_share"] < rows[-1]["overhead_share"]
+    # Barriers and spawn grow monotonically in threads.
+    for a, b in zip(rows, rows[1:]):
+        assert b["barriers"] >= a["barriers"]
+        assert b["spawn"] >= a["spawn"]
+    # Ablations behave as designed.
+    by = {(r["variant"], r["threads"]): r for r in ablation_rows}
+    assert (
+        by[("no_contention", 32)]["sim_time"]
+        <= by[("default", 32)]["sim_time"]
+    )
+    assert (
+        by[("barrier_x10", 32)]["sim_time"]
+        > by[("default", 32)]["sim_time"]
+    )
+
+    benchmark(lambda: PDPsva(threads=16).optimize(query))

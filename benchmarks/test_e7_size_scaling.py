@@ -1,0 +1,61 @@
+"""E7 — query-size scaling at fixed thread counts.
+
+Simulated time versus number of relations for 1 and 8 threads, per
+topology.  Expected shape: exponential growth in n for every enumerator
+(the problem is NP-hard); the 8-thread curve sits below the serial curve
+by a factor that *grows* with n, i.e. parallelization pays exactly where
+optimization is expensive — the paper's motivating claim.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, size_scaling
+from repro.parallel import PDPsva
+from repro.query import WorkloadSpec, generate_query
+
+GRID = [
+    ("chain", [8, 10, 12, 14]),
+    ("star", [8, 10, 12, 14]),
+    ("clique", [6, 8, 10]),
+]
+
+
+def test_e7_size_scaling(benchmark, publish):
+    rows = []
+    for topology, sizes in GRID:
+        rows.extend(
+            size_scaling(
+                topology, sizes, algorithm="dpsva",
+                thread_counts=(1, 8), queries=2, seed=7,
+            )
+        )
+    publish("e7_size_scaling", format_table(rows), rows)
+
+    def cell(topology, n, threads):
+        return next(
+            r
+            for r in rows
+            if r["topology"] == topology
+            and r["n"] == n
+            and r["threads"] == threads
+        )
+
+    for topology, sizes in GRID:
+        # Work grows strictly with n at both thread counts.
+        for a, b in zip(sizes, sizes[1:]):
+            assert cell(topology, b, 1)["sim_time"] > cell(topology, a, 1)["sim_time"]
+        # The parallel advantage grows with n on dense topologies.
+        if topology in ("star", "clique"):
+            small, large = sizes[0], sizes[-1]
+            gain_small = (
+                cell(topology, small, 1)["sim_time"]
+                / cell(topology, small, 8)["sim_time"]
+            )
+            gain_large = (
+                cell(topology, large, 1)["sim_time"]
+                / cell(topology, large, 8)["sim_time"]
+            )
+            assert gain_large > gain_small
+
+    query = generate_query(WorkloadSpec("star", 14, seed=7, count=2), 0)
+    benchmark(lambda: PDPsva(threads=8).optimize(query))

@@ -1,0 +1,43 @@
+"""E9 — plan-quality context: heuristics versus the DP optimum.
+
+Why the paper spends exponential (parallelized) effort on exact DP at all:
+polynomial and randomized heuristics return plans whose cost can be far
+from optimal.  Each heuristic is judged against the optimum of *its own*
+plan space (bushy DP for GOO; left-deep DP for the order-based
+heuristics), and additionally against the full bushy optimum; the
+``space_gap`` column shows how much cost the left-deep restriction alone
+gives up — on chains and stars with strong selectivities that gap alone
+reaches orders of magnitude, which is itself a classic result.  Expected
+shape: heuristics near their own-space optimum on easy topologies with
+heavy worst-case tails somewhere, and a large left-deep/bushy gap on
+chains/stars.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, heuristic_quality
+from repro.heuristics import GOO
+from repro.query import WorkloadSpec, generate_query
+
+TOPOLOGIES = ["chain", "cycle", "star", "clique"]
+
+
+def test_e9_heuristic_quality(benchmark, publish):
+    rows = heuristic_quality(TOPOLOGIES, n=9, queries=3, seed=9)
+    publish("e9_heuristics", format_table(rows), rows)
+
+    for row in rows:
+        # No heuristic beats the exact optimum of its own plan space.
+        assert row["vs_own_space_median"] >= 1.0 - 1e-9
+        assert row["vs_own_space_worst"] >= row["vs_own_space_median"] - 1e-9
+        # ... nor, a fortiori, the bushy optimum.
+        assert row["vs_bushy_median"] >= 1.0 - 1e-9
+        assert row["space_gap"] >= 1.0 - 1e-9
+    # At least one (topology, heuristic) cell is meaningfully suboptimal —
+    # the reason exact optimization is worth parallelizing.
+    assert any(r["vs_own_space_worst"] > 1.05 for r in rows)
+    # The left-deep/bushy space gap is itself dramatic somewhere.
+    assert any(r["space_gap"] > 10.0 for r in rows)
+
+    query = generate_query(WorkloadSpec("star", 9, seed=9, count=3), 0)
+    benchmark(lambda: GOO().optimize(query))

@@ -1,0 +1,91 @@
+"""End to end: generate data, optimize, execute — and feel the difference.
+
+Builds a hand-crafted 6-relation cycle query (cardinalities small enough
+that the synthetic database needs no down-scaling, so the optimizer's
+estimates track the real data), optimizes it, executes the optimal plan
+and a deliberately bad plan with the engine, and shows that (a) both
+return the identical result and (b) the optimizer's cost ranking predicts
+the measured execution-time ranking.
+
+Run:  python examples/end_to_end.py
+"""
+
+import time
+from collections import Counter
+
+from repro import (
+    CardinalityEstimator,
+    JoinGraph,
+    JoinMethod,
+    JoinNode,
+    Query,
+    QueryContext,
+    ScanNode,
+    StandardCostModel,
+    explain,
+    optimize,
+    plan_cost,
+)
+from repro.engine import execute_plan, generate_database
+
+
+def build_query() -> Query:
+    # Cycle 0-1-2-3-4-5-0.  The (0,1) edge is deliberately unselective:
+    # a plan that starts there drags a fat intermediate through the rest.
+    edges = [
+        (0, 1, 0.2),
+        (1, 2, 0.004),
+        (2, 3, 0.005),
+        (3, 4, 0.004),
+        (4, 5, 0.01),
+        (0, 5, 0.003),
+    ]
+    return Query(
+        graph=JoinGraph(6, edges),
+        relation_names=("t0", "t1", "t2", "t3", "t4", "t5"),
+        cardinalities=(300.0, 250.0, 400.0, 150.0, 350.0, 200.0),
+        label="end-to-end-cycle",
+    )
+
+
+def timed_execution(plan, query, db):
+    start = time.perf_counter()
+    rows = execute_plan(plan, query, db)
+    return rows, time.perf_counter() - start
+
+
+def main() -> None:
+    query = build_query()
+    db = generate_database(query, seed=13, max_rows=500)
+    sizes = {name: len(t) for name, t in db.tables.items()}
+    print(f"query: {query.label}; table sizes: {sizes}\n")
+
+    # The DP optimum.
+    best = optimize(query, algorithm="dpsva")
+    print("optimal plan (DPsva):")
+    print(explain(best.plan, relation_names=query.relation_names))
+
+    # A deliberately bad plan: hash joins in base-relation order — the
+    # operator is fine, the *order* carries the damage (it starts on the
+    # fat (t0, t1) edge and carries the bloat through every later join).
+    bad = ScanNode(0)
+    for rel in range(1, query.n):
+        bad = JoinNode(left=bad, right=ScanNode(rel), method=JoinMethod.HASH)
+    ctx = QueryContext(query)
+    est = CardinalityEstimator(ctx)
+    bad_cost = plan_cost(bad, est, StandardCostModel())
+
+    print(f"\nestimated cost: optimal={best.cost:.4g}  naive={bad_cost:.4g}  "
+          f"(ratio {bad_cost / best.cost:.1f}x)")
+
+    good_rows, good_time = timed_execution(best.plan, query, db)
+    bad_rows, bad_time = timed_execution(bad, query, db)
+    assert Counter(good_rows) == Counter(bad_rows)
+    print(f"\nexecuted both plans: identical result, {len(good_rows)} rows")
+    print(f"  optimal plan: {good_time * 1e3:8.2f} ms")
+    print(f"  naive plan:   {bad_time * 1e3:8.2f} ms "
+          f"({bad_time / max(good_time, 1e-9):.1f}x slower)")
+
+
+if __name__ == "__main__":
+    main()

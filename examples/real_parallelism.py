@@ -1,0 +1,73 @@
+"""The GIL gate, demonstrated: real threads vs processes vs the simulator.
+
+The paper measures wall-clock speedup of threads sharing a memo table.
+CPython's GIL makes that speedup unobservable with real threads — which is
+exactly why this reproduction's headline numbers come from the
+deterministic simulated-multicore backend.  This example runs all three
+backends on the same query and prints the comparison.
+
+Run:  python examples/real_parallelism.py
+"""
+
+import time
+
+from repro import ParallelDP, Workload, WorkloadSpec
+from repro.bench import format_table
+from repro.plans import plan_signature
+
+
+def measure(query, backend: str, threads: int):
+    optimizer = ParallelDP(algorithm="dpsva", threads=threads, backend=backend)
+    start = time.perf_counter()
+    result = optimizer.optimize(query)
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def main() -> None:
+    query = Workload(WorkloadSpec("star", 10, seed=3))[0]
+    print(f"query: {query.label}\n")
+
+    rows = []
+    signature = None
+    for backend in ("threads", "processes"):
+        base = None
+        for threads in (1, 2, 4):
+            result, wall = measure(query, backend, threads)
+            base = base or wall
+            rows.append({
+                "backend": backend,
+                "threads": threads,
+                "wall_ms": wall * 1e3,
+                "speedup": base / wall,
+            })
+            sig = plan_signature(result.plan)
+            assert signature is None or sig == signature
+            signature = sig
+    # Simulated predictions for the same thread counts.
+    sim_base = None
+    for threads in (1, 2, 4):
+        result, _ = measure(query, "simulated", threads)
+        sim_time = result.extras["sim_report"].total_time
+        sim_base = sim_base or sim_time
+        rows.append({
+            "backend": "simulated",
+            "threads": threads,
+            "wall_ms": float("nan"),
+            "speedup": sim_base / sim_time,
+        })
+
+    print(format_table(rows))
+    print("\nAll backends returned the identical optimal plan:")
+    print(f"  {signature}")
+    print("\nReading the table: the 'threads' backend shows the GIL gate")
+    print("(no wall speedup despite correct parallel decomposition);")
+    print("'processes' is correct under real concurrency but per-stratum")
+    print("IPC absorbs the gains at this query size — the classic reason")
+    print("fine-grained shared-memo schemes don't port to shared-nothing;")
+    print("'simulated' is the deterministic model used for the headline")
+    print("measurements.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""SPARQL-style scenario: long chain joins and enumerator choice.
+
+Triple-store query processing (a motivating workload in the parallel
+query optimization literature) produces long *chain* joins — dozens of
+joins, sparse graphs.  This example compares the serial enumerators on
+growing chains and shows where each one's cost goes: DPsub burns work on
+disconnected subsets, DPsize on overlapping candidate pairs, DPccp visits
+only valid pairs, and the SVA sits in between (its prefix blocks
+degenerate on chains — an honest negative result reported by E2).
+
+Run:  python examples/sparql_chain_workload.py
+"""
+
+from repro.bench import format_table, run_serial_grid
+from repro.heuristics import IKKBZ
+from repro import Workload, WorkloadSpec, optimize
+
+
+def main() -> None:
+    print("Serial enumerators on chain queries (SPARQL-style)")
+    print("=" * 64)
+    rows = run_serial_grid(
+        ["chain"], [8, 12, 16],
+        algorithms=("dpsize", "dpsub", "dpccp", "dpsva"),
+        queries=2, seed=21,
+    )
+    print(format_table(rows))
+
+    print()
+    print("Where the work goes at n=16:")
+    by_algo = {
+        r["algorithm"]: r for r in rows if r["n"] == 16
+    }
+    ccp = by_algo["dpccp"]["valid_pairs"]
+    for name, row in by_algo.items():
+        waste = row["pairs"] - row["valid_pairs"]
+        print(f"  {name:7s}: {row['pairs']:>9,} pairs inspected, "
+              f"{waste:>9,} wasted ({ccp:,} are genuinely needed)")
+
+    # For very long chains, the polynomial IKKBZ heuristic is exact-ish
+    # under C_out and instant; compare it against the DP optimum.
+    print()
+    print("IKKBZ vs exact DP on a 16-relation chain")
+    print("=" * 64)
+    query = Workload(WorkloadSpec("chain", 16, seed=21))[0]
+    dp = optimize(query, algorithm="dpccp")
+    ik = IKKBZ().optimize(query)
+    print(f"  DPccp optimum:  cost={dp.cost:.4g}  "
+          f"({dp.elapsed_seconds * 1e3:.1f} ms)")
+    print(f"  IKKBZ:          cost={ik.cost:.4g}  "
+          f"({ik.elapsed_seconds * 1e3:.1f} ms)  "
+          f"ratio={ik.cost / dp.cost:.3f}")
+    print("\nIKKBZ is optimal for left-deep plans under C_out; the residual")
+    print("gap is the bushy advantage plus the cost-model mismatch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Data-warehouse scenario: parallelizing optimization of big star joins.
+
+Star-schema queries (one fact table joined to many dimensions) are the
+classic case where exact join enumeration explodes: every subset of
+dimensions forms an intermediate result.  This example regenerates the
+paper's headline figure shape — speedup versus worker count — for star
+queries of growing size, and shows how the allocation scheme matters.
+
+Run:  python examples/star_schema_speedup.py
+"""
+
+from repro import PDPsva, Workload, WorkloadSpec
+from repro.bench import (
+    allocation_comparison,
+    format_table,
+    render_curve,
+    speedup_curve,
+)
+from repro.simx import render_gantt
+
+
+def main() -> None:
+    print("PDPsva simulated speedup on star queries")
+    print("=" * 60)
+    for n in (10, 12):
+        rows = speedup_curve(
+            "star", n, algorithm="dpsva",
+            thread_counts=(1, 2, 4, 8, 16), queries=2, seed=11,
+        )
+        print()
+        print(format_table(rows, columns=[
+            "threads", "sim_time", "speedup", "efficiency",
+            "imbalance", "sync_share",
+        ]))
+        print()
+        print(render_curve(
+            [r["threads"] for r in rows],
+            [r["speedup"] for r in rows],
+            label=f"speedup, star n={n}",
+        ))
+
+    print()
+    print("Allocation schemes at 8 workers (PDPsize, star n=11)")
+    print("=" * 60)
+    rows = allocation_comparison(
+        "star", 11, algorithm="dpsize", threads=8, queries=2, seed=11
+    )
+    print(format_table(rows, columns=[
+        "scheme", "sim_time", "speedup", "imbalance",
+    ]))
+    print("\nThe total-sum (equi_depth) allocation balances candidate-pair")
+    print("weights across workers; chunked placement concentrates the skew;")
+    print("'dynamic' is the online oracle bound.")
+
+    print()
+    print("Per-stratum timeline (PDPsva, 4 workers, star n=10)")
+    print("=" * 60)
+    query = Workload(WorkloadSpec("star", 10, seed=11))[0]
+    report = PDPsva(threads=4).optimize(query).extras["sim_report"]
+    print(render_gantt(report))
+    print("\n'#' = kernel work, '~' = latch contention, '.' = idle before")
+    print("the stratum barrier.  Early strata are too thin to fill four")
+    print("workers; the big middle strata are where parallelism pays.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,182 @@
+"""repro — parallel dynamic-programming query optimization.
+
+A from-scratch reproduction of *"Parallelizing Query Optimization"*
+(Han, Kwak, Lee, Lohman, Markl — VLDB 2008): serial bottom-up DP join
+enumerators (DPsize, DPsub, DPccp), the skip-vector-array-accelerated
+DPsva, and the parallel PDP framework that partitions each DP stratum
+across worker threads — with a deterministic simulated-multicore
+substrate, plus real thread and multiprocessing backends.
+
+Quick start::
+
+    from repro import Workload, WorkloadSpec, optimize
+
+    query = Workload(WorkloadSpec("star", 12, seed=7))[0]
+    result = optimize(query, algorithm="dpsva", threads=8)
+    print(result.summary())
+    print(result.extras["sim_report"].summary())
+"""
+
+from repro.catalog import Catalog, Column, TableStats, generate_catalog
+from repro.cost import (
+    CardinalityEstimator,
+    CostModel,
+    CoutCostModel,
+    StandardCostModel,
+    plan_cost,
+)
+from repro.enumerate import (
+    DPccp,
+    DPsize,
+    DPsub,
+    ExhaustiveEnumerator,
+    OptimizationResult,
+)
+from repro.heuristics import GOO, IKKBZ, IteratedImprovement, SimulatedAnnealing
+from repro.memo import Memo, WorkMeter
+from repro.parallel import PDPsize, PDPsub, PDPsva, ParallelDP
+from repro.plans import JoinMethod, JoinNode, PlanNode, ScanNode, explain
+from repro.query import (
+    JoinGraph,
+    Query,
+    QueryContext,
+    Workload,
+    WorkloadSpec,
+    generate_query,
+)
+from repro.simx import SimCostParams, SimReport
+from repro.sva import DPsva, SkipVectorArray
+from repro.util.errors import OptimizationError, ReproError, ValidationError
+
+__version__ = "1.0.0"
+
+_SERIAL = {
+    "dpsize": DPsize,
+    "dpsub": DPsub,
+    "dpccp": DPccp,
+    "dpsva": DPsva,
+    "exhaustive": ExhaustiveEnumerator,
+}
+
+_HEURISTIC = {
+    "goo": GOO,
+    "ikkbz": IKKBZ,
+    "iterated_improvement": IteratedImprovement,
+    "simulated_annealing": SimulatedAnnealing,
+}
+
+
+def optimize(
+    query,
+    algorithm: str = "dpsize",
+    threads: int | None = None,
+    cost_model: CostModel | None = None,
+    cross_products: bool = False,
+    **parallel_options,
+) -> OptimizationResult:
+    """Optimize a join query — the library's front door.
+
+    Args:
+        query: A :class:`~repro.query.joingraph.Query` or a prepared
+            :class:`~repro.query.context.QueryContext`.
+        algorithm: ``dpsize``/``dpsub``/``dpccp``/``dpsva`` (exact DP),
+            ``exhaustive`` (brute force, tiny queries), or a heuristic
+            (``goo``/``ikkbz``/``iterated_improvement``/
+            ``simulated_annealing``).
+        threads: If given (and the algorithm is a DP kernel the parallel
+            framework supports), run the parallel framework with that many
+            workers; extra keyword options (``allocation``, ``backend``,
+            ``oversubscription``, ``sim_params``) are forwarded to
+            :class:`~repro.parallel.scheduler.ParallelDP`.
+        cost_model: Defaults to :class:`StandardCostModel`.
+        cross_products: Admit cross-product joins.
+
+    Returns:
+        An :class:`~repro.enumerate.base.OptimizationResult`.
+    """
+    if threads is not None:
+        optimizer = ParallelDP(
+            algorithm=algorithm,
+            threads=threads,
+            cross_products=cross_products,
+            **parallel_options,
+        )
+        return optimizer.optimize(query, cost_model=cost_model)
+    if parallel_options:
+        raise ValidationError(
+            f"options {sorted(parallel_options)} require threads= to be set"
+        )
+    if algorithm in _SERIAL:
+        if algorithm == "exhaustive":
+            return ExhaustiveEnumerator(cross_products=cross_products).optimize(
+                query, cost_model=cost_model
+            )
+        return _SERIAL[algorithm](cross_products=cross_products).optimize(
+            query, cost_model=cost_model
+        )
+    if algorithm in _HEURISTIC:
+        if algorithm == "goo":
+            return GOO(cross_products=cross_products).optimize(
+                query, cost_model=cost_model
+            )
+        return _HEURISTIC[algorithm]().optimize(query, cost_model=cost_model)
+    raise ValidationError(
+        f"unknown algorithm {algorithm!r}; expected one of "
+        f"{sorted(_SERIAL) + sorted(_HEURISTIC)}"
+    )
+
+
+__all__ = [
+    "__version__",
+    "optimize",
+    # queries & catalogs
+    "Catalog",
+    "Column",
+    "TableStats",
+    "generate_catalog",
+    "JoinGraph",
+    "Query",
+    "QueryContext",
+    "Workload",
+    "WorkloadSpec",
+    "generate_query",
+    # cost
+    "CardinalityEstimator",
+    "CostModel",
+    "StandardCostModel",
+    "CoutCostModel",
+    "plan_cost",
+    # plans
+    "PlanNode",
+    "ScanNode",
+    "JoinNode",
+    "JoinMethod",
+    "explain",
+    # memo
+    "Memo",
+    "WorkMeter",
+    # serial enumerators
+    "DPsize",
+    "DPsub",
+    "DPccp",
+    "DPsva",
+    "ExhaustiveEnumerator",
+    "SkipVectorArray",
+    "OptimizationResult",
+    # parallel framework
+    "ParallelDP",
+    "PDPsize",
+    "PDPsub",
+    "PDPsva",
+    "SimCostParams",
+    "SimReport",
+    # heuristics
+    "GOO",
+    "IKKBZ",
+    "IteratedImprovement",
+    "SimulatedAnnealing",
+    # errors
+    "ReproError",
+    "ValidationError",
+    "OptimizationError",
+]

@@ -1,0 +1,43 @@
+"""Benchmark harness: experiment runners and reporting.
+
+Each experiment in ``benchmarks/`` (E1–E9, see DESIGN.md) drives one of
+the grid runners here and renders its rows with
+:func:`~repro.bench.reporting.format_table`, so the exact tables can also
+be regenerated programmatically or from the examples.
+"""
+
+from repro.bench.manifest import (
+    load_manifest,
+    plan_to_dict,
+    result_to_dict,
+    save_manifest,
+    sim_report_to_dict,
+)
+from repro.bench.reporting import format_table, render_curve, rows_to_csv
+from repro.bench.runner import (
+    allocation_comparison,
+    heuristic_quality,
+    median,
+    run_serial_grid,
+    size_scaling,
+    speedup_curve,
+    sva_effectiveness,
+)
+
+__all__ = [
+    "format_table",
+    "render_curve",
+    "rows_to_csv",
+    "plan_to_dict",
+    "result_to_dict",
+    "sim_report_to_dict",
+    "save_manifest",
+    "load_manifest",
+    "median",
+    "run_serial_grid",
+    "sva_effectiveness",
+    "speedup_curve",
+    "allocation_comparison",
+    "size_scaling",
+    "heuristic_quality",
+]

@@ -1,0 +1,102 @@
+"""Result serialization: JSON manifests for runs and experiments.
+
+Optimization results, simulated timing reports, and experiment row sets
+serialize to plain JSON so experiment outputs can be archived, diffed, and
+re-plotted without re-running.  Plans serialize as their structural
+signature plus a nested tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.enumerate.base import OptimizationResult
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.plans.printer import plan_signature
+from repro.simx.report import SimReport
+
+
+def plan_to_dict(plan: PlanNode) -> dict[str, Any]:
+    """Nested-dict rendering of a plan tree."""
+    if isinstance(plan, ScanNode):
+        return {"op": "scan", "relation": plan.relation}
+    if isinstance(plan, JoinNode):
+        return {
+            "op": "join",
+            "method": plan.method.name,
+            "left": plan_to_dict(plan.left),
+            "right": plan_to_dict(plan.right),
+        }
+    raise TypeError(f"not a plan node: {plan!r}")
+
+
+def sim_report_to_dict(report: SimReport) -> dict[str, Any]:
+    """Flatten a simulated timing report."""
+    return {
+        "threads": report.threads,
+        "algorithm": report.algorithm,
+        "allocation": report.allocation,
+        "total_time": report.total_time,
+        "busy_total": report.busy_total,
+        "critical_busy": report.critical_busy,
+        "overhead_wall": report.overhead_wall,
+        "spawn_cost": report.spawn_cost,
+        "master_cost": report.master_cost,
+        "total_conflicts": report.total_conflicts,
+        "mean_imbalance": report.mean_imbalance,
+        "strata": [
+            {
+                "size": s.size,
+                "unit_count": s.unit_count,
+                "wall_time": s.wall_time,
+                "busy": s.busy,
+                "contention": s.contention,
+                "barrier_cost": s.barrier_cost,
+                "conflicts": s.conflicts,
+            }
+            for s in report.strata
+        ],
+    }
+
+
+def result_to_dict(result: OptimizationResult) -> dict[str, Any]:
+    """Serialize an optimization result (plans included structurally)."""
+    extras: dict[str, Any] = {}
+    for key, value in result.extras.items():
+        if isinstance(value, SimReport):
+            extras[key] = sim_report_to_dict(value)
+        elif isinstance(value, (str, int, float, bool, type(None), list, dict)):
+            extras[key] = value
+        else:
+            extras[key] = repr(value)
+    return {
+        "algorithm": result.algorithm,
+        "cost": result.cost,
+        "rows": result.rows,
+        "memo_entries": result.memo_entries,
+        "elapsed_seconds": result.elapsed_seconds,
+        "plan_signature": plan_signature(result.plan),
+        "plan": plan_to_dict(result.plan),
+        "meter": result.meter.as_dict(),
+        "extras": extras,
+    }
+
+
+def save_manifest(
+    path: str | Path,
+    rows: list[dict],
+    metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Write experiment rows plus metadata as a JSON manifest."""
+    path = Path(path)
+    payload = {"metadata": metadata or {}, "rows": rows}
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return path
+
+
+def load_manifest(path: str | Path) -> tuple[list[dict], dict[str, Any]]:
+    """Read back a manifest written by :func:`save_manifest`."""
+    payload = json.loads(Path(path).read_text())
+    return payload["rows"], payload["metadata"]

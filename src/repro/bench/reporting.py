@@ -1,0 +1,78 @@
+"""Plain-text rendering of experiment results.
+
+Everything renders to strings (no plotting dependencies): aligned tables
+for the paper's tables, and ASCII bar curves for its figures.
+"""
+
+from __future__ import annotations
+
+import io
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render dict rows as an aligned text table.
+
+    Args:
+        rows: Homogeneous dicts (one per table row).
+        columns: Column order; defaults to the first row's key order.
+    """
+    if not rows:
+        return "(no rows)"
+    cols = columns or list(rows[0])
+    cells = [[_format_value(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells))
+        for i, c in enumerate(cols)
+    ]
+    out = io.StringIO()
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in cells:
+        out.write("  ".join(v.rjust(w) for v, w in zip(row, widths)) + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def render_curve(
+    xs: list, ys: list[float], label: str = "", width: int = 40
+) -> str:
+    """Render one series as labelled ASCII bars (for figure-style output).
+
+    Bars are scaled to the maximum y value.
+    """
+    if not ys:
+        return f"{label}: (no data)"
+    peak = max(ys)
+    out = io.StringIO()
+    if label:
+        out.write(f"{label}\n")
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, round(width * (y / peak))) if peak > 0 else ""
+        out.write(f"  {str(x):>8}  {bar} {_format_value(float(y))}\n")
+    return out.getvalue().rstrip("\n")
+
+
+def rows_to_csv(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render dict rows as CSV text."""
+    if not rows:
+        return ""
+    cols = columns or list(rows[0])
+    out = io.StringIO()
+    out.write(",".join(cols) + "\n")
+    for row in rows:
+        out.write(",".join(str(row.get(c, "")) for c in cols) + "\n")
+    return out.getvalue()

@@ -1,0 +1,316 @@
+"""Experiment grid runners.
+
+Each function regenerates one family of the paper's tables/figures as a
+list of plain dict rows.  Per grid point, ``queries`` random queries are
+optimized and the *median* is reported, mirroring the paper's methodology
+(and Steinbrunn et al.'s).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.cost.model import CostModel, StandardCostModel
+from repro.enumerate import SERIAL_ALGORITHMS
+from repro.enumerate.base import OptimizationResult
+from repro.heuristics import HEURISTICS
+from repro.parallel import ParallelDP
+from repro.query.workload import WorkloadSpec, generate_query
+from repro.simx.costparams import SimCostParams
+from repro.sva import DPsva
+from repro.util.errors import ValidationError
+
+ALL_SERIAL = {**SERIAL_ALGORITHMS, "dpsva": DPsva}
+"""Serial enumerators available to the grids (incl. DPsva)."""
+
+
+def median(values):
+    """Median of a non-empty sequence."""
+    return statistics.median(values)
+
+
+def _queries(topology: str, n: int, count: int, seed: int):
+    spec = WorkloadSpec(topology, n, seed=seed, count=count)
+    return [generate_query(spec, i) for i in range(count)]
+
+
+def run_serial_grid(
+    topologies,
+    sizes,
+    algorithms=("dpsize", "dpsub", "dpccp", "dpsva"),
+    queries: int = 3,
+    seed: int = 0,
+    cost_model: CostModel | None = None,
+    cross_products: bool = False,
+) -> list[dict]:
+    """E1: serial enumerator comparison.
+
+    One row per (topology, n, algorithm) with median optimization time,
+    candidate pairs, valid pairs, and memo size.
+    """
+    rows: list[dict] = []
+    for topology in topologies:
+        for n in sizes:
+            qs = _queries(topology, n, queries, seed)
+            for name in algorithms:
+                if name not in ALL_SERIAL:
+                    raise ValidationError(f"unknown serial algorithm {name!r}")
+                algo = ALL_SERIAL[name](cross_products=cross_products)
+                results = [algo.optimize(q, cost_model=cost_model) for q in qs]
+                rows.append(
+                    {
+                        "topology": topology,
+                        "n": n,
+                        "algorithm": name,
+                        "time_ms": median(
+                            r.elapsed_seconds * 1e3 for r in results
+                        ),
+                        "pairs": int(
+                            median(r.meter.pairs_considered for r in results)
+                        ),
+                        "valid_pairs": int(
+                            median(r.meter.pairs_valid for r in results)
+                        ),
+                        "memo": int(median(r.memo_entries for r in results)),
+                    }
+                )
+    return rows
+
+
+def sva_effectiveness(
+    topologies,
+    sizes,
+    queries: int = 3,
+    seed: int = 0,
+    cross_products: bool = False,
+) -> list[dict]:
+    """E2: skip-vector effectiveness.
+
+    Compares DPsize candidate pairs against DPsva scan positions; the skip
+    ratio is the fraction of DPsize's candidate inspections the SVA
+    eliminated.
+    """
+    rows: list[dict] = []
+    for topology in topologies:
+        for n in sizes:
+            qs = _queries(topology, n, queries, seed)
+            dpsize_pairs, sva_positions, skipped, valid = [], [], [], []
+            for q in qs:
+                base = ALL_SERIAL["dpsize"](cross_products=cross_products).optimize(q)
+                sva = DPsva(cross_products=cross_products).optimize(q)
+                dpsize_pairs.append(base.meter.pairs_considered)
+                sva_positions.append(sva.meter.sva_steps)
+                skipped.append(sva.meter.sva_skipped_entries)
+                valid.append(sva.meter.pairs_valid)
+            pairs_med = median(dpsize_pairs)
+            steps_med = median(sva_positions)
+            rows.append(
+                {
+                    "topology": topology,
+                    "n": n,
+                    "dpsize_pairs": int(pairs_med),
+                    "sva_positions": int(steps_med),
+                    "skipped": int(median(skipped)),
+                    "valid_pairs": int(median(valid)),
+                    "skip_ratio": 1.0 - (steps_med / pairs_med)
+                    if pairs_med
+                    else 0.0,
+                }
+            )
+    return rows
+
+
+def speedup_curve(
+    topology: str,
+    n: int,
+    algorithm: str = "dpsva",
+    thread_counts=(1, 2, 4, 8, 16),
+    allocation: str = "equi_depth",
+    queries: int = 3,
+    seed: int = 0,
+    cost_model: CostModel | None = None,
+    sim_params: SimCostParams | None = None,
+    cross_products: bool = False,
+) -> list[dict]:
+    """E3/E4: simulated speedup versus thread count.
+
+    Speedup is measured against the same framework at ``threads=1`` (which
+    the paper notes is the serial algorithm plus nothing), so it isolates
+    parallelization effects from kernel differences.
+    """
+    qs = _queries(topology, n, queries, seed)
+    rows: list[dict] = []
+    baseline_times: list[float] | None = None
+    for threads in thread_counts:
+        optimizer = ParallelDP(
+            algorithm=algorithm,
+            threads=threads,
+            allocation=allocation,
+            cross_products=cross_products,
+            sim_params=sim_params,
+        )
+        reports = [
+            optimizer.optimize(q, cost_model=cost_model).extras["sim_report"]
+            for q in qs
+        ]
+        times = [r.total_time for r in reports]
+        if baseline_times is None:
+            baseline_times = times
+        speedups = [b / t for b, t in zip(baseline_times, times)]
+        rows.append(
+            {
+                "topology": topology,
+                "n": n,
+                "algorithm": algorithm,
+                "threads": threads,
+                "sim_time": median(times),
+                "speedup": median(speedups),
+                "efficiency": median(speedups) / threads,
+                "imbalance": median(r.mean_imbalance for r in reports),
+                "conflicts": int(median(r.total_conflicts for r in reports)),
+                "sync_share": median(
+                    r.overhead_wall / r.total_time for r in reports
+                ),
+            }
+        )
+    return rows
+
+
+def allocation_comparison(
+    topology: str,
+    n: int,
+    algorithm: str = "dpsva",
+    threads: int = 8,
+    schemes=("round_robin", "chunked", "equi_depth", "dynamic"),
+    queries: int = 3,
+    seed: int = 0,
+    sim_params: SimCostParams | None = None,
+) -> list[dict]:
+    """E5: allocation schemes at a fixed thread count."""
+    qs = _queries(topology, n, queries, seed)
+    serial_times = [
+        ParallelDP(algorithm=algorithm, threads=1)
+        .optimize(q)
+        .extras["sim_report"]
+        .total_time
+        for q in qs
+    ]
+    rows: list[dict] = []
+    for scheme in schemes:
+        optimizer = ParallelDP(
+            algorithm=algorithm,
+            threads=threads,
+            allocation=scheme,
+            sim_params=sim_params,
+        )
+        reports = [
+            optimizer.optimize(q).extras["sim_report"] for q in qs
+        ]
+        rows.append(
+            {
+                "topology": topology,
+                "n": n,
+                "scheme": scheme,
+                "threads": threads,
+                "sim_time": median(r.total_time for r in reports),
+                "speedup": median(
+                    s / r.total_time
+                    for s, r in zip(serial_times, reports)
+                ),
+                "imbalance": median(r.mean_imbalance for r in reports),
+            }
+        )
+    return rows
+
+
+def size_scaling(
+    topology: str,
+    sizes,
+    algorithm: str = "dpsva",
+    thread_counts=(1, 8),
+    queries: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """E7: simulated time versus query size at fixed thread counts."""
+    rows: list[dict] = []
+    for n in sizes:
+        qs = _queries(topology, n, queries, seed)
+        for threads in thread_counts:
+            optimizer = ParallelDP(algorithm=algorithm, threads=threads)
+            reports = [
+                optimizer.optimize(q).extras["sim_report"] for q in qs
+            ]
+            rows.append(
+                {
+                    "topology": topology,
+                    "n": n,
+                    "threads": threads,
+                    "sim_time": median(r.total_time for r in reports),
+                    "busy": median(r.busy_total for r in reports),
+                }
+            )
+    return rows
+
+
+def heuristic_quality(
+    topologies,
+    n: int,
+    queries: int = 5,
+    seed: int = 0,
+    heuristics=("goo", "ikkbz", "iterated_improvement", "simulated_annealing"),
+    cost_model: CostModel | None = None,
+) -> list[dict]:
+    """E9: heuristic plan cost relative to the DP optima.
+
+    Two reference optima per query (both with cross products admitted,
+    matching the randomized heuristics' search space): the full bushy DP
+    optimum, and the left-deep DP optimum — the natural yardstick for the
+    order-based heuristics (IKKBZ, iterated improvement, simulated
+    annealing).  ``space_gap`` reports how much of a heuristic's apparent
+    suboptimality is merely the left-deep/bushy plan-space gap.
+    """
+    from repro.enumerate.dpsize import DPsize
+
+    rows: list[dict] = []
+    cost_model = cost_model or StandardCostModel()
+    for topology in topologies:
+        qs = _queries(topology, n, queries, seed)
+        bushy: list[OptimizationResult] = [
+            DPsize(cross_products=True).optimize(q, cost_model=cost_model)
+            for q in qs
+        ]
+        left_deep: list[OptimizationResult] = [
+            DPsize(cross_products=True, plan_space="left_deep").optimize(
+                q, cost_model=cost_model
+            )
+            for q in qs
+        ]
+        space_gap = median(
+            ld.cost / b.cost for ld, b in zip(left_deep, bushy)
+        )
+        for name in heuristics:
+            algo_cls = HEURISTICS[name]
+            bushy_ratios = []
+            space_ratios = []
+            times = []
+            for q, b_opt, ld_opt in zip(qs, bushy, left_deep):
+                result = algo_cls().optimize(q, cost_model=cost_model)
+                bushy_ratios.append(result.cost / b_opt.cost)
+                # GOO builds bushy trees; the order-based heuristics are
+                # judged against the left-deep optimum.
+                own_space_opt = b_opt if name == "goo" else ld_opt
+                space_ratios.append(result.cost / own_space_opt.cost)
+                times.append(result.elapsed_seconds * 1e3)
+            rows.append(
+                {
+                    "topology": topology,
+                    "n": n,
+                    "heuristic": name,
+                    "vs_own_space_median": median(space_ratios),
+                    "vs_own_space_worst": max(space_ratios),
+                    "vs_bushy_median": median(bushy_ratios),
+                    "space_gap": space_gap,
+                    "time_ms": median(times),
+                }
+            )
+    return rows

@@ -1,0 +1,20 @@
+"""Catalog substrate: relations, statistics, and synthetic generation.
+
+The VLDB 2008 paper ran inside PostgreSQL and drew cardinalities and
+selectivities from a real catalog.  This package is the synthetic stand-in:
+:class:`~repro.catalog.model.Catalog` holds base-relation statistics and
+:func:`~repro.catalog.generator.generate_catalog` produces randomized
+catalogs following the Steinbrunn et al. (VLDBJ 1997) benchmark convention
+that the paper's workload generation tradition descends from.
+"""
+
+from repro.catalog.generator import CatalogGeneratorConfig, generate_catalog
+from repro.catalog.model import Catalog, Column, TableStats
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "TableStats",
+    "CatalogGeneratorConfig",
+    "generate_catalog",
+]

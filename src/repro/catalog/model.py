@@ -1,0 +1,118 @@
+"""Relation and statistics model.
+
+Only the statistics that the cost model consumes are represented: base
+cardinalities, tuple widths, and per-column distinct counts.  The model is
+deliberately small — the enumerators under study are driven purely by the
+join graph shape and these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """A column with the statistics used for selectivity derivation.
+
+    Attributes:
+        name: Column name, unique within its table.
+        distinct_count: Estimated number of distinct values.
+    """
+
+    name: str
+    distinct_count: int
+
+    def __post_init__(self) -> None:
+        if self.distinct_count < 1:
+            raise ValidationError(
+                f"column {self.name!r}: distinct_count must be >= 1, "
+                f"got {self.distinct_count}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class TableStats:
+    """Statistics for one base relation.
+
+    Attributes:
+        name: Relation name, unique within the catalog.
+        cardinality: Number of tuples.
+        tuple_width: Average tuple width in bytes (used by buffer-space
+            accounting in the cost model).
+        columns: Column statistics, keyed by name.
+    """
+
+    name: str
+    cardinality: int
+    tuple_width: int = 64
+    columns: tuple[Column, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 1:
+            raise ValidationError(
+                f"table {self.name!r}: cardinality must be >= 1, "
+                f"got {self.cardinality}"
+            )
+        if self.tuple_width < 1:
+            raise ValidationError(
+                f"table {self.name!r}: tuple_width must be >= 1, "
+                f"got {self.tuple_width}"
+            )
+        seen: set[str] = set()
+        for col in self.columns:
+            if col.name in seen:
+                raise ValidationError(
+                    f"table {self.name!r}: duplicate column {col.name!r}"
+                )
+            seen.add(col.name)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"table {self.name!r} has no column {name!r}")
+
+
+@dataclass(slots=True)
+class Catalog:
+    """A set of base relations with statistics.
+
+    Tables are looked up by name; insertion order is preserved so that a
+    catalog zipped against a join graph is deterministic.
+    """
+
+    _tables: dict[str, TableStats] = field(default_factory=dict)
+
+    def add(self, table: TableStats) -> None:
+        """Register a table; names must be unique."""
+        if table.name in self._tables:
+            raise ValidationError(f"duplicate table name {table.name!r}")
+        self._tables[table.name] = table
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self):
+        return iter(self._tables.values())
+
+    def table(self, name: str) -> TableStats:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"catalog has no table {name!r}") from None
+
+    def names(self) -> list[str]:
+        """Table names in insertion order."""
+        return list(self._tables)
+
+    def cardinalities(self) -> list[int]:
+        """Table cardinalities in insertion order."""
+        return [t.cardinality for t in self._tables.values()]

@@ -1,0 +1,216 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro optimize --topology star -n 12 --threads 8 --explain
+    python -m repro optimize --sql "SELECT * FROM t0 a, t0 b WHERE a.c0 = b.c1" \\
+        --catalog-tables 8
+    python -m repro bench --experiment speedup --topology clique -n 10
+    python -m repro inspect --topology cycle -n 9
+
+``optimize`` runs one query end to end, ``bench`` regenerates one of the
+experiment families on a compact grid, ``inspect`` prints a query's
+statistics and search-space numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__, optimize
+from repro.bench import (
+    allocation_comparison,
+    format_table,
+    render_curve,
+    run_serial_grid,
+    speedup_curve,
+    sva_effectiveness,
+)
+from repro.catalog import generate_catalog
+from repro.plans import explain
+from repro.query import TOPOLOGIES, WorkloadSpec, generate_query
+from repro.util.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel dynamic-programming query optimization "
+            "(VLDB 2008 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    opt = sub.add_parser("optimize", help="optimize one query")
+    opt.add_argument("--topology", choices=sorted(TOPOLOGIES), default="star")
+    opt.add_argument("-n", "--relations", type=int, default=10)
+    opt.add_argument("--seed", type=int, default=0)
+    opt.add_argument("--sql", help="optimize an SPJ SQL statement instead")
+    opt.add_argument(
+        "--catalog-tables", type=int, default=8,
+        help="tables in the generated catalog (SQL mode)",
+    )
+    opt.add_argument(
+        "--algorithm", default="dpsva",
+        help="dpsize/dpsub/dpccp/dpsva/exhaustive or a heuristic name",
+    )
+    opt.add_argument("--threads", type=int, default=None)
+    opt.add_argument(
+        "--allocation", default="equi_depth",
+        help="work-unit allocation scheme (parallel runs)",
+    )
+    opt.add_argument(
+        "--backend", default="simulated",
+        choices=("simulated", "threads", "processes"),
+    )
+    opt.add_argument("--cross-products", action="store_true")
+    opt.add_argument("--explain", action="store_true", help="print the plan")
+
+    bench = sub.add_parser("bench", help="regenerate an experiment family")
+    bench.add_argument(
+        "--experiment",
+        choices=("serial", "sva", "speedup", "allocation"),
+        default="speedup",
+    )
+    bench.add_argument("--topology", choices=sorted(TOPOLOGIES), default="star")
+    bench.add_argument("-n", "--relations", type=int, default=10)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--queries", type=int, default=2)
+    bench.add_argument(
+        "--threads", type=int, nargs="+", default=[1, 2, 4, 8]
+    )
+
+    ins = sub.add_parser("inspect", help="print query statistics")
+    ins.add_argument("--topology", choices=sorted(TOPOLOGIES), default="star")
+    ins.add_argument("-n", "--relations", type=int, default=10)
+    ins.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_optimize(args) -> int:
+    if args.sql:
+        from repro.sql import optimize_sql
+
+        catalog = generate_catalog(args.catalog_tables, seed=args.seed)
+        result = optimize_sql(
+            args.sql,
+            catalog,
+            algorithm=args.algorithm,
+            threads=args.threads,
+            **(
+                {"allocation": args.allocation, "backend": args.backend}
+                if args.threads
+                else {}
+            ),
+        )
+        names = None
+    else:
+        query = generate_query(
+            WorkloadSpec(args.topology, args.relations, seed=args.seed)
+        )
+        options = {}
+        if args.threads:
+            options = {
+                "allocation": args.allocation,
+                "backend": args.backend,
+            }
+        result = optimize(
+            query,
+            algorithm=args.algorithm,
+            threads=args.threads,
+            cross_products=args.cross_products,
+            **options,
+        )
+        names = query.relation_names
+    print(result.summary())
+    report = result.extras.get("sim_report")
+    if report is not None:
+        print(report.summary())
+    if args.explain:
+        print(explain(result.plan, relation_names=names))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.experiment == "serial":
+        rows = run_serial_grid(
+            [args.topology], [args.relations],
+            queries=args.queries, seed=args.seed,
+        )
+        print(format_table(rows))
+    elif args.experiment == "sva":
+        rows = sva_effectiveness(
+            [args.topology], [args.relations],
+            queries=args.queries, seed=args.seed,
+        )
+        print(format_table(rows))
+    elif args.experiment == "speedup":
+        rows = speedup_curve(
+            args.topology, args.relations,
+            thread_counts=tuple(args.threads),
+            queries=args.queries, seed=args.seed,
+        )
+        print(format_table(rows))
+        print()
+        print(
+            render_curve(
+                [r["threads"] for r in rows],
+                [r["speedup"] for r in rows],
+                label=f"speedup — {args.topology} n={args.relations}",
+            )
+        )
+    else:  # allocation
+        rows = allocation_comparison(
+            args.topology, args.relations,
+            threads=max(args.threads), queries=args.queries, seed=args.seed,
+        )
+        print(format_table(rows))
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.enumerate.dpccp import count_csg_cmp_pairs
+    from repro.query import QueryContext
+    from repro.util.bitsets import subsets_of_size
+
+    query = generate_query(
+        WorkloadSpec(args.topology, args.relations, seed=args.seed)
+    )
+    ctx = QueryContext(query)
+    print(f"query:         {query.label}")
+    print(f"relations:     {query.n}")
+    print(f"edges:         {len(query.graph.edges)}")
+    print(f"cardinalities: {[int(c) for c in query.cardinalities]}")
+    connected = sum(
+        1
+        for k in range(1, query.n + 1)
+        for m in subsets_of_size(ctx.all_mask, k)
+        if ctx.is_connected(m)
+    )
+    print(f"connected quantifier sets: {connected}")
+    print(f"csg-cmp pairs: {count_csg_cmp_pairs(ctx)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "optimize":
+            return _cmd_optimize(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        return _cmd_inspect(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

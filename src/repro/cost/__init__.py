@@ -1,0 +1,26 @@
+"""Cardinality estimation and plan cost models.
+
+The cost model is the pluggable piece the VLDB 2008 framework is agnostic
+to: enumerators only ever call :meth:`CostModel.scan_cost` and
+:meth:`CostModel.join_cost`.  :class:`StandardCostModel` implements the
+textbook block-nested-loop / hash / sort-merge formulas of Steinbrunn et
+al. (VLDBJ 1997); :class:`CoutCostModel` is the ``C_out`` metric common in
+join-ordering analysis papers.
+"""
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import (
+    CostModel,
+    CoutCostModel,
+    StandardCostModel,
+)
+from repro.cost.plan_cost import plan_cost, plan_rows
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostModel",
+    "StandardCostModel",
+    "CoutCostModel",
+    "plan_cost",
+    "plan_rows",
+]

@@ -1,0 +1,51 @@
+"""Cardinality estimation under the attribute-independence assumption.
+
+The estimate for a quantifier set is the product of base cardinalities
+multiplied by the selectivity of every join edge internal to the set.  This
+makes the estimate *split-invariant*: ``rows(L ∪ R)`` is the same however
+the set was assembled, which is the property the dynamic-programming
+recurrence relies on (one row count per memo entry).
+"""
+
+from __future__ import annotations
+
+from repro.query.context import QueryContext
+from repro.util.bitsets import first_bit
+
+
+class CardinalityEstimator:
+    """Memoized row-count estimates for quantifier sets of one query."""
+
+    __slots__ = ("ctx", "_rows")
+
+    def __init__(self, ctx: QueryContext) -> None:
+        self.ctx = ctx
+        self._rows: dict[int, float] = {
+            1 << i: float(ctx.cards[i]) for i in range(ctx.n)
+        }
+
+    def rows(self, mask: int) -> float:
+        """Estimated row count of the join over ``mask``.
+
+        ``mask`` must be non-empty.  Estimates are at least 1 row: a join
+        that filters everything still produces a result the cost model can
+        reason about, and clamping avoids degenerate zero-cost plans.
+        """
+        cached = self._rows.get(mask)
+        if cached is not None:
+            return cached
+        low = mask & -mask
+        rest = mask ^ low
+        rel = first_bit(mask)
+        value = (
+            self.rows(rest)
+            * self.ctx.cards[rel]
+            * self.ctx.cross_selectivity(low, rest)
+        )
+        value = max(1.0, value)
+        self._rows[mask] = value
+        return value
+
+    def join_rows(self, left: int, right: int) -> float:
+        """Row count of joining two disjoint sets (== ``rows(left | right)``)."""
+        return self.rows(left | right)

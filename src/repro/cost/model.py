@@ -1,0 +1,153 @@
+"""Plan cost models.
+
+A cost model exposes which join algorithms exist and what each costs as a
+function of input/output row counts.  Costs are operator-local: the
+enumerators and :func:`repro.cost.plan_cost.plan_cost` add children
+recursively, which is what lets memo entries carry a single accumulated
+cost (Bellman optimality over quantifier sets).
+
+Formulas follow Steinbrunn, Moerkotte & Kemper (VLDBJ 1997), in units of
+tuple operations.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.plans.operators import JOIN_METHODS, JoinMethod
+from repro.util.errors import ValidationError
+
+
+class CostModel(ABC):
+    """Interface between enumerators and cost estimation.
+
+    Subclasses must be stateless (or effectively immutable): cost models
+    are shared across worker threads and shipped to worker processes.
+    """
+
+    #: Join algorithms this model prices; enumerators evaluate each.
+    methods: tuple[JoinMethod, ...] = JOIN_METHODS
+
+    @abstractmethod
+    def scan_cost(self, rows: float) -> float:
+        """Cost of scanning a base relation of ``rows`` tuples."""
+
+    @abstractmethod
+    def join_cost(
+        self,
+        method: JoinMethod,
+        left_rows: float,
+        right_rows: float,
+        out_rows: float,
+    ) -> float:
+        """Operator-local cost of one join (children excluded).
+
+        ``left_rows`` is the outer operand.
+        """
+
+    def cheapest_join(
+        self, left_rows: float, right_rows: float, out_rows: float
+    ) -> tuple[JoinMethod, float]:
+        """Cheapest method and its cost for the given operand sizes."""
+        best_method = self.methods[0]
+        best_cost = self.join_cost(best_method, left_rows, right_rows, out_rows)
+        for method in self.methods[1:]:
+            cost = self.join_cost(method, left_rows, right_rows, out_rows)
+            if cost < best_cost:
+                best_method, best_cost = method, cost
+        return best_method, best_cost
+
+
+class StandardCostModel(CostModel):
+    """Textbook single-metric cost model.
+
+    * nested loop: ``L + L·R``
+    * block nested loop: ``L + ⌈L / block⌉·R``
+    * hash: ``build·L + probe·R``
+    * sort-merge: ``L·log₂(L+1) + R·log₂(R+1) + L + R`` (symmetric)
+
+    Attributes:
+        block_size: Tuples per block for the block-nested-loop join.
+        hash_build_factor: Per-tuple cost of building the hash table.
+        hash_probe_factor: Per-tuple cost of probing.
+    """
+
+    methods = JOIN_METHODS
+
+    def __init__(
+        self,
+        block_size: int = 128,
+        hash_build_factor: float = 1.5,
+        hash_probe_factor: float = 1.0,
+    ) -> None:
+        if block_size < 1:
+            raise ValidationError(f"block_size must be >= 1, got {block_size}")
+        if hash_build_factor <= 0 or hash_probe_factor <= 0:
+            raise ValidationError("hash factors must be positive")
+        self.block_size = block_size
+        self.hash_build_factor = hash_build_factor
+        self.hash_probe_factor = hash_probe_factor
+
+    def scan_cost(self, rows: float) -> float:
+        return rows
+
+    def join_cost(
+        self,
+        method: JoinMethod,
+        left_rows: float,
+        right_rows: float,
+        out_rows: float,
+    ) -> float:
+        if method is JoinMethod.NESTED_LOOP:
+            return left_rows + left_rows * right_rows
+        if method is JoinMethod.BLOCK_NESTED_LOOP:
+            blocks = math.ceil(left_rows / self.block_size)
+            return left_rows + blocks * right_rows
+        if method is JoinMethod.HASH:
+            return (
+                self.hash_build_factor * left_rows
+                + self.hash_probe_factor * right_rows
+            )
+        if method is JoinMethod.SORT_MERGE:
+            return (
+                left_rows * math.log2(left_rows + 1.0)
+                + right_rows * math.log2(right_rows + 1.0)
+                + left_rows
+                + right_rows
+            )
+        raise ValidationError(f"unpriced join method {method!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"StandardCostModel(block_size={self.block_size}, "
+            f"hash_build_factor={self.hash_build_factor}, "
+            f"hash_probe_factor={self.hash_probe_factor})"
+        )
+
+
+class CoutCostModel(CostModel):
+    """The ``C_out`` metric: cost of a plan = sum of intermediate sizes.
+
+    A single generic join method is priced so that each join contributes
+    exactly its output cardinality.  ``C_out`` is the metric under which
+    IKKBZ is provably optimal for acyclic queries and left-deep trees,
+    which the heuristics tests exploit.
+    """
+
+    methods = (JoinMethod.HASH,)
+
+    def scan_cost(self, rows: float) -> float:
+        return 0.0
+
+    def join_cost(
+        self,
+        method: JoinMethod,
+        left_rows: float,
+        right_rows: float,
+        out_rows: float,
+    ) -> float:
+        return out_rows
+
+    def __repr__(self) -> str:
+        return "CoutCostModel()"

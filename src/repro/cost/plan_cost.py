@@ -1,0 +1,46 @@
+"""Costing of explicit plan trees.
+
+The enumerators accumulate costs incrementally through memo entries; this
+module is the independent re-derivation used by tests (DP results must
+match tree costing exactly) and by the heuristics, which manipulate whole
+trees.
+"""
+
+from __future__ import annotations
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CostModel
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+
+
+def plan_rows(plan: PlanNode, estimator: CardinalityEstimator) -> float:
+    """Estimated output rows of ``plan``."""
+    return estimator.rows(plan.mask)
+
+
+def plan_cost(
+    plan: PlanNode,
+    estimator: CardinalityEstimator,
+    cost_model: CostModel,
+) -> float:
+    """Total cost of ``plan`` under ``cost_model``.
+
+    Computed bottom-up over the explicit tree; equals the cost a DP
+    enumerator would accumulate for the same shape and methods.
+    """
+    if isinstance(plan, ScanNode):
+        return cost_model.scan_cost(estimator.rows(plan.mask))
+    if isinstance(plan, JoinNode):
+        left_cost = plan_cost(plan.left, estimator, cost_model)
+        right_cost = plan_cost(plan.right, estimator, cost_model)
+        return (
+            left_cost
+            + right_cost
+            + cost_model.join_cost(
+                plan.method,
+                estimator.rows(plan.left.mask),
+                estimator.rows(plan.right.mask),
+                estimator.rows(plan.mask),
+            )
+        )
+    raise TypeError(f"not a plan node: {plan!r}")

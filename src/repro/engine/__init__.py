@@ -1,0 +1,22 @@
+"""Plan execution engine.
+
+A small in-memory executor that *runs* the plans the optimizers produce:
+synthetic tables are generated to match a query's catalog statistics
+(:mod:`repro.engine.data`), and plan trees are evaluated bottom-up with
+real implementations of all four join operators
+(:mod:`repro.engine.operators`).  Every operator computes the same join,
+so any two plans for the same query must return the same multiset of
+rows — the end-to-end check that an "optimal" plan is still a *correct*
+plan, exercised by the tests and the ``end_to_end`` example.
+"""
+
+from repro.engine.data import generate_database
+from repro.engine.executor import execute_plan
+from repro.engine.tables import DataTable, Database
+
+__all__ = [
+    "DataTable",
+    "Database",
+    "generate_database",
+    "execute_plan",
+]

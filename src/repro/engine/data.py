@@ -1,0 +1,86 @@
+"""Synthetic data generation matching a query's statistics.
+
+For every join edge ``(u, v)`` with selectivity ``s`` the generator gives
+both relations a dedicated join-key column drawn uniformly from a domain
+of size ``round(1 / s)``: under independence the expected equi-join
+selectivity is then ``1 / domain ≈ s``, so the optimizer's cardinality
+estimates approximately predict the real result sizes.
+
+Cardinalities are scaled down to ``max_rows`` (execution is for
+correctness validation, not throughput); the *ratios* between table sizes
+are preserved, which is what plan choice depends on.  Key domains are
+scaled by the same factor so that scaled joins still match (the
+foreign-key pattern: a parent table scaled to ``f·|P|`` rows keeps a key
+domain of ``f·d`` values), keeping expected join sizes proportional to
+the estimator's predictions.
+"""
+
+from __future__ import annotations
+
+from repro.engine.tables import Database, DataTable
+from repro.query.joingraph import Query
+from repro.util.errors import ValidationError
+from repro.util.rng import derive_rng
+
+
+def edge_column(edge_index: int) -> str:
+    """Name of the join-key column for edge ``edge_index``."""
+    return f"k{edge_index}"
+
+
+def scale_factor(query: Query, max_rows: int) -> float:
+    """Down-scaling factor so the largest table has ``max_rows`` rows."""
+    peak = max(query.cardinalities)
+    return 1.0 if peak <= max_rows else max_rows / peak
+
+
+def scaled_cardinalities(query: Query, max_rows: int) -> list[int]:
+    """Scale the catalog cardinalities so the largest is ``max_rows``."""
+    factor = scale_factor(query, max_rows)
+    return [max(1, round(c * factor)) for c in query.cardinalities]
+
+
+def generate_database(
+    query: Query,
+    seed: int = 0,
+    max_rows: int = 1000,
+) -> Database:
+    """Materialize synthetic tables for ``query``.
+
+    Each table gets one ``rowid`` column plus one join-key column per
+    incident edge.  Deterministic in ``seed``.
+    """
+    if max_rows < 1:
+        raise ValidationError(f"max_rows must be >= 1, got {max_rows}")
+    graph = query.graph
+    sizes = scaled_cardinalities(query, max_rows)
+
+    # Edge -> key-domain size, scaled with the tables.  Domains below 1
+    # make every key equal (selectivity 1); clamp at 1.
+    factor = scale_factor(query, max_rows)
+    domains = [
+        max(1, round(factor / edge.selectivity)) for edge in graph.edges
+    ]
+    incident: list[list[int]] = [[] for _ in range(query.n)]
+    for edge_index, edge in enumerate(graph.edges):
+        incident[edge.u].append(edge_index)
+        incident[edge.v].append(edge_index)
+
+    database = Database()
+    for rel in range(query.n):
+        rng = derive_rng(seed, "engine-table", rel)
+        columns = ["rowid"] + [edge_column(e) for e in incident[rel]]
+        rows = []
+        for rowid in range(sizes[rel]):
+            keys = tuple(
+                rng.randrange(domains[e]) for e in incident[rel]
+            )
+            rows.append((rowid, *keys))
+        database.add(
+            DataTable(
+                name=query.relation_names[rel],
+                columns=columns,
+                rows=rows,
+            )
+        )
+    return database

@@ -1,0 +1,112 @@
+"""Bottom-up plan execution.
+
+Evaluates a plan tree against a :class:`~repro.engine.tables.Database`
+generated for the same query.  Join predicates are derived from the query
+graph: every edge crossing the operand split contributes one equi-join
+predicate on that edge's key columns; a split with no crossing edge is a
+cross product.
+
+Intermediate results carry a *layout* mapping each base relation to the
+absolute positions of its columns in the concatenated tuples, so
+predicates can be resolved at any depth of the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.data import edge_column
+from repro.engine.operators import JOIN_IMPLEMENTATIONS
+from repro.engine.tables import Database
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.query.joingraph import Query
+from repro.util.bitsets import bits_of
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class _Intermediate:
+    """Rows plus the column layout of the relations they cover."""
+
+    rows: list[tuple]
+    width: int
+    layout: dict[int, dict[str, int]]
+
+
+def execute_plan(
+    plan: PlanNode, query: Query, database: Database
+) -> list[tuple]:
+    """Run ``plan`` over ``database`` and return the result tuples.
+
+    The plan must cover relations of ``query`` only; the database must
+    contain one table per covered relation (as produced by
+    :func:`repro.engine.data.generate_database`).
+
+    Result columns are returned in *canonical order* — covered relations
+    ascending, each relation's columns in table order — regardless of the
+    plan's leaf order, so results of different plans for the same query
+    are directly comparable (row order still depends on the operators).
+    """
+    edge_index = {
+        (e.u, e.v): i for i, e in enumerate(query.graph.edges)
+    }
+
+    def crossing_predicates(
+        left: _Intermediate, right: _Intermediate
+    ) -> list[tuple[int, int]]:
+        predicates = []
+        for u in left.layout:
+            for v in right.layout:
+                key = (u, v) if u < v else (v, u)
+                idx = edge_index.get(key)
+                if idx is None:
+                    continue
+                column = edge_column(idx)
+                predicates.append(
+                    (left.layout[u][column], right.layout[v][column])
+                )
+        return predicates
+
+    def evaluate(node: PlanNode) -> _Intermediate:
+        if isinstance(node, ScanNode):
+            name = query.relation_names[node.relation]
+            table = database.table(name)
+            layout = {
+                node.relation: {
+                    col: i for i, col in enumerate(table.columns)
+                }
+            }
+            return _Intermediate(
+                rows=list(table.rows), width=len(table.columns), layout=layout
+            )
+        if isinstance(node, JoinNode):
+            left = evaluate(node.left)
+            right = evaluate(node.right)
+            predicates = crossing_predicates(left, right)
+            impl = JOIN_IMPLEMENTATIONS[node.method.name]
+            rows = impl(left.rows, right.rows, predicates)
+            layout = dict(left.layout)
+            for rel, cols in right.layout.items():
+                layout[rel] = {
+                    col: pos + left.width for col, pos in cols.items()
+                }
+            return _Intermediate(
+                rows=rows, width=left.width + right.width, layout=layout
+            )
+        raise ValidationError(f"cannot execute node {node!r}")
+
+    covered = sorted(bits_of(plan.mask))
+    for rel in covered:
+        name = query.relation_names[rel]
+        if name not in database.tables:
+            raise ValidationError(f"database is missing table {name!r}")
+    result = evaluate(plan)
+    # Remap to canonical column order.
+    permutation: list[int] = []
+    for rel in covered:
+        table = database.table(query.relation_names[rel])
+        positions = result.layout[rel]
+        permutation.extend(positions[col] for col in table.columns)
+    if permutation == list(range(result.width)):
+        return result.rows
+    return [tuple(row[i] for i in permutation) for row in result.rows]

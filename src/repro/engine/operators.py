@@ -1,0 +1,114 @@
+"""Join operator implementations.
+
+Each operator consumes two lists of tuples plus the list of equi-join
+column index pairs and returns the concatenated matching tuples.  All four
+compute exactly the same join — the plan executor picks the one named by
+the plan node, and the tests assert multiset equality across operators.
+
+An empty predicate list means cross product; the nested-loop family
+handles it directly, the key-based operators fall back to nested loop.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ValidationError
+
+Predicates = list[tuple[int, int]]
+"""Pairs ``(left_col, right_col)`` that must be equal."""
+
+
+def _keys(row: tuple, cols: list[int]):
+    return tuple(row[c] for c in cols)
+
+
+def nested_loop_join(
+    left: list[tuple], right: list[tuple], predicates: Predicates
+) -> list[tuple]:
+    """Tuple-at-a-time nested loop."""
+    out = []
+    for lrow in left:
+        for rrow in right:
+            if all(lrow[lc] == rrow[rc] for lc, rc in predicates):
+                out.append(lrow + rrow)
+    return out
+
+
+def block_nested_loop_join(
+    left: list[tuple],
+    right: list[tuple],
+    predicates: Predicates,
+    block_size: int = 128,
+) -> list[tuple]:
+    """Block nested loop: outer consumed in blocks, inner rescanned per
+    block.  Same result as plain nested loop, different access pattern."""
+    if block_size < 1:
+        raise ValidationError(f"block_size must be >= 1, got {block_size}")
+    out = []
+    for start in range(0, len(left), block_size):
+        block = left[start : start + block_size]
+        for rrow in right:
+            for lrow in block:
+                if all(lrow[lc] == rrow[rc] for lc, rc in predicates):
+                    out.append(lrow + rrow)
+    return out
+
+
+def hash_join(
+    left: list[tuple], right: list[tuple], predicates: Predicates
+) -> list[tuple]:
+    """Classic build (left) / probe (right) hash join."""
+    if not predicates:
+        return nested_loop_join(left, right, predicates)
+    lcols = [lc for lc, _ in predicates]
+    rcols = [rc for _, rc in predicates]
+    table: dict[tuple, list[tuple]] = {}
+    for lrow in left:
+        table.setdefault(_keys(lrow, lcols), []).append(lrow)
+    out = []
+    for rrow in right:
+        for lrow in table.get(_keys(rrow, rcols), ()):
+            out.append(lrow + rrow)
+    return out
+
+
+def sort_merge_join(
+    left: list[tuple], right: list[tuple], predicates: Predicates
+) -> list[tuple]:
+    """Sort both inputs on the join keys, merge matching key groups."""
+    if not predicates:
+        return nested_loop_join(left, right, predicates)
+    lcols = [lc for lc, _ in predicates]
+    rcols = [rc for _, rc in predicates]
+    lsorted = sorted(left, key=lambda r: _keys(r, lcols))
+    rsorted = sorted(right, key=lambda r: _keys(r, rcols))
+    out = []
+    i = j = 0
+    while i < len(lsorted) and j < len(rsorted):
+        lkey = _keys(lsorted[i], lcols)
+        rkey = _keys(rsorted[j], rcols)
+        if lkey < rkey:
+            i += 1
+        elif lkey > rkey:
+            j += 1
+        else:
+            # Gather both key groups and emit their cross product.
+            i_end = i
+            while i_end < len(lsorted) and _keys(lsorted[i_end], lcols) == lkey:
+                i_end += 1
+            j_end = j
+            while j_end < len(rsorted) and _keys(rsorted[j_end], rcols) == rkey:
+                j_end += 1
+            for lrow in lsorted[i:i_end]:
+                for rrow in rsorted[j:j_end]:
+                    out.append(lrow + rrow)
+            i, j = i_end, j_end
+    return out
+
+
+JOIN_IMPLEMENTATIONS = {
+    "NESTED_LOOP": nested_loop_join,
+    "BLOCK_NESTED_LOOP": block_nested_loop_join,
+    "HASH": hash_join,
+    "SORT_MERGE": sort_merge_join,
+}
+"""Operator implementations keyed by :class:`repro.plans.JoinMethod` name."""

@@ -1,0 +1,63 @@
+"""In-memory tables for the execution engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class DataTable:
+    """A materialized relation.
+
+    Attributes:
+        name: Relation name.
+        columns: Column names; ``rows[i][j]`` is column ``columns[j]``.
+        rows: Tuples, one per row.
+    """
+
+    name: str
+    columns: list[str]
+    rows: list[tuple]
+
+    def __post_init__(self) -> None:
+        width = len(self.columns)
+        for row in self.rows:
+            if len(row) != width:
+                raise ValidationError(
+                    f"table {self.name!r}: row width {len(row)} != "
+                    f"{width} columns"
+                )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise KeyError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+
+@dataclass
+class Database:
+    """A set of materialized relations keyed by name."""
+
+    tables: dict[str, DataTable] = field(default_factory=dict)
+
+    def add(self, table: DataTable) -> None:
+        if table.name in self.tables:
+            raise ValidationError(f"duplicate table {table.name!r}")
+        self.tables[table.name] = table
+
+    def table(self, name: str) -> DataTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"database has no table {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.tables)

@@ -1,0 +1,33 @@
+"""Serial dynamic-programming join enumerators.
+
+Implements the three classic bottom-up enumerators the paper builds on —
+``DPsize`` (size-driven, System-R/DB2/PostgreSQL style), ``DPsub``
+(subset-driven), and ``DPccp`` (connected-subgraph/complement pairs,
+Moerkotte & Neumann 2006) — plus an exhaustive reference enumerator used to
+verify optimality in tests.  The skip-vector-accelerated ``DPsva`` lives in
+:mod:`repro.sva`.
+"""
+
+from repro.enumerate.base import Enumerator, OptimizationResult
+from repro.enumerate.dpccp import DPccp
+from repro.enumerate.dpsize import DPsize
+from repro.enumerate.dpsub import DPsub
+from repro.enumerate.exhaustive import ExhaustiveEnumerator, all_plan_trees
+
+SERIAL_ALGORITHMS = {
+    "dpsize": DPsize,
+    "dpsub": DPsub,
+    "dpccp": DPccp,
+}
+"""Registry of serial enumerators keyed by benchmark name."""
+
+__all__ = [
+    "Enumerator",
+    "OptimizationResult",
+    "DPsize",
+    "DPsub",
+    "DPccp",
+    "ExhaustiveEnumerator",
+    "all_plan_trees",
+    "SERIAL_ALGORITHMS",
+]

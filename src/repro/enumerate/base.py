@@ -1,0 +1,122 @@
+"""Common infrastructure for enumerators.
+
+Every enumerator (serial or parallel) produces an
+:class:`OptimizationResult`: the optimal plan tree, its cost, the exact
+operation counts, and wall-clock time.  Serial enumerators subclass
+:class:`Enumerator` and implement :meth:`Enumerator.populate`, which fills
+an already scan-seeded memo.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CostModel, StandardCostModel
+from repro.memo.counters import WorkMeter
+from repro.memo.table import Memo, extract_plan
+from repro.plans.nodes import PlanNode
+from repro.query.context import QueryContext
+from repro.query.joingraph import Query
+from repro.util.errors import OptimizationError
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimization run.
+
+    Attributes:
+        algorithm: Name of the enumerator that produced the result.
+        plan: Optimal plan tree.
+        cost: Total plan cost under the run's cost model.
+        rows: Estimated result cardinality.
+        meter: Exact operation counts for the whole run.
+        memo_entries: Number of quantifier sets memoized (the paper's
+            main-memory proxy).
+        elapsed_seconds: Wall-clock optimization time.
+        extras: Algorithm-specific extra reporting (e.g. the parallel
+            framework attaches its simulated timeline here).
+    """
+
+    algorithm: str
+    plan: PlanNode
+    cost: float
+    rows: float
+    meter: WorkMeter
+    memo_entries: int
+    elapsed_seconds: float
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm}: cost={self.cost:.4g} rows={self.rows:.4g} "
+            f"pairs={self.meter.pairs_considered} "
+            f"memo={self.memo_entries} "
+            f"time={self.elapsed_seconds * 1e3:.2f}ms"
+        )
+
+
+def make_context(query: Query | QueryContext) -> QueryContext:
+    """Coerce a query into a compiled context."""
+    if isinstance(query, QueryContext):
+        return query
+    return QueryContext(query)
+
+
+class Enumerator(ABC):
+    """Base class for serial enumerators.
+
+    Args:
+        cross_products: When True, all quantifier sets are admissible and
+            every disjoint split is a valid join (missing edges behave as
+            selectivity-1 cross joins).  When False (default, and the
+            standard optimizer setting), only connected sets are memoized
+            and only edged splits are joined.
+    """
+
+    name: str = "enumerator"
+
+    def __init__(self, cross_products: bool = False) -> None:
+        self.cross_products = cross_products
+
+    def optimize(
+        self,
+        query: Query | QueryContext,
+        cost_model: CostModel | None = None,
+    ) -> OptimizationResult:
+        """Find the optimal plan for ``query``."""
+        ctx = make_context(query)
+        if not self.cross_products and not ctx.query.graph.is_connected():
+            raise OptimizationError(
+                "join graph is disconnected; enable cross_products"
+            )
+        cost_model = cost_model or StandardCostModel()
+        estimator = CardinalityEstimator(ctx)
+        meter = WorkMeter()
+        memo = Memo(ctx, cost_model, estimator=estimator, meter=meter)
+        start = time.perf_counter()
+        memo.init_scans()
+        if ctx.n > 1:
+            self.populate(memo)
+        elapsed = time.perf_counter() - start
+        best = memo.best()
+        return OptimizationResult(
+            algorithm=self.name,
+            plan=extract_plan(memo),
+            cost=best.cost,
+            rows=best.rows,
+            meter=meter,
+            memo_entries=len(memo),
+            elapsed_seconds=elapsed,
+        )
+
+    @abstractmethod
+    def populate(self, memo: Memo) -> None:
+        """Fill a scan-seeded memo with join entries up to the full set."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(cross_products={self.cross_products})"

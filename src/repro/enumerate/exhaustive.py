@@ -1,0 +1,113 @@
+"""Exhaustive plan enumeration (reference implementation).
+
+Enumerates *every* plan tree — all bushy shapes, all operand orders, all
+join methods — without memoization, and scores each with the independent
+tree-costing path (:func:`repro.cost.plan_cost.plan_cost`).  Exponential in
+the worst way, usable only for small queries, and exactly what the test
+suite needs: any DP enumerator must match its optimum bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CostModel, StandardCostModel
+from repro.cost.plan_cost import plan_cost
+from repro.enumerate.base import OptimizationResult, make_context
+from repro.memo.counters import WorkMeter
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.query.context import QueryContext
+from repro.query.joingraph import Query
+from repro.util.bitsets import first_bit, iter_submasks, popcount
+from repro.util.errors import OptimizationError, ValidationError
+
+
+def all_plan_trees(
+    ctx: QueryContext,
+    mask: int | None = None,
+    cross_products: bool = False,
+    methods=None,
+) -> Iterator[PlanNode]:
+    """Yield every plan tree for ``mask`` (default: the full query).
+
+    With ``cross_products=False``, only trees whose every join has a
+    connecting edge are produced.  Join methods default to the full
+    operator set.
+    """
+    from repro.plans.operators import JOIN_METHODS
+
+    if mask is None:
+        mask = ctx.all_mask
+    methods = tuple(methods) if methods is not None else JOIN_METHODS
+
+    def build(target: int) -> Iterator[PlanNode]:
+        if popcount(target) == 1:
+            yield ScanNode(relation=first_bit(target))
+            return
+        for left_mask in iter_submasks(target):
+            right_mask = target ^ left_mask
+            if not cross_products and not ctx.connects(left_mask, right_mask):
+                continue
+            for left in build(left_mask):
+                for right in build(right_mask):
+                    for method in methods:
+                        yield JoinNode(left=left, right=right, method=method)
+
+    yield from build(mask)
+
+
+class ExhaustiveEnumerator:
+    """Brute-force optimizer for verification.
+
+    Refuses queries beyond ``max_relations`` — tree counts are Catalan-scale.
+    """
+
+    name = "exhaustive"
+
+    def __init__(self, cross_products: bool = False, max_relations: int = 8) -> None:
+        self.cross_products = cross_products
+        self.max_relations = max_relations
+
+    def optimize(
+        self,
+        query: Query | QueryContext,
+        cost_model: CostModel | None = None,
+    ) -> OptimizationResult:
+        """Score every plan tree and return the cheapest."""
+        import time
+
+        ctx = make_context(query)
+        if ctx.n > self.max_relations:
+            raise ValidationError(
+                f"exhaustive enumeration limited to {self.max_relations} "
+                f"relations, got {ctx.n}"
+            )
+        cost_model = cost_model or StandardCostModel()
+        estimator = CardinalityEstimator(ctx)
+        start = time.perf_counter()
+        best_plan: PlanNode | None = None
+        best_cost = float("inf")
+        count = 0
+        for plan in all_plan_trees(ctx, cross_products=self.cross_products):
+            count += 1
+            cost = plan_cost(plan, estimator, cost_model)
+            if cost < best_cost:
+                best_cost = cost
+                best_plan = plan
+        if best_plan is None:
+            raise OptimizationError(
+                "no plan exists: disconnected graph without cross products"
+            )
+        meter = WorkMeter()
+        meter.plans_emitted = count
+        return OptimizationResult(
+            algorithm=self.name,
+            plan=best_plan,
+            cost=best_cost,
+            rows=estimator.rows(ctx.all_mask),
+            meter=meter,
+            memo_entries=0,
+            elapsed_seconds=time.perf_counter() - start,
+            extras={"plans_scored": count},
+        )

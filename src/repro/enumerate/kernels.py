@@ -1,0 +1,96 @@
+"""Enumeration kernels.
+
+The innermost loops of ``DPsize`` and ``DPsub``, factored out so that the
+serial enumerators and the parallel framework run *identical* code: a
+parallel run is the same kernel invoked over index sub-ranges by different
+(virtual or real) threads.  Keeping one code path is what makes operation
+counts comparable across serial and parallel runs — the basis of the
+simulated-speedup methodology.
+"""
+
+from __future__ import annotations
+
+from repro.memo.counters import WorkMeter
+from repro.memo.table import Memo
+from repro.query.context import QueryContext
+
+
+def dpsize_pair_kernel(
+    memo: Memo,
+    ctx: QueryContext,
+    outer_sets: list[int],
+    inner_sets: list[int],
+    outer_start: int,
+    outer_stop: int,
+    require_connected: bool,
+    meter: WorkMeter,
+) -> None:
+    """DPsize inner loop over one block of outer sets.
+
+    For each outer set in ``outer_sets[outer_start:outer_stop]``, every
+    inner set is inspected; pairs failing disjointness (the dominant
+    rejection, and the one skip vector arrays eliminate) or connectivity
+    are counted and skipped, surviving pairs are costed into the memo.
+    """
+    connects = ctx.connects
+    consider = memo.consider_join
+    for i in range(outer_start, outer_stop):
+        outer = outer_sets[i]
+        for inner in inner_sets:
+            meter.pairs_considered += 1
+            if outer & inner:
+                meter.disjoint_fail += 1
+                continue
+            if require_connected:
+                meter.conn_checks += 1
+                if not connects(outer, inner):
+                    meter.connectivity_fail += 1
+                    continue
+            meter.pairs_valid += 1
+            consider(outer, inner, meter)
+
+
+def dpsub_block_kernel(
+    memo: Memo,
+    ctx: QueryContext,
+    candidate_masks: list[int],
+    start: int,
+    stop: int,
+    require_connected: bool,
+    meter: WorkMeter,
+) -> None:
+    """DPsub inner loop over one block of candidate result sets.
+
+    ``candidate_masks`` is the raw size-``k`` subset stratum; when cross
+    products are disabled each candidate is first connectivity-checked
+    (metered — DPsub cannot avoid inspecting every subset, which is its
+    defining inefficiency on sparse graphs).  For each surviving result
+    set, every proper non-empty submask is tried as the outer operand (its
+    complement within the set is the inner operand).  A split is valid iff
+    both halves are memoized (i.e. connected); a crossing edge then exists
+    automatically because the connected result set is partitioned into two
+    connected halves.
+    """
+    entries_contain = memo.__contains__
+    consider = memo.consider_join
+    is_connected = ctx.is_connected
+    for idx in range(start, stop):
+        result = candidate_masks[idx]
+        if require_connected:
+            meter.conn_checks += 1
+            if not is_connected(result):
+                meter.connectivity_fail += 1
+                continue
+        sub = (result - 1) & result
+        while sub:
+            meter.submask_steps += 1
+            meter.pairs_considered += 1
+            complement = result ^ sub
+            if require_connected and (
+                not entries_contain(sub) or not entries_contain(complement)
+            ):
+                meter.operand_missing += 1
+            else:
+                meter.pairs_valid += 1
+                consider(sub, complement, meter)
+            sub = (sub - 1) & result

@@ -1,0 +1,34 @@
+"""Heuristic join-ordering baselines.
+
+The DP enumerators guarantee optimal plans at exponential cost; these are
+the classic polynomial / randomized alternatives the join-ordering
+literature (Steinbrunn et al., VLDBJ 1997) benchmarks against, used here
+for the plan-quality context experiment (E9):
+
+* :class:`~repro.heuristics.goo.GOO` — greedy operator ordering (bushy).
+* :class:`~repro.heuristics.ikkbz.IKKBZ` — optimal left-deep ordering for
+  acyclic queries under ASI cost functions.
+* :class:`~repro.heuristics.local_search.IteratedImprovement` and
+  :class:`~repro.heuristics.local_search.SimulatedAnnealing` — randomized
+  search over left-deep orders.
+"""
+
+from repro.heuristics.goo import GOO
+from repro.heuristics.ikkbz import IKKBZ
+from repro.heuristics.local_search import IteratedImprovement, SimulatedAnnealing
+
+HEURISTICS = {
+    "goo": GOO,
+    "ikkbz": IKKBZ,
+    "iterated_improvement": IteratedImprovement,
+    "simulated_annealing": SimulatedAnnealing,
+}
+"""Registry of heuristic optimizers keyed by benchmark name."""
+
+__all__ = [
+    "GOO",
+    "IKKBZ",
+    "IteratedImprovement",
+    "SimulatedAnnealing",
+    "HEURISTICS",
+]

@@ -1,0 +1,107 @@
+"""Shared machinery for the heuristic optimizers.
+
+Left-deep plans are manipulated as relation orders (permutations).  Costing
+an order picks the cheapest join method per step — the same choice the DP
+enumerators make — so heuristic costs are directly comparable to DP optima.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CostModel
+from repro.enumerate.base import OptimizationResult, make_context
+from repro.memo.counters import WorkMeter
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.query.context import QueryContext
+
+
+def left_deep_cost(
+    ctx: QueryContext,
+    estimator: CardinalityEstimator,
+    cost_model: CostModel,
+    order,
+    meter: WorkMeter | None = None,
+) -> float:
+    """Cost of the left-deep plan joining relations in ``order``.
+
+    Each join uses the cheapest method for its operand sizes.  Orders may
+    imply cross products (prefixes without a connecting edge); the
+    estimator prices those with selectivity 1 automatically.
+    """
+    prefix = 1 << order[0]
+    prefix_rows = estimator.rows(prefix)
+    cost = cost_model.scan_cost(prefix_rows)
+    for rel in order[1:]:
+        mask = 1 << rel
+        right_rows = estimator.rows(mask)
+        cost += cost_model.scan_cost(right_rows)
+        prefix |= mask
+        out_rows = estimator.rows(prefix)
+        _, join_cost = cost_model.cheapest_join(
+            prefix_rows, right_rows, out_rows
+        )
+        cost += join_cost
+        prefix_rows = out_rows
+        if meter is not None:
+            meter.plans_emitted += len(cost_model.methods)
+    return cost
+
+
+def left_deep_plan(
+    ctx: QueryContext,
+    estimator: CardinalityEstimator,
+    cost_model: CostModel,
+    order,
+) -> PlanNode:
+    """Materialize the left-deep tree for ``order`` with cheapest methods."""
+    plan: PlanNode = ScanNode(relation=order[0])
+    prefix = 1 << order[0]
+    prefix_rows = estimator.rows(prefix)
+    for rel in order[1:]:
+        mask = 1 << rel
+        right_rows = estimator.rows(mask)
+        prefix |= mask
+        out_rows = estimator.rows(prefix)
+        method, _ = cost_model.cheapest_join(prefix_rows, right_rows, out_rows)
+        plan = JoinNode(left=plan, right=ScanNode(relation=rel), method=method)
+        prefix_rows = out_rows
+    return plan
+
+
+def order_is_connected(ctx: QueryContext, order) -> bool:
+    """True iff every prefix of ``order`` induces a connected subgraph."""
+    prefix = 1 << order[0]
+    for rel in order[1:]:
+        mask = 1 << rel
+        if not ctx.connects(prefix, mask):
+            return False
+        prefix |= mask
+    return True
+
+
+def result_from_order(
+    name: str,
+    query,
+    cost_model: CostModel,
+    order,
+    meter: WorkMeter,
+    started: float,
+    extras: dict | None = None,
+) -> OptimizationResult:
+    """Package a left-deep order as an :class:`OptimizationResult`."""
+    ctx = make_context(query)
+    estimator = CardinalityEstimator(ctx)
+    plan = left_deep_plan(ctx, estimator, cost_model, order)
+    cost = left_deep_cost(ctx, estimator, cost_model, order)
+    return OptimizationResult(
+        algorithm=name,
+        plan=plan,
+        cost=cost,
+        rows=estimator.rows(ctx.all_mask),
+        meter=meter,
+        memo_entries=0,
+        elapsed_seconds=time.perf_counter() - started,
+        extras={"order": list(order), **(extras or {})},
+    )

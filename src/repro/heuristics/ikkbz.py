@@ -1,0 +1,197 @@
+"""IKKBZ — optimal left-deep ordering for acyclic queries.
+
+The Ibaraki–Kameda / Krishnamurthy–Boral–Zaniolo algorithm: for each choice
+of start relation, the query tree becomes a precedence tree; subtree chains
+are merged by *rank* ``(T - 1) / C`` and contradictory sequences are
+normalized into compound modules.  Under an ASI cost function (``C_out``
+here) the resulting order is the provably cheapest left-deep,
+cross-product-free join order for that start relation; trying every start
+relation gives the global optimum in O(n²) work per root.
+
+Cyclic query graphs are handled with the classic fallback: run IKKBZ on a
+minimum-selectivity spanning tree (``on_cycles="spanning_tree"``, the
+default) or refuse (``on_cycles="error"``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CostModel, StandardCostModel
+from repro.enumerate.base import make_context
+from repro.heuristics.common import left_deep_cost, result_from_order
+from repro.memo.counters import WorkMeter
+from repro.query.context import QueryContext
+from repro.util.errors import OptimizationError, ValidationError
+
+
+class _Module:
+    """A sequence of relations treated as one unit in rank space."""
+
+    __slots__ = ("relations", "T", "C")
+
+    def __init__(self, relations: list[int], T: float, C: float) -> None:
+        self.relations = relations
+        self.T = T
+        self.C = C
+
+    @property
+    def rank(self) -> float:
+        if self.C == 0:
+            return float("-inf")
+        return (self.T - 1.0) / self.C
+
+    def sort_key(self) -> tuple[float, int]:
+        return (self.rank, min(self.relations))
+
+
+def _combine(a: _Module, b: _Module) -> _Module:
+    """ASI concatenation: T multiplies, C composes."""
+    return _Module(a.relations + b.relations, a.T * b.T, a.C + a.T * b.C)
+
+
+def _spanning_tree_edges(ctx: QueryContext) -> dict[tuple[int, int], float]:
+    """Minimum-selectivity spanning tree (Kruskal), ascending selectivity.
+
+    Low-selectivity edges shrink intermediates fastest, so they are the
+    ones worth respecting when a cycle must be broken.
+    """
+    parent = list(range(ctx.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    chosen: dict[tuple[int, int], float] = {}
+    edges = sorted(ctx.edge_selectivity.items(), key=lambda kv: (kv[1], kv[0]))
+    for (u, v), sel in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            chosen[(u, v)] = sel
+    return chosen
+
+
+class IKKBZ:
+    """IKKBZ left-deep optimizer."""
+
+    name = "ikkbz"
+
+    def __init__(self, on_cycles: str = "spanning_tree") -> None:
+        if on_cycles not in ("spanning_tree", "error"):
+            raise ValidationError(
+                f"on_cycles must be 'spanning_tree' or 'error', "
+                f"got {on_cycles!r}"
+            )
+        self.on_cycles = on_cycles
+
+    def optimize(self, query, cost_model: CostModel | None = None):
+        """Best IKKBZ order over all start relations.
+
+        The per-root orders are each C_out-optimal; the final winner is
+        chosen under the caller's cost model so results are comparable to
+        the DP optima.
+        """
+        started = time.perf_counter()
+        ctx = make_context(query)
+        cost_model = cost_model or StandardCostModel()
+        if not ctx.query.graph.is_connected():
+            raise OptimizationError("IKKBZ requires a connected join graph")
+
+        edges = dict(ctx.edge_selectivity)
+        is_tree = len(edges) == ctx.n - 1
+        if not is_tree:
+            if self.on_cycles == "error":
+                raise ValidationError(
+                    "IKKBZ requires an acyclic join graph "
+                    "(or on_cycles='spanning_tree')"
+                )
+            edges = _spanning_tree_edges(ctx)
+
+        adjacency: list[list[tuple[int, float]]] = [[] for _ in range(ctx.n)]
+        for (u, v), sel in edges.items():
+            adjacency[u].append((v, sel))
+            adjacency[v].append((u, sel))
+        for entry in adjacency:
+            entry.sort()
+
+        estimator = CardinalityEstimator(ctx)
+        meter = WorkMeter()
+        best_order: list[int] | None = None
+        best_cost = float("inf")
+        for root in range(ctx.n):
+            order = self._order_for_root(ctx, adjacency, root)
+            meter.plans_emitted += ctx.n - 1
+            cost = left_deep_cost(ctx, estimator, cost_model, order)
+            if cost < best_cost:
+                best_cost = cost
+                best_order = order
+        assert best_order is not None
+        return result_from_order(
+            self.name,
+            ctx,
+            cost_model,
+            best_order,
+            meter,
+            started,
+            extras={"used_spanning_tree": not is_tree},
+        )
+
+    def _order_for_root(
+        self,
+        ctx: QueryContext,
+        adjacency: list[list[tuple[int, float]]],
+        root: int,
+    ) -> list[int]:
+        """C_out-optimal left-deep order starting at ``root``."""
+        children: list[list[tuple[int, float]]] = [[] for _ in range(ctx.n)]
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            node = frontier.pop()
+            for neighbour, sel in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    children[node].append((neighbour, sel))
+                    frontier.append(neighbour)
+
+        def chain_of(node: int, selectivity: float) -> list[_Module]:
+            """Normalized rank-ascending chain for the subtree at ``node``
+            (including ``node`` itself as head)."""
+            t = selectivity * ctx.cards[node]
+            head = _Module([node], t, t)
+            merged: list[_Module] = []
+            for child, sel in children[node]:
+                merged = _merge_chains(merged, chain_of(child, sel))
+            # Normalize: the head is positionally fixed; absorb successors
+            # whose rank falls below the head's.
+            while merged and head.rank > merged[0].rank:
+                head = _combine(head, merged.pop(0))
+            return [head] + merged
+
+        sequence: list[_Module] = []
+        for child, sel in children[root]:
+            sequence = _merge_chains(sequence, chain_of(child, sel))
+        order = [root]
+        for module in sequence:
+            order.extend(module.relations)
+        return order
+
+
+def _merge_chains(a: list[_Module], b: list[_Module]) -> list[_Module]:
+    """Merge two rank-ascending chains into one (stable, deterministic)."""
+    out: list[_Module] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i].sort_key() <= b[j].sort_key():
+            out.append(a[i])
+            i += 1
+        else:
+            out.append(b[j])
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return out

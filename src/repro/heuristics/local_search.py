@@ -1,0 +1,164 @@
+"""Randomized join-order search: iterated improvement and simulated
+annealing (Steinbrunn et al. configurations).
+
+Both search the space of left-deep orders with the classic move set —
+swap two relations, or 3-cycle three of them — costing each order with the
+cheapest join method per step.  Cross products are permitted (an order may
+join disconnected prefixes), exactly as in the randomized-optimization
+literature, so these heuristics are compared against DP run with
+``cross_products=True`` in E9.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CostModel, StandardCostModel
+from repro.enumerate.base import make_context
+from repro.heuristics.common import left_deep_cost, result_from_order
+from repro.memo.counters import WorkMeter
+from repro.util.errors import ValidationError
+from repro.util.rng import derive_rng
+
+
+def _random_neighbour(order: list[int], rng) -> list[int]:
+    """Apply one random move: swap (p=0.5) or 3-cycle (p=0.5)."""
+    n = len(order)
+    out = list(order)
+    if n >= 3 and rng.random() < 0.5:
+        i, j, k = rng.sample(range(n), 3)
+        out[i], out[j], out[k] = out[j], out[k], out[i]
+    else:
+        i, j = rng.sample(range(n), 2)
+        out[i], out[j] = out[j], out[i]
+    return out
+
+
+class IteratedImprovement:
+    """Multi-start hill climbing over left-deep orders.
+
+    Args:
+        restarts: Independent random starts.
+        max_moves: Neighbour evaluations per start without improvement
+            before the start is abandoned (local-minimum declaration).
+        seed: RNG seed; runs are fully deterministic per seed.
+    """
+
+    name = "iterated_improvement"
+
+    def __init__(self, restarts: int = 8, max_moves: int = 100, seed: int = 0) -> None:
+        if restarts < 1 or max_moves < 1:
+            raise ValidationError("restarts and max_moves must be >= 1")
+        self.restarts = restarts
+        self.max_moves = max_moves
+        self.seed = seed
+
+    def optimize(self, query, cost_model: CostModel | None = None):
+        """Best order over all restarts."""
+        started = time.perf_counter()
+        ctx = make_context(query)
+        cost_model = cost_model or StandardCostModel()
+        estimator = CardinalityEstimator(ctx)
+        meter = WorkMeter()
+
+        best_order: list[int] | None = None
+        best_cost = float("inf")
+        for restart in range(self.restarts):
+            rng = derive_rng(self.seed, "ii", restart)
+            order = list(range(ctx.n))
+            rng.shuffle(order)
+            cost = left_deep_cost(ctx, estimator, cost_model, order, meter)
+            stall = 0
+            while stall < self.max_moves:
+                candidate = _random_neighbour(order, rng)
+                candidate_cost = left_deep_cost(
+                    ctx, estimator, cost_model, candidate, meter
+                )
+                if candidate_cost < cost:
+                    order, cost = candidate, candidate_cost
+                    stall = 0
+                else:
+                    stall += 1
+            if cost < best_cost:
+                best_cost, best_order = cost, order
+        assert best_order is not None
+        return result_from_order(
+            self.name, ctx, cost_model, best_order, meter, started,
+            extras={"restarts": self.restarts},
+        )
+
+
+class SimulatedAnnealing:
+    """Simulated annealing over left-deep orders.
+
+    Geometric cooling from a start temperature calibrated to the initial
+    cost; uphill moves accepted with probability ``exp(-delta / T)``.
+
+    Args:
+        start_temperature_factor: Start temperature as a fraction of the
+            initial plan cost.
+        cooling: Geometric cooling factor per round.
+        moves_per_round: Neighbour evaluations per temperature step.
+        min_temperature_factor: Stop when the temperature falls below this
+            fraction of the initial cost.
+        seed: RNG seed.
+    """
+
+    name = "simulated_annealing"
+
+    def __init__(
+        self,
+        start_temperature_factor: float = 0.1,
+        cooling: float = 0.9,
+        moves_per_round: int = 40,
+        min_temperature_factor: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < cooling < 1:
+            raise ValidationError("cooling must be in (0, 1)")
+        if start_temperature_factor <= 0 or min_temperature_factor <= 0:
+            raise ValidationError("temperature factors must be positive")
+        if moves_per_round < 1:
+            raise ValidationError("moves_per_round must be >= 1")
+        self.start_temperature_factor = start_temperature_factor
+        self.cooling = cooling
+        self.moves_per_round = moves_per_round
+        self.min_temperature_factor = min_temperature_factor
+        self.seed = seed
+
+    def optimize(self, query, cost_model: CostModel | None = None):
+        """Anneal from a random order."""
+        started = time.perf_counter()
+        ctx = make_context(query)
+        cost_model = cost_model or StandardCostModel()
+        estimator = CardinalityEstimator(ctx)
+        meter = WorkMeter()
+        rng = derive_rng(self.seed, "sa")
+
+        order = list(range(ctx.n))
+        rng.shuffle(order)
+        cost = left_deep_cost(ctx, estimator, cost_model, order, meter)
+        best_order, best_cost = list(order), cost
+
+        temperature = self.start_temperature_factor * cost
+        floor = self.min_temperature_factor * cost
+        while temperature > floor:
+            for _ in range(self.moves_per_round):
+                candidate = _random_neighbour(order, rng)
+                candidate_cost = left_deep_cost(
+                    ctx, estimator, cost_model, candidate, meter
+                )
+                delta = candidate_cost - cost
+                if delta <= 0 or rng.random() < math.exp(
+                    -delta / max(temperature, 1e-300)
+                ):
+                    order, cost = candidate, candidate_cost
+                    if cost < best_cost:
+                        best_order, best_cost = list(order), cost
+            temperature *= self.cooling
+        return result_from_order(
+            self.name, ctx, cost_model, best_order, meter, started,
+            extras={"final_temperature": temperature},
+        )

@@ -1,0 +1,20 @@
+"""Memo tables and operation metering.
+
+The memo table maps quantifier-set bitmasks to the best plan found for that
+set, stored as O(1) records (child masks + join method) per the paper.  The
+:class:`~repro.memo.counters.WorkMeter` counts every primitive operation an
+enumerator performs; those counts drive both the SVA-effectiveness results
+(E2) and the simulated-multicore clock (E3–E7).
+"""
+
+from repro.memo.counters import WorkMeter
+from repro.memo.table import Memo, MemoEntry, extract_plan
+from repro.memo.concurrent import LockStripedMemo
+
+__all__ = [
+    "WorkMeter",
+    "Memo",
+    "MemoEntry",
+    "extract_plan",
+    "LockStripedMemo",
+]

@@ -1,0 +1,95 @@
+"""Operation counting.
+
+Each enumerator increments a :class:`WorkMeter` for every primitive step:
+candidate-pair inspections (with the failure mode recorded), plan
+emissions, memo traffic, and skip-vector activity.  Counts are exact and
+deterministic, which is what makes the simulated-multicore timing model
+reproducible: virtual time is a weighted sum over these counters.
+
+The counters are plain ``int`` attributes (not a dict) because the
+increments sit in the innermost enumeration loops.
+"""
+
+from __future__ import annotations
+
+FIELDS: tuple[str, ...] = (
+    "pairs_considered",
+    "disjoint_fail",
+    "connectivity_fail",
+    "operand_missing",
+    "pairs_valid",
+    "plans_emitted",
+    "memo_inserts",
+    "memo_improvements",
+    "submask_steps",
+    "conn_checks",
+    "sva_steps",
+    "sva_skips",
+    "sva_skipped_entries",
+    "sva_build_ops",
+    "latch_acquisitions",
+)
+"""All counter names, in reporting order."""
+
+
+class WorkMeter:
+    """Mutable bundle of operation counters.
+
+    Semantics of the main counters:
+
+    * ``pairs_considered`` — candidate operand pairs inspected, including
+      ones rejected by the disjointness or connectivity test.  This is the
+      quantity skip vector arrays reduce.
+    * ``disjoint_fail`` / ``connectivity_fail`` / ``operand_missing`` —
+      rejection reasons (overlapping sets; no join edge across the split;
+      an operand had no memo entry).
+    * ``pairs_valid`` — pairs that survived all checks and produced plans.
+    * ``plans_emitted`` — individual (pair, join-method) costings.
+    * ``sva_steps`` / ``sva_skips`` / ``sva_skipped_entries`` — skip-vector
+      scan advances, skip-pointer jumps taken, and entries jumped over.
+    """
+
+    __slots__ = FIELDS
+
+    def __init__(self) -> None:
+        for name in FIELDS:
+            setattr(self, name, 0)
+
+    def merge(self, other: "WorkMeter") -> None:
+        """Add ``other``'s counts into this meter."""
+        for name in FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of all counters."""
+        return {name: getattr(self, name) for name in FIELDS}
+
+    def merge_dict(self, counts: dict[str, int]) -> None:
+        """Add counts from an :meth:`as_dict` snapshot (possibly from
+        another process)."""
+        for name, value in counts.items():
+            setattr(self, name, getattr(self, name) + value)
+
+    def copy(self) -> "WorkMeter":
+        """Independent copy of this meter."""
+        out = WorkMeter()
+        out.merge(self)
+        return out
+
+    @property
+    def pairs_rejected(self) -> int:
+        """Candidate pairs rejected by any check."""
+        return self.disjoint_fail + self.connectivity_fail + self.operand_missing
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorkMeter):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in FIELDS
+            if getattr(self, name)
+        )
+        return f"WorkMeter({parts})"

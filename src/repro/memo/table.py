@@ -1,0 +1,239 @@
+"""The memo table.
+
+One :class:`MemoEntry` per quantifier set, holding the best plan found so
+far as two child masks plus a join method — O(1) space per entry, as the
+paper's complexity analysis requires.  Plan trees are materialized on
+demand with :func:`extract_plan`.
+
+Tie-breaking is total and deterministic: when two plans for the same set
+cost exactly the same, the one with the lexicographically smaller
+``(left, right, method)`` key wins.  This makes the memo's final content
+independent of emission order, which is the property that lets the parallel
+enumerators be validated bit-for-bit against the serial ones.
+"""
+
+from __future__ import annotations
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CostModel
+from repro.memo.counters import WorkMeter
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.plans.operators import JoinMethod
+from repro.query.context import QueryContext
+from repro.util.bitsets import popcount
+from repro.util.errors import OptimizationError
+
+
+class MemoEntry:
+    """Best-known plan for one quantifier set.
+
+    ``left == right == 0`` marks a scan entry.
+    """
+
+    __slots__ = ("mask", "cost", "rows", "left", "right", "method")
+
+    def __init__(
+        self,
+        mask: int,
+        cost: float,
+        rows: float,
+        left: int,
+        right: int,
+        method: JoinMethod,
+    ) -> None:
+        self.mask = mask
+        self.cost = cost
+        self.rows = rows
+        self.left = left
+        self.right = right
+        self.method = method
+
+    @property
+    def is_scan(self) -> bool:
+        """True for base-relation entries."""
+        return self.left == 0 and self.right == 0
+
+    def key(self) -> tuple[int, int, int]:
+        """Deterministic tie-break key."""
+        return (self.left, self.right, int(self.method))
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoEntry(mask={self.mask:#x}, cost={self.cost:.6g}, "
+            f"rows={self.rows:.6g}, left={self.left:#x}, "
+            f"right={self.right:#x}, method={self.method.name})"
+        )
+
+
+class Memo:
+    """Quantifier-set → best-plan table plus per-size stratum indexes.
+
+    The per-size lists (``sets_of_size``) are what the DPsize family
+    iterates over; they are kept sorted in ascending numeric (bitmask)
+    order, the order the skip vector arrays are built on.
+    """
+
+    def __init__(
+        self,
+        ctx: QueryContext,
+        cost_model: CostModel,
+        estimator: CardinalityEstimator | None = None,
+        meter: WorkMeter | None = None,
+    ) -> None:
+        self.ctx = ctx
+        self.cost_model = cost_model
+        self.estimator = estimator or CardinalityEstimator(ctx)
+        self.meter = meter or WorkMeter()
+        self._entries: dict[int, MemoEntry] = {}
+        self._by_size: list[list[int]] = [[] for _ in range(ctx.n + 1)]
+        self._size_sorted: list[bool] = [True] * (ctx.n + 1)
+
+    # ------------------------------------------------------------------
+    # Content access
+    # ------------------------------------------------------------------
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, mask: int) -> MemoEntry | None:
+        """Entry for ``mask`` or ``None``."""
+        return self._entries.get(mask)
+
+    def entries(self) -> list[MemoEntry]:
+        """All entries (unordered)."""
+        return list(self._entries.values())
+
+    def sets_of_size(self, k: int) -> list[int]:
+        """Masks with entries and exactly ``k`` members, ascending.
+
+        The returned list must not be mutated by callers.
+        """
+        if not self._size_sorted[k]:
+            self._by_size[k].sort()
+            self._size_sorted[k] = True
+        return self._by_size[k]
+
+    def best(self) -> MemoEntry:
+        """Entry for the full query; raises if optimization failed."""
+        entry = self._entries.get(self.ctx.all_mask)
+        if entry is None:
+            raise OptimizationError(
+                "no complete plan: is the join graph connected "
+                "(or are cross products enabled)?"
+            )
+        return entry
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def init_scans(self) -> None:
+        """Seed the memo with a scan entry per base relation."""
+        ctx = self.ctx
+        cost_model = self.cost_model
+        for rel in range(ctx.n):
+            mask = 1 << rel
+            rows = self.estimator.rows(mask)
+            entry = MemoEntry(
+                mask=mask,
+                cost=cost_model.scan_cost(rows),
+                rows=rows,
+                left=0,
+                right=0,
+                method=JoinMethod.SCAN,
+            )
+            self._store_new(entry)
+
+    def consider_join(
+        self, left: int, right: int, meter: WorkMeter | None = None
+    ) -> None:
+        """Cost the join of two memoized operand sets; keep the best plan.
+
+        ``left`` is the outer operand.  Both operands must already have
+        memo entries and be disjoint — the enumerator kernels guarantee
+        this before calling.
+        """
+        meter = meter or self.meter
+        entries = self._entries
+        left_entry = entries[left]
+        right_entry = entries[right]
+        result = left | right
+        out_rows = self.estimator.rows(result)
+        base_cost = left_entry.cost + right_entry.cost
+        cost_model = self.cost_model
+        lrows = left_entry.rows
+        rrows = right_entry.rows
+
+        current = entries.get(result)
+        for method in cost_model.methods:
+            meter.plans_emitted += 1
+            cost = base_cost + cost_model.join_cost(
+                method, lrows, rrows, out_rows
+            )
+            if current is None:
+                current = MemoEntry(result, cost, out_rows, left, right, method)
+                self._store_new(current)
+                meter.memo_inserts += 1
+            elif cost < current.cost or (
+                cost == current.cost
+                and (left, right, int(method)) < current.key()
+            ):
+                current.cost = cost
+                current.left = left
+                current.right = right
+                current.method = method
+                meter.memo_improvements += 1
+
+    def merge_candidate(
+        self,
+        mask: int,
+        cost: float,
+        rows: float,
+        left: int,
+        right: int,
+        method: JoinMethod,
+    ) -> bool:
+        """Merge an externally computed candidate entry (process executor).
+
+        Returns True if the candidate was installed.
+        """
+        current = self._entries.get(mask)
+        if current is None:
+            self._store_new(MemoEntry(mask, cost, rows, left, right, method))
+            return True
+        if cost < current.cost or (
+            cost == current.cost
+            and (left, right, int(method)) < current.key()
+        ):
+            current.cost = cost
+            current.rows = rows
+            current.left = left
+            current.right = right
+            current.method = method
+            return True
+        return False
+
+    def _store_new(self, entry: MemoEntry) -> None:
+        self._entries[entry.mask] = entry
+        size = popcount(entry.mask)
+        bucket = self._by_size[size]
+        if bucket and entry.mask < bucket[-1]:
+            self._size_sorted[size] = False
+        bucket.append(entry.mask)
+
+
+def extract_plan(memo: Memo, mask: int | None = None) -> PlanNode:
+    """Materialize the plan tree for ``mask`` (default: the full query)."""
+    if mask is None:
+        mask = memo.ctx.all_mask
+    entry = memo.entry(mask)
+    if entry is None:
+        raise OptimizationError(f"no memo entry for {mask:#x}")
+    if entry.is_scan:
+        return ScanNode(relation=(mask.bit_length() - 1))
+    left = extract_plan(memo, entry.left)
+    right = extract_plan(memo, entry.right)
+    return JoinNode(left=left, right=right, method=entry.method)

@@ -1,0 +1,41 @@
+"""The parallel DP framework — the paper's primary contribution.
+
+Optimization proceeds stratum by stratum (result quantifier-set size 2…n)
+with a barrier after each stratum.  Within a stratum, the candidate work is
+cut into :class:`~repro.parallel.workunits.WorkUnit`\\ s, an allocation
+scheme distributes units across worker threads, and an executor runs them:
+
+* ``simulated`` — exact DP with a deterministic virtual clock
+  (:mod:`repro.simx`); the headline measurement substrate.
+* ``threads`` — real CPython threads over a lock-striped memo
+  (demonstrates the GIL gate, E8).
+* ``processes`` — real ``multiprocessing`` workers with replicated memos
+  and per-stratum delta broadcast (correct under true parallelism;
+  quantifies the IPC cost of shared-nothing memo replication, E8).
+
+``PDPsize``, ``PDPsub``, and ``PDPsva`` are presets of
+:class:`~repro.parallel.scheduler.ParallelDP` for the three enumeration
+kernels.
+"""
+
+from repro.parallel.allocation import (
+    ALLOCATION_SCHEMES,
+    allocate,
+    allocation_imbalance,
+)
+from repro.parallel.algorithms import PDPsize, PDPsub, PDPsva, parallel_optimizer
+from repro.parallel.scheduler import ParallelDP
+from repro.parallel.workunits import WorkUnit, stratum_units
+
+__all__ = [
+    "ALLOCATION_SCHEMES",
+    "allocate",
+    "allocation_imbalance",
+    "ParallelDP",
+    "PDPsize",
+    "PDPsub",
+    "PDPsva",
+    "parallel_optimizer",
+    "WorkUnit",
+    "stratum_units",
+]

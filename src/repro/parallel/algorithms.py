@@ -1,0 +1,36 @@
+"""Named parallel algorithms: PDPsize, PDPsub, PDPsva.
+
+Thin presets over :class:`~repro.parallel.scheduler.ParallelDP`, matching
+the paper's naming: ``PDP<kernel>`` is the parallel framework driving the
+corresponding serial kernel.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.scheduler import ParallelDP
+
+
+def parallel_optimizer(algorithm: str, threads: int, **kwargs) -> ParallelDP:
+    """Construct a parallel optimizer by kernel name."""
+    return ParallelDP(algorithm=algorithm, threads=threads, **kwargs)
+
+
+class PDPsize(ParallelDP):
+    """Parallel DPsize."""
+
+    def __init__(self, threads: int = 8, **kwargs) -> None:
+        super().__init__(algorithm="dpsize", threads=threads, **kwargs)
+
+
+class PDPsub(ParallelDP):
+    """Parallel DPsub."""
+
+    def __init__(self, threads: int = 8, **kwargs) -> None:
+        super().__init__(algorithm="dpsub", threads=threads, **kwargs)
+
+
+class PDPsva(ParallelDP):
+    """Parallel DPsva — the paper's headline algorithm."""
+
+    def __init__(self, threads: int = 8, **kwargs) -> None:
+        super().__init__(algorithm="dpsva", threads=threads, **kwargs)

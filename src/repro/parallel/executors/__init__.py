@@ -1,0 +1,22 @@
+"""Stratum executors: simulated, real threads, real processes."""
+
+from repro.parallel.executors.base import RunState, StratumExecutor
+from repro.parallel.executors.process import ProcessExecutor
+from repro.parallel.executors.simulated import SimulatedExecutor
+from repro.parallel.executors.threaded import ThreadedExecutor
+
+EXECUTORS = {
+    "simulated": SimulatedExecutor,
+    "threads": ThreadedExecutor,
+    "processes": ProcessExecutor,
+}
+"""Registry of executor backends keyed by scheduler name."""
+
+__all__ = [
+    "RunState",
+    "StratumExecutor",
+    "SimulatedExecutor",
+    "ThreadedExecutor",
+    "ProcessExecutor",
+    "EXECUTORS",
+]

@@ -1,0 +1,62 @@
+"""Executor interface shared by the three backends."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.memo.counters import WorkMeter
+from repro.memo.table import Memo
+from repro.parallel.allocation import Assignment
+from repro.parallel.workunits import KernelCaches, WorkUnit
+from repro.query.context import QueryContext
+
+
+@dataclass
+class RunState:
+    """Everything an executor needs to run one optimization.
+
+    Attributes:
+        ctx: Compiled query.
+        memo: The master memo (scan-seeded before ``open``).
+        estimator: Shared cardinality estimator.
+        meter: Master meter; executors merge all per-unit/per-worker
+            counts into it.
+        caches: Kernel caches (SVAs, DPsub strata) for the master side.
+        caches_meter: Meter charged for shared-structure builds (SVAs).
+        require_connected: True when cross products are disabled.
+        algorithm: Kernel name (``dpsize``/``dpsub``/``dpsva``).
+        threads: Degree of parallelism.
+    """
+
+    ctx: QueryContext
+    memo: Memo
+    estimator: CardinalityEstimator
+    meter: WorkMeter
+    caches: KernelCaches
+    caches_meter: WorkMeter
+    require_connected: bool
+    algorithm: str
+    threads: int
+
+
+class StratumExecutor(ABC):
+    """Runs the work units of each stratum on some substrate."""
+
+    @abstractmethod
+    def open(self, state: RunState) -> None:
+        """Bind the run state; called once before the first stratum."""
+
+    @abstractmethod
+    def run_stratum(
+        self, size: int, units: list[WorkUnit], assignment: Assignment
+    ) -> None:
+        """Execute one stratum; must leave the master memo complete for
+        ``size`` before returning (the barrier)."""
+
+    @abstractmethod
+    def close(self) -> dict[str, Any]:
+        """Release resources and return backend-specific extras for the
+        :class:`~repro.enumerate.base.OptimizationResult`."""

@@ -1,0 +1,110 @@
+"""The simulated-multicore executor.
+
+Runs every work unit for real (so memo contents are exact) but serially,
+attributing each unit's metered operations to its assigned virtual thread.
+Per-stratum timing — busiest thread + contention penalty + barrier — is
+accounted by :class:`~repro.simx.machine.SimulatedMachine`.
+
+Memo updates are routed through a recording view so the contention model
+knows which threads touched which entries within the stratum.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.memo.counters import WorkMeter
+from repro.parallel.allocation import Assignment
+from repro.parallel.executors.base import RunState, StratumExecutor
+from repro.parallel.workunits import WorkUnit, run_unit
+from repro.simx.costparams import SimCostParams
+from repro.simx.machine import SimulatedMachine
+
+
+class _RecordingMemoView:
+    """Memo facade that records which entries a unit updates.
+
+    Only the operations the kernels use are exposed; updates delegate to
+    the real memo (which enforces the deterministic tie-break), while the
+    touch map feeds the contention model.
+    """
+
+    __slots__ = ("_memo", "_touches")
+
+    def __init__(self, memo, touches: dict[int, int]) -> None:
+        self._memo = memo
+        self._touches = touches
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._memo
+
+    def sets_of_size(self, k: int) -> list[int]:
+        return self._memo.sets_of_size(k)
+
+    def consider_join(self, left: int, right: int, meter=None) -> None:
+        result = left | right
+        self._touches[result] = self._touches.get(result, 0) + 1
+        self._memo.consider_join(left, right, meter)
+
+
+class SimulatedExecutor(StratumExecutor):
+    """Deterministic virtual-time executor."""
+
+    def __init__(self, params: SimCostParams | None = None) -> None:
+        self.params = params or SimCostParams()
+        self._state: RunState | None = None
+        self.machine: SimulatedMachine | None = None
+
+    def open(self, state: RunState) -> None:
+        self._state = state
+        self.machine = SimulatedMachine(state.threads, self.params)
+        self.machine.label(state.algorithm, "")
+
+    def run_stratum(
+        self, size: int, units: list[WorkUnit], assignment: Assignment | None
+    ) -> None:
+        state = self._state
+        machine = self.machine
+        assert state is not None and machine is not None
+        machine.charge_master(len(units))
+        threads = state.threads
+        busy = [0.0] * threads
+        touches: list[dict[int, int]] = [{} for _ in range(threads)]
+        views = [
+            _RecordingMemoView(state.memo, touches[t]) for t in range(threads)
+        ]
+        # Charge shared-structure builds (SVAs) that happen in this stratum
+        # to the serial master segment: built once, used by all threads.
+        build_before = self.params.work_time(state.caches_meter)
+
+        def run_on(unit: WorkUnit, t: int) -> None:
+            unit_meter = WorkMeter()
+            run_unit(
+                unit,
+                views[t],
+                state.ctx,
+                state.caches,
+                state.require_connected,
+                unit_meter,
+                real_memo=state.memo,
+            )
+            busy[t] += machine.unit_time(unit_meter)
+            state.meter.merge(unit_meter)
+
+        if assignment is None:
+            # Dynamic (work-stealing oracle): each unit goes to the thread
+            # with the least *actual* accumulated time so far.
+            for unit in units:
+                t = min(range(threads), key=lambda i: (busy[i], i))
+                run_on(unit, t)
+        else:
+            for t, bucket in enumerate(assignment):
+                for unit in bucket:
+                    run_on(unit, t)
+        build_after = self.params.work_time(state.caches_meter)
+        machine.report.master_cost += build_after - build_before
+        machine.record_stratum(size, len(units), busy, touches)
+
+    def close(self) -> dict[str, Any]:
+        assert self.machine is not None
+        return {"sim_report": self.machine.report}

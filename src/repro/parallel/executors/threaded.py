@@ -1,0 +1,86 @@
+"""Real-thread executor.
+
+Faithfully reproduces the paper's shared-memory design with CPython
+threads: one shared lock-striped memo, per-stratum thread teams, a join as
+the barrier.  Under CPython's GIL the kernels cannot overlap, so measured
+wall time does *not* drop with the thread count — this executor exists to
+demonstrate exactly that gate (experiment E8) and to validate that the
+parallel decomposition is correct under true concurrency (final memo
+contents are identical to serial runs thanks to the deterministic
+tie-break).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.memo.concurrent import LockStripedMemo
+from repro.memo.counters import WorkMeter
+from repro.parallel.allocation import Assignment
+from repro.parallel.executors.base import RunState, StratumExecutor
+from repro.parallel.workunits import WorkUnit, run_unit
+from repro.util.errors import ValidationError
+
+
+class ThreadedExecutor(StratumExecutor):
+    """One real thread per worker, shared lock-striped memo."""
+
+    def __init__(self) -> None:
+        self._state: RunState | None = None
+        self._stratum_walls: list[float] = []
+
+    def open(self, state: RunState) -> None:
+        if not isinstance(state.memo, LockStripedMemo):
+            raise ValidationError(
+                "ThreadedExecutor requires a LockStripedMemo"
+            )
+        self._state = state
+        self._stratum_walls = []
+
+    def run_stratum(
+        self, size: int, units: list[WorkUnit], assignment: Assignment | None
+    ) -> None:
+        state = self._state
+        assert state is not None
+        if assignment is None:
+            raise ValidationError(
+                "dynamic allocation is only supported by the simulated "
+                "executor"
+            )
+        # Pre-build shared structures (SVAs, DPsub strata) on the master
+        # thread, as the paper does, so workers only read them.
+        for unit in units:
+            if unit.algorithm == "dpsva":
+                state.caches.sva.for_size(unit.size - unit.outer_size)
+            elif unit.algorithm == "dpsub":
+                state.caches.dpsub_stratum(unit.size)
+        meters = [WorkMeter() for _ in range(state.threads)]
+
+        def work(t: int) -> None:
+            for unit in assignment[t]:
+                run_unit(
+                    unit,
+                    state.memo,
+                    state.ctx,
+                    state.caches,
+                    state.require_connected,
+                    meters[t],
+                )
+
+        start = time.perf_counter()
+        workers = [
+            threading.Thread(target=work, args=(t,), name=f"pdp-worker-{t}")
+            for t in range(state.threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()  # the stratum barrier
+        self._stratum_walls.append(time.perf_counter() - start)
+        for meter in meters:
+            state.meter.merge(meter)
+
+    def close(self) -> dict[str, Any]:
+        return {"stratum_wall_times": list(self._stratum_walls)}

@@ -1,0 +1,181 @@
+"""The parallel DP scheduler (master side).
+
+Implements the paper's master loop: strata of increasing result size,
+work-unit generation, allocation to threads, execution on a pluggable
+backend, and a barrier between strata.  The master's own work — generating
+and assigning units — is linear in the unit count and charged to the
+serial segment of the simulated clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CostModel, StandardCostModel
+from repro.enumerate.base import OptimizationResult, make_context
+from repro.memo.concurrent import LockStripedMemo
+from repro.memo.counters import WorkMeter
+from repro.memo.table import Memo, extract_plan
+from repro.parallel.allocation import allocate, allocation_imbalance
+from repro.parallel.executors import EXECUTORS
+from repro.parallel.executors.base import RunState
+from repro.parallel.executors.simulated import SimulatedExecutor
+from repro.parallel.workunits import (
+    PARALLEL_ALGORITHMS,
+    KernelCaches,
+    stratum_units,
+)
+from repro.query.context import QueryContext
+from repro.query.joingraph import Query
+from repro.simx.costparams import SimCostParams
+from repro.util.errors import OptimizationError, ValidationError
+
+
+class ParallelDP:
+    """Massively parallel bottom-up DP join enumeration.
+
+    Args:
+        algorithm: Enumeration kernel — ``"dpsize"``, ``"dpsub"``, or
+            ``"dpsva"`` (the paper's headline).
+        threads: Degree of parallelism.
+        allocation: Work-unit allocation scheme
+            (:data:`repro.parallel.allocation.ALLOCATION_SCHEMES`).
+        backend: ``"simulated"`` (virtual clock, default), ``"threads"``
+            (real CPython threads — GIL-bound, for validation), or
+            ``"processes"`` (real multiprocessing).
+        cross_products: Allow cross-product joins.
+        oversubscription: Work units generated per thread per stratum
+            split; higher values give the allocator more granularity.
+        sim_params: Virtual cost parameters for the simulated backend.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "dpsva",
+        threads: int = 8,
+        allocation: str = "equi_depth",
+        backend: str = "simulated",
+        cross_products: bool = False,
+        oversubscription: int = 4,
+        sim_params: SimCostParams | None = None,
+    ) -> None:
+        if algorithm not in PARALLEL_ALGORITHMS:
+            raise ValidationError(
+                f"unknown algorithm {algorithm!r}; "
+                f"expected one of {PARALLEL_ALGORITHMS}"
+            )
+        if threads < 1:
+            raise ValidationError(f"threads must be >= 1, got {threads}")
+        if backend not in EXECUTORS:
+            raise ValidationError(
+                f"unknown backend {backend!r}; "
+                f"expected one of {sorted(EXECUTORS)}"
+            )
+        self.algorithm = algorithm
+        self.threads = threads
+        self.allocation = allocation
+        self.backend = backend
+        self.cross_products = cross_products
+        self.oversubscription = oversubscription
+        self.sim_params = sim_params or SimCostParams()
+        self.name = f"p{algorithm}"
+
+    def _make_executor(self):
+        if self.backend == "simulated":
+            return SimulatedExecutor(self.sim_params)
+        return EXECUTORS[self.backend]()
+
+    def _make_memo(self, ctx, cost_model, estimator, meter) -> Memo:
+        if self.backend == "threads":
+            return LockStripedMemo(ctx, cost_model, estimator=estimator, meter=meter)
+        return Memo(ctx, cost_model, estimator=estimator, meter=meter)
+
+    def optimize(
+        self,
+        query: Query | QueryContext,
+        cost_model: CostModel | None = None,
+    ) -> OptimizationResult:
+        """Find the optimal plan for ``query`` with parallel enumeration."""
+        ctx = make_context(query)
+        if not self.cross_products and not ctx.query.graph.is_connected():
+            raise OptimizationError(
+                "join graph is disconnected; enable cross_products"
+            )
+        cost_model = cost_model or StandardCostModel()
+        estimator = CardinalityEstimator(ctx)
+        meter = WorkMeter()
+        memo = self._make_memo(ctx, cost_model, estimator, meter)
+        caches_meter = WorkMeter()
+        executor = self._make_executor()
+
+        start = time.perf_counter()
+        memo.init_scans()
+        caches = KernelCaches(memo, caches_meter)
+        state = RunState(
+            ctx=ctx,
+            memo=memo,
+            estimator=estimator,
+            meter=meter,
+            caches=caches,
+            caches_meter=caches_meter,
+            require_connected=not self.cross_products,
+            algorithm=self.algorithm,
+            threads=self.threads,
+        )
+        executor.open(state)
+        imbalances: list[float] = []
+        unit_counts: list[int] = []
+        try:
+            for size in range(2, ctx.n + 1):
+                units = stratum_units(
+                    self.algorithm,
+                    memo,
+                    ctx,
+                    caches,
+                    size,
+                    self.threads,
+                    self.oversubscription,
+                )
+                assignment = allocate(units, self.threads, self.allocation)
+                imbalances.append(
+                    None
+                    if assignment is None
+                    else allocation_imbalance(assignment)
+                )
+                unit_counts.append(len(units))
+                executor.run_stratum(size, units, assignment)
+        finally:
+            extras = executor.close()
+        elapsed = time.perf_counter() - start
+
+        meter.merge(caches_meter)
+        best = memo.best()
+        sim_report = extras.get("sim_report")
+        if sim_report is not None:
+            sim_report.allocation = self.allocation
+        extras.update(
+            {
+                "allocation_imbalances": imbalances,
+                "unit_counts": unit_counts,
+                "threads": self.threads,
+                "allocation": self.allocation,
+                "backend": self.backend,
+            }
+        )
+        return OptimizationResult(
+            algorithm=self.name,
+            plan=extract_plan(memo),
+            cost=best.cost,
+            rows=best.rows,
+            meter=meter,
+            memo_entries=len(memo),
+            elapsed_seconds=elapsed,
+            extras=extras,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelDP(algorithm={self.algorithm!r}, threads={self.threads}, "
+            f"allocation={self.allocation!r}, backend={self.backend!r})"
+        )

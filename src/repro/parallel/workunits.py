@@ -1,0 +1,212 @@
+"""Work units: the partitionable quantum of enumeration work.
+
+A :class:`WorkUnit` describes a contiguous slice of one stratum's work by
+*indices into deterministic lists* (the sorted per-size memo strata, or the
+raw subset stratum for DPsub).  Units carry no object references, so they
+are trivially picklable and — crucially for the multiprocessing executor —
+mean the same thing in every process, because the referenced lists are
+identical across memo replicas.
+
+Unit weights are the candidate-pair counts the paper's total-sum
+allocation balances on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.enumerate.dpsub import dpsub_stratum_candidates
+from repro.enumerate.kernels import dpsize_pair_kernel, dpsub_block_kernel
+from repro.memo.counters import WorkMeter
+from repro.memo.table import Memo
+from repro.query.context import QueryContext
+from repro.sva.dpsva import SvaCache, dpsva_pair_kernel
+from repro.util.errors import ValidationError
+
+PARALLEL_ALGORITHMS = ("dpsize", "dpsub", "dpsva")
+"""Enumeration kernels the parallel framework can drive."""
+
+
+@dataclass(frozen=True, slots=True)
+class WorkUnit:
+    """One slice of stratum work.
+
+    Attributes:
+        uid: Unique id within the stratum (deterministic tie-breaker).
+        algorithm: Kernel this unit runs (``dpsize``/``dpsub``/``dpsva``).
+        size: Result-set size of the stratum.
+        outer_size: Outer-operand size for pair kernels; 0 for DPsub.
+        start: First index of the slice (into the outer stratum list for
+            pair kernels, into the subset stratum for DPsub).
+        stop: One past the last index.
+        weight: Estimated candidate pairs — the allocation currency.
+    """
+
+    uid: int
+    algorithm: str
+    size: int
+    outer_size: int
+    start: int
+    stop: int
+    weight: int
+
+
+class KernelCaches:
+    """Per-run caches shared by work units: SVAs and DPsub strata.
+
+    Each process (and the simulated run) holds its own instance; contents
+    are deterministic functions of the memo, so replicas agree.
+    """
+
+    def __init__(self, memo: Memo, meter: WorkMeter) -> None:
+        self.sva = SvaCache(memo, meter)
+        self._dpsub_strata: dict[int, list[int]] = {}
+        self._ctx = memo.ctx
+
+    def dpsub_stratum(self, size: int) -> list[int]:
+        """Raw size-``size`` subset stratum (cached)."""
+        stratum = self._dpsub_strata.get(size)
+        if stratum is None:
+            stratum = dpsub_stratum_candidates(self._ctx, size)
+            self._dpsub_strata[size] = stratum
+        return stratum
+
+
+def _chunk_ranges(total: int, chunks: int):
+    """Split ``range(total)`` into at most ``chunks`` near-equal slices."""
+    chunks = max(1, min(chunks, total))
+    base = total // chunks
+    extra = total % chunks
+    start = 0
+    for i in range(chunks):
+        length = base + (1 if i < extra else 0)
+        if length == 0:
+            continue
+        yield start, start + length
+        start += length
+
+
+def stratum_units(
+    algorithm: str,
+    memo: Memo,
+    ctx: QueryContext,
+    caches: KernelCaches,
+    size: int,
+    threads: int,
+    oversubscription: int = 4,
+) -> list[WorkUnit]:
+    """Generate the work units of one stratum.
+
+    For the pair kernels (DPsize/DPsva) each size split ``(s1, s2)``
+    contributes units slicing the outer stratum; for DPsub units slice the
+    raw subset stratum.  ``threads * oversubscription`` bounds the unit
+    count per split so the allocation scheme has enough granularity to
+    balance skewed splits without drowning the master in units.
+    """
+    if algorithm not in PARALLEL_ALGORITHMS:
+        raise ValidationError(
+            f"unknown parallel algorithm {algorithm!r}; "
+            f"expected one of {PARALLEL_ALGORITHMS}"
+        )
+    if oversubscription < 1:
+        raise ValidationError("oversubscription must be >= 1")
+    target_chunks = threads * oversubscription
+    units: list[WorkUnit] = []
+    uid = 0
+    if algorithm == "dpsub":
+        stratum = caches.dpsub_stratum(size)
+        splits_per_set = (1 << size) - 2  # ordered proper splits per set
+        for start, stop in _chunk_ranges(len(stratum), target_chunks):
+            units.append(
+                WorkUnit(
+                    uid=uid,
+                    algorithm=algorithm,
+                    size=size,
+                    outer_size=0,
+                    start=start,
+                    stop=stop,
+                    weight=(stop - start) * splits_per_set,
+                )
+            )
+            uid += 1
+        return units
+
+    for outer_size in range(1, size):
+        inner_size = size - outer_size
+        outer_count = len(memo.sets_of_size(outer_size))
+        inner_count = len(memo.sets_of_size(inner_size))
+        if outer_count == 0 or inner_count == 0:
+            continue
+        # Chunk each split proportionally to its share of the stratum's
+        # candidate pairs, so unit weights end up comparable across splits.
+        split_chunks = max(
+            1,
+            math.ceil(target_chunks / max(1, size - 1)),
+        )
+        for start, stop in _chunk_ranges(outer_count, split_chunks):
+            units.append(
+                WorkUnit(
+                    uid=uid,
+                    algorithm=algorithm,
+                    size=size,
+                    outer_size=outer_size,
+                    start=start,
+                    stop=stop,
+                    weight=(stop - start) * inner_count,
+                )
+            )
+            uid += 1
+    return units
+
+
+def run_unit(
+    unit: WorkUnit,
+    memo,
+    ctx: QueryContext,
+    caches: KernelCaches,
+    require_connected: bool,
+    meter: WorkMeter,
+    real_memo: Memo | None = None,
+) -> None:
+    """Execute one work unit against ``memo``.
+
+    ``memo`` may be a recording view (simulated executor); ``real_memo``
+    supplies the stratum lists and SVA source when the view does not
+    (defaults to ``memo`` itself).
+    """
+    source = real_memo if real_memo is not None else memo
+    if unit.algorithm == "dpsize":
+        dpsize_pair_kernel(
+            memo,
+            ctx,
+            source.sets_of_size(unit.outer_size),
+            source.sets_of_size(unit.size - unit.outer_size),
+            unit.start,
+            unit.stop,
+            require_connected,
+            meter,
+        )
+    elif unit.algorithm == "dpsva":
+        dpsva_pair_kernel(
+            memo,
+            ctx,
+            source.sets_of_size(unit.outer_size),
+            caches.sva.for_size(unit.size - unit.outer_size),
+            unit.start,
+            unit.stop,
+            require_connected,
+            meter,
+        )
+    elif unit.algorithm == "dpsub":
+        dpsub_block_kernel(
+            memo,
+            ctx,
+            caches.dpsub_stratum(unit.size),
+            unit.start,
+            unit.stop,
+            require_connected,
+            meter,
+        )
+    else:  # pragma: no cover - guarded by stratum_units
+        raise ValidationError(f"unknown algorithm {unit.algorithm!r}")

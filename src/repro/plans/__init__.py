@@ -1,0 +1,17 @@
+"""Query-plan model: trees, join operators, validation, printing."""
+
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.plans.operators import JOIN_METHODS, JoinMethod
+from repro.plans.printer import explain, plan_signature
+from repro.plans.validate import validate_plan
+
+__all__ = [
+    "PlanNode",
+    "ScanNode",
+    "JoinNode",
+    "JoinMethod",
+    "JOIN_METHODS",
+    "explain",
+    "plan_signature",
+    "validate_plan",
+]

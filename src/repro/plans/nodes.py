@@ -1,0 +1,120 @@
+"""Plan trees.
+
+Plans are immutable binary trees: :class:`ScanNode` leaves over base
+relations and :class:`JoinNode` inner nodes annotated with a
+:class:`~repro.plans.operators.JoinMethod`.  The quantifier-set bitmask of
+every node is computed at construction, so structural queries (which
+relations does this subtree cover?) are O(1).
+
+Memo entries do **not** store these trees — they store two child masks plus
+a method, exactly as the paper prescribes for O(1) memo-entry space — and
+trees are materialized on demand via
+:func:`repro.memo.table.extract_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plans.operators import JoinMethod
+from repro.util.bitsets import popcount
+from repro.util.errors import ValidationError
+
+
+class PlanNode:
+    """Base class for plan-tree nodes."""
+
+    __slots__ = ()
+
+    mask: int
+
+    @property
+    def relations(self) -> int:
+        """Bitmask of base relations covered by this subtree."""
+        return self.mask
+
+    @property
+    def size(self) -> int:
+        """Number of base relations covered."""
+        return popcount(self.mask)
+
+    def leaves(self) -> list["ScanNode"]:
+        """All scan leaves, left to right."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Height of the tree (a single scan has depth 1)."""
+        raise NotImplementedError
+
+    def is_left_deep(self) -> bool:
+        """True iff every join's inner (right) operand is a scan."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class ScanNode(PlanNode):
+    """Leaf: scan of one base relation.
+
+    Attributes:
+        relation: Relation index in the query's numbering.
+        mask: Singleton bitmask, derived.
+    """
+
+    relation: int
+    mask: int = -1
+
+    def __post_init__(self) -> None:
+        if self.relation < 0:
+            raise ValidationError(f"negative relation index {self.relation}")
+        object.__setattr__(self, "mask", 1 << self.relation)
+
+    def leaves(self) -> list["ScanNode"]:
+        return [self]
+
+    def depth(self) -> int:
+        return 1
+
+    def is_left_deep(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"Scan(t{self.relation})"
+
+
+@dataclass(frozen=True, slots=True)
+class JoinNode(PlanNode):
+    """Inner node: join of two disjoint subtrees.
+
+    Attributes:
+        left: Outer operand.
+        right: Inner operand.
+        method: Physical join algorithm.
+        mask: Union bitmask, derived.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    method: JoinMethod = JoinMethod.HASH
+    mask: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.method.is_join:
+            raise ValidationError(f"{self.method!r} is not a join method")
+        if self.left.mask & self.right.mask:
+            raise ValidationError(
+                "join operands overlap: "
+                f"{self.left.mask:#x} & {self.right.mask:#x}"
+            )
+        object.__setattr__(self, "mask", self.left.mask | self.right.mask)
+
+    def leaves(self) -> list[ScanNode]:
+        return self.left.leaves() + self.right.leaves()
+
+    def depth(self) -> int:
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def is_left_deep(self) -> bool:
+        return isinstance(self.right, ScanNode) and self.left.is_left_deep()
+
+    def __repr__(self) -> str:
+        return f"Join({self.method.name}, {self.left!r}, {self.right!r})"

@@ -1,0 +1,41 @@
+"""Physical join operators.
+
+The enumerators pick, per join, the cheapest of the standard operators the
+paper's evaluation tradition uses: (block-)nested-loop, hash, and
+sort-merge join.  The enum values are stable small integers because they
+are stored in memo entries and shipped across process boundaries by the
+multiprocessing executor.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class JoinMethod(IntEnum):
+    """Physical algorithm implementing a join (or scan marker)."""
+
+    SCAN = 0
+    NESTED_LOOP = 1
+    BLOCK_NESTED_LOOP = 2
+    HASH = 3
+    SORT_MERGE = 4
+
+    @property
+    def is_join(self) -> bool:
+        """True for actual join algorithms (everything but SCAN)."""
+        return self is not JoinMethod.SCAN
+
+    @property
+    def symmetric(self) -> bool:
+        """True when cost is invariant under operand exchange."""
+        return self is JoinMethod.SORT_MERGE
+
+
+JOIN_METHODS: tuple[JoinMethod, ...] = (
+    JoinMethod.NESTED_LOOP,
+    JoinMethod.BLOCK_NESTED_LOOP,
+    JoinMethod.HASH,
+    JoinMethod.SORT_MERGE,
+)
+"""All join algorithms, in the order cost models evaluate them."""

@@ -1,0 +1,110 @@
+"""Plan rendering: EXPLAIN-style trees and compact signatures."""
+
+from __future__ import annotations
+
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+
+
+def explain(
+    plan: PlanNode,
+    relation_names=None,
+    annotate=None,
+) -> str:
+    """Render a plan as an indented EXPLAIN-style tree.
+
+    Args:
+        plan: Root of the plan tree.
+        relation_names: Optional sequence mapping relation index to name.
+        annotate: Optional callback ``node -> str`` appended to each line
+            (used by examples to print per-node rows/cost).
+    """
+    lines: list[str] = []
+
+    def name_of(relation: int) -> str:
+        if relation_names is not None and relation < len(relation_names):
+            return str(relation_names[relation])
+        return f"t{relation}"
+
+    def render(node: PlanNode, indent: int) -> None:
+        pad = "  " * indent
+        if isinstance(node, ScanNode):
+            line = f"{pad}Scan {name_of(node.relation)}"
+        elif isinstance(node, JoinNode):
+            line = f"{pad}{node.method.name} join"
+        else:  # pragma: no cover - defensive
+            line = f"{pad}{node!r}"
+        if annotate is not None:
+            extra = annotate(node)
+            if extra:
+                line = f"{line}  [{extra}]"
+        lines.append(line)
+        if isinstance(node, JoinNode):
+            render(node.left, indent + 1)
+            render(node.right, indent + 1)
+
+    render(plan, 0)
+    return "\n".join(lines)
+
+
+def plan_to_dot(
+    plan: PlanNode,
+    relation_names=None,
+    graph_name: str = "plan",
+) -> str:
+    """Render a plan as a Graphviz ``dot`` digraph.
+
+    Join nodes are boxes labelled with the method; scans are ellipses
+    labelled with the relation name.  Paste into any dot renderer.
+    """
+    lines = [f"digraph {graph_name} {{", "  node [fontname=monospace];"]
+    counter = 0
+
+    def name_of(relation: int) -> str:
+        if relation_names is not None and relation < len(relation_names):
+            return str(relation_names[relation])
+        return f"t{relation}"
+
+    def emit(node: PlanNode) -> str:
+        nonlocal counter
+        node_id = f"n{counter}"
+        counter += 1
+        if isinstance(node, ScanNode):
+            lines.append(
+                f'  {node_id} [shape=ellipse label="{name_of(node.relation)}"];'
+            )
+        elif isinstance(node, JoinNode):
+            lines.append(
+                f'  {node_id} [shape=box label="{node.method.name}"];'
+            )
+            left_id = emit(node.left)
+            right_id = emit(node.right)
+            lines.append(f"  {node_id} -> {left_id};")
+            lines.append(f"  {node_id} -> {right_id};")
+        else:  # pragma: no cover - defensive
+            lines.append(f'  {node_id} [label="{node!r}"];')
+        return node_id
+
+    emit(plan)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_signature(plan: PlanNode) -> str:
+    """Compact one-line structural signature, e.g. ``((t0 HJ t1) NL t2)``.
+
+    Two plans have equal signatures iff they have the same shape, leaf
+    order, and join methods — handy for test assertions and deduplication.
+    """
+    abbrev = {
+        "NESTED_LOOP": "NL",
+        "BLOCK_NESTED_LOOP": "BNL",
+        "HASH": "HJ",
+        "SORT_MERGE": "SM",
+    }
+    if isinstance(plan, ScanNode):
+        return f"t{plan.relation}"
+    if isinstance(plan, JoinNode):
+        left = plan_signature(plan.left)
+        right = plan_signature(plan.right)
+        return f"({left} {abbrev[plan.method.name]} {right})"
+    raise TypeError(f"not a plan node: {plan!r}")

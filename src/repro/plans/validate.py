@@ -1,0 +1,62 @@
+"""Structural plan validation."""
+
+from __future__ import annotations
+
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.query.context import QueryContext
+from repro.util.bitsets import universe
+from repro.util.errors import ValidationError
+
+
+def validate_plan(
+    plan: PlanNode,
+    ctx: QueryContext | None = None,
+    require_complete: bool = True,
+    require_connected: bool = False,
+) -> None:
+    """Check that ``plan`` is a well-formed plan (for ``ctx`` if given).
+
+    Raises :class:`ValidationError` on:
+
+    * duplicate base relations across leaves (non-disjoint join operands
+      are already rejected at node construction; this catches deeper
+      aliasing bugs);
+    * relation indices outside the query when ``ctx`` is given;
+    * incomplete coverage of the query when ``require_complete``;
+    * joins with no connecting edge when ``require_connected`` (i.e. the
+      plan uses a cross product although the caller forbids them).
+    """
+    seen = 0
+    for leaf in plan.leaves():
+        if seen & leaf.mask:
+            raise ValidationError(
+                f"relation t{leaf.relation} appears twice in the plan"
+            )
+        seen |= leaf.mask
+
+    if ctx is None:
+        return
+
+    if seen & ~universe(ctx.n):
+        raise ValidationError(
+            f"plan references relations outside the query (n={ctx.n})"
+        )
+    if require_complete and seen != ctx.all_mask:
+        raise ValidationError(
+            f"plan covers {seen:#x} but the query is {ctx.all_mask:#x}"
+        )
+    if require_connected:
+        _check_no_cross_products(plan, ctx)
+
+
+def _check_no_cross_products(plan: PlanNode, ctx: QueryContext) -> None:
+    if isinstance(plan, ScanNode):
+        return
+    if isinstance(plan, JoinNode):
+        if not ctx.connects(plan.left.mask, plan.right.mask):
+            raise ValidationError(
+                f"cross product between {plan.left.mask:#x} and "
+                f"{plan.right.mask:#x}"
+            )
+        _check_no_cross_products(plan.left, ctx)
+        _check_no_cross_products(plan.right, ctx)

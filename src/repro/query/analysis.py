@@ -1,0 +1,142 @@
+"""Search-space analysis.
+
+Exact and closed-form counts of the quantities that determine enumeration
+cost: connected quantifier sets (memo entries without cross products) and
+csg-cmp pairs (the valid joins).  The closed forms for the benchmark
+topologies back the complexity discussion in DESIGN.md and validate the
+generic counters; the generic counters in turn validate the enumerators'
+metered work in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.query.context import QueryContext
+from repro.util.bitsets import subsets_of_size
+from repro.util.errors import ValidationError
+
+
+def count_connected_sets(ctx: QueryContext) -> int:
+    """Number of non-empty connected quantifier sets (exact, exponential).
+
+    Equals the number of memo entries any cross-product-free DP enumerator
+    creates.
+    """
+    total = 0
+    for k in range(1, ctx.n + 1):
+        for mask in subsets_of_size(ctx.all_mask, k):
+            if ctx.is_connected(mask):
+                total += 1
+    return total
+
+
+def count_csg_cmp_pairs_exact(ctx: QueryContext) -> int:
+    """Number of unordered csg-cmp pairs (exact, exponential).
+
+    Equals half the valid ordered joins a cross-product-free enumerator
+    must cost.
+    """
+    from repro.enumerate.dpccp import count_csg_cmp_pairs
+
+    return count_csg_cmp_pairs(ctx)
+
+
+# ---------------------------------------------------------------------------
+# closed forms (Ono & Lohman / Moerkotte-Neumann style)
+# ---------------------------------------------------------------------------
+
+
+def connected_sets_closed_form(topology: str, n: int) -> int:
+    """Closed-form connected-set count for a benchmark topology.
+
+    * chain:  ``n(n+1)/2`` (intervals)
+    * cycle:  ``n(n-1) + 1`` (arcs of every length plus the full cycle)
+    * star:   ``n - 1 + 2^(n-1)`` (spokes, plus hub with any spoke set)
+    * clique: ``2^n - 1`` (every non-empty subset)
+    """
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    if topology == "chain":
+        return n * (n + 1) // 2
+    if topology == "cycle":
+        if n == 1:
+            return 1
+        return n * (n - 1) + 1
+    if topology == "star":
+        if n == 1:
+            return 1
+        return (n - 1) + 2 ** (n - 1)
+    if topology == "clique":
+        return 2**n - 1
+    raise ValidationError(f"no closed form for topology {topology!r}")
+
+
+def csg_cmp_pairs_closed_form(topology: str, n: int) -> int:
+    """Closed-form unordered csg-cmp pair count for a benchmark topology.
+
+    * chain:  ``(n³ - n) / 6``
+    * cycle:  ``n(n-1)² / 2``
+    * star:   ``(n - 1) · 2^(n-2)``
+    * clique: ``(3^n - 2^(n+1) + 1) / 2``
+    """
+    if n < 2:
+        raise ValidationError(f"csg-cmp pairs need n >= 2, got {n}")
+    if topology == "chain":
+        return (n**3 - n) // 6
+    if topology == "cycle":
+        return n * (n - 1) ** 2 // 2
+    if topology == "star":
+        return (n - 1) * 2 ** (n - 2)
+    if topology == "clique":
+        return (3**n - 2 ** (n + 1) + 1) // 2
+    raise ValidationError(f"no closed form for topology {topology!r}")
+
+
+def dpsize_candidate_pairs(stratum_sizes: list[int]) -> int:
+    """Candidate pairs DPsize inspects given per-size memo stratum sizes.
+
+    ``stratum_sizes[k]`` is the number of memoized sets with ``k``
+    members (index 0 unused).  DPsize crosses every split of every
+    stratum: ``Σ_s Σ_{s1=1..s-1} |sets(s1)| · |sets(s-s1)|``.
+    """
+    n = len(stratum_sizes) - 1
+    total = 0
+    for s in range(2, n + 1):
+        for s1 in range(1, s):
+            total += stratum_sizes[s1] * stratum_sizes[s - s1]
+    return total
+
+
+def dpsub_submask_steps(n: int) -> int:
+    """Submask-walk steps DPsub performs with cross products: ``3^n`` minus
+    the degenerate terms (each k-subset contributes ``2^k - 2`` splits)."""
+    if n < 0:
+        raise ValidationError(f"n must be >= 0, got {n}")
+    return sum(
+        math.comb(n, k) * (2**k - 2) for k in range(2, n + 1)
+    )
+
+
+def stratum_sizes(ctx: QueryContext) -> list[int]:
+    """Exact per-size connected-set counts (index 0 unused, = 0)."""
+    sizes = [0] * (ctx.n + 1)
+    for k in range(1, ctx.n + 1):
+        for mask in subsets_of_size(ctx.all_mask, k):
+            if ctx.is_connected(mask):
+                sizes[k] += 1
+    return sizes
+
+
+def plan_space_report(ctx: QueryContext) -> dict:
+    """Summary of a query's search-space sizes (exact counts)."""
+    sizes = stratum_sizes(ctx)
+    return {
+        "relations": ctx.n,
+        "edges": len(ctx.edge_selectivity),
+        "connected_sets": sum(sizes),
+        "csg_cmp_pairs": count_csg_cmp_pairs_exact(ctx),
+        "dpsize_candidate_pairs": dpsize_candidate_pairs(sizes),
+        "dpsub_submask_steps": dpsub_submask_steps(ctx.n),
+        "max_stratum": max(sizes),
+    }

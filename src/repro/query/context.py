@@ -1,0 +1,103 @@
+"""Compiled query representation used by the enumerators.
+
+:class:`QueryContext` freezes a :class:`~repro.query.joingraph.Query` into
+flat arrays (adjacency bitmasks, cardinalities) and memoizes the two
+predicates the enumerators evaluate in their innermost loops: connectivity
+of a quantifier set and existence of a join edge between two sets.  All
+enumerators — serial and parallel — run against this object, so their
+operation counts are directly comparable.
+"""
+
+from __future__ import annotations
+
+from repro.query.joingraph import Query
+from repro.util.bitsets import bits_of, universe
+
+
+class QueryContext:
+    """Flat, read-only view of a query.
+
+    The context is shared between worker threads in the parallel framework;
+    it must therefore stay immutable after construction, with the exception
+    of the internal connectivity memo, whose entries are idempotent (safe
+    under racing duplicate computation).
+    """
+
+    __slots__ = (
+        "query",
+        "n",
+        "all_mask",
+        "cards",
+        "adjacency",
+        "edge_selectivity",
+        "_connected_memo",
+    )
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.n = query.n
+        self.all_mask = universe(query.n)
+        self.cards: tuple[float, ...] = tuple(query.cardinalities)
+        graph = query.graph
+        self.adjacency: tuple[int, ...] = tuple(
+            graph.adjacency(i) for i in range(query.n)
+        )
+        self.edge_selectivity: dict[tuple[int, int], float] = {
+            (e.u, e.v): e.selectivity for e in graph.edges
+        }
+        self._connected_memo: dict[int, bool] = {}
+
+    def neighbours(self, mask: int) -> int:
+        """Relations adjacent to ``mask``, excluding ``mask`` itself."""
+        out = 0
+        for rel in bits_of(mask):
+            out |= self.adjacency[rel]
+        return out & ~mask
+
+    def connects(self, left: int, right: int) -> bool:
+        """True iff a join edge crosses between ``left`` and ``right``."""
+        adjacency = self.adjacency
+        for rel in bits_of(left):
+            if adjacency[rel] & right:
+                return True
+        return False
+
+    def is_connected(self, mask: int) -> bool:
+        """Memoized connectivity of the subgraph induced by ``mask``."""
+        cached = self._connected_memo.get(mask)
+        if cached is not None:
+            return cached
+        result = self._compute_connected(mask)
+        self._connected_memo[mask] = result
+        return result
+
+    def _compute_connected(self, mask: int) -> bool:
+        if mask == 0 or mask & (mask - 1) == 0:
+            return True
+        adjacency = self.adjacency
+        start = mask & -mask
+        frontier = start
+        rest = mask ^ start
+        while frontier and rest:
+            grown = 0
+            for rel in bits_of(frontier):
+                grown |= adjacency[rel]
+            grown &= rest
+            rest ^= grown
+            frontier = grown
+        return rest == 0
+
+    def cross_selectivity(self, left: int, right: int) -> float:
+        """Product of selectivities of all join edges crossing the split."""
+        product = 1.0
+        adjacency = self.adjacency
+        selectivity = self.edge_selectivity
+        for rel in bits_of(left):
+            crossing = adjacency[rel] & right
+            for other in bits_of(crossing):
+                key = (rel, other) if rel < other else (other, rel)
+                product *= selectivity[key]
+        return product
+
+    def __repr__(self) -> str:
+        return f"QueryContext({self.query.label!r}, n={self.n})"

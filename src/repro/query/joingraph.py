@@ -1,0 +1,205 @@
+"""Join graphs and queries.
+
+Relations are identified by contiguous indices ``0 … n-1`` (the paper's
+quantifier numbering).  An edge ``(u, v)`` with selectivity ``f`` states that
+joining any intermediate containing ``u`` with one containing ``v`` applies a
+filter factor ``f`` (attribute-independence assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.model import Catalog
+from repro.util.bitsets import bits_of, universe
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class JoinEdge:
+    """An equi-join edge between two relations.
+
+    Attributes:
+        u: Smaller relation index.
+        v: Larger relation index.
+        selectivity: Filter factor in ``(0, 1]``.
+    """
+
+    u: int
+    v: int
+    selectivity: float
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValidationError(f"self-loop on relation {self.u}")
+        if self.u > self.v:
+            raise ValidationError(
+                f"edge endpoints must be ordered: got ({self.u}, {self.v})"
+            )
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ValidationError(
+                f"selectivity must be in (0, 1], got {self.selectivity}"
+            )
+
+
+class JoinGraph:
+    """An undirected join graph over relations ``0 … n-1``.
+
+    The graph is immutable after construction.  Adjacency is precomputed as
+    bitmasks because the enumerators' connectivity tests run millions of
+    times per optimization.
+    """
+
+    __slots__ = ("n", "edges", "_adjacency", "_selectivity")
+
+    def __init__(self, n: int, edges) -> None:
+        if n < 1:
+            raise ValidationError(f"join graph needs >= 1 relation, got {n}")
+        normalized: list[JoinEdge] = []
+        seen: set[tuple[int, int]] = set()
+        for edge in edges:
+            if not isinstance(edge, JoinEdge):
+                u, v, sel = edge
+                if u > v:
+                    u, v = v, u
+                edge = JoinEdge(u, v, sel)
+            if edge.v >= n:
+                raise ValidationError(
+                    f"edge ({edge.u}, {edge.v}) out of range for n={n}"
+                )
+            key = (edge.u, edge.v)
+            if key in seen:
+                raise ValidationError(f"duplicate edge {key}")
+            seen.add(key)
+            normalized.append(edge)
+        self.n = n
+        self.edges: tuple[JoinEdge, ...] = tuple(
+            sorted(normalized, key=lambda e: (e.u, e.v))
+        )
+        adjacency = [0] * n
+        selectivity: dict[tuple[int, int], float] = {}
+        for edge in self.edges:
+            adjacency[edge.u] |= 1 << edge.v
+            adjacency[edge.v] |= 1 << edge.u
+            selectivity[(edge.u, edge.v)] = edge.selectivity
+        self._adjacency = adjacency
+        self._selectivity = selectivity
+
+    def adjacency(self, relation: int) -> int:
+        """Bitmask of neighbours of ``relation``."""
+        return self._adjacency[relation]
+
+    def neighbours(self, mask: int) -> int:
+        """Bitmask of relations adjacent to any member of ``mask``,
+        excluding ``mask`` itself."""
+        out = 0
+        for rel in bits_of(mask):
+            out |= self._adjacency[rel]
+        return out & ~mask
+
+    def edge_selectivity(self, u: int, v: int) -> float | None:
+        """Selectivity of edge ``{u, v}`` or ``None`` if absent."""
+        if u > v:
+            u, v = v, u
+        return self._selectivity.get((u, v))
+
+    def is_connected_set(self, mask: int) -> bool:
+        """True iff the subgraph induced by ``mask`` is connected.
+
+        Empty sets are vacuously connected.
+        """
+        if mask == 0:
+            return True
+        start = mask & -mask
+        frontier = start
+        reached = start
+        rest = mask ^ start
+        while frontier and rest:
+            grown = 0
+            for rel in bits_of(frontier):
+                grown |= self._adjacency[rel]
+            grown &= rest
+            reached |= grown
+            rest ^= grown
+            frontier = grown
+        return rest == 0
+
+    def is_connected(self) -> bool:
+        """True iff the whole graph is connected."""
+        return self.is_connected_set(universe(self.n))
+
+    def connects(self, left: int, right: int) -> bool:
+        """True iff some edge crosses between masks ``left`` and ``right``."""
+        for rel in bits_of(left):
+            if self._adjacency[rel] & right:
+                return True
+        return False
+
+    def cross_selectivity(self, left: int, right: int) -> float:
+        """Product of selectivities of all edges crossing ``left``/``right``."""
+        product = 1.0
+        for rel in bits_of(left):
+            joined = self._adjacency[rel] & right
+            for other in bits_of(joined):
+                u, v = (rel, other) if rel < other else (other, rel)
+                product *= self._selectivity[(u, v)]
+        return product
+
+    def __repr__(self) -> str:
+        return f"JoinGraph(n={self.n}, edges={len(self.edges)})"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A join query: a catalog binding plus a join graph.
+
+    ``relation_names[i]`` names the catalog table bound to graph index
+    ``i``.  ``cardinalities`` is derived at construction for fast access.
+    """
+
+    graph: JoinGraph
+    relation_names: tuple[str, ...]
+    cardinalities: tuple[float, ...]
+    label: str = "query"
+
+    def __post_init__(self) -> None:
+        if len(self.relation_names) != self.graph.n:
+            raise ValidationError(
+                f"{len(self.relation_names)} relation names for a graph "
+                f"with n={self.graph.n}"
+            )
+        if len(self.cardinalities) != self.graph.n:
+            raise ValidationError(
+                f"{len(self.cardinalities)} cardinalities for a graph "
+                f"with n={self.graph.n}"
+            )
+        for card in self.cardinalities:
+            if card < 1:
+                raise ValidationError(f"cardinality must be >= 1, got {card}")
+
+    @property
+    def n(self) -> int:
+        """Number of relations."""
+        return self.graph.n
+
+    @classmethod
+    def from_catalog(
+        cls,
+        catalog: Catalog,
+        graph: JoinGraph,
+        names=None,
+        label: str = "query",
+    ) -> "Query":
+        """Bind the first ``graph.n`` catalog tables (or ``names``) to the graph."""
+        chosen = list(names) if names is not None else catalog.names()[: graph.n]
+        if len(chosen) != graph.n:
+            raise ValidationError(
+                f"need {graph.n} table names, got {len(chosen)}"
+            )
+        cards = tuple(float(catalog.table(name).cardinality) for name in chosen)
+        return cls(
+            graph=graph,
+            relation_names=tuple(chosen),
+            cardinalities=cards,
+            label=label,
+        )

@@ -1,0 +1,131 @@
+"""Benchmark join-graph topologies.
+
+Chain, cycle, star, and clique are the four shapes used throughout the
+join-ordering literature (and in the VLDB 2008 evaluation): they span the
+spectrum from the sparsest connected graph (chain) to the densest (clique),
+which is exactly the axis along which both the skip-vector-array savings and
+the parallel speedup vary.  Grid and random graphs are provided as
+additional stress shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+from repro.query.joingraph import JoinGraph
+from repro.util.errors import ValidationError
+from repro.util.rng import derive_rng
+
+
+def _selectivities(count: int, seed: int, label: str) -> list[float]:
+    """Draw ``count`` selectivities log-uniformly from ``[1e-4, 0.5]``."""
+    rng = derive_rng(seed, "selectivity", label)
+    lo, hi = math.log(1e-4), math.log(0.5)
+    return [math.exp(rng.uniform(lo, hi)) for _ in range(count)]
+
+
+def chain_graph(n: int, seed: int = 0) -> JoinGraph:
+    """Chain: ``0 — 1 — 2 — … — n-1``."""
+    _require_n(n, 1)
+    sels = _selectivities(max(0, n - 1), seed, "chain")
+    return JoinGraph(n, [(i, i + 1, sels[i]) for i in range(n - 1)])
+
+
+def cycle_graph(n: int, seed: int = 0) -> JoinGraph:
+    """Cycle: a chain with the additional closing edge ``n-1 — 0``."""
+    _require_n(n, 3)
+    sels = _selectivities(n, seed, "cycle")
+    edges = [(i, i + 1, sels[i]) for i in range(n - 1)]
+    edges.append((0, n - 1, sels[n - 1]))
+    return JoinGraph(n, edges)
+
+
+def star_graph(n: int, seed: int = 0) -> JoinGraph:
+    """Star: relation 0 is the hub joined to every other relation."""
+    _require_n(n, 2)
+    sels = _selectivities(n - 1, seed, "star")
+    return JoinGraph(n, [(0, i, sels[i - 1]) for i in range(1, n)])
+
+
+def clique_graph(n: int, seed: int = 0) -> JoinGraph:
+    """Clique: every pair of relations is joined."""
+    _require_n(n, 2)
+    count = n * (n - 1) // 2
+    sels = _selectivities(count, seed, "clique")
+    edges = []
+    k = 0
+    for u in range(n):
+        for v in range(u + 1, n):
+            edges.append((u, v, sels[k]))
+            k += 1
+    return JoinGraph(n, edges)
+
+
+def grid_graph(n: int, seed: int = 0) -> JoinGraph:
+    """Grid: relations arranged in the most-square grid with ``n`` cells.
+
+    Each relation is joined to its right and lower neighbour.  Falls back to
+    a chain when ``n`` is prime-ish enough that the grid degenerates to one
+    row.
+    """
+    _require_n(n, 1)
+    rows = max(1, int(math.isqrt(n)))
+    while n % rows:
+        rows -= 1
+    cols = n // rows
+    edges_ix: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            idx = r * cols + c
+            if c + 1 < cols:
+                edges_ix.append((idx, idx + 1))
+            if r + 1 < rows:
+                edges_ix.append((idx, idx + cols))
+    sels = _selectivities(len(edges_ix), seed, "grid")
+    return JoinGraph(
+        n, [(u, v, sels[i]) for i, (u, v) in enumerate(edges_ix)]
+    )
+
+
+def random_graph(n: int, seed: int = 0, edge_probability: float = 0.35) -> JoinGraph:
+    """Connected random graph: a random spanning tree plus extra edges.
+
+    Each non-tree pair is added independently with ``edge_probability``.
+    """
+    _require_n(n, 1)
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValidationError(
+            f"edge_probability must be in [0, 1], got {edge_probability}"
+        )
+    rng = derive_rng(seed, "random-structure", n)
+    # Random spanning tree: attach each new vertex to a random earlier one.
+    pairs: set[tuple[int, int]] = set()
+    for v in range(1, n):
+        u = rng.randrange(v)
+        pairs.add((u, v))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if (u, v) not in pairs and rng.random() < edge_probability:
+                pairs.add((u, v))
+    ordered = sorted(pairs)
+    sels = _selectivities(len(ordered), seed, "random")
+    return JoinGraph(
+        n, [(u, v, sels[i]) for i, (u, v) in enumerate(ordered)]
+    )
+
+
+def _require_n(n: int, minimum: int) -> None:
+    if n < minimum:
+        raise ValidationError(f"topology requires n >= {minimum}, got {n}")
+
+
+TOPOLOGIES: dict[str, Callable[..., JoinGraph]] = {
+    "chain": chain_graph,
+    "cycle": cycle_graph,
+    "star": star_graph,
+    "clique": clique_graph,
+    "grid": grid_graph,
+    "random": random_graph,
+}
+"""Registry of topology generators keyed by the names used in benchmarks."""

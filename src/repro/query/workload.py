@@ -1,0 +1,95 @@
+"""Seeded workload generation.
+
+A :class:`WorkloadSpec` names a topology, a query size, and a seed; a
+:class:`Workload` is a reproducible sequence of queries drawn from it.  This
+mirrors the paper's evaluation procedure: for each (topology, n) grid point,
+many random queries are generated and the reported number is an aggregate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, replace
+
+from repro.catalog.generator import CatalogGeneratorConfig, generate_catalog
+from repro.query.joingraph import Query
+from repro.query.topologies import TOPOLOGIES
+from repro.util.errors import ValidationError
+from repro.util.rng import spawn_seed
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Description of a family of random queries.
+
+    Attributes:
+        topology: One of :data:`repro.query.topologies.TOPOLOGIES`.
+        n_relations: Number of relations per query.
+        seed: Master seed; queries ``0 … count-1`` derive child seeds.
+        count: Number of queries in the workload.
+        catalog_config: Cardinality/width ranges for the synthetic catalog.
+    """
+
+    topology: str
+    n_relations: int
+    seed: int = 0
+    count: int = 1
+    catalog_config: CatalogGeneratorConfig = CatalogGeneratorConfig()
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ValidationError(
+                f"unknown topology {self.topology!r}; "
+                f"expected one of {sorted(TOPOLOGIES)}"
+            )
+        if self.n_relations < 1:
+            raise ValidationError("n_relations must be >= 1")
+        if self.count < 1:
+            raise ValidationError("count must be >= 1")
+
+    def with_count(self, count: int) -> "WorkloadSpec":
+        """Copy of this spec with a different query count."""
+        return replace(self, count=count)
+
+
+def generate_query(spec: WorkloadSpec, index: int = 0) -> Query:
+    """Generate the ``index``-th query of a workload spec.
+
+    Deterministic in ``(spec, index)``: the catalog and graph seeds are both
+    derived from the spec seed and the query index.
+    """
+    if not 0 <= index < spec.count:
+        raise ValidationError(
+            f"query index {index} out of range for count={spec.count}"
+        )
+    child = spawn_seed(spec.seed, spec.topology, spec.n_relations, index)
+    catalog = generate_catalog(
+        spec.n_relations, seed=child, config=spec.catalog_config
+    )
+    graph = TOPOLOGIES[spec.topology](spec.n_relations, seed=child)
+    label = f"{spec.topology}-n{spec.n_relations}-q{index}"
+    return Query.from_catalog(catalog, graph, label=label)
+
+
+class Workload:
+    """A reproducible sequence of queries from one spec."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+
+    def __len__(self) -> int:
+        return self.spec.count
+
+    def __iter__(self) -> Iterator[Query]:
+        for index in range(self.spec.count):
+            yield generate_query(self.spec, index)
+
+    def __getitem__(self, index: int) -> Query:
+        return generate_query(self.spec, index)
+
+    def __repr__(self) -> str:
+        s = self.spec
+        return (
+            f"Workload({s.topology}, n={s.n_relations}, count={s.count}, "
+            f"seed={s.seed})"
+        )

@@ -1,0 +1,34 @@
+"""Simulated shared-memory multicore substrate.
+
+The paper's headline measurement — wall-clock speedup of threads sharing a
+memo table — cannot be reproduced with CPython threads (GIL).  This package
+substitutes a *deterministic* multicore model: the DP work itself runs for
+real (plans, costs, and memo contents are exact), while the clock is
+virtual.  Each primitive enumeration operation has a fixed virtual cost
+(:class:`~repro.simx.costparams.SimCostParams`); a virtual thread's busy
+time is the weighted sum of the operations in its assigned work units; a
+stratum's wall time is the busiest thread plus a barrier cost; memo-latch
+contention adds a deterministic penalty per conflicting writer.
+
+Because everything is a function of exact operation counts, simulated
+speedup curves are reproducible to the bit and reflect precisely the
+algorithmic properties (work partitioning, barrier count, contention) that
+determined the paper's measured speedups.
+"""
+
+from repro.simx.calibrate import calibrate_seconds_per_unit, estimated_seconds
+from repro.simx.costparams import SimCostParams
+from repro.simx.machine import SimulatedMachine
+from repro.simx.report import SimReport, StratumTiming
+from repro.simx.timeline import render_gantt, timeline_rows
+
+__all__ = [
+    "SimCostParams",
+    "SimulatedMachine",
+    "SimReport",
+    "StratumTiming",
+    "render_gantt",
+    "timeline_rows",
+    "calibrate_seconds_per_unit",
+    "estimated_seconds",
+]

@@ -1,0 +1,59 @@
+"""Calibrating the virtual clock against wall time.
+
+The simulated machine reports abstract units.  For readers who want
+real-seconds estimates, :func:`calibrate_seconds_per_unit` measures serial
+runs of a reference workload and fits the single scale factor
+
+    seconds_per_unit = median( measured_elapsed / work_time(meter) )
+
+Because parallel timing in the simulator is built from the same operation
+counts, multiplying a :class:`~repro.simx.report.SimReport`'s totals by
+this factor yields a "what a host like this one would take" estimate —
+explicitly an extrapolation, not a measurement, and labelled as such in
+the experiment outputs.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.query.workload import WorkloadSpec, generate_query
+from repro.simx.costparams import SimCostParams
+from repro.sva.dpsva import DPsva
+from repro.util.errors import ValidationError
+
+
+def calibrate_seconds_per_unit(
+    params: SimCostParams | None = None,
+    topology: str = "star",
+    n: int = 10,
+    queries: int = 3,
+    seed: int = 0,
+) -> float:
+    """Fit the real-seconds scale of the virtual clock on this host.
+
+    Runs serial DPsva on ``queries`` reference queries and returns the
+    median ratio of measured wall seconds to metered virtual units.
+    """
+    if queries < 1:
+        raise ValidationError("queries must be >= 1")
+    params = params or SimCostParams()
+    spec = WorkloadSpec(topology, n, seed=seed, count=queries)
+    ratios = []
+    for index in range(queries):
+        query = generate_query(spec, index)
+        result = DPsva().optimize(query)
+        virtual = params.work_time(result.meter)
+        if virtual <= 0:
+            raise ValidationError(
+                "reference query produced no metered work; use a larger n"
+            )
+        ratios.append(result.elapsed_seconds / virtual)
+    return statistics.median(ratios)
+
+
+def estimated_seconds(total_virtual_time: float, seconds_per_unit: float) -> float:
+    """Scale a simulated total into estimated host seconds."""
+    if seconds_per_unit <= 0:
+        raise ValidationError("seconds_per_unit must be positive")
+    return total_virtual_time * seconds_per_unit

@@ -1,0 +1,95 @@
+"""Virtual cost parameters for the simulated machine.
+
+Unit costs are expressed in abstract "virtual nanoseconds".  The defaults
+are proportioned after profiling the pure-Python kernels (a candidate-pair
+check is the cheap unit; emitting and costing a plan is several times
+that; synchronization costs are orders of magnitude above per-pair work,
+matching the barrier/latch economics of the paper's setting).  Absolute
+values only scale the clock; *relative* values shape the speedup curves.
+The parameters are explicit and serializable precisely so that experiments
+can state them and ablations (E6) can vary them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.memo.counters import WorkMeter
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class SimCostParams:
+    """Per-operation virtual costs and synchronization overheads.
+
+    Attributes:
+        pair_check: One candidate-pair inspection (incl. disjointness test).
+        conn_check: One connectivity / crossing-edge test.
+        emit: One (pair, join-method) plan costing.
+        memo_insert: Installing a new memo entry.
+        memo_improve: Improving an existing entry in place.
+        submask_step: One step of the DPsub submask walk.
+        sva_step: One skip-vector scan position.
+        sva_skip: Taking one skip pointer.
+        sva_build_op: One skip-vector construction operation.
+        latch: Uncontended latch acquire/release around a memo update.
+        latch_conflict: Extra penalty paid by a writer for each *other*
+            thread updating the same memo entry within the same stratum.
+        barrier_base: Fixed cost of one end-of-stratum barrier.
+        barrier_per_thread: Additional barrier cost per participating thread.
+        spawn_per_thread: One-time worker startup cost per thread.
+        master_per_unit: Serial master-side cost of creating/assigning one
+            work unit.
+    """
+
+    pair_check: float = 1.0
+    conn_check: float = 2.0
+    emit: float = 6.0
+    memo_insert: float = 4.0
+    memo_improve: float = 2.0
+    submask_step: float = 1.0
+    sva_step: float = 1.3
+    sva_skip: float = 1.6
+    sva_build_op: float = 2.5
+    latch: float = 0.8
+    latch_conflict: float = 0.5
+    barrier_base: float = 500.0
+    barrier_per_thread: float = 100.0
+    spawn_per_thread: float = 1_000.0
+    master_per_unit: float = 10.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ValidationError(f"{f.name} must be >= 0")
+
+    def work_time(self, meter: WorkMeter) -> float:
+        """Virtual busy time of the operations recorded in ``meter``.
+
+        Synchronization costs (latch conflicts, barriers, spawn) are *not*
+        included — the machine accounts those separately; the uncontended
+        latch cost is charged per valid pair, since every plan emission in
+        the shared-memo design updates an entry under its latch.
+        """
+        return (
+            self.pair_check * meter.pairs_considered
+            + self.conn_check * meter.conn_checks
+            + self.emit * meter.plans_emitted
+            + self.memo_insert * meter.memo_inserts
+            + self.memo_improve * meter.memo_improvements
+            + self.submask_step * meter.submask_steps
+            + self.sva_step * meter.sva_steps
+            + self.sva_skip * meter.sva_skips
+            + self.sva_build_op * meter.sva_build_ops
+            + self.latch * meter.pairs_valid
+        )
+
+    def barrier_cost(self, threads: int) -> float:
+        """Virtual cost of one barrier across ``threads`` workers."""
+        if threads <= 1:
+            return 0.0
+        return self.barrier_base + self.barrier_per_thread * threads
+
+    def as_dict(self) -> dict[str, float]:
+        """All parameters as a plain dict (for experiment manifests)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

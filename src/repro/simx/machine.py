@@ -1,0 +1,67 @@
+"""The simulated multicore machine.
+
+Accumulates a :class:`~repro.simx.report.SimReport` from per-unit work
+meters handed over by the simulated executor.  The machine never runs
+code itself — it is a pure accounting object, which keeps the timing model
+auditable: every number in a report is a stated function of exact
+operation counts.
+"""
+
+from __future__ import annotations
+
+from repro.memo.counters import WorkMeter
+from repro.simx.contention import contention_penalties
+from repro.simx.costparams import SimCostParams
+from repro.simx.report import SimReport, StratumTiming
+from repro.util.errors import ValidationError
+
+
+class SimulatedMachine:
+    """Virtual-time accounting for one parallel optimization run."""
+
+    def __init__(self, threads: int, params: SimCostParams | None = None) -> None:
+        if threads < 1:
+            raise ValidationError(f"threads must be >= 1, got {threads}")
+        self.threads = threads
+        self.params = params or SimCostParams()
+        self.report = SimReport(threads=threads)
+        self.report.spawn_cost = (
+            self.params.spawn_per_thread * threads if threads > 1 else 0.0
+        )
+
+    def label(self, algorithm: str, allocation: str) -> None:
+        """Attach run labels to the report."""
+        self.report.algorithm = algorithm
+        self.report.allocation = allocation
+
+    def charge_master(self, unit_count: int) -> None:
+        """Serial master-side cost of generating/assigning work units."""
+        self.report.master_cost += self.params.master_per_unit * unit_count
+
+    def unit_time(self, meter: WorkMeter) -> float:
+        """Virtual busy time of one work unit."""
+        return self.params.work_time(meter)
+
+    def record_stratum(
+        self,
+        size: int,
+        unit_count: int,
+        busy: list[float],
+        touches: list[dict[int, int]],
+    ) -> StratumTiming:
+        """Close a stratum: apply contention and the barrier, store timing."""
+        if len(busy) != self.threads or len(touches) != self.threads:
+            raise ValidationError(
+                "busy/touches must have one slot per thread"
+            )
+        penalties, conflicts = contention_penalties(touches, self.params)
+        timing = StratumTiming(
+            size=size,
+            unit_count=unit_count,
+            busy=list(busy),
+            contention=penalties,
+            barrier_cost=self.params.barrier_cost(self.threads),
+            conflicts=conflicts,
+        )
+        self.report.strata.append(timing)
+        return timing

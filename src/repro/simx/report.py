@@ -1,0 +1,151 @@
+"""Timing reports produced by the simulated machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StratumTiming:
+    """Virtual timing of one DP stratum.
+
+    Attributes:
+        size: Result quantifier-set size of the stratum.
+        unit_count: Number of work units executed.
+        busy: Per-thread busy time (kernel work only).
+        contention: Per-thread latch-conflict penalty.
+        barrier_cost: Cost of the end-of-stratum barrier.
+        conflicts: Total latch-conflict events (pairs of concurrent writers
+            counted per entry).
+    """
+
+    size: int
+    unit_count: int
+    busy: list[float]
+    contention: list[float]
+    barrier_cost: float
+    conflicts: int
+
+    @property
+    def thread_times(self) -> list[float]:
+        """Busy plus contention time per thread."""
+        return [b + c for b, c in zip(self.busy, self.contention)]
+
+    @property
+    def wall_time(self) -> float:
+        """Stratum wall time: the slowest thread plus the barrier."""
+        slowest = max(self.thread_times, default=0.0)
+        return slowest + self.barrier_cost
+
+    @property
+    def busy_total(self) -> float:
+        """Sum of all threads' busy time (the stratum's total work)."""
+        return sum(self.busy)
+
+    @property
+    def imbalance(self) -> float:
+        """Max thread time over mean thread time; 1.0 is perfectly even.
+
+        Only threads participating in the stratum are counted; an empty
+        stratum reports 1.0.
+        """
+        times = self.thread_times
+        total = sum(times)
+        if total == 0:
+            return 1.0
+        mean = total / len(times)
+        return max(times) / mean
+
+
+@dataclass
+class SimReport:
+    """Virtual timing of one complete parallel optimization run.
+
+    Attributes:
+        threads: Worker threads simulated.
+        strata: Per-stratum timings, in execution order.
+        spawn_cost: One-time worker startup cost.
+        master_cost: Serial master-side cost (unit generation/assignment).
+        allocation: Name of the allocation scheme used.
+        algorithm: Name of the parallel algorithm.
+    """
+
+    threads: int
+    algorithm: str = ""
+    allocation: str = ""
+    strata: list[StratumTiming] = field(default_factory=list)
+    spawn_cost: float = 0.0
+    master_cost: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end virtual wall time."""
+        return (
+            self.spawn_cost
+            + self.master_cost
+            + sum(s.wall_time for s in self.strata)
+        )
+
+    @property
+    def busy_total(self) -> float:
+        """Total kernel work across all threads and strata."""
+        return sum(s.busy_total for s in self.strata)
+
+    @property
+    def sync_overhead(self) -> float:
+        """Total overhead *work* across all threads: barriers, contention,
+        spawn, and serial master time.  Aggregated over threads, so it is
+        not a wall-clock quantity — see :attr:`overhead_wall` for that."""
+        barriers = sum(s.barrier_cost for s in self.strata)
+        contention = sum(sum(s.contention) for s in self.strata)
+        return barriers + contention + self.spawn_cost + self.master_cost
+
+    @property
+    def critical_busy(self) -> float:
+        """Kernel work on the critical path: the busiest thread's busy
+        time, summed over strata."""
+        return sum(max(s.busy, default=0.0) for s in self.strata)
+
+    @property
+    def overhead_wall(self) -> float:
+        """Wall-clock time not spent on critical-path kernel work:
+        barriers, spawn, master serial time, and contention delays on the
+        slowest thread.  ``overhead_wall / total_time`` is the fraction of
+        the run lost to synchronization."""
+        return self.total_time - self.critical_busy
+
+    @property
+    def total_conflicts(self) -> int:
+        """Latch-conflict events across the whole run."""
+        return sum(s.conflicts for s in self.strata)
+
+    @property
+    def mean_imbalance(self) -> float:
+        """Work-weighted mean of per-stratum imbalance."""
+        weights = [s.busy_total for s in self.strata]
+        total = sum(weights)
+        if total == 0:
+            return 1.0
+        return (
+            sum(s.imbalance * w for s, w in zip(self.strata, weights)) / total
+        )
+
+    def speedup_vs(self, serial_time: float) -> float:
+        """Speedup relative to a serial virtual time."""
+        if self.total_time == 0:
+            return float("inf")
+        return serial_time / self.total_time
+
+    def efficiency_vs(self, serial_time: float) -> float:
+        """Parallel efficiency: speedup / threads."""
+        return self.speedup_vs(serial_time) / self.threads
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm or 'parallel'}[{self.allocation}] x{self.threads}: "
+            f"time={self.total_time:.0f} busy={self.busy_total:.0f} "
+            f"sync={self.sync_overhead:.0f} "
+            f"imbalance={self.mean_imbalance:.3f} "
+            f"conflicts={self.total_conflicts}"
+        )

@@ -1,0 +1,76 @@
+"""Timeline rendering and export for simulated runs.
+
+Turns a :class:`~repro.simx.report.SimReport` into a per-stratum,
+per-thread table (CSV-able) and an ASCII Gantt-style chart that makes the
+two failure modes of parallel enumeration visible at a glance: idle
+threads (imbalance) and barrier-dominated strata (thin work).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.simx.report import SimReport
+
+
+def timeline_rows(report: SimReport) -> list[dict]:
+    """One row per (stratum, thread) with busy/contention/idle breakdown.
+
+    Idle time is measured against the stratum's slowest thread (the
+    barrier releases everyone together).
+    """
+    rows: list[dict] = []
+    for stratum in report.strata:
+        slowest = max(stratum.thread_times, default=0.0)
+        for t, (busy, contention) in enumerate(
+            zip(stratum.busy, stratum.contention)
+        ):
+            rows.append(
+                {
+                    "stratum": stratum.size,
+                    "thread": t,
+                    "busy": busy,
+                    "contention": contention,
+                    "idle": slowest - (busy + contention),
+                    "barrier": stratum.barrier_cost,
+                }
+            )
+    return rows
+
+
+def render_gantt(report: SimReport, width: int = 48) -> str:
+    """ASCII Gantt chart: one block row per stratum, one line per thread.
+
+    ``#`` is busy time, ``~`` contention, ``.`` idle-before-barrier; each
+    stratum is scaled to its own wall time so shapes stay readable across
+    exponentially growing strata.
+    """
+    out = io.StringIO()
+    label = report.algorithm or "parallel"
+    out.write(
+        f"{label} x{report.threads}"
+        f" — total {report.total_time:.0f} units\n"
+    )
+    for stratum in report.strata:
+        slowest = max(stratum.thread_times, default=0.0)
+        out.write(
+            f"stratum {stratum.size:>2} "
+            f"(wall {stratum.wall_time:,.0f}, "
+            f"{stratum.unit_count} units)\n"
+        )
+        if slowest <= 0:
+            continue
+        for t in range(report.threads):
+            busy = stratum.busy[t]
+            contention = stratum.contention[t]
+            busy_cells = round(width * busy / slowest)
+            cont_cells = round(width * contention / slowest)
+            idle_cells = max(0, width - busy_cells - cont_cells)
+            out.write(
+                f"  t{t:<2} "
+                + "#" * busy_cells
+                + "~" * cont_cells
+                + "." * idle_cells
+                + "\n"
+            )
+    return out.getvalue().rstrip("\n")

@@ -1,0 +1,32 @@
+"""SQL frontend: parse SPJ queries into the optimizer's query model.
+
+Supports the select-project-join subset the optimizers operate on::
+
+    SELECT * FROM orders o, lineitem l, part p
+    WHERE o.c0 = l.c1 AND l.c2 = p.c0 AND p.c3 = 42
+
+* ``FROM`` lists relations with optional aliases; two aliases of the same
+  catalog table become two independent relations (self-joins).
+* Join predicates (``a.x = b.y``) become join-graph edges; selectivity is
+  derived from catalog distinct counts as ``1 / max(d(a.x), d(b.y))``,
+  the classic System-R estimate.  Multiple predicates between the same
+  pair multiply.
+* Local predicates (``a.x = <literal>``) scale the relation's effective
+  cardinality by ``1 / d(a.x)``.
+* Explicit ``JOIN … ON`` syntax is accepted as sugar for the same thing.
+
+:func:`optimize_sql` is the one-call convenience wrapper.
+"""
+
+from repro.sql.binder import bind
+from repro.sql.parser import ParseError, SelectStatement, parse_select
+from repro.sql.api import optimize_sql, sql_to_query
+
+__all__ = [
+    "ParseError",
+    "SelectStatement",
+    "parse_select",
+    "bind",
+    "sql_to_query",
+    "optimize_sql",
+]

@@ -1,0 +1,27 @@
+"""Convenience entry points for the SQL frontend."""
+
+from __future__ import annotations
+
+from repro.catalog.model import Catalog
+from repro.query.joingraph import Query
+from repro.sql.binder import bind
+from repro.sql.parser import parse_select
+
+
+def sql_to_query(sql: str, catalog: Catalog, label: str = "sql") -> Query:
+    """Parse and bind an SPJ SELECT statement into a Query."""
+    return bind(parse_select(sql), catalog, label=label)
+
+
+def optimize_sql(sql: str, catalog: Catalog, **optimize_options):
+    """Parse, bind, and optimize in one call.
+
+    Keyword options are forwarded to :func:`repro.optimize`
+    (``algorithm``, ``threads``, ``cost_model``, ``cross_products``, …).
+    """
+    from repro import optimize
+
+    query = sql_to_query(sql, catalog)
+    if not query.graph.is_connected():
+        optimize_options.setdefault("cross_products", True)
+    return optimize(query, **optimize_options)

@@ -1,0 +1,83 @@
+"""Binding: resolve a parsed statement against a catalog into a Query.
+
+Selectivity derivation follows System R:
+
+* join predicate ``a.x = b.y`` → ``1 / max(d(a.x), d(b.y))`` where ``d``
+  is the column's distinct count; multiple predicates on the same
+  relation pair multiply (clamped into ``(0, 1]``).
+* local predicate ``a.x = literal`` → the relation's effective
+  cardinality becomes ``max(1, |a| / d(a.x))``.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.model import Catalog
+from repro.query.joingraph import JoinGraph, Query
+from repro.sql.parser import ColumnRef, SelectStatement
+from repro.util.errors import ValidationError
+
+
+def _resolve_column(catalog: Catalog, alias_tables, ref: ColumnRef):
+    """Return (relation index, Column) for an ``alias.column`` reference."""
+    if ref.table not in alias_tables:
+        raise ValidationError(f"unknown relation alias {ref.table!r}")
+    index, table_name = alias_tables[ref.table]
+    table = catalog.table(table_name)
+    try:
+        column = table.column(ref.column)
+    except KeyError:
+        raise ValidationError(
+            f"table {table_name!r} (alias {ref.table!r}) has no column "
+            f"{ref.column!r}"
+        ) from None
+    return index, column
+
+
+def bind(statement: SelectStatement, catalog: Catalog, label: str = "sql") -> Query:
+    """Bind ``statement`` against ``catalog`` and return a Query."""
+    if not statement.relations:
+        raise ValidationError("FROM list is empty")
+    alias_tables: dict[str, tuple[int, str]] = {}
+    for index, item in enumerate(statement.relations):
+        if item.table not in catalog:
+            raise ValidationError(f"unknown table {item.table!r}")
+        alias_tables[item.alias] = (index, item.table)
+
+    n = len(statement.relations)
+    cardinalities = [
+        float(catalog.table(item.table).cardinality)
+        for item in statement.relations
+    ]
+
+    # Local predicates scale effective cardinalities.
+    for predicate in statement.filters:
+        index, column = _resolve_column(catalog, alias_tables, predicate.column)
+        cardinalities[index] = max(
+            1.0, cardinalities[index] / column.distinct_count
+        )
+
+    # Join predicates become edges; parallel predicates multiply.
+    edge_selectivity: dict[tuple[int, int], float] = {}
+    for predicate in statement.joins:
+        li, lcol = _resolve_column(catalog, alias_tables, predicate.left)
+        ri, rcol = _resolve_column(catalog, alias_tables, predicate.right)
+        if li == ri:
+            raise ValidationError(
+                f"predicate {predicate.left} = {predicate.right} "
+                "compares a relation with itself"
+            )
+        key = (li, ri) if li < ri else (ri, li)
+        selectivity = 1.0 / max(lcol.distinct_count, rcol.distinct_count)
+        edge_selectivity[key] = max(
+            1e-12, edge_selectivity.get(key, 1.0) * selectivity
+        )
+
+    graph = JoinGraph(
+        n, [(u, v, s) for (u, v), s in sorted(edge_selectivity.items())]
+    )
+    return Query(
+        graph=graph,
+        relation_names=tuple(item.alias for item in statement.relations),
+        cardinalities=tuple(cardinalities),
+        label=label,
+    )

@@ -1,0 +1,77 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ReproError
+
+
+class LexError(ReproError):
+    """Input could not be tokenized."""
+
+
+KEYWORDS = {"select", "from", "where", "and", "join", "on", "as", "inner"}
+
+PUNCTUATION = {",", "=", "*", "(", ")", ".", ";"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``keyword``, ``name``, ``number``, ``string``,
+    ``punct``, ``eof``; ``text`` is the raw (keywords lowercased) text and
+    ``pos`` the character offset for error messages.
+    """
+
+    kind: str
+    text: str
+    pos: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; always ends with an ``eof`` token."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        if ch == "'":
+            end = sql.find("'", i + 1)
+            if end < 0:
+                raise LexError(f"unterminated string literal at {i}")
+            tokens.append(Token("string", sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < length and sql[i + 1].isdigit()
+        ):
+            j = i + 1
+            while j < length and (sql[j].isdigit() or sql[j] == "."):
+                j += 1
+            tokens.append(Token("number", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < length and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, i))
+            else:
+                tokens.append(Token("name", word, i))
+            i = j
+            continue
+        raise LexError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("eof", "", length))
+    return tokens

@@ -1,0 +1,174 @@
+"""Recursive-descent parser for the SPJ subset.
+
+Grammar::
+
+    select    := SELECT '*' FROM from_list [WHERE conjunct] [';']
+    from_list := from_item ((',' | [INNER] JOIN) from_item [ON conjunct])*
+    from_item := name [[AS] name]
+    conjunct  := predicate (AND predicate)*
+    predicate := colref '=' (colref | literal)
+    colref    := name '.' name
+    literal   := number | string
+
+``JOIN … ON`` and comma-plus-``WHERE`` are normalized into the same AST:
+a relation list plus a flat conjunction of predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.lexer import Token, tokenize
+from repro.util.errors import ReproError
+
+
+class ParseError(ReproError):
+    """The SQL text does not match the supported subset."""
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    """``alias.column`` reference."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
+class JoinPredicate:
+    """Equality between two column references."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+
+@dataclass(frozen=True, slots=True)
+class LocalPredicate:
+    """Equality between a column reference and a literal."""
+
+    column: ColumnRef
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class FromItem:
+    """A relation in the FROM list: catalog table name plus alias."""
+
+    table: str
+    alias: str
+
+
+@dataclass
+class SelectStatement:
+    """Normalized SPJ statement."""
+
+    relations: list[FromItem] = field(default_factory=list)
+    joins: list[JoinPredicate] = field(default_factory=list)
+    filters: list[LocalPredicate] = field(default_factory=list)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], sql: str) -> None:
+        self.tokens = tokens
+        self.sql = sql
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        context = self.sql[max(0, token.pos - 12) : token.pos + 12]
+        return ParseError(
+            f"{message} at position {token.pos} (near {context!r})"
+        )
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise self.error(f"expected {want!r}, found {token.text!r}")
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> SelectStatement:
+        self.expect("keyword", "select")
+        self.expect("punct", "*")
+        self.expect("keyword", "from")
+        stmt = SelectStatement()
+        self._from_item(stmt)
+        while True:
+            if self.accept("punct", ","):
+                self._from_item(stmt)
+            elif self.peek().text in ("join", "inner"):
+                self.accept("keyword", "inner")
+                self.expect("keyword", "join")
+                self._from_item(stmt)
+                if self.accept("keyword", "on"):
+                    self._conjunct(stmt)
+            else:
+                break
+        if self.accept("keyword", "where"):
+            self._conjunct(stmt)
+        self.accept("punct", ";")
+        self.expect("eof")
+        return stmt
+
+    def _from_item(self, stmt: SelectStatement) -> None:
+        table = self.expect("name").text
+        alias = table
+        if self.accept("keyword", "as"):
+            alias = self.expect("name").text
+        elif self.peek().kind == "name":
+            alias = self.advance().text
+        for item in stmt.relations:
+            if item.alias == alias:
+                raise self.error(f"duplicate alias {alias!r}")
+        stmt.relations.append(FromItem(table=table, alias=alias))
+
+    def _conjunct(self, stmt: SelectStatement) -> None:
+        while True:
+            self._predicate(stmt)
+            if not self.accept("keyword", "and"):
+                break
+
+    def _predicate(self, stmt: SelectStatement) -> None:
+        left = self._colref()
+        self.expect("punct", "=")
+        token = self.peek()
+        if token.kind == "name":
+            right = self._colref()
+            stmt.joins.append(JoinPredicate(left=left, right=right))
+        elif token.kind in ("number", "string"):
+            self.advance()
+            stmt.filters.append(LocalPredicate(column=left, value=token.text))
+        else:
+            raise self.error("expected column reference or literal")
+
+    def _colref(self) -> ColumnRef:
+        table = self.expect("name").text
+        self.expect("punct", ".")
+        column = self.expect("name").text
+        return ColumnRef(table=table, column=column)
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse one SPJ SELECT statement."""
+    return _Parser(tokenize(sql), sql).parse()

@@ -1,0 +1,24 @@
+"""Statistics collection: histograms and data-derived catalogs.
+
+Closes the loop between the engine and the optimizer: given materialized
+tables (:mod:`repro.engine`), this package builds per-column histograms
+(equi-width and equi-depth), estimates equality/range/join selectivities
+from them, and can refresh a :class:`~repro.catalog.model.Catalog` so the
+SQL binder's estimates come from measured data rather than declared
+statistics — the ANALYZE step of a real system.
+"""
+
+from repro.stats.histogram import EquiDepthHistogram, EquiWidthHistogram
+from repro.stats.collect import (
+    collect_column_stats,
+    join_selectivity_from_histograms,
+    refresh_catalog,
+)
+
+__all__ = [
+    "EquiWidthHistogram",
+    "EquiDepthHistogram",
+    "collect_column_stats",
+    "join_selectivity_from_histograms",
+    "refresh_catalog",
+]

@@ -1,0 +1,94 @@
+"""Statistics collection from materialized tables.
+
+``collect_column_stats`` runs the ANALYZE pass over an engine
+:class:`~repro.engine.tables.DataTable`; ``refresh_catalog`` rebuilds a
+:class:`~repro.catalog.model.Catalog` from a whole
+:class:`~repro.engine.tables.Database`, so declared statistics can be
+replaced by measured ones.  ``join_selectivity_from_histograms`` is the
+histogram generalization of the System-R ``1/max(d1, d2)`` rule.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.model import Catalog, Column, TableStats
+from repro.engine.tables import Database, DataTable
+from repro.stats.histogram import EquiDepthHistogram
+
+
+def collect_column_stats(
+    table: DataTable, buckets: int = 16
+) -> dict[str, EquiDepthHistogram]:
+    """Build an equi-depth histogram for every column of ``table``.
+
+    Only numeric columns are summarized; non-numeric values raise
+    ``TypeError`` from sorting, which is deliberate — the engine's tables
+    are numeric by construction.
+    """
+    stats: dict[str, EquiDepthHistogram] = {}
+    for index, column in enumerate(table.columns):
+        values = [row[index] for row in table.rows]
+        stats[column] = EquiDepthHistogram.build(values, buckets=buckets)
+    return stats
+
+
+def join_selectivity_from_histograms(
+    a: EquiDepthHistogram, b: EquiDepthHistogram
+) -> float:
+    """Estimated equi-join selectivity between two columns.
+
+    Bucket-pair refinement of the System-R rule: for each overlapping
+    bucket pair, the joint mass is ``m_a · m_b`` scaled by the overlap and
+    divided by the larger distinct count in the overlap.  Degenerates to
+    ``1 / max(d_a, d_b)`` for single-bucket histograms over the same
+    domain.
+    """
+    if a.total_rows == 0 or b.total_rows == 0:
+        return 0.0
+    selectivity = 0.0
+    for ba in a.buckets:
+        if ba.rows == 0:
+            continue
+        mass_a = ba.rows / a.total_rows
+        for bb in b.buckets:
+            if bb.rows == 0:
+                continue
+            frac_a = ba.overlap_fraction(bb.lo, bb.hi)
+            frac_b = bb.overlap_fraction(ba.lo, ba.hi)
+            if frac_a == 0.0 and frac_b == 0.0:
+                continue
+            mass_b = bb.rows / b.total_rows
+            d_a = max(1.0, ba.distinct * frac_a)
+            d_b = max(1.0, bb.distinct * frac_b)
+            selectivity += (mass_a * frac_a) * (mass_b * frac_b) / max(d_a, d_b)
+    return max(0.0, min(1.0, selectivity))
+
+
+def refresh_catalog(
+    database: Database, buckets: int = 16
+) -> tuple[Catalog, dict[str, dict[str, EquiDepthHistogram]]]:
+    """ANALYZE a whole database.
+
+    Returns a catalog whose cardinalities and per-column distinct counts
+    are *measured* from the data, plus the histograms themselves (keyed by
+    table, then column) for selectivity queries.
+    """
+    catalog = Catalog()
+    histograms: dict[str, dict[str, EquiDepthHistogram]] = {}
+    for name, table in database.tables.items():
+        stats = collect_column_stats(table, buckets=buckets)
+        histograms[name] = stats
+        columns = tuple(
+            Column(
+                name=column,
+                distinct_count=max(1, stats[column].distinct_count),
+            )
+            for column in table.columns
+        )
+        catalog.add(
+            TableStats(
+                name=name,
+                cardinality=max(1, len(table)),
+                columns=columns,
+            )
+        )
+    return catalog, histograms

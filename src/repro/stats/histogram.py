@@ -1,0 +1,166 @@
+"""Equi-width and equi-depth histograms over numeric columns.
+
+Both histograms store per-bucket row counts and distinct-value estimates
+and answer the two selectivity questions the binder needs: the fraction of
+rows equal to a value, and the fraction falling in a closed range.  The
+uniform-within-bucket assumption is the classic one; equi-depth buckets
+bound its error on skewed data.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class Bucket:
+    """One histogram bucket over ``[lo, hi]`` (inclusive bounds).
+
+    Attributes:
+        lo: Smallest value covered.
+        hi: Largest value covered.
+        rows: Rows falling in the bucket.
+        distinct: Distinct values observed in the bucket.
+    """
+
+    lo: float
+    hi: float
+    rows: int
+    distinct: int
+
+    def overlap_fraction(self, lo: float, hi: float) -> float:
+        """Fraction of this bucket's width overlapping ``[lo, hi]``."""
+        if self.hi < lo or self.lo > hi:
+            return 0.0
+        width = self.hi - self.lo
+        if width <= 0:
+            return 1.0
+        covered = min(self.hi, hi) - max(self.lo, lo)
+        return max(0.0, min(1.0, covered / width))
+
+
+class _HistogramBase:
+    """Shared estimation logic over a bucket list."""
+
+    def __init__(self, buckets: list[Bucket], total_rows: int) -> None:
+        if total_rows < 0:
+            raise ValidationError("total_rows must be >= 0")
+        self.buckets = buckets
+        self.total_rows = total_rows
+        self._bounds = [b.hi for b in buckets]
+
+    @property
+    def distinct_count(self) -> int:
+        """Total distinct values (summed over buckets)."""
+        return sum(b.distinct for b in self.buckets)
+
+    def _bucket_for(self, value: float) -> Bucket | None:
+        index = bisect_left(self._bounds, value)
+        if index >= len(self.buckets):
+            return None
+        bucket = self.buckets[index]
+        if value < bucket.lo:
+            return None
+        return bucket
+
+    def estimate_eq(self, value: float) -> float:
+        """Estimated fraction of rows equal to ``value``."""
+        if self.total_rows == 0:
+            return 0.0
+        bucket = self._bucket_for(value)
+        if bucket is None or bucket.rows == 0:
+            return 0.0
+        return (bucket.rows / max(1, bucket.distinct)) / self.total_rows
+
+    def estimate_range(self, lo: float, hi: float) -> float:
+        """Estimated fraction of rows with ``lo <= value <= hi``."""
+        if self.total_rows == 0 or hi < lo:
+            return 0.0
+        if hi == lo:
+            # A point range has zero measure under the width model; fall
+            # back to the equality estimate.
+            return self.estimate_eq(lo)
+        covered = 0.0
+        for bucket in self.buckets:
+            covered += bucket.rows * bucket.overlap_fraction(lo, hi)
+        return min(1.0, covered / self.total_rows)
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+
+class EquiWidthHistogram(_HistogramBase):
+    """Buckets of equal value-range width."""
+
+    @classmethod
+    def build(cls, values, buckets: int = 16) -> "EquiWidthHistogram":
+        """Build from an iterable of numeric values."""
+        if buckets < 1:
+            raise ValidationError(f"buckets must be >= 1, got {buckets}")
+        data = sorted(values)
+        if not data:
+            return cls([], 0)
+        lo, hi = data[0], data[-1]
+        if hi == lo:
+            bucket = Bucket(lo=lo, hi=hi, rows=len(data), distinct=1)
+            return cls([bucket], len(data))
+        width = (hi - lo) / buckets
+        built: list[Bucket] = []
+        for i in range(buckets):
+            b_lo = lo + i * width
+            b_hi = hi if i == buckets - 1 else lo + (i + 1) * width
+            start = bisect_left(data, b_lo) if i else 0
+            end = bisect_right(data, b_hi) if i == buckets - 1 else bisect_left(
+                data, b_hi
+            )
+            chunk = data[start:end]
+            built.append(
+                Bucket(
+                    lo=b_lo,
+                    hi=b_hi,
+                    rows=len(chunk),
+                    distinct=len(set(chunk)),
+                )
+            )
+        return cls(built, len(data))
+
+
+class EquiDepthHistogram(_HistogramBase):
+    """Buckets holding (approximately) equal row counts."""
+
+    @classmethod
+    def build(cls, values, buckets: int = 16) -> "EquiDepthHistogram":
+        """Build from an iterable of numeric values."""
+        if buckets < 1:
+            raise ValidationError(f"buckets must be >= 1, got {buckets}")
+        data = sorted(values)
+        if not data:
+            return cls([], 0)
+        total = len(data)
+        buckets = min(buckets, total)
+        built: list[Bucket] = []
+        start = 0
+        for i in range(buckets):
+            end = round((i + 1) * total / buckets)
+            if end <= start:
+                continue
+            # Never split a run of equal values across buckets.
+            boundary_value = data[end - 1]
+            if end < total:
+                end = bisect_right(data, boundary_value)
+            chunk = data[start:end]
+            built.append(
+                Bucket(
+                    lo=chunk[0],
+                    hi=chunk[-1],
+                    rows=len(chunk),
+                    distinct=len(set(chunk)),
+                )
+            )
+            start = end
+            if start >= total:
+                break
+        return cls(built, total)

@@ -1,0 +1,15 @@
+"""Skip vector arrays and the DPsva enumerator.
+
+The skip vector array (SVA) is the paper's data structure for eliminating
+the dominant cost of DPsize: candidate operand pairs that fail the
+disjointness test.  Quantifier sets of a stratum are sorted
+lexicographically by member list and each position carries a vector of
+per-prefix skip pointers; a scan for partners disjoint from an outer set
+jumps over entire blocks of sets sharing a conflicting prefix instead of
+rejecting them one by one.
+"""
+
+from repro.sva.dpsva import DPsva
+from repro.sva.skipvector import SkipVectorArray
+
+__all__ = ["SkipVectorArray", "DPsva"]

@@ -1,0 +1,43 @@
+"""Low-level utilities shared across the library.
+
+The quantifier-set machinery in :mod:`repro.util.bitsets` is the foundation
+of every enumerator: a set of relations (quantifiers, in the paper's
+terminology) is represented as a plain Python ``int`` bitmask, which makes
+set algebra (union, intersection, disjointness) single bytecode operations.
+"""
+
+from repro.util.bitsets import (
+    all_subsets,
+    bit,
+    bits_of,
+    first_bit,
+    is_subset,
+    iter_submasks,
+    lowest_bit,
+    mask_of,
+    members,
+    popcount,
+    subsets_of_size,
+    universe,
+)
+from repro.util.errors import ReproError, ValidationError
+from repro.util.rng import derive_rng, spawn_seed
+
+__all__ = [
+    "all_subsets",
+    "bit",
+    "bits_of",
+    "first_bit",
+    "is_subset",
+    "iter_submasks",
+    "lowest_bit",
+    "mask_of",
+    "members",
+    "popcount",
+    "subsets_of_size",
+    "universe",
+    "ReproError",
+    "ValidationError",
+    "derive_rng",
+    "spawn_seed",
+]

@@ -1,0 +1,134 @@
+"""Quantifier sets as integer bitmasks.
+
+Every join enumerator in this library identifies a set of relations
+(*quantifier set* in the VLDB 2008 paper's terminology) by an ``int`` whose
+bit ``i`` is set iff relation ``i`` is a member.  Integers keep set algebra
+allocation-free: union is ``|``, intersection is ``&``, disjointness is
+``a & b == 0`` — the test whose cost the paper's skip vector arrays exist to
+avoid paying millions of times.
+
+All functions here are pure and operate on non-negative integers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+
+def bit(i: int) -> int:
+    """Return the singleton mask ``{i}``."""
+    return 1 << i
+
+
+def mask_of(indices) -> int:
+    """Build a mask from an iterable of member indices."""
+    mask = 0
+    for i in indices:
+        mask |= 1 << i
+    return mask
+
+
+def universe(n: int) -> int:
+    """Return the full set ``{0, …, n-1}``."""
+    return (1 << n) - 1
+
+
+def popcount(mask: int) -> int:
+    """Number of members of ``mask``."""
+    return mask.bit_count()
+
+
+def members(mask: int) -> list[int]:
+    """Member indices of ``mask`` in ascending order."""
+    return list(bits_of(mask))
+
+
+def bits_of(mask: int) -> Iterator[int]:
+    """Yield member indices of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def lowest_bit(mask: int) -> int:
+    """Return the singleton mask of the smallest member.
+
+    ``mask`` must be non-empty.
+    """
+    if mask == 0:
+        raise ValueError("empty mask has no lowest bit")
+    return mask & -mask
+
+
+def first_bit(mask: int) -> int:
+    """Return the index of the smallest member of a non-empty ``mask``."""
+    return lowest_bit(mask).bit_length() - 1
+
+
+def is_subset(sub: int, sup: int) -> bool:
+    """True iff every member of ``sub`` is a member of ``sup``."""
+    return sub & sup == sub
+
+
+def iter_submasks(mask: int) -> Iterator[int]:
+    """Yield every non-empty *proper* submask of ``mask``.
+
+    Uses the classic ``s = (s - 1) & mask`` walk, which enumerates submasks
+    in decreasing numeric order.  This is the inner loop of ``DPsub``.
+    """
+    sub = (mask - 1) & mask
+    while sub:
+        yield sub
+        sub = (sub - 1) & mask
+
+
+def all_subsets(mask: int) -> Iterator[int]:
+    """Yield every submask of ``mask`` including ``0`` and ``mask`` itself.
+
+    Enumerates in increasing numeric order.
+    """
+    sub = 0
+    while True:
+        yield sub
+        if sub == mask:
+            return
+        sub = (sub - mask) & mask
+
+
+def subsets_of_size(universe_mask: int, k: int) -> list[int]:
+    """All submasks of ``universe_mask`` with exactly ``k`` members.
+
+    Returned in increasing numeric order, which for masks over a contiguous
+    universe coincides with colexicographic order of the member tuples.  The
+    enumerators index their strata with these lists.
+    """
+    elems = members(universe_mask)
+    n = len(elems)
+    if k < 0 or k > n:
+        return []
+    if k == 0:
+        return [0]
+    out: list[int] = []
+
+    def build(start: int, remaining: int, acc: int) -> None:
+        if remaining == 0:
+            out.append(acc)
+            return
+        # Stop when too few elements remain to complete the subset.
+        for idx in range(start, n - remaining + 1):
+            build(idx + 1, remaining - 1, acc | (1 << elems[idx]))
+
+    build(0, k, 0)
+    out.sort()
+    return out
+
+
+def next_same_popcount(mask: int) -> int:
+    """Gosper's hack: next larger integer with the same popcount."""
+    if mask == 0:
+        raise ValueError("zero mask has no successor with equal popcount")
+    low = mask & -mask
+    ripple = mask + low
+    ones = ((mask ^ ripple) >> 2) // low
+    return ripple | ones

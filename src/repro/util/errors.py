@@ -1,0 +1,24 @@
+"""Exception hierarchy for the library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ValidationError(ReproError):
+    """An object failed a structural validity check.
+
+    Raised e.g. for malformed join graphs (self-loops, out-of-range relation
+    indices), invalid plan trees (duplicate leaves, non-disjoint join
+    operands), or inconsistent enumerator configuration.
+    """
+
+
+class OptimizationError(ReproError):
+    """An enumerator could not produce a complete plan.
+
+    The usual cause is a disconnected join graph optimized with cross
+    products disabled: no connected plan covers all relations.
+    """

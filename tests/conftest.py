@@ -1,0 +1,7 @@
+"""Shared test configuration.
+
+Individual test modules build their queries through
+``repro.query.generate_query(WorkloadSpec(...))`` with explicit seeds, so
+every test is self-contained and reproducible; no shared fixtures are
+needed beyond pytest defaults.
+"""

@@ -1,0 +1,117 @@
+"""Tests for work-unit allocation schemes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.allocation import (
+    ALLOCATION_SCHEMES,
+    allocate,
+    allocation_imbalance,
+    chunked,
+    equi_depth,
+    round_robin,
+)
+from repro.parallel.workunits import WorkUnit
+from repro.util.errors import ValidationError
+
+
+def make_units(weights):
+    return [
+        WorkUnit(
+            uid=i,
+            algorithm="dpsize",
+            size=4,
+            outer_size=1,
+            start=0,
+            stop=1,
+            weight=w,
+        )
+        for i, w in enumerate(weights)
+    ]
+
+
+def flatten(assignment):
+    return sorted(u.uid for bucket in assignment for u in bucket)
+
+
+@pytest.mark.parametrize("scheme", sorted(ALLOCATION_SCHEMES))
+@pytest.mark.parametrize("threads", [1, 2, 3, 8])
+def test_every_unit_assigned_exactly_once(scheme, threads):
+    units = make_units([5, 1, 9, 2, 2, 7, 3, 3, 1, 10])
+    assignment = allocate(units, threads, scheme)
+    assert len(assignment) == threads
+    assert flatten(assignment) == list(range(10))
+
+
+def test_round_robin_layout():
+    units = make_units([1, 1, 1, 1, 1])
+    assignment = round_robin(units, 2)
+    assert [u.uid for u in assignment[0]] == [0, 2, 4]
+    assert [u.uid for u in assignment[1]] == [1, 3]
+
+
+def test_chunked_layout():
+    units = make_units([1] * 7)
+    assignment = chunked(units, 3)
+    assert [len(b) for b in assignment] == [3, 2, 2]
+    assert [u.uid for u in assignment[0]] == [0, 1, 2]
+
+
+def test_equi_depth_balances_skew():
+    # One heavy unit and many light ones: LPT must isolate the heavy one.
+    units = make_units([100, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10])
+    assignment = equi_depth(units, 2)
+    loads = [sum(u.weight for u in b) for b in assignment]
+    assert allocation_imbalance(assignment) <= 1.05
+    assert abs(loads[0] - loads[1]) <= 10
+
+
+def test_equi_depth_beats_chunked_on_sorted_weights():
+    weights = [2**i for i in range(10)]
+    units = make_units(weights)
+    assert allocation_imbalance(equi_depth(units, 4)) < allocation_imbalance(
+        chunked(units, 4)
+    )
+
+
+def test_equi_depth_deterministic():
+    units = make_units([4, 4, 4, 4, 7, 7])
+    a = equi_depth(units, 3)
+    b = equi_depth(units, 3)
+    assert [[u.uid for u in bucket] for bucket in a] == [
+        [u.uid for u in bucket] for bucket in b
+    ]
+
+
+def test_allocate_validation():
+    units = make_units([1])
+    with pytest.raises(ValidationError):
+        allocate(units, 0)
+    with pytest.raises(ValidationError):
+        allocate(units, 2, "nope")
+
+
+def test_imbalance_empty_and_perfect():
+    assert allocation_imbalance([[], []]) == 1.0
+    units = make_units([5, 5])
+    assert allocation_imbalance(equi_depth(units, 2)) == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    weights=st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=40),
+    threads=st.integers(min_value=1, max_value=8),
+)
+def test_property_schemes_cover_and_equidepth_wins(weights, threads):
+    units = make_units(weights)
+    for scheme in ALLOCATION_SCHEMES:
+        assignment = allocate(units, threads, scheme)
+        assert flatten(assignment) == list(range(len(units)))
+    # LPT carries the classic bound: max load <= mean load + max weight.
+    lpt = allocate(units, threads, "equi_depth")
+    loads = [sum(u.weight for u in bucket) for bucket in lpt]
+    mean = sum(weights) / threads
+    assert max(loads) <= mean + max(weights) + 1e-9

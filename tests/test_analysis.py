@@ -1,0 +1,93 @@
+"""Tests for the search-space analysis module."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.enumerate import DPsize, DPsub
+from repro.query import QueryContext, WorkloadSpec, generate_query
+from repro.query.analysis import (
+    connected_sets_closed_form,
+    count_connected_sets,
+    count_csg_cmp_pairs_exact,
+    csg_cmp_pairs_closed_form,
+    dpsize_candidate_pairs,
+    dpsub_submask_steps,
+    plan_space_report,
+    stratum_sizes,
+)
+from repro.util.errors import ValidationError
+
+
+def ctx_for(topology, n, seed=0):
+    return QueryContext(generate_query(WorkloadSpec(topology, n, seed=seed)))
+
+
+@pytest.mark.parametrize("topology", ["chain", "cycle", "star", "clique"])
+@pytest.mark.parametrize("n", [3, 4, 5, 6, 8])
+def test_closed_forms_match_exact_counts(topology, n):
+    ctx = ctx_for(topology, n)
+    assert count_connected_sets(ctx) == connected_sets_closed_form(topology, n)
+    assert count_csg_cmp_pairs_exact(ctx) == csg_cmp_pairs_closed_form(
+        topology, n
+    )
+
+
+def test_closed_form_edge_cases():
+    assert connected_sets_closed_form("chain", 1) == 1
+    assert connected_sets_closed_form("clique", 1) == 1
+    with pytest.raises(ValidationError):
+        connected_sets_closed_form("grid", 4)
+    with pytest.raises(ValidationError):
+        csg_cmp_pairs_closed_form("chain", 1)
+    with pytest.raises(ValidationError):
+        connected_sets_closed_form("chain", 0)
+
+
+def test_stratum_sizes_sum():
+    ctx = ctx_for("star", 6)
+    sizes = stratum_sizes(ctx)
+    assert sum(sizes) == count_connected_sets(ctx)
+    assert sizes[1] == 6
+    assert sizes[6] == 1
+
+
+def test_dpsize_candidate_pairs_matches_meter():
+    """The analytic candidate count equals DPsize's metered pairs."""
+    for topology in ("chain", "star", "cycle"):
+        query = generate_query(WorkloadSpec(topology, 7, seed=1))
+        ctx = QueryContext(query)
+        predicted = dpsize_candidate_pairs(stratum_sizes(ctx))
+        measured = DPsize().optimize(query).meter.pairs_considered
+        assert predicted == measured, topology
+
+
+def test_dpsub_submask_steps_matches_meter():
+    """The 3^n-style analytic count equals DPsub's metered submask walk
+    when cross products are enabled."""
+    query = generate_query(WorkloadSpec("chain", 6, seed=2))
+    predicted = dpsub_submask_steps(6)
+    measured = DPsub(cross_products=True).optimize(query).meter.submask_steps
+    assert predicted == measured
+    # Identity: sum_{k>=2} C(n,k)(2^k - 2) == 3^n - 2^(n+1) + 1.
+    for n in range(2, 12):
+        assert dpsub_submask_steps(n) == 3**n - 2 ** (n + 1) + 1
+
+
+def test_plan_space_report():
+    ctx = ctx_for("cycle", 6)
+    report = plan_space_report(ctx)
+    assert report["relations"] == 6
+    assert report["edges"] == 6
+    assert report["connected_sets"] == connected_sets_closed_form("cycle", 6)
+    assert report["csg_cmp_pairs"] == csg_cmp_pairs_closed_form("cycle", 6)
+    assert report["max_stratum"] >= 1
+    assert report["dpsub_submask_steps"] == dpsub_submask_steps(6)
+
+
+def test_clique_connected_sets_is_all_subsets():
+    ctx = ctx_for("clique", 7)
+    assert count_connected_sets(ctx) == 2**7 - 1
+    assert stratum_sizes(ctx)[3] == math.comb(7, 3)

@@ -1,0 +1,91 @@
+"""Tests for the top-level public API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    CoutCostModel,
+    OptimizationResult,
+    Workload,
+    WorkloadSpec,
+    optimize,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def query():
+    return Workload(WorkloadSpec("star", 6, seed=1))[0]
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_optimize_serial_default(query):
+    result = optimize(query)
+    assert isinstance(result, OptimizationResult)
+    assert result.algorithm == "dpsize"
+    assert result.plan.size == 6
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["dpsize", "dpsub", "dpccp", "dpsva", "exhaustive"]
+)
+def test_optimize_exact_algorithms_agree(query, algorithm):
+    baseline = optimize(query)
+    result = optimize(query, algorithm=algorithm)
+    assert result.cost == pytest.approx(baseline.cost, rel=1e-12)
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    ["goo", "ikkbz", "iterated_improvement", "simulated_annealing"],
+)
+def test_optimize_heuristics(query, algorithm):
+    dp = optimize(query, cross_products=True)
+    result = optimize(query, algorithm=algorithm)
+    assert result.algorithm == algorithm
+    assert result.cost >= dp.cost - 1e-9
+
+
+def test_optimize_parallel(query):
+    serial = optimize(query, algorithm="dpsva")
+    parallel = optimize(query, algorithm="dpsva", threads=4)
+    assert parallel.cost == serial.cost
+    assert "sim_report" in parallel.extras
+
+
+def test_optimize_parallel_options(query):
+    result = optimize(
+        query, algorithm="dpsize", threads=2, allocation="round_robin"
+    )
+    assert result.extras["allocation"] == "round_robin"
+
+
+def test_optimize_cost_model(query):
+    result = optimize(query, cost_model=CoutCostModel())
+    reference = optimize(query, algorithm="dpsub", cost_model=CoutCostModel())
+    assert result.cost == pytest.approx(reference.cost, rel=1e-12)
+
+
+def test_optimize_unknown_algorithm(query):
+    with pytest.raises(ValidationError):
+        optimize(query, algorithm="magic")
+
+
+def test_optimize_rejects_orphan_options(query):
+    with pytest.raises(ValidationError):
+        optimize(query, allocation="chunked")
+
+
+def test_optimize_cross_products(query):
+    result = optimize(query, cross_products=True)
+    assert result.cost <= optimize(query).cost + 1e-9
+
+
+def test_public_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name

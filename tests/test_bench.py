@@ -1,0 +1,126 @@
+"""Tests for the bench harness (runners + reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    allocation_comparison,
+    format_table,
+    heuristic_quality,
+    median,
+    render_curve,
+    rows_to_csv,
+    run_serial_grid,
+    size_scaling,
+    speedup_curve,
+    sva_effectiveness,
+)
+from repro.util.errors import ValidationError
+
+
+def test_median():
+    assert median([3, 1, 2]) == 2
+    assert median([1.0, 4.0]) == 2.5
+
+
+def test_format_table_alignment():
+    rows = [
+        {"a": 1, "b": "x", "c": 1.5},
+        {"a": 22222, "b": "yyyy", "c": 0.25},
+    ]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert lines[0].split() == ["a", "b", "c"]
+    assert len(lines) == 4
+    assert "22,222" in lines[3]
+
+
+def test_format_table_empty_and_columns():
+    assert format_table([]) == "(no rows)"
+    rows = [{"a": 1, "b": 2}]
+    text = format_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]
+
+
+def test_format_value_ranges():
+    rows = [{"v": 1234567.0}, {"v": 0.00001}, {"v": 0.0}, {"v": True}]
+    text = format_table(rows)
+    assert "1.23e+06" in text
+    assert "1e-05" in text
+
+
+def test_render_curve():
+    text = render_curve([1, 2, 4], [1.0, 2.0, 4.0], label="speedup")
+    lines = text.splitlines()
+    assert lines[0] == "speedup"
+    assert len(lines) == 4
+    # Bars scale with value.
+    assert lines[3].count("#") > lines[1].count("#")
+
+
+def test_render_curve_empty():
+    assert "(no data)" in render_curve([], [], label="x")
+
+
+def test_rows_to_csv():
+    rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+    csv = rows_to_csv(rows)
+    assert csv.splitlines() == ["a,b", "1,x", "2,y"]
+    assert rows_to_csv([]) == ""
+
+
+def test_run_serial_grid_shape():
+    rows = run_serial_grid(
+        ["chain"], [4, 5], algorithms=("dpsize", "dpsva"), queries=2, seed=0
+    )
+    assert len(rows) == 4
+    for row in rows:
+        assert row["pairs"] >= row["valid_pairs"]
+        assert row["memo"] > 0
+        assert row["time_ms"] >= 0
+
+
+def test_run_serial_grid_unknown_algorithm():
+    with pytest.raises(ValidationError):
+        run_serial_grid(["chain"], [4], algorithms=("magic",))
+
+
+def test_sva_effectiveness_identity():
+    rows = sva_effectiveness(["star"], [7], queries=2, seed=1)
+    (row,) = rows
+    assert row["sva_positions"] + row["skipped"] == row["dpsize_pairs"]
+    assert 0 <= row["skip_ratio"] < 1
+
+
+def test_speedup_curve_baseline_is_one():
+    rows = speedup_curve("star", 7, thread_counts=(1, 2), queries=1, seed=2)
+    assert rows[0]["threads"] == 1
+    assert rows[0]["speedup"] == pytest.approx(1.0)
+    assert rows[1]["efficiency"] == rows[1]["speedup"] / 2
+
+
+def test_allocation_comparison_rows():
+    rows = allocation_comparison("star", 7, threads=4, queries=1, seed=3)
+    assert {r["scheme"] for r in rows} == {
+        "round_robin", "chunked", "equi_depth", "dynamic",
+    }
+    for row in rows:
+        assert row["imbalance"] >= 1.0
+        assert row["sim_time"] > 0
+
+
+def test_size_scaling_rows():
+    rows = size_scaling("chain", [4, 5], thread_counts=(1, 2), queries=1)
+    assert len(rows) == 4
+    assert all(r["busy"] > 0 for r in rows)
+
+
+def test_heuristic_quality_rows():
+    rows = heuristic_quality(["chain"], n=5, queries=2, seed=4,
+                             heuristics=("goo", "ikkbz"))
+    assert len(rows) == 2
+    for row in rows:
+        assert row["vs_own_space_median"] >= 1.0 - 1e-9
+        assert row["vs_bushy_median"] >= 1.0 - 1e-9
+        assert row["space_gap"] >= 1.0 - 1e-9

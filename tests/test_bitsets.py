@@ -1,0 +1,138 @@
+"""Unit and property tests for the bitmask quantifier-set utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitsets import (
+    all_subsets,
+    bit,
+    bits_of,
+    first_bit,
+    is_subset,
+    iter_submasks,
+    lowest_bit,
+    mask_of,
+    members,
+    next_same_popcount,
+    popcount,
+    subsets_of_size,
+    universe,
+)
+
+masks = st.integers(min_value=0, max_value=(1 << 20) - 1)
+nonzero_masks = st.integers(min_value=1, max_value=(1 << 20) - 1)
+
+
+def test_bit_and_mask_of():
+    assert bit(0) == 1
+    assert bit(5) == 32
+    assert mask_of([0, 2, 4]) == 0b10101
+    assert mask_of([]) == 0
+
+
+def test_universe():
+    assert universe(0) == 0
+    assert universe(3) == 0b111
+    assert popcount(universe(12)) == 12
+
+
+def test_members_roundtrip():
+    assert members(0b10110) == [1, 2, 4]
+    assert mask_of(members(0b10110)) == 0b10110
+
+
+@given(masks)
+def test_members_sorted_and_consistent(mask):
+    ms = members(mask)
+    assert ms == sorted(ms)
+    assert mask_of(ms) == mask
+    assert len(ms) == popcount(mask)
+
+
+def test_lowest_and_first_bit():
+    assert lowest_bit(0b1100) == 0b100
+    assert first_bit(0b1100) == 2
+    with pytest.raises(ValueError):
+        lowest_bit(0)
+
+
+@given(nonzero_masks)
+def test_first_bit_is_min_member(mask):
+    assert first_bit(mask) == min(members(mask))
+
+
+def test_is_subset():
+    assert is_subset(0b0101, 0b1101)
+    assert not is_subset(0b0011, 0b0101)
+    assert is_subset(0, 0b1)
+    assert is_subset(0, 0)
+
+
+@given(masks, masks)
+def test_is_subset_matches_set_semantics(a, b):
+    assert is_subset(a, b) == set(members(a)).issubset(members(b))
+
+
+def test_iter_submasks_small():
+    assert sorted(iter_submasks(0b101)) == [0b001, 0b100]
+    assert list(iter_submasks(0b1)) == []
+    assert list(iter_submasks(0)) == []
+
+
+@given(st.integers(min_value=0, max_value=(1 << 10) - 1))
+def test_iter_submasks_complete(mask):
+    subs = list(iter_submasks(mask))
+    # All proper non-empty submasks, each exactly once.
+    expected = {
+        s for s in range(1, mask) if s & mask == s
+    }
+    assert set(subs) == expected
+    assert len(subs) == len(expected)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 10) - 1))
+def test_all_subsets_complete(mask):
+    subs = list(all_subsets(mask))
+    assert subs[0] == 0
+    assert subs[-1] == mask
+    assert len(subs) == 2 ** popcount(mask)
+    assert subs == sorted(subs)
+
+
+@given(st.integers(min_value=1, max_value=14), st.integers(min_value=0, max_value=14))
+def test_subsets_of_size_counts(n, k):
+    subs = subsets_of_size(universe(n), k)
+    if k > n:
+        assert subs == []
+    else:
+        assert len(subs) == math.comb(n, k)
+        assert all(popcount(s) == k for s in subs)
+        assert subs == sorted(subs)
+        assert len(set(subs)) == len(subs)
+
+
+def test_subsets_of_size_sparse_universe():
+    subs = subsets_of_size(0b10101, 2)
+    assert len(subs) == 3
+    assert all(is_subset(s, 0b10101) for s in subs)
+
+
+@given(nonzero_masks)
+def test_next_same_popcount(mask):
+    succ = next_same_popcount(mask)
+    assert succ > mask
+    assert popcount(succ) == popcount(mask)
+    # No integer strictly between has the same popcount *and* ... (succ is
+    # the immediate successor).
+    for candidate in range(mask + 1, min(succ, mask + 64)):
+        assert popcount(candidate) != popcount(mask) or candidate >= succ
+
+
+@given(masks)
+def test_bits_of_matches_members(mask):
+    assert list(bits_of(mask)) == members(mask)

@@ -1,0 +1,37 @@
+"""Tests for virtual-clock calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DPsize, Workload, WorkloadSpec
+from repro.simx import SimCostParams
+from repro.simx.calibrate import calibrate_seconds_per_unit, estimated_seconds
+from repro.util.errors import ValidationError
+
+
+def test_calibration_positive_and_sane():
+    scale = calibrate_seconds_per_unit(n=8, queries=2, seed=1)
+    assert scale > 0
+    # A virtual unit corresponds to a handful of Python bytecodes; on any
+    # plausible host that is between a tenth of a nanosecond and a
+    # millisecond.
+    assert 1e-10 < scale < 1e-3
+
+
+def test_calibration_predicts_serial_wall_time_same_host():
+    """The fitted scale maps a *different* serial run's virtual work back
+    to its wall time within a loose factor (same interpreter, same box)."""
+    params = SimCostParams()
+    scale = calibrate_seconds_per_unit(params, n=9, queries=2, seed=2)
+    query = Workload(WorkloadSpec("cycle", 10, seed=3))[0]
+    result = DPsize().optimize(query)
+    predicted = estimated_seconds(params.work_time(result.meter), scale)
+    assert predicted == pytest.approx(result.elapsed_seconds, rel=3.0)
+
+
+def test_calibration_validation():
+    with pytest.raises(ValidationError):
+        calibrate_seconds_per_unit(queries=0)
+    with pytest.raises(ValidationError):
+        estimated_seconds(10.0, 0.0)

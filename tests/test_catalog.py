@@ -1,0 +1,97 @@
+"""Tests for the catalog substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog import (
+    Catalog,
+    CatalogGeneratorConfig,
+    Column,
+    TableStats,
+    generate_catalog,
+)
+from repro.util.errors import ValidationError
+
+
+def test_table_stats_validation():
+    with pytest.raises(ValidationError):
+        TableStats(name="bad", cardinality=0)
+    with pytest.raises(ValidationError):
+        TableStats(name="bad", cardinality=10, tuple_width=0)
+    with pytest.raises(ValidationError):
+        TableStats(
+            name="bad",
+            cardinality=10,
+            columns=(Column("a", 1), Column("a", 2)),
+        )
+
+
+def test_column_validation():
+    with pytest.raises(ValidationError):
+        Column(name="c", distinct_count=0)
+
+
+def test_catalog_add_and_lookup():
+    catalog = Catalog()
+    catalog.add(TableStats(name="orders", cardinality=1000))
+    catalog.add(TableStats(name="lineitem", cardinality=5000))
+    assert "orders" in catalog
+    assert len(catalog) == 2
+    assert catalog.table("orders").cardinality == 1000
+    assert catalog.names() == ["orders", "lineitem"]
+    assert catalog.cardinalities() == [1000, 5000]
+    with pytest.raises(ValidationError):
+        catalog.add(TableStats(name="orders", cardinality=1))
+    with pytest.raises(KeyError):
+        catalog.table("nope")
+
+
+def test_table_column_lookup():
+    table = TableStats(
+        name="t", cardinality=10, columns=(Column("a", 5), Column("b", 2))
+    )
+    assert table.column("b").distinct_count == 2
+    with pytest.raises(KeyError):
+        table.column("z")
+
+
+def test_generate_catalog_deterministic():
+    a = generate_catalog(8, seed=42)
+    b = generate_catalog(8, seed=42)
+    assert a.names() == b.names()
+    assert a.cardinalities() == b.cardinalities()
+    c = generate_catalog(8, seed=43)
+    assert a.cardinalities() != c.cardinalities()
+
+
+def test_generate_catalog_prefix_stability():
+    """Growing the catalog must not change earlier tables (per-table seeds)."""
+    small = generate_catalog(4, seed=9)
+    big = generate_catalog(8, seed=9)
+    assert big.cardinalities()[:4] == small.cardinalities()
+
+
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=10))
+def test_generate_catalog_respects_bounds(n, seed):
+    cfg = CatalogGeneratorConfig(min_cardinality=50, max_cardinality=500)
+    catalog = generate_catalog(n, seed=seed, config=cfg)
+    assert len(catalog) == n
+    for table in catalog:
+        assert 50 <= table.cardinality <= 500
+        assert cfg.min_tuple_width <= table.tuple_width <= cfg.max_tuple_width
+        for col in table.columns:
+            assert 1 <= col.distinct_count <= table.cardinality
+
+
+def test_generator_config_validation():
+    with pytest.raises(ValidationError):
+        CatalogGeneratorConfig(min_cardinality=0)
+    with pytest.raises(ValidationError):
+        CatalogGeneratorConfig(min_cardinality=10, max_cardinality=5)
+    with pytest.raises(ValidationError):
+        CatalogGeneratorConfig(columns_per_table=0)
+    with pytest.raises(ValidationError):
+        generate_catalog(0)

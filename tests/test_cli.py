@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_optimize_default(capsys):
+    code, out, _ = run_cli(
+        capsys, "optimize", "--topology", "star", "-n", "7", "--seed", "1"
+    )
+    assert code == 0
+    assert "dpsva" in out
+    assert "cost=" in out
+
+
+def test_optimize_parallel_with_report(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "optimize", "--topology", "cycle", "-n", "7",
+        "--threads", "4", "--allocation", "round_robin",
+    )
+    assert code == 0
+    assert "x4" in out  # sim report summary
+    assert "imbalance" in out
+
+
+def test_optimize_explain(capsys):
+    code, out, _ = run_cli(
+        capsys, "optimize", "-n", "5", "--explain", "--algorithm", "dpccp"
+    )
+    assert code == 0
+    assert "Scan" in out
+    assert "join" in out
+
+
+def test_optimize_sql_mode(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "optimize",
+        "--sql",
+        "SELECT * FROM t0 a, t1 b WHERE a.c0 = b.c1",
+        "--catalog-tables", "4",
+    )
+    assert code == 0
+    assert "cost=" in out
+
+
+def test_optimize_heuristic(capsys):
+    code, out, _ = run_cli(
+        capsys, "optimize", "-n", "6", "--algorithm", "goo"
+    )
+    assert code == 0
+    assert "goo" in out
+
+
+def test_bench_serial(capsys):
+    code, out, _ = run_cli(
+        capsys, "bench", "--experiment", "serial",
+        "--topology", "chain", "-n", "6", "--queries", "1",
+    )
+    assert code == 0
+    assert "dpsize" in out
+    assert "dpccp" in out
+
+
+def test_bench_speedup(capsys):
+    code, out, _ = run_cli(
+        capsys, "bench", "--experiment", "speedup",
+        "--topology", "star", "-n", "7",
+        "--threads", "1", "2", "--queries", "1",
+    )
+    assert code == 0
+    assert "speedup" in out
+    assert "#" in out  # the rendered curve
+
+
+def test_bench_sva_and_allocation(capsys):
+    code, out, _ = run_cli(
+        capsys, "bench", "--experiment", "sva",
+        "--topology", "star", "-n", "7", "--queries", "1",
+    )
+    assert code == 0
+    assert "skip_ratio" in out
+    code, out, _ = run_cli(
+        capsys, "bench", "--experiment", "allocation",
+        "--topology", "star", "-n", "7",
+        "--threads", "4", "--queries", "1",
+    )
+    assert code == 0
+    assert "equi_depth" in out
+
+
+def test_inspect(capsys):
+    code, out, _ = run_cli(capsys, "inspect", "--topology", "cycle", "-n", "6")
+    assert code == 0
+    assert "csg-cmp pairs" in out
+    assert "connected quantifier sets" in out
+
+
+def test_error_reporting(capsys):
+    code, _, err = run_cli(
+        capsys, "optimize", "--sql", "SELECT * FROM nope"
+    )
+    assert code == 1
+    assert "error:" in err
+
+
+def test_bad_arguments_exit():
+    with pytest.raises(SystemExit):
+        main(["optimize", "--topology", "pentagram"])

@@ -1,0 +1,104 @@
+"""Tests for the compiled QueryContext."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enumerate.dpsize import expected_memo_sizes, stratum_pair_count
+from repro.cost import StandardCostModel
+from repro.memo import Memo
+from repro.query import (
+    JoinGraph,
+    Query,
+    QueryContext,
+    WorkloadSpec,
+    generate_query,
+)
+from repro.util.bitsets import mask_of, subsets_of_size, universe
+
+
+def ctx_for(topology, n, seed=0):
+    return QueryContext(generate_query(WorkloadSpec(topology, n, seed=seed)))
+
+
+def test_context_flattens_query():
+    query = generate_query(WorkloadSpec("chain", 4, seed=1))
+    ctx = QueryContext(query)
+    assert ctx.n == 4
+    assert ctx.all_mask == 0b1111
+    assert ctx.cards == query.cardinalities
+    for i in range(4):
+        assert ctx.adjacency[i] == query.graph.adjacency(i)
+
+
+def test_neighbours_and_connects_match_graph():
+    query = generate_query(WorkloadSpec("cycle", 6, seed=2))
+    ctx = QueryContext(query)
+    g = query.graph
+    for mask in subsets_of_size(universe(6), 2):
+        assert ctx.neighbours(mask) == g.neighbours(mask)
+    assert ctx.connects(0b000011, 0b001100) == g.connects(0b000011, 0b001100)
+
+
+def test_connectivity_memoized_and_correct():
+    ctx = ctx_for("chain", 5)
+    assert ctx.is_connected(mask_of([1, 2, 3]))
+    assert not ctx.is_connected(mask_of([0, 2]))
+    # Memo hit path returns the same answer.
+    assert not ctx.is_connected(mask_of([0, 2]))
+    assert ctx.is_connected(0)
+    assert ctx.is_connected(mask_of([4]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+    mask_bits=st.integers(min_value=0, max_value=255),
+)
+def test_property_context_connectivity_matches_graph(n, seed, mask_bits):
+    query = generate_query(WorkloadSpec("random", n, seed=seed))
+    ctx = QueryContext(query)
+    mask = mask_bits & universe(n)
+    assert ctx.is_connected(mask) == query.graph.is_connected_set(mask)
+
+
+def test_cross_selectivity_matches_graph():
+    g = JoinGraph(4, [(0, 1, 0.5), (1, 2, 0.25), (2, 3, 0.125), (0, 3, 0.75)])
+    query = Query(
+        graph=g,
+        relation_names=("a", "b", "c", "d"),
+        cardinalities=(10.0,) * 4,
+    )
+    ctx = QueryContext(query)
+    # Split {0,1} | {2,3}: crossing edges (1,2) and (0,3).
+    assert ctx.cross_selectivity(0b0011, 0b1100) == pytest.approx(0.25 * 0.75)
+    assert ctx.cross_selectivity(0b0001, 0b0100) == 1.0
+
+
+def test_stratum_pair_count_matches_kernel_inputs():
+    query = generate_query(WorkloadSpec("star", 7, seed=3))
+    ctx = QueryContext(query)
+    memo = Memo(ctx, StandardCostModel())
+    memo.init_scans()
+    from repro.enumerate.kernels import dpsize_pair_kernel
+
+    # stratum_pair_count must be taken before the stratum fills, exactly
+    # as the parallel driver does when weighting work units.
+    total = 0
+    for size in range(2, 8):
+        total += stratum_pair_count(memo, size)
+        for outer_size in range(1, size):
+            outer = memo.sets_of_size(outer_size)
+            inner = memo.sets_of_size(size - outer_size)
+            dpsize_pair_kernel(
+                memo, ctx, outer, inner, 0, len(outer), True, memo.meter
+            )
+    assert total == memo.meter.pairs_considered
+
+
+def test_expected_memo_sizes():
+    assert expected_memo_sizes(4) == [1, 4, 6, 4, 1]
+    assert expected_memo_sizes(3, connected_counts=[0, 3, 2, 1]) == [0, 3, 2, 1]

@@ -1,0 +1,172 @@
+"""Tests for cardinality estimation and cost models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog import generate_catalog
+from repro.cost import (
+    CardinalityEstimator,
+    CoutCostModel,
+    StandardCostModel,
+    plan_cost,
+    plan_rows,
+)
+from repro.plans import JoinMethod, JoinNode, ScanNode
+from repro.query import JoinGraph, Query, QueryContext
+from repro.util.bitsets import mask_of, universe
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def tri_ctx():
+    """Triangle query with hand-picked numbers for exact assertions."""
+    g = JoinGraph(3, [(0, 1, 0.1), (1, 2, 0.01), (0, 2, 0.5)])
+    q = Query(
+        graph=g,
+        relation_names=("a", "b", "c"),
+        cardinalities=(100.0, 200.0, 50.0),
+    )
+    return QueryContext(q)
+
+
+def test_singleton_rows(tri_ctx):
+    est = CardinalityEstimator(tri_ctx)
+    assert est.rows(0b001) == 100.0
+    assert est.rows(0b010) == 200.0
+    assert est.rows(0b100) == 50.0
+
+
+def test_pair_rows(tri_ctx):
+    est = CardinalityEstimator(tri_ctx)
+    assert est.rows(0b011) == pytest.approx(100 * 200 * 0.1)
+    assert est.rows(0b110) == pytest.approx(200 * 50 * 0.01)
+    assert est.rows(0b101) == pytest.approx(100 * 50 * 0.5)
+
+
+def test_full_rows_includes_all_edges(tri_ctx):
+    est = CardinalityEstimator(tri_ctx)
+    expected = 100 * 200 * 50 * 0.1 * 0.01 * 0.5
+    assert est.rows(0b111) == pytest.approx(expected)
+
+
+def test_rows_split_invariance(tri_ctx):
+    """rows(L ∪ R) is independent of how the union is assembled."""
+    est1 = CardinalityEstimator(tri_ctx)
+    est2 = CardinalityEstimator(tri_ctx)
+    # Force different memoization orders.
+    a = est1.rows(0b111)
+    est2.rows(0b110)
+    est2.rows(0b101)
+    b = est2.rows(0b111)
+    assert a == pytest.approx(b)
+
+
+def test_rows_clamped_to_one():
+    g = JoinGraph(2, [(0, 1, 1e-4)])
+    q = Query(graph=g, relation_names=("a", "b"), cardinalities=(2.0, 3.0))
+    est = CardinalityEstimator(QueryContext(q))
+    assert est.rows(0b11) == 1.0
+
+
+def test_join_rows_equals_union(tri_ctx):
+    est = CardinalityEstimator(tri_ctx)
+    assert est.join_rows(0b001, 0b010) == est.rows(0b011)
+
+
+def test_standard_cost_model_formulas():
+    m = StandardCostModel(block_size=100)
+    assert m.scan_cost(500) == 500
+    assert m.join_cost(JoinMethod.NESTED_LOOP, 10, 20, 5) == 10 + 200
+    assert m.join_cost(JoinMethod.BLOCK_NESTED_LOOP, 250, 20, 5) == 250 + 3 * 20
+    assert m.join_cost(JoinMethod.HASH, 10, 20, 5) == pytest.approx(
+        1.5 * 10 + 20
+    )
+    sm = m.join_cost(JoinMethod.SORT_MERGE, 8, 8, 5)
+    assert sm == pytest.approx(2 * (8 * 3.169925001442312) + 16, rel=1e-6)
+
+
+def test_sort_merge_symmetric():
+    m = StandardCostModel()
+    assert m.join_cost(JoinMethod.SORT_MERGE, 10, 99, 5) == pytest.approx(
+        m.join_cost(JoinMethod.SORT_MERGE, 99, 10, 5)
+    )
+
+
+@given(
+    st.floats(min_value=1, max_value=1e6),
+    st.floats(min_value=1, max_value=1e6),
+    st.floats(min_value=1, max_value=1e9),
+)
+def test_costs_positive(l, r, o):
+    m = StandardCostModel()
+    for method in m.methods:
+        assert m.join_cost(method, l, r, o) > 0
+
+
+def test_cheapest_join_picks_minimum():
+    m = StandardCostModel()
+    method, cost = m.cheapest_join(1000.0, 1000.0, 10.0)
+    all_costs = {
+        meth: m.join_cost(meth, 1000.0, 1000.0, 10.0) for meth in m.methods
+    }
+    assert cost == min(all_costs.values())
+    assert all_costs[method] == cost
+
+
+def test_cost_model_validation():
+    with pytest.raises(ValidationError):
+        StandardCostModel(block_size=0)
+    with pytest.raises(ValidationError):
+        StandardCostModel(hash_build_factor=0)
+
+
+def test_cout_model(tri_ctx):
+    m = CoutCostModel()
+    est = CardinalityEstimator(tri_ctx)
+    plan = JoinNode(
+        left=JoinNode(
+            left=ScanNode(0), right=ScanNode(1), method=JoinMethod.HASH
+        ),
+        right=ScanNode(2),
+        method=JoinMethod.HASH,
+    )
+    expected = est.rows(0b011) + est.rows(0b111)
+    assert plan_cost(plan, est, m) == pytest.approx(expected)
+
+
+def test_plan_cost_matches_manual(tri_ctx):
+    m = StandardCostModel()
+    est = CardinalityEstimator(tri_ctx)
+    plan = JoinNode(
+        left=ScanNode(0), right=ScanNode(1), method=JoinMethod.NESTED_LOOP
+    )
+    expected = (
+        m.scan_cost(100)
+        + m.scan_cost(200)
+        + m.join_cost(JoinMethod.NESTED_LOOP, 100, 200, est.rows(0b011))
+    )
+    assert plan_cost(plan, est, m) == pytest.approx(expected)
+    assert plan_rows(plan, est) == est.rows(0b011)
+
+
+def test_catalog_driven_estimates():
+    catalog = generate_catalog(3, seed=2)
+    g = JoinGraph(3, [(0, 1, 0.2), (1, 2, 0.3)])
+    q = Query.from_catalog(catalog, g)
+    est = CardinalityEstimator(QueryContext(q))
+    assert est.rows(universe(3)) == pytest.approx(
+        max(
+            1.0,
+            q.cardinalities[0]
+            * q.cardinalities[1]
+            * q.cardinalities[2]
+            * 0.2
+            * 0.3,
+        )
+    )
+    assert est.rows(mask_of([0, 2])) == pytest.approx(
+        q.cardinalities[0] * q.cardinalities[2]
+    )

@@ -1,0 +1,76 @@
+"""Cross-run determinism guarantees.
+
+The reproduction's measurement story rests on exact reproducibility:
+workloads, optima, simulated clocks, and serialized artifacts must be
+bit-identical across runs and independent of execution order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DPccp,
+    DPsize,
+    DPsub,
+    ParallelDP,
+    Workload,
+    WorkloadSpec,
+)
+from repro.bench import result_to_dict, sim_report_to_dict
+from repro.plans import plan_signature
+from repro.sva import DPsva
+
+
+def test_workload_bit_identical_across_instances():
+    spec = WorkloadSpec("random", 8, seed=99, count=4)
+    a = [q for q in Workload(spec)]
+    b = [q for q in Workload(spec)]
+    for qa, qb in zip(a, b):
+        assert qa.cardinalities == qb.cardinalities
+        assert [
+            (e.u, e.v, e.selectivity) for e in qa.graph.edges
+        ] == [(e.u, e.v, e.selectivity) for e in qb.graph.edges]
+
+
+@pytest.mark.parametrize("algo_cls", [DPsize, DPsub, DPccp, DPsva])
+def test_serial_runs_bit_identical(algo_cls):
+    query = Workload(WorkloadSpec("cycle", 7, seed=5))[0]
+    a = algo_cls().optimize(query)
+    b = algo_cls().optimize(query)
+    assert a.cost == b.cost
+    assert plan_signature(a.plan) == plan_signature(b.plan)
+    assert a.meter == b.meter
+
+
+def test_sim_reports_bit_identical():
+    query = Workload(WorkloadSpec("star", 9, seed=6))[0]
+    optimizer = ParallelDP(algorithm="dpsva", threads=5)
+    a = optimizer.optimize(query).extras["sim_report"]
+    b = optimizer.optimize(query).extras["sim_report"]
+    assert sim_report_to_dict(a) == sim_report_to_dict(b)
+
+
+def test_plan_identical_across_all_algorithms_under_unique_costs():
+    """With generic (non-tied) costs, every exact algorithm and every
+    parallel configuration lands on the same plan signature."""
+    query = Workload(WorkloadSpec("random", 7, seed=7))[0]
+    signatures = set()
+    for algo_cls in (DPsize, DPsub, DPccp, DPsva):
+        signatures.add(plan_signature(algo_cls().optimize(query).plan))
+    for threads in (1, 3, 8):
+        for algorithm in ("dpsize", "dpsub", "dpsva"):
+            result = ParallelDP(algorithm=algorithm, threads=threads).optimize(
+                query
+            )
+            signatures.add(plan_signature(result.plan))
+    assert len(signatures) == 1
+
+
+def test_result_serialization_stable():
+    query = Workload(WorkloadSpec("chain", 6, seed=8))[0]
+    a = result_to_dict(ParallelDP(threads=2).optimize(query))
+    b = result_to_dict(ParallelDP(threads=2).optimize(query))
+    a.pop("elapsed_seconds")
+    b.pop("elapsed_seconds")
+    assert a == b

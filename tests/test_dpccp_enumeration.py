@@ -1,0 +1,105 @@
+"""Properties of the csg-cmp pair enumeration underlying DPccp."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enumerate.dpccp import count_csg_cmp_pairs, enumerate_csg_cmp_pairs
+from repro.query import (
+    QueryContext,
+    WorkloadSpec,
+    generate_query,
+)
+from repro.util.bitsets import popcount, subsets_of_size, universe
+
+
+def ctx_for(topology, n, seed=0):
+    return QueryContext(generate_query(WorkloadSpec(topology, n, seed=seed)))
+
+
+def reference_ccp_pairs(ctx):
+    """Brute-force csg-cmp pairs: connected, disjoint, edge-connected."""
+    n = ctx.n
+    pairs = set()
+    all_masks = [
+        m
+        for k in range(1, n)
+        for m in subsets_of_size(universe(n), k)
+        if ctx.is_connected(m)
+    ]
+    for s1 in all_masks:
+        for s2 in all_masks:
+            if s1 < s2 and not (s1 & s2) and ctx.connects(s1, s2):
+                pairs.add((s1, s2))
+    return pairs
+
+
+@pytest.mark.parametrize("topology", ["chain", "cycle", "star", "clique"])
+@pytest.mark.parametrize("n", [2, 3, 5, 7])
+def test_ccp_enumeration_exact(topology, n):
+    if topology == "cycle" and n < 3:
+        pytest.skip("cycle needs n >= 3")
+    ctx = ctx_for(topology, n)
+    emitted = list(enumerate_csg_cmp_pairs(ctx))
+    normalized = [(min(a, b), max(a, b)) for a, b in emitted]
+    assert len(normalized) == len(set(normalized)), "duplicate pair emitted"
+    assert set(normalized) == reference_ccp_pairs(ctx)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=7),
+    seed=st.integers(min_value=0, max_value=300),
+)
+def test_ccp_enumeration_random_graphs(n, seed):
+    ctx = ctx_for("random", n, seed=seed)
+    emitted = list(enumerate_csg_cmp_pairs(ctx))
+    normalized = [(min(a, b), max(a, b)) for a, b in emitted]
+    assert len(normalized) == len(set(normalized))
+    assert set(normalized) == reference_ccp_pairs(ctx)
+
+
+def test_ccp_pairs_are_valid():
+    ctx = ctx_for("cycle", 6)
+    for s1, s2 in enumerate_csg_cmp_pairs(ctx):
+        assert s1 & s2 == 0
+        assert ctx.is_connected(s1)
+        assert ctx.is_connected(s2)
+        assert ctx.connects(s1, s2)
+
+
+def test_ccp_counts_chain():
+    """Chains have a closed form: #ccp (unordered) = (n^3 - n) / 6."""
+    for n in [2, 3, 4, 5, 8, 10]:
+        ctx = ctx_for("chain", n)
+        assert count_csg_cmp_pairs(ctx) == (n**3 - n) // 6
+
+
+def test_ccp_counts_clique():
+    """Cliques: every (S1, S2) disjoint non-empty pair is a ccp; unordered
+    count = (3^n - 2^(n+1) + 1) / 2."""
+    for n in [2, 3, 4, 5, 6]:
+        ctx = ctx_for("clique", n)
+        expected = (3**n - 2 ** (n + 1) + 1) // 2
+        assert count_csg_cmp_pairs(ctx) == expected
+
+
+def test_ccp_as_clique_flag():
+    """as_clique=True must give the clique count regardless of topology."""
+    ctx = ctx_for("chain", 5)
+    expected = (3**5 - 2**6 + 1) // 2
+    assert count_csg_cmp_pairs(ctx, as_clique=True) == expected
+
+
+def test_ccp_result_sizes_cover_full_query():
+    ctx = ctx_for("star", 5)
+    full = universe(5)
+    assert any(
+        (s1 | s2) == full for s1, s2 in enumerate_csg_cmp_pairs(ctx)
+    )
+    # Every emitted union is connected.
+    for s1, s2 in enumerate_csg_cmp_pairs(ctx):
+        assert ctx.is_connected(s1 | s2)
+        assert 2 <= popcount(s1 | s2) <= 5

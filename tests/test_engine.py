@@ -1,0 +1,261 @@
+"""Tests for the execution engine: data generation, operators, executor."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database, DataTable, execute_plan, generate_database
+from repro.engine.data import scaled_cardinalities
+from repro.engine.operators import (
+    JOIN_IMPLEMENTATIONS,
+    block_nested_loop_join,
+    hash_join,
+    nested_loop_join,
+    sort_merge_join,
+)
+from repro.enumerate import DPsize
+from repro.plans import JoinMethod, JoinNode, ScanNode
+from repro.query import WorkloadSpec, generate_query
+from repro.util.errors import ValidationError
+
+
+def query_for(topology, n, seed=0):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+# ---------------------------------------------------------------------------
+# tables & data generation
+# ---------------------------------------------------------------------------
+
+
+def test_datatable_validation():
+    with pytest.raises(ValidationError):
+        DataTable("t", ["a", "b"], [(1,)])
+    table = DataTable("t", ["a", "b"], [(1, 2), (3, 4)])
+    assert len(table) == 2
+    assert table.column_index("b") == 1
+    with pytest.raises(KeyError):
+        table.column_index("z")
+
+
+def test_database_add_lookup():
+    db = Database()
+    db.add(DataTable("t", ["a"], [(1,)]))
+    assert len(db) == 1
+    assert db.table("t").rows == [(1,)]
+    with pytest.raises(ValidationError):
+        db.add(DataTable("t", ["a"], []))
+    with pytest.raises(KeyError):
+        db.table("missing")
+
+
+def test_scaled_cardinalities_preserve_ratio():
+    query = query_for("chain", 4, seed=1)
+    sizes = scaled_cardinalities(query, 100)
+    assert max(sizes) == 100
+    # Ordering of sizes preserved.
+    original = list(query.cardinalities)
+    assert sorted(range(4), key=lambda i: original[i]) == sorted(
+        range(4), key=lambda i: (sizes[i], original[i])
+    )
+
+
+def test_generate_database_structure():
+    query = query_for("star", 5, seed=2)
+    db = generate_database(query, seed=2, max_rows=50)
+    assert len(db) == 5
+    hub = db.table("t0")
+    # Hub has one key column per spoke edge plus rowid.
+    assert len(hub.columns) == 1 + 4
+    spoke = db.table("t3")
+    assert len(spoke.columns) == 2
+    assert all(len(t) <= 50 for t in db.tables.values())
+
+
+def test_generate_database_deterministic():
+    from repro.query import JoinGraph, Query
+
+    g = JoinGraph(3, [(0, 1, 0.05), (1, 2, 0.1)])
+    query = Query(
+        graph=g,
+        relation_names=("a", "b", "c"),
+        cardinalities=(60.0, 80.0, 40.0),
+    )
+    a = generate_database(query, seed=7, max_rows=100)
+    b = generate_database(query, seed=7, max_rows=100)
+    assert a.table("b").rows == b.table("b").rows
+    c = generate_database(query, seed=8, max_rows=100)
+    assert a.table("b").rows != c.table("b").rows
+
+
+def test_generate_database_validation():
+    query = query_for("chain", 3)
+    with pytest.raises(ValidationError):
+        generate_database(query, max_rows=0)
+
+
+# ---------------------------------------------------------------------------
+# operators
+# ---------------------------------------------------------------------------
+
+LEFT = [(1, "a"), (2, "b"), (2, "c"), (3, "d")]
+RIGHT = [(2, "x"), (2, "y"), (4, "z")]
+
+
+def test_nested_loop_basics():
+    out = nested_loop_join(LEFT, RIGHT, [(0, 0)])
+    assert Counter(out) == Counter(
+        [
+            (2, "b", 2, "x"),
+            (2, "b", 2, "y"),
+            (2, "c", 2, "x"),
+            (2, "c", 2, "y"),
+        ]
+    )
+
+
+def test_cross_product():
+    out = nested_loop_join(LEFT, RIGHT, [])
+    assert len(out) == len(LEFT) * len(RIGHT)
+
+
+@pytest.mark.parametrize("name", sorted(JOIN_IMPLEMENTATIONS))
+def test_operators_agree_small(name):
+    impl = JOIN_IMPLEMENTATIONS[name]
+    expected = Counter(nested_loop_join(LEFT, RIGHT, [(0, 0)]))
+    assert Counter(impl(LEFT, RIGHT, [(0, 0)])) == expected
+
+
+def test_block_nested_loop_block_sizes():
+    for block in (1, 2, 3, 100):
+        out = block_nested_loop_join(LEFT, RIGHT, [(0, 0)], block_size=block)
+        assert Counter(out) == Counter(nested_loop_join(LEFT, RIGHT, [(0, 0)]))
+    with pytest.raises(ValidationError):
+        block_nested_loop_join(LEFT, RIGHT, [(0, 0)], block_size=0)
+
+
+def test_multi_column_predicates():
+    left = [(1, 1, "l0"), (1, 2, "l1"), (2, 2, "l2")]
+    right = [(1, 1, "r0"), (2, 2, "r1")]
+    preds = [(0, 0), (1, 1)]
+    expected = Counter(nested_loop_join(left, right, preds))
+    assert expected == Counter([(1, 1, "l0", 1, 1, "r0"), (2, 2, "l2", 2, 2, "r1")])
+    for impl in JOIN_IMPLEMENTATIONS.values():
+        assert Counter(impl(left, right, preds)) == expected
+
+
+def test_empty_inputs():
+    for impl in JOIN_IMPLEMENTATIONS.values():
+        assert impl([], RIGHT, [(0, 0)]) == []
+        assert impl(LEFT, [], [(0, 0)]) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    left=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 3)), max_size=25
+    ),
+    right=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 3)), max_size=25
+    ),
+    on_both=st.booleans(),
+)
+def test_property_operators_agree(left, right, on_both):
+    preds = [(0, 0), (1, 1)] if on_both else [(0, 0)]
+    expected = Counter(nested_loop_join(left, right, preds))
+    for name, impl in JOIN_IMPLEMENTATIONS.items():
+        assert Counter(impl(left, right, preds)) == expected, name
+
+
+# ---------------------------------------------------------------------------
+# executor
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("topology", ["chain", "star", "cycle", "clique"])
+def test_plan_execution_result_invariance(topology):
+    """The optimal plan and a canonical left-deep plan (with arbitrary
+    methods) return the same multiset of result rows."""
+    query = query_for(topology, 5, seed=4)
+    db = generate_database(query, seed=4, max_rows=40)
+
+    optimal = DPsize().optimize(query).plan
+    canonical = ScanNode(0)
+    for rel in range(1, 5):
+        canonical = JoinNode(
+            left=canonical,
+            right=ScanNode(rel),
+            method=JoinMethod.SORT_MERGE,
+        )
+    a = execute_plan(optimal, query, db)
+    b = execute_plan(canonical, query, db)
+    assert Counter(a) == Counter(b)
+
+
+def test_execution_row_width():
+    query = query_for("chain", 3, seed=5)
+    db = generate_database(query, seed=5, max_rows=20)
+    plan = DPsize().optimize(query).plan
+    rows = execute_plan(plan, query, db)
+    total_width = sum(len(db.table(n).columns) for n in query.relation_names)
+    for row in rows:
+        assert len(row) == total_width
+
+
+def test_execution_partial_plan():
+    query = query_for("chain", 4, seed=6)
+    db = generate_database(query, seed=6, max_rows=20)
+    partial = JoinNode(left=ScanNode(1), right=ScanNode(2))
+    rows = execute_plan(partial, query, db)
+    # Join of adjacent chain relations on their shared key.
+    t1, t2 = db.table("t1"), db.table("t2")
+    assert len(rows) <= len(t1) * len(t2)
+
+
+def test_execution_canonical_column_order():
+    """Plans with different leaf orders return identical tuples."""
+    query = query_for("chain", 3, seed=9)
+    db = generate_database(query, seed=9, max_rows=25)
+    forward = JoinNode(
+        left=JoinNode(left=ScanNode(0), right=ScanNode(1)),
+        right=ScanNode(2),
+    )
+    backward = JoinNode(
+        left=ScanNode(2),
+        right=JoinNode(left=ScanNode(1), right=ScanNode(0)),
+    )
+    assert Counter(execute_plan(forward, query, db)) == Counter(
+        execute_plan(backward, query, db)
+    )
+
+
+def test_execution_missing_table():
+    query = query_for("chain", 3, seed=7)
+    db = Database()
+    with pytest.raises(ValidationError):
+        execute_plan(ScanNode(0), query, db)
+
+
+def test_cardinality_estimates_track_reality():
+    """On a moderately selective query the estimator's relative error
+    stays within an order of magnitude of the true result size."""
+    from repro.cost import CardinalityEstimator
+    from repro.query import Query, QueryContext, JoinGraph
+
+    g = JoinGraph(3, [(0, 1, 0.05), (1, 2, 0.1)])
+    query = Query(
+        graph=g,
+        relation_names=("a", "b", "c"),
+        cardinalities=(200.0, 150.0, 100.0),
+    )
+    db = generate_database(query, seed=8, max_rows=200)
+    plan = DPsize().optimize(query).plan
+    actual = len(execute_plan(plan, query, db))
+    est = CardinalityEstimator(QueryContext(query))
+    predicted = est.rows(0b111)
+    assert actual > 0
+    assert predicted / 10 <= actual <= predicted * 10

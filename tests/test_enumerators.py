@@ -1,0 +1,184 @@
+"""Correctness tests for the serial enumerators.
+
+The central invariant: DPsize, DPsub, DPccp, and DPsva must all find plans
+of identical optimal cost, and for small queries that cost must equal the
+brute-force optimum over every plan tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost import (
+    CardinalityEstimator,
+    CoutCostModel,
+    StandardCostModel,
+    plan_cost,
+)
+from repro.enumerate import (
+    DPccp,
+    DPsize,
+    DPsub,
+    ExhaustiveEnumerator,
+)
+from repro.plans import validate_plan
+from repro.query import QueryContext, WorkloadSpec, generate_query
+from repro.sva import DPsva
+from repro.util.errors import OptimizationError, ValidationError
+
+ALL_DP = [DPsize, DPsub, DPccp, DPsva]
+TOPOLOGIES = ["chain", "cycle", "star", "clique", "random"]
+
+
+def query_for(topology, n, seed=0):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+@pytest.mark.parametrize("algo_cls", ALL_DP)
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_dp_matches_exhaustive(algo_cls, topology):
+    query = query_for(topology, 5, seed=3)
+    reference = ExhaustiveEnumerator().optimize(query)
+    result = algo_cls().optimize(query)
+    assert result.cost == pytest.approx(reference.cost, rel=1e-12)
+    validate_plan(result.plan, QueryContext(query), require_connected=True)
+
+
+@pytest.mark.parametrize("algo_cls", ALL_DP)
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_dp_matches_exhaustive_cross_products(algo_cls, topology):
+    query = query_for(topology, 4, seed=5)
+    reference = ExhaustiveEnumerator(cross_products=True).optimize(query)
+    result = algo_cls(cross_products=True).optimize(query)
+    assert result.cost == pytest.approx(reference.cost, rel=1e-12)
+    validate_plan(result.plan, QueryContext(query))
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@pytest.mark.parametrize("n", [2, 3, 6, 8])
+def test_all_dp_agree(topology, n):
+    if topology == "cycle" and n < 3:
+        pytest.skip("cycle needs n >= 3")
+    query = query_for(topology, n, seed=n)
+    costs = {}
+    for algo_cls in ALL_DP:
+        result = algo_cls().optimize(query)
+        costs[algo_cls.__name__] = result.cost
+    baseline = costs["DPsize"]
+    for name, cost in costs.items():
+        assert cost == pytest.approx(baseline, rel=1e-12), name
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    topology=st.sampled_from(TOPOLOGIES),
+    n=st.integers(min_value=2, max_value=7),
+    seed=st.integers(min_value=0, max_value=1000),
+    cross=st.booleans(),
+)
+def test_property_dp_agreement(topology, n, seed, cross):
+    """All four DP enumerators agree on optimal cost for random queries."""
+    if topology == "cycle" and n < 3:
+        n = 3
+    query = query_for(topology, n, seed=seed)
+    results = [cls(cross_products=cross).optimize(query) for cls in ALL_DP]
+    for result in results[1:]:
+        assert result.cost == pytest.approx(results[0].cost, rel=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_property_dp_optimal_vs_exhaustive(n, seed):
+    query = query_for("random", n, seed=seed)
+    reference = ExhaustiveEnumerator().optimize(query)
+    for cls in ALL_DP:
+        assert cls().optimize(query).cost == pytest.approx(
+            reference.cost, rel=1e-12
+        )
+
+
+@pytest.mark.parametrize("algo_cls", ALL_DP)
+def test_plan_cost_consistent_with_tree(algo_cls):
+    """Memo-accumulated cost equals independent tree recosting."""
+    query = query_for("random", 7, seed=9)
+    result = algo_cls().optimize(query)
+    ctx = QueryContext(query)
+    est = CardinalityEstimator(ctx)
+    recosted = plan_cost(result.plan, est, StandardCostModel())
+    assert recosted == pytest.approx(result.cost, rel=1e-12)
+
+
+@pytest.mark.parametrize("algo_cls", ALL_DP)
+def test_cout_cost_model(algo_cls):
+    query = query_for("chain", 6, seed=4)
+    result = algo_cls().optimize(query, cost_model=CoutCostModel())
+    reference = ExhaustiveEnumerator().optimize(query, cost_model=CoutCostModel())
+    assert result.cost == pytest.approx(reference.cost, rel=1e-12)
+
+
+def test_single_relation():
+    query = query_for("chain", 1)
+    for cls in ALL_DP:
+        result = cls().optimize(query)
+        assert result.plan.size == 1
+        assert result.cost == pytest.approx(query.cardinalities[0])
+
+
+def test_two_relations():
+    query = query_for("chain", 2, seed=8)
+    result = DPsize().optimize(query)
+    assert result.plan.size == 2
+    assert result.meter.pairs_valid == 2  # both operand orders
+
+
+def test_disconnected_graph_rejected():
+    from repro.query import JoinGraph, Query
+
+    g = JoinGraph(4, [(0, 1, 0.1), (2, 3, 0.1)])
+    q = Query(
+        graph=g,
+        relation_names=("a", "b", "c", "d"),
+        cardinalities=(10.0, 10.0, 10.0, 10.0),
+    )
+    with pytest.raises(OptimizationError):
+        DPsize().optimize(q)
+    # With cross products it must succeed.
+    result = DPsize(cross_products=True).optimize(q)
+    assert result.plan.size == 4
+
+
+def test_exhaustive_size_guard():
+    query = query_for("chain", 9)
+    with pytest.raises(ValidationError):
+        ExhaustiveEnumerator(max_relations=8).optimize(query)
+
+
+def test_result_reporting_fields():
+    query = query_for("star", 6, seed=2)
+    result = DPsize().optimize(query)
+    assert result.algorithm == "dpsize"
+    assert result.memo_entries >= 6
+    assert result.elapsed_seconds >= 0
+    assert result.meter.pairs_considered > 0
+    assert "pairs=" in result.summary()
+
+
+def test_dpsize_pairs_considered_cross_products():
+    """With cross products, DPsize inspects the full stratum cross products."""
+    query = query_for("chain", 5, seed=1)
+    result = DPsize(cross_products=True).optimize(query)
+    # All subsets memoized: strata sizes C(5,k).  Candidate pairs:
+    # sum over s of sum over s1 of C(5,s1)*C(5,s-s1).
+    import math
+
+    expected = sum(
+        math.comb(5, s1) * math.comb(5, s - s1)
+        for s in range(2, 6)
+        for s1 in range(1, s)
+    )
+    assert result.meter.pairs_considered == expected

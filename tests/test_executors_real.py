@@ -1,0 +1,92 @@
+"""Correctness of the real-thread and multiprocessing executors.
+
+Both must produce exactly the serial optimum.  These tests use small
+queries — the point is concurrency correctness, not performance (that is
+benchmark E8's job).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.parallel import PDPsize, PDPsva, ParallelDP
+from repro.plans import plan_signature
+from repro.query import WorkloadSpec, generate_query
+from repro.sva import DPsva
+from repro.enumerate import DPsize
+
+
+def query_for(topology, n, seed=0):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_threaded_matches_serial(threads):
+    query = query_for("cycle", 7, seed=1)
+    serial = DPsva().optimize(query)
+    parallel = PDPsva(threads=threads, backend="threads").optimize(query)
+    assert parallel.cost == serial.cost
+    assert plan_signature(parallel.plan) == plan_signature(serial.plan)
+    assert parallel.meter.pairs_valid == serial.meter.pairs_valid
+    assert parallel.extras["backend"] == "threads"
+    walls = parallel.extras["stratum_wall_times"]
+    assert len(walls) == 6
+    assert all(w >= 0 for w in walls)
+
+
+def test_threaded_latches_are_used():
+    query = query_for("star", 6, seed=2)
+    parallel = PDPsize(threads=2, backend="threads").optimize(query)
+    assert parallel.meter.latch_acquisitions == parallel.meter.pairs_valid
+
+
+@pytest.mark.parametrize("algorithm", ["dpsize", "dpsub", "dpsva"])
+def test_threaded_all_algorithms(algorithm):
+    query = query_for("random", 6, seed=3)
+    serial = ParallelDP(algorithm=algorithm, threads=1).optimize(query)
+    threaded = ParallelDP(
+        algorithm=algorithm, threads=3, backend="threads"
+    ).optimize(query)
+    assert threaded.cost == serial.cost
+
+
+@pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="needs fork()"
+)
+class TestProcessExecutor:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_process_matches_serial(self, threads):
+        query = query_for("cycle", 7, seed=4)
+        serial = DPsva().optimize(query)
+        parallel = PDPsva(threads=threads, backend="processes").optimize(query)
+        assert parallel.cost == serial.cost
+        assert plan_signature(parallel.plan) == plan_signature(serial.plan)
+        assert parallel.extras["rounds"] == 6
+        assert parallel.extras["approx_bytes_sent"] > 0
+
+    @pytest.mark.parametrize("algorithm", ["dpsize", "dpsub", "dpsva"])
+    def test_process_all_algorithms(self, algorithm):
+        query = query_for("star", 6, seed=5)
+        serial = ParallelDP(algorithm=algorithm, threads=1).optimize(query)
+        processed = ParallelDP(
+            algorithm=algorithm, threads=2, backend="processes"
+        ).optimize(query)
+        assert processed.cost == serial.cost
+
+    def test_process_meter_aggregation(self):
+        """Worker meters must sum to the serial operation counts."""
+        query = query_for("chain", 6, seed=6)
+        serial = DPsize().optimize(query)
+        parallel = PDPsize(threads=3, backend="processes").optimize(query)
+        assert parallel.meter.pairs_valid == serial.meter.pairs_valid
+        assert parallel.meter.pairs_considered == serial.meter.pairs_considered
+
+    def test_process_cross_products(self):
+        query = query_for("chain", 5, seed=7)
+        serial = DPsize(cross_products=True).optimize(query)
+        parallel = PDPsize(
+            threads=2, backend="processes", cross_products=True
+        ).optimize(query)
+        assert parallel.cost == serial.cost

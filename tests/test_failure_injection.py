@@ -1,0 +1,180 @@
+"""Failure-injection and edge-case tests.
+
+Exercises the library's behaviour on malformed, degenerate, and adversarial
+inputs: every public entry point should fail with a library error type
+(never a bare ``KeyError``/``IndexError`` from deep inside), and degenerate
+queries (single relation, two relations, selectivity extremes, huge
+cardinality ratios) must still optimize correctly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    DPccp,
+    DPsize,
+    DPsub,
+    JoinGraph,
+    OptimizationError,
+    ParallelDP,
+    Query,
+    ReproError,
+    StandardCostModel,
+    ValidationError,
+    optimize,
+)
+from repro.query import QueryContext, WorkloadSpec, generate_query
+from repro.sva import DPsva
+
+ALL_DP = [DPsize, DPsub, DPccp, DPsva]
+
+
+def make_query(n, edges, cards):
+    return Query(
+        graph=JoinGraph(n, edges),
+        relation_names=tuple(f"t{i}" for i in range(n)),
+        cardinalities=tuple(float(c) for c in cards),
+    )
+
+
+# ---------------------------------------------------------------------------
+# degenerate queries
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("algo_cls", ALL_DP)
+def test_single_relation_every_algorithm(algo_cls):
+    query = make_query(1, [], [42])
+    result = algo_cls().optimize(query)
+    assert result.plan.size == 1
+    assert result.cost == 42.0
+
+
+def test_selectivity_extremes():
+    """Selectivity at both clamp boundaries still optimizes."""
+    tiny = make_query(3, [(0, 1, 1e-12), (1, 2, 1.0)], [10, 10, 10])
+    for algo_cls in ALL_DP:
+        result = algo_cls().optimize(tiny)
+        assert math.isfinite(result.cost)
+        assert result.rows >= 1.0  # clamped
+
+
+def test_huge_cardinality_ratio():
+    """1 row vs 10^9 rows: no overflow, plan puts the small side sanely."""
+    query = make_query(3, [(0, 1, 0.5), (1, 2, 0.5)], [1, 1e9, 1])
+    for algo_cls in ALL_DP:
+        result = algo_cls().optimize(query)
+        assert math.isfinite(result.cost)
+    parallel = ParallelDP(algorithm="dpsva", threads=4).optimize(query)
+    assert math.isfinite(parallel.cost)
+
+
+def test_equal_cardinalities_ties_everywhere():
+    """All tables identical: tie-breaking must be exercised heavily and
+    all enumerators must still agree."""
+    query = make_query(
+        5,
+        [(i, i + 1, 0.1) for i in range(4)],
+        [100] * 5,
+    )
+    costs = {cls.__name__: cls().optimize(query).cost for cls in ALL_DP}
+    assert len(set(costs.values())) == 1
+
+
+def test_selectivity_one_edges():
+    """Edges with selectivity 1 (no filtering) behave like cross products
+    cost-wise but keep the graph connected."""
+    query = make_query(4, [(i, i + 1, 1.0) for i in range(3)], [5, 6, 7, 8])
+    result = DPsize().optimize(query)
+    assert result.rows == pytest.approx(5 * 6 * 7 * 8)
+
+
+# ---------------------------------------------------------------------------
+# invalid inputs surface library errors
+# ---------------------------------------------------------------------------
+
+
+def test_disconnected_everywhere():
+    query = make_query(4, [(0, 1, 0.1), (2, 3, 0.1)], [10, 10, 10, 10])
+    for algo_cls in ALL_DP:
+        with pytest.raises(OptimizationError):
+            algo_cls().optimize(query)
+    with pytest.raises(OptimizationError):
+        ParallelDP(algorithm="dpsize", threads=2).optimize(query)
+    # And all succeed with cross products.
+    costs = {
+        cls.__name__: cls(cross_products=True).optimize(query).cost
+        for cls in ALL_DP
+    }
+    assert len(set(costs.values())) == 1
+
+
+def test_all_public_errors_are_repro_errors():
+    assert issubclass(ValidationError, ReproError)
+    assert issubclass(OptimizationError, ReproError)
+
+
+def test_optimize_bad_inputs():
+    query = generate_query(WorkloadSpec("chain", 4))
+    with pytest.raises(ValidationError):
+        optimize(query, algorithm="not_an_algorithm")
+    with pytest.raises(ValidationError):
+        optimize(query, threads=0)
+    with pytest.raises(ValidationError):
+        optimize(query, threads=2, allocation="not_a_scheme")
+    with pytest.raises(ValidationError):
+        optimize(query, threads=2, backend="not_a_backend")
+
+
+def test_more_threads_than_work():
+    """Far more threads than units: still correct, threads just idle."""
+    query = generate_query(WorkloadSpec("chain", 4, seed=1))
+    serial = DPsize().optimize(query)
+    flooded = ParallelDP(algorithm="dpsize", threads=64).optimize(query)
+    assert flooded.cost == serial.cost
+    report = flooded.extras["sim_report"]
+    assert report.threads == 64
+    # Most threads are idle in every stratum.
+    for stratum in report.strata:
+        assert sum(1 for b in stratum.busy if b == 0) > 0
+
+
+def test_oversubscription_extremes():
+    query = generate_query(WorkloadSpec("star", 7, seed=2))
+    serial = DPsva().optimize(query)
+    for oversub in (1, 64):
+        result = ParallelDP(
+            algorithm="dpsva", threads=4, oversubscription=oversub
+        ).optimize(query)
+        assert result.cost == serial.cost
+
+
+def test_cost_model_returning_constant():
+    """A degenerate cost model (all joins equal) must still terminate with
+    a valid complete plan chosen by tie-break."""
+
+    class FlatModel(StandardCostModel):
+        def join_cost(self, method, left_rows, right_rows, out_rows):
+            return 1.0
+
+        def scan_cost(self, rows):
+            return 0.0
+
+    query = generate_query(WorkloadSpec("cycle", 6, seed=3))
+    a = DPsize().optimize(query, cost_model=FlatModel())
+    b = DPsub().optimize(query, cost_model=FlatModel())
+    assert a.cost == b.cost == pytest.approx(5.0)  # 5 joins x 1.0
+
+
+def test_zero_scan_cost_parallel_consistency():
+    from repro import CoutCostModel
+
+    query = generate_query(WorkloadSpec("star", 7, seed=4))
+    serial = DPsize().optimize(query, cost_model=CoutCostModel())
+    parallel = ParallelDP(algorithm="dpsize", threads=4).optimize(
+        query, cost_model=CoutCostModel()
+    )
+    assert parallel.cost == serial.cost

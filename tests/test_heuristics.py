@@ -1,0 +1,209 @@
+"""Tests for the heuristic optimizers."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.cost import CardinalityEstimator, CoutCostModel, StandardCostModel
+from repro.enumerate import DPsize
+from repro.heuristics import GOO, IKKBZ, IteratedImprovement, SimulatedAnnealing
+from repro.heuristics.common import (
+    left_deep_cost,
+    left_deep_plan,
+    order_is_connected,
+)
+from repro.plans import validate_plan
+from repro.query import QueryContext, WorkloadSpec, generate_query
+from repro.util.errors import OptimizationError, ValidationError
+
+
+def query_for(topology, n, seed=0):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+def best_left_deep_connected(ctx, cost_model):
+    """Brute-force cheapest cross-product-free left-deep order."""
+    est = CardinalityEstimator(ctx)
+    best = float("inf")
+    for order in itertools.permutations(range(ctx.n)):
+        if not order_is_connected(ctx, order):
+            continue
+        best = min(best, left_deep_cost(ctx, est, cost_model, list(order)))
+    return best
+
+
+# ---------------------------------------------------------------------------
+# common helpers
+# ---------------------------------------------------------------------------
+
+
+def test_left_deep_cost_matches_plan_cost():
+    from repro.cost import plan_cost
+
+    query = query_for("random", 6, seed=1)
+    ctx = QueryContext(query)
+    est = CardinalityEstimator(ctx)
+    model = StandardCostModel()
+    order = [3, 1, 0, 5, 2, 4]
+    plan = left_deep_plan(ctx, est, model, order)
+    assert plan.is_left_deep()
+    assert left_deep_cost(ctx, est, model, order) == pytest.approx(
+        plan_cost(plan, est, model)
+    )
+
+
+def test_order_is_connected():
+    query = query_for("chain", 4, seed=0)
+    ctx = QueryContext(query)
+    assert order_is_connected(ctx, [0, 1, 2, 3])
+    assert order_is_connected(ctx, [1, 2, 3, 0])
+    assert not order_is_connected(ctx, [0, 2, 1, 3])
+
+
+# ---------------------------------------------------------------------------
+# GOO
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("topology", ["chain", "star", "cycle", "clique"])
+def test_goo_produces_valid_plans(topology):
+    query = query_for(topology, 8, seed=2)
+    result = GOO().optimize(query)
+    ctx = QueryContext(query)
+    validate_plan(result.plan, ctx, require_connected=True)
+    assert result.cost > 0
+
+
+def test_goo_never_beats_dp():
+    for seed in range(5):
+        query = query_for("random", 7, seed=seed)
+        dp = DPsize().optimize(query)
+        goo = GOO().optimize(query)
+        assert goo.cost >= dp.cost - 1e-9
+
+
+def test_goo_disconnected_needs_cross_products():
+    from repro.query import JoinGraph, Query
+
+    g = JoinGraph(4, [(0, 1, 0.1), (2, 3, 0.1)])
+    q = Query(
+        graph=g,
+        relation_names=("a", "b", "c", "d"),
+        cardinalities=(10.0, 10.0, 10.0, 10.0),
+    )
+    with pytest.raises(OptimizationError):
+        GOO().optimize(q)
+    result = GOO(cross_products=True).optimize(q)
+    assert result.plan.size == 4
+
+
+# ---------------------------------------------------------------------------
+# IKKBZ
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("topology", ["chain", "star"])
+@pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+def test_ikkbz_optimal_on_trees_under_cout(topology, n):
+    """IKKBZ must equal the brute-force best connected left-deep order
+    under C_out (its ASI cost function)."""
+    query = query_for(topology, n, seed=n)
+    ctx = QueryContext(query)
+    result = IKKBZ().optimize(query, cost_model=CoutCostModel())
+    reference = best_left_deep_connected(ctx, CoutCostModel())
+    assert result.cost == pytest.approx(reference, rel=1e-9)
+
+
+def test_ikkbz_optimal_on_random_trees():
+    for seed in range(8):
+        query = query_for("chain", 6, seed=100 + seed)
+        ctx = QueryContext(query)
+        result = IKKBZ().optimize(query, cost_model=CoutCostModel())
+        assert result.cost == pytest.approx(
+            best_left_deep_connected(ctx, CoutCostModel()), rel=1e-9
+        )
+
+
+def test_ikkbz_plan_is_left_deep_and_valid():
+    query = query_for("star", 8, seed=3)
+    result = IKKBZ().optimize(query)
+    assert result.plan.is_left_deep()
+    validate_plan(result.plan, QueryContext(query), require_connected=True)
+    assert not result.extras["used_spanning_tree"]
+
+
+def test_ikkbz_on_cycles_spanning_tree():
+    query = query_for("clique", 7, seed=4)
+    result = IKKBZ().optimize(query)
+    assert result.extras["used_spanning_tree"]
+    validate_plan(result.plan, QueryContext(query))
+    with pytest.raises(ValidationError):
+        IKKBZ(on_cycles="error").optimize(query)
+
+
+def test_ikkbz_validation():
+    with pytest.raises(ValidationError):
+        IKKBZ(on_cycles="maybe")
+
+
+# ---------------------------------------------------------------------------
+# randomized search
+# ---------------------------------------------------------------------------
+
+
+def test_ii_deterministic_per_seed():
+    query = query_for("star", 7, seed=5)
+    a = IteratedImprovement(seed=42).optimize(query)
+    b = IteratedImprovement(seed=42).optimize(query)
+    assert a.cost == b.cost
+    assert a.extras["order"] == b.extras["order"]
+
+
+def test_ii_finds_optimum_on_tiny_query():
+    query = query_for("chain", 4, seed=6)
+    dp = DPsize(cross_products=True).optimize(query)
+    ii = IteratedImprovement(restarts=10, max_moves=200, seed=1).optimize(query)
+    # Left-deep optimum may exceed the bushy optimum, but never beat it.
+    assert ii.cost >= dp.cost - 1e-9
+    # For 4 relations II should land on the best left-deep order.
+    ctx = QueryContext(query)
+    est = CardinalityEstimator(ctx)
+    best = min(
+        left_deep_cost(ctx, est, StandardCostModel(), list(p))
+        for p in itertools.permutations(range(4))
+    )
+    assert ii.cost == pytest.approx(best, rel=1e-9)
+
+
+def test_sa_deterministic_and_valid():
+    query = query_for("cycle", 7, seed=7)
+    a = SimulatedAnnealing(seed=9).optimize(query)
+    b = SimulatedAnnealing(seed=9).optimize(query)
+    assert a.cost == b.cost
+    validate_plan(a.plan, QueryContext(query))
+
+
+def test_sa_never_beats_dp_cross():
+    query = query_for("random", 6, seed=8)
+    dp = DPsize(cross_products=True).optimize(query)
+    sa = SimulatedAnnealing(seed=3).optimize(query)
+    assert sa.cost >= dp.cost - 1e-9
+
+
+def test_local_search_validation():
+    with pytest.raises(ValidationError):
+        IteratedImprovement(restarts=0)
+    with pytest.raises(ValidationError):
+        SimulatedAnnealing(cooling=1.5)
+    with pytest.raises(ValidationError):
+        SimulatedAnnealing(moves_per_round=0)
+
+
+def test_heuristic_meters_count_work():
+    query = query_for("star", 6, seed=9)
+    goo = GOO().optimize(query)
+    assert goo.meter.pairs_considered > 0
+    ii = IteratedImprovement(restarts=2, max_moves=10).optimize(query)
+    assert ii.meter.plans_emitted > 0

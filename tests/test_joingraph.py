@@ -1,0 +1,96 @@
+"""Tests for join graphs and queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import generate_catalog
+from repro.query import JoinEdge, JoinGraph, Query
+from repro.util.bitsets import mask_of
+from repro.util.errors import ValidationError
+
+
+def make_chain(n=4):
+    return JoinGraph(n, [(i, i + 1, 0.1) for i in range(n - 1)])
+
+
+def test_edge_validation():
+    with pytest.raises(ValidationError):
+        JoinEdge(2, 2, 0.5)
+    with pytest.raises(ValidationError):
+        JoinEdge(3, 1, 0.5)
+    with pytest.raises(ValidationError):
+        JoinEdge(0, 1, 0.0)
+    with pytest.raises(ValidationError):
+        JoinEdge(0, 1, 1.5)
+
+
+def test_graph_normalizes_tuple_edges():
+    g = JoinGraph(3, [(1, 0, 0.2), (1, 2, 0.3)])
+    assert g.edge_selectivity(0, 1) == 0.2
+    assert g.edge_selectivity(1, 0) == 0.2
+    assert g.edge_selectivity(0, 2) is None
+
+
+def test_graph_rejects_bad_edges():
+    with pytest.raises(ValidationError):
+        JoinGraph(2, [(0, 5, 0.1)])
+    with pytest.raises(ValidationError):
+        JoinGraph(3, [(0, 1, 0.1), (1, 0, 0.2)])
+    with pytest.raises(ValidationError):
+        JoinGraph(0, [])
+
+
+def test_adjacency_and_neighbours():
+    g = make_chain(4)
+    assert g.adjacency(0) == 0b0010
+    assert g.adjacency(1) == 0b0101
+    assert g.neighbours(mask_of([0])) == 0b0010
+    assert g.neighbours(mask_of([1, 2])) == 0b1001
+    assert g.neighbours(mask_of([0, 1, 2, 3])) == 0
+
+
+def test_connectivity():
+    g = make_chain(4)
+    assert g.is_connected()
+    assert g.is_connected_set(mask_of([0, 1, 2]))
+    assert not g.is_connected_set(mask_of([0, 2]))
+    assert g.is_connected_set(mask_of([1]))
+    assert g.is_connected_set(0)
+
+
+def test_connects_and_cross_selectivity():
+    g = JoinGraph(3, [(0, 1, 0.5), (1, 2, 0.25)])
+    assert g.connects(0b001, 0b010)
+    assert not g.connects(0b001, 0b100)
+    assert g.cross_selectivity(0b010, 0b101) == pytest.approx(0.5 * 0.25)
+    assert g.cross_selectivity(0b001, 0b100) == 1.0
+
+
+def test_disconnected_graph():
+    g = JoinGraph(4, [(0, 1, 0.1), (2, 3, 0.1)])
+    assert not g.is_connected()
+    assert g.is_connected_set(mask_of([0, 1]))
+    assert not g.is_connected_set(mask_of([1, 2]))
+
+
+def test_query_from_catalog():
+    catalog = generate_catalog(4, seed=1)
+    q = Query.from_catalog(catalog, make_chain(4), label="test")
+    assert q.n == 4
+    assert q.relation_names == ("t0", "t1", "t2", "t3")
+    assert all(c >= 1 for c in q.cardinalities)
+
+
+def test_query_validation():
+    g = make_chain(3)
+    with pytest.raises(ValidationError):
+        Query(graph=g, relation_names=("a",), cardinalities=(1.0, 1.0, 1.0))
+    with pytest.raises(ValidationError):
+        Query(
+            graph=g,
+            relation_names=("a", "b", "c"),
+            cardinalities=(1.0, 0.0, 1.0),
+        )
+    with pytest.raises(ValidationError):
+        Query(graph=g, relation_names=("a", "b", "c"), cardinalities=(1.0,))

@@ -1,0 +1,59 @@
+"""Tests for DPsize's left-deep plan-space restriction."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.cost import CardinalityEstimator, StandardCostModel
+from repro.enumerate import DPsize
+from repro.heuristics.common import left_deep_cost, order_is_connected
+from repro.query import QueryContext, WorkloadSpec, generate_query
+
+
+def query_for(topology, n, seed=0):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+def brute_force_left_deep(ctx, cross_products):
+    est = CardinalityEstimator(ctx)
+    model = StandardCostModel()
+    best = float("inf")
+    for order in itertools.permutations(range(ctx.n)):
+        if not cross_products and not order_is_connected(ctx, list(order)):
+            continue
+        best = min(best, left_deep_cost(ctx, est, model, list(order)))
+    return best
+
+
+@pytest.mark.parametrize("topology", ["chain", "star", "cycle", "random"])
+@pytest.mark.parametrize("cross", [False, True])
+def test_left_deep_dp_matches_brute_force(topology, cross):
+    query = query_for(topology, 6, seed=4)
+    ctx = QueryContext(query)
+    result = DPsize(cross_products=cross, plan_space="left_deep").optimize(query)
+    assert result.cost == pytest.approx(
+        brute_force_left_deep(ctx, cross), rel=1e-12
+    )
+    assert result.plan.is_left_deep()
+
+
+def test_left_deep_never_beats_bushy():
+    for seed in range(5):
+        query = query_for("random", 7, seed=seed)
+        bushy = DPsize().optimize(query)
+        left = DPsize(plan_space="left_deep").optimize(query)
+        assert left.cost >= bushy.cost - 1e-9
+
+
+def test_left_deep_considers_fewer_pairs():
+    query = query_for("clique", 8, seed=5)
+    bushy = DPsize().optimize(query)
+    left = DPsize(plan_space="left_deep").optimize(query)
+    assert left.meter.pairs_considered < bushy.meter.pairs_considered
+
+
+def test_plan_space_validation():
+    with pytest.raises(ValueError):
+        DPsize(plan_space="zigzag")

@@ -1,0 +1,88 @@
+"""Tests for result serialization and plan export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import PDPsva, Workload, WorkloadSpec, optimize
+from repro.bench import (
+    load_manifest,
+    plan_to_dict,
+    result_to_dict,
+    save_manifest,
+    sim_report_to_dict,
+)
+from repro.plans import JoinMethod, JoinNode, ScanNode
+from repro.plans.printer import plan_to_dot
+
+
+@pytest.fixture
+def query():
+    return Workload(WorkloadSpec("star", 6, seed=3))[0]
+
+
+def test_plan_to_dict_roundtrip_structure():
+    plan = JoinNode(
+        left=JoinNode(left=ScanNode(0), right=ScanNode(1),
+                      method=JoinMethod.HASH),
+        right=ScanNode(2),
+        method=JoinMethod.SORT_MERGE,
+    )
+    d = plan_to_dict(plan)
+    assert d["op"] == "join"
+    assert d["method"] == "SORT_MERGE"
+    assert d["left"]["method"] == "HASH"
+    assert d["right"] == {"op": "scan", "relation": 2}
+    json.dumps(d)  # serializable
+
+
+def test_result_to_dict_serial(query):
+    result = optimize(query, algorithm="dpsva")
+    d = result_to_dict(result)
+    assert d["algorithm"] == "dpsva"
+    assert d["cost"] == result.cost
+    assert d["meter"]["pairs_valid"] > 0
+    assert d["plan_signature"].startswith("(")
+    json.dumps(d)
+
+
+def test_result_to_dict_parallel_includes_report(query):
+    result = PDPsva(threads=4).optimize(query)
+    d = result_to_dict(result)
+    report = d["extras"]["sim_report"]
+    assert report["threads"] == 4
+    assert report["total_time"] > 0
+    assert len(report["strata"]) == 5
+    json.dumps(d)
+
+
+def test_sim_report_to_dict_fields(query):
+    report = PDPsva(threads=2).optimize(query).extras["sim_report"]
+    d = sim_report_to_dict(report)
+    assert d["busy_total"] == pytest.approx(report.busy_total)
+    assert d["mean_imbalance"] >= 1.0
+    assert all(len(s["busy"]) == 2 for s in d["strata"])
+
+
+def test_save_and_load_manifest(tmp_path, query):
+    result = optimize(query)
+    rows = [result_to_dict(result)]
+    path = save_manifest(
+        tmp_path / "run.json", rows, metadata={"experiment": "unit-test"}
+    )
+    loaded_rows, metadata = load_manifest(path)
+    assert metadata == {"experiment": "unit-test"}
+    assert loaded_rows[0]["cost"] == result.cost
+    assert loaded_rows[0]["plan_signature"] == rows[0]["plan_signature"]
+
+
+def test_plan_to_dot(query):
+    result = optimize(query)
+    dot = plan_to_dot(result.plan, relation_names=query.relation_names)
+    assert dot.startswith("digraph plan {")
+    assert dot.rstrip().endswith("}")
+    assert dot.count("shape=ellipse") == 6  # one per scan
+    assert dot.count("->") == 2 * 5  # two edges per join
+    assert "t0" in dot

@@ -1,0 +1,183 @@
+"""Tests for the memo table and work meter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost import CardinalityEstimator, StandardCostModel
+from repro.memo import LockStripedMemo, Memo, WorkMeter, extract_plan
+from repro.memo.counters import FIELDS
+from repro.plans import JoinMethod, validate_plan
+from repro.query import JoinGraph, Query, QueryContext
+from repro.util.errors import OptimizationError
+
+
+@pytest.fixture
+def ctx3():
+    g = JoinGraph(3, [(0, 1, 0.1), (1, 2, 0.2)])
+    q = Query(
+        graph=g,
+        relation_names=("a", "b", "c"),
+        cardinalities=(100.0, 50.0, 20.0),
+    )
+    return QueryContext(q)
+
+
+def make_memo(ctx, memo_cls=Memo):
+    return memo_cls(ctx, StandardCostModel())
+
+
+def test_init_scans(ctx3):
+    memo = make_memo(ctx3)
+    memo.init_scans()
+    assert len(memo) == 3
+    for rel in range(3):
+        entry = memo.entry(1 << rel)
+        assert entry is not None
+        assert entry.is_scan
+        assert entry.method is JoinMethod.SCAN
+        assert entry.rows == ctx3.cards[rel]
+        assert entry.cost == ctx3.cards[rel]  # scan cost = rows
+
+
+def test_consider_join_inserts_and_improves(ctx3):
+    memo = make_memo(ctx3)
+    memo.init_scans()
+    memo.consider_join(0b001, 0b010)
+    entry = memo.entry(0b011)
+    assert entry is not None
+    assert not entry.is_scan
+    first_cost = entry.cost
+    # The reverse operand order may or may not improve; either way the
+    # stored cost can only go down.
+    memo.consider_join(0b010, 0b001)
+    assert memo.entry(0b011).cost <= first_cost
+
+
+def test_consider_join_keeps_cheapest_method(ctx3):
+    memo = make_memo(ctx3)
+    memo.init_scans()
+    memo.consider_join(0b001, 0b010)
+    entry = memo.entry(0b011)
+    model = StandardCostModel()
+    est = memo.estimator
+    best = min(
+        model.join_cost(m, 100.0, 50.0, est.rows(0b011))
+        for m in model.methods
+    )
+    assert entry.cost == pytest.approx(100.0 + 50.0 + best)
+
+
+def test_sets_of_size_sorted(ctx3):
+    memo = make_memo(ctx3)
+    memo.init_scans()
+    memo.consider_join(0b010, 0b100)
+    memo.consider_join(0b001, 0b010)
+    sizes = memo.sets_of_size(2)
+    assert sizes == sorted(sizes)
+    assert set(sizes) == {0b011, 0b110}
+    assert memo.sets_of_size(1) == [0b001, 0b010, 0b100]
+
+
+def test_best_raises_without_complete_plan(ctx3):
+    memo = make_memo(ctx3)
+    memo.init_scans()
+    with pytest.raises(OptimizationError):
+        memo.best()
+
+
+def test_extract_plan(ctx3):
+    memo = make_memo(ctx3)
+    memo.init_scans()
+    memo.consider_join(0b001, 0b010)
+    memo.consider_join(0b011, 0b100)
+    plan = extract_plan(memo)
+    validate_plan(plan, ctx3)
+    assert plan.mask == 0b111
+    with pytest.raises(OptimizationError):
+        extract_plan(memo, 0b101)
+
+
+def test_meter_counts_inserts(ctx3):
+    meter = WorkMeter()
+    memo = Memo(ctx3, StandardCostModel(), meter=meter)
+    memo.init_scans()
+    memo.consider_join(0b001, 0b010)
+    assert meter.memo_inserts == 1
+    assert meter.plans_emitted == len(StandardCostModel().methods)
+
+
+def test_tie_breaking_is_order_independent(ctx3):
+    """Equal-cost plans resolve by (left, right, method) key, so emission
+    order does not matter."""
+    from repro.cost import CoutCostModel
+
+    # Under C_out all splits of the full set cost the same (same output),
+    # so tie-breaking is fully exercised.
+    def run(order):
+        memo = Memo(ctx3, CoutCostModel())
+        memo.init_scans()
+        for left, right in order:
+            memo.consider_join(left, right)
+        return memo.entry(0b011).key()
+
+    a = run([(0b001, 0b010), (0b010, 0b001)])
+    b = run([(0b010, 0b001), (0b001, 0b010)])
+    assert a == b
+
+
+def test_merge_candidate(ctx3):
+    memo = make_memo(ctx3)
+    memo.init_scans()
+    assert memo.merge_candidate(0b011, 42.0, 10.0, 0b001, 0b010, JoinMethod.HASH)
+    assert not memo.merge_candidate(
+        0b011, 50.0, 10.0, 0b010, 0b001, JoinMethod.HASH
+    )
+    assert memo.merge_candidate(
+        0b011, 41.0, 10.0, 0b010, 0b001, JoinMethod.HASH
+    )
+    assert memo.entry(0b011).cost == 41.0
+
+
+def test_meter_merge_and_dict():
+    a = WorkMeter()
+    b = WorkMeter()
+    a.pairs_considered = 5
+    b.pairs_considered = 3
+    b.sva_skips = 2
+    a.merge(b)
+    assert a.pairs_considered == 8
+    assert a.sva_skips == 2
+    d = a.as_dict()
+    assert set(d) == set(FIELDS)
+    c = a.copy()
+    assert c == a
+    c.pairs_valid += 1
+    assert c != a
+
+
+def test_meter_rejected_property():
+    m = WorkMeter()
+    m.disjoint_fail = 2
+    m.connectivity_fail = 3
+    m.operand_missing = 1
+    assert m.pairs_rejected == 6
+
+
+def test_lock_striped_memo_matches_plain(ctx3):
+    plain = make_memo(ctx3)
+    plain.init_scans()
+    plain.consider_join(0b001, 0b010)
+    striped = make_memo(ctx3, LockStripedMemo)
+    striped.init_scans()
+    striped.consider_join(0b001, 0b010)
+    assert striped.entry(0b011).cost == plain.entry(0b011).cost
+    assert striped.meter.latch_acquisitions == 1
+
+
+def test_estimator_shared_rows(ctx3):
+    est = CardinalityEstimator(ctx3)
+    memo = Memo(ctx3, StandardCostModel(), estimator=est)
+    memo.init_scans()
+    memo.consider_join(0b001, 0b010)
+    assert memo.entry(0b011).rows == est.rows(0b011)

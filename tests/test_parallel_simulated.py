@@ -1,0 +1,216 @@
+"""Correctness and behaviour of the parallel framework on the simulated
+backend.
+
+The decisive invariant: for every kernel, thread count, and allocation
+scheme, the parallel optimizer returns exactly the serial optimum (equal
+cost, identical plan signature thanks to deterministic tie-breaking).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enumerate import DPccp, DPsize, DPsub
+from repro.parallel import PDPsize, PDPsub, PDPsva, ParallelDP
+from repro.plans import plan_signature, validate_plan
+from repro.query import QueryContext, WorkloadSpec, generate_query
+from repro.simx import SimCostParams
+from repro.sva import DPsva
+from repro.util.errors import ValidationError
+
+SERIAL_BY_NAME = {"dpsize": DPsize, "dpsub": DPsub, "dpsva": DPsva}
+
+
+def query_for(topology, n, seed=0):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+@pytest.mark.parametrize("algorithm", ["dpsize", "dpsub", "dpsva"])
+@pytest.mark.parametrize("threads", [1, 2, 3, 8])
+def test_parallel_matches_serial_exactly(algorithm, threads):
+    query = query_for("cycle", 8, seed=1)
+    serial = SERIAL_BY_NAME[algorithm]().optimize(query)
+    parallel = ParallelDP(algorithm=algorithm, threads=threads).optimize(query)
+    assert parallel.cost == serial.cost
+    assert plan_signature(parallel.plan) == plan_signature(serial.plan)
+    assert parallel.memo_entries == serial.memo_entries
+
+
+@pytest.mark.parametrize("topology", ["chain", "star", "clique", "random"])
+@pytest.mark.parametrize(
+    "allocation", ["round_robin", "chunked", "equi_depth", "dynamic"]
+)
+def test_parallel_all_allocations_correct(topology, allocation):
+    query = query_for(topology, 7, seed=2)
+    serial = DPsva().optimize(query)
+    parallel = PDPsva(threads=4, allocation=allocation).optimize(query)
+    assert parallel.cost == serial.cost
+    assert plan_signature(parallel.plan) == plan_signature(serial.plan)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    topology=st.sampled_from(["chain", "cycle", "star", "clique", "random"]),
+    n=st.integers(min_value=2, max_value=7),
+    seed=st.integers(min_value=0, max_value=200),
+    threads=st.integers(min_value=1, max_value=6),
+    algorithm=st.sampled_from(["dpsize", "dpsub", "dpsva"]),
+)
+def test_property_parallel_equals_serial(topology, n, seed, threads, algorithm):
+    if topology == "cycle" and n < 3:
+        n = 3
+    query = query_for(topology, n, seed=seed)
+    serial = SERIAL_BY_NAME[algorithm]().optimize(query)
+    parallel = ParallelDP(algorithm=algorithm, threads=threads).optimize(query)
+    assert parallel.cost == serial.cost
+    assert plan_signature(parallel.plan) == plan_signature(serial.plan)
+
+
+def test_parallel_cross_products():
+    query = query_for("chain", 6, seed=3)
+    serial = DPsize(cross_products=True).optimize(query)
+    parallel = PDPsize(threads=4, cross_products=True).optimize(query)
+    assert parallel.cost == serial.cost
+
+
+def test_parallel_work_conservation():
+    """Valid pairs and memo inserts are identical to serial; only the
+    improvement count may differ (emission order)."""
+    query = query_for("star", 8, seed=4)
+    serial = DPsva().optimize(query)
+    parallel = PDPsva(threads=4).optimize(query)
+    assert parallel.meter.pairs_valid == serial.meter.pairs_valid
+    assert parallel.meter.memo_inserts == serial.meter.memo_inserts
+    assert parallel.meter.pairs_considered == serial.meter.pairs_considered
+
+
+def test_sim_report_attached_and_consistent():
+    query = query_for("star", 8, seed=5)
+    result = PDPsva(threads=4).optimize(query)
+    report = result.extras["sim_report"]
+    assert report.threads == 4
+    assert report.algorithm == "dpsva"
+    assert report.allocation == "equi_depth"
+    assert len(report.strata) == 7  # strata 2..8
+    assert report.total_time > 0
+    assert report.busy_total > 0
+    assert report.total_time >= max(s.wall_time for s in report.strata)
+    for stratum in report.strata:
+        assert stratum.imbalance >= 1.0
+        assert stratum.wall_time >= max(stratum.thread_times, default=0.0)
+
+
+def test_simulated_speedup_on_dense_query():
+    """More threads must reduce simulated time on a work-dense query."""
+    query = query_for("clique", 10, seed=6)
+    times = {}
+    for threads in [1, 2, 4, 8]:
+        result = PDPsub(threads=threads).optimize(query)
+        times[threads] = result.extras["sim_report"].total_time
+    assert times[2] < times[1]
+    assert times[4] < times[2]
+    assert times[8] < times[4]
+    # Speedup sanity: between 1x and ideal.
+    assert 1.0 < times[1] / times[8] <= 8.0
+
+
+def test_simulated_busy_total_stable_across_threads():
+    """Total kernel work is (nearly) independent of the thread count."""
+    query = query_for("star", 8, seed=7)
+    busy = []
+    for threads in [1, 4]:
+        report = PDPsva(threads=threads).optimize(query).extras["sim_report"]
+        busy.append(report.busy_total)
+    # Improvement-count order effects allow a sliver of drift.
+    assert busy[1] == pytest.approx(busy[0], rel=0.02)
+
+
+def test_threads_one_has_no_sync_overhead():
+    query = query_for("chain", 6, seed=8)
+    report = PDPsva(threads=1).optimize(query).extras["sim_report"]
+    assert report.spawn_cost == 0.0
+    assert all(s.barrier_cost == 0.0 for s in report.strata)
+    assert report.total_conflicts == 0
+
+
+def test_contention_grows_with_threads():
+    query = query_for("clique", 8, seed=9)
+    small = PDPsize(threads=2).optimize(query).extras["sim_report"]
+    large = PDPsize(threads=8).optimize(query).extras["sim_report"]
+    assert large.total_conflicts >= small.total_conflicts
+
+
+def test_custom_sim_params():
+    params = SimCostParams(barrier_base=1e9)
+    query = query_for("chain", 5, seed=10)
+    expensive = PDPsva(threads=2, sim_params=params).optimize(query)
+    cheap = PDPsva(threads=2).optimize(query)
+    assert (
+        expensive.extras["sim_report"].total_time
+        > cheap.extras["sim_report"].total_time
+    )
+    # Barrier pricing must not affect correctness.
+    assert expensive.cost == cheap.cost
+
+
+def test_dynamic_allocation_oracle():
+    """Dynamic assignment matches serial results and never loses to the
+    static schemes on simulated time."""
+    query = query_for("star", 9, seed=13)
+    serial = DPsva().optimize(query)
+    dynamic = ParallelDP(
+        algorithm="dpsva", threads=4, allocation="dynamic"
+    ).optimize(query)
+    assert dynamic.cost == serial.cost
+    assert plan_signature(dynamic.plan) == plan_signature(serial.plan)
+    assert dynamic.extras["allocation_imbalances"][0] is None
+    dynamic_time = dynamic.extras["sim_report"].total_time
+    for scheme in ("round_robin", "chunked", "equi_depth"):
+        static = ParallelDP(
+            algorithm="dpsva", threads=4, allocation=scheme
+        ).optimize(query)
+        assert dynamic_time <= static.extras["sim_report"].total_time * 1.02
+
+
+def test_dynamic_allocation_rejected_by_real_backends():
+    query = query_for("chain", 5, seed=14)
+    for backend in ("threads", "processes"):
+        optimizer = ParallelDP(
+            algorithm="dpsize", threads=2, allocation="dynamic",
+            backend=backend,
+        )
+        with pytest.raises(ValidationError):
+            optimizer.optimize(query)
+
+
+def test_parallel_validation():
+    with pytest.raises(ValidationError):
+        ParallelDP(algorithm="nope")
+    with pytest.raises(ValidationError):
+        ParallelDP(threads=0)
+    with pytest.raises(ValidationError):
+        ParallelDP(backend="quantum")
+
+
+def test_parallel_plan_is_valid():
+    query = query_for("random", 7, seed=11)
+    result = PDPsva(threads=4).optimize(query)
+    validate_plan(result.plan, QueryContext(query), require_connected=True)
+
+
+def test_single_relation_parallel():
+    query = query_for("chain", 1)
+    result = PDPsva(threads=4).optimize(query)
+    assert result.plan.size == 1
+
+
+def test_extras_reporting():
+    query = query_for("star", 7, seed=12)
+    result = PDPsva(threads=4, allocation="round_robin").optimize(query)
+    assert result.extras["allocation"] == "round_robin"
+    assert result.extras["backend"] == "simulated"
+    assert len(result.extras["allocation_imbalances"]) == 6
+    assert all(i >= 1.0 for i in result.extras["allocation_imbalances"])
+    assert all(c >= 1 for c in result.extras["unit_counts"])

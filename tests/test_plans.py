@@ -1,0 +1,145 @@
+"""Tests for the plan-tree model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plans import (
+    JoinMethod,
+    JoinNode,
+    ScanNode,
+    explain,
+    plan_signature,
+    validate_plan,
+)
+from repro.query import JoinGraph, Query, QueryContext
+from repro.util.errors import ValidationError
+
+
+def left_deep_3():
+    return JoinNode(
+        left=JoinNode(
+            left=ScanNode(0), right=ScanNode(1), method=JoinMethod.HASH
+        ),
+        right=ScanNode(2),
+        method=JoinMethod.NESTED_LOOP,
+    )
+
+
+def bushy_4():
+    return JoinNode(
+        left=JoinNode(left=ScanNode(0), right=ScanNode(1)),
+        right=JoinNode(left=ScanNode(2), right=ScanNode(3)),
+        method=JoinMethod.SORT_MERGE,
+    )
+
+
+def ctx_for(n, edges):
+    g = JoinGraph(n, edges)
+    q = Query(
+        graph=g,
+        relation_names=tuple(f"t{i}" for i in range(n)),
+        cardinalities=tuple(10.0 for _ in range(n)),
+    )
+    return QueryContext(q)
+
+
+def test_scan_node():
+    s = ScanNode(3)
+    assert s.mask == 0b1000
+    assert s.size == 1
+    assert s.depth() == 1
+    assert s.is_left_deep()
+    assert s.leaves() == [s]
+    with pytest.raises(ValidationError):
+        ScanNode(-1)
+
+
+def test_join_node_mask_and_leaves():
+    plan = left_deep_3()
+    assert plan.mask == 0b111
+    assert plan.size == 3
+    assert [leaf.relation for leaf in plan.leaves()] == [0, 1, 2]
+    assert plan.depth() == 3
+
+
+def test_join_rejects_overlap():
+    with pytest.raises(ValidationError):
+        JoinNode(left=ScanNode(0), right=ScanNode(0))
+    with pytest.raises(ValidationError):
+        JoinNode(
+            left=JoinNode(left=ScanNode(0), right=ScanNode(1)),
+            right=ScanNode(1),
+        )
+
+
+def test_join_rejects_scan_method():
+    with pytest.raises(ValidationError):
+        JoinNode(left=ScanNode(0), right=ScanNode(1), method=JoinMethod.SCAN)
+
+
+def test_left_deep_detection():
+    assert left_deep_3().is_left_deep()
+    assert not bushy_4().is_left_deep()
+    right_deep = JoinNode(
+        left=ScanNode(0),
+        right=JoinNode(left=ScanNode(1), right=ScanNode(2)),
+    )
+    assert not right_deep.is_left_deep()
+
+
+def test_plan_signature():
+    assert plan_signature(left_deep_3()) == "((t0 HJ t1) NL t2)"
+    assert plan_signature(ScanNode(7)) == "t7"
+    assert plan_signature(bushy_4()) == "((t0 HJ t1) SM (t2 HJ t3))"
+
+
+def test_explain_renders_tree():
+    text = explain(left_deep_3(), relation_names=["a", "b", "c"])
+    lines = text.splitlines()
+    assert lines[0] == "NESTED_LOOP join"
+    assert "  HASH join" in lines
+    assert "    Scan a" in lines
+    assert "  Scan c" in lines
+
+
+def test_explain_annotation():
+    text = explain(left_deep_3(), annotate=lambda node: f"size={node.size}")
+    assert "[size=3]" in text
+    assert "[size=1]" in text
+
+
+def test_validate_plan_complete():
+    ctx = ctx_for(3, [(0, 1, 0.1), (1, 2, 0.1)])
+    validate_plan(left_deep_3(), ctx)
+    partial = JoinNode(left=ScanNode(0), right=ScanNode(1))
+    with pytest.raises(ValidationError):
+        validate_plan(partial, ctx)
+    validate_plan(partial, ctx, require_complete=False)
+
+
+def test_validate_plan_out_of_range():
+    ctx = ctx_for(2, [(0, 1, 0.1)])
+    bad = JoinNode(left=ScanNode(0), right=ScanNode(5))
+    with pytest.raises(ValidationError):
+        validate_plan(bad, ctx, require_complete=False)
+
+
+def test_validate_plan_cross_products():
+    ctx = ctx_for(3, [(0, 1, 0.1), (1, 2, 0.1)])
+    # (0 x 2) join 1 uses a cross product between 0 and 2.
+    plan = JoinNode(
+        left=JoinNode(left=ScanNode(0), right=ScanNode(2)),
+        right=ScanNode(1),
+    )
+    validate_plan(plan, ctx)  # fine when cross products are allowed
+    with pytest.raises(ValidationError):
+        validate_plan(plan, ctx, require_connected=True)
+    validate_plan(left_deep_3(), ctx, require_connected=True)
+
+
+def test_join_method_properties():
+    assert not JoinMethod.SCAN.is_join
+    assert JoinMethod.HASH.is_join
+    assert JoinMethod.SORT_MERGE.symmetric
+    assert not JoinMethod.NESTED_LOOP.symmetric

@@ -1,0 +1,22 @@
+"""Smoke test for the standalone experiment driver."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+def test_run_all_quick(tmp_path):
+    script = Path(__file__).parent.parent / "benchmarks" / "run_all.py"
+    proc = subprocess.run(
+        [sys.executable, str(script), "--quick", "--out", str(tmp_path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "e1_serial_enumerators" in proc.stdout
+    assert "e9_heuristics" in proc.stdout
+    assert (tmp_path / "e1_serial_enumerators.json").exists()
+    assert (tmp_path / "e9_heuristics.txt").exists()

@@ -1,0 +1,144 @@
+"""Unit tests for the simulated-multicore substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memo import WorkMeter
+from repro.simx import SimCostParams, SimReport, SimulatedMachine, StratumTiming
+from repro.simx.contention import contention_penalties
+from repro.util.errors import ValidationError
+
+
+def meter_with(**counts):
+    m = WorkMeter()
+    for k, v in counts.items():
+        setattr(m, k, v)
+    return m
+
+
+def test_work_time_weighted_sum():
+    params = SimCostParams()
+    m = meter_with(pairs_considered=10, plans_emitted=3, pairs_valid=2)
+    expected = (
+        10 * params.pair_check + 3 * params.emit + 2 * params.latch
+    )
+    assert params.work_time(m) == pytest.approx(expected)
+
+
+def test_work_time_empty_meter_is_zero():
+    assert SimCostParams().work_time(WorkMeter()) == 0.0
+
+
+def test_barrier_cost():
+    params = SimCostParams(barrier_base=100.0, barrier_per_thread=10.0)
+    assert params.barrier_cost(1) == 0.0
+    assert params.barrier_cost(4) == 140.0
+
+
+def test_params_validation_and_dict():
+    with pytest.raises(ValidationError):
+        SimCostParams(pair_check=-1.0)
+    d = SimCostParams().as_dict()
+    assert "barrier_base" in d
+    assert all(v >= 0 for v in d.values())
+
+
+def test_contention_no_overlap():
+    params = SimCostParams(latch_conflict=10.0)
+    touches = [{1: 3, 2: 1}, {3: 2}, {}]
+    penalties, conflicts = contention_penalties(touches, params)
+    assert penalties == [0.0, 0.0, 0.0]
+    assert conflicts == 0
+
+
+def test_contention_shared_entries():
+    params = SimCostParams(latch_conflict=10.0)
+    touches = [{1: 3, 2: 1}, {1: 2}, {1: 1, 5: 4}]
+    penalties, conflicts = contention_penalties(touches, params)
+    # Entry 1 has 3 writers: each pays (3-1)*10.
+    assert penalties == [20.0, 20.0, 20.0]
+    assert conflicts == 2
+
+
+def test_machine_records_strata():
+    machine = SimulatedMachine(2, SimCostParams(barrier_base=50.0, barrier_per_thread=0.0, spawn_per_thread=100.0))
+    machine.label("dpsva", "equi_depth")
+    timing = machine.record_stratum(2, 3, [10.0, 30.0], [{}, {}])
+    assert timing.wall_time == 30.0 + 50.0
+    assert timing.busy_total == 40.0
+    assert machine.report.spawn_cost == 200.0
+    assert machine.report.algorithm == "dpsva"
+
+
+def test_machine_validation():
+    with pytest.raises(ValidationError):
+        SimulatedMachine(0)
+    machine = SimulatedMachine(2)
+    with pytest.raises(ValidationError):
+        machine.record_stratum(2, 1, [1.0], [{}])
+
+
+def test_machine_single_thread_no_spawn():
+    machine = SimulatedMachine(1)
+    assert machine.report.spawn_cost == 0.0
+
+
+def test_stratum_timing_properties():
+    t = StratumTiming(
+        size=3,
+        unit_count=4,
+        busy=[10.0, 20.0],
+        contention=[5.0, 0.0],
+        barrier_cost=7.0,
+        conflicts=1,
+    )
+    assert t.thread_times == [15.0, 20.0]
+    assert t.wall_time == 27.0
+    assert t.imbalance == pytest.approx(20.0 / 17.5)
+
+
+def test_stratum_timing_empty():
+    t = StratumTiming(
+        size=2, unit_count=0, busy=[0.0], contention=[0.0],
+        barrier_cost=0.0, conflicts=0,
+    )
+    assert t.imbalance == 1.0
+    assert t.wall_time == 0.0
+
+
+def test_report_aggregates():
+    report = SimReport(threads=2, algorithm="dpsize", allocation="chunked")
+    report.spawn_cost = 10.0
+    report.master_cost = 5.0
+    report.strata.append(
+        StratumTiming(
+            size=2, unit_count=1, busy=[8.0, 2.0], contention=[0.0, 1.0],
+            barrier_cost=3.0, conflicts=1,
+        )
+    )
+    # thread times = [8+0, 2+1] -> wall = 8 + barrier 3 = 11.
+    assert report.total_time == pytest.approx(10 + 5 + 11)
+    assert report.busy_total == 10.0
+    assert report.sync_overhead == pytest.approx(3 + 1 + 10 + 5)
+    assert report.total_conflicts == 1
+    assert report.speedup_vs(52.0) == pytest.approx(2.0)
+    assert report.efficiency_vs(52.0) == pytest.approx(1.0)
+    assert "dpsize" in report.summary()
+
+
+def test_report_mean_imbalance_weighted():
+    report = SimReport(threads=2)
+    report.strata.append(
+        StratumTiming(size=2, unit_count=1, busy=[1.0, 1.0],
+                      contention=[0.0, 0.0], barrier_cost=0.0, conflicts=0)
+    )
+    report.strata.append(
+        StratumTiming(size=3, unit_count=1, busy=[30.0, 10.0],
+                      contention=[0.0, 0.0], barrier_cost=0.0, conflicts=0)
+    )
+    # Second stratum dominates by weight: imbalance 1.5 vs 1.0.
+    assert 1.0 < report.mean_imbalance < 1.5
+    assert report.mean_imbalance == pytest.approx(
+        (1.0 * 2 + 1.5 * 40) / 42
+    )

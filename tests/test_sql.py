@@ -1,0 +1,212 @@
+"""Tests for the SQL frontend: lexer, parser, binder, api."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableStats
+from repro.sql import ParseError, optimize_sql, parse_select, sql_to_query
+from repro.sql.lexer import LexError, tokenize
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add(
+        TableStats(
+            name="orders",
+            cardinality=10_000,
+            columns=(Column("id", 10_000), Column("cust", 500)),
+        )
+    )
+    cat.add(
+        TableStats(
+            name="lineitem",
+            cardinality=50_000,
+            columns=(Column("oid", 10_000), Column("part", 2_000)),
+        )
+    )
+    cat.add(
+        TableStats(
+            name="part",
+            cardinality=2_000,
+            columns=(Column("id", 2_000), Column("brand", 50)),
+        )
+    )
+    return cat
+
+
+# ---------------------------------------------------------------------------
+# lexer
+# ---------------------------------------------------------------------------
+
+
+def test_tokenize_basics():
+    tokens = tokenize("SELECT * FROM t WHERE a.b = 3")
+    kinds = [t.kind for t in tokens]
+    assert kinds == [
+        "keyword", "punct", "keyword", "name", "keyword",
+        "name", "punct", "name", "punct", "number", "eof",
+    ]
+    assert tokens[0].text == "select"  # keywords lowercased
+
+
+def test_tokenize_strings_and_errors():
+    tokens = tokenize("x.y = 'hello world'")
+    assert tokens[-2].kind == "string"
+    assert tokens[-2].text == "hello world"
+    with pytest.raises(LexError):
+        tokenize("a = 'oops")
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def test_parse_comma_join():
+    stmt = parse_select(
+        "SELECT * FROM orders o, lineitem l WHERE o.id = l.oid"
+    )
+    assert [(r.table, r.alias) for r in stmt.relations] == [
+        ("orders", "o"), ("lineitem", "l"),
+    ]
+    assert len(stmt.joins) == 1
+    assert str(stmt.joins[0].left) == "o.id"
+
+
+def test_parse_join_on_syntax():
+    stmt = parse_select(
+        "SELECT * FROM orders o JOIN lineitem l ON o.id = l.oid "
+        "INNER JOIN part p ON l.part = p.id;"
+    )
+    assert len(stmt.relations) == 3
+    assert len(stmt.joins) == 2
+
+
+def test_parse_as_alias_and_default_alias():
+    stmt = parse_select("SELECT * FROM orders AS o, lineitem")
+    assert stmt.relations[0].alias == "o"
+    assert stmt.relations[1].alias == "lineitem"
+
+
+def test_parse_local_predicates():
+    stmt = parse_select(
+        "SELECT * FROM part p WHERE p.brand = 42 AND p.id = 'x'"
+    )
+    assert len(stmt.filters) == 2
+    assert stmt.filters[0].value == "42"
+    assert stmt.filters[1].value == "x"
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_select("SELECT a FROM t")  # only * supported
+    with pytest.raises(ParseError):
+        parse_select("FROM t")
+    with pytest.raises(ParseError):
+        parse_select("SELECT * FROM t WHERE t.a")
+    with pytest.raises(ParseError):
+        parse_select("SELECT * FROM t WHERE t.a = ")
+    with pytest.raises(ParseError):
+        parse_select("SELECT * FROM o a, l a")  # duplicate alias
+    with pytest.raises(ParseError):
+        parse_select("SELECT * FROM t extra junk")
+
+
+# ---------------------------------------------------------------------------
+# binder
+# ---------------------------------------------------------------------------
+
+
+def test_bind_simple_join(catalog):
+    query = sql_to_query(
+        "SELECT * FROM orders o, lineitem l WHERE o.id = l.oid", catalog
+    )
+    assert query.n == 2
+    assert query.relation_names == ("o", "l")
+    assert query.cardinalities == (10_000.0, 50_000.0)
+    edge = query.graph.edges[0]
+    assert edge.selectivity == pytest.approx(1 / 10_000)
+
+
+def test_bind_parallel_predicates_multiply(catalog):
+    query = sql_to_query(
+        "SELECT * FROM orders o, lineitem l "
+        "WHERE o.id = l.oid AND o.cust = l.part",
+        catalog,
+    )
+    assert len(query.graph.edges) == 1
+    assert query.graph.edges[0].selectivity == pytest.approx(
+        (1 / 10_000) * (1 / 2_000)
+    )
+
+
+def test_bind_local_predicate_scales_cardinality(catalog):
+    query = sql_to_query(
+        "SELECT * FROM orders o, lineitem l "
+        "WHERE o.id = l.oid AND o.cust = 7",
+        catalog,
+    )
+    assert query.cardinalities[0] == pytest.approx(10_000 / 500)
+
+
+def test_bind_self_join(catalog):
+    query = sql_to_query(
+        "SELECT * FROM orders a, orders b WHERE a.cust = b.cust", catalog
+    )
+    assert query.n == 2
+    assert query.relation_names == ("a", "b")
+    assert query.graph.edges[0].selectivity == pytest.approx(1 / 500)
+
+
+def test_bind_errors(catalog):
+    with pytest.raises(ValidationError):
+        sql_to_query("SELECT * FROM nope", catalog)
+    with pytest.raises(ValidationError):
+        sql_to_query(
+            "SELECT * FROM orders o WHERE o.nope = 1", catalog
+        )
+    with pytest.raises(ValidationError):
+        sql_to_query(
+            "SELECT * FROM orders o, lineitem l WHERE x.id = l.oid", catalog
+        )
+    with pytest.raises(ValidationError):
+        sql_to_query(
+            "SELECT * FROM orders o WHERE o.id = o.cust", catalog
+        )
+
+
+# ---------------------------------------------------------------------------
+# api
+# ---------------------------------------------------------------------------
+
+
+def test_optimize_sql(catalog):
+    result = optimize_sql(
+        "SELECT * FROM orders o, lineitem l, part p "
+        "WHERE o.id = l.oid AND l.part = p.id",
+        catalog,
+        algorithm="dpccp",
+    )
+    assert result.plan.size == 3
+    assert result.algorithm == "dpccp"
+
+
+def test_optimize_sql_parallel(catalog):
+    result = optimize_sql(
+        "SELECT * FROM orders o JOIN lineitem l ON o.id = l.oid",
+        catalog,
+        algorithm="dpsva",
+        threads=2,
+    )
+    assert "sim_report" in result.extras
+
+
+def test_optimize_sql_disconnected_auto_cross(catalog):
+    # No join predicate: disconnected graph; cross products auto-enabled.
+    result = optimize_sql("SELECT * FROM orders o, part p", catalog)
+    assert result.plan.size == 2

@@ -1,0 +1,197 @@
+"""Tests for histograms and statistics collection."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import generate_database
+from repro.engine.tables import Database, DataTable
+from repro.query import JoinGraph, Query
+from repro.stats import (
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    collect_column_stats,
+    join_selectivity_from_histograms,
+    refresh_catalog,
+)
+from repro.util.errors import ValidationError
+
+HISTS = [EquiWidthHistogram, EquiDepthHistogram]
+
+
+@pytest.mark.parametrize("cls", HISTS)
+def test_empty_histogram(cls):
+    hist = cls.build([], buckets=4)
+    assert len(hist) == 0
+    assert hist.total_rows == 0
+    assert hist.estimate_eq(5) == 0.0
+    assert hist.estimate_range(0, 10) == 0.0
+
+
+@pytest.mark.parametrize("cls", HISTS)
+def test_single_value_column(cls):
+    hist = cls.build([7] * 100, buckets=4)
+    assert hist.total_rows == 100
+    assert hist.distinct_count == 1
+    assert hist.estimate_eq(7) == pytest.approx(1.0)
+    assert hist.estimate_range(0, 100) == pytest.approx(1.0)
+    assert hist.estimate_eq(8) == 0.0
+
+
+@pytest.mark.parametrize("cls", HISTS)
+def test_row_counts_partition(cls):
+    rng = random.Random(1)
+    values = [rng.randint(0, 50) for _ in range(500)]
+    hist = cls.build(values, buckets=8)
+    assert sum(b.rows for b in hist.buckets) == 500
+    # Buckets cover the full value range in order.
+    assert hist.buckets[0].lo == min(values)
+    assert hist.buckets[-1].hi == max(values)
+    for a, b in zip(hist.buckets, hist.buckets[1:]):
+        assert a.hi <= b.lo or a.hi <= b.hi  # non-decreasing layout
+
+
+@pytest.mark.parametrize("cls", HISTS)
+def test_uniform_eq_estimates(cls):
+    """On uniform data the equality estimate tracks the true frequency."""
+    rng = random.Random(2)
+    values = [rng.randrange(100) for _ in range(5000)]
+    hist = cls.build(values, buckets=10)
+    counts = Counter(values)
+    for probe in (5, 37, 68, 99):
+        true_frac = counts[probe] / len(values)
+        est = hist.estimate_eq(probe)
+        assert est == pytest.approx(true_frac, abs=0.01)
+
+
+@pytest.mark.parametrize("cls", HISTS)
+def test_range_estimates_uniform(cls):
+    rng = random.Random(3)
+    values = [rng.random() * 100 for _ in range(4000)]
+    hist = cls.build(values, buckets=16)
+    true_frac = sum(1 for v in values if 20 <= v <= 40) / len(values)
+    assert hist.estimate_range(20, 40) == pytest.approx(true_frac, abs=0.05)
+    assert hist.estimate_range(40, 20) == 0.0
+    assert hist.estimate_range(-10, 200) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_equidepth_handles_skew_better():
+    """Skewed data: equi-depth equality estimates beat equi-width on the
+    heavy value's frequency."""
+    values = [0] * 5000 + list(range(1, 101))
+    ew = EquiWidthHistogram.build(values, buckets=8)
+    ed = EquiDepthHistogram.build(values, buckets=8)
+    true_frac = 5000 / len(values)
+    err_ew = abs(ew.estimate_eq(0) - true_frac)
+    err_ed = abs(ed.estimate_eq(0) - true_frac)
+    assert err_ed <= err_ew + 1e-9
+
+
+def test_equidepth_never_splits_value_runs():
+    values = [1] * 30 + [2] * 30 + [3] * 40
+    hist = EquiDepthHistogram.build(values, buckets=5)
+    for bucket in hist.buckets:
+        if bucket.lo == bucket.hi:
+            continue
+    # Each distinct value's rows live in exactly one bucket.
+    for probe, count in ((1, 30), (2, 30), (3, 40)):
+        assert hist.estimate_eq(probe) * hist.total_rows == pytest.approx(
+            count
+        )
+
+
+def test_histogram_validation():
+    with pytest.raises(ValidationError):
+        EquiWidthHistogram.build([1, 2], buckets=0)
+    with pytest.raises(ValidationError):
+        EquiDepthHistogram.build([1, 2], buckets=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=-50, max_value=50), max_size=300),
+    buckets=st.integers(min_value=1, max_value=12),
+    cls_index=st.integers(min_value=0, max_value=1),
+)
+def test_property_histogram_sanity(values, buckets, cls_index):
+    hist = HISTS[cls_index].build(values, buckets=buckets)
+    assert sum(b.rows for b in hist.buckets) == len(values)
+    assert 0 <= hist.distinct_count <= max(1, len(values))
+    if values:
+        assert hist.estimate_range(min(values), max(values)) == pytest.approx(
+            1.0, abs=1e-6
+        )
+    for probe in set(values[:5]):
+        assert 0.0 <= hist.estimate_eq(probe) <= 1.0
+
+
+def test_join_selectivity_uniform_domains():
+    """Two uniform columns over the same domain: estimate ~ 1/domain."""
+    rng = random.Random(4)
+    a = EquiDepthHistogram.build(
+        [rng.randrange(50) for _ in range(3000)], buckets=10
+    )
+    b = EquiDepthHistogram.build(
+        [rng.randrange(50) for _ in range(2000)], buckets=10
+    )
+    est = join_selectivity_from_histograms(a, b)
+    assert est == pytest.approx(1 / 50, rel=0.5)
+
+
+def test_join_selectivity_disjoint_domains():
+    a = EquiDepthHistogram.build(list(range(0, 100)), buckets=8)
+    b = EquiDepthHistogram.build(list(range(500, 600)), buckets=8)
+    assert join_selectivity_from_histograms(a, b) == 0.0
+
+
+def test_join_selectivity_empty():
+    empty = EquiDepthHistogram.build([], buckets=4)
+    full = EquiDepthHistogram.build([1, 2, 3], buckets=2)
+    assert join_selectivity_from_histograms(empty, full) == 0.0
+
+
+def test_collect_column_stats():
+    table = DataTable("t", ["a", "b"], [(i, i % 3) for i in range(60)])
+    stats = collect_column_stats(table, buckets=4)
+    assert set(stats) == {"a", "b"}
+    assert stats["a"].total_rows == 60
+    assert stats["b"].distinct_count == 3
+
+
+def test_refresh_catalog_measures_reality():
+    """ANALYZE on generated data reproduces the declared statistics to
+    within sampling noise."""
+    g = JoinGraph(3, [(0, 1, 0.02), (1, 2, 0.05)])
+    query = Query(
+        graph=g,
+        relation_names=("a", "b", "c"),
+        cardinalities=(400.0, 300.0, 200.0),
+    )
+    db = generate_database(query, seed=5, max_rows=500)
+    catalog, histograms = refresh_catalog(db)
+    assert catalog.table("a").cardinality == 400
+    assert catalog.table("b").cardinality == 300
+    # Join selectivity measured from histograms tracks the declared one.
+    est = join_selectivity_from_histograms(
+        histograms["a"]["k0"], histograms["b"]["k0"]
+    )
+    assert est == pytest.approx(0.02, rel=0.6)
+    # The measured estimate also tracks the *true* join size.
+    true_matches = 0
+    a_keys = Counter(r[1] for r in db.table("a").rows)
+    for row in db.table("b").rows:
+        true_matches += a_keys.get(row[1], 0)
+    true_sel = true_matches / (len(db.table("a")) * len(db.table("b")))
+    assert est == pytest.approx(true_sel, rel=0.6)
+
+
+def test_refresh_catalog_empty_table_guard():
+    db = Database()
+    db.add(DataTable("empty", ["a"], []))
+    catalog, _ = refresh_catalog(db)
+    assert catalog.table("empty").cardinality == 1  # clamped

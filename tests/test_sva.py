@@ -1,0 +1,137 @@
+"""Tests for skip vector arrays and DPsva."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enumerate import DPsize
+from repro.memo import WorkMeter
+from repro.query import WorkloadSpec, generate_query
+from repro.sva import DPsva, SkipVectorArray
+from repro.util.bitsets import subsets_of_size, universe
+
+
+def test_sva_orders_by_member_tuple():
+    # {0,3} (=9) precedes {1,2} (=6) in member-lexicographic order even
+    # though its bitmask is larger.
+    sva = SkipVectorArray([0b0110, 0b1001])
+    assert sva.masks == [0b1001, 0b0110]
+
+
+def test_sva_scan_all():
+    masks = subsets_of_size(universe(5), 2)
+    sva = SkipVectorArray(masks)
+    assert sorted(sva.scan_all()) == sorted(masks)
+    assert len(sva) == len(masks)
+
+
+def test_sva_rejects_mixed_sizes():
+    with pytest.raises(ValueError):
+        SkipVectorArray([0b1, 0b11])
+
+
+def test_sva_empty():
+    sva = SkipVectorArray([])
+    meter = WorkMeter()
+    assert sva.disjoint_partners(0b1, meter) == []
+    assert meter.sva_steps == 0
+
+
+def test_disjoint_partners_exact():
+    masks = subsets_of_size(universe(4), 2)
+    sva = SkipVectorArray(masks)
+    meter = WorkMeter()
+    partners = sva.disjoint_partners(0b0011, meter)
+    assert sorted(partners) == [0b1100]
+    # Scan positions + skipped entries account for every array element.
+    assert meter.sva_steps + meter.sva_skipped_entries == len(masks)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    k=st.integers(min_value=1, max_value=5),
+    outer_bits=st.integers(min_value=0, max_value=(1 << 10) - 1),
+)
+def test_property_disjoint_partners(n, k, outer_bits):
+    """SVA scan returns exactly the disjoint sets, in member-lex order,
+    and accounts for every entry either as a step or a skipped entry."""
+    if k > n:
+        k = n
+    masks = subsets_of_size(universe(n), k)
+    sva = SkipVectorArray(masks)
+    outer = outer_bits & universe(n)
+    meter = WorkMeter()
+    partners = sva.disjoint_partners(outer, meter)
+    expected = [m for m in sva.masks if m & outer == 0]
+    assert partners == expected
+    assert meter.sva_steps + meter.sva_skipped_entries == len(masks)
+    assert meter.sva_steps <= len(masks)
+
+
+def test_sva_build_metered():
+    meter = WorkMeter()
+    SkipVectorArray(subsets_of_size(universe(6), 3), meter=meter)
+    assert meter.sva_build_ops == 20 * 3
+
+
+def test_sva_skips_blocks_not_single_entries():
+    """For a large stratum and a hub-heavy outer set, skips must jump
+    multiple entries at once (the whole point of the structure)."""
+    masks = subsets_of_size(universe(12), 4)
+    sva = SkipVectorArray(masks)
+    meter = WorkMeter()
+    sva.disjoint_partners(0b1, meter)  # outer = {0}
+    # All C(11,3) = 165 sets containing relation 0 form one leading block
+    # in member-lex order; they must be skipped with a single jump.
+    assert meter.sva_skips == 1
+    assert meter.sva_skipped_entries == 164
+
+
+def query_for(topology, n, seed=0):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+@pytest.mark.parametrize("topology", ["chain", "cycle", "star", "clique"])
+def test_dpsva_matches_dpsize(topology):
+    query = query_for(topology, 8, seed=6)
+    a = DPsize().optimize(query)
+    b = DPsva().optimize(query)
+    assert b.cost == pytest.approx(a.cost, rel=1e-12)
+    # DPsva performs exactly the same valid joins.
+    assert b.meter.pairs_valid == a.meter.pairs_valid
+
+
+@pytest.mark.parametrize("topology", ["chain", "star"])
+def test_dpsva_considers_fewer_pairs(topology):
+    """pairs_considered for DPsva excludes all disjointness failures."""
+    query = query_for(topology, 10, seed=2)
+    a = DPsize().optimize(query)
+    b = DPsva().optimize(query)
+    assert b.meter.disjoint_fail == 0
+    assert b.meter.pairs_considered < a.meter.pairs_considered
+    assert (
+        b.meter.pairs_considered
+        == a.meter.pairs_considered - a.meter.disjoint_fail
+    )
+
+
+def test_dpsva_cross_products():
+    query = query_for("chain", 6, seed=3)
+    a = DPsize(cross_products=True).optimize(query)
+    b = DPsva(cross_products=True).optimize(query)
+    assert b.cost == pytest.approx(a.cost, rel=1e-12)
+    assert b.meter.connectivity_fail == 0
+
+
+def test_dpsva_skip_accounting_totals():
+    """Steps + skipped entries == candidate pairs DPsize would inspect."""
+    query = query_for("cycle", 9, seed=4)
+    a = DPsize().optimize(query)
+    b = DPsva().optimize(query)
+    assert (
+        b.meter.sva_steps + b.meter.sva_skipped_entries
+        == a.meter.pairs_considered
+    )

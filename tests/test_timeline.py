@@ -1,0 +1,56 @@
+"""Tests for simulated-run timeline export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PDPsva, Workload, WorkloadSpec
+from repro.simx.timeline import render_gantt, timeline_rows
+
+
+@pytest.fixture(scope="module")
+def report():
+    query = Workload(WorkloadSpec("star", 8, seed=4))[0]
+    return PDPsva(threads=3).optimize(query).extras["sim_report"]
+
+
+def test_timeline_rows_shape(report):
+    rows = timeline_rows(report)
+    assert len(rows) == 7 * 3  # strata 2..8, 3 threads
+    for row in rows:
+        assert row["busy"] >= 0
+        assert row["contention"] >= 0
+        assert row["idle"] >= -1e-9
+
+
+def test_timeline_idle_accounting(report):
+    """Per stratum, busy + contention + idle equals the slowest thread
+    for every thread."""
+    rows = timeline_rows(report)
+    by_stratum: dict[int, list[dict]] = {}
+    for row in rows:
+        by_stratum.setdefault(row["stratum"], []).append(row)
+    for stratum_rows in by_stratum.values():
+        totals = [
+            r["busy"] + r["contention"] + r["idle"] for r in stratum_rows
+        ]
+        assert max(totals) == pytest.approx(min(totals))
+
+
+def test_render_gantt(report):
+    chart = render_gantt(report)
+    assert "dpsva x3" in chart
+    assert chart.count("stratum") == 7
+    # The slowest thread of a non-empty stratum has a full bar.
+    assert "#" in chart
+    for line in chart.splitlines():
+        if line.startswith("  t"):
+            bar = line.split(maxsplit=1)[1]
+            assert len(bar) <= 49
+
+
+def test_gantt_deterministic(report):
+    query = Workload(WorkloadSpec("star", 8, seed=4))[0]
+    other = PDPsva(threads=3).optimize(query).extras["sim_report"]
+    assert render_gantt(other) == render_gantt(report)
+    assert timeline_rows(other) == timeline_rows(report)

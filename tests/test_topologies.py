@@ -1,0 +1,135 @@
+"""Tests for topology generators and workloads."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.query import (
+    TOPOLOGIES,
+    Workload,
+    WorkloadSpec,
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    generate_query,
+    grid_graph,
+    random_graph,
+    star_graph,
+)
+from repro.util.errors import ValidationError
+
+
+def test_chain_structure():
+    g = chain_graph(5, seed=0)
+    assert len(g.edges) == 4
+    assert g.is_connected()
+    degrees = [bin(g.adjacency(i)).count("1") for i in range(5)]
+    assert sorted(degrees) == [1, 1, 2, 2, 2]
+
+
+def test_cycle_structure():
+    g = cycle_graph(5, seed=0)
+    assert len(g.edges) == 5
+    assert all(bin(g.adjacency(i)).count("1") == 2 for i in range(5))
+    assert g.is_connected()
+
+
+def test_star_structure():
+    g = star_graph(6, seed=0)
+    assert len(g.edges) == 5
+    assert bin(g.adjacency(0)).count("1") == 5
+    assert all(g.adjacency(i) == 1 for i in range(1, 6))
+
+
+def test_clique_structure():
+    g = clique_graph(5, seed=0)
+    assert len(g.edges) == 10
+    assert all(bin(g.adjacency(i)).count("1") == 4 for i in range(5))
+
+
+def test_grid_structure():
+    g = grid_graph(6, seed=0)  # 2 x 3 grid
+    assert g.n == 6
+    assert g.is_connected()
+    assert len(g.edges) == 7  # 2*2 vertical + 3*1... rows=2, cols=3: 2*2 + 3 = 7
+
+
+def test_grid_degenerate_to_chain():
+    g = grid_graph(7, seed=0)  # prime: 1 x 7
+    assert len(g.edges) == 6
+
+
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=5))
+def test_random_graph_connected(n, seed):
+    g = random_graph(n, seed=seed)
+    assert g.is_connected()
+    assert len(g.edges) >= n - 1
+
+
+def test_topology_minimums():
+    with pytest.raises(ValidationError):
+        cycle_graph(2)
+    with pytest.raises(ValidationError):
+        star_graph(1)
+    with pytest.raises(ValidationError):
+        chain_graph(0)
+    with pytest.raises(ValidationError):
+        random_graph(3, edge_probability=1.5)
+
+
+def test_determinism_per_seed():
+    for name, gen in TOPOLOGIES.items():
+        a = gen(6, seed=3)
+        b = gen(6, seed=3)
+        assert [e.selectivity for e in a.edges] == [
+            e.selectivity for e in b.edges
+        ], name
+
+
+def test_selectivities_in_range():
+    for name, gen in TOPOLOGIES.items():
+        g = gen(8, seed=5)
+        for e in g.edges:
+            assert 1e-4 <= e.selectivity <= 0.5, name
+
+
+def test_workload_spec_validation():
+    with pytest.raises(ValidationError):
+        WorkloadSpec("nope", 5)
+    with pytest.raises(ValidationError):
+        WorkloadSpec("chain", 0)
+    with pytest.raises(ValidationError):
+        WorkloadSpec("chain", 5, count=0)
+
+
+def test_workload_iteration_and_determinism():
+    spec = WorkloadSpec("star", 6, seed=1, count=3)
+    wl = Workload(spec)
+    assert len(wl) == 3
+    queries = list(wl)
+    assert len(queries) == 3
+    # Distinct queries within the workload...
+    assert queries[0].cardinalities != queries[1].cardinalities
+    # ...but deterministic across instantiations.
+    again = Workload(spec)
+    assert again[1].cardinalities == queries[1].cardinalities
+    assert queries[0].label == "star-n6-q0"
+
+
+def test_generate_query_index_bounds():
+    spec = WorkloadSpec("chain", 4, count=2)
+    with pytest.raises(ValidationError):
+        generate_query(spec, 2)
+    with pytest.raises(ValidationError):
+        generate_query(spec, -1)
+
+
+def test_with_count():
+    spec = WorkloadSpec("chain", 4, count=2)
+    bigger = spec.with_count(10)
+    assert bigger.count == 10
+    assert bigger.topology == "chain"
+    # Same query at same index regardless of count.
+    assert generate_query(spec, 1).cardinalities == generate_query(bigger, 1).cardinalities
