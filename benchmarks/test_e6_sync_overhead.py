@@ -26,7 +26,7 @@ def decompose(query, threads, params):
     report = (
         PDPsva(threads=threads, sim_params=params)
         .optimize(query)
-        .extras["sim_report"]
+        .sim_report
     )
     barriers = sum(s.barrier_cost for s in report.strata)
     contention_wall = sum(max(s.contention) for s in report.strata)

@@ -71,7 +71,7 @@ def test_e8_real_backends(benchmark, publish):
     sim_base = (
         ParallelDP(algorithm="dpsva", threads=1)
         .optimize(query)
-        .extras["sim_report"]
+        .sim_report
         .total_time
     )
     for row in rows:
@@ -79,7 +79,7 @@ def test_e8_real_backends(benchmark, publish):
             report = (
                 ParallelDP(algorithm="dpsva", threads=row["threads"])
                 .optimize(query)
-                .extras["sim_report"]
+                .sim_report
             )
             row["sim_predicted_speedup"] = sim_base / report.total_time
 

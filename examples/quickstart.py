@@ -34,11 +34,11 @@ def main() -> None:
 
     # Parallel optimization: 8 workers on the simulated multicore.
     parallel = PDPsva(threads=8).optimize(query)
-    report = parallel.extras["sim_report"]
+    report = parallel.sim_report
     print("\n-- PDPsva, 8 workers (simulated multicore) --")
     print(parallel.summary())
     print(report.summary())
-    serial_time = PDPsva(threads=1).optimize(query).extras["sim_report"].total_time
+    serial_time = PDPsva(threads=1).optimize(query).sim_report.total_time
     print(f"simulated speedup vs 1 worker: {report.speedup_vs(serial_time):.2f}x")
 
     # All three agree on the optimal plan.

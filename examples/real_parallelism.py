@@ -48,7 +48,7 @@ def main() -> None:
     sim_base = None
     for threads in (1, 2, 4):
         result, _ = measure(query, "simulated", threads)
-        sim_time = result.extras["sim_report"].total_time
+        sim_time = result.sim_report.total_time
         sim_base = sim_base or sim_time
         rows.append({
             "backend": "simulated",

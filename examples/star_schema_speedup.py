@@ -56,7 +56,7 @@ def main() -> None:
     print("Per-stratum timeline (PDPsva, 4 workers, star n=10)")
     print("=" * 60)
     query = Workload(WorkloadSpec("star", 10, seed=11))[0]
-    report = PDPsva(threads=4).optimize(query).extras["sim_report"]
+    report = PDPsva(threads=4).optimize(query).sim_report
     print(render_gantt(report))
     print("\n'#' = kernel work, '~' = latch contention, '.' = idle before")
     print("the stratum barrier.  Early strata are too thin to fill four")

@@ -9,15 +9,18 @@ substrate, plus real thread and multiprocessing backends.
 
 Quick start::
 
-    from repro import Workload, WorkloadSpec, optimize
+    from repro import OptimizerConfig, Workload, WorkloadSpec, optimize
 
     query = Workload(WorkloadSpec("star", 12, seed=7))[0]
-    result = optimize(query, algorithm="dpsva", threads=8)
+    result = optimize(
+        query, config=OptimizerConfig(algorithm="dpsva", threads=8)
+    )
     print(result.summary())
-    print(result.extras["sim_report"].summary())
+    print(result.sim_report.summary())
 """
 
 from repro.catalog import Catalog, Column, TableStats, generate_catalog
+from repro.config import OptimizerConfig
 from repro.cost import (
     CardinalityEstimator,
     CostModel,
@@ -46,9 +49,15 @@ from repro.query import (
 )
 from repro.simx import SimCostParams, SimReport
 from repro.sva import DPsva, SkipVectorArray
+from repro.trace import (
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+)
 from repro.util.errors import OptimizationError, ReproError, ValidationError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 _SERIAL = {
     "dpsize": DPsize,
@@ -72,9 +81,20 @@ def optimize(
     threads: int | None = None,
     cost_model: CostModel | None = None,
     cross_products: bool = False,
-    **parallel_options,
+    config: OptimizerConfig | None = None,
+    **options,
 ) -> OptimizationResult:
     """Optimize a join query — the library's front door.
+
+    The preferred calling convention is a single validated
+    :class:`OptimizerConfig`::
+
+        optimize(query, config=OptimizerConfig(algorithm="dpsva", threads=8))
+
+    The individual keyword arguments remain supported as a compatibility
+    shim: they are folded into an ``OptimizerConfig`` via
+    :meth:`OptimizerConfig.from_kwargs`, so both paths share one
+    validation surface and produce identical results.
 
     Args:
         query: A :class:`~repro.query.joingraph.Query` or a prepared
@@ -86,49 +106,83 @@ def optimize(
         threads: If given (and the algorithm is a DP kernel the parallel
             framework supports), run the parallel framework with that many
             workers; extra keyword options (``allocation``, ``backend``,
-            ``oversubscription``, ``sim_params``) are forwarded to
+            ``oversubscription``, ``sim_params``, ``tracer``) configure
             :class:`~repro.parallel.scheduler.ParallelDP`.
         cost_model: Defaults to :class:`StandardCostModel`.
         cross_products: Admit cross-product joins.
+        config: A ready-made :class:`OptimizerConfig`.  Mutually exclusive
+            with the other keyword options.
 
     Returns:
         An :class:`~repro.enumerate.base.OptimizationResult`.
     """
-    if threads is not None:
-        optimizer = ParallelDP(
+    if config is not None:
+        if (
+            algorithm != "dpsize"
+            or threads is not None
+            or cost_model is not None
+            or cross_products
+            or options
+        ):
+            raise ValidationError(
+                "pass either config= or individual optimizer options, "
+                "not both"
+            )
+    else:
+        config = OptimizerConfig.from_kwargs(
             algorithm=algorithm,
             threads=threads,
+            cost_model=cost_model,
             cross_products=cross_products,
-            **parallel_options,
+            **options,
         )
-        return optimizer.optimize(query, cost_model=cost_model)
-    if parallel_options:
-        raise ValidationError(
-            f"options {sorted(parallel_options)} require threads= to be set"
-        )
+    return _run(query, config)
+
+
+def _run(query, config: OptimizerConfig) -> OptimizationResult:
+    """Dispatch a validated config to the right optimizer."""
+    tracer = config.effective_tracer
+    if config.is_parallel:
+        return ParallelDP(config=config).optimize(query)
+    algorithm = config.algorithm
+    cost_model = config.cost_model
+    cross_products = config.cross_products
     if algorithm in _SERIAL:
         if algorithm == "exhaustive":
-            return ExhaustiveEnumerator(cross_products=cross_products).optimize(
-                query, cost_model=cost_model
-            )
-        return _SERIAL[algorithm](cross_products=cross_products).optimize(
-            query, cost_model=cost_model
-        )
-    if algorithm in _HEURISTIC:
-        if algorithm == "goo":
-            return GOO(cross_products=cross_products).optimize(
-                query, cost_model=cost_model
-            )
-        return _HEURISTIC[algorithm]().optimize(query, cost_model=cost_model)
-    raise ValidationError(
-        f"unknown algorithm {algorithm!r}; expected one of "
-        f"{sorted(_SERIAL) + sorted(_HEURISTIC)}"
-    )
+            # Brute force has no stratified structure to trace; wrap the
+            # whole run in one span so the trace still shows it.
+            with tracer.span("optimize", algorithm=algorithm):
+                result = ExhaustiveEnumerator(
+                    cross_products=cross_products
+                ).optimize(query, cost_model=cost_model)
+        else:
+            return _SERIAL[algorithm](
+                cross_products=cross_products, tracer=tracer
+            ).optimize(query, cost_model=cost_model)
+    else:
+        with tracer.span("optimize", algorithm=algorithm):
+            if algorithm == "goo":
+                result = GOO(cross_products=cross_products).optimize(
+                    query, cost_model=cost_model
+                )
+            else:
+                result = _HEURISTIC[algorithm]().optimize(
+                    query, cost_model=cost_model
+                )
+    if tracer.enabled:
+        result.extras.setdefault("trace", tracer)
+    return result
 
 
 __all__ = [
     "__version__",
     "optimize",
+    "OptimizerConfig",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "TraceEvent",
     # queries & catalogs
     "Catalog",
     "Column",

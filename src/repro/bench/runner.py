@@ -18,6 +18,7 @@ from repro.parallel import ParallelDP
 from repro.query.workload import WorkloadSpec, generate_query
 from repro.simx.costparams import SimCostParams
 from repro.sva import DPsva
+from repro.trace import RecordingTracer, trace_summary
 from repro.util.errors import ValidationError
 
 ALL_SERIAL = {**SERIAL_ALGORITHMS, "dpsva": DPsva}
@@ -131,48 +132,63 @@ def speedup_curve(
     cost_model: CostModel | None = None,
     sim_params: SimCostParams | None = None,
     cross_products: bool = False,
+    trace: bool = False,
 ) -> list[dict]:
     """E3/E4: simulated speedup versus thread count.
 
     Speedup is measured against the same framework at ``threads=1`` (which
     the paper notes is the serial algorithm plus nothing), so it isolates
     parallelization effects from kernel differences.
+
+    With ``trace=True`` each run records a :class:`RecordingTracer` and
+    every row gains trace columns (median event count and total
+    barrier-wait time) from :func:`repro.trace.trace_summary`.
     """
     qs = _queries(topology, n, queries, seed)
     rows: list[dict] = []
     baseline_times: list[float] | None = None
     for threads in thread_counts:
-        optimizer = ParallelDP(
-            algorithm=algorithm,
-            threads=threads,
-            allocation=allocation,
-            cross_products=cross_products,
-            sim_params=sim_params,
-        )
-        reports = [
-            optimizer.optimize(q, cost_model=cost_model).extras["sim_report"]
-            for q in qs
-        ]
+        results = []
+        summaries = []
+        for q in qs:
+            optimizer = ParallelDP(
+                algorithm=algorithm,
+                threads=threads,
+                allocation=allocation,
+                cross_products=cross_products,
+                sim_params=sim_params,
+                tracer=RecordingTracer() if trace else None,
+            )
+            results.append(optimizer.optimize(q, cost_model=cost_model))
+            if trace:
+                summaries.append(trace_summary(results[-1].trace.events))
+        reports = [r.sim_report for r in results]
         times = [r.total_time for r in reports]
         if baseline_times is None:
             baseline_times = times
         speedups = [b / t for b, t in zip(baseline_times, times)]
-        rows.append(
-            {
-                "topology": topology,
-                "n": n,
-                "algorithm": algorithm,
-                "threads": threads,
-                "sim_time": median(times),
-                "speedup": median(speedups),
-                "efficiency": median(speedups) / threads,
-                "imbalance": median(r.mean_imbalance for r in reports),
-                "conflicts": int(median(r.total_conflicts for r in reports)),
-                "sync_share": median(
-                    r.overhead_wall / r.total_time for r in reports
-                ),
-            }
-        )
+        row = {
+            "topology": topology,
+            "n": n,
+            "algorithm": algorithm,
+            "threads": threads,
+            "sim_time": median(times),
+            "speedup": median(speedups),
+            "efficiency": median(speedups) / threads,
+            "imbalance": median(r.mean_imbalance for r in reports),
+            "conflicts": int(median(r.total_conflicts for r in reports)),
+            "sync_share": median(
+                r.overhead_wall / r.total_time for r in reports
+            ),
+        }
+        if trace:
+            row["trace_events"] = int(
+                median(s["events"] for s in summaries)
+            )
+            row["barrier_wait_s"] = median(
+                s["barrier_wait"] for s in summaries
+            )
+        rows.append(row)
     return rows
 
 
@@ -185,41 +201,54 @@ def allocation_comparison(
     queries: int = 3,
     seed: int = 0,
     sim_params: SimCostParams | None = None,
+    trace: bool = False,
 ) -> list[dict]:
-    """E5: allocation schemes at a fixed thread count."""
+    """E5: allocation schemes at a fixed thread count.
+
+    With ``trace=True`` each row gains the same trace columns as
+    :func:`speedup_curve`.
+    """
     qs = _queries(topology, n, queries, seed)
     serial_times = [
         ParallelDP(algorithm=algorithm, threads=1)
         .optimize(q)
-        .extras["sim_report"]
-        .total_time
+        .sim_report.total_time
         for q in qs
     ]
     rows: list[dict] = []
     for scheme in schemes:
-        optimizer = ParallelDP(
-            algorithm=algorithm,
-            threads=threads,
-            allocation=scheme,
-            sim_params=sim_params,
-        )
-        reports = [
-            optimizer.optimize(q).extras["sim_report"] for q in qs
-        ]
-        rows.append(
-            {
-                "topology": topology,
-                "n": n,
-                "scheme": scheme,
-                "threads": threads,
-                "sim_time": median(r.total_time for r in reports),
-                "speedup": median(
-                    s / r.total_time
-                    for s, r in zip(serial_times, reports)
-                ),
-                "imbalance": median(r.mean_imbalance for r in reports),
-            }
-        )
+        results = []
+        summaries = []
+        for q in qs:
+            optimizer = ParallelDP(
+                algorithm=algorithm,
+                threads=threads,
+                allocation=scheme,
+                sim_params=sim_params,
+                tracer=RecordingTracer() if trace else None,
+            )
+            results.append(optimizer.optimize(q))
+            if trace:
+                summaries.append(trace_summary(results[-1].trace.events))
+        reports = [r.sim_report for r in results]
+        row = {
+            "topology": topology,
+            "n": n,
+            "scheme": scheme,
+            "threads": threads,
+            "sim_time": median(r.total_time for r in reports),
+            "speedup": median(
+                s / r.total_time
+                for s, r in zip(serial_times, reports)
+            ),
+            "imbalance": median(r.mean_imbalance for r in reports),
+        }
+        if trace:
+            row["trace_events"] = int(median(s["events"] for s in summaries))
+            row["barrier_wait_s"] = median(
+                s["barrier_wait"] for s in summaries
+            )
+        rows.append(row)
     return rows
 
 
@@ -237,9 +266,7 @@ def size_scaling(
         qs = _queries(topology, n, queries, seed)
         for threads in thread_counts:
             optimizer = ParallelDP(algorithm=algorithm, threads=threads)
-            reports = [
-                optimizer.optimize(q).extras["sim_report"] for q in qs
-            ]
+            reports = [optimizer.optimize(q).sim_report for q in qs]
             rows.append(
                 {
                     "topology": topology,

@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro optimize --topology star -n 12 --threads 8 --explain
     python -m repro optimize --sql "SELECT * FROM t0 a, t0 b WHERE a.c0 = b.c1" \\
         --catalog-tables 8
+    python -m repro optimize --topology star -n 12 --threads 8 --trace run.jsonl
+    python -m repro trace run.jsonl --by worker
     python -m repro bench --experiment speedup --topology clique -n 10
     python -m repro inspect --topology cycle -n 9
 
-``optimize`` runs one query end to end, ``bench`` regenerates one of the
-experiment families on a compact grid, ``inspect`` prints a query's
-statistics and search-space numbers.
+``optimize`` runs one query end to end (``--trace PATH`` records the run
+into a JSONL trace file and prints its summary tables), ``trace`` renders
+a previously saved trace file, ``bench`` regenerates one of the experiment
+families on a compact grid, ``inspect`` prints a query's statistics and
+search-space numbers.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.bench import (
 from repro.catalog import generate_catalog
 from repro.plans import explain
 from repro.query import TOPOLOGIES, WorkloadSpec, generate_query
+from repro.trace import RecordingTracer, read_jsonl, render_trace, write_jsonl
 from repro.util.errors import ReproError
 
 
@@ -70,6 +75,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     opt.add_argument("--cross-products", action="store_true")
     opt.add_argument("--explain", action="store_true", help="print the plan")
+    opt.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a trace of the run to PATH (JSONL) and print its "
+        "summary tables",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="render a saved trace file (see optimize --trace)"
+    )
+    trace.add_argument("file", help="JSONL trace file to render")
+    trace.add_argument(
+        "--by", choices=("stratum", "worker", "both"), default="both",
+        help="which aggregation table(s) to print",
+    )
 
     bench = sub.add_parser("bench", help="regenerate an experiment family")
     bench.add_argument(
@@ -93,6 +112,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_optimize(args) -> int:
+    tracer = RecordingTracer() if args.trace else None
+    trace_options = {"tracer": tracer} if tracer is not None else {}
     if args.sql:
         from repro.sql import optimize_sql
 
@@ -107,18 +128,19 @@ def _cmd_optimize(args) -> int:
                 if args.threads
                 else {}
             ),
+            **trace_options,
         )
         names = None
     else:
         query = generate_query(
             WorkloadSpec(args.topology, args.relations, seed=args.seed)
         )
-        options = {}
+        options = dict(trace_options)
         if args.threads:
-            options = {
-                "allocation": args.allocation,
-                "backend": args.backend,
-            }
+            options.update(
+                allocation=args.allocation,
+                backend=args.backend,
+            )
         result = optimize(
             query,
             algorithm=args.algorithm,
@@ -128,11 +150,36 @@ def _cmd_optimize(args) -> int:
         )
         names = query.relation_names
     print(result.summary())
-    report = result.extras.get("sim_report")
+    report = result.sim_report
     if report is not None:
         print(report.summary())
     if args.explain:
         print(explain(result.plan, relation_names=names))
+    if tracer is not None:
+        meta = {
+            "algorithm": result.algorithm,
+            "threads": args.threads or 1,
+            "backend": args.backend if args.threads else "serial",
+            "query": args.sql or f"{args.topology}/{args.relations}",
+        }
+        try:
+            write_jsonl(tracer.events, args.trace, meta)
+        except OSError as exc:
+            print(f"error: cannot write trace file: {exc}", file=sys.stderr)
+            return 1
+        print(f"\ntrace: {len(tracer)} events -> {args.trace}")
+        print()
+        print(render_trace(tracer.events, meta))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    try:
+        events, meta = read_jsonl(args.file)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_trace(events, meta, by=args.by))
     return 0
 
 
@@ -204,6 +251,8 @@ def main(argv=None) -> int:
     try:
         if args.command == "optimize":
             return _cmd_optimize(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "bench":
             return _cmd_bench(args)
         return _cmd_inspect(args)

@@ -1,0 +1,202 @@
+"""The optimizer configuration object — the library's redesigned front
+door.
+
+:class:`OptimizerConfig` gathers every knob :func:`repro.optimize` and
+:class:`~repro.parallel.scheduler.ParallelDP` understand into one frozen,
+validated dataclass.  Parallel-only options (``backend``, ``allocation``,
+``oversubscription``, ``sim_params``) default to ``None`` meaning *unset*;
+effective values are resolved through the ``effective_*`` properties, and
+setting any of them without ``threads`` is rejected in ``__post_init__``
+with a single coherent :class:`~repro.util.errors.ValidationError` —
+replacing the ad-hoc ``threads is None`` checks that used to be scattered
+across the call sites.
+
+The legacy keyword path (``optimize(query, algorithm=..., threads=...)``)
+still works: it is a thin shim over :meth:`OptimizerConfig.from_kwargs`.
+New code should construct the config directly::
+
+    from repro import OptimizerConfig, RecordingTracer, optimize
+
+    config = OptimizerConfig(
+        algorithm="dpsva", threads=8, tracer=RecordingTracer()
+    )
+    result = optimize(query, config=config)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cost.model import CostModel
+from repro.enumerate import SERIAL_ALGORITHMS
+from repro.heuristics import HEURISTICS
+from repro.parallel.allocation import ALLOCATION_SCHEMES, DYNAMIC_ALLOCATION
+from repro.parallel.executors import EXECUTORS
+from repro.parallel.workunits import PARALLEL_ALGORITHMS
+from repro.simx.costparams import SimCostParams
+from repro.trace.tracer import NULL_TRACER, Tracer
+from repro.util.errors import ValidationError
+
+SERIAL_NAMES = tuple(sorted(SERIAL_ALGORITHMS)) + ("dpsva", "exhaustive")
+"""Serial exact algorithms accepted by ``algorithm``."""
+
+HEURISTIC_NAMES = tuple(sorted(HEURISTICS))
+"""Heuristic algorithms accepted by ``algorithm``."""
+
+ALL_ALGORITHMS = tuple(sorted(set(SERIAL_NAMES) | set(HEURISTIC_NAMES)))
+"""Every algorithm name the front door accepts."""
+
+_PARALLEL_ONLY = ("backend", "allocation", "oversubscription", "sim_params")
+
+DEFAULT_BACKEND = "simulated"
+DEFAULT_ALLOCATION = "equi_depth"
+DEFAULT_OVERSUBSCRIPTION = 4
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Validated, immutable description of one optimization setup.
+
+    Attributes:
+        algorithm: Enumerator or heuristic name (see
+            :data:`ALL_ALGORITHMS`).
+        threads: Degree of parallelism; ``None`` selects the serial path.
+        backend: Executor substrate for parallel runs (``simulated`` /
+            ``threads`` / ``processes``); ``None`` = default.
+        allocation: Work-unit allocation scheme; ``None`` = default.
+        cost_model: Cost model instance; ``None`` = ``StandardCostModel``.
+        cross_products: Admit cross-product joins.
+        oversubscription: Work units per thread per stratum split
+            (parallel runs); ``None`` = default.
+        sim_params: Virtual cost parameters for the simulated backend.
+        tracer: Observability sink (:mod:`repro.trace`); ``None`` disables
+            tracing at zero cost.
+    """
+
+    algorithm: str = "dpsize"
+    threads: int | None = None
+    backend: str | None = None
+    allocation: str | None = None
+    cost_model: CostModel | None = None
+    cross_products: bool = False
+    oversubscription: int | None = None
+    sim_params: SimCostParams | None = None
+    tracer: Tracer | None = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALL_ALGORITHMS:
+            raise ValidationError(
+                f"unknown algorithm {self.algorithm!r}; expected one of "
+                f"{list(ALL_ALGORITHMS)}"
+            )
+        if self.threads is not None:
+            if self.threads < 1:
+                raise ValidationError(
+                    f"threads must be >= 1, got {self.threads}"
+                )
+            if self.algorithm not in PARALLEL_ALGORITHMS:
+                raise ValidationError(
+                    f"algorithm {self.algorithm!r} has no parallel kernel; "
+                    f"threads= requires one of {list(PARALLEL_ALGORITHMS)}"
+                )
+        else:
+            set_options = [
+                name
+                for name in _PARALLEL_ONLY
+                if getattr(self, name) is not None
+            ]
+            if set_options:
+                raise ValidationError(
+                    f"options {set_options} only apply to parallel runs; "
+                    f"set threads= (or drop them)"
+                )
+        if self.backend is not None and self.backend not in EXECUTORS:
+            raise ValidationError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{sorted(EXECUTORS)}"
+            )
+        valid_allocations = sorted(ALLOCATION_SCHEMES) + [DYNAMIC_ALLOCATION]
+        if (
+            self.allocation is not None
+            and self.allocation not in valid_allocations
+        ):
+            raise ValidationError(
+                f"unknown allocation scheme {self.allocation!r}; expected "
+                f"one of {valid_allocations}"
+            )
+        if self.oversubscription is not None and self.oversubscription < 1:
+            raise ValidationError(
+                f"oversubscription must be >= 1, got {self.oversubscription}"
+            )
+        if self.tracer is not None and not isinstance(self.tracer, Tracer):
+            raise ValidationError(
+                f"tracer must be a repro.trace.Tracer, got "
+                f"{type(self.tracer).__name__}"
+            )
+        if (
+            self.allocation == DYNAMIC_ALLOCATION
+            and self.effective_backend != "simulated"
+        ):
+            raise ValidationError(
+                "dynamic allocation is only supported by the simulated "
+                "backend"
+            )
+
+    # -- resolved values ------------------------------------------------
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when the parallel framework will run this config."""
+        return self.threads is not None
+
+    @property
+    def effective_backend(self) -> str:
+        """Backend with the default applied."""
+        return self.backend if self.backend is not None else DEFAULT_BACKEND
+
+    @property
+    def effective_allocation(self) -> str:
+        """Allocation scheme with the default applied."""
+        return (
+            self.allocation
+            if self.allocation is not None
+            else DEFAULT_ALLOCATION
+        )
+
+    @property
+    def effective_oversubscription(self) -> int:
+        """Oversubscription with the default applied."""
+        return (
+            self.oversubscription
+            if self.oversubscription is not None
+            else DEFAULT_OVERSUBSCRIPTION
+        )
+
+    @property
+    def effective_tracer(self) -> Tracer:
+        """Tracer with the null default applied."""
+        return self.tracer if self.tracer is not None else NULL_TRACER
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_kwargs(cls, **kwargs) -> "OptimizerConfig":
+        """Build a config from the legacy keyword-argument surface.
+
+        Accepts exactly the dataclass's field names; anything else fails
+        with one :class:`ValidationError` listing the offenders, which is
+        what turns the old scattered option checks into a single coherent
+        failure mode.
+        """
+        fields = cls.__dataclass_fields__
+        unknown = sorted(set(kwargs) - set(fields))
+        if unknown:
+            raise ValidationError(
+                f"unknown optimizer options {unknown}; valid options are "
+                f"{sorted(fields)}"
+            )
+        return cls(**kwargs)
+
+    def with_options(self, **changes) -> "OptimizerConfig":
+        """Functional update: a new validated config with fields replaced."""
+        return replace(self, **changes)

@@ -21,6 +21,7 @@ from repro.memo.table import Memo, extract_plan
 from repro.plans.nodes import PlanNode
 from repro.query.context import QueryContext
 from repro.query.joingraph import Query
+from repro.trace.tracer import NULL_TRACER, Tracer
 from repro.util.errors import OptimizationError
 
 
@@ -50,6 +51,25 @@ class OptimizationResult:
     elapsed_seconds: float
     extras: dict[str, Any] = field(default_factory=dict)
 
+    # Typed accessors over the well-known extras.  ``extras[...]`` remains
+    # populated for backwards compatibility; new code should use these.
+
+    @property
+    def sim_report(self):
+        """Simulated-backend timing report, or ``None`` for other runs."""
+        return self.extras.get("sim_report")
+
+    @property
+    def trace(self):
+        """The run's :class:`~repro.trace.RecordingTracer`, or ``None``
+        when tracing was disabled."""
+        return self.extras.get("trace")
+
+    @property
+    def work_meter(self) -> WorkMeter:
+        """Exact operation counts (alias of :attr:`meter`)."""
+        return self.meter
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         return (
@@ -76,12 +96,18 @@ class Enumerator(ABC):
             selectivity-1 cross joins).  When False (default, and the
             standard optimizer setting), only connected sets are memoized
             and only edged splits are joined.
+        tracer: Observability sink (:mod:`repro.trace`).  Defaults to the
+            zero-cost null tracer; enumerators emit per-stratum spans and
+            meter-delta counters against it, never per-pair events.
     """
 
     name: str = "enumerator"
 
-    def __init__(self, cross_products: bool = False) -> None:
+    def __init__(
+        self, cross_products: bool = False, tracer: Tracer | None = None
+    ) -> None:
         self.cross_products = cross_products
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def optimize(
         self,
@@ -97,13 +123,20 @@ class Enumerator(ABC):
         cost_model = cost_model or StandardCostModel()
         estimator = CardinalityEstimator(ctx)
         meter = WorkMeter()
-        memo = Memo(ctx, cost_model, estimator=estimator, meter=meter)
+        tracer = self.tracer
+        memo = Memo(
+            ctx, cost_model, estimator=estimator, meter=meter, tracer=tracer
+        )
         start = time.perf_counter()
-        memo.init_scans()
-        if ctx.n > 1:
-            self.populate(memo)
+        with tracer.span("optimize", algorithm=self.name, n=ctx.n):
+            memo.init_scans()
+            if ctx.n > 1:
+                self.populate(memo)
         elapsed = time.perf_counter() - start
         best = memo.best()
+        extras: dict[str, Any] = {}
+        if tracer.enabled:
+            extras["trace"] = tracer
         return OptimizationResult(
             algorithm=self.name,
             plan=extract_plan(memo),
@@ -112,6 +145,7 @@ class Enumerator(ABC):
             meter=meter,
             memo_entries=len(memo),
             elapsed_seconds=elapsed,
+            extras=extras,
         )
 
     @abstractmethod

@@ -25,6 +25,7 @@ from collections.abc import Iterator
 from repro.enumerate.base import Enumerator
 from repro.memo.table import Memo
 from repro.query.context import QueryContext
+from repro.trace.metrics import stratum_scope
 from repro.util.bitsets import bits_of, popcount
 
 
@@ -100,18 +101,25 @@ class DPccp(Enumerator):
     def populate(self, memo: Memo) -> None:
         ctx = memo.ctx
         meter = memo.meter
+        tracer = self.tracer
         strata: list[list[tuple[int, int]]] = [[] for _ in range(ctx.n + 1)]
-        for s1, s2 in enumerate_csg_cmp_pairs(ctx, as_clique=self.cross_products):
-            strata[popcount(s1 | s2)].append((s1, s2))
+        with tracer.span("enumerate_pairs", algorithm=self.name):
+            for s1, s2 in enumerate_csg_cmp_pairs(
+                ctx, as_clique=self.cross_products
+            ):
+                strata[popcount(s1 | s2)].append((s1, s2))
         consider = memo.consider_join
-        for stratum in strata:
-            for s1, s2 in stratum:
-                # Each unordered pair is costed in both operand orders,
-                # matching the ordered-pair coverage of DPsize/DPsub.
-                meter.pairs_considered += 2
-                meter.pairs_valid += 2
-                consider(s1, s2, meter)
-                consider(s2, s1, meter)
+        for size, stratum in enumerate(strata):
+            if not stratum:
+                continue
+            with stratum_scope(tracer, meter, size, algorithm=self.name):
+                for s1, s2 in stratum:
+                    # Each unordered pair is costed in both operand orders,
+                    # matching the ordered-pair coverage of DPsize/DPsub.
+                    meter.pairs_considered += 2
+                    meter.pairs_valid += 2
+                    consider(s1, s2, meter)
+                    consider(s2, s1, meter)
 
 
 def count_csg_cmp_pairs(ctx: QueryContext, as_clique: bool = False) -> int:

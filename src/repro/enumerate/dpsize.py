@@ -18,6 +18,8 @@ import math
 from repro.enumerate.base import Enumerator
 from repro.enumerate.kernels import dpsize_pair_kernel
 from repro.memo.table import Memo
+from repro.trace.metrics import stratum_scope
+from repro.trace.tracer import Tracer
 
 
 class DPsize(Enumerator):
@@ -30,14 +32,18 @@ class DPsize(Enumerator):
             always a base relation, i.e. only splits ``(|S|-1, 1)`` are
             enumerated.  The left-deep optimum is the natural reference
             for the order-based heuristics (E9).
+        tracer: Observability sink (see :class:`Enumerator`).
     """
 
     name = "dpsize"
 
     def __init__(
-        self, cross_products: bool = False, plan_space: str = "bushy"
+        self,
+        cross_products: bool = False,
+        plan_space: str = "bushy",
+        tracer: Tracer | None = None,
     ) -> None:
-        super().__init__(cross_products=cross_products)
+        super().__init__(cross_products=cross_products, tracer=tracer)
         if plan_space not in ("bushy", "left_deep"):
             raise ValueError(
                 f"plan_space must be 'bushy' or 'left_deep', got {plan_space!r}"
@@ -48,26 +54,28 @@ class DPsize(Enumerator):
         ctx = memo.ctx
         n = ctx.n
         require_connected = not self.cross_products
+        tracer = self.tracer
         for size in range(2, n + 1):
             outer_sizes = (
                 range(1, size)
                 if self.plan_space == "bushy"
                 else (size - 1,)
             )
-            for outer_size in outer_sizes:
-                inner_size = size - outer_size
-                outer_sets = memo.sets_of_size(outer_size)
-                inner_sets = memo.sets_of_size(inner_size)
-                dpsize_pair_kernel(
-                    memo,
-                    ctx,
-                    outer_sets,
-                    inner_sets,
-                    0,
-                    len(outer_sets),
-                    require_connected,
-                    memo.meter,
-                )
+            with stratum_scope(tracer, memo.meter, size, algorithm=self.name):
+                for outer_size in outer_sizes:
+                    inner_size = size - outer_size
+                    outer_sets = memo.sets_of_size(outer_size)
+                    inner_sets = memo.sets_of_size(inner_size)
+                    dpsize_pair_kernel(
+                        memo,
+                        ctx,
+                        outer_sets,
+                        inner_sets,
+                        0,
+                        len(outer_sets),
+                        require_connected,
+                        memo.meter,
+                    )
 
 def stratum_pair_count(memo: Memo, size: int) -> int:
     """Number of candidate pairs DPsize inspects for stratum ``size``.

@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.enumerate.base import Enumerator
 from repro.enumerate.kernels import dpsub_block_kernel
 from repro.memo.table import Memo
+from repro.trace.metrics import stratum_scope
 from repro.util.bitsets import subsets_of_size
 
 
@@ -27,17 +28,19 @@ class DPsub(Enumerator):
     def populate(self, memo: Memo) -> None:
         ctx = memo.ctx
         require_connected = not self.cross_products
+        tracer = self.tracer
         for size in range(2, ctx.n + 1):
-            candidates = dpsub_stratum_candidates(ctx, size)
-            dpsub_block_kernel(
-                memo,
-                ctx,
-                candidates,
-                0,
-                len(candidates),
-                require_connected,
-                memo.meter,
-            )
+            with stratum_scope(tracer, memo.meter, size, algorithm=self.name):
+                candidates = dpsub_stratum_candidates(ctx, size)
+                dpsub_block_kernel(
+                    memo,
+                    ctx,
+                    candidates,
+                    0,
+                    len(candidates),
+                    require_connected,
+                    memo.meter,
+                )
 
 
 def dpsub_stratum_candidates(ctx, size: int) -> list[int]:

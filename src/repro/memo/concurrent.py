@@ -33,10 +33,13 @@ class LockStripedMemo(Memo):
         estimator: CardinalityEstimator | None = None,
         meter: WorkMeter | None = None,
         stripes: int = 64,
+        tracer=None,
     ) -> None:
         if stripes < 1:
             raise ValidationError(f"stripes must be >= 1, got {stripes}")
-        super().__init__(ctx, cost_model, estimator=estimator, meter=meter)
+        super().__init__(
+            ctx, cost_model, estimator=estimator, meter=meter, tracer=tracer
+        )
         self._stripes = stripes
         self._locks = [threading.Lock() for _ in range(stripes)]
 
@@ -45,6 +48,13 @@ class LockStripedMemo(Memo):
     ) -> None:
         meter = meter or self.meter
         lock = self._locks[(left | right) % self._stripes]
-        with lock:
+        # Try the fast path first so contended acquisitions are observable:
+        # a failed non-blocking take means another worker held the stripe.
+        if not lock.acquire(blocking=False):
+            meter.latch_contended += 1
+            lock.acquire()
+        try:
             meter.latch_acquisitions += 1
             super().consider_join(left, right, meter=meter)
+        finally:
+            lock.release()

@@ -28,6 +28,7 @@ FIELDS: tuple[str, ...] = (
     "sva_skipped_entries",
     "sva_build_ops",
     "latch_acquisitions",
+    "latch_contended",
 )
 """All counter names, in reporting order."""
 
@@ -47,6 +48,10 @@ class WorkMeter:
     * ``plans_emitted`` — individual (pair, join-method) costings.
     * ``sva_steps`` / ``sva_skips`` / ``sva_skipped_entries`` — skip-vector
       scan advances, skip-pointer jumps taken, and entries jumped over.
+    * ``latch_acquisitions`` / ``latch_contended`` — stripe-lock takes in
+      the lock-striped memo, and how many of them found the lock held
+      (real-thread contention, the measured analogue of the simulated
+      contention model).
     """
 
     __slots__ = FIELDS

@@ -20,6 +20,7 @@ from repro.memo.counters import WorkMeter
 from repro.plans.nodes import JoinNode, PlanNode, ScanNode
 from repro.plans.operators import JoinMethod
 from repro.query.context import QueryContext
+from repro.trace.tracer import NULL_TRACER, Tracer
 from repro.util.bitsets import popcount
 from repro.util.errors import OptimizationError
 
@@ -79,11 +80,13 @@ class Memo:
         cost_model: CostModel,
         estimator: CardinalityEstimator | None = None,
         meter: WorkMeter | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.ctx = ctx
         self.cost_model = cost_model
         self.estimator = estimator or CardinalityEstimator(ctx)
         self.meter = meter or WorkMeter()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._entries: dict[int, MemoEntry] = {}
         self._by_size: list[list[int]] = [[] for _ in range(ctx.n + 1)]
         self._size_sorted: list[bool] = [True] * (ctx.n + 1)
@@ -146,6 +149,8 @@ class Memo:
                 method=JoinMethod.SCAN,
             )
             self._store_new(entry)
+        if self.tracer.enabled:
+            self.tracer.counter("memo.scans", ctx.n)
 
     def consider_join(
         self, left: int, right: int, meter: WorkMeter | None = None

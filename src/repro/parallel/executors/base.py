@@ -12,6 +12,7 @@ from repro.memo.table import Memo
 from repro.parallel.allocation import Assignment
 from repro.parallel.workunits import KernelCaches, WorkUnit
 from repro.query.context import QueryContext
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -29,6 +30,9 @@ class RunState:
         require_connected: True when cross products are disabled.
         algorithm: Kernel name (``dpsize``/``dpsub``/``dpsva``).
         threads: Degree of parallelism.
+        tracer: Observability sink; executors emit per-worker counters
+            (``worker.units``, ``worker.pairs``) and gauges
+            (``worker.busy``, ``worker.barrier_wait``) against it.
     """
 
     ctx: QueryContext
@@ -40,6 +44,7 @@ class RunState:
     require_connected: bool
     algorithm: str
     threads: int
+    tracer: Tracer = NULL_TRACER
 
 
 class StratumExecutor(ABC):

@@ -15,6 +15,7 @@ of experiment E8.
 from __future__ import annotations
 
 import multiprocessing as mp
+from contextlib import nullcontext
 from typing import Any
 
 from repro.memo.counters import WorkMeter
@@ -23,6 +24,7 @@ from repro.parallel.allocation import Assignment
 from repro.parallel.executors.base import RunState, StratumExecutor
 from repro.parallel.workunits import KernelCaches, WorkUnit, run_unit
 from repro.plans.operators import JoinMethod
+from repro.trace.tracer import RecordingTracer
 from repro.util.errors import ValidationError
 
 EntryTuple = tuple[int, float, float, int, int, int]
@@ -52,9 +54,18 @@ def _apply_entries(memo: Memo, entries: list[EntryTuple]) -> None:
 
 
 def _worker_loop(conn, state: RunState) -> None:
-    """Worker process main loop (state inherited via fork)."""
+    """Worker process main loop (state inherited via fork).
+
+    When the parent's tracer is enabled, each stratum is timed into a
+    fresh child-side :class:`RecordingTracer` whose serialized event
+    buffer rides back with the stratum reply; the parent merges it into
+    the master tracer, stamped with the worker id.
+    """
+    import time
+
     memo = state.memo
     caches = KernelCaches(memo, WorkMeter())
+    trace_enabled = state.tracer.enabled
     try:
         while True:
             message = conn.recv()
@@ -63,16 +74,32 @@ def _worker_loop(conn, state: RunState) -> None:
             _, size, delta, units = message
             _apply_entries(memo, delta)
             meter = WorkMeter()
-            for unit in units:
-                run_unit(
-                    unit,
-                    memo,
-                    state.ctx,
-                    caches,
-                    state.require_connected,
-                    meter,
+            tracer = RecordingTracer() if trace_enabled else None
+            start = time.perf_counter()
+            span = (
+                tracer.span("worker.stratum", size=size)
+                if tracer is not None
+                else nullcontext()
+            )
+            with span:
+                for unit in units:
+                    run_unit(
+                        unit,
+                        memo,
+                        state.ctx,
+                        caches,
+                        state.require_connected,
+                        meter,
+                    )
+            elapsed = time.perf_counter() - start
+            conn.send(
+                (
+                    _stratum_entries(memo, size),
+                    meter.as_dict(),
+                    elapsed,
+                    tracer.payload() if tracer is not None else None,
                 )
-            conn.send((_stratum_entries(memo, size), meter.as_dict()))
+            )
     finally:
         conn.close()
 
@@ -121,11 +148,32 @@ class ProcessExecutor(StratumExecutor):
         for t, conn in enumerate(self._conns):
             conn.send(("stratum", size, delta, assignment[t]))
         self._bytes_sent += len(delta) * 48 * len(self._conns)
-        for conn in self._conns:
-            candidates, meter_counts = conn.recv()
+        tracer = state.tracer
+        walls: list[float] = []
+        pairs: list[int] = []
+        for t, conn in enumerate(self._conns):
+            candidates, meter_counts, elapsed, payload = conn.recv()
             _apply_entries(state.memo, candidates)
             state.meter.merge_dict(meter_counts)
             self._bytes_sent += len(candidates) * 48
+            walls.append(elapsed)
+            pairs.append(meter_counts.get("pairs_considered", 0))
+            if tracer.enabled and payload:
+                tracer.ingest(payload, worker=t)
+        if tracer.enabled:
+            slowest = max(walls, default=0.0)
+            for t in range(state.threads):
+                tracer.counter(
+                    "worker.units", len(assignment[t]), size=size, worker=t
+                )
+                tracer.counter("worker.pairs", pairs[t], size=size, worker=t)
+                tracer.gauge("worker.busy", walls[t], size=size, worker=t)
+                tracer.gauge(
+                    "worker.barrier_wait",
+                    slowest - walls[t],
+                    size=size,
+                    worker=t,
+                )
         # The merged stratum becomes the next round's broadcast delta.
         self._pending_delta = _stratum_entries(state.memo, size)
         self._rounds += 1

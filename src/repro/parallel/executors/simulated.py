@@ -69,6 +69,8 @@ class SimulatedExecutor(StratumExecutor):
         machine.charge_master(len(units))
         threads = state.threads
         busy = [0.0] * threads
+        unit_counts = [0] * threads
+        pair_counts = [0] * threads
         touches: list[dict[int, int]] = [{} for _ in range(threads)]
         views = [
             _RecordingMemoView(state.memo, touches[t]) for t in range(threads)
@@ -89,6 +91,8 @@ class SimulatedExecutor(StratumExecutor):
                 real_memo=state.memo,
             )
             busy[t] += machine.unit_time(unit_meter)
+            unit_counts[t] += 1
+            pair_counts[t] += unit_meter.pairs_considered
             state.meter.merge(unit_meter)
 
         if assignment is None:
@@ -103,7 +107,30 @@ class SimulatedExecutor(StratumExecutor):
                     run_on(unit, t)
         build_after = self.params.work_time(state.caches_meter)
         machine.report.master_cost += build_after - build_before
-        machine.record_stratum(size, len(units), busy, touches)
+        timing = machine.record_stratum(size, len(units), busy, touches)
+        tracer = state.tracer
+        if tracer.enabled:
+            # Barrier wait in virtual time: each thread idles until the
+            # stratum's busiest thread (incl. contention) reaches the
+            # barrier.
+            thread_times = timing.thread_times
+            slowest = max(thread_times, default=0.0)
+            for t in range(threads):
+                tracer.counter(
+                    "worker.units", unit_counts[t], size=size, worker=t
+                )
+                tracer.counter(
+                    "worker.pairs", pair_counts[t], size=size, worker=t
+                )
+                tracer.gauge(
+                    "worker.busy", thread_times[t], size=size, worker=t
+                )
+                tracer.gauge(
+                    "worker.barrier_wait",
+                    slowest - thread_times[t],
+                    size=size,
+                    worker=t,
+                )
 
     def close(self) -> dict[str, Any]:
         assert self.machine is not None

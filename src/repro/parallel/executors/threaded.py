@@ -57,8 +57,10 @@ class ThreadedExecutor(StratumExecutor):
             elif unit.algorithm == "dpsub":
                 state.caches.dpsub_stratum(unit.size)
         meters = [WorkMeter() for _ in range(state.threads)]
+        busy = [0.0] * state.threads
 
         def work(t: int) -> None:
+            t0 = time.perf_counter()
             for unit in assignment[t]:
                 run_unit(
                     unit,
@@ -68,6 +70,7 @@ class ThreadedExecutor(StratumExecutor):
                     state.require_connected,
                     meters[t],
                 )
+            busy[t] = time.perf_counter() - t0
 
         start = time.perf_counter()
         workers = [
@@ -78,9 +81,29 @@ class ThreadedExecutor(StratumExecutor):
             thread.start()
         for thread in workers:
             thread.join()  # the stratum barrier
-        self._stratum_walls.append(time.perf_counter() - start)
+        wall = time.perf_counter() - start
+        self._stratum_walls.append(wall)
         for meter in meters:
             state.meter.merge(meter)
+        tracer = state.tracer
+        if tracer.enabled:
+            for t in range(state.threads):
+                tracer.counter(
+                    "worker.units", len(assignment[t]), size=size, worker=t
+                )
+                tracer.counter(
+                    "worker.pairs",
+                    meters[t].pairs_considered,
+                    size=size,
+                    worker=t,
+                )
+                tracer.gauge("worker.busy", busy[t], size=size, worker=t)
+                tracer.gauge(
+                    "worker.barrier_wait",
+                    max(0.0, wall - busy[t]),
+                    size=size,
+                    worker=t,
+                )
 
     def close(self) -> dict[str, Any]:
         return {"stratum_wall_times": list(self._stratum_walls)}

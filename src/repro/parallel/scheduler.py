@@ -5,6 +5,10 @@ work-unit generation, allocation to threads, execution on a pluggable
 backend, and a barrier between strata.  The master's own work — generating
 and assigning units — is linear in the unit count and charged to the
 serial segment of the simulated clock.
+
+Configuration is an :class:`~repro.config.OptimizerConfig`; the positional
+keyword arguments remain as a compatibility shim that builds one (and
+therefore shares its validation).
 """
 
 from __future__ import annotations
@@ -21,14 +25,12 @@ from repro.parallel.allocation import allocate, allocation_imbalance
 from repro.parallel.executors import EXECUTORS
 from repro.parallel.executors.base import RunState
 from repro.parallel.executors.simulated import SimulatedExecutor
-from repro.parallel.workunits import (
-    PARALLEL_ALGORITHMS,
-    KernelCaches,
-    stratum_units,
-)
+from repro.parallel.workunits import KernelCaches, stratum_units
 from repro.query.context import QueryContext
 from repro.query.joingraph import Query
 from repro.simx.costparams import SimCostParams
+from repro.trace.metrics import emit_meter_delta
+from repro.trace.tracer import Tracer
 from repro.util.errors import OptimizationError, ValidationError
 
 
@@ -48,38 +50,57 @@ class ParallelDP:
         oversubscription: Work units generated per thread per stratum
             split; higher values give the allocator more granularity.
         sim_params: Virtual cost parameters for the simulated backend.
+        tracer: Observability sink (:mod:`repro.trace`); per-stratum spans
+            and per-worker counters are emitted when it is enabled.
+        config: An :class:`~repro.config.OptimizerConfig` carrying all of
+            the above.  When given, the other arguments must be left at
+            their defaults.
     """
 
     def __init__(
         self,
         algorithm: str = "dpsva",
         threads: int = 8,
-        allocation: str = "equi_depth",
-        backend: str = "simulated",
+        allocation: str | None = None,
+        backend: str | None = None,
         cross_products: bool = False,
-        oversubscription: int = 4,
+        oversubscription: int | None = None,
         sim_params: SimCostParams | None = None,
+        tracer: Tracer | None = None,
+        config=None,
     ) -> None:
-        if algorithm not in PARALLEL_ALGORITHMS:
-            raise ValidationError(
-                f"unknown algorithm {algorithm!r}; "
-                f"expected one of {PARALLEL_ALGORITHMS}"
+        from repro.config import OptimizerConfig
+
+        if config is None:
+            config = OptimizerConfig(
+                algorithm=algorithm,
+                threads=threads,
+                allocation=allocation,
+                backend=backend,
+                cross_products=cross_products,
+                oversubscription=oversubscription,
+                sim_params=sim_params,
+                tracer=tracer,
             )
-        if threads < 1:
-            raise ValidationError(f"threads must be >= 1, got {threads}")
-        if backend not in EXECUTORS:
+        elif not isinstance(config, OptimizerConfig):
             raise ValidationError(
-                f"unknown backend {backend!r}; "
-                f"expected one of {sorted(EXECUTORS)}"
+                f"config must be an OptimizerConfig, got "
+                f"{type(config).__name__}"
             )
-        self.algorithm = algorithm
-        self.threads = threads
-        self.allocation = allocation
-        self.backend = backend
-        self.cross_products = cross_products
-        self.oversubscription = oversubscription
-        self.sim_params = sim_params or SimCostParams()
-        self.name = f"p{algorithm}"
+        if config.threads is None:
+            raise ValidationError(
+                "ParallelDP requires a parallel config (threads must be set)"
+            )
+        self.config = config
+        self.algorithm = config.algorithm
+        self.threads = config.threads
+        self.allocation = config.effective_allocation
+        self.backend = config.effective_backend
+        self.cross_products = config.cross_products
+        self.oversubscription = config.effective_oversubscription
+        self.sim_params = config.sim_params or SimCostParams()
+        self.tracer = config.effective_tracer
+        self.name = f"p{self.algorithm}"
 
     def _make_executor(self):
         if self.backend == "simulated":
@@ -88,8 +109,14 @@ class ParallelDP:
 
     def _make_memo(self, ctx, cost_model, estimator, meter) -> Memo:
         if self.backend == "threads":
-            return LockStripedMemo(ctx, cost_model, estimator=estimator, meter=meter)
-        return Memo(ctx, cost_model, estimator=estimator, meter=meter)
+            return LockStripedMemo(
+                ctx, cost_model, estimator=estimator, meter=meter,
+                tracer=self.tracer,
+            )
+        return Memo(
+            ctx, cost_model, estimator=estimator, meter=meter,
+            tracer=self.tracer,
+        )
 
     def optimize(
         self,
@@ -102,51 +129,75 @@ class ParallelDP:
             raise OptimizationError(
                 "join graph is disconnected; enable cross_products"
             )
-        cost_model = cost_model or StandardCostModel()
+        cost_model = cost_model or self.config.cost_model or StandardCostModel()
         estimator = CardinalityEstimator(ctx)
         meter = WorkMeter()
         memo = self._make_memo(ctx, cost_model, estimator, meter)
         caches_meter = WorkMeter()
         executor = self._make_executor()
+        tracer = self.tracer
 
         start = time.perf_counter()
-        memo.init_scans()
-        caches = KernelCaches(memo, caches_meter)
-        state = RunState(
-            ctx=ctx,
-            memo=memo,
-            estimator=estimator,
-            meter=meter,
-            caches=caches,
-            caches_meter=caches_meter,
-            require_connected=not self.cross_products,
-            algorithm=self.algorithm,
+        with tracer.span(
+            "optimize",
+            algorithm=self.name,
+            n=ctx.n,
             threads=self.threads,
-        )
-        executor.open(state)
-        imbalances: list[float] = []
-        unit_counts: list[int] = []
-        try:
-            for size in range(2, ctx.n + 1):
-                units = stratum_units(
-                    self.algorithm,
-                    memo,
-                    ctx,
-                    caches,
-                    size,
-                    self.threads,
-                    self.oversubscription,
-                )
-                assignment = allocate(units, self.threads, self.allocation)
-                imbalances.append(
-                    None
-                    if assignment is None
-                    else allocation_imbalance(assignment)
-                )
-                unit_counts.append(len(units))
-                executor.run_stratum(size, units, assignment)
-        finally:
-            extras = executor.close()
+            backend=self.backend,
+            allocation=self.allocation,
+        ):
+            memo.init_scans()
+            caches = KernelCaches(memo, caches_meter)
+            state = RunState(
+                ctx=ctx,
+                memo=memo,
+                estimator=estimator,
+                meter=meter,
+                caches=caches,
+                caches_meter=caches_meter,
+                require_connected=not self.cross_products,
+                algorithm=self.algorithm,
+                threads=self.threads,
+                tracer=tracer,
+            )
+            executor.open(state)
+            imbalances: list[float] = []
+            unit_counts: list[int] = []
+            try:
+                for size in range(2, ctx.n + 1):
+                    units = stratum_units(
+                        self.algorithm,
+                        memo,
+                        ctx,
+                        caches,
+                        size,
+                        self.threads,
+                        self.oversubscription,
+                    )
+                    assignment = allocate(units, self.threads, self.allocation)
+                    imbalance = (
+                        None
+                        if assignment is None
+                        else allocation_imbalance(assignment)
+                    )
+                    imbalances.append(imbalance)
+                    unit_counts.append(len(units))
+                    if not tracer.enabled:
+                        executor.run_stratum(size, units, assignment)
+                        continue
+                    before = meter.as_dict()
+                    with tracer.span("stratum", size=size, units=len(units)):
+                        executor.run_stratum(size, units, assignment)
+                    tracer.counter("stratum.units", len(units), size=size)
+                    if imbalance is not None:
+                        tracer.gauge(
+                            "allocation.imbalance", imbalance, size=size
+                        )
+                    emit_meter_delta(
+                        tracer, before, meter.as_dict(), size=size
+                    )
+            finally:
+                extras = executor.close()
         elapsed = time.perf_counter() - start
 
         meter.merge(caches_meter)
@@ -163,6 +214,8 @@ class ParallelDP:
                 "backend": self.backend,
             }
         )
+        if tracer.enabled:
+            extras["trace"] = tracer
         return OptimizationResult(
             algorithm=self.name,
             plan=extract_plan(memo),

@@ -13,15 +13,30 @@ def sql_to_query(sql: str, catalog: Catalog, label: str = "sql") -> Query:
     return bind(parse_select(sql), catalog, label=label)
 
 
-def optimize_sql(sql: str, catalog: Catalog, **optimize_options):
+def optimize_sql(
+    sql: str, catalog: Catalog, label: str = "sql", **optimize_options
+):
     """Parse, bind, and optimize in one call.
 
-    Keyword options are forwarded to :func:`repro.optimize`
-    (``algorithm``, ``threads``, ``cost_model``, ``cross_products``, …).
+    Args:
+        sql: An SPJ ``SELECT`` statement.
+        catalog: Catalog the statement binds against.
+        label: Query label carried onto the bound
+            :class:`~repro.query.joingraph.Query` (visible in reports).
+        **optimize_options: Forwarded to :func:`repro.optimize`
+            (``algorithm``, ``threads``, ``cost_model``,
+            ``cross_products``, ``config``, …).
     """
     from repro import optimize
 
-    query = sql_to_query(sql, catalog)
+    query = sql_to_query(sql, catalog, label=label)
     if not query.graph.is_connected():
-        optimize_options.setdefault("cross_products", True)
+        config = optimize_options.get("config")
+        if config is not None:
+            if not config.cross_products:
+                optimize_options["config"] = config.with_options(
+                    cross_products=True
+                )
+        else:
+            optimize_options.setdefault("cross_products", True)
     return optimize(query, **optimize_options)

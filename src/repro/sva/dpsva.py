@@ -15,6 +15,7 @@ from repro.memo.counters import WorkMeter
 from repro.memo.table import Memo
 from repro.query.context import QueryContext
 from repro.sva.skipvector import SkipVectorArray
+from repro.trace.metrics import stratum_scope
 
 
 class SvaCache:
@@ -82,22 +83,24 @@ class DPsva(Enumerator):
     def populate(self, memo: Memo) -> None:
         ctx = memo.ctx
         meter = memo.meter
+        tracer = self.tracer
         require_connected = not self.cross_products
         cache = SvaCache(memo, meter)
         for size in range(2, ctx.n + 1):
-            for outer_size in range(1, size):
-                inner_size = size - outer_size
-                outer_sets = memo.sets_of_size(outer_size)
-                if not outer_sets:
-                    continue
-                inner_sva = cache.for_size(inner_size)
-                dpsva_pair_kernel(
-                    memo,
-                    ctx,
-                    outer_sets,
-                    inner_sva,
-                    0,
-                    len(outer_sets),
-                    require_connected,
-                    meter,
-                )
+            with stratum_scope(tracer, meter, size, algorithm=self.name):
+                for outer_size in range(1, size):
+                    inner_size = size - outer_size
+                    outer_sets = memo.sets_of_size(outer_size)
+                    if not outer_sets:
+                        continue
+                    inner_sva = cache.for_size(inner_size)
+                    dpsva_pair_kernel(
+                        memo,
+                        ctx,
+                        outer_sets,
+                        inner_sva,
+                        0,
+                        len(outer_sets),
+                        require_connected,
+                        meter,
+                    )

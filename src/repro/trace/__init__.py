@@ -1,0 +1,69 @@
+"""Structured tracing for the optimizer (spans, counters, gauges).
+
+The observability layer behind :class:`~repro.config.OptimizerConfig`'s
+``tracer`` option: a zero-cost-when-disabled :class:`Tracer` protocol, an
+in-memory :class:`RecordingTracer`, a JSON-lines exporter, and table
+renderers for per-stratum / per-worker analysis (``repro trace``).
+
+Instrumentation convention (all at stratum/worker granularity — never in
+the pair-enumeration hot loops):
+
+======================  =======  ==========================================
+event                   kind     meaning
+======================  =======  ==========================================
+``optimize``            span     one whole optimization run
+``stratum``             span     one DP stratum (attr ``size``)
+``stratum.units``       counter  work units generated for a stratum
+``allocation.imbalance``gauge    max/mean unit-weight ratio per stratum
+``worker.units``        counter  units executed by one worker (attr
+                                 ``worker``)
+``worker.pairs``        counter  candidate pairs inspected by one worker
+``worker.busy``         gauge    per-worker busy time (virtual for the
+                                 simulated backend, seconds for real ones)
+``worker.barrier_wait`` gauge    time a worker idled at the stratum barrier
+``pairs.*``/``memo.*``  counter  meter deltas per stratum (see
+                                 :data:`repro.trace.metrics.METER_COUNTERS`)
+======================  =======  ==========================================
+"""
+
+from repro.trace.export import (
+    events_to_jsonl,
+    parse_jsonl,
+    read_jsonl,
+    tracer_from_jsonl,
+    write_jsonl,
+)
+from repro.trace.metrics import METER_COUNTERS, emit_meter_delta, stratum_scope
+from repro.trace.render import (
+    per_stratum_rows,
+    per_worker_rows,
+    render_trace,
+    trace_summary,
+)
+from repro.trace.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "TraceEvent",
+    "NULL_TRACER",
+    "METER_COUNTERS",
+    "emit_meter_delta",
+    "stratum_scope",
+    "events_to_jsonl",
+    "parse_jsonl",
+    "read_jsonl",
+    "write_jsonl",
+    "tracer_from_jsonl",
+    "per_stratum_rows",
+    "per_worker_rows",
+    "render_trace",
+    "trace_summary",
+]

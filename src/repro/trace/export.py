@@ -1,0 +1,82 @@
+"""JSON-lines import/export for recorded traces.
+
+One event per line, in emission order — the format ``repro optimize
+--trace`` writes and the ``repro trace`` subcommand reads.  A header line
+(``kind: "meta"``) carries the producing run's identity so a saved file is
+self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.trace.tracer import RecordingTracer, TraceEvent
+from repro.util.errors import ValidationError
+
+FORMAT = "repro-trace/1"
+"""Wire-format identifier written in the meta line."""
+
+
+def events_to_jsonl(
+    events: list[TraceEvent], meta: dict[str, Any] | None = None
+) -> str:
+    """Serialize events (plus an optional meta header) as JSONL text."""
+    lines = [json.dumps({"kind": "meta", "format": FORMAT, **(meta or {})})]
+    lines.extend(json.dumps(event.as_dict()) for event in events)
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(
+    events: list[TraceEvent],
+    path: str,
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Write events to ``path`` in JSONL form."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(events_to_jsonl(events, meta))
+
+
+def parse_jsonl(text: str) -> tuple[list[TraceEvent], dict[str, Any]]:
+    """Parse JSONL text into (events, meta)."""
+    events: list[TraceEvent] = []
+    meta: dict[str, Any] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"not a trace file: line {lineno} is not JSON ({exc.msg})"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ValidationError(
+                f"not a trace file: line {lineno} is not a JSON object"
+            )
+        if data.get("kind") == "meta":
+            meta = {k: v for k, v in data.items() if k != "kind"}
+        else:
+            try:
+                events.append(TraceEvent.from_dict(data))
+            except KeyError as exc:
+                raise ValidationError(
+                    f"not a trace file: line {lineno} is missing the "
+                    f"{exc.args[0]!r} field"
+                ) from exc
+    return events, meta
+
+
+def read_jsonl(path: str) -> tuple[list[TraceEvent], dict[str, Any]]:
+    """Read a trace file written by :func:`write_jsonl`."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_jsonl(handle.read())
+
+
+def tracer_from_jsonl(path: str) -> RecordingTracer:
+    """Load a saved trace back into a queryable :class:`RecordingTracer`."""
+    events, _ = read_jsonl(path)
+    tracer = RecordingTracer()
+    tracer.events.extend(events)
+    return tracer

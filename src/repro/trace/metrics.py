@@ -1,0 +1,59 @@
+"""Bridging helpers between :class:`~repro.memo.counters.WorkMeter` and
+the tracer.
+
+The enumeration hot loops already maintain exact operation counts on work
+meters; rather than double-count inside those loops, instrumented code
+snapshots the meter around each stratum and emits the *delta* as trace
+counters.  All snapshotting is guarded by ``tracer.enabled``, so the
+disabled path does no dictionary work at all.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.memo.counters import WorkMeter
+from repro.trace.tracer import Tracer
+
+METER_COUNTERS: dict[str, str] = {
+    "pairs_considered": "pairs.considered",
+    "pairs_valid": "pairs.valid",
+    "plans_emitted": "plans.emitted",
+    "memo_inserts": "memo.inserts",
+    "memo_improvements": "memo.improvements",
+    "sva_build_ops": "sva.build_ops",
+    "sva_skipped_entries": "sva.skipped_entries",
+    "latch_acquisitions": "memo.latch_acquisitions",
+    "latch_contended": "memo.latch_contended",
+}
+"""Meter fields surfaced as trace counters, with their event names."""
+
+
+def emit_meter_delta(
+    tracer: Tracer,
+    before: dict[str, int],
+    after: dict[str, int],
+    **attrs,
+) -> None:
+    """Emit counters for every surfaced meter field that advanced."""
+    for field, name in METER_COUNTERS.items():
+        delta = after[field] - before[field]
+        if delta:
+            tracer.counter(name, delta, **attrs)
+
+
+@contextmanager
+def stratum_scope(tracer: Tracer, meter: WorkMeter, size: int, **attrs):
+    """Span one DP stratum and emit its meter-delta counters.
+
+    A no-op (beyond the generator frame) when the tracer is disabled; the
+    serial enumerators and the parallel scheduler wrap each stratum body
+    in this scope.
+    """
+    if not tracer.enabled:
+        yield
+        return
+    before = meter.as_dict()
+    with tracer.span("stratum", size=size, **attrs):
+        yield
+    emit_meter_delta(tracer, before, meter.as_dict(), size=size)

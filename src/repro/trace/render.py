@@ -1,0 +1,134 @@
+"""Aggregation and rendering of recorded traces.
+
+Turns a flat event list into the two tables the paper's analysis needs —
+per-stratum (where does each DP round spend its time?) and per-worker
+(how even is the load?) — plus a one-paragraph run summary.  Used by the
+``repro trace`` CLI subcommand and the bench runner's trace summaries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.trace.tracer import TraceEvent
+
+_STRATUM_COUNTERS = (
+    ("stratum.units", "units"),
+    ("pairs.considered", "pairs"),
+    ("pairs.valid", "valid"),
+    ("memo.inserts", "inserts"),
+    ("memo.improvements", "improves"),
+)
+
+_WORKER_SERIES = (
+    ("worker.units", "counter", "units"),
+    ("worker.pairs", "counter", "pairs"),
+    ("worker.busy", "gauge", "busy"),
+    ("worker.barrier_wait", "gauge", "barrier_wait"),
+)
+
+
+def per_stratum_rows(events: list[TraceEvent]) -> list[dict[str, Any]]:
+    """One row per stratum size: span wall time plus meter counters."""
+    strata: dict[int, dict[str, Any]] = {}
+
+    def row(size: int) -> dict[str, Any]:
+        if size not in strata:
+            strata[size] = {
+                "size": size,
+                "span_s": 0.0,
+                "units": 0,
+                "pairs": 0,
+                "valid": 0,
+                "inserts": 0,
+                "improves": 0,
+                "barrier_wait": 0.0,
+            }
+        return strata[size]
+
+    names = dict(_STRATUM_COUNTERS)
+    for event in events:
+        size = event.attrs.get("size")
+        if size is None:
+            continue
+        if event.kind == "span" and event.name == "stratum":
+            row(size)["span_s"] += event.value
+        elif event.kind == "counter" and event.name in names:
+            row(size)[names[event.name]] += event.value
+        elif event.kind == "gauge" and event.name == "worker.barrier_wait":
+            row(size)["barrier_wait"] += event.value
+    return [strata[size] for size in sorted(strata)]
+
+
+def per_worker_rows(events: list[TraceEvent]) -> list[dict[str, Any]]:
+    """One row per worker: units, pairs, busy time, barrier waits."""
+    workers: dict[int, dict[str, float]] = defaultdict(
+        lambda: {label: 0 for _, _, label in _WORKER_SERIES}
+    )
+    for event in events:
+        worker = event.attrs.get("worker")
+        if worker is None:
+            continue
+        for name, kind, label in _WORKER_SERIES:
+            if event.kind == kind and event.name == name:
+                workers[worker][label] += event.value
+    return [
+        {"worker": worker, **workers[worker]} for worker in sorted(workers)
+    ]
+
+
+def trace_summary(events: list[TraceEvent]) -> dict[str, Any]:
+    """Aggregate totals for one run (the bench runner's trace columns)."""
+    spans = [e for e in events if e.kind == "span"]
+    optimize = [e for e in spans if e.name == "optimize"]
+    return {
+        "events": len(events),
+        "spans": len(spans),
+        "strata": len({e.attrs.get("size") for e in spans if e.name == "stratum"}),
+        "wall_s": sum(e.value for e in optimize),
+        "barrier_wait": sum(
+            e.value
+            for e in events
+            if e.kind == "gauge" and e.name == "worker.barrier_wait"
+        ),
+        "worker_busy": sum(
+            e.value
+            for e in events
+            if e.kind == "gauge" and e.name == "worker.busy"
+        ),
+    }
+
+
+def render_trace(
+    events: list[TraceEvent],
+    meta: dict[str, Any] | None = None,
+    by: str = "both",
+) -> str:
+    """Human-readable report: per-stratum and/or per-worker tables."""
+    from repro.bench.reporting import format_table
+
+    sections: list[str] = []
+    if meta:
+        run = {k: v for k, v in meta.items() if k != "format"}
+        if run:
+            sections.append(
+                "run: "
+                + " ".join(f"{key}={value}" for key, value in run.items())
+            )
+    if by in ("stratum", "both"):
+        rows = per_stratum_rows(events)
+        sections.append("per-stratum:\n" + format_table(rows))
+    if by in ("worker", "both"):
+        rows = per_worker_rows(events)
+        if rows:
+            sections.append("per-worker:\n" + format_table(rows))
+        elif by == "worker":
+            sections.append("per-worker: (no worker events — serial run?)")
+    summary = trace_summary(events)
+    sections.append(
+        f"totals: events={summary['events']} strata={summary['strata']} "
+        f"barrier_wait={summary['barrier_wait']:.4g} "
+        f"worker_busy={summary['worker_busy']:.4g}"
+    )
+    return "\n\n".join(sections)

@@ -1,0 +1,285 @@
+"""Tracer primitives: spans, counters, gauges.
+
+The tracer is the repo's observability substrate.  Every layer of the
+optimizer — serial enumerators, the parallel scheduler, the executors, the
+memo — emits events against a :class:`Tracer` at *stratum/worker*
+granularity (never inside the pair-enumeration hot loops).  Two concrete
+tracers exist:
+
+* :class:`NullTracer` (the default, exposed as the :data:`NULL_TRACER`
+  singleton) — every operation is a no-op and ``enabled`` is False, so
+  instrumented code can skip snapshotting work entirely.  ``span`` returns
+  a shared no-op context manager, so a disabled trace point allocates
+  nothing.
+* :class:`RecordingTracer` — appends :class:`TraceEvent` records to an
+  in-memory buffer.  Span nesting is tracked per thread, so worker threads
+  can emit concurrently; buffers from other processes are merged with
+  :meth:`RecordingTracer.ingest`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "NULL_TRACER",
+]
+
+
+@dataclass
+class TraceEvent:
+    """One recorded observation.
+
+    Attributes:
+        kind: ``"span"``, ``"counter"``, or ``"gauge"``.
+        name: Event name (dotted, e.g. ``"worker.barrier_wait"``).
+        value: Span duration (seconds), counter increment, or gauge level.
+        start: Span start time, relative to the tracer's epoch; ``None``
+            for counters and gauges (which record their emission time).
+        depth: Span nesting depth within its emitting thread; 0 for
+            counters and gauges.
+        attrs: Free-form labels (``size``, ``worker``, ``algorithm`` …).
+    """
+
+    kind: str
+    name: str
+    value: float
+    start: float | None = None
+    depth: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form (the JSONL wire format)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "value": self.value,
+            "start": self.start,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceEvent":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            kind=data["kind"],
+            name=data["name"],
+            value=data["value"],
+            start=data.get("start"),
+            depth=data.get("depth", 0),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """The tracing protocol.
+
+    Subclasses override the three emission primitives.  ``enabled`` is the
+    contract with instrumented code: when False, callers must not pay for
+    snapshotting (and the primitives are guaranteed no-ops), which is what
+    keeps the default configuration zero-cost.
+    """
+
+    enabled: bool = False
+
+    def span(self, name: str, **attrs):
+        """Context manager timing a region; records on exit."""
+        return _NULL_SPAN
+
+    def counter(self, name: str, value: int = 1, **attrs) -> None:
+        """Record a monotonic increment."""
+
+    def gauge(self, name: str, value: float, **attrs) -> None:
+        """Record a point-in-time level."""
+
+
+class NullTracer(Tracer):
+    """The default tracer: records nothing, costs nothing."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()
+"""Module-level singleton used wherever no tracer was configured."""
+
+
+class _RecordedSpan:
+    """Context manager that appends a span event on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_start", "_depth")
+
+    def __init__(self, tracer: "RecordingTracer", name: str, attrs) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_RecordedSpan":
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        stack.append(self)
+        self._start = self._tracer._now()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        end = self._tracer._now()
+        self._tracer._stack().pop()
+        self._tracer._append(
+            TraceEvent(
+                kind="span",
+                name=self._name,
+                value=end - self._start,
+                start=self._start,
+                depth=self._depth,
+                attrs=self._attrs,
+            )
+        )
+
+
+class RecordingTracer(Tracer):
+    """In-memory tracer: every emission becomes a :class:`TraceEvent`.
+
+    Safe for concurrent emission from worker threads (event append is
+    lock-guarded; span nesting state is thread-local).  Events from worker
+    *processes* are serialized with :meth:`payload` on the child side and
+    merged with :meth:`ingest` on the parent side.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- internals ------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _append(self, event: TraceEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    # -- emission -------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _RecordedSpan:
+        return _RecordedSpan(self, name, attrs)
+
+    def counter(self, name: str, value: int = 1, **attrs) -> None:
+        self._append(
+            TraceEvent(
+                kind="counter",
+                name=name,
+                value=value,
+                start=self._now(),
+                attrs=attrs,
+            )
+        )
+
+    def gauge(self, name: str, value: float, **attrs) -> None:
+        self._append(
+            TraceEvent(
+                kind="gauge",
+                name=name,
+                value=value,
+                start=self._now(),
+                attrs=attrs,
+            )
+        )
+
+    # -- aggregation ----------------------------------------------------
+
+    def payload(self) -> list[dict[str, Any]]:
+        """Picklable snapshot of all events (child-process side)."""
+        with self._lock:
+            return [event.as_dict() for event in self.events]
+
+    def ingest(self, payload: list[dict[str, Any]], **extra_attrs) -> None:
+        """Merge a :meth:`payload` from another tracer (parent side).
+
+        ``extra_attrs`` are stamped onto every ingested event — the process
+        executor uses this to label events with the worker id.
+        """
+        events = [TraceEvent.from_dict(data) for data in payload]
+        if extra_attrs:
+            for event in events:
+                event.attrs.update(extra_attrs)
+        with self._lock:
+            self.events.extend(events)
+
+    # -- inspection -----------------------------------------------------
+
+    def spans(self, name: str | None = None) -> list[TraceEvent]:
+        """Recorded spans, optionally filtered by name."""
+        return [
+            e
+            for e in self.events
+            if e.kind == "span" and (name is None or e.name == name)
+        ]
+
+    def counters(self, name: str | None = None) -> list[TraceEvent]:
+        """Recorded counters, optionally filtered by name."""
+        return [
+            e
+            for e in self.events
+            if e.kind == "counter" and (name is None or e.name == name)
+        ]
+
+    def gauges(self, name: str | None = None) -> list[TraceEvent]:
+        """Recorded gauges, optionally filtered by name."""
+        return [
+            e
+            for e in self.events
+            if e.kind == "gauge" and (name is None or e.name == name)
+        ]
+
+    def total(self, name: str) -> float:
+        """Sum of all counter/gauge values with ``name``."""
+        return sum(
+            e.value for e in self.events if e.name == name and e.kind != "span"
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        # An empty tracer is still a tracer: without this, ``__len__``
+        # would make a freshly created instance falsy, silently disabling
+        # ``if tracer:`` guards before the first event lands.
+        return True
+
+    def __repr__(self) -> str:
+        return f"RecordingTracer(events={len(self.events)})"

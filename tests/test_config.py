@@ -1,0 +1,194 @@
+"""The OptimizerConfig front door: validation, kwargs-shim equivalence,
+and the typed accessors on OptimizationResult.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    OptimizerConfig,
+    RecordingTracer,
+    Workload,
+    WorkloadSpec,
+    optimize,
+)
+from repro.config import ALL_ALGORITHMS
+from repro.parallel import ParallelDP
+from repro.plans import plan_signature
+from repro.util.errors import ValidationError
+
+
+def query_for(topology="cycle", n=7, seed=1):
+    return Workload(WorkloadSpec(topology, n, seed=seed))[0]
+
+
+# -- equivalence ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("algorithm", ["dpsize", "dpsub", "dpccp", "dpsva"])
+def test_config_and_kwargs_agree_serial(algorithm):
+    query = query_for()
+    via_kwargs = optimize(query, algorithm=algorithm)
+    via_config = optimize(query, config=OptimizerConfig(algorithm=algorithm))
+    assert via_config.cost == via_kwargs.cost
+    assert plan_signature(via_config.plan) == plan_signature(via_kwargs.plan)
+
+
+@pytest.mark.parametrize("threads", [1, 4])
+def test_config_and_kwargs_agree_parallel(threads):
+    query = query_for("star", 7, seed=2)
+    via_kwargs = optimize(
+        query, algorithm="dpsva", threads=threads, allocation="equi_depth"
+    )
+    via_config = optimize(
+        query,
+        config=OptimizerConfig(
+            algorithm="dpsva", threads=threads, allocation="equi_depth"
+        ),
+    )
+    assert via_config.cost == via_kwargs.cost
+    assert plan_signature(via_config.plan) == plan_signature(via_kwargs.plan)
+    assert via_config.sim_report.total_time == pytest.approx(
+        via_kwargs.sim_report.total_time
+    )
+
+
+def test_paralleldp_accepts_config():
+    query = query_for()
+    config = OptimizerConfig(algorithm="dpsize", threads=3)
+    assert (
+        ParallelDP(config=config).optimize(query).cost
+        == ParallelDP(algorithm="dpsize", threads=3).optimize(query).cost
+    )
+
+
+# -- validation ----------------------------------------------------------
+
+
+def test_unknown_algorithm():
+    with pytest.raises(ValidationError, match="unknown algorithm"):
+        OptimizerConfig(algorithm="dpmagic")
+    assert "dpsize" in ALL_ALGORITHMS
+
+
+def test_threads_must_be_positive():
+    with pytest.raises(ValidationError, match="threads must be >= 1"):
+        OptimizerConfig(algorithm="dpsize", threads=0)
+
+
+def test_dpccp_has_no_parallel_kernel():
+    with pytest.raises(ValidationError, match="no parallel kernel"):
+        OptimizerConfig(algorithm="dpccp", threads=4)
+
+
+def test_unknown_backend():
+    with pytest.raises(ValidationError, match="unknown backend"):
+        OptimizerConfig(algorithm="dpsva", threads=2, backend="gpu")
+
+
+def test_parallel_options_require_threads():
+    with pytest.raises(ValidationError, match="only apply to parallel"):
+        OptimizerConfig(algorithm="dpsize", allocation="equi_depth")
+    with pytest.raises(ValidationError, match="only apply to parallel"):
+        OptimizerConfig(algorithm="dpsize", backend="threads")
+
+
+def test_dynamic_allocation_needs_simulated_backend():
+    with pytest.raises(ValidationError, match="dynamic allocation"):
+        OptimizerConfig(
+            algorithm="dpsva", threads=2, allocation="dynamic",
+            backend="processes",
+        )
+
+
+def test_tracer_must_be_a_tracer():
+    with pytest.raises(ValidationError, match="tracer must be"):
+        OptimizerConfig(algorithm="dpsize", tracer=object())
+
+
+def test_config_is_frozen():
+    config = OptimizerConfig(algorithm="dpsize")
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.algorithm = "dpsub"
+
+
+def test_with_options_revalidates():
+    config = OptimizerConfig(algorithm="dpsva", threads=4)
+    assert config.with_options(threads=8).threads == 8
+    with pytest.raises(ValidationError):
+        config.with_options(threads=0)
+
+
+def test_from_kwargs_rejects_unknown_options():
+    with pytest.raises(ValidationError, match="unknown optimizer options"):
+        OptimizerConfig.from_kwargs(algorithm="dpsize", turbo=True)
+
+
+def test_optimize_rejects_config_plus_kwargs():
+    query = query_for(n=4)
+    with pytest.raises(ValidationError, match="not both"):
+        optimize(
+            query, config=OptimizerConfig(algorithm="dpsize"), threads=2
+        )
+
+
+def test_optimize_rejects_unknown_option():
+    with pytest.raises(ValidationError, match="unknown optimizer options"):
+        optimize(query_for(n=4), algorithm="dpsize", turbo=True)
+
+
+def test_effective_defaults():
+    serial = OptimizerConfig(algorithm="dpsize")
+    assert not serial.is_parallel
+    parallel = OptimizerConfig(algorithm="dpsva", threads=4)
+    assert parallel.is_parallel
+    assert parallel.effective_backend == "simulated"
+    assert parallel.effective_allocation == "equi_depth"
+    assert parallel.effective_oversubscription >= 1
+    assert not parallel.effective_tracer.enabled
+
+
+# -- typed accessors -----------------------------------------------------
+
+
+def test_typed_accessors_parallel():
+    tracer = RecordingTracer()
+    result = optimize(
+        query_for("star", 6, seed=4),
+        config=OptimizerConfig(algorithm="dpsva", threads=2, tracer=tracer),
+    )
+    assert result.sim_report is result.extras["sim_report"]
+    assert result.trace is tracer
+    assert result.work_meter is result.meter
+
+
+def test_typed_accessors_serial_defaults():
+    result = optimize(query_for(n=5), algorithm="dpsize")
+    assert result.sim_report is None
+    assert result.trace is None
+    assert result.work_meter.pairs_considered > 0
+
+
+def test_optimize_sql_forwards_label(monkeypatch):
+    from repro.catalog import generate_catalog
+    from repro.sql import api as sql_api
+    from repro.sql import optimize_sql, sql_to_query
+
+    catalog = generate_catalog(4, seed=0)
+    sql = "SELECT * FROM t0 a, t1 b WHERE a.c0 = b.c0"
+    assert sql_to_query(sql, catalog, label="my-query").label == "my-query"
+
+    seen = {}
+    original = sql_api.sql_to_query
+
+    def spy(sql, catalog, label="sql"):
+        seen["label"] = label
+        return original(sql, catalog, label=label)
+
+    monkeypatch.setattr(sql_api, "sql_to_query", spy)
+    result = optimize_sql(sql, catalog, label="my-query", algorithm="dpsize")
+    assert seen["label"] == "my-query"
+    assert result.cost > 0

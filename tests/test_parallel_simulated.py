@@ -175,14 +175,14 @@ def test_dynamic_allocation_oracle():
 
 
 def test_dynamic_allocation_rejected_by_real_backends():
-    query = query_for("chain", 5, seed=14)
+    # The config validates at construction now, so the combination is
+    # rejected before a query is ever submitted.
     for backend in ("threads", "processes"):
-        optimizer = ParallelDP(
-            algorithm="dpsize", threads=2, allocation="dynamic",
-            backend=backend,
-        )
         with pytest.raises(ValidationError):
-            optimizer.optimize(query)
+            ParallelDP(
+                algorithm="dpsize", threads=2, allocation="dynamic",
+                backend=backend,
+            )
 
 
 def test_parallel_validation():

@@ -1,0 +1,266 @@
+"""The trace subsystem: tracer primitives, instrumentation coverage,
+JSONL round-trips, cross-process aggregation, and CLI rendering.
+
+The contract under test is the one docs/observability.md promises:
+``NullTracer`` costs nothing, ``RecordingTracer`` sees per-stratum spans
+and per-worker counters on every backend, and a saved trace file renders
+back into the same tables.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro import (
+    NullTracer,
+    OptimizerConfig,
+    RecordingTracer,
+    TraceEvent,
+    Workload,
+    WorkloadSpec,
+    optimize,
+)
+from repro.cli import main as cli_main
+from repro.trace import (
+    NULL_TRACER,
+    events_to_jsonl,
+    parse_jsonl,
+    per_stratum_rows,
+    per_worker_rows,
+    read_jsonl,
+    render_trace,
+    trace_summary,
+    tracer_from_jsonl,
+    write_jsonl,
+)
+
+BACKENDS = ["simulated", "threads"]
+if sys.platform in ("linux", "darwin"):
+    BACKENDS.append("processes")
+
+
+def query_for(topology="star", n=7, seed=3):
+    return Workload(WorkloadSpec(topology, n, seed=seed))[0]
+
+
+# -- primitives ----------------------------------------------------------
+
+
+def test_span_nesting_depths():
+    tracer = RecordingTracer()
+    with tracer.span("outer"):
+        with tracer.span("middle"):
+            with tracer.span("inner"):
+                pass
+    by_name = {e.name: e for e in tracer.events}
+    assert by_name["outer"].depth == 0
+    assert by_name["middle"].depth == 1
+    assert by_name["inner"].depth == 2
+    # Spans record on exit, so the innermost lands first.
+    assert [e.name for e in tracer.events] == ["inner", "middle", "outer"]
+
+
+def test_span_records_on_exception():
+    tracer = RecordingTracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    assert len(tracer.spans("doomed")) == 1
+
+
+def test_counters_and_gauges():
+    tracer = RecordingTracer()
+    tracer.counter("hits")
+    tracer.counter("hits", 4, size=2)
+    tracer.gauge("level", 0.5, worker=1)
+    assert tracer.total("hits") == 5
+    assert tracer.counters("hits")[1].attrs == {"size": 2}
+    assert tracer.gauges("level")[0].value == 0.5
+
+
+def test_null_tracer_is_free():
+    null = NullTracer()
+    assert not null.enabled
+    # The span context manager is one shared singleton: a disabled trace
+    # point allocates nothing.
+    assert null.span("a") is null.span("b", size=3)
+    assert null.span("a") is NULL_TRACER.span("a")
+    null.counter("x")
+    null.gauge("y", 1.0)  # no-ops, nothing to assert beyond not raising
+
+
+def test_recording_tracer_is_truthy_when_empty():
+    # Regression: ``__len__`` made a fresh tracer falsy, which silently
+    # disabled ``if tracer:`` guards in the process executor.
+    tracer = RecordingTracer()
+    assert len(tracer) == 0
+    assert bool(tracer)
+
+
+def test_ingest_stamps_extra_attrs():
+    child = RecordingTracer()
+    with child.span("worker.stratum", size=2):
+        pass
+    parent = RecordingTracer()
+    parent.ingest(child.payload(), worker=7)
+    (span,) = parent.spans("worker.stratum")
+    assert span.attrs == {"size": 2, "worker": 7}
+
+
+# -- instrumentation coverage -------------------------------------------
+
+
+@pytest.mark.parametrize("algorithm", ["dpsize", "dpsub", "dpccp", "dpsva"])
+def test_serial_enumerators_emit_strata(algorithm):
+    tracer = RecordingTracer()
+    result = optimize(
+        query_for(n=6),
+        config=OptimizerConfig(algorithm=algorithm, tracer=tracer),
+    )
+    assert result.trace is tracer
+    assert len(tracer.spans("optimize")) == 1
+    sizes = sorted(e.attrs["size"] for e in tracer.spans("stratum"))
+    assert sizes == [2, 3, 4, 5, 6]
+    assert tracer.total("pairs.considered") == result.meter.pairs_considered
+    assert tracer.total("memo.inserts") == result.meter.memo_inserts
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_parallel_backends_emit_strata_and_workers(backend):
+    tracer = RecordingTracer()
+    result = optimize(
+        query_for(n=7),
+        config=OptimizerConfig(
+            algorithm="dpsize", threads=4, backend=backend, tracer=tracer
+        ),
+    )
+    serial = optimize(query_for(n=7), algorithm="dpsize")
+    assert result.cost == serial.cost
+    sizes = sorted(e.attrs["size"] for e in tracer.spans("stratum"))
+    assert sizes == [2, 3, 4, 5, 6, 7]
+    workers = {e.attrs["worker"] for e in tracer.counters("worker.units")}
+    assert workers == {0, 1, 2, 3}
+    # Every stratum reports one units count and one barrier gauge per
+    # worker, on every backend.
+    assert len(tracer.counters("worker.units")) == 6 * 4
+    assert len(tracer.gauges("worker.barrier_wait")) == 6 * 4
+    assert all(g.value >= 0 for g in tracer.gauges("worker.barrier_wait"))
+
+
+@pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="needs fork()"
+)
+def test_process_backend_aggregates_child_spans():
+    tracer = RecordingTracer()
+    optimize(
+        query_for(n=7),
+        config=OptimizerConfig(
+            algorithm="dpsize", threads=4, backend="processes", tracer=tracer
+        ),
+    )
+    child_spans = tracer.spans("worker.stratum")
+    # 6 strata x 4 workers, each stamped with its worker id on ingest.
+    assert len(child_spans) == 6 * 4
+    assert {e.attrs["worker"] for e in child_spans} == {0, 1, 2, 3}
+    assert {e.attrs["size"] for e in child_spans} == {2, 3, 4, 5, 6, 7}
+
+
+def test_disabled_tracing_leaves_no_extras():
+    result = optimize(query_for(n=6), algorithm="dpsize")
+    assert result.trace is None
+    assert "trace" not in result.extras
+
+
+def test_memo_contention_counter_exists():
+    tracer = RecordingTracer()
+    result = optimize(
+        query_for(n=7),
+        config=OptimizerConfig(
+            algorithm="dpsize", threads=4, backend="threads", tracer=tracer
+        ),
+    )
+    # Contention is workload-dependent; the invariant is that every latch
+    # take was metered and the counter never exceeds acquisitions.
+    assert result.meter.latch_acquisitions >= result.meter.pairs_valid
+    assert result.meter.latch_contended <= result.meter.latch_acquisitions
+
+
+# -- export / render ----------------------------------------------------
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = RecordingTracer()
+    with tracer.span("optimize", algorithm="dpsize"):
+        tracer.counter("pairs.considered", 12, size=2)
+        tracer.gauge("worker.busy", 1.5, size=2, worker=0)
+    path = tmp_path / "run.jsonl"
+    write_jsonl(tracer.events, str(path), meta={"threads": 4})
+    events, meta = read_jsonl(str(path))
+    assert meta["format"] == "repro-trace/1"
+    assert meta["threads"] == 4
+    assert [e.as_dict() for e in events] == [
+        e.as_dict() for e in tracer.events
+    ]
+    # And the text form parses identically.
+    assert parse_jsonl(events_to_jsonl(tracer.events))[0][0].name in {
+        "pairs.considered",
+        "optimize",
+    }
+    loaded = tracer_from_jsonl(str(path))
+    assert len(loaded) == len(tracer)
+
+
+def test_event_dict_round_trip():
+    event = TraceEvent(
+        kind="span", name="stratum", value=0.25, start=1.0, depth=1,
+        attrs={"size": 3},
+    )
+    assert TraceEvent.from_dict(event.as_dict()) == event
+
+
+def test_render_tables_from_real_run():
+    tracer = RecordingTracer()
+    optimize(
+        query_for(n=7),
+        config=OptimizerConfig(algorithm="dpsva", threads=4, tracer=tracer),
+    )
+    strata = per_stratum_rows(tracer.events)
+    assert [row["size"] for row in strata] == [2, 3, 4, 5, 6, 7]
+    assert all(row["span_s"] > 0 for row in strata)
+    workers = per_worker_rows(tracer.events)
+    assert [row["worker"] for row in workers] == [0, 1, 2, 3]
+    summary = trace_summary(tracer.events)
+    assert summary["strata"] == 6
+    assert summary["events"] == len(tracer)
+    text = render_trace(tracer.events, {"threads": 4})
+    assert "per-stratum:" in text and "per-worker:" in text
+
+
+# -- CLI -----------------------------------------------------------------
+
+
+def test_cli_trace_round_trip(tmp_path, capsys):
+    path = tmp_path / "run.jsonl"
+    rc = cli_main(
+        [
+            "optimize", "--topology", "star", "-n", "7",
+            "--threads", "4", "--trace", str(path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "per-stratum:" in out and "per-worker:" in out
+    assert path.exists()
+
+    rc = cli_main(["trace", str(path), "--by", "worker"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "per-worker:" in out and "per-stratum:" not in out
+
+
+def test_cli_trace_missing_file(capsys):
+    rc = cli_main(["trace", "/nonexistent/trace.jsonl"])
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err
