@@ -1,6 +1,6 @@
 """Shared infrastructure for the experiment benchmarks.
 
-Each experiment (E1–E9, indexed in DESIGN.md) regenerates its table or
+Each experiment (E1–E10, indexed in DESIGN.md) regenerates its table or
 figure rows, writes them to ``benchmarks/results/`` as both a rendered
 table and CSV, and prints the table so ``pytest benchmarks/ -s`` shows the
 full reproduction output inline.

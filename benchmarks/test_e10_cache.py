@@ -1,0 +1,39 @@
+"""E10 — plan-cache amortization under repeated traffic.
+
+The serving-layer counterpart to E1–E8: once the optimizer sits behind
+``OptimizerService``, an exponential DP run is paid once per *distinct*
+query and every recurrence is answered from the plan cache in
+microseconds.  The grid replays ``distinct`` star queries round-robin at
+increasing repeat factors; expected shape: hit rate climbs toward
+``1 - 1/repeat``, throughput scales with it, and the hit/cold latency
+ratio stays ≥ 3 orders of magnitude (the acceptance floor is 10×).
+"""
+
+from __future__ import annotations
+
+from repro import OptimizerConfig, OptimizerService
+from repro.bench import cache_workload, format_table
+from repro.query import WorkloadSpec, generate_query
+
+
+def test_e10_cache_amortization(benchmark, publish):
+    rows = cache_workload("star", 10, distinct=4, repeats=(1, 2, 5, 10),
+                          seed=10)
+    publish("e10_cache", format_table(rows), rows)
+
+    for row in rows:
+        expected_hit_rate = 1.0 - row["distinct"] / row["requests"]
+        assert abs(row["hit_rate"] - expected_hit_rate) < 1e-6
+    # Acceptance: >= 10x latency reduction on hits (measured ~1000x+).
+    warm = [r for r in rows if r["hit_rate"] > 0]
+    assert all(r["hit_speedup"] >= 10 for r in warm)
+    # Throughput grows with the hit rate.
+    assert warm[-1]["qps"] > rows[0]["qps"]
+
+    query = generate_query(WorkloadSpec("star", 10, seed=10))
+    svc = OptimizerService(OptimizerConfig(algorithm="dpsize"))
+    svc.optimize(query)  # warm
+    try:
+        benchmark(lambda: svc.optimize(query))
+    finally:
+        svc.close()

@@ -17,6 +17,16 @@ Quick start::
     )
     print(result.summary())
     print(result.sim_report.summary())
+
+Repeated traffic goes through the serving layer (:mod:`repro.service`)
+— a fingerprint-keyed plan cache with singleflight deduplication and
+deadline degradation::
+
+    from repro import OptimizerService
+
+    with OptimizerService(OptimizerConfig(algorithm="dpsize")) as svc:
+        svc.optimize(query)             # cold: runs the DP
+        svc.optimize(query).source      # "hit" — microseconds
 """
 
 from repro.catalog import Catalog, Column, TableStats, generate_catalog
@@ -57,22 +67,7 @@ from repro.trace import (
 )
 from repro.util.errors import OptimizationError, ReproError, ValidationError
 
-__version__ = "1.1.0"
-
-_SERIAL = {
-    "dpsize": DPsize,
-    "dpsub": DPsub,
-    "dpccp": DPccp,
-    "dpsva": DPsva,
-    "exhaustive": ExhaustiveEnumerator,
-}
-
-_HEURISTIC = {
-    "goo": GOO,
-    "ikkbz": IKKBZ,
-    "iterated_improvement": IteratedImprovement,
-    "simulated_annealing": SimulatedAnnealing,
-}
+__version__ = "1.2.0"
 
 
 def optimize(
@@ -140,44 +135,54 @@ def optimize(
 
 
 def _run(query, config: OptimizerConfig) -> OptimizationResult:
-    """Dispatch a validated config to the right optimizer."""
+    """Dispatch a validated config to its (cached) optimizer.
+
+    All per-call derivation is hoisted onto the frozen config: the
+    optimizer instance (``config.runner``), the resolved cost model
+    (``config.effective_cost_model``), and the dispatch classification
+    are each computed once and reused by every call carrying the same
+    config object.
+    """
+    cost_model = config.effective_cost_model
+    runner = config.runner
+    if config.runner_self_traced:
+        # ParallelDP and the stratified serial enumerators emit their own
+        # ``optimize`` span and attach the trace to the result.
+        return runner.optimize(query, cost_model=cost_model)
+    # Brute force and the heuristics have no stratified structure to
+    # trace; wrap the whole run in one span so the trace still shows it.
     tracer = config.effective_tracer
-    if config.is_parallel:
-        return ParallelDP(config=config).optimize(query)
-    algorithm = config.algorithm
-    cost_model = config.cost_model
-    cross_products = config.cross_products
-    if algorithm in _SERIAL:
-        if algorithm == "exhaustive":
-            # Brute force has no stratified structure to trace; wrap the
-            # whole run in one span so the trace still shows it.
-            with tracer.span("optimize", algorithm=algorithm):
-                result = ExhaustiveEnumerator(
-                    cross_products=cross_products
-                ).optimize(query, cost_model=cost_model)
-        else:
-            return _SERIAL[algorithm](
-                cross_products=cross_products, tracer=tracer
-            ).optimize(query, cost_model=cost_model)
-    else:
-        with tracer.span("optimize", algorithm=algorithm):
-            if algorithm == "goo":
-                result = GOO(cross_products=cross_products).optimize(
-                    query, cost_model=cost_model
-                )
-            else:
-                result = _HEURISTIC[algorithm]().optimize(
-                    query, cost_model=cost_model
-                )
+    with tracer.span("optimize", algorithm=config.algorithm):
+        result = runner.optimize(query, cost_model=cost_model)
     if tracer.enabled:
         result.extras.setdefault("trace", tracer)
     return result
 
 
+# Imported after optimize/_run are defined: the service calls back into
+# _run lazily, so this late import is cycle-free by construction.
+from repro.service import (  # noqa: E402
+    CacheStats,
+    OptimizerService,
+    PlanCache,
+    QueryFingerprint,
+    ServiceResult,
+    ServiceStats,
+    fingerprint_query,
+)
+
 __all__ = [
     "__version__",
     "optimize",
     "OptimizerConfig",
+    # serving layer
+    "OptimizerService",
+    "ServiceResult",
+    "ServiceStats",
+    "PlanCache",
+    "CacheStats",
+    "QueryFingerprint",
+    "fingerprint_query",
     # observability
     "Tracer",
     "NullTracer",

@@ -16,6 +16,7 @@ from repro.bench.manifest import (
 from repro.bench.reporting import format_table, render_curve, rows_to_csv
 from repro.bench.runner import (
     allocation_comparison,
+    cache_workload,
     heuristic_quality,
     median,
     run_serial_grid,
@@ -38,6 +39,7 @@ __all__ = [
     "sva_effectiveness",
     "speedup_curve",
     "allocation_comparison",
+    "cache_workload",
     "size_scaling",
     "heuristic_quality",
 ]

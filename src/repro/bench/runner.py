@@ -9,6 +9,7 @@ optimized and the *median* is reported, mirroring the paper's methodology
 from __future__ import annotations
 
 import statistics
+import time
 
 from repro.cost.model import CostModel, StandardCostModel
 from repro.enumerate import SERIAL_ALGORITHMS
@@ -276,6 +277,66 @@ def size_scaling(
                     "busy": median(r.busy_total for r in reports),
                 }
             )
+    return rows
+
+
+def cache_workload(
+    topology: str,
+    n: int,
+    algorithm: str = "dpsize",
+    distinct: int = 4,
+    repeats=(1, 2, 5, 10),
+    cache_size: int | None = None,
+    seed: int = 0,
+    threads: int | None = None,
+) -> list[dict]:
+    """E10: plan-cache hit rate and latency under repeated traffic.
+
+    For each repeat factor, ``distinct`` queries are issued round-robin
+    ``repeats`` times through one fresh
+    :class:`~repro.service.OptimizerService`; the row reports the
+    measured hit rate, the median cold (miss) and warm (hit) service
+    latencies, the hit speedup (cold over warm — the amortization a
+    serving loop buys), and end-to-end throughput.
+    """
+    from repro.config import OptimizerConfig
+    from repro.service import OptimizerService
+
+    rows: list[dict] = []
+    qs = _queries(topology, n, distinct, seed)
+    for repeat in repeats:
+        config = OptimizerConfig(
+            algorithm=algorithm, threads=threads, cache_size=cache_size
+        )
+        stream = [qs[i % distinct] for i in range(distinct * repeat)]
+        cold_ms: list[float] = []
+        warm_ms: list[float] = []
+        with OptimizerService(config) as service:
+            started = time.perf_counter()
+            outcomes = [service.optimize(q) for q in stream]
+            wall = time.perf_counter() - started
+            stats = service.stats()
+        for outcome in outcomes:
+            bucket = cold_ms if outcome.source == "miss" else warm_ms
+            bucket.append(outcome.elapsed_seconds * 1e3)
+        rows.append(
+            {
+                "topology": topology,
+                "n": n,
+                "algorithm": algorithm,
+                "distinct": distinct,
+                "requests": len(stream),
+                "hit_rate": round(stats.plan_cache.hit_rate, 4),
+                "cold_ms": median(cold_ms) if cold_ms else 0.0,
+                "hit_ms": median(warm_ms) if warm_ms else 0.0,
+                "hit_speedup": (
+                    median(cold_ms) / median(warm_ms)
+                    if cold_ms and warm_ms and median(warm_ms) > 0
+                    else 0.0
+                ),
+                "qps": len(stream) / wall if wall > 0 else 0.0,
+            }
+        )
     return rows
 
 

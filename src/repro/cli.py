@@ -1,30 +1,37 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro optimize --topology star -n 12 --threads 8 --explain
     python -m repro optimize --sql "SELECT * FROM t0 a, t0 b WHERE a.c0 = b.c1" \\
         --catalog-tables 8
+    python -m repro optimize --topology star -n 12 --cache --repeat 3
     python -m repro optimize --topology star -n 12 --threads 8 --trace run.jsonl
     python -m repro trace run.jsonl --by worker
-    python -m repro bench --experiment speedup --topology clique -n 10
+    python -m repro serve-batch --topology star -n 10 --queries 4 --repeat 10
+    python -m repro bench --experiment cache --topology star -n 10
     python -m repro inspect --topology cycle -n 9
 
-``optimize`` runs one query end to end (``--trace PATH`` records the run
-into a JSONL trace file and prints its summary tables), ``trace`` renders
-a previously saved trace file, ``bench`` regenerates one of the experiment
-families on a compact grid, ``inspect`` prints a query's statistics and
-search-space numbers.
+``optimize`` runs one query end to end (``--cache`` routes it through an
+:class:`~repro.service.OptimizerService` and prints cache provenance;
+``--trace PATH`` records the run into a JSONL trace file and prints its
+summary tables), ``trace`` renders a previously saved trace file,
+``serve-batch`` replays a repeated workload through the concurrent
+optimization service and reports hit rates and latency, ``bench``
+regenerates one of the experiment families on a compact grid, ``inspect``
+prints a query's statistics and search-space numbers.
 """
 
 from __future__ import annotations
 
 import argparse
+import statistics
 import sys
 
-from repro import __version__, optimize
+from repro import OptimizerConfig, OptimizerService, __version__, optimize
 from repro.bench import (
     allocation_comparison,
+    cache_workload,
     format_table,
     render_curve,
     run_serial_grid,
@@ -76,9 +83,59 @@ def _build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--cross-products", action="store_true")
     opt.add_argument("--explain", action="store_true", help="print the plan")
     opt.add_argument(
+        "--cache", action="store_true",
+        help="route the request through an OptimizerService plan cache "
+        "and print cache provenance",
+    )
+    opt.add_argument(
+        "--repeat", type=int, default=1,
+        help="issue the request this many times (with --cache, repeats "
+        "after the first are served from the plan cache)",
+    )
+    opt.add_argument(
         "--trace", metavar="PATH", default=None,
         help="record a trace of the run to PATH (JSONL) and print its "
         "summary tables",
+    )
+
+    serve = sub.add_parser(
+        "serve-batch",
+        help="replay a repeated workload through the optimization service",
+    )
+    serve.add_argument(
+        "--topology", choices=sorted(TOPOLOGIES), default="star"
+    )
+    serve.add_argument("-n", "--relations", type=int, default=10)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--queries", type=int, default=4,
+        help="number of distinct queries in the workload",
+    )
+    serve.add_argument(
+        "--repeat", type=int, default=10,
+        help="times each distinct query recurs in the request stream",
+    )
+    serve.add_argument(
+        "--algorithm", default="dpsize",
+        help="dpsize/dpsub/dpccp/dpsva/exhaustive or a heuristic name",
+    )
+    serve.add_argument("--threads", type=int, default=None)
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="service worker-pool size",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=None,
+        help="plan-cache capacity (entries)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds (expiry degrades to a "
+        "heuristic plan)",
+    )
+    serve.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record service + optimizer events to PATH (JSONL)",
     )
 
     trace = sub.add_parser(
@@ -93,7 +150,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="regenerate an experiment family")
     bench.add_argument(
         "--experiment",
-        choices=("serial", "sva", "speedup", "allocation"),
+        choices=("serial", "sva", "speedup", "allocation", "cache"),
         default="speedup",
     )
     bench.add_argument("--topology", choices=sorted(TOPOLOGIES), default="star")
@@ -111,44 +168,58 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_config(args, tracer) -> "OptimizerConfig":
+    """Resolve CLI optimizer arguments into one OptimizerConfig."""
+    kwargs = dict(
+        algorithm=args.algorithm,
+        threads=args.threads,
+        cross_products=getattr(args, "cross_products", False),
+        tracer=tracer,
+    )
+    if args.threads:
+        kwargs.update(
+            allocation=getattr(args, "allocation", None),
+            backend=getattr(args, "backend", None),
+        )
+    return OptimizerConfig(**kwargs)
+
+
 def _cmd_optimize(args) -> int:
     tracer = RecordingTracer() if args.trace else None
-    trace_options = {"tracer": tracer} if tracer is not None else {}
     if args.sql:
-        from repro.sql import optimize_sql
+        from repro.sql import sql_to_query
 
         catalog = generate_catalog(args.catalog_tables, seed=args.seed)
-        result = optimize_sql(
-            args.sql,
-            catalog,
-            algorithm=args.algorithm,
-            threads=args.threads,
-            **(
-                {"allocation": args.allocation, "backend": args.backend}
-                if args.threads
-                else {}
-            ),
-            **trace_options,
-        )
+        query = sql_to_query(args.sql, catalog)
         names = None
+        if not query.graph.is_connected():
+            args.cross_products = True
     else:
         query = generate_query(
             WorkloadSpec(args.topology, args.relations, seed=args.seed)
         )
-        options = dict(trace_options)
-        if args.threads:
-            options.update(
-                allocation=args.allocation,
-                backend=args.backend,
-            )
-        result = optimize(
-            query,
-            algorithm=args.algorithm,
-            threads=args.threads,
-            cross_products=args.cross_products,
-            **options,
-        )
         names = query.relation_names
+    config = _build_config(args, tracer)
+    repeat = max(1, args.repeat)
+    if args.cache:
+        with OptimizerService(config) as service:
+            outcomes = [service.optimize(query) for _ in range(repeat)]
+            stats = service.stats()
+        for index, outcome in enumerate(outcomes):
+            print(
+                f"request {index}: source={outcome.source} "
+                f"fingerprint={outcome.fingerprint.short()} "
+                f"latency={outcome.elapsed_seconds * 1e3:.3f}ms"
+            )
+        cache = stats.plan_cache
+        print(
+            f"plan cache: hits={cache.hits} misses={cache.misses} "
+            f"hit_rate={cache.hit_rate:.2f} evictions={cache.evictions}"
+        )
+        result = outcomes[-1].result
+    else:
+        for _ in range(repeat):
+            result = optimize(query, config=config)
     print(result.summary())
     report = result.sim_report
     if report is not None:
@@ -161,6 +232,73 @@ def _cmd_optimize(args) -> int:
             "threads": args.threads or 1,
             "backend": args.backend if args.threads else "serial",
             "query": args.sql or f"{args.topology}/{args.relations}",
+        }
+        try:
+            write_jsonl(tracer.events, args.trace, meta)
+        except OSError as exc:
+            print(f"error: cannot write trace file: {exc}", file=sys.stderr)
+            return 1
+        print(f"\ntrace: {len(tracer)} events -> {args.trace}")
+        print()
+        print(render_trace(tracer.events, meta))
+    return 0
+
+
+def _cmd_serve_batch(args) -> int:
+    import time
+
+    tracer = RecordingTracer() if args.trace else None
+    distinct = max(1, args.queries)
+    spec = WorkloadSpec(
+        args.topology, args.relations, seed=args.seed, count=distinct
+    )
+    queries = [generate_query(spec, i) for i in range(distinct)]
+    stream = [queries[i % distinct] for i in range(distinct * args.repeat)]
+    config = OptimizerConfig(
+        algorithm=args.algorithm,
+        threads=args.threads,
+        service_workers=args.workers,
+        cache_size=args.cache_size,
+        request_timeout=args.timeout,
+        tracer=tracer,
+    )
+    with OptimizerService(config) as service:
+        started = time.perf_counter()
+        outcomes = service.optimize_batch(stream)
+        wall = time.perf_counter() - started
+        stats = service.stats()
+    latencies = sorted(o.elapsed_seconds * 1e3 for o in outcomes)
+    sources = {source: 0 for source in ("miss", "hit", "shared", "fallback")}
+    for outcome in outcomes:
+        sources[outcome.source] += 1
+    cache = stats.plan_cache
+    print(
+        f"serve-batch: {args.topology} n={args.relations} "
+        f"distinct={distinct} repeat={args.repeat} requests={len(stream)} "
+        f"algorithm={args.algorithm}"
+    )
+    print(f"wall: {wall:.3f}s  throughput: {len(stream) / wall:.1f} req/s")
+    print(
+        f"latency ms: p50={statistics.median(latencies):.3f} "
+        f"p95={latencies[int(0.95 * (len(latencies) - 1))]:.3f} "
+        f"max={latencies[-1]:.3f}"
+    )
+    print(
+        "sources: "
+        + " ".join(f"{name}={count}" for name, count in sources.items())
+    )
+    print(
+        f"plan cache: hits={cache.hits} misses={cache.misses} "
+        f"hit_rate={cache.hit_rate:.2f} evictions={cache.evictions} "
+        f"stale={cache.stale}"
+    )
+    if tracer is not None:
+        meta = {
+            "command": "serve-batch",
+            "algorithm": args.algorithm,
+            "requests": len(stream),
+            "distinct": distinct,
+            "query": f"{args.topology}/{args.relations}",
         }
         try:
             write_jsonl(tracer.events, args.trace, meta)
@@ -211,6 +349,12 @@ def _cmd_bench(args) -> int:
                 label=f"speedup — {args.topology} n={args.relations}",
             )
         )
+    elif args.experiment == "cache":
+        rows = cache_workload(
+            args.topology, args.relations,
+            distinct=args.queries, seed=args.seed,
+        )
+        print(format_table(rows))
     else:  # allocation
         rows = allocation_comparison(
             args.topology, args.relations,
@@ -251,6 +395,8 @@ def main(argv=None) -> int:
     try:
         if args.command == "optimize":
             return _cmd_optimize(args)
+        if args.command == "serve-batch":
+            return _cmd_serve_batch(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "bench":

@@ -13,19 +13,38 @@ across the call sites.
 
 The legacy keyword path (``optimize(query, algorithm=..., threads=...)``)
 still works: it is a thin shim over :meth:`OptimizerConfig.from_kwargs`.
-New code should construct the config directly::
+New code should construct the config directly:
 
-    from repro import OptimizerConfig, RecordingTracer, optimize
+>>> from repro import OptimizerConfig
+>>> config = OptimizerConfig(algorithm="dpsva", threads=8)
+>>> config.is_parallel
+True
+>>> config.effective_backend
+'simulated'
+>>> config.with_options(threads=None).is_parallel
+False
 
-    config = OptimizerConfig(
-        algorithm="dpsva", threads=8, tracer=RecordingTracer()
-    )
-    result = optimize(query, config=config)
+Because the config is frozen, per-call derivations are hoisted onto it
+and computed exactly once: the resolved cost model, the plan-relevant
+digest, and the serial-runner dispatch are all cached properties, so
+calling :func:`repro.optimize` twice with the same config re-derives
+nothing:
+
+>>> config.effective_cost_model is config.effective_cost_model
+True
+
+The service knobs (``cache_size``, ``cache_ttl``, ``service_workers``,
+``request_timeout``, ``fallback_algorithm``) size an
+:class:`~repro.service.OptimizerService` built from the config; they
+never influence which plan is chosen and are therefore excluded from
+:attr:`OptimizerConfig.digest` (the fingerprint/cache identity).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+from dataclasses import dataclass, fields as dataclass_fields, replace
+from functools import cached_property
 
 from repro.cost.model import CostModel
 from repro.enumerate import SERIAL_ALGORITHMS
@@ -52,6 +71,19 @@ DEFAULT_BACKEND = "simulated"
 DEFAULT_ALLOCATION = "equi_depth"
 DEFAULT_OVERSUBSCRIPTION = 4
 
+DEFAULT_CACHE_SIZE = 256
+DEFAULT_SERVICE_WORKERS = 4
+DEFAULT_FALLBACK_ALGORITHM = "goo"
+
+_SERVICE_ONLY = (
+    "cache_size",
+    "cache_ttl",
+    "service_workers",
+    "request_timeout",
+    "fallback_algorithm",
+)
+"""Fields that size an OptimizerService; excluded from the plan digest."""
+
 
 @dataclass(frozen=True)
 class OptimizerConfig:
@@ -71,6 +103,18 @@ class OptimizerConfig:
         sim_params: Virtual cost parameters for the simulated backend.
         tracer: Observability sink (:mod:`repro.trace`); ``None`` disables
             tracing at zero cost.
+        cache_size: Plan-cache capacity for an
+            :class:`~repro.service.OptimizerService` built from this
+            config; ``None`` = default.
+        cache_ttl: Plan-cache time-to-live in seconds; ``None`` disables
+            expiry.
+        service_workers: Worker-pool size of the service; ``None`` =
+            default.
+        request_timeout: Per-request service deadline in seconds, after
+            which a heuristic plan is returned; ``None`` waits
+            indefinitely.
+        fallback_algorithm: Heuristic used when a deadline expires;
+            ``None`` = default (``goo``).
     """
 
     algorithm: str = "dpsize"
@@ -82,6 +126,11 @@ class OptimizerConfig:
     oversubscription: int | None = None
     sim_params: SimCostParams | None = None
     tracer: Tracer | None = None
+    cache_size: int | None = None
+    cache_ttl: float | None = None
+    service_workers: int | None = None
+    request_timeout: float | None = None
+    fallback_algorithm: str | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALL_ALGORITHMS:
@@ -141,6 +190,31 @@ class OptimizerConfig:
                 "dynamic allocation is only supported by the simulated "
                 "backend"
             )
+        if self.cache_size is not None and self.cache_size < 1:
+            raise ValidationError(
+                f"cache_size must be >= 1, got {self.cache_size}"
+            )
+        if self.cache_ttl is not None and self.cache_ttl <= 0:
+            raise ValidationError(
+                f"cache_ttl must be positive, got {self.cache_ttl}"
+            )
+        if self.service_workers is not None and self.service_workers < 1:
+            raise ValidationError(
+                f"service_workers must be >= 1, got {self.service_workers}"
+            )
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValidationError(
+                f"request_timeout must be positive, got "
+                f"{self.request_timeout}"
+            )
+        if (
+            self.fallback_algorithm is not None
+            and self.fallback_algorithm not in HEURISTIC_NAMES
+        ):
+            raise ValidationError(
+                f"fallback_algorithm {self.fallback_algorithm!r} is not a "
+                f"heuristic; expected one of {list(HEURISTIC_NAMES)}"
+            )
 
     # -- resolved values ------------------------------------------------
 
@@ -176,6 +250,122 @@ class OptimizerConfig:
     def effective_tracer(self) -> Tracer:
         """Tracer with the null default applied."""
         return self.tracer if self.tracer is not None else NULL_TRACER
+
+    @property
+    def effective_cache_size(self) -> int:
+        """Plan-cache capacity with the default applied."""
+        return (
+            self.cache_size
+            if self.cache_size is not None
+            else DEFAULT_CACHE_SIZE
+        )
+
+    @property
+    def effective_service_workers(self) -> int:
+        """Service worker-pool size with the default applied."""
+        return (
+            self.service_workers
+            if self.service_workers is not None
+            else DEFAULT_SERVICE_WORKERS
+        )
+
+    @property
+    def effective_fallback_algorithm(self) -> str:
+        """Deadline-fallback heuristic with the default applied."""
+        return (
+            self.fallback_algorithm
+            if self.fallback_algorithm is not None
+            else DEFAULT_FALLBACK_ALGORITHM
+        )
+
+    # -- cached derivations ---------------------------------------------
+    # The config is frozen, so anything derived from it is computed once
+    # and reused by every optimize() call that carries the same config.
+    # (functools.cached_property writes straight into the instance
+    # __dict__, which bypasses the frozen dataclass's __setattr__.)
+
+    @cached_property
+    def effective_cost_model(self) -> CostModel:
+        """Cost model with the default applied — one instance per config.
+
+        Previously every ``optimize()`` call on a default-cost-model
+        config constructed a fresh ``StandardCostModel``; hoisting the
+        instantiation here makes repeated calls with one frozen config
+        reuse a single instance (cost models are stateless by contract).
+        """
+        from repro.cost.model import StandardCostModel
+
+        return (
+            self.cost_model
+            if self.cost_model is not None
+            else StandardCostModel()
+        )
+
+    @cached_property
+    def digest(self) -> str:
+        """Hex digest of every plan-relevant field (cached).
+
+        This is the config component of a query fingerprint
+        (:mod:`repro.service.fingerprint`): two configs with the same
+        digest are guaranteed to choose the same plan for the same query.
+        Excluded by construction: the tracer (observability never changes
+        the plan) and the service knobs (they size the serving layer, not
+        the search).
+        """
+        excluded = set(_SERVICE_ONLY) | {"tracer", "cost_model"}
+        parts = [
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in dataclass_fields(self)
+            if f.name not in excluded
+        ]
+        parts.append(f"cost_model={self.effective_cost_model!r}")
+        payload = "|".join(["repro.config.v1", *parts])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @cached_property
+    def runner(self):
+        """The optimizer instance this config dispatches to (cached).
+
+        Resolved once per config: repeated :func:`repro.optimize` calls
+        with the same frozen config reuse one optimizer object instead of
+        re-consulting the registries and re-constructing it.  Safe
+        because every optimizer in the repo is stateless across
+        ``optimize()`` calls (run state lives in per-call locals; the
+        randomized heuristics derive a fresh RNG from their seed each
+        call).
+        """
+        if self.is_parallel:
+            from repro.parallel.scheduler import ParallelDP
+
+            return ParallelDP(config=self)
+        if self.algorithm in SERIAL_ALGORITHMS:
+            return SERIAL_ALGORITHMS[self.algorithm](
+                cross_products=self.cross_products,
+                tracer=self.effective_tracer,
+            )
+        if self.algorithm == "dpsva":
+            from repro.sva.dpsva import DPsva
+
+            return DPsva(
+                cross_products=self.cross_products,
+                tracer=self.effective_tracer,
+            )
+        if self.algorithm == "exhaustive":
+            from repro.enumerate.exhaustive import ExhaustiveEnumerator
+
+            return ExhaustiveEnumerator(cross_products=self.cross_products)
+        if self.algorithm == "goo":
+            return HEURISTICS["goo"](cross_products=self.cross_products)
+        return HEURISTICS[self.algorithm]()
+
+    @property
+    def runner_self_traced(self) -> bool:
+        """True when :attr:`runner` emits its own ``optimize`` span and
+        attaches the trace itself (parallel framework and the stratified
+        serial DP enumerators); the front door wraps the others."""
+        return self.is_parallel or (
+            self.algorithm in SERIAL_ALGORITHMS or self.algorithm == "dpsva"
+        )
 
     # -- construction ---------------------------------------------------
 

@@ -11,6 +11,20 @@ for the plan-quality context experiment (E9):
 * :class:`~repro.heuristics.local_search.IteratedImprovement` and
   :class:`~repro.heuristics.local_search.SimulatedAnnealing` — randomized
   search over left-deep orders.
+
+A heuristic plan is valid but can cost more than the DP optimum — never
+less:
+
+>>> from repro import optimize
+>>> from repro.heuristics import GOO
+>>> from repro.query import WorkloadSpec, generate_query
+>>> query = generate_query(WorkloadSpec("star", 8, seed=2))
+>>> GOO().optimize(query).cost >= optimize(query).cost
+True
+
+The optimization service uses these as deadline fallbacks
+(:mod:`repro.service`): when exact optimization outlives its budget, the
+caller gets a heuristic plan instead of an exception.
 """
 
 from repro.heuristics.goo import GOO

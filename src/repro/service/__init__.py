@@ -1,0 +1,54 @@
+"""Concurrent optimization service: plan caching for repeated traffic.
+
+The paper optimizes one query at a time; a production optimizer serves a
+*stream* of queries, most of which it has seen before.  This package is
+that serving layer — the first piece of the ROADMAP's
+heavy-traffic architecture — in three parts:
+
+* :mod:`repro.service.fingerprint` — canonical, permutation-stable cache
+  keys for bound queries (structure and literals hashed separately for
+  parameterized traffic).
+* :mod:`repro.service.cache` — a thread-safe LRU + TTL
+  :class:`PlanCache` with hit/miss/eviction/stale counters, trace
+  integration, and catalog/stats-version invalidation hooks.
+* :mod:`repro.service.service` — :class:`OptimizerService`: single and
+  batched requests, singleflight deduplication of identical in-flight
+  optimizations, a bounded worker pool, and per-request deadlines that
+  degrade to a heuristic plan instead of raising.
+
+Quick start::
+
+    from repro import OptimizerConfig, OptimizerService
+
+    with OptimizerService(OptimizerConfig(algorithm="dpsva")) as svc:
+        first = svc.optimize(query)      # cold: runs the DP
+        again = svc.optimize(query)      # warm: served from cache
+        assert again.source == "hit" and again.cost == first.cost
+"""
+
+from repro.service.cache import CacheStats, PlanCache
+from repro.service.fingerprint import (
+    QueryFingerprint,
+    canonical_query_form,
+    canonical_relation_order,
+    cost_model_id,
+    fingerprint_query,
+)
+from repro.service.service import (
+    OptimizerService,
+    ServiceResult,
+    ServiceStats,
+)
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "QueryFingerprint",
+    "canonical_query_form",
+    "canonical_relation_order",
+    "cost_model_id",
+    "fingerprint_query",
+    "OptimizerService",
+    "ServiceResult",
+    "ServiceStats",
+]

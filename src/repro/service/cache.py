@@ -1,0 +1,259 @@
+"""Thread-safe LRU + TTL plan cache.
+
+:class:`PlanCache` maps fingerprint keys to cached values (the service
+stores :class:`~repro.enumerate.base.OptimizationResult`\\ s) under three
+independent expiry mechanisms:
+
+* **LRU capacity** — at most ``max_entries`` live entries; inserting past
+  the cap evicts the least-recently-used entry.
+* **TTL** — entries older than ``ttl_seconds`` are dropped on access
+  (lazy expiry; no background thread).
+* **Version invalidation** — the cache carries a monotonically increasing
+  *catalog/stats version*; :meth:`bump_version` (the invalidation hook to
+  call when catalog statistics change) makes every earlier entry stale
+  without touching the map eagerly.
+
+Every outcome is counted (:class:`CacheStats`) and, when a tracer is
+attached, emitted as ``cache.*`` counters tagged with the cache's *tier*
+so ``repro trace`` can render a per-cache-tier table.
+
+>>> cache = PlanCache(max_entries=2)
+>>> cache.put("a", 1); cache.put("b", 2)
+>>> cache.get("a")
+1
+>>> cache.put("c", 3)        # evicts "b" — least recently used
+>>> cache.get("b") is None
+True
+>>> cache.stats().evictions
+1
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.trace.tracer import NULL_TRACER, Tracer
+from repro.util.errors import ValidationError
+
+__all__ = ["CacheStats", "PlanCache"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Point-in-time counter snapshot for one cache tier.
+
+    Attributes:
+        tier: The cache's tier label (``"plan"``, ``"fingerprint"``, …).
+        hits: Lookups served from a live entry.
+        misses: Lookups that found nothing usable (includes stale and
+            invalidated lookups).
+        evictions: Entries dropped by the LRU capacity bound.
+        stale: Lookups that found an entry past its TTL.
+        invalidated: Lookups that found an entry from an older
+            catalog/stats version, plus entries dropped by
+            :meth:`PlanCache.invalidate`.
+        entries: Entries currently resident.
+    """
+
+    tier: str
+    hits: int
+    misses: int
+    evictions: int
+    stale: int
+    invalidated: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when no lookups yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _Entry:
+    __slots__ = ("value", "stamp", "version")
+
+    def __init__(self, value: Any, stamp: float, version: int) -> None:
+        self.value = value
+        self.stamp = stamp
+        self.version = version
+
+
+class PlanCache:
+    """Size-capped, TTL-aware, version-aware LRU cache (thread-safe).
+
+    Args:
+        max_entries: LRU capacity; must be >= 1.
+        ttl_seconds: Per-entry time-to-live; ``None`` disables expiry.
+        tier: Label stamped on stats and trace counters.
+        tracer: Observability sink; ``cache.hit`` / ``cache.miss`` /
+            ``cache.eviction`` / ``cache.stale`` / ``cache.invalidated``
+            counters are emitted with ``tier=<tier>`` when enabled.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl_seconds: float | None = None,
+        tier: str = "plan",
+        tracer: Tracer | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 1:
+            raise ValidationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValidationError(
+                f"ttl_seconds must be positive, got {ttl_seconds}"
+            )
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self.tier = tier
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Any, _Entry] = OrderedDict()
+        self._version = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._stale = 0
+        self._invalidated = 0
+
+    # -- core operations ------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Look up ``key``; refreshes LRU recency on a hit.
+
+        Entries past their TTL or from an older catalog/stats version are
+        dropped and counted (``stale`` / ``invalidated``) in addition to
+        the miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                self._emit("cache.miss")
+                return default
+            if entry.version != self._version:
+                del self._entries[key]
+                self._invalidated += 1
+                self._misses += 1
+                self._emit("cache.invalidated")
+                self._emit("cache.miss")
+                return default
+            if (
+                self.ttl_seconds is not None
+                and self._clock() - entry.stamp > self.ttl_seconds
+            ):
+                del self._entries[key]
+                self._stale += 1
+                self._misses += 1
+                self._emit("cache.stale")
+                self._emit("cache.miss")
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            self._emit("cache.hit")
+            return entry.value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert or refresh ``key``, evicting LRU entries past capacity."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = _Entry(value, self._clock(), self._version)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                self._emit("cache.eviction")
+
+    def invalidate(self, key: Any = None) -> int:
+        """Drop one entry (or all, when ``key`` is ``None``); returns the
+        number of entries removed."""
+        with self._lock:
+            if key is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                dropped = 1 if self._entries.pop(key, None) is not None else 0
+            if dropped:
+                self._invalidated += dropped
+                self._emit("cache.invalidated", dropped)
+            return dropped
+
+    def bump_version(self) -> int:
+        """Catalog/stats invalidation hook: mark every current entry stale.
+
+        Call when the statistics the cached plans were optimized against
+        change.  Entries are dropped lazily on their next lookup; returns
+        the new version number.
+        """
+        with self._lock:
+            self._version += 1
+            return self._version
+
+    @property
+    def version(self) -> int:
+        """Current catalog/stats version."""
+        return self._version
+
+    # -- introspection --------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the cache's counters."""
+        with self._lock:
+            return CacheStats(
+                tier=self.tier,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                stale=self._stale,
+                invalidated=self._invalidated,
+                entries=len(self._entries),
+            )
+
+    def keys(self) -> list:
+        """Resident keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.version != self._version:
+                return False
+            if (
+                self.ttl_seconds is not None
+                and self._clock() - entry.stamp > self.ttl_seconds
+            ):
+                return False
+            return True
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache(tier={self.tier!r}, entries={len(self._entries)}/"
+            f"{self.max_entries}, ttl={self.ttl_seconds})"
+        )
+
+    # -- internals ------------------------------------------------------
+
+    def _emit(self, name: str, value: int = 1) -> None:
+        # Called with the lock held; RecordingTracer uses its own lock and
+        # never calls back into the cache, so this cannot deadlock.
+        if self.tracer.enabled:
+            self.tracer.counter(name, value, tier=self.tier)

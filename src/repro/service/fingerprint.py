@@ -1,0 +1,190 @@
+"""Query fingerprinting — stable cache keys for bound queries.
+
+A fingerprint canonicalizes a bound :class:`~repro.query.joingraph.Query`
+together with the parts of an :class:`~repro.config.OptimizerConfig` that
+influence the chosen plan into a stable hex digest, so that the plan
+cache recognizes a repeated query regardless of how its relations happen
+to be numbered.
+
+Canonicalization relabels relations by a deterministic refinement:
+relations are first ranked by their *descriptor* (catalog name,
+cardinality), then the ranking is refined with a Weisfeiler–Lehman-style
+pass over adjacency signatures until it stabilizes.  Two queries that
+differ only by a permutation of relation indices therefore produce the
+same key whenever the refinement separates all relations (always the
+case for catalogs with distinct table names; self-joins are separated by
+their join neighbourhoods).  Residual ties between genuinely automorphic
+relations fall back to input order — which can only ever cause a cache
+*miss* on a permuted resubmission, never a wrong hit.
+
+Two fingerprints are derived per query:
+
+* :attr:`QueryFingerprint.key` — the full digest over structure,
+  literals, and config; the plan-cache key.
+* The parameterized pair :attr:`QueryFingerprint.structure` /
+  :attr:`QueryFingerprint.literals` — the structural digest covers the
+  join shape and relation names only, while every numeric literal
+  (cardinalities, selectivities) is hashed separately.  Traffic that
+  re-issues the same query shape with different statistics shares a
+  ``structure`` digest, which is what workload analytics group by.
+
+>>> from repro.query import WorkloadSpec, generate_query
+>>> from repro.service import fingerprint_query
+>>> q = generate_query(WorkloadSpec("star", 5, seed=3))
+>>> fp = fingerprint_query(q)
+>>> fp == fingerprint_query(q)      # deterministic
+True
+>>> len(fp.key)
+64
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.query.joingraph import Query
+
+__all__ = [
+    "QueryFingerprint",
+    "canonical_relation_order",
+    "canonical_query_form",
+    "cost_model_id",
+    "fingerprint_query",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryFingerprint:
+    """The stable identity of one optimization request.
+
+    Attributes:
+        key: Full cache key — SHA-256 hex digest over canonical structure,
+            literals, cost-model id, and config digest.
+        structure: Digest of the join *shape* only (relation names +
+            canonical edge set); literals excluded.
+        literals: Digest of the numeric literals only (cardinalities and
+            selectivities in canonical order).
+    """
+
+    key: str
+    structure: str
+    literals: str
+
+    def short(self) -> str:
+        """First 12 hex chars of the key (display form)."""
+        return self.key[:12]
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def canonical_relation_order(query: Query) -> list[int]:
+    """Relation indices in canonical order.
+
+    Rank by (name, cardinality) descriptor, then refine with iterated
+    adjacency signatures (labels of neighbours plus edge selectivities)
+    until the partition stabilizes.  Returns the permutation as a list:
+    position ``k`` holds the original index of the canonically ``k``-th
+    relation.
+    """
+    graph = query.graph
+    n = graph.n
+    descriptors = [
+        (query.relation_names[i], query.cardinalities[i]) for i in range(n)
+    ]
+    # Initial labels: dense ranks of the sorted descriptors.
+    rank_of = {d: r for r, d in enumerate(sorted(set(descriptors)))}
+    labels = [rank_of[d] for d in descriptors]
+    for _ in range(n):
+        signatures = []
+        for i in range(n):
+            neighbour_sig = sorted(
+                (labels[e.v if e.u == i else e.u], e.selectivity)
+                for e in graph.edges
+                if i in (e.u, e.v)
+            )
+            signatures.append((labels[i], tuple(neighbour_sig)))
+        rank_of = {s: r for r, s in enumerate(sorted(set(signatures)))}
+        refined = [rank_of[s] for s in signatures]
+        if refined == labels:
+            break
+        labels = refined
+    # Ties between automorphic relations fall back to input order (stable
+    # sort) — deterministic, at worst a cache miss on permuted input.
+    return sorted(range(n), key=lambda i: (labels[i], i))
+
+
+def canonical_query_form(query: Query) -> tuple[tuple, tuple]:
+    """Canonical ``(structure, literals)`` pair for a bound query.
+
+    ``structure`` is the join shape: relation count, canonically ordered
+    relation names, and the canonically relabeled edge list.  ``literals``
+    carries every numeric literal — cardinalities and edge selectivities —
+    in the same canonical order, so parameterized fingerprinting can hash
+    them separately from the shape.
+    """
+    order = canonical_relation_order(query)
+    position = {orig: k for k, orig in enumerate(order)}
+    names = tuple(query.relation_names[i] for i in order)
+    cards = tuple(query.cardinalities[i] for i in order)
+    edges = []
+    for edge in query.graph.edges:
+        u, v = position[edge.u], position[edge.v]
+        if u > v:
+            u, v = v, u
+        edges.append((u, v, edge.selectivity))
+    edges.sort()
+    structure = (query.n, names, tuple((u, v) for u, v, _ in edges))
+    literals = (cards, tuple(sel for _, _, sel in edges))
+    return structure, literals
+
+
+def cost_model_id(cost_model) -> str:
+    """Stable identity string for a cost model instance.
+
+    Relies on the repo convention that cost models are stateless or
+    effectively immutable with an informative ``repr`` (parameters
+    included) — e.g. ``StandardCostModel(block_size=128, ...)``.
+    """
+    return repr(cost_model)
+
+
+def fingerprint_query(query: Query, config=None) -> QueryFingerprint:
+    """Fingerprint a bound query under an optimizer configuration.
+
+    Args:
+        query: The bound :class:`~repro.query.joingraph.Query`.
+        config: An :class:`~repro.config.OptimizerConfig`; ``None`` uses
+            the default config.  Only plan-relevant fields participate
+            (via :attr:`OptimizerConfig.digest`): the tracer and the
+            service/cache knobs themselves never change the chosen plan
+            and are excluded.
+
+    Returns:
+        A :class:`QueryFingerprint` whose ``key`` is safe to use as a
+        plan-cache key: equal for plan-equivalent requests, different
+        whenever the canonical query, the cost model, or a plan-relevant
+        config knob differs.
+    """
+    if config is None:
+        from repro.config import OptimizerConfig
+
+        config = OptimizerConfig()
+    structure, literals = canonical_query_form(query)
+    structure_digest = _digest(repr(structure))
+    literal_digest = _digest(repr(literals))
+    key = _digest(
+        "|".join(
+            (
+                "repro.fingerprint.v1",
+                structure_digest,
+                literal_digest,
+                config.digest,
+            )
+        )
+    )
+    return QueryFingerprint(
+        key=key, structure=structure_digest, literals=literal_digest
+    )

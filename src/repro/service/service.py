@@ -1,0 +1,385 @@
+"""The concurrent optimization service.
+
+:class:`OptimizerService` is the serving-loop front end over
+:func:`repro.optimize`: requests are fingerprinted
+(:mod:`repro.service.fingerprint`), answered from an LRU+TTL plan cache
+(:mod:`repro.service.cache`) when possible, deduplicated against
+identical in-flight optimizations (*singleflight*), and otherwise run on
+a bounded worker pool with a per-request timeout that degrades to a
+heuristic plan instead of raising.
+
+Provenance is explicit: every request returns a :class:`ServiceResult`
+whose ``source`` says how the plan was produced —
+
+========== ==========================================================
+source     meaning
+========== ==========================================================
+``hit``    served from the plan cache
+``miss``   this request ran the optimization (and populated the cache)
+``shared`` joined an identical in-flight optimization (singleflight)
+``fallback`` the deadline expired; a heuristic plan was returned while
+           the exact optimization kept running to warm the cache
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.enumerate.base import OptimizationResult
+from repro.query.context import QueryContext
+from repro.query.joingraph import Query
+from repro.service.cache import CacheStats, PlanCache
+from repro.service.fingerprint import QueryFingerprint, fingerprint_query
+from repro.trace.tracer import NULL_TRACER, Tracer
+from repro.util.errors import ValidationError
+
+__all__ = ["OptimizerService", "ServiceResult", "ServiceStats"]
+
+_SOURCES = ("hit", "miss", "shared", "fallback")
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceResult:
+    """One answered optimization request, with cache provenance.
+
+    Attributes:
+        result: The optimization outcome (exact, cached, or heuristic).
+        source: How the plan was produced — ``"hit"``, ``"miss"``,
+            ``"shared"``, or ``"fallback"``.
+        fingerprint: The request's :class:`QueryFingerprint`.
+        elapsed_seconds: Wall-clock service latency for this request,
+            including any cache lookups and queueing.
+        degraded: True iff the deadline expired and ``result`` carries a
+            heuristic plan rather than the exact optimum.
+    """
+
+    result: OptimizationResult
+    source: str
+    fingerprint: QueryFingerprint
+    elapsed_seconds: float
+    degraded: bool = False
+
+    @property
+    def plan(self):
+        """The plan tree (shorthand for ``result.plan``)."""
+        return self.result.plan
+
+    @property
+    def cost(self) -> float:
+        """The plan cost (shorthand for ``result.cost``)."""
+        return self.result.cost
+
+    def __post_init__(self) -> None:
+        if self.source not in _SOURCES:
+            raise ValidationError(
+                f"unknown provenance {self.source!r}; expected one of "
+                f"{_SOURCES}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceStats:
+    """Aggregate service counters plus per-tier cache snapshots.
+
+    Attributes:
+        requests: Requests answered (batch items count individually).
+        hits: Requests served from the plan cache.
+        optimizations: Exact optimizations actually executed (each one
+            corresponds to exactly one distinct missed fingerprint — the
+            singleflight guarantee).
+        shared: Requests that joined an in-flight optimization.
+        fallbacks: Requests degraded to a heuristic plan on deadline.
+        plan_cache: The plan tier's :class:`CacheStats`.
+        fingerprint_cache: The fingerprint tier's :class:`CacheStats`.
+    """
+
+    requests: int
+    hits: int
+    optimizations: int
+    shared: int
+    fallbacks: int
+    plan_cache: CacheStats
+    fingerprint_cache: CacheStats
+
+
+@dataclass
+class _Flight:
+    """One in-flight optimization shared by identical requests."""
+
+    future: concurrent.futures.Future
+    waiters: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class OptimizerService:
+    """Concurrent, cached optimization in front of :func:`repro.optimize`.
+
+    Args:
+        config: An :class:`~repro.config.OptimizerConfig`.  Plan-relevant
+            fields select the algorithm exactly as :func:`repro.optimize`
+            would; the service knobs (``cache_size``, ``cache_ttl``,
+            ``service_workers``, ``request_timeout``,
+            ``fallback_algorithm``) size this service.  ``None`` uses the
+            defaults.
+        cache: Pre-built plan :class:`PlanCache` (overrides the config's
+            cache sizing) — lets several services share one cache.
+        tracer: Observability sink; falls back to ``config.tracer``.
+            Cache tiers emit ``cache.*`` counters against it, and the
+            service emits ``service.request`` / ``service.fallback``.
+
+    The service is safe for concurrent use from many threads and is a
+    context manager (``with OptimizerService() as svc: ...``); exit shuts
+    the worker pool down.
+    """
+
+    def __init__(
+        self,
+        config=None,
+        *,
+        cache: PlanCache | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        from repro.config import OptimizerConfig
+
+        if config is None:
+            config = OptimizerConfig()
+        elif not isinstance(config, OptimizerConfig):
+            raise ValidationError(
+                f"config must be an OptimizerConfig, got "
+                f"{type(config).__name__}"
+            )
+        self.config = config
+        self.tracer = (
+            tracer if tracer is not None else config.effective_tracer
+        )
+        self.cache = cache if cache is not None else PlanCache(
+            max_entries=config.effective_cache_size,
+            ttl_seconds=config.cache_ttl,
+            tier="plan",
+            tracer=self.tracer,
+        )
+        self._fingerprints = PlanCache(
+            max_entries=config.effective_cache_size,
+            tier="fingerprint",
+            tracer=self.tracer,
+        )
+        self.timeout = config.request_timeout
+        self.fallback_algorithm = config.effective_fallback_algorithm
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=config.effective_service_workers,
+            thread_name_prefix="repro-service",
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _Flight] = {}
+        self._requests = 0
+        self._hits = 0
+        self._optimizations = 0
+        self._shared = 0
+        self._fallbacks = 0
+        self._closed = False
+
+    # -- public API -----------------------------------------------------
+
+    def optimize(
+        self, query: Query | QueryContext, *, timeout: float | None = None
+    ) -> ServiceResult:
+        """Answer one request: cache → singleflight → worker pool.
+
+        Args:
+            query: A bound query (or prepared context; its query is used).
+            timeout: Per-request deadline in seconds, overriding the
+                config's ``request_timeout``.  On expiry a heuristic plan
+                (``fallback_algorithm``) is returned with
+                ``degraded=True`` — never an exception — while the exact
+                optimization continues in the background to warm the
+                cache.
+        """
+        start = time.perf_counter()
+        query = self._coerce(query)
+        fingerprint = self._fingerprint(query)
+        source, flight, result = self._lookup_or_launch(query, fingerprint)
+        return self._settle(
+            query, fingerprint, source, flight, result, start,
+            self.timeout if timeout is None else timeout,
+        )
+
+    def optimize_batch(
+        self, queries, *, timeout: float | None = None
+    ) -> list[ServiceResult]:
+        """Answer a batch, deduplicating identical members.
+
+        All misses are launched before any result is awaited, so distinct
+        queries optimize concurrently on the worker pool and duplicate
+        members share one flight.  Results preserve input order.  The
+        timeout applies per request.
+        """
+        staged: list[ServiceResult | tuple] = []
+        for query in queries:
+            start = time.perf_counter()
+            query = self._coerce(query)
+            fingerprint = self._fingerprint(query)
+            source, flight, result = self._lookup_or_launch(
+                query, fingerprint
+            )
+            if flight is None:
+                # Cache hits settle immediately, so their recorded latency
+                # is the lookup itself, not the whole batch.
+                staged.append(
+                    self._settle(
+                        query, fingerprint, source, None, result, start, None
+                    )
+                )
+            else:
+                staged.append((query, fingerprint, start, source, flight))
+        deadline = self.timeout if timeout is None else timeout
+        # Misses were all launched above, so they optimize concurrently;
+        # each request's latency runs from its own staging time.
+        settled: list[ServiceResult] = []
+        for item in staged:
+            if isinstance(item, ServiceResult):
+                settled.append(item)
+            else:
+                query, fingerprint, start, source, flight = item
+                settled.append(
+                    self._settle(
+                        query, fingerprint, source, flight, None, start,
+                        deadline,
+                    )
+                )
+        return settled
+
+    def invalidate(self) -> int:
+        """Drop every cached plan (e.g. after a catalog reload)."""
+        return self.cache.invalidate()
+
+    def bump_stats_version(self) -> int:
+        """Catalog/stats-change hook: lazily invalidate all cached plans."""
+        return self.cache.bump_version()
+
+    def stats(self) -> ServiceStats:
+        """Aggregate service + cache counters."""
+        with self._lock:
+            return ServiceStats(
+                requests=self._requests,
+                hits=self._hits,
+                optimizations=self._optimizations,
+                shared=self._shared,
+                fallbacks=self._fallbacks,
+                plan_cache=self.cache.stats(),
+                fingerprint_cache=self._fingerprints.stats(),
+            )
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down; idempotent."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "OptimizerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimizerService(algorithm={self.config.algorithm!r}, "
+            f"cache={len(self.cache)}/{self.cache.max_entries}, "
+            f"inflight={len(self._inflight)})"
+        )
+
+    # -- internals ------------------------------------------------------
+
+    @staticmethod
+    def _coerce(query) -> Query:
+        return query.query if isinstance(query, QueryContext) else query
+
+    def _fingerprint(self, query: Query) -> QueryFingerprint:
+        cached = self._fingerprints.get(query)
+        if cached is not None:
+            return cached
+        fingerprint = fingerprint_query(query, self.config)
+        self._fingerprints.put(query, fingerprint)
+        return fingerprint
+
+    def _lookup_or_launch(self, query, fingerprint):
+        """Resolve a request to a hit, a joined flight, or a new flight.
+
+        Returns ``(source, flight, cached_result)``; exactly one of
+        ``flight`` / ``cached_result`` is set.  Atomic under the service
+        lock: two identical concurrent requests can never both launch.
+        """
+        if self._closed:
+            raise ValidationError("OptimizerService is closed")
+        key = fingerprint.key
+        with self._lock:
+            self._requests += 1
+            if self.tracer.enabled:
+                self.tracer.counter("service.request")
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                return "hit", None, cached
+            flight = self._inflight.get(key)
+            if flight is not None:
+                self._shared += 1
+                flight.waiters += 1
+                return "shared", flight, None
+            flight = _Flight(
+                future=self._pool.submit(self._run_miss, key, query)
+            )
+            self._inflight[key] = flight
+            self._optimizations += 1
+            return "miss", flight, None
+
+    def _run_miss(self, key: str, query: Query) -> OptimizationResult:
+        """Worker-pool task: run the exact optimization, warm the cache."""
+        from repro import _run
+
+        try:
+            result = _run(query, self.config)
+            self.cache.put(key, result)
+            return result
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    def _settle(
+        self, query, fingerprint, source, flight, result, start, timeout
+    ) -> ServiceResult:
+        """Wait for a staged request's outcome, degrading on deadline."""
+        degraded = False
+        if flight is not None:
+            try:
+                result = flight.future.result(timeout)
+            except concurrent.futures.TimeoutError:
+                result = self._heuristic_fallback(query)
+                source, degraded = "fallback", True
+                with self._lock:
+                    self._fallbacks += 1
+                if self.tracer.enabled:
+                    self.tracer.counter("service.fallback")
+        return ServiceResult(
+            result=result,
+            source=source,
+            fingerprint=fingerprint,
+            elapsed_seconds=time.perf_counter() - start,
+            degraded=degraded,
+        )
+
+    def _heuristic_fallback(self, query: Query) -> OptimizationResult:
+        """Produce a valid plan quickly after a missed deadline."""
+        from repro.heuristics import HEURISTICS
+        from repro.heuristics.goo import GOO
+
+        name = self.fallback_algorithm
+        if name == "goo":
+            algo = GOO(cross_products=self.config.cross_products)
+        else:
+            algo = HEURISTICS[name]()
+        return algo.optimize(
+            query, cost_model=self.config.effective_cost_model
+        )

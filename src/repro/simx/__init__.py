@@ -14,6 +14,17 @@ Because everything is a function of exact operation counts, simulated
 speedup curves are reproducible to the bit and reflect precisely the
 algorithmic properties (work partitioning, barrier count, contention) that
 determined the paper's measured speedups.
+
+>>> from repro import OptimizerConfig, optimize
+>>> from repro.query import WorkloadSpec, generate_query
+>>> query = generate_query(WorkloadSpec("star", 9, seed=4))
+>>> config = OptimizerConfig(algorithm="dpsva", threads=4)
+>>> result = optimize(query, config=config)       # simulated backend
+>>> report = result.sim_report                    # typed accessor
+>>> report.threads
+4
+>>> result.cost == optimize(query, algorithm="dpsva").cost
+True
 """
 
 from repro.simx.calibrate import calibrate_seconds_per_unit, estimated_seconds

@@ -23,6 +23,12 @@ event                   kind     meaning
 ``worker.barrier_wait`` gauge    time a worker idled at the stratum barrier
 ``pairs.*``/``memo.*``  counter  meter deltas per stratum (see
                                  :data:`repro.trace.metrics.METER_COUNTERS`)
+``cache.*``             counter  plan-cache traffic per tier (attr
+                                 ``tier``): ``hit`` / ``miss`` /
+                                 ``eviction`` / ``stale`` /
+                                 ``invalidated`` (:mod:`repro.service`)
+``service.request``     counter  requests accepted by an OptimizerService
+``service.fallback``    counter  deadline expiries degraded to a heuristic
 ======================  =======  ==========================================
 """
 
@@ -35,6 +41,7 @@ from repro.trace.export import (
 )
 from repro.trace.metrics import METER_COUNTERS, emit_meter_delta, stratum_scope
 from repro.trace.render import (
+    per_cache_rows,
     per_stratum_rows,
     per_worker_rows,
     render_trace,
@@ -62,6 +69,7 @@ __all__ = [
     "read_jsonl",
     "write_jsonl",
     "tracer_from_jsonl",
+    "per_cache_rows",
     "per_stratum_rows",
     "per_worker_rows",
     "render_trace",

@@ -78,6 +78,41 @@ def per_worker_rows(events: list[TraceEvent]) -> list[dict[str, Any]]:
     ]
 
 
+_CACHE_COUNTERS = (
+    ("cache.hit", "hits"),
+    ("cache.miss", "misses"),
+    ("cache.eviction", "evictions"),
+    ("cache.stale", "stale"),
+    ("cache.invalidated", "invalidated"),
+)
+
+
+def per_cache_rows(events: list[TraceEvent]) -> list[dict[str, Any]]:
+    """One row per cache tier: hit/miss/eviction/stale/invalidated counts.
+
+    Aggregates the ``cache.*`` counters the service's caches emit
+    (:mod:`repro.service.cache`), keyed by their ``tier`` attribute.
+    Returns an empty list for runs with no cache activity.
+    """
+    names = dict(_CACHE_COUNTERS)
+    tiers: dict[str, dict[str, Any]] = {}
+    for event in events:
+        if event.kind != "counter" or event.name not in names:
+            continue
+        tier = event.attrs.get("tier", "plan")
+        if tier not in tiers:
+            tiers[tier] = {
+                "tier": tier,
+                **{label: 0 for _, label in _CACHE_COUNTERS},
+            }
+        tiers[tier][names[event.name]] += int(event.value)
+    rows = [tiers[tier] for tier in sorted(tiers)]
+    for row in rows:
+        lookups = row["hits"] + row["misses"]
+        row["hit_rate"] = round(row["hits"] / lookups, 4) if lookups else 0.0
+    return rows
+
+
 def trace_summary(events: list[TraceEvent]) -> dict[str, Any]:
     """Aggregate totals for one run (the bench runner's trace columns)."""
     spans = [e for e in events if e.kind == "span"]
@@ -105,7 +140,9 @@ def render_trace(
     meta: dict[str, Any] | None = None,
     by: str = "both",
 ) -> str:
-    """Human-readable report: per-stratum and/or per-worker tables."""
+    """Human-readable report: per-stratum and/or per-worker tables, plus
+    a per-cache-tier table when the trace carries ``cache.*`` counters
+    (service runs)."""
     from repro.bench.reporting import format_table
 
     sections: list[str] = []
@@ -125,6 +162,9 @@ def render_trace(
             sections.append("per-worker:\n" + format_table(rows))
         elif by == "worker":
             sections.append("per-worker: (no worker events — serial run?)")
+    cache_rows = per_cache_rows(events)
+    if cache_rows:
+        sections.append("per-cache-tier:\n" + format_table(cache_rows))
     summary = trace_summary(events)
     sections.append(
         f"totals: events={summary['events']} strata={summary['strata']} "

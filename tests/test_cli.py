@@ -117,3 +117,58 @@ def test_error_reporting(capsys):
 def test_bad_arguments_exit():
     with pytest.raises(SystemExit):
         main(["optimize", "--topology", "pentagram"])
+
+
+def test_optimize_with_cache_and_repeat(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "optimize", "--topology", "star", "-n", "7",
+        "--algorithm", "dpsize", "--cache", "--repeat", "3",
+    )
+    assert code == 0
+    assert "source=miss" in out
+    assert out.count("source=hit") == 2
+    assert "plan cache: hits=2 misses=1" in out
+    assert "cost=" in out
+
+
+def test_serve_batch(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "serve-batch", "--topology", "star", "-n", "7",
+        "--queries", "2", "--repeat", "3", "--algorithm", "dpsize",
+    )
+    assert code == 0
+    assert "requests=6" in out
+    assert "throughput:" in out
+    assert "plan cache:" in out
+    assert "sources:" in out
+
+
+def test_serve_batch_trace_renders_cache_tiers(capsys, tmp_path):
+    path = tmp_path / "serve.jsonl"
+    code, out, _ = run_cli(
+        capsys,
+        "serve-batch", "--topology", "star", "-n", "7",
+        "--queries", "2", "--repeat", "2", "--algorithm", "dpsize",
+        "--trace", str(path),
+    )
+    assert code == 0
+    assert path.exists()
+    assert "per-cache-tier:" in out
+    assert "fingerprint" in out
+    # And the saved file renders the same table back.
+    code, out, _ = run_cli(capsys, "trace", str(path))
+    assert code == 0
+    assert "per-cache-tier:" in out
+
+
+def test_bench_cache_experiment(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "bench", "--experiment", "cache", "--topology", "star", "-n", "7",
+        "--queries", "2",
+    )
+    assert code == 0
+    assert "hit_speedup" in out
+    assert "hit_rate" in out

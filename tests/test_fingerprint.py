@@ -1,0 +1,158 @@
+"""Query fingerprint stability and sensitivity."""
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.cost.model import CoutCostModel, StandardCostModel
+from repro.query.joingraph import JoinGraph, Query
+from repro.query.workload import WorkloadSpec, generate_query
+from repro.service import (
+    canonical_query_form,
+    canonical_relation_order,
+    fingerprint_query,
+)
+
+
+def permuted(query: Query, order) -> Query:
+    """The same semantic query with relations renumbered by ``order``.
+
+    ``order[k]`` is the original index that becomes new index ``k``.
+    """
+    position = {orig: k for k, orig in enumerate(order)}
+    edges = [
+        (position[e.u], position[e.v], e.selectivity)
+        for e in query.graph.edges
+    ]
+    return Query(
+        graph=JoinGraph(query.n, edges),
+        relation_names=tuple(query.relation_names[i] for i in order),
+        cardinalities=tuple(query.cardinalities[i] for i in order),
+        label=query.label,
+    )
+
+
+@pytest.mark.parametrize("topology", ["star", "chain", "cycle", "clique"])
+def test_stable_across_relation_permutations(topology):
+    query = generate_query(WorkloadSpec(topology, 7, seed=3))
+    base = fingerprint_query(query)
+    reversed_q = permuted(query, list(reversed(range(query.n))))
+    rotated_q = permuted(query, [(i + 3) % query.n for i in range(query.n)])
+    assert fingerprint_query(reversed_q) == base
+    assert fingerprint_query(rotated_q) == base
+
+
+def test_deterministic_across_processes_inputs():
+    query = generate_query(WorkloadSpec("star", 6, seed=9))
+    clone = generate_query(WorkloadSpec("star", 6, seed=9))
+    assert fingerprint_query(query) == fingerprint_query(clone)
+
+
+def test_distinct_queries_distinct_keys():
+    a = generate_query(WorkloadSpec("star", 7, seed=1))
+    b = generate_query(WorkloadSpec("star", 7, seed=2))
+    c = generate_query(WorkloadSpec("chain", 7, seed=1))
+    keys = {fingerprint_query(q).key for q in (a, b, c)}
+    assert len(keys) == 3
+
+
+def test_parameterized_split_structure_vs_literals():
+    graph = JoinGraph(3, [(0, 1, 0.1), (1, 2, 0.2)])
+    names = ("t0", "t1", "t2")
+    base = Query(graph=graph, relation_names=names,
+                 cardinalities=(100.0, 200.0, 300.0))
+    # Same shape and names, different literals (cardinalities).
+    relit = Query(graph=graph, relation_names=names,
+                  cardinalities=(100.0, 200.0, 999.0))
+    fp_base, fp_relit = fingerprint_query(base), fingerprint_query(relit)
+    assert fp_base.structure == fp_relit.structure
+    assert fp_base.literals != fp_relit.literals
+    assert fp_base.key != fp_relit.key
+    # Different selectivity is a literal change too.
+    resel = Query(
+        graph=JoinGraph(3, [(0, 1, 0.1), (1, 2, 0.5)]),
+        relation_names=names, cardinalities=(100.0, 200.0, 300.0),
+    )
+    fp_resel = fingerprint_query(resel)
+    assert fp_resel.structure == fp_base.structure
+    assert fp_resel.literals != fp_base.literals
+
+
+def test_label_is_cosmetic():
+    query = generate_query(WorkloadSpec("star", 6, seed=4))
+    relabeled = Query(
+        graph=query.graph,
+        relation_names=query.relation_names,
+        cardinalities=query.cardinalities,
+        label="something-else",
+    )
+    assert fingerprint_query(relabeled) == fingerprint_query(query)
+
+
+def test_config_changes_key():
+    query = generate_query(WorkloadSpec("star", 6, seed=4))
+    base = fingerprint_query(query, OptimizerConfig(algorithm="dpsize"))
+    other_algo = fingerprint_query(query, OptimizerConfig(algorithm="dpsub"))
+    cross = fingerprint_query(
+        query, OptimizerConfig(algorithm="dpsize", cross_products=True)
+    )
+    assert base.key != other_algo.key
+    assert base.key != cross.key
+    # Structure/literal digests are config-independent.
+    assert base.structure == other_algo.structure
+    assert base.literals == other_algo.literals
+
+
+def test_cost_model_changes_key():
+    query = generate_query(WorkloadSpec("star", 6, seed=4))
+    standard = fingerprint_query(
+        query, OptimizerConfig(cost_model=StandardCostModel())
+    )
+    default = fingerprint_query(query, OptimizerConfig())
+    cout = fingerprint_query(
+        query, OptimizerConfig(cost_model=CoutCostModel())
+    )
+    # The default config resolves to a default StandardCostModel, whose
+    # identity equals an explicitly passed default instance.
+    assert standard.key == default.key
+    assert cout.key != default.key
+
+
+def test_service_knobs_do_not_change_key():
+    query = generate_query(WorkloadSpec("star", 6, seed=4))
+    plain = fingerprint_query(query, OptimizerConfig())
+    sized = fingerprint_query(
+        query,
+        OptimizerConfig(cache_size=2, service_workers=8, cache_ttl=1.0,
+                        request_timeout=5.0, fallback_algorithm="ikkbz"),
+    )
+    assert plain == sized
+
+
+def test_canonical_order_separates_self_joins_by_neighbourhood():
+    # Two relations share a name+cardinality descriptor but have different
+    # join neighbourhoods; WL refinement must separate them so permuted
+    # submissions still collide onto one key.
+    def build(order):
+        edges = {(0, 1): 0.1, (1, 2): 0.2, (2, 3): 0.3}
+        names = ["t", "t", "t", "u"]
+        cards = [100.0, 100.0, 100.0, 50.0]
+        position = {orig: k for k, orig in enumerate(order)}
+        remapped = [
+            (position[u], position[v], sel) for (u, v), sel in edges.items()
+        ]
+        return Query(
+            graph=JoinGraph(4, remapped),
+            relation_names=tuple(names[i] for i in order),
+            cardinalities=tuple(cards[i] for i in order),
+        )
+
+    base = build([0, 1, 2, 3])
+    shuffled = build([2, 0, 3, 1])
+    assert fingerprint_query(base) == fingerprint_query(shuffled)
+
+
+def test_canonical_form_is_a_pure_function_of_the_query():
+    query = generate_query(WorkloadSpec("grid", 8, seed=5))
+    assert canonical_query_form(query) == canonical_query_form(query)
+    order = canonical_relation_order(query)
+    assert sorted(order) == list(range(query.n))
