@@ -1,9 +1,14 @@
 """Shared infrastructure for the experiment benchmarks.
 
-Each experiment (E1–E10, indexed in DESIGN.md) regenerates its table or
+Each experiment (E1–E11, indexed in DESIGN.md) regenerates its table or
 figure rows, writes them to ``benchmarks/results/`` as both a rendered
 table and CSV, and prints the table so ``pytest benchmarks/ -s`` shows the
 full reproduction output inline.
+
+``pytest benchmarks/ --quick`` runs reduced grids — the CI smoke
+configuration.  Experiments honouring it (via the ``quick`` fixture)
+shrink their query sizes and repeat counts; scale-dependent shape
+assertions are gated on the full grids.
 """
 
 from __future__ import annotations
@@ -13,6 +18,21 @@ from pathlib import Path
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run reduced-size experiment grids (CI smoke)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True when ``--quick`` was passed — experiments shrink their grids."""
+    return request.config.getoption("--quick")
 
 
 @pytest.fixture(scope="session")

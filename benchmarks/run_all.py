@@ -17,11 +17,13 @@ from repro.bench import (
     allocation_comparison,
     format_table,
     heuristic_quality,
+    kernel_speedup,
     run_serial_grid,
     save_manifest,
     size_scaling,
     speedup_curve,
     sva_effectiveness,
+    wire_volume,
 )
 
 DEFAULT_RESULTS = Path(__file__).parent / "results"
@@ -124,6 +126,15 @@ def main(argv=None) -> int:
         seed=9,
     )
     publish(args.out, "e9_heuristics", rows, {"experiment": "E9"})
+
+    rows = kernel_speedup(
+        "clique", 10 if quick else 14, repeats=1 if quick else 2, seed=11
+    )
+    publish(args.out, "e11_kernels", rows, {"experiment": "E11"})
+    rows = wire_volume(
+        "star", 9 if quick else 11, threads=2 if quick else 4, seed=11
+    )
+    publish(args.out, "e11_wire", rows, {"experiment": "E11"})
 
     print(f"\ndone in {time.perf_counter() - started:.1f}s "
           f"(E6/E8 need timing fixtures; run them via pytest benchmarks/)")

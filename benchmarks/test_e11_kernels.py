@@ -1,0 +1,63 @@
+"""E11 — fast-path kernel speedup and wire-format volume.
+
+The fast path (struct-of-arrays memo + fused kernels, PR 3) claims a
+result-identical ≥2× single-thread speedup for DPsize on dense queries
+and a smaller per-stratum broadcast payload for the process executor.
+This experiment measures both:
+
+* ``kernel_speedup`` — best-of-repeats wall time per enumeration kernel,
+  ``fast_path=True`` versus ``False``, on one clique query (the stress
+  topology: every subset connected, so the candidate filter and the memo
+  hot loop dominate).  Parity is re-checked on the measured runs.
+* ``wire_volume`` — broadcast/collect bytes on the processes backend
+  plus the exact pickled size of one full-memo broadcast, packed versus
+  legacy encoding.
+
+Expected shape: DPsize ≥2× at clique-14 (the filter loop fuses into list
+comprehensions and candidate evaluation into batched column updates);
+DPsub/DPsva clearly above 1× (their walks are less fusible); the packed
+wire strictly smaller on both measures.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, kernel_speedup, wire_volume
+from repro.enumerate.dpsize import DPsize
+from repro.query import WorkloadSpec, generate_query
+
+
+def test_e11_kernel_speedup(benchmark, publish, quick):
+    n, repeats = (10, 1) if quick else (14, 2)
+    rows = kernel_speedup("clique", n, repeats=repeats, seed=11)
+    wire_rows = wire_volume(
+        "star", 9 if quick else 11, threads=2 if quick else 4, seed=11
+    )
+    publish(
+        "e11_kernels",
+        format_table(rows) + "\n\n" + format_table(wire_rows),
+        rows,
+    )
+    publish("e11_wire", format_table(wire_rows), wire_rows)
+
+    # The speedup is only reportable because the results are identical.
+    assert all(r["parity"] for r in rows)
+
+    by_algo = {r["algorithm"]: r for r in rows}
+    assert all(r["speedup"] > 1.0 for r in rows)
+    if not quick:
+        # The headline claim: DPsize at clique-14, single thread.
+        assert by_algo["dpsize"]["speedup"] >= 2.0
+
+    # Packed wire is strictly smaller on both the executor's accounting
+    # and the exact pickled payload sizes.
+    by_wire = {r["wire"]: r for r in wire_rows}
+    assert by_wire["packed"]["bytes_sent"] < by_wire["legacy"]["bytes_sent"]
+    assert (
+        by_wire["packed"]["pickled_bytes"]
+        < by_wire["legacy"]["pickled_bytes"]
+    )
+
+    # Representative micro-benchmark: the fused DPsize path on a small
+    # clique (full-scale numbers live in the published table).
+    query = generate_query(WorkloadSpec("clique", 9, seed=11), 0)
+    benchmark(lambda: DPsize().optimize(query))

@@ -23,13 +23,20 @@ GRID = [
     ("clique", [6, 8, 10]),
 ]
 
+QUICK_GRID = [
+    ("chain", [8]),
+    ("star", [8, 10]),
+    ("clique", [6]),
+]
 
-def test_e1_serial_enumerator_grid(benchmark, publish):
+
+def test_e1_serial_enumerator_grid(benchmark, publish, quick):
+    grid = QUICK_GRID if quick else GRID
     rows = []
-    for topology, sizes in GRID:
+    for topology, sizes in grid:
         rows.extend(
             run_serial_grid(
-                [topology], sizes, queries=2, seed=1,
+                [topology], sizes, queries=1 if quick else 2, seed=1,
             )
         )
     publish("e1_serial_enumerators", format_table(rows), rows)
@@ -40,7 +47,7 @@ def test_e1_serial_enumerator_grid(benchmark, publish):
 
     # Shape assertions (the reproduction claims).
     by_key = {(r["topology"], r["n"], r["algorithm"]): r for r in rows}
-    for topology, sizes in GRID:
+    for topology, sizes in grid:
         for n in sizes:
             dpsize = by_key[(topology, n, "dpsize")]
             dpsva = by_key[(topology, n, "dpsva")]

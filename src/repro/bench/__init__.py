@@ -1,6 +1,6 @@
 """Benchmark harness: experiment runners and reporting.
 
-Each experiment in ``benchmarks/`` (E1–E9, see DESIGN.md) drives one of
+Each experiment in ``benchmarks/`` (E1–E11, see DESIGN.md) drives one of
 the grid runners here and renders its rows with
 :func:`~repro.bench.reporting.format_table`, so the exact tables can also
 be regenerated programmatically or from the examples.
@@ -18,11 +18,13 @@ from repro.bench.runner import (
     allocation_comparison,
     cache_workload,
     heuristic_quality,
+    kernel_speedup,
     median,
     run_serial_grid,
     size_scaling,
     speedup_curve,
     sva_effectiveness,
+    wire_volume,
 )
 
 __all__ = [
@@ -42,4 +44,6 @@ __all__ = [
     "cache_workload",
     "size_scaling",
     "heuristic_quality",
+    "kernel_speedup",
+    "wire_volume",
 ]

@@ -340,6 +340,137 @@ def cache_workload(
     return rows
 
 
+def kernel_speedup(
+    topology: str = "clique",
+    n: int = 14,
+    algorithms=("dpsize", "dpsub", "dpsva"),
+    repeats: int = 3,
+    seed: int = 0,
+    cost_model: CostModel | None = None,
+) -> list[dict]:
+    """E11: fast-path kernel speedup over the reference path.
+
+    Serial single-thread measurement: each algorithm optimizes the same
+    query with ``fast_path=True`` and ``fast_path=False``; the row
+    reports the best-of-``repeats`` wall time per path and their ratio.
+    The ``parity`` column re-checks the fast-path contract (identical
+    cost, plan, and meter totals) on the measured runs, so a reported
+    speedup can never come from a result divergence.
+
+    Cliques are the stress topology: every subset is connected, so the
+    candidate-pair filter and the memo hot loop dominate end to end.
+    """
+    from repro.plans import plan_signature
+
+    query = generate_query(WorkloadSpec(topology, n, seed=seed))
+    rows: list[dict] = []
+    for name in algorithms:
+        if name not in ALL_SERIAL:
+            raise ValidationError(f"unknown serial algorithm {name!r}")
+        timings: dict[bool, float] = {}
+        results: dict[bool, OptimizationResult] = {}
+        for fast in (True, False):
+            best = None
+            for _ in range(repeats):
+                result = ALL_SERIAL[name](fast_path=fast).optimize(
+                    query, cost_model=cost_model
+                )
+                if best is None or result.elapsed_seconds < best:
+                    best = result.elapsed_seconds
+                results[fast] = result
+            timings[fast] = best
+        parity = (
+            results[True].cost == results[False].cost
+            and plan_signature(results[True].plan)
+            == plan_signature(results[False].plan)
+            and results[True].meter == results[False].meter
+        )
+        rows.append(
+            {
+                "topology": topology,
+                "n": n,
+                "algorithm": name,
+                "ref_ms": timings[False] * 1e3,
+                "fast_ms": timings[True] * 1e3,
+                "speedup": timings[False] / timings[True],
+                "parity": parity,
+            }
+        )
+    return rows
+
+
+def wire_volume(
+    topology: str = "star",
+    n: int = 11,
+    algorithm: str = "dpsize",
+    threads: int = 4,
+    seed: int = 0,
+) -> list[dict]:
+    """E11 companion: broadcast/collect volume, packed versus legacy wire.
+
+    One row per wire format.  ``bytes_sent`` is the process executor's
+    accounting over a real multiprocessing run; ``pickled_bytes`` is the
+    exact serialized size of one broadcast of every stratum of the
+    finished memo (deterministic, excludes the executor's fan-out
+    multiplier).  ``reduction`` is the packed row's fraction of the
+    legacy row on each measure.
+    """
+    import pickle
+
+    from repro.cost.estimator import CardinalityEstimator
+    from repro.enumerate.base import make_context
+    from repro.memo.counters import WorkMeter
+    from repro.memo.table import Memo
+    from repro.parallel.wire import encode_stratum
+
+    query = generate_query(WorkloadSpec(topology, n, seed=seed))
+
+    # Deterministic measure: encode the completed memo's strata each way.
+    ctx = make_context(query)
+    memo = Memo(
+        ctx,
+        StandardCostModel(),
+        estimator=CardinalityEstimator(ctx),
+        meter=WorkMeter(),
+    )
+    memo.init_scans()
+    ALL_SERIAL["dpsize"]().populate(memo)
+    pickled = {
+        packed: sum(
+            len(pickle.dumps(encode_stratum(memo, size, packed)))
+            for size in range(2, ctx.n + 1)
+        )
+        for packed in (False, True)
+    }
+
+    rows: list[dict] = []
+    costs = {}
+    for fast in (False, True):
+        result = ParallelDP(
+            algorithm=algorithm,
+            threads=threads,
+            backend="processes",
+            fast_path=fast,
+        ).optimize(query)
+        costs[fast] = result.cost
+        rows.append(
+            {
+                "topology": topology,
+                "n": n,
+                "algorithm": algorithm,
+                "threads": threads,
+                "wire": "packed" if fast else "legacy",
+                "bytes_sent": result.extras["approx_bytes_sent"],
+                "pickled_bytes": pickled[fast],
+                "rounds": result.extras["rounds"],
+            }
+        )
+    assert costs[True] == costs[False]
+    for row in rows:
+        row["reduction"] = row["pickled_bytes"] / rows[0]["pickled_bytes"]
+    return rows
+
+
 def heuristic_quality(
     topologies,
     n: int,

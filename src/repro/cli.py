@@ -10,6 +10,7 @@ Five subcommands::
     python -m repro trace run.jsonl --by worker
     python -m repro serve-batch --topology star -n 10 --queries 4 --repeat 10
     python -m repro bench --experiment cache --topology star -n 10
+    python -m repro bench --experiment kernels --topology clique -n 12
     python -m repro inspect --topology cycle -n 9
 
 ``optimize`` runs one query end to end (``--cache`` routes it through an
@@ -33,10 +34,12 @@ from repro.bench import (
     allocation_comparison,
     cache_workload,
     format_table,
+    kernel_speedup,
     render_curve,
     run_serial_grid,
     speedup_curve,
     sva_effectiveness,
+    wire_volume,
 )
 from repro.catalog import generate_catalog
 from repro.plans import explain
@@ -150,7 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="regenerate an experiment family")
     bench.add_argument(
         "--experiment",
-        choices=("serial", "sva", "speedup", "allocation", "cache"),
+        choices=("serial", "sva", "speedup", "allocation", "cache", "kernels"),
         default="speedup",
     )
     bench.add_argument("--topology", choices=sorted(TOPOLOGIES), default="star")
@@ -353,6 +356,18 @@ def _cmd_bench(args) -> int:
         rows = cache_workload(
             args.topology, args.relations,
             distinct=args.queries, seed=args.seed,
+        )
+        print(format_table(rows))
+    elif args.experiment == "kernels":
+        rows = kernel_speedup(
+            args.topology, args.relations,
+            repeats=max(1, args.queries), seed=args.seed,
+        )
+        print(format_table(rows))
+        print()
+        rows = wire_volume(
+            args.topology, args.relations,
+            threads=max(args.threads), seed=args.seed,
         )
         print(format_table(rows))
     else:  # allocation

@@ -115,6 +115,15 @@ class OptimizerConfig:
             indefinitely.
         fallback_algorithm: Heuristic used when a deadline expires;
             ``None`` = default (``goo``).
+        fast_path: Run the fused enumeration kernels against the
+            struct-of-arrays memo backend where eligible (default on).
+            Guaranteed result-identical to the reference path — plan,
+            cost, memo contents, and meter totals all match bit-for-bit —
+            and falls back automatically when a configuration is not
+            eligible (masks wider than 64 bits, or a cost model whose
+            batched costing disagrees with its per-method costing).  Set
+            False to force the reference implementation, e.g. for A/B
+            timing (see ``docs/performance.md``).
     """
 
     algorithm: str = "dpsize"
@@ -131,6 +140,7 @@ class OptimizerConfig:
     service_workers: int | None = None
     request_timeout: float | None = None
     fallback_algorithm: str | None = None
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALL_ALGORITHMS:
@@ -342,6 +352,7 @@ class OptimizerConfig:
             return SERIAL_ALGORITHMS[self.algorithm](
                 cross_products=self.cross_products,
                 tracer=self.effective_tracer,
+                fast_path=self.fast_path,
             )
         if self.algorithm == "dpsva":
             from repro.sva.dpsva import DPsva
@@ -349,6 +360,7 @@ class OptimizerConfig:
             return DPsva(
                 cross_products=self.cross_products,
                 tracer=self.effective_tracer,
+                fast_path=self.fast_path,
             )
         if self.algorithm == "exhaustive":
             from repro.enumerate.exhaustive import ExhaustiveEnumerator

@@ -9,17 +9,35 @@ recurrence relies on (one row count per memo entry).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.query.context import QueryContext
 from repro.util.bitsets import first_bit
 
+if TYPE_CHECKING:  # imported lazily to avoid a cost ↔ memo import cycle
+    from repro.memo.counters import WorkMeter
+
 
 class CardinalityEstimator:
-    """Memoized row-count estimates for quantifier sets of one query."""
+    """Memoized row-count estimates for quantifier sets of one query.
 
-    __slots__ = ("ctx", "_rows")
+    The cache is keyed on the *union* mask, so it is symmetric by
+    construction: ``join_rows(L, R)`` and ``join_rows(R, L)`` resolve to
+    the same ``rows(L | R)`` entry.  Fast and reference enumeration paths
+    therefore hit the identical cache state for the same candidate pairs.
 
-    def __init__(self, ctx: QueryContext) -> None:
+    When a ``meter`` is attached, every cache hit (including hits taken
+    by the recursive expansion of a miss) bumps its ``est_cache_hits``
+    counter.  The recursion order is deterministic, so the count is too.
+    """
+
+    __slots__ = ("ctx", "meter", "_rows")
+
+    def __init__(
+        self, ctx: QueryContext, meter: "WorkMeter | None" = None
+    ) -> None:
         self.ctx = ctx
+        self.meter = meter
         self._rows: dict[int, float] = {
             1 << i: float(ctx.cards[i]) for i in range(ctx.n)
         }
@@ -33,6 +51,8 @@ class CardinalityEstimator:
         """
         cached = self._rows.get(mask)
         if cached is not None:
+            if self.meter is not None:
+                self.meter.est_cache_hits += 1
             return cached
         low = mask & -mask
         rest = mask ^ low

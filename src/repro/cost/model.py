@@ -46,6 +46,21 @@ class CostModel(ABC):
         ``left_rows`` is the outer operand.
         """
 
+    def join_costs(
+        self, left_rows: float, right_rows: float, out_rows: float
+    ) -> tuple[float, ...]:
+        """Operator-local cost of every method in :attr:`methods`, in order.
+
+        The fused enumeration kernels call this once per candidate pair
+        instead of looping over :meth:`join_cost`.  Overrides must return
+        bit-identical floats to the per-method calls (same expressions in
+        the same order) — the fast-path parity guarantee depends on it.
+        """
+        return tuple(
+            self.join_cost(method, left_rows, right_rows, out_rows)
+            for method in self.methods
+        )
+
     def cheapest_join(
         self, left_rows: float, right_rows: float, out_rows: float
     ) -> tuple[JoinMethod, float]:
@@ -118,6 +133,26 @@ class StandardCostModel(CostModel):
             )
         raise ValidationError(f"unpriced join method {method!r}")
 
+    def join_costs(
+        self, left_rows: float, right_rows: float, out_rows: float
+    ) -> tuple[float, float, float, float]:
+        """All four method costs at once, in :data:`JOIN_METHODS` order.
+
+        Each expression mirrors the corresponding :meth:`join_cost` branch
+        exactly, so the returned floats are bit-identical to per-method
+        calls (fast-path parity requirement).
+        """
+        return (
+            left_rows + left_rows * right_rows,
+            left_rows + math.ceil(left_rows / self.block_size) * right_rows,
+            self.hash_build_factor * left_rows
+            + self.hash_probe_factor * right_rows,
+            left_rows * math.log2(left_rows + 1.0)
+            + right_rows * math.log2(right_rows + 1.0)
+            + left_rows
+            + right_rows,
+        )
+
     def __repr__(self) -> str:
         return (
             f"StandardCostModel(block_size={self.block_size}, "
@@ -148,6 +183,11 @@ class CoutCostModel(CostModel):
         out_rows: float,
     ) -> float:
         return out_rows
+
+    def join_costs(
+        self, left_rows: float, right_rows: float, out_rows: float
+    ) -> tuple[float]:
+        return (out_rows,)
 
     def __repr__(self) -> str:
         return "CoutCostModel()"

@@ -17,6 +17,7 @@ from typing import Any
 from repro.cost.estimator import CardinalityEstimator
 from repro.cost.model import CostModel, StandardCostModel
 from repro.memo.counters import WorkMeter
+from repro.memo.soa import SoAMemo, soa_compatible
 from repro.memo.table import Memo, extract_plan
 from repro.plans.nodes import PlanNode
 from repro.query.context import QueryContext
@@ -99,15 +100,28 @@ class Enumerator(ABC):
         tracer: Observability sink (:mod:`repro.trace`).  Defaults to the
             zero-cost null tracer; enumerators emit per-stratum spans and
             meter-delta counters against it, never per-pair events.
+        fast_path: Run the fused enumeration kernels against the
+            struct-of-arrays memo backend when the configuration is
+            eligible (``soa_compatible``); falls back to the reference
+            path automatically otherwise.  Results — plan, cost, memo
+            contents, and meter totals — are identical either way.
     """
 
     name: str = "enumerator"
 
     def __init__(
-        self, cross_products: bool = False, tracer: Tracer | None = None
+        self,
+        cross_products: bool = False,
+        tracer: Tracer | None = None,
+        fast_path: bool = True,
     ) -> None:
         self.cross_products = cross_products
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.fast_path = fast_path
+
+    def _use_fast_path(self, ctx: QueryContext, cost_model: CostModel) -> bool:
+        """Fast path requested *and* eligible for this (query, model)?"""
+        return self.fast_path and soa_compatible(ctx, cost_model)
 
     def optimize(
         self,
@@ -121,10 +135,11 @@ class Enumerator(ABC):
                 "join graph is disconnected; enable cross_products"
             )
         cost_model = cost_model or StandardCostModel()
-        estimator = CardinalityEstimator(ctx)
         meter = WorkMeter()
+        estimator = CardinalityEstimator(ctx, meter=meter)
         tracer = self.tracer
-        memo = Memo(
+        memo_cls = SoAMemo if self._use_fast_path(ctx, cost_model) else Memo
+        memo = memo_cls(
             ctx, cost_model, estimator=estimator, meter=meter, tracer=tracer
         )
         start = time.perf_counter()

@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 
 from repro.enumerate.base import Enumerator
-from repro.enumerate.kernels import dpsize_pair_kernel
+from repro.enumerate.kernels import dpsize_pair_kernel, dpsize_pair_kernel_fast
 from repro.memo.table import Memo
 from repro.trace.metrics import stratum_scope
 from repro.trace.tracer import Tracer
@@ -42,8 +42,11 @@ class DPsize(Enumerator):
         cross_products: bool = False,
         plan_space: str = "bushy",
         tracer: Tracer | None = None,
+        fast_path: bool = True,
     ) -> None:
-        super().__init__(cross_products=cross_products, tracer=tracer)
+        super().__init__(
+            cross_products=cross_products, tracer=tracer, fast_path=fast_path
+        )
         if plan_space not in ("bushy", "left_deep"):
             raise ValueError(
                 f"plan_space must be 'bushy' or 'left_deep', got {plan_space!r}"
@@ -55,6 +58,7 @@ class DPsize(Enumerator):
         n = ctx.n
         require_connected = not self.cross_products
         tracer = self.tracer
+        kernel = dpsize_pair_kernel_fast if self.fast_path else dpsize_pair_kernel
         for size in range(2, n + 1):
             outer_sizes = (
                 range(1, size)
@@ -66,7 +70,7 @@ class DPsize(Enumerator):
                     inner_size = size - outer_size
                     outer_sets = memo.sets_of_size(outer_size)
                     inner_sets = memo.sets_of_size(inner_size)
-                    dpsize_pair_kernel(
+                    kernel(
                         memo,
                         ctx,
                         outer_sets,

@@ -6,6 +6,23 @@ parallel run is the same kernel invoked over index sub-ranges by different
 (virtual or real) threads.  Keeping one code path is what makes operation
 counts comparable across serial and parallel runs — the basis of the
 simulated-speedup methodology.
+
+Each kernel has two implementations:
+
+* the **reference** kernel — one meter increment per primitive step, one
+  ``connects()`` graph walk per candidate pair; the executable spec.
+* the **fused** kernel (``*_fast``) — per outer set, the neighbor mask is
+  resolved once via :meth:`~repro.query.context.QueryContext.adj_union`
+  (``adj_union(outer) & inner`` ≡ ``connects(outer, inner)`` for disjoint
+  operands), filtering runs as list comprehensions with rejection counts
+  recovered from length deltas, surviving pairs go through the memo's
+  batched ``consider_joins``/``consider_pairs`` API, and all meter counts
+  accumulate in locals flushed once per block.
+
+The fused kernels produce *identical* memo contents and meter totals to
+the reference kernels — only the increment granularity differs (per block
+instead of per pair).  ``tests/test_fast_path_parity.py`` holds them to
+that.
 """
 
 from __future__ import annotations
@@ -48,6 +65,46 @@ def dpsize_pair_kernel(
                     continue
             meter.pairs_valid += 1
             consider(outer, inner, meter)
+
+
+def dpsize_pair_kernel_fast(
+    memo: Memo,
+    ctx: QueryContext,
+    outer_sets: list[int],
+    inner_sets: list[int],
+    outer_start: int,
+    outer_stop: int,
+    require_connected: bool,
+    meter: WorkMeter,
+) -> None:
+    """Fused DPsize inner loop; parity-equal to :func:`dpsize_pair_kernel`."""
+    adj_union = ctx.adj_union
+    consider_joins = memo.consider_joins
+    inner_count = len(inner_sets)
+    pairs_local = 0
+    disjoint_local = 0
+    conn_checks_local = 0
+    conn_fail_local = 0
+    valid_local = 0
+    for i in range(outer_start, outer_stop):
+        outer = outer_sets[i]
+        pairs_local += inner_count
+        free = [inner for inner in inner_sets if not outer & inner]
+        disjoint_local += inner_count - len(free)
+        if require_connected:
+            conn_checks_local += len(free)
+            nbr = adj_union(outer)
+            valid = [inner for inner in free if nbr & inner]
+            conn_fail_local += len(free) - len(valid)
+        else:
+            valid = free
+        valid_local += len(valid)
+        consider_joins(outer, valid, meter)
+    meter.pairs_considered += pairs_local
+    meter.disjoint_fail += disjoint_local
+    meter.conn_checks += conn_checks_local
+    meter.connectivity_fail += conn_fail_local
+    meter.pairs_valid += valid_local
 
 
 def dpsub_block_kernel(
@@ -94,3 +151,60 @@ def dpsub_block_kernel(
                 meter.pairs_valid += 1
                 consider(sub, complement, meter)
             sub = (sub - 1) & result
+
+
+def dpsub_block_kernel_fast(
+    memo: Memo,
+    ctx: QueryContext,
+    candidate_masks: list[int],
+    start: int,
+    stop: int,
+    require_connected: bool,
+    meter: WorkMeter,
+) -> None:
+    """Fused DPsub inner loop; parity-equal to :func:`dpsub_block_kernel`.
+
+    The submask walk itself is inherently sequential, but the fast path
+    collects each result set's valid splits into a batch handed to
+    ``consider_pairs`` (one call per result set instead of one per split)
+    and keeps all counts in locals until the block ends.
+    """
+    entries_contain = memo.__contains__
+    consider_pairs = memo.consider_pairs
+    is_connected = ctx.is_connected
+    conn_checks_local = 0
+    conn_fail_local = 0
+    steps_local = 0
+    missing_local = 0
+    valid_local = 0
+    for idx in range(start, stop):
+        result = candidate_masks[idx]
+        if require_connected:
+            conn_checks_local += 1
+            if not is_connected(result):
+                conn_fail_local += 1
+                continue
+        splits: list[tuple[int, int]] = []
+        sub = (result - 1) & result
+        if require_connected:
+            while sub:
+                steps_local += 1
+                complement = result ^ sub
+                if not entries_contain(sub) or not entries_contain(complement):
+                    missing_local += 1
+                else:
+                    splits.append((sub, complement))
+                sub = (sub - 1) & result
+        else:
+            while sub:
+                steps_local += 1
+                splits.append((sub, result ^ sub))
+                sub = (sub - 1) & result
+        valid_local += len(splits)
+        consider_pairs(splits, meter)
+    meter.conn_checks += conn_checks_local
+    meter.connectivity_fail += conn_fail_local
+    meter.submask_steps += steps_local
+    meter.pairs_considered += steps_local
+    meter.operand_missing += missing_local
+    meter.pairs_valid += valid_local

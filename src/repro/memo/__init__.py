@@ -10,6 +10,7 @@ enumerator performs; those counts drive both the SVA-effectiveness results
 from repro.memo.counters import WorkMeter
 from repro.memo.table import Memo, MemoEntry, extract_plan
 from repro.memo.concurrent import LockStripedMemo
+from repro.memo.soa import SoAMemo, soa_compatible
 
 __all__ = [
     "WorkMeter",
@@ -17,4 +18,6 @@ __all__ = [
     "MemoEntry",
     "extract_plan",
     "LockStripedMemo",
+    "SoAMemo",
+    "soa_compatible",
 ]

@@ -23,6 +23,7 @@ FIELDS: tuple[str, ...] = (
     "memo_improvements",
     "submask_steps",
     "conn_checks",
+    "est_cache_hits",
     "sva_steps",
     "sva_skips",
     "sva_skipped_entries",
@@ -46,6 +47,9 @@ class WorkMeter:
       an operand had no memo entry).
     * ``pairs_valid`` — pairs that survived all checks and produced plans.
     * ``plans_emitted`` — individual (pair, join-method) costings.
+    * ``est_cache_hits`` — cardinality-estimator cache hits (only counted
+      when the estimator carries a meter; see
+      :class:`~repro.cost.estimator.CardinalityEstimator`).
     * ``sva_steps`` / ``sva_skips`` / ``sva_skipped_entries`` — skip-vector
       scan advances, skip-pointer jumps taken, and entries jumped over.
     * ``latch_acquisitions`` / ``latch_contended`` — stripe-lock takes in

@@ -1,0 +1,392 @@
+"""Struct-of-arrays memo backend — the fast path's storage engine.
+
+:class:`SoAMemo` stores ``cost/rows/left/right/method`` in parallel
+``array`` columns keyed by a mask→index dict, instead of one heap-allocated
+:class:`~repro.memo.table.MemoEntry` per quantifier set.  The win in the
+enumeration hot loop is allocation-free candidate evaluation: a batch of
+inner sets against one outer set touches only flat columns and local
+variables, with no per-candidate object construction or attribute chasing.
+
+The public :class:`~repro.memo.table.Memo` API is preserved as a thin
+view: ``entry()`` / ``entries()`` / ``best()`` materialize ``MemoEntry``
+objects on demand, so ``extract_plan``, tracing, and the serial
+enumerators work unchanged on either backend.
+
+Parity contract: every costing, comparison, and meter increment replays
+the reference :meth:`Memo.consider_join` semantics operation-for-operation
+— same float expressions in the same order (bit-identical doubles), same
+tie-break, same ``plans_emitted`` / ``memo_inserts`` /
+``memo_improvements`` counts.  ``tests/test_fast_path_parity.py`` enforces
+this across randomized queries.
+
+Eligibility is gated by :func:`soa_compatible`: masks must fit the
+``'Q'`` (unsigned 64-bit) columns, and the cost model's batched
+:meth:`~repro.cost.model.CostModel.join_costs` must agree bit-for-bit with
+its per-method :meth:`~repro.cost.model.CostModel.join_cost` on probe
+inputs.  Ineligible configurations fall back to the reference ``Memo``
+automatically.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CostModel
+from repro.memo.counters import WorkMeter
+from repro.memo.table import Memo, MemoEntry
+from repro.plans.operators import JoinMethod
+from repro.query.context import QueryContext
+from repro.trace.tracer import Tracer
+from repro.util.bitsets import popcount
+from repro.util.errors import OptimizationError
+
+#: Probe operand sizes for :func:`fused_costing_consistent`.  The second
+#: point crosses typical block-size boundaries so ``ceil`` branches differ
+#: from the first.
+_PROBE_POINTS = ((2.0, 3.0, 7.0), (1500.0, 17.0, 12345.0))
+
+
+def fused_costing_consistent(cost_model: CostModel) -> bool:
+    """True iff ``join_costs`` matches per-method ``join_cost`` bit-for-bit.
+
+    Guards against a subclass that overrides ``join_cost`` while
+    inheriting a stale ``join_costs`` override from its parent — the one
+    configuration where the fused fast path could silently diverge.
+    """
+    for lrows, rrows, orows in _PROBE_POINTS:
+        batched = cost_model.join_costs(lrows, rrows, orows)
+        if len(batched) != len(cost_model.methods):
+            return False
+        for method, cost in zip(cost_model.methods, batched):
+            if cost != cost_model.join_cost(method, lrows, rrows, orows):
+                return False
+    return True
+
+
+def soa_compatible(ctx: QueryContext, cost_model: CostModel) -> bool:
+    """Can this (query, cost model) pair run on the SoA backend?"""
+    return ctx.n <= 64 and fused_costing_consistent(cost_model)
+
+
+class SoAMemo(Memo):
+    """Memo with columnar storage and fused batch candidate evaluation.
+
+    Row ``i`` of the parallel columns holds the best-known plan for mask
+    ``_col_mask[i]``; ``_index`` maps masks to rows.  Rows are append-only
+    — improvements overwrite columns in place, so row indexes are stable
+    and the per-size stratum lists inherited from :class:`Memo` stay
+    valid.
+    """
+
+    def __init__(
+        self,
+        ctx: QueryContext,
+        cost_model: CostModel,
+        estimator: CardinalityEstimator | None = None,
+        meter: WorkMeter | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        super().__init__(ctx, cost_model, estimator, meter, tracer)
+        self._index: dict[int, int] = {}
+        self._col_mask = array("Q")
+        self._col_cost = array("d")
+        self._col_rows = array("d")
+        self._col_left = array("Q")
+        self._col_right = array("Q")
+        self._col_method = array("B")
+        #: ``int(m)`` per cost-model method, precomputed for the hot loop.
+        self._method_ints: tuple[int, ...] = tuple(
+            int(m) for m in cost_model.methods
+        )
+
+    # ------------------------------------------------------------------
+    # Content access — MemoEntry views materialized on demand
+    # ------------------------------------------------------------------
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def entry(self, mask: int) -> MemoEntry | None:
+        idx = self._index.get(mask)
+        if idx is None:
+            return None
+        return self._materialize(idx)
+
+    def entries(self) -> list[MemoEntry]:
+        return [self._materialize(i) for i in range(len(self._col_mask))]
+
+    def best(self) -> MemoEntry:
+        entry = self.entry(self.ctx.all_mask)
+        if entry is None:
+            raise OptimizationError(
+                "no complete plan: is the join graph connected "
+                "(or are cross products enabled)?"
+            )
+        return entry
+
+    def _materialize(self, idx: int) -> MemoEntry:
+        return MemoEntry(
+            mask=self._col_mask[idx],
+            cost=self._col_cost[idx],
+            rows=self._col_rows[idx],
+            left=self._col_left[idx],
+            right=self._col_right[idx],
+            method=JoinMethod(self._col_method[idx]),
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _store_row(
+        self,
+        mask: int,
+        cost: float,
+        rows: float,
+        left: int,
+        right: int,
+        method_int: int,
+    ) -> None:
+        """Append a new row (columnar analogue of ``Memo._store_new``)."""
+        self._index[mask] = len(self._col_mask)
+        self._col_mask.append(mask)
+        self._col_cost.append(cost)
+        self._col_rows.append(rows)
+        self._col_left.append(left)
+        self._col_right.append(right)
+        self._col_method.append(method_int)
+        size = popcount(mask)
+        bucket = self._by_size[size]
+        if bucket and mask < bucket[-1]:
+            self._size_sorted[size] = False
+        bucket.append(mask)
+
+    def init_scans(self) -> None:
+        ctx = self.ctx
+        cost_model = self.cost_model
+        for rel in range(ctx.n):
+            mask = 1 << rel
+            rows = self.estimator.rows(mask)
+            self._store_row(
+                mask, cost_model.scan_cost(rows), rows, 0, 0, int(JoinMethod.SCAN)
+            )
+        if self.tracer.enabled:
+            self.tracer.counter("memo.scans", ctx.n)
+
+    def consider_join(
+        self, left: int, right: int, meter: WorkMeter | None = None
+    ) -> None:
+        """Single-pair candidate evaluation on the columns.
+
+        Replays the reference semantics exactly; see the module docstring
+        for the parity contract.
+        """
+        self.consider_joins(left, [right], meter)
+
+    def consider_joins(
+        self, left: int, rights: list[int], meter: WorkMeter | None = None
+    ) -> None:
+        """Fused batch: join ``left`` against each inner set, in order.
+
+        The outer operand's row is resolved once; per inner set the
+        method loop runs over the precomputed ``join_costs`` tuple with
+        meter counts accumulated in locals and flushed once at the end.
+        """
+        if not rights:
+            return
+        meter = meter or self.meter
+        index = self._index
+        col_cost = self._col_cost
+        col_rows = self._col_rows
+        col_left = self._col_left
+        col_right = self._col_right
+        col_method = self._col_method
+        estimator_rows = self.estimator.rows
+        join_costs = self.cost_model.join_costs
+        method_ints = self._method_ints
+        nmethods = len(method_ints)
+
+        left_idx = index[left]
+        lcost = col_cost[left_idx]
+        lrows = col_rows[left_idx]
+
+        plans_local = 0
+        inserts_local = 0
+        improves_local = 0
+
+        for right in rights:
+            right_idx = index[right]
+            result = left | right
+            out_rows = estimator_rows(result)
+            base_cost = lcost + col_cost[right_idx]
+            rrows = col_rows[right_idx]
+            costs = join_costs(lrows, rrows, out_rows)
+            plans_local += nmethods
+
+            cur_idx = index.get(result)
+            if cur_idx is None:
+                # Insert path: method 0 installs the row, the remaining
+                # methods improve it in place — mirroring the reference
+                # loop's create-then-update sequence and its counts.
+                best_cost = base_cost + costs[0]
+                best_k = 0
+                for k in range(1, nmethods):
+                    cost = base_cost + costs[k]
+                    if cost < best_cost or (
+                        cost == best_cost and method_ints[k] < method_ints[best_k]
+                    ):
+                        best_cost = cost
+                        best_k = k
+                        improves_local += 1
+                self._store_row(
+                    result, best_cost, out_rows, left, right, method_ints[best_k]
+                )
+                inserts_local += 1
+            else:
+                cur_cost = col_cost[cur_idx]
+                cur_left = col_left[cur_idx]
+                cur_right = col_right[cur_idx]
+                cur_method = col_method[cur_idx]
+                changed = False
+                for k in range(nmethods):
+                    cost = base_cost + costs[k]
+                    if cost < cur_cost or (
+                        cost == cur_cost
+                        and (left, right, method_ints[k])
+                        < (cur_left, cur_right, cur_method)
+                    ):
+                        cur_cost = cost
+                        cur_left = left
+                        cur_right = right
+                        cur_method = method_ints[k]
+                        changed = True
+                        improves_local += 1
+                if changed:
+                    col_cost[cur_idx] = cur_cost
+                    col_left[cur_idx] = cur_left
+                    col_right[cur_idx] = cur_right
+                    col_method[cur_idx] = cur_method
+
+        meter.plans_emitted += plans_local
+        if inserts_local:
+            meter.memo_inserts += inserts_local
+        if improves_local:
+            meter.memo_improvements += improves_local
+
+    def consider_pairs(
+        self,
+        pairs: list[tuple[int, int]],
+        meter: WorkMeter | None = None,
+    ) -> None:
+        """Fused batch over ``(left, right)`` pairs with varying outers.
+
+        One estimator call per pair (the reference path's cache-hit count
+        is part of the parity contract), column lookups instead of entry
+        objects, and meter counts flushed once per batch.
+        """
+        if not pairs:
+            return
+        meter = meter or self.meter
+        index = self._index
+        col_cost = self._col_cost
+        col_rows = self._col_rows
+        col_left = self._col_left
+        col_right = self._col_right
+        col_method = self._col_method
+        estimator_rows = self.estimator.rows
+        join_costs = self.cost_model.join_costs
+        method_ints = self._method_ints
+        nmethods = len(method_ints)
+
+        plans_local = 0
+        inserts_local = 0
+        improves_local = 0
+
+        for left, right in pairs:
+            left_idx = index[left]
+            right_idx = index[right]
+            result = left | right
+            out_rows = estimator_rows(result)
+            base_cost = col_cost[left_idx] + col_cost[right_idx]
+            costs = join_costs(
+                col_rows[left_idx], col_rows[right_idx], out_rows
+            )
+            plans_local += nmethods
+
+            cur_idx = index.get(result)
+            if cur_idx is None:
+                best_cost = base_cost + costs[0]
+                best_k = 0
+                for k in range(1, nmethods):
+                    cost = base_cost + costs[k]
+                    if cost < best_cost or (
+                        cost == best_cost and method_ints[k] < method_ints[best_k]
+                    ):
+                        best_cost = cost
+                        best_k = k
+                        improves_local += 1
+                self._store_row(
+                    result, best_cost, out_rows, left, right, method_ints[best_k]
+                )
+                inserts_local += 1
+            else:
+                cur_cost = col_cost[cur_idx]
+                cur_left = col_left[cur_idx]
+                cur_right = col_right[cur_idx]
+                cur_method = col_method[cur_idx]
+                changed = False
+                for k in range(nmethods):
+                    cost = base_cost + costs[k]
+                    if cost < cur_cost or (
+                        cost == cur_cost
+                        and (left, right, method_ints[k])
+                        < (cur_left, cur_right, cur_method)
+                    ):
+                        cur_cost = cost
+                        cur_left = left
+                        cur_right = right
+                        cur_method = method_ints[k]
+                        changed = True
+                        improves_local += 1
+                if changed:
+                    col_cost[cur_idx] = cur_cost
+                    col_left[cur_idx] = cur_left
+                    col_right[cur_idx] = cur_right
+                    col_method[cur_idx] = cur_method
+
+        meter.plans_emitted += plans_local
+        if inserts_local:
+            meter.memo_inserts += inserts_local
+        if improves_local:
+            meter.memo_improvements += improves_local
+
+    def merge_candidate(
+        self,
+        mask: int,
+        cost: float,
+        rows: float,
+        left: int,
+        right: int,
+        method: JoinMethod,
+    ) -> bool:
+        idx = self._index.get(mask)
+        if idx is None:
+            self._store_row(mask, cost, rows, left, right, int(method))
+            return True
+        cur_cost = self._col_cost[idx]
+        if cost < cur_cost or (
+            cost == cur_cost
+            and (left, right, int(method))
+            < (self._col_left[idx], self._col_right[idx], self._col_method[idx])
+        ):
+            self._col_cost[idx] = cost
+            self._col_rows[idx] = rows
+            self._col_left[idx] = left
+            self._col_right[idx] = right
+            self._col_method[idx] = method
+            return True
+        return False

@@ -192,6 +192,36 @@ class Memo:
                 current.method = method
                 meter.memo_improvements += 1
 
+    def consider_joins(
+        self, left: int, rights: list[int], meter: WorkMeter | None = None
+    ) -> None:
+        """Cost the join of ``left`` against each set in ``rights``.
+
+        Semantically identical to calling :meth:`consider_join` once per
+        inner set, in order.  Batched memo backends override this to hoist
+        the outer operand's lookup out of the loop; the base implementation
+        delegates so that subclasses overriding :meth:`consider_join`
+        (lock striping, touch recording) keep their per-pair semantics.
+        """
+        consider = self.consider_join
+        for right in rights:
+            consider(left, right, meter)
+
+    def consider_pairs(
+        self,
+        pairs: list[tuple[int, int]],
+        meter: WorkMeter | None = None,
+    ) -> None:
+        """Cost a batch of ``(left, right)`` operand pairs, in order.
+
+        The general-form sibling of :meth:`consider_joins` for callers
+        whose outer operand varies per pair (the DPsub submask walk).
+        Same delegation rationale as :meth:`consider_joins`.
+        """
+        consider = self.consider_join
+        for left, right in pairs:
+            consider(left, right, meter)
+
     def merge_candidate(
         self,
         mask: int,

@@ -33,6 +33,12 @@ class RunState:
         tracer: Observability sink; executors emit per-worker counters
             (``worker.units``, ``worker.pairs``) and gauges
             (``worker.busy``, ``worker.barrier_wait``) against it.
+        fast_path: Run the fused enumeration kernels (identical results,
+            batched inner loops); executors pass this through to
+            :func:`~repro.parallel.workunits.run_unit`.
+        wire_packed: Process backend only — ship per-stratum entry deltas
+            in the packed columnar wire format instead of lists of
+            6-tuples (requires masks to fit 64 bits).
     """
 
     ctx: QueryContext
@@ -45,6 +51,8 @@ class RunState:
     algorithm: str
     threads: int
     tracer: Tracer = NULL_TRACER
+    fast_path: bool = False
+    wire_packed: bool = False
 
 
 class StratumExecutor(ABC):

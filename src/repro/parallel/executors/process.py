@@ -19,38 +19,20 @@ from contextlib import nullcontext
 from typing import Any
 
 from repro.memo.counters import WorkMeter
-from repro.memo.table import Memo
 from repro.parallel.allocation import Assignment
 from repro.parallel.executors.base import RunState, StratumExecutor
+from repro.parallel.wire import (
+    apply_stratum,
+    encode_stratum,
+    payload_nbytes,
+)
 from repro.parallel.workunits import KernelCaches, WorkUnit, run_unit
-from repro.plans.operators import JoinMethod
 from repro.trace.tracer import RecordingTracer
 from repro.util.errors import ValidationError
 
 EntryTuple = tuple[int, float, float, int, int, int]
-"""(mask, cost, rows, left, right, method) — the wire format for entries."""
-
-
-def _stratum_entries(memo: Memo, size: int) -> list[EntryTuple]:
-    out: list[EntryTuple] = []
-    for mask in memo.sets_of_size(size):
-        entry = memo.entry(mask)
-        out.append(
-            (
-                entry.mask,
-                entry.cost,
-                entry.rows,
-                entry.left,
-                entry.right,
-                int(entry.method),
-            )
-        )
-    return out
-
-
-def _apply_entries(memo: Memo, entries: list[EntryTuple]) -> None:
-    for mask, cost, rows, left, right, method in entries:
-        memo.merge_candidate(mask, cost, rows, left, right, JoinMethod(method))
+"""(mask, cost, rows, left, right, method) — the legacy wire format for
+entries; see :mod:`repro.parallel.wire` for the packed alternative."""
 
 
 def _worker_loop(conn, state: RunState) -> None:
@@ -66,13 +48,15 @@ def _worker_loop(conn, state: RunState) -> None:
     memo = state.memo
     caches = KernelCaches(memo, WorkMeter())
     trace_enabled = state.tracer.enabled
+    fast = state.fast_path
+    packed = state.wire_packed
     try:
         while True:
             message = conn.recv()
             if message[0] == "stop":
                 break
             _, size, delta, units = message
-            _apply_entries(memo, delta)
+            apply_stratum(memo, delta)
             meter = WorkMeter()
             tracer = RecordingTracer() if trace_enabled else None
             start = time.perf_counter()
@@ -90,11 +74,12 @@ def _worker_loop(conn, state: RunState) -> None:
                         caches,
                         state.require_connected,
                         meter,
+                        fast=fast,
                     )
             elapsed = time.perf_counter() - start
             conn.send(
                 (
-                    _stratum_entries(memo, size),
+                    encode_stratum(memo, size, packed),
                     meter.as_dict(),
                     elapsed,
                     tracer.payload() if tracer is not None else None,
@@ -112,7 +97,6 @@ class ProcessExecutor(StratumExecutor):
         self._procs: list[mp.Process] = []
         self._conns: list[Any] = []
         self._bytes_sent = 0
-        self._bytes_note = "entry tuples, approximate (48 bytes each)"
         self._rounds = 0
 
     def open(self, state: RunState) -> None:
@@ -132,7 +116,8 @@ class ProcessExecutor(StratumExecutor):
             child_conn.close()
             self._procs.append(proc)
             self._conns.append(parent_conn)
-        self._pending_delta: list[EntryTuple] = []
+        # Empty first delta in the run's wire encoding (size-0 stratum).
+        self._pending_delta = encode_stratum(state.memo, 0, state.wire_packed)
 
     def run_stratum(
         self, size: int, units: list[WorkUnit], assignment: Assignment | None
@@ -147,15 +132,15 @@ class ProcessExecutor(StratumExecutor):
         delta = self._pending_delta
         for t, conn in enumerate(self._conns):
             conn.send(("stratum", size, delta, assignment[t]))
-        self._bytes_sent += len(delta) * 48 * len(self._conns)
+        self._bytes_sent += payload_nbytes(delta) * len(self._conns)
         tracer = state.tracer
         walls: list[float] = []
         pairs: list[int] = []
         for t, conn in enumerate(self._conns):
             candidates, meter_counts, elapsed, payload = conn.recv()
-            _apply_entries(state.memo, candidates)
+            apply_stratum(state.memo, candidates)
             state.meter.merge_dict(meter_counts)
-            self._bytes_sent += len(candidates) * 48
+            self._bytes_sent += payload_nbytes(candidates)
             walls.append(elapsed)
             pairs.append(meter_counts.get("pairs_considered", 0))
             if tracer.enabled and payload:
@@ -175,7 +160,9 @@ class ProcessExecutor(StratumExecutor):
                     worker=t,
                 )
         # The merged stratum becomes the next round's broadcast delta.
-        self._pending_delta = _stratum_entries(state.memo, size)
+        self._pending_delta = encode_stratum(
+            state.memo, size, state.wire_packed
+        )
         self._rounds += 1
 
     def close(self) -> dict[str, Any]:

@@ -46,6 +46,20 @@ class _RecordingMemoView:
         self._touches[result] = self._touches.get(result, 0) + 1
         self._memo.consider_join(left, right, meter)
 
+    def consider_joins(self, left: int, rights: list[int], meter=None) -> None:
+        touches = self._touches
+        for right in rights:
+            result = left | right
+            touches[result] = touches.get(result, 0) + 1
+        self._memo.consider_joins(left, rights, meter)
+
+    def consider_pairs(self, pairs: list[tuple[int, int]], meter=None) -> None:
+        touches = self._touches
+        for left, right in pairs:
+            result = left | right
+            touches[result] = touches.get(result, 0) + 1
+        self._memo.consider_pairs(pairs, meter)
+
 
 class SimulatedExecutor(StratumExecutor):
     """Deterministic virtual-time executor."""
@@ -89,6 +103,7 @@ class SimulatedExecutor(StratumExecutor):
                 state.require_connected,
                 unit_meter,
                 real_memo=state.memo,
+                fast=state.fast_path,
             )
             busy[t] += machine.unit_time(unit_meter)
             unit_counts[t] += 1

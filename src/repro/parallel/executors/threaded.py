@@ -69,6 +69,7 @@ class ThreadedExecutor(StratumExecutor):
                     state.caches,
                     state.require_connected,
                     meters[t],
+                    fast=state.fast_path,
                 )
             busy[t] = time.perf_counter() - t0
 

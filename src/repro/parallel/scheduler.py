@@ -20,6 +20,7 @@ from repro.cost.model import CostModel, StandardCostModel
 from repro.enumerate.base import OptimizationResult, make_context
 from repro.memo.concurrent import LockStripedMemo
 from repro.memo.counters import WorkMeter
+from repro.memo.soa import SoAMemo, soa_compatible
 from repro.memo.table import Memo, extract_plan
 from repro.parallel.allocation import allocate, allocation_imbalance
 from repro.parallel.executors import EXECUTORS
@@ -55,6 +56,10 @@ class ParallelDP:
         config: An :class:`~repro.config.OptimizerConfig` carrying all of
             the above.  When given, the other arguments must be left at
             their defaults.
+        fast_path: Use the fused kernels (and, on the simulated/processes
+            backends, the struct-of-arrays memo plus the packed wire
+            format).  Result-identical to the reference path; see
+            :class:`~repro.config.OptimizerConfig`.
     """
 
     def __init__(
@@ -68,6 +73,7 @@ class ParallelDP:
         sim_params: SimCostParams | None = None,
         tracer: Tracer | None = None,
         config=None,
+        fast_path: bool = True,
     ) -> None:
         from repro.config import OptimizerConfig
 
@@ -81,6 +87,7 @@ class ParallelDP:
                 oversubscription=oversubscription,
                 sim_params=sim_params,
                 tracer=tracer,
+                fast_path=fast_path,
             )
         elif not isinstance(config, OptimizerConfig):
             raise ValidationError(
@@ -100,6 +107,7 @@ class ParallelDP:
         self.oversubscription = config.effective_oversubscription
         self.sim_params = config.sim_params or SimCostParams()
         self.tracer = config.effective_tracer
+        self.fast_path = config.fast_path
         self.name = f"p{self.algorithm}"
 
     def _make_executor(self):
@@ -109,7 +117,14 @@ class ParallelDP:
 
     def _make_memo(self, ctx, cost_model, estimator, meter) -> Memo:
         if self.backend == "threads":
+            # The threads backend needs the stripe locks; the fused
+            # kernels still apply, but the memo stays the reference one.
             return LockStripedMemo(
+                ctx, cost_model, estimator=estimator, meter=meter,
+                tracer=self.tracer,
+            )
+        if self.fast_path and soa_compatible(ctx, cost_model):
+            return SoAMemo(
                 ctx, cost_model, estimator=estimator, meter=meter,
                 tracer=self.tracer,
             )
@@ -130,8 +145,14 @@ class ParallelDP:
                 "join graph is disconnected; enable cross_products"
             )
         cost_model = cost_model or self.config.cost_model or StandardCostModel()
-        estimator = CardinalityEstimator(ctx)
         meter = WorkMeter()
+        # The threads backend shares one estimator across worker threads;
+        # its cache-hit increments would race on the shared meter, so hit
+        # metering stays off there (identically for fast and reference
+        # paths — parity within a backend is what matters).
+        estimator = CardinalityEstimator(
+            ctx, meter=None if self.backend == "threads" else meter
+        )
         memo = self._make_memo(ctx, cost_model, estimator, meter)
         caches_meter = WorkMeter()
         executor = self._make_executor()
@@ -159,9 +180,13 @@ class ParallelDP:
                 algorithm=self.algorithm,
                 threads=self.threads,
                 tracer=tracer,
+                fast_path=self.fast_path,
+                wire_packed=self.fast_path and ctx.n <= 64,
             )
             executor.open(state)
-            imbalances: list[float] = []
+            # Dynamic allocation has no precomputed assignment, so its
+            # strata record None; extras consumers must tolerate that.
+            imbalances: list[float | None] = []
             unit_counts: list[int] = []
             try:
                 for size in range(2, ctx.n + 1):

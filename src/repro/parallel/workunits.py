@@ -17,11 +17,16 @@ import math
 from dataclasses import dataclass
 
 from repro.enumerate.dpsub import dpsub_stratum_candidates
-from repro.enumerate.kernels import dpsize_pair_kernel, dpsub_block_kernel
+from repro.enumerate.kernels import (
+    dpsize_pair_kernel,
+    dpsize_pair_kernel_fast,
+    dpsub_block_kernel,
+    dpsub_block_kernel_fast,
+)
 from repro.memo.counters import WorkMeter
 from repro.memo.table import Memo
 from repro.query.context import QueryContext
-from repro.sva.dpsva import SvaCache, dpsva_pair_kernel
+from repro.sva.dpsva import SvaCache, dpsva_pair_kernel, dpsva_pair_kernel_fast
 from repro.util.errors import ValidationError
 
 PARALLEL_ALGORITHMS = ("dpsize", "dpsub", "dpsva")
@@ -168,16 +173,20 @@ def run_unit(
     require_connected: bool,
     meter: WorkMeter,
     real_memo: Memo | None = None,
+    fast: bool = False,
 ) -> None:
     """Execute one work unit against ``memo``.
 
     ``memo`` may be a recording view (simulated executor); ``real_memo``
     supplies the stratum lists and SVA source when the view does not
-    (defaults to ``memo`` itself).
+    (defaults to ``memo`` itself).  ``fast`` selects the fused kernels
+    (identical memo contents and meter totals; see
+    :mod:`repro.enumerate.kernels`).
     """
     source = real_memo if real_memo is not None else memo
     if unit.algorithm == "dpsize":
-        dpsize_pair_kernel(
+        kernel = dpsize_pair_kernel_fast if fast else dpsize_pair_kernel
+        kernel(
             memo,
             ctx,
             source.sets_of_size(unit.outer_size),
@@ -188,7 +197,8 @@ def run_unit(
             meter,
         )
     elif unit.algorithm == "dpsva":
-        dpsva_pair_kernel(
+        kernel = dpsva_pair_kernel_fast if fast else dpsva_pair_kernel
+        kernel(
             memo,
             ctx,
             source.sets_of_size(unit.outer_size),
@@ -199,7 +209,8 @@ def run_unit(
             meter,
         )
     elif unit.algorithm == "dpsub":
-        dpsub_block_kernel(
+        kernel = dpsub_block_kernel_fast if fast else dpsub_block_kernel
+        kernel(
             memo,
             ctx,
             caches.dpsub_stratum(unit.size),

@@ -31,6 +31,7 @@ class QueryContext:
         "adjacency",
         "edge_selectivity",
         "_connected_memo",
+        "_adj_union_memo",
     )
 
     def __init__(self, query: Query) -> None:
@@ -46,6 +47,25 @@ class QueryContext:
             (e.u, e.v): e.selectivity for e in graph.edges
         }
         self._connected_memo: dict[int, bool] = {}
+        self._adj_union_memo: dict[int, int] = {}
+
+    def adj_union(self, mask: int) -> int:
+        """Union of the adjacency masks of every relation in ``mask``.
+
+        Memoized.  For any set ``other`` disjoint from ``mask``,
+        ``adj_union(mask) & other != 0`` is equivalent to
+        ``connects(mask, other)`` — the fused kernels exploit this to
+        replace the per-pair graph walk with a single AND.
+        """
+        cached = self._adj_union_memo.get(mask)
+        if cached is not None:
+            return cached
+        out = 0
+        adjacency = self.adjacency
+        for rel in bits_of(mask):
+            out |= adjacency[rel]
+        self._adj_union_memo[mask] = out
+        return out
 
     def neighbours(self, mask: int) -> int:
         """Relations adjacent to ``mask``, excluding ``mask`` itself."""

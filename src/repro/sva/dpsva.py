@@ -75,6 +75,60 @@ def dpsva_pair_kernel(
             consider(outer, inner, meter)
 
 
+def dpsva_pair_kernel_fast(
+    memo: Memo,
+    ctx: QueryContext,
+    outer_sets: list[int],
+    inner_sva: SkipVectorArray,
+    outer_start: int,
+    outer_stop: int,
+    require_connected: bool,
+    meter: WorkMeter,
+) -> None:
+    """Fused DPsva inner loop; parity-equal to :func:`dpsva_pair_kernel`.
+
+    Uses the meter-free :meth:`SkipVectorArray.disjoint_partners_counted`
+    scan and recovers the exact reference SVA counts from ``(partners,
+    jumps, len(sva))``; connectivity filtering and candidate costing are
+    fused as in the DPsize fast kernel.
+    """
+    adj_union = ctx.adj_union
+    consider_joins = memo.consider_joins
+    disjoint_partners_counted = inner_sva.disjoint_partners_counted
+    sva_count = len(inner_sva)
+    steps_local = 0
+    skips_local = 0
+    skipped_local = 0
+    pairs_local = 0
+    conn_checks_local = 0
+    conn_fail_local = 0
+    valid_local = 0
+    for i in range(outer_start, outer_stop):
+        outer = outer_sets[i]
+        partners, jumps = disjoint_partners_counted(outer)
+        found = len(partners)
+        steps_local += found + jumps
+        skips_local += jumps
+        skipped_local += sva_count - found - jumps
+        pairs_local += found
+        if require_connected:
+            conn_checks_local += found
+            nbr = adj_union(outer)
+            valid = [inner for inner in partners if nbr & inner]
+            conn_fail_local += found - len(valid)
+        else:
+            valid = partners
+        valid_local += len(valid)
+        consider_joins(outer, valid, meter)
+    meter.sva_steps += steps_local
+    meter.sva_skips += skips_local
+    meter.sva_skipped_entries += skipped_local
+    meter.pairs_considered += pairs_local
+    meter.conn_checks += conn_checks_local
+    meter.connectivity_fail += conn_fail_local
+    meter.pairs_valid += valid_local
+
+
 class DPsva(Enumerator):
     """Serial DPsva."""
 
@@ -86,6 +140,7 @@ class DPsva(Enumerator):
         tracer = self.tracer
         require_connected = not self.cross_products
         cache = SvaCache(memo, meter)
+        kernel = dpsva_pair_kernel_fast if self.fast_path else dpsva_pair_kernel
         for size in range(2, ctx.n + 1):
             with stratum_scope(tracer, meter, size, algorithm=self.name):
                 for outer_size in range(1, size):
@@ -94,7 +149,7 @@ class DPsva(Enumerator):
                     if not outer_sets:
                         continue
                     inner_sva = cache.for_size(inner_size)
-                    dpsva_pair_kernel(
+                    kernel(
                         memo,
                         ctx,
                         outer_sets,

@@ -92,6 +92,36 @@ class SkipVectorArray:
             i = target
         return out
 
+    def disjoint_partners_counted(self, outer: int) -> tuple[list[int], int]:
+        """Meter-free scan: ``(partners, jumps)`` for the fast path.
+
+        The fused DPsva kernel recovers the exact reference meter counts
+        from the return value alone: positions visited is
+        ``len(partners) + jumps`` and entries jumped over is
+        ``len(self) - len(partners) - jumps`` (every entry is either a
+        valid partner, a jump origin, or skipped).
+        """
+        out: list[int] = []
+        masks = self.masks
+        member_lists = self.member_lists
+        skip = self.skip
+        count = len(masks)
+        jumps = 0
+        i = 0
+        while i < count:
+            mask = masks[i]
+            if mask & outer == 0:
+                out.append(mask)
+                i += 1
+                continue
+            mlist = member_lists[i]
+            depth = 0
+            while not (outer >> mlist[depth]) & 1:
+                depth += 1
+            jumps += 1
+            i = skip[i][depth]
+        return out, jumps
+
     def scan_all(self) -> list[int]:
         """All entry masks in SVA order (no skipping)."""
         return list(self.masks)

@@ -21,6 +21,7 @@ METER_COUNTERS: dict[str, str] = {
     "plans_emitted": "plans.emitted",
     "memo_inserts": "memo.inserts",
     "memo_improvements": "memo.improvements",
+    "est_cache_hits": "estimator.cache_hits",
     "sva_build_ops": "sva.build_ops",
     "sva_skipped_entries": "sva.skipped_entries",
     "latch_acquisitions": "memo.latch_acquisitions",

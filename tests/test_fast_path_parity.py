@@ -1,0 +1,177 @@
+"""Fast-path ⇄ reference-path parity.
+
+The fast path (struct-of-arrays memo + fused kernels + packed wire format)
+must be *observably identical* to the reference path: same plan, same
+cost, bit-for-bit identical memo contents, and identical WorkMeter totals.
+These tests hold it to that across randomized chain/star/clique/cycle
+queries, all three kernels, and all three parallel executors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Workload, WorkloadSpec
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CoutCostModel, StandardCostModel
+from repro.enumerate.dpsize import DPsize
+from repro.enumerate.dpsub import DPsub
+from repro.memo.counters import WorkMeter
+from repro.memo.soa import SoAMemo, fused_costing_consistent, soa_compatible
+from repro.memo.table import Memo
+from repro.parallel.scheduler import ParallelDP
+from repro.plans import plan_signature
+from repro.query import QueryContext
+from repro.sva.dpsva import DPsva
+
+ALGORITHMS = {"dpsize": DPsize, "dpsub": DPsub, "dpsva": DPsva}
+TOPOLOGIES = ("chain", "star", "clique", "cycle")
+
+#: (topology, n) — cliques kept smaller because their pair counts explode.
+SERIAL_CASES = [
+    ("chain", 9),
+    ("star", 9),
+    ("cycle", 9),
+    ("clique", 7),
+]
+
+
+def make_query(topology: str, n: int, seed: int):
+    return Workload(WorkloadSpec(topology, n, seed=seed))[0]
+
+
+def run_serial(algo_cls, query, fast: bool, cost_model=None):
+    """Drive one serial enumerator against an explicitly chosen backend,
+    returning (memo, meter) so memo contents can be compared directly."""
+    enum = algo_cls(fast_path=fast)
+    ctx = QueryContext(query)
+    cost_model = cost_model or StandardCostModel()
+    meter = WorkMeter()
+    estimator = CardinalityEstimator(ctx, meter=meter)
+    memo_cls = SoAMemo if fast else Memo
+    memo = memo_cls(ctx, cost_model, estimator=estimator, meter=meter)
+    memo.init_scans()
+    enum.populate(memo)
+    return memo, meter
+
+
+def memo_snapshot(memo) -> dict:
+    """Full memo contents keyed by mask — the bit-for-bit comparison unit."""
+    return {
+        e.mask: (e.cost, e.rows, e.left, e.right, int(e.method))
+        for e in memo.entries()
+    }
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("topology,n", SERIAL_CASES)
+@pytest.mark.parametrize("seed", [1, 12])
+def test_serial_kernels_bit_for_bit(algorithm, topology, n, seed):
+    query = make_query(topology, n, seed)
+    algo_cls = ALGORITHMS[algorithm]
+    fast_memo, fast_meter = run_serial(algo_cls, query, fast=True)
+    ref_memo, ref_meter = run_serial(algo_cls, query, fast=False)
+    assert memo_snapshot(fast_memo) == memo_snapshot(ref_memo)
+    assert fast_meter.as_dict() == ref_meter.as_dict()
+    assert fast_memo.best().cost == ref_memo.best().cost
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("topology,n", [("chain", 10), ("cycle", 9)])
+def test_serial_cross_products_parity(algorithm, topology, n):
+    query = make_query(topology, n, seed=4)
+    algo_cls = ALGORITHMS[algorithm]
+    fast = algo_cls(cross_products=True, fast_path=True).optimize(query)
+    ref = algo_cls(cross_products=True, fast_path=False).optimize(query)
+    assert fast.cost == ref.cost
+    assert plan_signature(fast.plan) == plan_signature(ref.plan)
+    assert fast.memo_entries == ref.memo_entries
+    assert fast.meter.as_dict() == ref.meter.as_dict()
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("backend", ["simulated", "threads", "processes"])
+def test_executor_parity(algorithm, backend):
+    # Rotate topologies so every executor×kernel cell sees a different
+    # graph shape across the matrix (cliques excluded — covered serially).
+    shapes = ("chain", "star", "cycle")
+    index = sorted(ALGORITHMS).index(algorithm)
+    offset = ["simulated", "threads", "processes"].index(backend)
+    query = make_query(shapes[(index + offset) % len(shapes)], 8, seed=7)
+    results = {}
+    for fast in (True, False):
+        results[fast] = ParallelDP(
+            algorithm=algorithm, threads=3, backend=backend, fast_path=fast
+        ).optimize(query)
+    fast_r, ref_r = results[True], results[False]
+    assert fast_r.cost == ref_r.cost
+    assert plan_signature(fast_r.plan) == plan_signature(ref_r.plan)
+    assert fast_r.memo_entries == ref_r.memo_entries
+    fast_counts = fast_r.meter.as_dict()
+    ref_counts = ref_r.meter.as_dict()
+    if backend == "threads":
+        # Stripe-lock contention is timing-dependent, never semantic.
+        fast_counts.pop("latch_contended")
+        ref_counts.pop("latch_contended")
+    assert fast_counts == ref_counts
+
+
+@pytest.mark.parametrize("backend", ["simulated", "processes"])
+def test_executor_fast_matches_serial_reference(backend):
+    """The fast parallel path lands on the serial reference optimum."""
+    query = make_query("star", 9, seed=3)
+    serial = DPsize(fast_path=False).optimize(query)
+    parallel = ParallelDP(
+        algorithm="dpsize", threads=4, backend=backend, fast_path=True
+    ).optimize(query)
+    assert parallel.cost == serial.cost
+    assert plan_signature(parallel.plan) == plan_signature(serial.plan)
+    assert parallel.memo_entries == serial.memo_entries
+
+
+def test_cout_cost_model_parity():
+    query = make_query("chain", 9, seed=9)
+    model = CoutCostModel()
+    fast_memo, fast_meter = run_serial(DPsize, query, True, cost_model=model)
+    ref_memo, ref_meter = run_serial(DPsize, query, False, cost_model=model)
+    assert memo_snapshot(fast_memo) == memo_snapshot(ref_memo)
+    assert fast_meter.as_dict() == ref_meter.as_dict()
+
+
+class _InconsistentModel(StandardCostModel):
+    """Overrides per-method costing without refreshing the batched one —
+    exactly the subclass shape the eligibility probe must reject."""
+
+    def join_cost(self, method, left_rows, right_rows, out_rows):
+        return super().join_cost(method, left_rows, right_rows, out_rows) + 1.0
+
+
+def test_fused_costing_probe_rejects_stale_batch_override():
+    assert fused_costing_consistent(StandardCostModel())
+    assert fused_costing_consistent(CoutCostModel())
+    assert not fused_costing_consistent(_InconsistentModel())
+
+
+def test_incompatible_cost_model_falls_back_to_reference():
+    query = make_query("chain", 7, seed=2)
+    ctx = QueryContext(query)
+    model = _InconsistentModel()
+    assert not soa_compatible(ctx, model)
+    fast = DPsize(fast_path=True).optimize(query, cost_model=model)
+    ref = DPsize(fast_path=False).optimize(query, cost_model=model)
+    assert fast.cost == ref.cost
+    assert plan_signature(fast.plan) == plan_signature(ref.plan)
+
+
+def test_soa_memo_is_a_memo_view():
+    """extract_plan / entry / sets_of_size work unchanged on the SoA
+    backend — the thin-view contract."""
+    query = make_query("cycle", 8, seed=6)
+    memo, _ = run_serial(DPsize, query, fast=True)
+    assert isinstance(memo, SoAMemo)
+    full = memo.ctx.all_mask
+    assert full in memo
+    entry = memo.entry(full)
+    assert entry is not None and entry.mask == full
+    assert memo.sets_of_size(1) == sorted(1 << i for i in range(memo.ctx.n))
+    assert len(memo.entries()) == len(memo)

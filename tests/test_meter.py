@@ -1,0 +1,181 @@
+"""WorkMeter round-trips, block-level flush exactness, estimator cache
+metering, and None-tolerant imbalance extras.
+
+The fast kernels accumulate counts in locals and flush once per block;
+these tests pin the contract that flushing granularity never changes the
+totals — however a stratum is split, and even when blocks are empty.
+"""
+
+from __future__ import annotations
+
+from repro import Workload, WorkloadSpec
+from repro.bench.manifest import result_to_dict, save_manifest, load_manifest
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import StandardCostModel
+from repro.enumerate.kernels import dpsize_pair_kernel, dpsize_pair_kernel_fast
+from repro.memo.counters import FIELDS, WorkMeter
+from repro.memo.table import Memo
+from repro.parallel.scheduler import ParallelDP
+from repro.query import QueryContext
+from repro.trace.metrics import METER_COUNTERS, emit_meter_delta
+from repro.trace.tracer import RecordingTracer
+
+
+def query_for(topology, n, seed=0):
+    return Workload(WorkloadSpec(topology, n, seed=seed))[0]
+
+
+def test_meter_as_dict_merge_dict_round_trip():
+    source = WorkMeter()
+    for i, name in enumerate(FIELDS, start=1):
+        setattr(source, name, i * 7)
+    snapshot = source.as_dict()
+    assert list(snapshot) == list(FIELDS)
+
+    restored = WorkMeter()
+    restored.merge_dict(snapshot)
+    assert restored == source
+    assert restored.as_dict() == snapshot
+
+    # merge(meter) and merge_dict(meter.as_dict()) are the same operation.
+    via_merge, via_dict = WorkMeter(), WorkMeter()
+    via_merge.pairs_considered = via_dict.pairs_considered = 3
+    via_merge.merge(source)
+    via_dict.merge_dict(snapshot)
+    assert via_merge == via_dict
+
+
+def _seeded_memo(query, meter):
+    ctx = QueryContext(query)
+    estimator = CardinalityEstimator(ctx, meter=meter)
+    memo = Memo(ctx, StandardCostModel(), estimator=estimator, meter=meter)
+    memo.init_scans()
+    return ctx, memo
+
+
+def test_block_flush_matches_unsplit_reference():
+    """Counts are exact whatever the block boundaries — including empty
+    and single-element blocks."""
+    query = query_for("cycle", 7, seed=5)
+
+    ref_meter = WorkMeter()
+    ctx, ref_memo = _seeded_memo(query, ref_meter)
+    outer = ref_memo.sets_of_size(1)
+    inner = ref_memo.sets_of_size(1)
+    dpsize_pair_kernel(
+        ref_memo, ctx, outer, inner, 0, len(outer), True, ref_meter
+    )
+
+    for boundaries in ([(0, len(outer))], [(0, 3), (3, 3), (3, len(outer))],
+                       [(i, i + 1) for i in range(len(outer))]):
+        meter = WorkMeter()
+        ctx2, memo = _seeded_memo(query, meter)
+        for start, stop in boundaries:
+            dpsize_pair_kernel_fast(
+                memo, ctx2, outer, inner, start, stop, True, meter
+            )
+        assert meter.as_dict() == ref_meter.as_dict()
+        assert len(memo) == len(ref_memo)
+
+
+def test_empty_block_leaves_meter_untouched():
+    meter = WorkMeter()
+    query = query_for("chain", 5)
+    ctx, memo = _seeded_memo(query, meter)
+    before = meter.as_dict()
+    outer = memo.sets_of_size(1)
+    dpsize_pair_kernel_fast(memo, ctx, outer, outer, 2, 2, True, meter)
+    assert meter.as_dict() == before
+
+
+def test_oversubscription_split_preserves_exact_counts():
+    """More work units per stratum means more block flushes (some over
+    empty assignments); fast totals must equal the reference totals at
+    every granularity.  ``memo_improvements`` legitimately varies *across*
+    granularities (running-min updates depend on pair order, on the
+    reference path too), so cross-split comparison covers the
+    order-independent counters only."""
+    query = query_for("star", 8, seed=2)
+    order_free = None
+    for oversub in (1, 2, 7):
+        counts_by_path = {}
+        for fast in (True, False):
+            result = ParallelDP(
+                algorithm="dpsize",
+                threads=5,
+                oversubscription=oversub,
+                fast_path=fast,
+            ).optimize(query)
+            counts_by_path[fast] = result.meter.as_dict()
+        # Same split: bit-exact meter parity, improvements included.
+        assert counts_by_path[True] == counts_by_path[False]
+        stable = {
+            k: v
+            for k, v in counts_by_path[True].items()
+            if k != "memo_improvements"
+        }
+        if order_free is None:
+            order_free = stable
+        assert stable == order_free
+
+
+def test_empty_stratum_assignments_are_exact():
+    # threads far exceed the available units, so most workers get empty
+    # assignments each stratum; totals still match the serial reference.
+    query = query_for("chain", 4)
+    serial = ParallelDP(algorithm="dpsub", threads=1).optimize(query)
+    wide = ParallelDP(algorithm="dpsub", threads=8).optimize(query)
+    assert wide.meter.as_dict() == serial.meter.as_dict()
+
+
+def test_estimator_cache_is_symmetric_and_metered():
+    query = query_for("chain", 4)
+    ctx = QueryContext(query)
+    meter = WorkMeter()
+    est = CardinalityEstimator(ctx, meter=meter)
+
+    first = est.join_rows(0b0011, 0b0100)
+    hits_after_first = meter.est_cache_hits
+    mirrored = est.join_rows(0b0100, 0b0011)
+    assert mirrored == first
+    # The mirrored call is a pure cache hit: exactly one more hit, no
+    # new cache entries.
+    assert meter.est_cache_hits == hits_after_first + 1
+    assert est.rows(0b0111) == first
+    assert meter.est_cache_hits == hits_after_first + 2
+
+
+def test_estimator_unmetered_when_meter_absent():
+    query = query_for("chain", 4)
+    est = CardinalityEstimator(QueryContext(query))
+    assert est.join_rows(0b0011, 0b0100) == est.join_rows(0b0100, 0b0011)
+
+
+def test_meter_delta_renders_estimator_hits():
+    assert METER_COUNTERS["est_cache_hits"] == "estimator.cache_hits"
+    tracer = RecordingTracer()
+    before = WorkMeter().as_dict()
+    after = dict(before, est_cache_hits=4)
+    emit_meter_delta(tracer, before, after, size=3)
+    events = [e for e in tracer.events if e.name == "estimator.cache_hits"]
+    assert len(events) == 1
+    assert events[0].value == 4
+    assert events[0].attrs["size"] == 3
+
+
+def test_dynamic_imbalances_are_none_and_serializable(tmp_path):
+    """Dynamic allocation records None per stratum; every extras consumer
+    (JSON manifests included) must tolerate that."""
+    query = query_for("chain", 7, seed=1)
+    result = ParallelDP(
+        algorithm="dpsize", threads=3, allocation="dynamic"
+    ).optimize(query)
+    imbalances = result.extras["allocation_imbalances"]
+    assert imbalances and all(i is None for i in imbalances)
+
+    row = result_to_dict(result)
+    assert row["extras"]["allocation_imbalances"] == imbalances
+    path = save_manifest(tmp_path / "m.json", [row], {"exp": "meter"})
+    rows, meta = load_manifest(path)
+    assert rows[0]["extras"]["allocation_imbalances"] == imbalances
+    assert meta["exp"] == "meter"
