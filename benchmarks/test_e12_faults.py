@@ -1,0 +1,45 @@
+"""E12 — fault tolerance: exact-or-degraded under injected chaos.
+
+The hardening counterpart to E8/E10: a fixed fault schedule (seeded
+injector) strikes every instrumented site — worker crash/raise/delay in
+the forked process pool, a master-side stratum fault, a flaky cache
+tier, and transient/persistent service failures — and every request must
+still come back as either the exact fault-free optimum (after recovery)
+or an explicitly degraded heuristic answer.  An unhandled exception
+anywhere in the matrix fails the experiment.
+"""
+
+from __future__ import annotations
+
+from repro.bench import fault_tolerance, format_table
+
+
+def test_e12_fault_tolerance(quick, publish):
+    rows = fault_tolerance(
+        "chain",
+        6 if quick else 7,
+        threads=2,
+        backend="processes",
+        fault_seed=0,
+    )
+    publish("e12_faults", format_table(rows), rows)
+
+    by_fault = {row["fault"]: row for row in rows}
+    # The whole matrix honours the exact-or-degraded contract.
+    assert all(r["outcome"] in ("exact", "degraded") for r in rows)
+    # Single worker faults recover to the exact optimum.
+    for fault in ("none", "worker raise", "worker crash", "worker delay"):
+        assert by_fault[fault]["outcome"] == "exact"
+        assert not by_fault[fault]["degraded"]
+    # A transient master/service fault is retried back to exactness.
+    assert by_fault["stratum raise"]["outcome"] == "exact"
+    assert by_fault["stratum raise"]["retries"] >= 1
+    assert by_fault["service raise"]["outcome"] == "exact"
+    # A flaky cache tier fails open: served as a miss, still exact.
+    assert by_fault["cache flaky"]["outcome"] == "exact"
+    # Only a persistent failure past the retry budget degrades — with
+    # explicit provenance, never an exception.
+    persistent = by_fault["service raise forever"]
+    assert persistent["outcome"] == "degraded"
+    assert persistent["source"] == "error"
+    assert persistent["errors"] >= 1

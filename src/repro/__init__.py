@@ -45,6 +45,7 @@ from repro.enumerate import (
     ExhaustiveEnumerator,
     OptimizationResult,
 )
+from repro.faults import FaultInjector, FaultSpec
 from repro.heuristics import GOO, IKKBZ, IteratedImprovement, SimulatedAnnealing
 from repro.memo import Memo, WorkMeter
 from repro.parallel import PDPsize, PDPsub, PDPsva, ParallelDP
@@ -65,9 +66,14 @@ from repro.trace import (
     TraceEvent,
     Tracer,
 )
-from repro.util.errors import OptimizationError, ReproError, ValidationError
+from repro.util.errors import (
+    InjectedFault,
+    OptimizationError,
+    ReproError,
+    ValidationError,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def optimize(
@@ -234,8 +240,12 @@ __all__ = [
     "IKKBZ",
     "IteratedImprovement",
     "SimulatedAnnealing",
+    # fault injection
+    "FaultInjector",
+    "FaultSpec",
     # errors
     "ReproError",
     "ValidationError",
     "OptimizationError",
+    "InjectedFault",
 ]

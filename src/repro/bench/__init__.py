@@ -1,6 +1,6 @@
 """Benchmark harness: experiment runners and reporting.
 
-Each experiment in ``benchmarks/`` (E1–E11, see DESIGN.md) drives one of
+Each experiment in ``benchmarks/`` (E1–E12, see DESIGN.md) drives one of
 the grid runners here and renders its rows with
 :func:`~repro.bench.reporting.format_table`, so the exact tables can also
 be regenerated programmatically or from the examples.
@@ -17,6 +17,7 @@ from repro.bench.reporting import format_table, render_curve, rows_to_csv
 from repro.bench.runner import (
     allocation_comparison,
     cache_workload,
+    fault_tolerance,
     heuristic_quality,
     kernel_speedup,
     median,
@@ -46,4 +47,5 @@ __all__ = [
     "heuristic_quality",
     "kernel_speedup",
     "wire_volume",
+    "fault_tolerance",
 ]

@@ -533,3 +533,79 @@ def heuristic_quality(
                 }
             )
     return rows
+
+
+def fault_tolerance(
+    topology: str = "chain",
+    n: int = 7,
+    algorithm: str = "dpsize",
+    threads: int = 2,
+    backend: str = "processes",
+    retry_limit: int = 2,
+    seed: int = 0,
+    fault_seed: int = 0,
+) -> list[dict]:
+    """E12: chaos matrix — every injected fault yields exact-or-degraded.
+
+    One query, one fault-free baseline cost, then a grid of fault plans
+    exercising every fault site (worker crash/raise/delay, master-side
+    stratum raise, flaky cache tier, persistent service failure), each
+    served through a fresh :class:`~repro.service.OptimizerService`.
+    Per row: the provenance, whether the answer was degraded, the number
+    of recovery retries spent, and the ``outcome`` — ``"exact"`` when
+    the served cost equals the fault-free optimum bit for bit,
+    ``"degraded"`` when the service fell back to a heuristic.  The
+    acceptance contract is that every row is one of those two; an
+    unhandled exception fails the grid.
+    """
+    from repro.config import OptimizerConfig
+    from repro.service import OptimizerService
+
+    query = generate_query(WorkloadSpec(topology, n, seed=seed))
+
+    def serve(fault_plan: str | None) -> tuple:
+        config = OptimizerConfig(
+            algorithm=algorithm,
+            threads=threads,
+            backend=backend,
+            fault_plan=(
+                None
+                if fault_plan is None
+                else f"seed={fault_seed};{fault_plan}"
+            ),
+            retry_limit=retry_limit,
+            retry_backoff=0.0,
+        )
+        with OptimizerService(config) as service:
+            outcome = service.optimize(query)
+            stats = service.stats()
+        return outcome, stats
+
+    baseline, _ = serve(None)
+    plans = [
+        ("none", None),
+        ("worker raise", "worker:raise@worker=1"),
+        ("worker crash", "worker:crash@worker=1"),
+        ("worker delay", "worker:delay@worker=1,delay=0.01"),
+        ("stratum raise", "stratum:raise@stratum=3"),
+        ("cache flaky", "cache:raise@op=get,count=inf"),
+        ("service raise", "service:raise"),
+        ("service raise forever", "service:raise@count=inf"),
+    ]
+    rows: list[dict] = []
+    for label, plan in plans:
+        outcome, stats = serve(plan)
+        exact = outcome.cost == baseline.cost and not outcome.degraded
+        rows.append(
+            {
+                "fault": label,
+                "plan": plan or "-",
+                "backend": backend,
+                "source": outcome.source,
+                "degraded": outcome.degraded,
+                "retries": stats.retries,
+                "errors": stats.errors,
+                "outcome": "exact" if exact else "degraded",
+            }
+        )
+    return rows

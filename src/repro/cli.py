@@ -11,6 +11,9 @@ Five subcommands::
     python -m repro serve-batch --topology star -n 10 --queries 4 --repeat 10
     python -m repro bench --experiment cache --topology star -n 10
     python -m repro bench --experiment kernels --topology clique -n 12
+    python -m repro bench --experiment faults --topology chain -n 7
+    python -m repro optimize --topology star -n 10 --threads 2 \\
+        --backend processes --fault-plan "worker:crash@worker=1"
     python -m repro inspect --topology cycle -n 9
 
 ``optimize`` runs one query end to end (``--cache`` routes it through an
@@ -33,6 +36,7 @@ from repro import OptimizerConfig, OptimizerService, __version__, optimize
 from repro.bench import (
     allocation_comparison,
     cache_workload,
+    fault_tolerance,
     format_table,
     kernel_speedup,
     render_curve,
@@ -100,6 +104,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record a trace of the run to PATH (JSONL) and print its "
         "summary tables",
     )
+    _add_fault_args(opt)
 
     serve = sub.add_parser(
         "serve-batch",
@@ -140,6 +145,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH", default=None,
         help="record service + optimizer events to PATH (JSONL)",
     )
+    _add_fault_args(serve)
 
     trace = sub.add_parser(
         "trace", help="render a saved trace file (see optimize --trace)"
@@ -153,7 +159,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="regenerate an experiment family")
     bench.add_argument(
         "--experiment",
-        choices=("serial", "sva", "speedup", "allocation", "cache", "kernels"),
+        choices=(
+            "serial", "sva", "speedup", "allocation", "cache", "kernels",
+            "faults",
+        ),
         default="speedup",
     )
     bench.add_argument("--topology", choices=sorted(TOPOLOGIES), default="star")
@@ -171,6 +180,31 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_fault_args(parser) -> None:
+    parser.add_argument(
+        "--fault-plan", default=None,
+        help="fault-injection plan, e.g. 'worker:crash@worker=1' "
+        "(see repro.faults)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for probabilistic fault specs",
+    )
+    parser.add_argument(
+        "--retry-limit", type=int, default=None,
+        help="recovery attempts before degrading/raising",
+    )
+
+
+def _fault_plan(args) -> str | None:
+    """Assemble the fault plan string, folding in --fault-seed."""
+    plan = getattr(args, "fault_plan", None)
+    if plan is None:
+        return None
+    seed = getattr(args, "fault_seed", None)
+    return plan if seed is None else f"seed={seed};{plan}"
+
+
 def _build_config(args, tracer) -> "OptimizerConfig":
     """Resolve CLI optimizer arguments into one OptimizerConfig."""
     kwargs = dict(
@@ -178,6 +212,8 @@ def _build_config(args, tracer) -> "OptimizerConfig":
         threads=args.threads,
         cross_products=getattr(args, "cross_products", False),
         tracer=tracer,
+        fault_plan=_fault_plan(args),
+        retry_limit=getattr(args, "retry_limit", None),
     )
     if args.threads:
         kwargs.update(
@@ -264,6 +300,8 @@ def _cmd_serve_batch(args) -> int:
         cache_size=args.cache_size,
         request_timeout=args.timeout,
         tracer=tracer,
+        fault_plan=_fault_plan(args),
+        retry_limit=args.retry_limit,
     )
     with OptimizerService(config) as service:
         started = time.perf_counter()
@@ -271,7 +309,10 @@ def _cmd_serve_batch(args) -> int:
         wall = time.perf_counter() - started
         stats = service.stats()
     latencies = sorted(o.elapsed_seconds * 1e3 for o in outcomes)
-    sources = {source: 0 for source in ("miss", "hit", "shared", "fallback")}
+    sources = {
+        source: 0
+        for source in ("miss", "hit", "shared", "fallback", "error")
+    }
     for outcome in outcomes:
         sources[outcome.source] += 1
     cache = stats.plan_cache
@@ -368,6 +409,12 @@ def _cmd_bench(args) -> int:
         rows = wire_volume(
             args.topology, args.relations,
             threads=max(args.threads), seed=args.seed,
+        )
+        print(format_table(rows))
+    elif args.experiment == "faults":
+        rows = fault_tolerance(
+            args.topology, args.relations, seed=args.seed,
+            threads=min(2, max(args.threads)),
         )
         print(format_table(rows))
     else:  # allocation

@@ -75,6 +75,9 @@ DEFAULT_CACHE_SIZE = 256
 DEFAULT_SERVICE_WORKERS = 4
 DEFAULT_FALLBACK_ALGORITHM = "goo"
 
+DEFAULT_RETRY_LIMIT = 2
+DEFAULT_RETRY_BACKOFF = 0.02
+
 _SERVICE_ONLY = (
     "cache_size",
     "cache_ttl",
@@ -83,6 +86,11 @@ _SERVICE_ONLY = (
     "fallback_algorithm",
 )
 """Fields that size an OptimizerService; excluded from the plan digest."""
+
+_ROBUSTNESS = ("retry_limit", "retry_backoff", "fault_plan")
+"""Fault-tolerance knobs; excluded from the plan digest because recovery
+either reproduces the exact optimum or returns an uncached degraded
+result — cached plans are always fault-free optima."""
 
 
 @dataclass(frozen=True)
@@ -115,6 +123,18 @@ class OptimizerConfig:
             indefinitely.
         fallback_algorithm: Heuristic used when a deadline expires;
             ``None`` = default (``goo``).
+        retry_limit: Bounded-retry budget for fault recovery — extra
+            attempts after the first failure, both for executor work-unit
+            re-dispatch and for the service's per-request exact-
+            optimization retries; ``None`` = default (2).
+        retry_backoff: Base of the exponential backoff slept between
+            retry attempts, in seconds (attempt ``k`` waits
+            ``retry_backoff * 2**k``); ``None`` = default (0.02).
+        fault_plan: Fault-injection schedule for chaos testing — a plan
+            string parsed by :meth:`repro.faults.FaultInjector.from_plan`
+            (e.g. ``"worker:crash@worker=1"``) or a ready-made
+            :class:`~repro.faults.FaultInjector`.  ``None`` (the
+            default) injects nothing at zero cost.
         fast_path: Run the fused enumeration kernels against the
             struct-of-arrays memo backend where eligible (default on).
             Guaranteed result-identical to the reference path — plan,
@@ -140,6 +160,9 @@ class OptimizerConfig:
     service_workers: int | None = None
     request_timeout: float | None = None
     fallback_algorithm: str | None = None
+    retry_limit: int | None = None
+    retry_backoff: float | None = None
+    fault_plan: object | None = None
     fast_path: bool = True
 
     def __post_init__(self) -> None:
@@ -225,6 +248,24 @@ class OptimizerConfig:
                 f"fallback_algorithm {self.fallback_algorithm!r} is not a "
                 f"heuristic; expected one of {list(HEURISTIC_NAMES)}"
             )
+        if self.retry_limit is not None and self.retry_limit < 0:
+            raise ValidationError(
+                f"retry_limit must be >= 0, got {self.retry_limit}"
+            )
+        if self.retry_backoff is not None and self.retry_backoff < 0:
+            raise ValidationError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.fault_plan is not None:
+            from repro.faults import FaultInjector
+
+            if isinstance(self.fault_plan, str):
+                FaultInjector.from_plan(self.fault_plan)  # validate eagerly
+            elif not isinstance(self.fault_plan, FaultInjector):
+                raise ValidationError(
+                    f"fault_plan must be a plan string or a FaultInjector, "
+                    f"got {type(self.fault_plan).__name__}"
+                )
 
     # -- resolved values ------------------------------------------------
 
@@ -288,6 +329,24 @@ class OptimizerConfig:
             else DEFAULT_FALLBACK_ALGORITHM
         )
 
+    @property
+    def effective_retry_limit(self) -> int:
+        """Fault-recovery retry budget with the default applied."""
+        return (
+            self.retry_limit
+            if self.retry_limit is not None
+            else DEFAULT_RETRY_LIMIT
+        )
+
+    @property
+    def effective_retry_backoff(self) -> float:
+        """Retry backoff base with the default applied."""
+        return (
+            self.retry_backoff
+            if self.retry_backoff is not None
+            else DEFAULT_RETRY_BACKOFF
+        )
+
     # -- cached derivations ---------------------------------------------
     # The config is frozen, so anything derived from it is computed once
     # and reused by every optimize() call that carries the same config.
@@ -312,6 +371,22 @@ class OptimizerConfig:
         )
 
     @cached_property
+    def effective_fault_injector(self):
+        """The configured fault injector, or the shared disabled one.
+
+        A ``fault_plan`` string is parsed once per config; the null
+        injector advertises ``enabled=False`` so every instrumented site
+        skips it without a call.
+        """
+        from repro.faults import NULL_INJECTOR, FaultInjector
+
+        if self.fault_plan is None:
+            return NULL_INJECTOR
+        if isinstance(self.fault_plan, FaultInjector):
+            return self.fault_plan
+        return FaultInjector.from_plan(self.fault_plan)
+
+    @cached_property
     def digest(self) -> str:
         """Hex digest of every plan-relevant field (cached).
 
@@ -319,10 +394,13 @@ class OptimizerConfig:
         (:mod:`repro.service.fingerprint`): two configs with the same
         digest are guaranteed to choose the same plan for the same query.
         Excluded by construction: the tracer (observability never changes
-        the plan) and the service knobs (they size the serving layer, not
-        the search).
+        the plan), the service knobs (they size the serving layer, not
+        the search), and the fault-tolerance knobs (recovery reproduces
+        the exact optimum or degrades without caching).
         """
-        excluded = set(_SERVICE_ONLY) | {"tracer", "cost_model"}
+        excluded = (
+            set(_SERVICE_ONLY) | set(_ROBUSTNESS) | {"tracer", "cost_model"}
+        )
         parts = [
             f"{f.name}={getattr(self, f.name)!r}"
             for f in dataclass_fields(self)

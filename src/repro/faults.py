@@ -1,0 +1,329 @@
+"""Deterministic, seedable fault injection for the parallel + serving path.
+
+Han et al.'s parallel DP assumes every worker finishes its allocation;
+a production optimizer cannot.  This module is the chaos harness the
+recovery machinery is tested (and benchmarked — E12) against: a
+:class:`FaultInjector` holds a list of :class:`FaultSpec`\\ s and is
+threaded through the scheduler, all three executors, the plan cache, and
+the :class:`~repro.service.OptimizerService`.  Each *site* consults the
+injector at well-defined points and reacts to the returned action:
+
+========== =============================================================
+site       checked at
+========== =============================================================
+``worker``   once per (worker, stratum) before the worker runs its units
+             — in the forked worker process, the worker thread, or the
+             simulated virtual thread
+``stratum``  on the master, before each stratum is dispatched
+``cache``    on every :class:`~repro.service.PlanCache` ``get``/``put``
+``service``  in the service's miss runner, before the exact optimization
+========== =============================================================
+
+Three fault *kinds* exist.  ``raise`` raises :class:`InjectedFault`;
+``delay`` stalls the site (a real sleep on the real backends, a virtual
+straggler charge on the simulated one); ``crash`` kills a worker
+*process* outright (``os._exit``) and degenerates to ``raise`` at sites
+that have no process to kill.
+
+Determinism: firing decisions depend only on the spec list, the seed,
+and the order of matching opportunities — never on wall-clock time.
+Probabilistic specs draw from a per-spec ``random.Random`` stream seeded
+from ``(seed, spec index)``, so one seed reproduces one fault schedule.
+
+>>> injector = FaultInjector.from_plan("worker:raise@worker=1,stratum=3")
+>>> injector.fire("worker", worker=0, stratum=3) is None
+True
+>>> injector.fire("worker", worker=1, stratum=2) is None
+True
+>>> injector.fire("worker", worker=1, stratum=3).kind
+'raise'
+>>> injector.fire("worker", worker=1, stratum=3) is None  # count=1: spent
+True
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.errors import InjectedFault, ValidationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultAction",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "NULL_INJECTOR",
+    "NullFaultInjector",
+]
+
+FAULT_SITES = ("worker", "stratum", "cache", "service")
+"""Places the recovery machinery consults the injector."""
+
+FAULT_KINDS = ("crash", "raise", "delay")
+"""Supported fault behaviours."""
+
+#: Spec keys that configure the fault itself; everything else in a plan
+#: segment is a targeting coordinate matched against the site's coords.
+_CONTROL_KEYS = ("count", "p", "delay")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: where it strikes, what it does, and how often.
+
+    Attributes:
+        site: One of :data:`FAULT_SITES`.
+        kind: One of :data:`FAULT_KINDS`.
+        match: Targeting coordinates; the spec only fires when every
+            listed key equals the coordinate the site reports (e.g.
+            ``{"worker": 1, "stratum": 3}``).  Empty matches everywhere.
+        count: Maximum number of firings; ``None`` is unlimited.
+        probability: Per-opportunity firing probability (deterministic
+            per seed).
+        delay_seconds: Stall duration for ``delay`` faults.
+    """
+
+    site: str
+    kind: str
+    match: dict[str, Any] = field(default_factory=dict)
+    count: int | None = 1
+    probability: float = 1.0
+    delay_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValidationError(
+                f"unknown fault site {self.site!r}; expected one of "
+                f"{FAULT_SITES}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ValidationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.count is not None and self.count < 1:
+            raise ValidationError(
+                f"fault count must be >= 1 (or None), got {self.count}"
+            )
+        if not 0.0 < self.probability <= 1.0:
+            raise ValidationError(
+                f"fault probability must be in (0, 1], got "
+                f"{self.probability}"
+            )
+        if self.delay_seconds < 0:
+            raise ValidationError(
+                f"fault delay must be >= 0, got {self.delay_seconds}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultAction:
+    """What a fired fault wants the site to do."""
+
+    kind: str
+    delay_seconds: float
+    message: str
+
+
+class FaultInjector:
+    """Deterministic fault schedule shared by every instrumented site.
+
+    Args:
+        specs: The fault specs; opportunities are matched in list order
+            and at most one spec fires per opportunity.
+        seed: Seeds the per-spec probability streams.
+
+    The injector is thread-safe (sites fire from service pool threads and
+    executor worker threads concurrently) and fork-inheritable: worker
+    processes forked by the process executor carry a copy whose state at
+    fork time matches the master's, so targeting stays deterministic.
+    """
+
+    enabled = True
+
+    def __init__(self, specs, seed: int = 0) -> None:
+        self.specs = tuple(specs)
+        self.seed = seed
+        self._fired = [0] * len(self.specs)
+        self._rngs = [
+            random.Random(f"repro.faults:{seed}:{index}")
+            for index in range(len(self.specs))
+        ]
+        self._lock = threading.Lock()
+
+    # -- plan mini-language ---------------------------------------------
+
+    @classmethod
+    def from_plan(cls, plan: str, seed: int = 0) -> "FaultInjector":
+        """Parse a fault plan string.
+
+        Plans are ``;``-separated specs of the form
+        ``site:kind[@key=value,...]``.  ``count`` (int or ``inf``),
+        ``p`` (probability), and ``delay`` (seconds) configure the spec;
+        any other key is a targeting coordinate (``worker``/``stratum``
+        are parsed as ints, the rest kept as strings).  A leading
+        ``seed=N`` segment overrides the seed::
+
+            seed=7;worker:crash@worker=1;cache:raise@op=get,count=2
+        """
+        specs: list[FaultSpec] = []
+        for raw in plan.split(";"):
+            segment = raw.strip()
+            if not segment:
+                continue
+            if segment.startswith("seed="):
+                try:
+                    seed = int(segment[len("seed="):])
+                except ValueError as exc:
+                    raise ValidationError(
+                        f"bad fault-plan seed segment {segment!r}"
+                    ) from exc
+                continue
+            head, _, tail = segment.partition("@")
+            site, colon, kind = head.partition(":")
+            if not colon or not site or not kind:
+                raise ValidationError(
+                    f"bad fault spec {segment!r}; expected 'site:kind' "
+                    f"with optional '@key=value,...'"
+                )
+            match: dict[str, Any] = {}
+            count: int | None = 1
+            probability = 1.0
+            delay = 0.05
+            if tail:
+                for pair in tail.split(","):
+                    key, eq, value = pair.strip().partition("=")
+                    if not eq or not key or not value:
+                        raise ValidationError(
+                            f"bad fault spec option {pair!r} in {segment!r}"
+                        )
+                    try:
+                        if key == "count":
+                            count = (
+                                None if value in ("inf", "none")
+                                else int(value)
+                            )
+                        elif key == "p":
+                            probability = float(value)
+                        elif key == "delay":
+                            delay = float(value)
+                        elif key in ("worker", "stratum"):
+                            match[key] = int(value)
+                        else:
+                            match[key] = value
+                    except ValueError as exc:
+                        raise ValidationError(
+                            f"bad fault spec value {pair!r} in {segment!r}"
+                        ) from exc
+            specs.append(
+                FaultSpec(
+                    site=site.strip(),
+                    kind=kind.strip(),
+                    match=match,
+                    count=count,
+                    probability=probability,
+                    delay_seconds=delay,
+                )
+            )
+        return cls(specs, seed=seed)
+
+    # -- firing ---------------------------------------------------------
+
+    def fire(self, site: str, **coords) -> FaultAction | None:
+        """Report one opportunity at ``site``; returns the action to take.
+
+        At most one spec fires per opportunity (first match in spec
+        order).  The caller interprets the action — only the process
+        executor's worker loop can honour ``crash`` literally; other
+        sites treat it as ``raise`` (see :meth:`check`).
+        """
+        with self._lock:
+            for index, spec in enumerate(self.specs):
+                if spec.site != site:
+                    continue
+                if spec.count is not None and self._fired[index] >= spec.count:
+                    continue
+                if any(
+                    coords.get(key) != value
+                    for key, value in spec.match.items()
+                ):
+                    continue
+                if (
+                    spec.probability < 1.0
+                    and self._rngs[index].random() >= spec.probability
+                ):
+                    continue
+                self._fired[index] += 1
+                where = ", ".join(
+                    f"{key}={value}" for key, value in sorted(coords.items())
+                )
+                return FaultAction(
+                    kind=spec.kind,
+                    delay_seconds=spec.delay_seconds,
+                    message=(
+                        f"injected {spec.kind} at site {site!r}"
+                        + (f" ({where})" if where else "")
+                    ),
+                )
+        return None
+
+    def check(self, site: str, **coords) -> None:
+        """Fire-and-react convenience for sites without a process to kill.
+
+        ``delay`` sleeps for real; ``raise`` and ``crash`` both raise
+        :class:`InjectedFault` (a crash with no dedicated process is
+        indistinguishable from an abrupt error at that site).
+        """
+        action = self.fire(site, **coords)
+        if action is None:
+            return
+        if action.kind == "delay":
+            time.sleep(action.delay_seconds)
+            return
+        raise InjectedFault(action.message)
+
+    # -- introspection --------------------------------------------------
+
+    def fired(self) -> int:
+        """Total faults fired so far (all specs)."""
+        with self._lock:
+            return sum(self._fired)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(specs={len(self.specs)}, seed={self.seed}, "
+            f"fired={self.fired()})"
+        )
+
+
+class NullFaultInjector:
+    """The disabled injector: zero-cost no-ops at every site.
+
+    Call sites guard on :attr:`enabled`, so a fault-free run never pays
+    a function call on its hot paths.
+    """
+
+    enabled = False
+    specs: tuple = ()
+
+    def fire(self, site: str, **coords) -> None:
+        return None
+
+    def check(self, site: str, **coords) -> None:
+        return None
+
+    def fired(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NullFaultInjector()"
+
+
+NULL_INJECTOR = NullFaultInjector()
+"""Shared disabled injector (the default everywhere)."""

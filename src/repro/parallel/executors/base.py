@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.cost.estimator import CardinalityEstimator
+from repro.faults import NULL_INJECTOR
 from repro.memo.counters import WorkMeter
 from repro.memo.table import Memo
 from repro.parallel.allocation import Assignment
@@ -39,6 +40,12 @@ class RunState:
         wire_packed: Process backend only — ship per-stratum entry deltas
             in the packed columnar wire format instead of lists of
             6-tuples (requires masks to fit 64 bits).
+        injector: Fault injector consulted once per (worker, stratum);
+            the shared null injector when no fault plan is configured.
+        retry_limit: Extra recovery attempts an executor may spend
+            re-dispatching a failed worker's units before raising.
+        retry_backoff: Exponential-backoff base slept between recovery
+            attempts, in seconds.
     """
 
     ctx: QueryContext
@@ -53,6 +60,9 @@ class RunState:
     tracer: Tracer = NULL_TRACER
     fast_path: bool = False
     wire_packed: bool = False
+    injector: object = NULL_INJECTOR
+    retry_limit: int = 2
+    retry_backoff: float = 0.02
 
 
 class StratumExecutor(ABC):

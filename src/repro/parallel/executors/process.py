@@ -10,11 +10,28 @@ Workers are forked once per run (after scan seeding) so replicas start
 consistent; per-stratum traffic is one delta broadcast plus one candidate
 collection per worker.  This is the executor behind the real-speedup half
 of experiment E8.
+
+Fault tolerance: the master treats worker failure as a first-class event.
+A worker that raises mid-stratum reports ``("error", message, meter)``
+and stays in the pool; a worker that dies (crash, kill, injected
+``os._exit``) is detected by the broken pipe and retired.  Either way the
+failed worker's units are re-dispatched to surviving workers with bounded
+retries and exponential backoff (``RunState.retry_limit`` /
+``retry_backoff``).  Replicas converge regardless: candidate merges are
+idempotent min-merges, so re-running a partially completed unit cannot
+change the optimum, and the main meter stays exact because a failed
+attempt's partial counts are kept out of it (they are preserved
+separately in the ``fault_recovery`` extras).  Only when every worker is
+dead or the retry budget is exhausted does the run raise
+:class:`~repro.util.errors.OptimizationError` — which the serving layer
+degrades to a heuristic plan.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import time
 from contextlib import nullcontext
 from typing import Any
 
@@ -28,25 +45,34 @@ from repro.parallel.wire import (
 )
 from repro.parallel.workunits import KernelCaches, WorkUnit, run_unit
 from repro.trace.tracer import RecordingTracer
-from repro.util.errors import ValidationError
+from repro.util.errors import InjectedFault, OptimizationError, ValidationError
 
 EntryTuple = tuple[int, float, float, int, int, int]
 """(mask, cost, rows, left, right, method) — the legacy wire format for
 entries; see :mod:`repro.parallel.wire` for the packed alternative."""
 
+#: Exit status of a worker process killed by an injected crash fault.
+CRASH_EXIT_CODE = 70
 
-def _worker_loop(conn, state: RunState) -> None:
+
+def _worker_loop(conn, state: RunState, worker: int) -> None:
     """Worker process main loop (state inherited via fork).
 
     When the parent's tracer is enabled, each stratum is timed into a
     fresh child-side :class:`RecordingTracer` whose serialized event
     buffer rides back with the stratum reply; the parent merges it into
     the master tracer, stamped with the worker id.
-    """
-    import time
 
+    Failures never leave the loop silently: any exception while running
+    units (a raising cost model, an injected fault) is reported to the
+    master as an ``("error", message, partial_meter)`` reply and the loop
+    keeps serving — the worker stays available for re-dispatched units.
+    An injected ``crash`` fault exits the process abruptly instead; the
+    master sees the broken pipe.
+    """
     memo = state.memo
     caches = KernelCaches(memo, WorkMeter())
+    injector = state.injector
     trace_enabled = state.tracer.enabled
     fast = state.fast_path
     packed = state.wire_packed
@@ -65,20 +91,45 @@ def _worker_loop(conn, state: RunState) -> None:
                 if tracer is not None
                 else nullcontext()
             )
-            with span:
-                for unit in units:
-                    run_unit(
-                        unit,
-                        memo,
-                        state.ctx,
-                        caches,
-                        state.require_connected,
-                        meter,
-                        fast=fast,
+            try:
+                with span:
+                    if injector.enabled:
+                        action = injector.fire(
+                            "worker",
+                            worker=worker,
+                            stratum=size,
+                            backend="processes",
+                        )
+                        if action is not None:
+                            if action.kind == "crash":
+                                os._exit(CRASH_EXIT_CODE)
+                            if action.kind == "delay":
+                                time.sleep(action.delay_seconds)
+                            else:
+                                raise InjectedFault(action.message)
+                    for unit in units:
+                        run_unit(
+                            unit,
+                            memo,
+                            state.ctx,
+                            caches,
+                            state.require_connected,
+                            meter,
+                            fast=fast,
+                        )
+            except Exception as exc:
+                conn.send(
+                    (
+                        "error",
+                        f"{type(exc).__name__}: {exc}",
+                        meter.as_dict(),
                     )
+                )
+                continue
             elapsed = time.perf_counter() - start
             conn.send(
                 (
+                    "ok",
                     encode_stratum(memo, size, packed),
                     meter.as_dict(),
                     elapsed,
@@ -90,14 +141,21 @@ def _worker_loop(conn, state: RunState) -> None:
 
 
 class ProcessExecutor(StratumExecutor):
-    """Forked worker processes with replicated memos."""
+    """Forked worker processes with replicated memos and crash recovery."""
 
     def __init__(self) -> None:
         self._state: RunState | None = None
-        self._procs: list[mp.Process] = []
+        self._procs: list[mp.Process | None] = []
         self._conns: list[Any] = []
         self._bytes_sent = 0
         self._rounds = 0
+        self._recovery = {
+            "worker_errors": 0,
+            "worker_deaths": 0,
+            "redispatched_units": 0,
+            "redispatch_attempts": 0,
+        }
+        self._partial_meter = WorkMeter()
 
     def open(self, state: RunState) -> None:
         try:
@@ -107,10 +165,10 @@ class ProcessExecutor(StratumExecutor):
                 "ProcessExecutor requires the 'fork' start method"
             ) from exc
         self._state = state
-        for _ in range(state.threads):
+        for t in range(state.threads):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
-                target=_worker_loop, args=(child_conn, state), daemon=True
+                target=_worker_loop, args=(child_conn, state, t), daemon=True
             )
             proc.start()
             child_conn.close()
@@ -118,6 +176,110 @@ class ProcessExecutor(StratumExecutor):
             self._conns.append(parent_conn)
         # Empty first delta in the run's wire encoding (size-0 stratum).
         self._pending_delta = encode_stratum(state.memo, 0, state.wire_packed)
+
+    # -- worker bookkeeping ---------------------------------------------
+
+    def _alive(self) -> list[int]:
+        return [t for t, conn in enumerate(self._conns) if conn is not None]
+
+    def _retire(self, t: int, size: int) -> None:
+        """Retire a dead worker: close its pipe, reap its process."""
+        conn, proc = self._conns[t], self._procs[t]
+        self._conns[t] = None
+        self._procs[t] = None
+        if conn is not None:
+            conn.close()
+        if proc is not None:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+        self._recovery["worker_deaths"] += 1
+        state = self._state
+        if state is not None and state.tracer.enabled:
+            state.tracer.counter("fault.worker_dead", size=size, worker=t)
+
+    def _collect(self, t: int, size: int):
+        """Receive one reply from worker ``t``.
+
+        Returns the successful reply tuple, or ``None`` when the worker
+        failed (errored or died) — in which case it has been counted and,
+        if dead, retired.
+        """
+        state = self._state
+        assert state is not None
+        try:
+            reply = self._conns[t].recv()
+        except (EOFError, ConnectionResetError, OSError):
+            self._retire(t, size)
+            return None
+        if reply[0] == "error":
+            _, message, partial_counts = reply
+            self._recovery["worker_errors"] += 1
+            # Keep the failed attempt's partial counts out of the main
+            # meter (its units are re-run in full by a survivor) but
+            # preserve them for observability.
+            self._partial_meter.merge_dict(partial_counts)
+            if state.tracer.enabled:
+                state.tracer.counter(
+                    "fault.worker_error", size=size, worker=t
+                )
+            return None
+        return reply
+
+    def _redispatch(
+        self, size: int, units: list[WorkUnit], prefer: list[int]
+    ) -> None:
+        """Re-run a failed worker's units on survivors, bounded retries.
+
+        ``prefer`` lists workers that completed the stratum cleanly; they
+        are tried first so re-dispatched units land on replicas whose
+        meters stay exact.  Attempt ``k`` sleeps ``retry_backoff * 2**k``
+        first (exponential backoff), and after ``retry_limit`` extra
+        attempts the remaining units are declared lost.
+        """
+        state = self._state
+        assert state is not None
+        empty_delta = encode_stratum(state.memo, 0, state.wire_packed)
+        last_error = "no surviving workers"
+        for attempt in range(state.retry_limit + 1):
+            targets = [t for t in prefer if self._conns[t] is not None]
+            targets += [t for t in self._alive() if t not in targets]
+            if not targets:
+                break
+            if attempt and state.retry_backoff:
+                time.sleep(state.retry_backoff * (2 ** (attempt - 1)))
+            target = targets[attempt % len(targets)]
+            self._recovery["redispatch_attempts"] += 1
+            if state.tracer.enabled:
+                state.tracer.counter(
+                    "fault.redispatch", len(units), size=size, worker=target
+                )
+            try:
+                self._conns[target].send(
+                    ("stratum", size, empty_delta, units)
+                )
+            except (BrokenPipeError, OSError):
+                self._retire(target, size)
+                continue
+            self._bytes_sent += payload_nbytes(empty_delta)
+            reply = self._collect(target, size)
+            if reply is None:
+                last_error = f"worker {target} failed during re-dispatch"
+                continue
+            _, candidates, meter_counts, _elapsed, payload = reply
+            apply_stratum(state.memo, candidates)
+            state.meter.merge_dict(meter_counts)
+            self._bytes_sent += payload_nbytes(candidates)
+            if state.tracer.enabled and payload:
+                state.tracer.ingest(payload, worker=target)
+            self._recovery["redispatched_units"] += len(units)
+            return
+        raise OptimizationError(
+            f"stratum {size}: {len(units)} work units lost after "
+            f"{state.retry_limit + 1} recovery attempts ({last_error})"
+        )
+
+    # -- the stratum barrier --------------------------------------------
 
     def run_stratum(
         self, size: int, units: list[WorkUnit], assignment: Assignment | None
@@ -130,26 +292,62 @@ class ProcessExecutor(StratumExecutor):
                 "executor"
             )
         delta = self._pending_delta
-        for t, conn in enumerate(self._conns):
-            conn.send(("stratum", size, delta, assignment[t]))
-        self._bytes_sent += payload_nbytes(delta) * len(self._conns)
+        alive = self._alive()
+        if not alive:
+            raise OptimizationError(
+                "all worker processes have died; cannot run stratum "
+                f"{size}"
+            )
+        # Workers retired in earlier strata leave orphaned buckets; fold
+        # them into the survivors round-robin (replicas are identical, so
+        # any worker can run any unit).
+        buckets = {t: list(assignment[t]) for t in alive}
+        orphaned = [
+            unit
+            for t in range(len(assignment))
+            if t not in buckets
+            for unit in assignment[t]
+        ]
+        for i, unit in enumerate(orphaned):
+            buckets[alive[i % len(alive)]].append(unit)
+
+        sent: list[int] = []
+        failed_units: list[WorkUnit] = []
+        for t in alive:
+            try:
+                self._conns[t].send(("stratum", size, delta, buckets[t]))
+            except (BrokenPipeError, OSError):
+                self._retire(t, size)
+                failed_units.extend(buckets[t])
+                continue
+            sent.append(t)
+            self._bytes_sent += payload_nbytes(delta)
+
         tracer = state.tracer
-        walls: list[float] = []
-        pairs: list[int] = []
-        for t, conn in enumerate(self._conns):
-            candidates, meter_counts, elapsed, payload = conn.recv()
+        walls: dict[int, float] = {}
+        pairs: dict[int, int] = {}
+        clean: list[int] = []
+        for t in sent:
+            reply = self._collect(t, size)
+            if reply is None:
+                failed_units.extend(buckets[t])
+                continue
+            _, candidates, meter_counts, elapsed, payload = reply
             apply_stratum(state.memo, candidates)
             state.meter.merge_dict(meter_counts)
             self._bytes_sent += payload_nbytes(candidates)
-            walls.append(elapsed)
-            pairs.append(meter_counts.get("pairs_considered", 0))
+            walls[t] = elapsed
+            pairs[t] = meter_counts.get("pairs_considered", 0)
+            clean.append(t)
             if tracer.enabled and payload:
                 tracer.ingest(payload, worker=t)
+        if failed_units:
+            self._redispatch(size, failed_units, prefer=clean)
         if tracer.enabled:
-            slowest = max(walls, default=0.0)
-            for t in range(state.threads):
+            slowest = max(walls.values(), default=0.0)
+            for t in clean:
                 tracer.counter(
-                    "worker.units", len(assignment[t]), size=size, worker=t
+                    "worker.units", len(buckets[t]), size=size, worker=t
                 )
                 tracer.counter("worker.pairs", pairs[t], size=size, worker=t)
                 tracer.gauge("worker.busy", walls[t], size=size, worker=t)
@@ -167,19 +365,27 @@ class ProcessExecutor(StratumExecutor):
 
     def close(self) -> dict[str, Any]:
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):  # pragma: no cover
                 pass
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=10)
             if proc.is_alive():  # pragma: no cover - hung worker
                 proc.terminate()
         for conn in self._conns:
-            conn.close()
+            if conn is not None:
+                conn.close()
         self._procs.clear()
         self._conns.clear()
+        recovery = dict(self._recovery)
+        recovery["partial_meter"] = self._partial_meter.as_dict()
         return {
             "rounds": self._rounds,
             "approx_bytes_sent": self._bytes_sent,
+            "fault_recovery": recovery,
         }

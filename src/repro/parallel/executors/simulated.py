@@ -7,6 +7,14 @@ accounted by :class:`~repro.simx.machine.SimulatedMachine`.
 
 Memo updates are routed through a recording view so the contention model
 knows which threads touched which entries within the stratum.
+
+Fault tolerance: injected worker faults fire per (virtual thread,
+stratum).  A ``delay`` fault is charged as *virtual* straggler time on
+the target thread (no real sleep — the simulated clock absorbs it, so
+chaos runs stay fast and deterministic); ``raise``/``crash`` faults move
+the thread's remaining units to the next virtual thread with bounded
+retries.  Unit meters are merged only after a unit completes, so the
+merged totals stay exact under recovery.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from repro.parallel.executors.base import RunState, StratumExecutor
 from repro.parallel.workunits import WorkUnit, run_unit
 from repro.simx.costparams import SimCostParams
 from repro.simx.machine import SimulatedMachine
+from repro.util.errors import InjectedFault, OptimizationError
 
 
 class _RecordingMemoView:
@@ -68,6 +77,8 @@ class SimulatedExecutor(StratumExecutor):
         self.params = params or SimCostParams()
         self._state: RunState | None = None
         self.machine: SimulatedMachine | None = None
+        self._recovery = {"worker_errors": 0, "redispatched_units": 0,
+                          "redispatch_attempts": 0}
 
     def open(self, state: RunState) -> None:
         self._state = state
@@ -110,16 +121,72 @@ class SimulatedExecutor(StratumExecutor):
             pair_counts[t] += unit_meter.pairs_considered
             state.meter.merge(unit_meter)
 
+        injector = state.injector
+        tracer = state.tracer
+
+        def probe(t: int) -> None:
+            # One injection opportunity per (virtual thread, stratum
+            # touch); delay is charged as virtual straggler time.
+            if not injector.enabled:
+                return
+            action = injector.fire(
+                "worker", worker=t, stratum=size, backend="simulated"
+            )
+            if action is None:
+                return
+            if action.kind == "delay":
+                busy[t] += action.delay_seconds
+                return
+            raise InjectedFault(action.message)
+
+        def run_bucket(t: int, bucket) -> None:
+            # Run a bucket on thread ``t``, migrating the remaining units
+            # to the next virtual thread on failure (bounded retries).
+            # Unit meters merge only on unit completion, so recovery
+            # never double-counts.
+            pending = list(bucket)
+            target = t
+            attempt = 0
+            while pending:
+                try:
+                    probe(target)
+                    while pending:
+                        run_on(pending[0], target)
+                        pending.pop(0)
+                except Exception as exc:
+                    self._recovery["worker_errors"] += 1
+                    if tracer.enabled:
+                        tracer.counter(
+                            "fault.worker_error", size=size, worker=target
+                        )
+                    attempt += 1
+                    if attempt > state.retry_limit:
+                        raise OptimizationError(
+                            f"stratum {size}: virtual thread {t} failed "
+                            f"and {state.retry_limit + 1} recovery "
+                            f"attempts were exhausted "
+                            f"({type(exc).__name__}: {exc})"
+                        ) from exc
+                    target = (target + 1) % threads
+                    self._recovery["redispatch_attempts"] += 1
+                    self._recovery["redispatched_units"] += len(pending)
+                    if tracer.enabled:
+                        tracer.counter(
+                            "fault.redispatch",
+                            len(pending),
+                            size=size,
+                            worker=target,
+                        )
+
         if assignment is None:
             # Dynamic (work-stealing oracle): each unit goes to the thread
             # with the least *actual* accumulated time so far.
             for unit in units:
                 t = min(range(threads), key=lambda i: (busy[i], i))
-                run_on(unit, t)
+                run_bucket(t, [unit])
         else:
             for t, bucket in enumerate(assignment):
-                for unit in bucket:
-                    run_on(unit, t)
+                run_bucket(t, bucket)
         build_after = self.params.work_time(state.caches_meter)
         machine.report.master_cost += build_after - build_before
         timing = machine.record_stratum(size, len(units), busy, touches)
@@ -149,4 +216,7 @@ class SimulatedExecutor(StratumExecutor):
 
     def close(self) -> dict[str, Any]:
         assert self.machine is not None
-        return {"sim_report": self.machine.report}
+        return {
+            "sim_report": self.machine.report,
+            "fault_recovery": dict(self._recovery),
+        }

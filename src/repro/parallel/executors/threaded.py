@@ -8,6 +8,13 @@ demonstrate exactly that gate (experiment E8) and to validate that the
 parallel decomposition is correct under true concurrency (final memo
 contents are identical to serial runs thanks to the deterministic
 tie-break).
+
+Fault tolerance: a worker thread that raises (broken cost model, injected
+fault) is caught at the stratum barrier; its partial meter is discarded
+and its whole bucket is re-run on the master thread with bounded retries
+and exponential backoff.  Memo writes are idempotent min-merges, so the
+re-run converges on exactly the serial optimum and the merged meter stays
+exact (each unit is counted by exactly one successful attempt).
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from repro.memo.counters import WorkMeter
 from repro.parallel.allocation import Assignment
 from repro.parallel.executors.base import RunState, StratumExecutor
 from repro.parallel.workunits import WorkUnit, run_unit
-from repro.util.errors import ValidationError
+from repro.util.errors import OptimizationError, ValidationError
 
 
 class ThreadedExecutor(StratumExecutor):
@@ -30,6 +37,8 @@ class ThreadedExecutor(StratumExecutor):
     def __init__(self) -> None:
         self._state: RunState | None = None
         self._stratum_walls: list[float] = []
+        self._recovery = {"worker_errors": 0, "redispatched_units": 0,
+                          "redispatch_attempts": 0}
 
     def open(self, state: RunState) -> None:
         if not isinstance(state.memo, LockStripedMemo):
@@ -58,19 +67,34 @@ class ThreadedExecutor(StratumExecutor):
                 state.caches.dpsub_stratum(unit.size)
         meters = [WorkMeter() for _ in range(state.threads)]
         busy = [0.0] * state.threads
+        errors: list[Exception | None] = [None] * state.threads
+        injector = state.injector
 
         def work(t: int) -> None:
             t0 = time.perf_counter()
-            for unit in assignment[t]:
-                run_unit(
-                    unit,
-                    state.memo,
-                    state.ctx,
-                    state.caches,
-                    state.require_connected,
-                    meters[t],
-                    fast=state.fast_path,
-                )
+            try:
+                if injector.enabled:
+                    # A thread cannot crash the process the way a worker
+                    # process can; check() maps crash to raise.
+                    injector.check(
+                        "worker", worker=t, stratum=size, backend="threads"
+                    )
+                for unit in assignment[t]:
+                    run_unit(
+                        unit,
+                        state.memo,
+                        state.ctx,
+                        state.caches,
+                        state.require_connected,
+                        meters[t],
+                        fast=state.fast_path,
+                    )
+            except Exception as exc:
+                # Discard the partial meter: the bucket is re-run whole
+                # at the barrier, so keeping partial counts would double
+                # count (memo writes are idempotent and need no undo).
+                errors[t] = exc
+                meters[t] = WorkMeter()
             busy[t] = time.perf_counter() - t0
 
         start = time.perf_counter()
@@ -84,6 +108,9 @@ class ThreadedExecutor(StratumExecutor):
             thread.join()  # the stratum barrier
         wall = time.perf_counter() - start
         self._stratum_walls.append(wall)
+        for t in range(state.threads):
+            if errors[t] is not None:
+                meters[t] = self._recover(size, t, assignment[t], errors[t])
         for meter in meters:
             state.meter.merge(meter)
         tracer = state.tracer
@@ -106,5 +133,67 @@ class ThreadedExecutor(StratumExecutor):
                     worker=t,
                 )
 
+    def _recover(
+        self,
+        size: int,
+        t: int,
+        units: list[WorkUnit],
+        error: Exception,
+    ) -> WorkMeter:
+        """Re-run a failed worker thread's bucket on the master thread.
+
+        Bounded retries with exponential backoff; the injector is
+        consulted again per attempt (with a ``retry`` coordinate) so
+        persistent fault plans can exhaust the budget.  Returns the
+        successful attempt's meter.
+        """
+        state = self._state
+        assert state is not None
+        self._recovery["worker_errors"] += 1
+        if state.tracer.enabled:
+            state.tracer.counter("fault.worker_error", size=size, worker=t)
+        last = error
+        for attempt in range(state.retry_limit + 1):
+            if attempt and state.retry_backoff:
+                time.sleep(state.retry_backoff * (2 ** (attempt - 1)))
+            self._recovery["redispatch_attempts"] += 1
+            if state.tracer.enabled:
+                state.tracer.counter(
+                    "fault.redispatch", len(units), size=size, worker=t
+                )
+            retry_meter = WorkMeter()
+            try:
+                if state.injector.enabled:
+                    state.injector.check(
+                        "worker",
+                        worker=t,
+                        stratum=size,
+                        backend="threads",
+                        retry=attempt + 1,
+                    )
+                for unit in units:
+                    run_unit(
+                        unit,
+                        state.memo,
+                        state.ctx,
+                        state.caches,
+                        state.require_connected,
+                        retry_meter,
+                        fast=state.fast_path,
+                    )
+            except Exception as exc:
+                last = exc
+                continue
+            self._recovery["redispatched_units"] += len(units)
+            return retry_meter
+        raise OptimizationError(
+            f"stratum {size}: worker {t} failed and "
+            f"{state.retry_limit + 1} recovery attempts were exhausted "
+            f"({type(last).__name__}: {last})"
+        ) from last
+
     def close(self) -> dict[str, Any]:
-        return {"stratum_wall_times": list(self._stratum_walls)}
+        return {
+            "stratum_wall_times": list(self._stratum_walls),
+            "fault_recovery": dict(self._recovery),
+        }

@@ -157,6 +157,7 @@ class ParallelDP:
         caches_meter = WorkMeter()
         executor = self._make_executor()
         tracer = self.tracer
+        injector = self.config.effective_fault_injector
 
         start = time.perf_counter()
         with tracer.span(
@@ -182,6 +183,9 @@ class ParallelDP:
                 tracer=tracer,
                 fast_path=self.fast_path,
                 wire_packed=self.fast_path and ctx.n <= 64,
+                injector=injector,
+                retry_limit=self.config.effective_retry_limit,
+                retry_backoff=self.config.effective_retry_backoff,
             )
             executor.open(state)
             # Dynamic allocation has no precomputed assignment, so its
@@ -190,6 +194,14 @@ class ParallelDP:
             unit_counts: list[int] = []
             try:
                 for size in range(2, ctx.n + 1):
+                    if injector.enabled:
+                        # Master-side stratum fault: a raise here escapes
+                        # executor-level recovery by design (the serving
+                        # layer absorbs it); recovery below this point is
+                        # the executors' job.
+                        injector.check(
+                            "stratum", stratum=size, backend=self.backend
+                        )
                     units = stratum_units(
                         self.algorithm,
                         memo,

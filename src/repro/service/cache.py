@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.faults import NULL_INJECTOR
 from repro.trace.tracer import NULL_TRACER, Tracer
 from repro.util.errors import ValidationError
 
@@ -98,6 +99,12 @@ class PlanCache:
             ``cache.eviction`` / ``cache.stale`` / ``cache.invalidated``
             counters are emitted with ``tier=<tier>`` when enabled.
         clock: Monotonic time source (injectable for tests).
+        injector: Optional :class:`~repro.faults.FaultInjector`; when
+            enabled, ``get``/``put`` consult the ``cache`` fault site
+            (coordinates ``op`` and ``tier``) before touching the map,
+            so chaos tests can exercise a flaky cache tier.  Raised
+            :class:`~repro.util.errors.InjectedFault`\\ s escape to the
+            caller (the service fails open and treats them as misses).
     """
 
     def __init__(
@@ -107,6 +114,7 @@ class PlanCache:
         tier: str = "plan",
         tracer: Tracer | None = None,
         clock: Callable[[], float] = time.monotonic,
+        injector=None,
     ) -> None:
         if max_entries < 1:
             raise ValidationError(
@@ -120,6 +128,7 @@ class PlanCache:
         self.ttl_seconds = ttl_seconds
         self.tier = tier
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._injector = injector if injector is not None else NULL_INJECTOR
         self._clock = clock
         self._lock = threading.Lock()
         self._entries: OrderedDict[Any, _Entry] = OrderedDict()
@@ -139,6 +148,8 @@ class PlanCache:
         dropped and counted (``stale`` / ``invalidated``) in addition to
         the miss.
         """
+        if self._injector.enabled:
+            self._injector.check("cache", op="get", tier=self.tier)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -169,6 +180,8 @@ class PlanCache:
 
     def put(self, key: Any, value: Any) -> None:
         """Insert or refresh ``key``, evicting LRU entries past capacity."""
+        if self._injector.enabled:
+            self._injector.check("cache", op="put", tier=self.tier)
         with self._lock:
             if key in self._entries:
                 del self._entries[key]
@@ -205,8 +218,11 @@ class PlanCache:
 
     @property
     def version(self) -> int:
-        """Current catalog/stats version."""
-        return self._version
+        """Current catalog/stats version (read under the cache lock, so
+        it is always consistent with concurrent :meth:`bump_version`
+        calls)."""
+        with self._lock:
+            return self._version
 
     # -- introspection --------------------------------------------------
 

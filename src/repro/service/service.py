@@ -19,7 +19,22 @@ source     meaning
 ``shared`` joined an identical in-flight optimization (singleflight)
 ``fallback`` the deadline expired; a heuristic plan was returned while
            the exact optimization kept running to warm the cache
+``error``  the optimization failed (worker exception, exhausted retry
+           budget); a heuristic plan was returned with the error
+           message attached
 ========== ==========================================================
+
+Failure semantics: a miss that raises is retried up to
+``retry_limit`` times with exponential backoff (``retry_backoff``)
+before degrading to the heuristic fallback with ``source="error"`` —
+the miss caller *and* every singleflight waiter observe the same
+degraded outcome; nothing re-raises into callers.  Degraded results
+are never cached, so cached plans are always fault-free optima.
+
+Deadlines are true remaining-time budgets: a single request's wait is
+``timeout`` minus the time already spent fingerprinting and staging,
+and a batch shares one budget measured from batch entry — a batch of N
+misses settles in at most ~``timeout``, not N×``timeout``.
 """
 
 from __future__ import annotations
@@ -27,19 +42,19 @@ from __future__ import annotations
 import concurrent.futures
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.enumerate.base import OptimizationResult
 from repro.query.context import QueryContext
 from repro.query.joingraph import Query
 from repro.service.cache import CacheStats, PlanCache
 from repro.service.fingerprint import QueryFingerprint, fingerprint_query
-from repro.trace.tracer import NULL_TRACER, Tracer
-from repro.util.errors import ValidationError
+from repro.trace.tracer import Tracer
+from repro.util.errors import InjectedFault, ValidationError
 
 __all__ = ["OptimizerService", "ServiceResult", "ServiceStats"]
 
-_SOURCES = ("hit", "miss", "shared", "fallback")
+_SOURCES = ("hit", "miss", "shared", "fallback", "error")
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,12 +64,15 @@ class ServiceResult:
     Attributes:
         result: The optimization outcome (exact, cached, or heuristic).
         source: How the plan was produced — ``"hit"``, ``"miss"``,
-            ``"shared"``, or ``"fallback"``.
+            ``"shared"``, ``"fallback"``, or ``"error"``.
         fingerprint: The request's :class:`QueryFingerprint`.
         elapsed_seconds: Wall-clock service latency for this request,
             including any cache lookups and queueing.
-        degraded: True iff the deadline expired and ``result`` carries a
-            heuristic plan rather than the exact optimum.
+        degraded: True iff ``result`` carries a heuristic plan rather
+            than the exact optimum (deadline expiry or optimization
+            failure).
+        error: The failure message when ``source == "error"``; ``None``
+            otherwise.
     """
 
     result: OptimizationResult
@@ -62,6 +80,7 @@ class ServiceResult:
     fingerprint: QueryFingerprint
     elapsed_seconds: float
     degraded: bool = False
+    error: str | None = None
 
     @property
     def plan(self):
@@ -93,6 +112,11 @@ class ServiceStats:
             singleflight guarantee).
         shared: Requests that joined an in-flight optimization.
         fallbacks: Requests degraded to a heuristic plan on deadline.
+        errors: Requests degraded because the optimization failed
+            (``source == "error"``); singleflight waiters count
+            individually, like ``fallbacks``.
+        retries: Optimization retry attempts spent recovering from
+            worker failures (counted once per attempt, not per waiter).
         plan_cache: The plan tier's :class:`CacheStats`.
         fingerprint_cache: The fingerprint tier's :class:`CacheStats`.
     """
@@ -102,17 +126,23 @@ class ServiceStats:
     optimizations: int
     shared: int
     fallbacks: int
+    errors: int
+    retries: int
     plan_cache: CacheStats
     fingerprint_cache: CacheStats
 
 
-@dataclass
-class _Flight:
-    """One in-flight optimization shared by identical requests."""
+@dataclass(frozen=True, slots=True)
+class _MissOutcome:
+    """What one worker-pool optimization produced.
 
-    future: concurrent.futures.Future
-    waiters: int = 0
-    lock: threading.Lock = field(default_factory=threading.Lock)
+    The miss task never raises into its future; failures surface as a
+    fallback ``result`` plus the ``error`` message, so the miss caller
+    and every singleflight waiter settle through one code path.
+    """
+
+    result: OptimizationResult
+    error: str | None = None
 
 
 class OptimizerService:
@@ -123,13 +153,17 @@ class OptimizerService:
             fields select the algorithm exactly as :func:`repro.optimize`
             would; the service knobs (``cache_size``, ``cache_ttl``,
             ``service_workers``, ``request_timeout``,
-            ``fallback_algorithm``) size this service.  ``None`` uses the
+            ``fallback_algorithm``) size this service, and the
+            robustness knobs (``retry_limit``, ``retry_backoff``,
+            ``fault_plan``) govern failure handling.  ``None`` uses the
             defaults.
         cache: Pre-built plan :class:`PlanCache` (overrides the config's
             cache sizing) — lets several services share one cache.
         tracer: Observability sink; falls back to ``config.tracer``.
             Cache tiers emit ``cache.*`` counters against it, and the
-            service emits ``service.request`` / ``service.fallback``.
+            service emits ``service.request`` / ``service.fallback`` /
+            ``service.error`` / ``service.retry`` /
+            ``service.cache_error``.
 
     The service is safe for concurrent use from many threads and is a
     context manager (``with OptimizerService() as svc: ...``); exit shuts
@@ -156,16 +190,21 @@ class OptimizerService:
         self.tracer = (
             tracer if tracer is not None else config.effective_tracer
         )
+        self._injector = config.effective_fault_injector
+        self._retry_limit = config.effective_retry_limit
+        self._retry_backoff = config.effective_retry_backoff
         self.cache = cache if cache is not None else PlanCache(
             max_entries=config.effective_cache_size,
             ttl_seconds=config.cache_ttl,
             tier="plan",
             tracer=self.tracer,
+            injector=self._injector,
         )
         self._fingerprints = PlanCache(
             max_entries=config.effective_cache_size,
             tier="fingerprint",
             tracer=self.tracer,
+            injector=self._injector,
         )
         self.timeout = config.request_timeout
         self.fallback_algorithm = config.effective_fallback_algorithm
@@ -174,12 +213,14 @@ class OptimizerService:
             thread_name_prefix="repro-service",
         )
         self._lock = threading.Lock()
-        self._inflight: dict[str, _Flight] = {}
+        self._inflight: dict[str, concurrent.futures.Future] = {}
         self._requests = 0
         self._hits = 0
         self._optimizations = 0
         self._shared = 0
         self._fallbacks = 0
+        self._errors = 0
+        self._retries = 0
         self._closed = False
 
     # -- public API -----------------------------------------------------
@@ -192,7 +233,9 @@ class OptimizerService:
         Args:
             query: A bound query (or prepared context; its query is used).
             timeout: Per-request deadline in seconds, overriding the
-                config's ``request_timeout``.  On expiry a heuristic plan
+                config's ``request_timeout``.  The deadline is measured
+                from request entry (fingerprinting and staging spend it
+                too).  On expiry a heuristic plan
                 (``fallback_algorithm``) is returned with
                 ``degraded=True`` — never an exception — while the exact
                 optimization continues in the background to warm the
@@ -201,10 +244,12 @@ class OptimizerService:
         start = time.perf_counter()
         query = self._coerce(query)
         fingerprint = self._fingerprint(query)
-        source, flight, result = self._lookup_or_launch(query, fingerprint)
+        source, future, result = self._lookup_or_launch(query, fingerprint)
+        deadline = self.timeout if timeout is None else timeout
+        if deadline is not None:
+            deadline = max(0.0, deadline - (time.perf_counter() - start))
         return self._settle(
-            query, fingerprint, source, flight, result, start,
-            self.timeout if timeout is None else timeout,
+            query, fingerprint, source, future, result, start, deadline
         )
 
     def optimize_batch(
@@ -215,17 +260,22 @@ class OptimizerService:
         All misses are launched before any result is awaited, so distinct
         queries optimize concurrently on the worker pool and duplicate
         members share one flight.  Results preserve input order.  The
-        timeout applies per request.
+        timeout is one *shared* budget measured from batch entry: each
+        item waits only the budget remaining when its turn to settle
+        comes, so a batch of N misses settles in at most ~``timeout``
+        total (plus one fallback computation per expired item), never
+        N×``timeout``.
         """
+        batch_start = time.perf_counter()
         staged: list[ServiceResult | tuple] = []
         for query in queries:
             start = time.perf_counter()
             query = self._coerce(query)
             fingerprint = self._fingerprint(query)
-            source, flight, result = self._lookup_or_launch(
+            source, future, result = self._lookup_or_launch(
                 query, fingerprint
             )
-            if flight is None:
+            if future is None:
                 # Cache hits settle immediately, so their recorded latency
                 # is the lookup itself, not the whole batch.
                 staged.append(
@@ -234,20 +284,27 @@ class OptimizerService:
                     )
                 )
             else:
-                staged.append((query, fingerprint, start, source, flight))
+                staged.append((query, fingerprint, start, source, future))
         deadline = self.timeout if timeout is None else timeout
         # Misses were all launched above, so they optimize concurrently;
-        # each request's latency runs from its own staging time.
+        # each request's latency runs from its own staging time while the
+        # deadline budget runs from batch entry.
         settled: list[ServiceResult] = []
         for item in staged:
             if isinstance(item, ServiceResult):
                 settled.append(item)
             else:
-                query, fingerprint, start, source, flight = item
+                query, fingerprint, start, source, future = item
+                remaining = None
+                if deadline is not None:
+                    remaining = max(
+                        0.0,
+                        deadline - (time.perf_counter() - batch_start),
+                    )
                 settled.append(
                     self._settle(
-                        query, fingerprint, source, flight, None, start,
-                        deadline,
+                        query, fingerprint, source, future, None, start,
+                        remaining,
                     )
                 )
         return settled
@@ -269,13 +326,24 @@ class OptimizerService:
                 optimizations=self._optimizations,
                 shared=self._shared,
                 fallbacks=self._fallbacks,
+                errors=self._errors,
+                retries=self._retries,
                 plan_cache=self.cache.stats(),
                 fingerprint_cache=self._fingerprints.stats(),
             )
 
     def close(self, wait: bool = True) -> None:
-        """Shut the worker pool down; idempotent."""
-        self._closed = True
+        """Shut the worker pool down; idempotent.
+
+        The closed flag is set under the service lock so a request that
+        already passed its closed-check settles normally; requests
+        arriving after are rejected with
+        :class:`~repro.util.errors.ValidationError`.  The pool shutdown
+        itself happens outside the lock (miss tasks take the lock to
+        deregister, so holding it while waiting would deadlock).
+        """
+        with self._lock:
+            self._closed = True
         self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "OptimizerService":
@@ -298,63 +366,124 @@ class OptimizerService:
         return query.query if isinstance(query, QueryContext) else query
 
     def _fingerprint(self, query: Query) -> QueryFingerprint:
-        cached = self._fingerprints.get(query)
+        cached = self._cache_get(self._fingerprints, query)
         if cached is not None:
             return cached
         fingerprint = fingerprint_query(query, self.config)
-        self._fingerprints.put(query, fingerprint)
+        self._cache_put(self._fingerprints, query, fingerprint)
         return fingerprint
+
+    def _cache_get(self, cache: PlanCache, key):
+        """Cache lookup that absorbs injected cache faults.
+
+        Fail-open: a faulting cache tier is served as a miss (counted as
+        ``service.cache_error``), never an exception to the caller.  May
+        run with the service lock held, so it must not take it.
+        """
+        try:
+            return cache.get(key)
+        except InjectedFault:
+            if self.tracer.enabled:
+                self.tracer.counter("service.cache_error", tier=cache.tier)
+            return None
+
+    def _cache_put(self, cache: PlanCache, key, value) -> None:
+        """Cache insert that absorbs injected cache faults (fail-open)."""
+        try:
+            cache.put(key, value)
+        except InjectedFault:
+            if self.tracer.enabled:
+                self.tracer.counter("service.cache_error", tier=cache.tier)
 
     def _lookup_or_launch(self, query, fingerprint):
         """Resolve a request to a hit, a joined flight, or a new flight.
 
-        Returns ``(source, flight, cached_result)``; exactly one of
-        ``flight`` / ``cached_result`` is set.  Atomic under the service
-        lock: two identical concurrent requests can never both launch.
+        Returns ``(source, future, cached_result)``; exactly one of
+        ``future`` / ``cached_result`` is set.  Atomic under the service
+        lock: two identical concurrent requests can never both launch,
+        and the closed-check races with :meth:`close` under the same
+        lock (a post-shutdown submit is translated to
+        :class:`ValidationError` rather than leaking the pool's bare
+        ``RuntimeError``).
         """
-        if self._closed:
-            raise ValidationError("OptimizerService is closed")
         key = fingerprint.key
         with self._lock:
+            if self._closed:
+                raise ValidationError("OptimizerService is closed")
             self._requests += 1
             if self.tracer.enabled:
                 self.tracer.counter("service.request")
-            cached = self.cache.get(key)
+            cached = self._cache_get(self.cache, key)
             if cached is not None:
                 self._hits += 1
                 return "hit", None, cached
-            flight = self._inflight.get(key)
-            if flight is not None:
+            future = self._inflight.get(key)
+            if future is not None:
                 self._shared += 1
-                flight.waiters += 1
-                return "shared", flight, None
-            flight = _Flight(
-                future=self._pool.submit(self._run_miss, key, query)
-            )
-            self._inflight[key] = flight
+                return "shared", future, None
+            try:
+                future = self._pool.submit(self._run_miss, key, query)
+            except RuntimeError as exc:
+                raise ValidationError(
+                    "OptimizerService is closed"
+                ) from exc
+            self._inflight[key] = future
             self._optimizations += 1
-            return "miss", flight, None
+            return "miss", future, None
 
-    def _run_miss(self, key: str, query: Query) -> OptimizationResult:
-        """Worker-pool task: run the exact optimization, warm the cache."""
+    def _run_miss(self, key: str, query: Query) -> _MissOutcome:
+        """Worker-pool task: run the exact optimization, warm the cache.
+
+        Failures retry up to ``retry_limit`` times with exponential
+        backoff; an exhausted budget degrades to the heuristic fallback
+        with the error attached instead of raising, so singleflight
+        waiters never see a raw exception.  Only fault-free optima are
+        cached.
+        """
         from repro import _run
 
         try:
-            result = _run(query, self.config)
-            self.cache.put(key, result)
-            return result
+            last: Exception | None = None
+            for attempt in range(self._retry_limit + 1):
+                if attempt:
+                    with self._lock:
+                        self._retries += 1
+                    if self.tracer.enabled:
+                        self.tracer.counter("service.retry")
+                    if self._retry_backoff:
+                        time.sleep(
+                            self._retry_backoff * (2 ** (attempt - 1))
+                        )
+                try:
+                    if self._injector.enabled:
+                        self._injector.check(
+                            "service", phase="miss", attempt=attempt + 1
+                        )
+                    result = _run(query, self.config)
+                except Exception as exc:
+                    last = exc
+                    continue
+                self._cache_put(self.cache, key, result)
+                return _MissOutcome(result=result)
+            return _MissOutcome(
+                result=self._heuristic_fallback(query),
+                error=f"{type(last).__name__}: {last}",
+            )
         finally:
             with self._lock:
                 self._inflight.pop(key, None)
 
     def _settle(
-        self, query, fingerprint, source, flight, result, start, timeout
+        self, query, fingerprint, source, future, result, start, timeout
     ) -> ServiceResult:
-        """Wait for a staged request's outcome, degrading on deadline."""
+        """Wait for a staged request's outcome, degrading on deadline or
+        failure (each singleflight waiter settles — and is counted —
+        independently)."""
         degraded = False
-        if flight is not None:
+        error: str | None = None
+        if future is not None:
             try:
-                result = flight.future.result(timeout)
+                outcome = future.result(timeout)
             except concurrent.futures.TimeoutError:
                 result = self._heuristic_fallback(query)
                 source, degraded = "fallback", True
@@ -362,12 +491,33 @@ class OptimizerService:
                     self._fallbacks += 1
                 if self.tracer.enabled:
                     self.tracer.counter("service.fallback")
+            except Exception as exc:
+                # Defensive: the miss task reports failures through its
+                # _MissOutcome, so a raw exception here means something
+                # outside the retry loop broke (e.g. a cancelled future
+                # during shutdown).  Degrade rather than propagate.
+                result = self._heuristic_fallback(query)
+                source, degraded = "error", True
+                error = f"{type(exc).__name__}: {exc}"
+                with self._lock:
+                    self._errors += 1
+                if self.tracer.enabled:
+                    self.tracer.counter("service.error")
+            else:
+                result = outcome.result
+                if outcome.error is not None:
+                    source, degraded, error = "error", True, outcome.error
+                    with self._lock:
+                        self._errors += 1
+                    if self.tracer.enabled:
+                        self.tracer.counter("service.error")
         return ServiceResult(
             result=result,
             source=source,
             fingerprint=fingerprint,
             elapsed_seconds=time.perf_counter() - start,
             degraded=degraded,
+            error=error,
         )
 
     def _heuristic_fallback(self, query: Query) -> OptimizationResult:

@@ -20,5 +20,16 @@ class OptimizationError(ReproError):
     """An enumerator could not produce a complete plan.
 
     The usual cause is a disconnected join graph optimized with cross
-    products disabled: no connected plan covers all relations.
+    products disabled: no connected plan covers all relations.  Also
+    raised when parallel fault recovery exhausts its retry budget and
+    work units are irrecoverably lost.
+    """
+
+
+class InjectedFault(ReproError):
+    """A fault raised on purpose by :class:`repro.faults.FaultInjector`.
+
+    Only ever raised when a fault plan is configured; the recovery
+    machinery (executor re-dispatch, service degradation) treats it like
+    any other worker failure — it must never escape the service.
     """

@@ -1,0 +1,575 @@
+"""Chaos suite: fault injection, crash recovery, and deadline semantics.
+
+The acceptance contract under test (ISSUE 4 / E12): any single injected
+worker crash/raise/delay yields either the exact optimal plan — bit for
+bit the fault-free cost — after recovery, or a ``ServiceResult`` with
+``degraded=True`` and ``source`` in ``{"fallback", "error"}``; never an
+unhandled exception.  Deadlines are shared remaining-time budgets, so a
+batch of N misses settles in ~one timeout, not N.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    FaultInjector,
+    InjectedFault,
+    OptimizationError,
+    OptimizerConfig,
+    OptimizerService,
+    ValidationError,
+    optimize,
+)
+from repro.cost.model import StandardCostModel
+from repro.faults import NULL_INJECTOR, FaultSpec
+from repro.query.workload import WorkloadSpec, generate_query
+from repro.service import PlanCache
+
+
+def query_for(topology="chain", n=7, seed=3):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+# -- FaultInjector ------------------------------------------------------
+
+
+def test_plan_parsing_targeting_and_control_keys():
+    injector = FaultInjector.from_plan(
+        "seed=7;worker:crash@worker=1,stratum=3,count=2;"
+        "cache:raise@op=get,count=inf;service:delay@delay=0.25,p=0.5"
+    )
+    assert injector.seed == 7
+    crash, cache, delay = injector.specs
+    assert crash.kind == "crash"
+    assert crash.match == {"worker": 1, "stratum": 3}
+    assert crash.count == 2
+    assert cache.count is None
+    assert cache.match == {"op": "get"}
+    assert delay.delay_seconds == 0.25
+    assert delay.probability == 0.5
+
+
+@pytest.mark.parametrize(
+    "plan",
+    [
+        "worker",  # no kind
+        "worker:explode",  # unknown kind
+        "nowhere:raise",  # unknown site
+        "worker:raise@worker",  # malformed option
+        "worker:raise@count=zero",  # bad int
+        "seed=x;worker:raise",  # bad seed
+        "worker:raise@p=2.0",  # probability out of range
+    ],
+)
+def test_plan_parsing_rejects_malformed(plan):
+    with pytest.raises(ValidationError):
+        FaultInjector.from_plan(plan)
+
+
+def test_fire_respects_count_and_coordinates():
+    injector = FaultInjector.from_plan("worker:raise@worker=1,stratum=3")
+    assert injector.fire("worker", worker=0, stratum=3) is None
+    assert injector.fire("stratum", worker=1, stratum=3) is None
+    action = injector.fire("worker", worker=1, stratum=3)
+    assert action is not None and action.kind == "raise"
+    # count=1 (the default): the spec is spent.
+    assert injector.fire("worker", worker=1, stratum=3) is None
+    assert injector.fired() == 1
+
+
+def test_probabilistic_firing_is_deterministic_per_seed():
+    def schedule(seed):
+        injector = FaultInjector.from_plan(
+            "worker:raise@p=0.5,count=inf", seed=seed
+        )
+        return [
+            injector.fire("worker", worker=0) is not None for _ in range(64)
+        ]
+
+    assert schedule(1) == schedule(1)
+    assert any(schedule(1))  # p=0.5 over 64 draws: fires at least once
+    assert schedule(1) != schedule(2)  # distinct streams per seed
+
+
+def test_check_raises_on_crash_without_process():
+    injector = FaultInjector([FaultSpec(site="service", kind="crash")])
+    with pytest.raises(InjectedFault):
+        injector.check("service")
+
+
+def test_null_injector_is_inert():
+    assert NULL_INJECTOR.enabled is False
+    assert NULL_INJECTOR.fire("worker", worker=0) is None
+    NULL_INJECTOR.check("worker", worker=0)
+    assert NULL_INJECTOR.fired() == 0
+
+
+# -- config plumbing ----------------------------------------------------
+
+
+def test_config_validates_fault_plan_eagerly():
+    with pytest.raises(ValidationError):
+        OptimizerConfig(fault_plan="worker:explode")
+    with pytest.raises(ValidationError):
+        OptimizerConfig(retry_limit=-1)
+    with pytest.raises(ValidationError):
+        OptimizerConfig(retry_backoff=-0.1)
+
+
+def test_robustness_knobs_do_not_change_digest():
+    base = OptimizerConfig(algorithm="dpsize", threads=2)
+    chaotic = OptimizerConfig(
+        algorithm="dpsize",
+        threads=2,
+        fault_plan="worker:raise@worker=1",
+        retry_limit=5,
+        retry_backoff=0.5,
+    )
+    # Robustness knobs never change which plan is optimal (degraded
+    # results are not cached), so they must not split cache keys.
+    assert base.digest == chaotic.digest
+
+
+# -- executor recovery: exact optimum after a single fault --------------
+
+
+BACKEND_FAULTS = [
+    ("simulated", "worker:raise@worker=1"),
+    ("simulated", "worker:delay@worker=1,delay=0.5"),
+    ("simulated", "worker:crash@worker=1"),
+    ("threads", "worker:raise@worker=0"),
+    ("processes", "worker:raise@worker=1"),
+    ("processes", "worker:crash@worker=1"),
+    ("processes", "worker:delay@worker=1,delay=0.01"),
+]
+
+
+@pytest.mark.parametrize("backend,plan", BACKEND_FAULTS)
+def test_single_worker_fault_recovers_to_exact_optimum(backend, plan):
+    from repro.plans import plan_signature
+
+    query = query_for()
+    base = optimize(
+        query,
+        config=OptimizerConfig(
+            algorithm="dpsize", threads=2, backend=backend
+        ),
+    )
+    result = optimize(
+        query,
+        config=OptimizerConfig(
+            algorithm="dpsize",
+            threads=2,
+            backend=backend,
+            fault_plan=plan,
+            retry_backoff=0.0,
+        ),
+    )
+    assert result.cost == base.cost
+    assert plan_signature(result.plan) == plan_signature(base.plan)
+    recovery = result.extras.get("fault_recovery")
+    assert recovery is not None
+    if "delay" not in plan:
+        assert (
+            recovery["worker_errors"] + recovery.get("worker_deaths", 0) >= 1
+        )
+        assert recovery["redispatch_attempts"] >= 1
+
+
+def test_simulated_recovery_keeps_meter_exact():
+    query = query_for()
+    base = optimize(
+        query, config=OptimizerConfig(algorithm="dpsize", threads=2)
+    )
+    result = optimize(
+        query,
+        config=OptimizerConfig(
+            algorithm="dpsize",
+            threads=2,
+            fault_plan="worker:raise@worker=1",
+        ),
+    )
+    # Units are re-dispatched whole and merged exactly once, so the
+    # recovered run's operation counts match the fault-free run's.
+    assert result.meter == base.meter
+
+
+def test_simulated_delay_charges_virtual_straggler_time():
+    query = query_for()
+    base = optimize(
+        query, config=OptimizerConfig(algorithm="dpsize", threads=2)
+    )
+    # The charge is in virtual time units; make it dwarf the stratum so
+    # it must show up on the critical path.
+    straggle = base.sim_report.total_time * 10
+    started = time.perf_counter()
+    result = optimize(
+        query,
+        config=OptimizerConfig(
+            algorithm="dpsize",
+            threads=2,
+            fault_plan=(
+                f"worker:delay@worker=1,stratum=2,delay={straggle}"
+            ),
+        ),
+    )
+    wall = time.perf_counter() - started
+    assert wall < 5.0  # virtual charge, never a real sleep
+    assert (
+        result.sim_report.total_time
+        > base.sim_report.total_time + straggle * 0.9
+    )
+    assert result.cost == base.cost
+
+
+def test_retry_exhaustion_raises_optimization_error():
+    with pytest.raises(OptimizationError):
+        optimize(
+            query_for(),
+            config=OptimizerConfig(
+                algorithm="dpsize",
+                threads=2,
+                fault_plan="worker:raise@count=inf",
+                retry_limit=1,
+                retry_backoff=0.0,
+            ),
+        )
+
+
+def test_stratum_fault_escapes_executor_recovery():
+    # Master-side faults are deliberately outside executor recovery; the
+    # serving layer is the absorber (see test below).
+    with pytest.raises(InjectedFault):
+        optimize(
+            query_for(),
+            config=OptimizerConfig(
+                algorithm="dpsize",
+                threads=2,
+                fault_plan="stratum:raise@stratum=3",
+            ),
+        )
+
+
+# -- service degradation ------------------------------------------------
+
+
+def service_config(**overrides) -> OptimizerConfig:
+    settings = dict(algorithm="dpsize", retry_backoff=0.0)
+    settings.update(overrides)
+    return OptimizerConfig(**settings)
+
+
+def test_service_retries_transient_fault_to_exact_answer():
+    query = query_for()
+    with OptimizerService(service_config()) as svc:
+        baseline = svc.optimize(query).cost
+    with OptimizerService(
+        service_config(fault_plan="service:raise", retry_limit=2)
+    ) as svc:
+        outcome = svc.optimize(query)
+        stats = svc.stats()
+    assert outcome.source == "miss"
+    assert not outcome.degraded
+    assert outcome.cost == baseline
+    assert stats.retries == 1 and stats.errors == 0
+
+
+def test_service_degrades_to_error_when_budget_exhausted():
+    query = query_for()
+    with OptimizerService(
+        service_config(fault_plan="service:raise@count=inf", retry_limit=1)
+    ) as svc:
+        outcome = svc.optimize(query)
+        stats = svc.stats()
+        # Degraded results are never cached: the plan tier stays empty
+        # and a repeat request degrades again instead of serving a
+        # fallback plan as if it were the optimum.
+        repeat = svc.optimize(query)
+    assert outcome.source == "error"
+    assert outcome.degraded
+    assert "InjectedFault" in outcome.error
+    assert outcome.result.plan is not None
+    assert stats.errors == 1 and stats.retries == 1
+    assert stats.plan_cache.entries == 0
+    assert repeat.source == "error"
+
+
+def test_service_absorbs_master_stratum_fault():
+    query = query_for()
+    with OptimizerService(
+        service_config(
+            fault_plan="stratum:raise@stratum=3",
+            threads=2,
+            retry_limit=1,
+        )
+    ) as svc:
+        outcome = svc.optimize(query)
+    assert outcome.source == "miss"
+    assert not outcome.degraded
+
+
+class BrokenCostModel(StandardCostModel):
+    """A cost model whose first ``failures`` evaluations blow up.
+
+    Each DP attempt dies on its first join costing, so ``failures``
+    sized to ``retry_limit + 1`` exhausts the retry budget; later calls
+    (the heuristic fallback) succeed.
+    """
+
+    def __init__(self, failures: int) -> None:
+        super().__init__()
+        self._failures = failures
+
+    def join_cost(self, *args, **kwargs):
+        if self._failures > 0:
+            self._failures -= 1
+            raise RuntimeError("catalog went away")
+        return super().join_cost(*args, **kwargs)
+
+
+def test_broken_cost_model_degrades_miss_and_shared_waiter():
+    query = query_for()
+    config = OptimizerConfig(
+        algorithm="dpsize",
+        cost_model=BrokenCostModel(failures=3),
+        retry_limit=2,
+        retry_backoff=0.1,  # keeps the flight open while we join it
+    )
+    with OptimizerService(config) as svc:
+        results = []
+
+        def request():
+            results.append(svc.optimize(query))
+
+        first = threading.Thread(target=request)
+        first.start()
+        time.sleep(0.05)
+        second = threading.Thread(target=request)
+        second.start()
+        first.join()
+        second.join()
+        stats = svc.stats()
+    assert len(results) == 2
+    for outcome in results:
+        assert outcome.source == "error"
+        assert outcome.degraded
+        assert "RuntimeError" in outcome.error
+        assert outcome.result.plan is not None
+    assert stats.errors == 2
+    assert stats.optimizations == 1  # singleflight held
+    assert stats.shared == 1
+
+
+def test_flaky_cache_tier_fails_open_as_miss():
+    query = query_for()
+    with OptimizerService(service_config()) as svc:
+        baseline = svc.optimize(query).cost
+    with OptimizerService(
+        service_config(fault_plan="cache:raise@count=inf")
+    ) as svc:
+        first = svc.optimize(query)
+        second = svc.optimize(query)
+    for outcome in (first, second):
+        assert outcome.source == "miss"  # unreadable cache => miss
+        assert not outcome.degraded
+        assert outcome.cost == baseline
+
+
+# -- deadline semantics -------------------------------------------------
+
+
+def test_single_request_deadline_includes_staging_time():
+    query = query_for()
+    with OptimizerService(
+        service_config(fault_plan="service:delay@delay=1.0,count=inf")
+    ) as svc:
+        started = time.perf_counter()
+        outcome = svc.optimize(query, timeout=0.15)
+        wall = time.perf_counter() - started
+    assert outcome.source == "fallback"
+    assert outcome.degraded
+    assert wall < 0.9  # did not wait out the injected 1s stall
+
+
+def test_batch_of_misses_shares_one_deadline_budget():
+    queries = [query_for(n=6, seed=s) for s in range(4)]
+    config = service_config(
+        fault_plan="service:delay@delay=0.6,count=inf",
+        service_workers=4,
+    )
+    with OptimizerService(config) as svc:
+        started = time.perf_counter()
+        outcomes = svc.optimize_batch(queries, timeout=0.15)
+        wall = time.perf_counter() - started
+        stats = svc.stats()
+    assert [o.source for o in outcomes] == ["fallback"] * 4
+    assert all(o.degraded for o in outcomes)
+    assert stats.fallbacks == 4
+    # The budget is shared from batch entry: 4 misses settle in ~one
+    # timeout plus fallback computation, nowhere near 4 x 0.15 + delays.
+    assert wall < 0.45
+
+
+def test_batch_mixes_hits_and_deadline_fallbacks():
+    fast = query_for(n=5, seed=1)
+    slow = query_for(n=6, seed=2)
+    with OptimizerService(service_config()) as svc:
+        svc.optimize(fast)  # warm the cache
+        outcomes = svc.optimize_batch([fast, slow], timeout=30.0)
+    assert outcomes[0].source == "hit"
+    assert outcomes[1].source == "miss"
+    assert not outcomes[1].degraded
+
+
+# -- close() race -------------------------------------------------------
+
+
+def test_close_rejects_new_requests_with_validation_error():
+    svc = OptimizerService(service_config())
+    svc.close()
+    with pytest.raises(ValidationError):
+        svc.optimize(query_for(n=5))
+
+
+def test_concurrent_close_never_leaks_runtime_error():
+    query = query_for(n=5)
+    for _ in range(5):
+        svc = OptimizerService(service_config())
+        failures: list[BaseException] = []
+        done = threading.Event()
+
+        def hammer():
+            while not done.is_set():
+                try:
+                    svc.optimize(query)
+                except ValidationError:
+                    return  # the one sanctioned refusal
+                except BaseException as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.01)
+        svc.close()
+        done.set()
+        for t in threads:
+            t.join()
+        assert not failures
+
+
+# -- PlanCache version consistency --------------------------------------
+
+
+def test_version_reads_are_consistent_under_concurrent_bumps():
+    cache = PlanCache(max_entries=4)
+    stop = threading.Event()
+    seen: list[int] = []
+
+    def reader():
+        last = -1
+        while not stop.is_set():
+            version = cache.version
+            assert version >= last  # monotonic through the lock
+            last = version
+        seen.append(last)
+
+    readers = [threading.Thread(target=reader) for _ in range(2)]
+    for t in readers:
+        t.start()
+    for _ in range(200):
+        cache.bump_version()
+    stop.set()
+    for t in readers:
+        t.join()
+    assert cache.version == 200
+    assert all(v <= 200 for v in seen)
+
+
+def test_cache_entries_from_before_bump_are_invalidated():
+    cache = PlanCache(max_entries=4)
+    cache.put("a", 1)
+    assert cache.version == 0
+    cache.bump_version()
+    assert cache.version == 1
+    assert cache.get("a") is None
+    assert cache.stats().invalidated == 1
+
+
+# -- E12-style chaos matrix through the service -------------------------
+
+
+CHAOS_PLANS = [
+    "worker:raise@worker=1",
+    "worker:crash@worker=0",
+    "worker:delay@worker=1,delay=0.2",
+    "stratum:raise@stratum=3",
+    "cache:raise@op=get,count=inf",
+    "service:raise",
+    "service:raise@count=inf",
+    "worker:raise@count=inf",
+]
+
+
+@pytest.mark.parametrize("plan", CHAOS_PLANS)
+def test_chaos_matrix_exact_or_degraded_never_unhandled(plan):
+    query = query_for()
+    with OptimizerService(
+        service_config(threads=2, retry_limit=2)
+    ) as svc:
+        baseline = svc.optimize(query).cost
+    with OptimizerService(
+        service_config(threads=2, retry_limit=2, fault_plan=plan)
+    ) as svc:
+        outcome = svc.optimize(query)
+    if outcome.degraded:
+        assert outcome.source in ("fallback", "error")
+        assert outcome.result.plan is not None
+    else:
+        assert outcome.cost == baseline
+
+
+# -- CLI wiring ---------------------------------------------------------
+
+
+def test_cli_optimize_with_fault_plan(capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "optimize",
+            "--topology", "chain",
+            "-n", "6",
+            "--algorithm", "dpsize",
+            "--threads", "2",
+            "--fault-plan", "worker:raise@worker=1",
+            "--fault-seed", "7",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "pdpsize" in out
+
+
+def test_cli_serve_batch_reports_error_source(capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "serve-batch",
+            "--topology", "chain",
+            "-n", "6",
+            "--queries", "2",
+            "--repeat", "2",
+            "--fault-plan", "service:raise@count=inf",
+            "--retry-limit", "0",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "error=" in out
