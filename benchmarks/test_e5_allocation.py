@@ -23,12 +23,19 @@ the misestimated weights lose.
 
 from __future__ import annotations
 
-from repro.bench import allocation_comparison, format_table
+from repro.bench import (
+    allocation_comparison,
+    format_table,
+    real_backend_allocation,
+)
 from repro.parallel import ParallelDP
 from repro.query import WorkloadSpec, generate_query
 
 CASES = [("star", 11), ("clique", 10)]
 SCHEMES = ("round_robin", "chunked", "equi_depth", "dynamic")
+
+REAL_CASES = [("star", 12), ("clique", 9)]
+"""Skewed grids for the oracle-vs-real stealing extension."""
 
 
 def test_e5_allocation_schemes(benchmark, publish):
@@ -84,3 +91,60 @@ def test_e5_allocation_schemes(benchmark, publish):
             algorithm="dpsize", threads=8, allocation="round_robin"
         ).optimize(query)
     )
+
+
+def test_e5_real_backend_stealing(quick, publish):
+    """Oracle-vs-real: static schemes against true work stealing on the
+    ``threads`` and ``processes`` backends.
+
+    Realized load = measured per-worker busy time per stratum (wall
+    clocks, not the simulated machine), so this is the experiment the
+    simulated oracle in :func:`test_e5_allocation_schemes` predicts.  On
+    skewed strata dynamic must balance at least as well as the paper's
+    equi-depth scheme: equi-depth commits to estimated weights before
+    running, stealing adapts to measured drain rates.
+    """
+    cases = [("star", 8)] if quick else REAL_CASES
+    threads = 2 if quick else 4
+    queries = 1 if quick else 2
+    rows = []
+    for topology, n in cases:
+        rows.extend(
+            real_backend_allocation(
+                topology, n, algorithm="dpsva", threads=threads,
+                queries=queries, seed=13,
+            )
+        )
+    publish(
+        "e5_real_backends",
+        format_table(
+            [{k: v for k, v in r.items() if k != "costs"} for r in rows]
+        ),
+        rows,
+    )
+
+    for topology, n in cases:
+        for backend in ("threads", "processes"):
+            per = {
+                r["scheme"]: r
+                for r in rows
+                if r["topology"] == topology and r["backend"] == backend
+            }
+            # Bit-identical results across all schemes, incl. stealing.
+            costs = {r["costs"] for r in per.values()}
+            assert len(costs) == 1, (topology, backend, costs)
+            # Stealing actually happened and is visible in the counters.
+            dynamic = per["dynamic"]
+            assert dynamic["steals"] > 0
+            assert dynamic["dispatches"] >= dynamic["steals"]
+            for scheme in ("round_robin", "chunked", "equi_depth"):
+                assert per[scheme]["steals"] == 0
+            if quick:
+                continue
+            # The headline claim: realized per-worker load imbalance for
+            # real stealing is no worse than static equi-depth on skewed
+            # strata (tolerance absorbs wall-clock scheduling noise).
+            assert (
+                dynamic["realized_imbalance"]
+                <= per["equi_depth"]["realized_imbalance"] * 1.15
+            ), (topology, backend, dynamic, per["equi_depth"])

@@ -21,6 +21,7 @@ from repro.bench.runner import (
     heuristic_quality,
     kernel_speedup,
     median,
+    real_backend_allocation,
     run_serial_grid,
     size_scaling,
     speedup_curve,
@@ -42,6 +43,7 @@ __all__ = [
     "sva_effectiveness",
     "speedup_curve",
     "allocation_comparison",
+    "real_backend_allocation",
     "cache_workload",
     "size_scaling",
     "heuristic_quality",

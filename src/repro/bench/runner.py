@@ -253,6 +253,86 @@ def allocation_comparison(
     return rows
 
 
+def real_backend_allocation(
+    topology: str,
+    n: int,
+    algorithm: str = "dpsva",
+    threads: int = 4,
+    backends=("threads", "processes"),
+    schemes=("round_robin", "chunked", "equi_depth", "dynamic"),
+    queries: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """E5 extension: static allocation vs real work stealing on the real
+    backends (oracle-vs-real, see EXPERIMENTS.md E5).
+
+    Per row (backend × scheme): the realized per-worker load imbalance
+    (per-stratum max/mean of measured worker busy time, averaged over
+    strata, median over queries), wall time, and the ``alloc.steal`` /
+    ``alloc.dispatch`` counter totals.  Every scheme must report the
+    same plan cost — work stealing is bit-identical to the static
+    schemes by construction, and the ``cost`` column makes that audit
+    visible in the committed artifact.
+    """
+    qs = _queries(topology, n, queries, seed)
+    rows: list[dict] = []
+    for backend in backends:
+        for scheme in schemes:
+            realized = []
+            wall_times = []
+            steal_totals = []
+            dispatch_totals = []
+            costs = []
+            for q in qs:
+                tracer = RecordingTracer()
+                optimizer = ParallelDP(
+                    algorithm=algorithm,
+                    threads=threads,
+                    allocation=scheme,
+                    backend=backend,
+                    tracer=tracer,
+                )
+                start = time.perf_counter()
+                result = optimizer.optimize(q)
+                wall_times.append(time.perf_counter() - start)
+                realized.append(
+                    statistics.fmean(result.extras["realized_imbalances"])
+                )
+                steal_totals.append(
+                    sum(
+                        e.value
+                        for e in tracer.events
+                        if e.kind == "counter" and e.name == "alloc.steal"
+                    )
+                )
+                dispatch_totals.append(
+                    sum(
+                        e.value
+                        for e in tracer.events
+                        if e.kind == "counter" and e.name == "alloc.dispatch"
+                    )
+                )
+                costs.append(result.cost)
+            rows.append(
+                {
+                    "topology": topology,
+                    "n": n,
+                    "backend": backend,
+                    "scheme": scheme,
+                    "threads": threads,
+                    "realized_imbalance": median(realized),
+                    "wall_ms": median(wall_times) * 1e3,
+                    "steals": int(median(steal_totals)),
+                    "dispatches": int(median(dispatch_totals)),
+                    # Per-query plan costs, in query order: rows for
+                    # different schemes on the same grid point must agree
+                    # exactly (stealing is bit-identical to static).
+                    "costs": tuple(costs),
+                }
+            )
+    return rows
+
+
 def size_scaling(
     topology: str,
     sizes,

@@ -39,6 +39,7 @@ from repro.bench import (
     fault_tolerance,
     format_table,
     kernel_speedup,
+    real_backend_allocation,
     render_curve,
     run_serial_grid,
     speedup_curve,
@@ -160,8 +161,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--experiment",
         choices=(
-            "serial", "sva", "speedup", "allocation", "cache", "kernels",
-            "faults",
+            "serial", "sva", "speedup", "allocation", "real-allocation",
+            "cache", "kernels", "faults",
         ),
         default="speedup",
     )
@@ -417,6 +418,16 @@ def _cmd_bench(args) -> int:
             threads=min(2, max(args.threads)),
         )
         print(format_table(rows))
+    elif args.experiment == "real-allocation":
+        rows = real_backend_allocation(
+            args.topology, args.relations,
+            threads=max(args.threads), queries=args.queries, seed=args.seed,
+        )
+        print(
+            format_table(
+                [{k: v for k, v in r.items() if k != "costs"} for r in rows]
+            )
+        )
     else:  # allocation
         rows = allocation_comparison(
             args.topology, args.relations,

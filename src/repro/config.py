@@ -215,14 +215,17 @@ class OptimizerConfig:
                 f"tracer must be a repro.trace.Tracer, got "
                 f"{type(self.tracer).__name__}"
             )
-        if (
-            self.allocation == DYNAMIC_ALLOCATION
-            and self.effective_backend != "simulated"
-        ):
-            raise ValidationError(
-                "dynamic allocation is only supported by the simulated "
-                "backend"
-            )
+        if self.allocation == DYNAMIC_ALLOCATION:
+            executor_cls = EXECUTORS.get(self.effective_backend)
+            if executor_cls is not None and not getattr(
+                executor_cls, "supports_dynamic_allocation", False
+            ):
+                raise ValidationError(
+                    f"backend {self.effective_backend!r} does not support "
+                    f"dynamic allocation (executor "
+                    f"{executor_cls.__name__} opts out via "
+                    f"supports_dynamic_allocation)"
+                )
         if self.cache_size is not None and self.cache_size < 1:
             raise ValidationError(
                 f"cache_size must be >= 1, got {self.cache_size}"

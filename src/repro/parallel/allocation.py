@@ -74,11 +74,15 @@ ALLOCATION_SCHEMES: dict[str, Callable[[list[WorkUnit], int], Assignment]] = {
 """Registry of static allocation schemes keyed by benchmark name."""
 
 DYNAMIC_ALLOCATION = "dynamic"
-"""Online work-stealing: units are assigned to the least-loaded thread at
-execution time, using *actual* (not estimated) unit costs.  Only the
-simulated executor supports it — it is the oracle upper bound static
-schemes are compared against (the weight-estimation-error ablation in
-E5)."""
+"""Online work-stealing: units are assigned to workers at execution time
+instead of up front.  On the simulated backend this is the oracle —
+least-loaded assignment by *actual* (not estimated) unit costs.  On the
+real backends (``threads``/``processes``) workers pull unit batches from
+a shared queue as they drain, so realized load adapts to measured unit
+times; results stay bit-identical to the static schemes because memo
+merges are idempotent, deterministically tie-broken min-merges.  Whether
+a backend can run it is advertised by
+:attr:`~repro.parallel.executors.base.StratumExecutor.supports_dynamic_allocation`."""
 
 
 def allocate(
@@ -108,9 +112,23 @@ def allocation_imbalance(assignment: Assignment) -> float:
 
     Empty assignments report 1.0.
     """
-    loads = [sum(u.weight for u in bucket) for bucket in assignment]
+    return realized_imbalance(
+        [sum(u.weight for u in bucket) for bucket in assignment]
+    )
+
+
+def realized_imbalance(loads: list[float]) -> float:
+    """Max worker load over mean worker load (1.0 = perfect).
+
+    The load currency is whatever the executor measured: per-worker
+    *busy time* (wall clocks on the real backends, virtual thread time
+    on the simulated one).  A high value means some workers idled at the
+    stratum barrier while a straggler kept working — the realized-work
+    counterpart of :func:`allocation_imbalance` (which is computed on
+    estimated unit weights before execution).  Empty or all-zero loads
+    report 1.0.
+    """
     total = sum(loads)
-    if total == 0:
+    if not loads or total == 0:
         return 1.0
-    mean = total / len(loads)
-    return max(loads) / mean
+    return max(loads) / (total / len(loads))

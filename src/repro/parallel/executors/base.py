@@ -68,6 +68,14 @@ class RunState:
 class StratumExecutor(ABC):
     """Runs the work units of each stratum on some substrate."""
 
+    #: Whether this executor can run a stratum with ``assignment=None``
+    #: (the ``dynamic`` allocation scheme): units are handed to workers
+    #: online as they drain instead of via a precomputed assignment.
+    #: Config validation consults this flag — it is the single source of
+    #: truth replacing the per-executor "simulated only" guards — and the
+    #: scheduler re-checks it defensively before the first stratum.
+    supports_dynamic_allocation: bool = False
+
     @abstractmethod
     def open(self, state: RunState) -> None:
         """Bind the run state; called once before the first stratum."""
@@ -77,7 +85,9 @@ class StratumExecutor(ABC):
         self, size: int, units: list[WorkUnit], assignment: Assignment
     ) -> None:
         """Execute one stratum; must leave the master memo complete for
-        ``size`` before returning (the barrier)."""
+        ``size`` before returning (the barrier).  ``assignment`` is
+        ``None`` for dynamic allocation (only when
+        :attr:`supports_dynamic_allocation` is true)."""
 
     @abstractmethod
     def close(self) -> dict[str, Any]:

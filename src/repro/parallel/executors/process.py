@@ -32,11 +32,13 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
+from collections import deque
 from contextlib import nullcontext
+from multiprocessing import connection as mp_connection
 from typing import Any
 
 from repro.memo.counters import WorkMeter
-from repro.parallel.allocation import Assignment
+from repro.parallel.allocation import Assignment, realized_imbalance
 from repro.parallel.executors.base import RunState, StratumExecutor
 from repro.parallel.wire import (
     apply_stratum,
@@ -54,9 +56,30 @@ entries; see :mod:`repro.parallel.wire` for the packed alternative."""
 #: Exit status of a worker process killed by an injected crash fault.
 CRASH_EXIT_CODE = 70
 
+#: A dynamic-mode dispatch batch holds
+#: ``max(1, len(units) // (workers * divisor))`` units — the pull-based
+#: analogue of the threaded executor's steal chunk: large strata amortize
+#: pipe round-trips over multi-unit batches, small strata degrade to
+#: unit-at-a-time dispatch for maximal balance.
+PULL_BATCH_DIVISOR = 4
+
 
 def _worker_loop(conn, state: RunState, worker: int) -> None:
     """Worker process main loop (state inherited via fork).
+
+    Two unit-bearing message kinds share one reply shape:
+
+    * ``("stratum", size, delta, units)`` — static allocation's one-shot
+      shipment: the whole stratum bucket at once.
+    * ``("batch", size, delta_or_None, units, probe)`` — dynamic
+      allocation's pull-based dispatch: the master hands out unit batches
+      as workers drain.  The stratum's broadcast delta rides only on a
+      worker's first batch (``None`` afterwards).  ``probe`` marks the
+      injection opportunities — a worker's first batch of a stratum and
+      any batch re-dispatching previously failed units — so faults fire
+      once per (worker, stratum) plus once per retry, matching the
+      static path's semantics (persistent plans can still exhaust the
+      retry budget).
 
     When the parent's tracer is enabled, each stratum is timed into a
     fresh child-side :class:`RecordingTracer` whose serialized event
@@ -81,8 +104,10 @@ def _worker_loop(conn, state: RunState, worker: int) -> None:
             message = conn.recv()
             if message[0] == "stop":
                 break
-            _, size, delta, units = message
-            apply_stratum(memo, delta)
+            kind, size, delta, units = message[:4]
+            probe = True if kind == "stratum" else message[4]
+            if delta is not None:
+                apply_stratum(memo, delta)
             meter = WorkMeter()
             tracer = RecordingTracer() if trace_enabled else None
             start = time.perf_counter()
@@ -93,7 +118,7 @@ def _worker_loop(conn, state: RunState, worker: int) -> None:
             )
             try:
                 with span:
-                    if injector.enabled:
+                    if injector.enabled and probe:
                         action = injector.fire(
                             "worker",
                             worker=worker,
@@ -143,12 +168,15 @@ def _worker_loop(conn, state: RunState, worker: int) -> None:
 class ProcessExecutor(StratumExecutor):
     """Forked worker processes with replicated memos and crash recovery."""
 
+    supports_dynamic_allocation = True
+
     def __init__(self) -> None:
         self._state: RunState | None = None
         self._procs: list[mp.Process | None] = []
         self._conns: list[Any] = []
         self._bytes_sent = 0
         self._rounds = 0
+        self._realized_imbalances: list[float] = []
         self._recovery = {
             "worker_errors": 0,
             "worker_deaths": 0,
@@ -284,13 +312,11 @@ class ProcessExecutor(StratumExecutor):
     def run_stratum(
         self, size: int, units: list[WorkUnit], assignment: Assignment | None
     ) -> None:
+        if assignment is None:
+            self._run_stratum_dynamic(size, units)
+            return
         state = self._state
         assert state is not None
-        if assignment is None:
-            raise ValidationError(
-                "dynamic allocation is only supported by the simulated "
-                "executor"
-            )
         delta = self._pending_delta
         alive = self._alive()
         if not alive:
@@ -343,6 +369,9 @@ class ProcessExecutor(StratumExecutor):
                 tracer.ingest(payload, worker=t)
         if failed_units:
             self._redispatch(size, failed_units, prefer=clean)
+        self._realized_imbalances.append(
+            realized_imbalance([walls.get(t, 0.0) for t in buckets])
+        )
         if tracer.enabled:
             slowest = max(walls.values(), default=0.0)
             for t in clean:
@@ -350,10 +379,181 @@ class ProcessExecutor(StratumExecutor):
                     "worker.units", len(buckets[t]), size=size, worker=t
                 )
                 tracer.counter("worker.pairs", pairs[t], size=size, worker=t)
+                tracer.gauge(
+                    "worker.realized_load", walls[t], size=size, worker=t
+                )
                 tracer.gauge("worker.busy", walls[t], size=size, worker=t)
                 tracer.gauge(
                     "worker.barrier_wait",
                     slowest - walls[t],
+                    size=size,
+                    worker=t,
+                )
+        # The merged stratum becomes the next round's broadcast delta.
+        self._pending_delta = encode_stratum(
+            state.memo, size, state.wire_packed
+        )
+        self._rounds += 1
+
+    def _run_stratum_dynamic(self, size: int, units: list[WorkUnit]) -> None:
+        """One stratum with pull-based dispatch: the master hands out
+        unit batches over the existing pipes as workers drain.
+
+        Every alive worker's first message carries the stratum's
+        broadcast delta (so replicas stay in sync even when a worker gets
+        no units); subsequent batches ship units only.  A worker that
+        errors keeps serving and its batch returns to the queue front; a
+        worker that dies is retired and its outstanding batch is
+        re-queued — the PR-4 recovery semantics, now at batch instead of
+        stratum granularity.  The merged meter stays exact because a
+        batch's counts are merged only from its one successful reply.
+        """
+        state = self._state
+        assert state is not None
+        alive = self._alive()
+        if not alive:
+            raise OptimizationError(
+                "all worker processes have died; cannot run stratum "
+                f"{size}"
+            )
+        delta = self._pending_delta
+        tracer = state.tracer
+        # Heaviest-first service order (greedy list scheduling): expensive
+        # units go out early so the tail stays fine-grained.
+        queue: deque[WorkUnit] = deque(
+            sorted(units, key=lambda u: (-u.weight, u.uid))
+        )
+        batch_size = max(1, len(units) // (len(alive) * PULL_BATCH_DIVISOR))
+        outstanding: dict[int, list[WorkUnit]] = {}
+        need_delta = set(alive)
+        requeued: set[int] = set()  # uids whose next dispatch must probe
+        walls: dict[int, float] = {}
+        pairs: dict[int, int] = {}
+        units_done: dict[int, int] = {}
+        batches: dict[int, int] = {}
+        dispatched: dict[int, int] = {}
+        stolen: dict[int, int] = {}
+        failures = 0
+
+        def send_batch(t: int) -> bool:
+            first = t in need_delta
+            if not queue and not first:
+                return False
+            batch: list[WorkUnit] = []
+            while queue and len(batch) < batch_size:
+                batch.append(queue.popleft())
+            probe = first or any(u.uid in requeued for u in batch)
+            try:
+                self._conns[t].send(
+                    ("batch", size, delta if first else None, batch, probe)
+                )
+            except (BrokenPipeError, OSError):
+                self._retire(t, size)
+                queue.extendleft(reversed(batch))
+                return False
+            for unit in batch:
+                requeued.discard(unit.uid)
+            if first:
+                need_delta.discard(t)
+                self._bytes_sent += payload_nbytes(delta)
+            outstanding[t] = batch
+            batches[t] = batches.get(t, 0) + 1
+            dispatched[t] = dispatched.get(t, 0) + len(batch)
+            if batches[t] > 1:
+                stolen[t] = stolen.get(t, 0) + len(batch)
+            return True
+
+        for t in alive:
+            send_batch(t)
+        while outstanding or queue:
+            if not outstanding:
+                # Failed sends left work queued with nothing in flight;
+                # try the survivors (the target set shrinks on each
+                # failed send, so this terminates).
+                targets = self._alive()
+                if not targets:
+                    raise OptimizationError(
+                        "all worker processes have died; cannot run "
+                        f"stratum {size}"
+                    )
+                for t in targets:
+                    send_batch(t)
+                continue
+            conn_map = {self._conns[t]: t for t in outstanding}
+            for conn in mp_connection.wait(list(conn_map)):
+                t = conn_map[conn]
+                batch = outstanding.pop(t)
+                reply = self._collect(t, size)
+                if reply is None:
+                    # Errored (stays in pool) or died (retired): the
+                    # outstanding batch returns to the queue; its partial
+                    # counts never reach the main meter.
+                    queue.extendleft(reversed(batch))
+                    requeued.update(unit.uid for unit in batch)
+                    failures += 1
+                    self._recovery["redispatch_attempts"] += 1
+                    self._recovery["redispatched_units"] += len(batch)
+                    if tracer.enabled:
+                        tracer.counter(
+                            "fault.redispatch",
+                            len(batch),
+                            size=size,
+                            worker=t,
+                        )
+                    if failures > state.retry_limit:
+                        raise OptimizationError(
+                            f"stratum {size}: {len(batch)} work units "
+                            f"lost after {state.retry_limit + 1} recovery "
+                            f"attempts"
+                        )
+                    if state.retry_backoff:
+                        time.sleep(
+                            state.retry_backoff * (2 ** (failures - 1))
+                        )
+                else:
+                    _, candidates, meter_counts, elapsed, payload = reply
+                    apply_stratum(state.memo, candidates)
+                    state.meter.merge_dict(meter_counts)
+                    self._bytes_sent += payload_nbytes(candidates)
+                    walls[t] = walls.get(t, 0.0) + elapsed
+                    pairs[t] = pairs.get(t, 0) + meter_counts.get(
+                        "pairs_considered", 0
+                    )
+                    units_done[t] = units_done.get(t, 0) + len(batch)
+                    if tracer.enabled and payload:
+                        tracer.ingest(payload, worker=t)
+                if self._conns[t] is not None and queue:
+                    send_batch(t)
+        self._realized_imbalances.append(
+            realized_imbalance([walls.get(t, 0.0) for t in alive])
+        )
+        if tracer.enabled:
+            slowest = max(walls.values(), default=0.0)
+            for t in sorted(set(alive) | set(dispatched)):
+                tracer.counter(
+                    "alloc.dispatch", dispatched.get(t, 0), size=size,
+                    worker=t,
+                )
+                tracer.counter(
+                    "alloc.steal", stolen.get(t, 0), size=size, worker=t
+                )
+                tracer.counter(
+                    "worker.units", units_done.get(t, 0), size=size,
+                    worker=t,
+                )
+                tracer.counter(
+                    "worker.pairs", pairs.get(t, 0), size=size, worker=t
+                )
+                tracer.gauge(
+                    "worker.realized_load", walls.get(t, 0.0), size=size,
+                    worker=t,
+                )
+                tracer.gauge(
+                    "worker.busy", walls.get(t, 0.0), size=size, worker=t
+                )
+                tracer.gauge(
+                    "worker.barrier_wait",
+                    slowest - walls.get(t, 0.0),
                     size=size,
                     worker=t,
                 )
@@ -387,5 +587,6 @@ class ProcessExecutor(StratumExecutor):
         return {
             "rounds": self._rounds,
             "approx_bytes_sent": self._bytes_sent,
+            "realized_imbalances": list(self._realized_imbalances),
             "fault_recovery": recovery,
         }

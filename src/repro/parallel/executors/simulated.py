@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.memo.counters import WorkMeter
-from repro.parallel.allocation import Assignment
+from repro.parallel.allocation import Assignment, realized_imbalance
 from repro.parallel.executors.base import RunState, StratumExecutor
 from repro.parallel.workunits import WorkUnit, run_unit
 from repro.simx.costparams import SimCostParams
@@ -73,10 +73,13 @@ class _RecordingMemoView:
 class SimulatedExecutor(StratumExecutor):
     """Deterministic virtual-time executor."""
 
+    supports_dynamic_allocation = True
+
     def __init__(self, params: SimCostParams | None = None) -> None:
         self.params = params or SimCostParams()
         self._state: RunState | None = None
         self.machine: SimulatedMachine | None = None
+        self._realized_imbalances: list[float] = []
         self._recovery = {"worker_errors": 0, "redispatched_units": 0,
                           "redispatch_attempts": 0}
 
@@ -84,6 +87,7 @@ class SimulatedExecutor(StratumExecutor):
         self._state = state
         self.machine = SimulatedMachine(state.threads, self.params)
         self.machine.label(state.algorithm, "")
+        self._realized_imbalances = []
 
     def run_stratum(
         self, size: int, units: list[WorkUnit], assignment: Assignment | None
@@ -190,7 +194,26 @@ class SimulatedExecutor(StratumExecutor):
         build_after = self.params.work_time(state.caches_meter)
         machine.report.master_cost += build_after - build_before
         timing = machine.record_stratum(size, len(units), busy, touches)
+        # Realized load = per-thread virtual busy time (incl. contention),
+        # the same currency the real backends measure with wall clocks.
+        self._realized_imbalances.append(
+            realized_imbalance(list(timing.thread_times))
+        )
         tracer = state.tracer
+        if tracer.enabled and assignment is None:
+            # The oracle's dispatch/steal accounting: every unit is an
+            # individual online dispatch; grabs beyond a thread's first
+            # count as steals (matching the real backends' definition).
+            for t in range(threads):
+                tracer.counter(
+                    "alloc.dispatch", unit_counts[t], size=size, worker=t
+                )
+                tracer.counter(
+                    "alloc.steal",
+                    max(0, unit_counts[t] - 1),
+                    size=size,
+                    worker=t,
+                )
         if tracer.enabled:
             # Barrier wait in virtual time: each thread idles until the
             # stratum's busiest thread (incl. contention) reaches the
@@ -203,6 +226,12 @@ class SimulatedExecutor(StratumExecutor):
                 )
                 tracer.counter(
                     "worker.pairs", pair_counts[t], size=size, worker=t
+                )
+                tracer.gauge(
+                    "worker.realized_load",
+                    thread_times[t],
+                    size=size,
+                    worker=t,
                 )
                 tracer.gauge(
                     "worker.busy", thread_times[t], size=size, worker=t
@@ -219,4 +248,5 @@ class SimulatedExecutor(StratumExecutor):
         return {
             "sim_report": self.machine.report,
             "fault_recovery": dict(self._recovery),
+            "realized_imbalances": list(self._realized_imbalances),
         }

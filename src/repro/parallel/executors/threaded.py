@@ -9,12 +9,28 @@ parallel decomposition is correct under true concurrency (final memo
 contents are identical to serial runs thanks to the deterministic
 tie-break).
 
+Two allocation modes:
+
+* **static** (an :data:`~repro.parallel.allocation.Assignment`): each
+  worker runs its precomputed bucket — the paper's baseline.
+* **dynamic** (``assignment=None``): true online work stealing.  The
+  stratum's units sit in one lock-guarded shared queue; workers grab
+  chunks (``max(1, units // (threads * STEAL_CHUNK_DIVISOR))`` at a
+  time, bounding lock contention) and come back for more when they
+  drain.  Realized per-worker load therefore adapts to *measured* unit
+  times instead of estimated weights.  Results are bit-identical to the
+  static schemes: every unit runs exactly once, and memo writes are
+  idempotent, deterministically tie-broken min-merges, so execution
+  order cannot change the optimum.
+
 Fault tolerance: a worker thread that raises (broken cost model, injected
-fault) is caught at the stratum barrier; its partial meter is discarded
-and its whole bucket is re-run on the master thread with bounded retries
-and exponential backoff.  Memo writes are idempotent min-merges, so the
-re-run converges on exactly the serial optimum and the merged meter stays
-exact (each unit is counted by exactly one successful attempt).
+fault) is caught at the stratum barrier and its unfinished units are
+re-run on the master thread with bounded retries and exponential backoff.
+In static mode the whole bucket re-runs (its partial meter is discarded);
+in dynamic mode per-unit meters merge only on unit completion, so only
+the in-flight remainder of the failed worker's last grab re-runs — either
+way each unit is counted by exactly one successful attempt and the merged
+meter stays exact.
 """
 
 from __future__ import annotations
@@ -25,18 +41,69 @@ from typing import Any
 
 from repro.memo.concurrent import LockStripedMemo
 from repro.memo.counters import WorkMeter
-from repro.parallel.allocation import Assignment
+from repro.parallel.allocation import Assignment, realized_imbalance
 from repro.parallel.executors.base import RunState, StratumExecutor
 from repro.parallel.workunits import WorkUnit, run_unit
 from repro.util.errors import OptimizationError, ValidationError
+
+#: A dynamic-mode grab takes ``max(1, len(units) // (threads * divisor))``
+#: units: large strata amortize the queue lock over multi-unit chunks,
+#: small strata degrade to unit-at-a-time grabs for maximal balance.
+STEAL_CHUNK_DIVISOR = 4
+
+
+class _UnitQueue:
+    """Lock-guarded shared unit queue with chunked grabs.
+
+    Units are handed out heaviest-first (greedy list scheduling: serving
+    the expensive units early keeps the tail fine-grained, the same
+    reason LPT sorts before assigning); ``grab`` returns the next chunk
+    (or an empty list when drained).  One lock acquisition per grab — the
+    contention bound the chunking buys.
+
+    Each grab starts with a ``sleep(0)`` GIL yield: without it a CPython
+    worker that finishes a sub-switch-interval unit immediately re-grabs
+    while still holding the GIL and a single thread drains the whole
+    queue, so the other workers park at the barrier exactly like a bad
+    static assignment.  The yield gives every worker a scheduling
+    opportunity per grab, which is what makes the realized per-worker
+    load converge.
+    """
+
+    __slots__ = ("_units", "_pos", "_chunk", "_lock")
+
+    def __init__(self, units: list[WorkUnit], chunk: int) -> None:
+        self._units = sorted(units, key=lambda u: (-u.weight, u.uid))
+        self._pos = 0
+        self._chunk = max(1, chunk)
+        self._lock = threading.Lock()
+
+    def grab(self) -> list[WorkUnit]:
+        time.sleep(0)
+        with self._lock:
+            start = self._pos
+            if start >= len(self._units):
+                return []
+            self._pos = min(start + self._chunk, len(self._units))
+            return self._units[start : self._pos]
+
+    def drain(self) -> list[WorkUnit]:
+        """Take every remaining unit (recovery when all workers failed)."""
+        with self._lock:
+            rest = self._units[self._pos :]
+            self._pos = len(self._units)
+            return rest
 
 
 class ThreadedExecutor(StratumExecutor):
     """One real thread per worker, shared lock-striped memo."""
 
+    supports_dynamic_allocation = True
+
     def __init__(self) -> None:
         self._state: RunState | None = None
         self._stratum_walls: list[float] = []
+        self._realized_imbalances: list[float] = []
         self._recovery = {"worker_errors": 0, "redispatched_units": 0,
                           "redispatch_attempts": 0}
 
@@ -47,24 +114,28 @@ class ThreadedExecutor(StratumExecutor):
             )
         self._state = state
         self._stratum_walls = []
+        self._realized_imbalances = []
 
-    def run_stratum(
-        self, size: int, units: list[WorkUnit], assignment: Assignment | None
-    ) -> None:
+    def _prebuild(self, units: list[WorkUnit]) -> None:
+        """Build shared structures (SVAs, DPsub strata) on the master
+        thread, as the paper does, so workers only read them."""
         state = self._state
         assert state is not None
-        if assignment is None:
-            raise ValidationError(
-                "dynamic allocation is only supported by the simulated "
-                "executor"
-            )
-        # Pre-build shared structures (SVAs, DPsub strata) on the master
-        # thread, as the paper does, so workers only read them.
         for unit in units:
             if unit.algorithm == "dpsva":
                 state.caches.sva.for_size(unit.size - unit.outer_size)
             elif unit.algorithm == "dpsub":
                 state.caches.dpsub_stratum(unit.size)
+
+    def run_stratum(
+        self, size: int, units: list[WorkUnit], assignment: Assignment | None
+    ) -> None:
+        if assignment is None:
+            self._run_stratum_dynamic(size, units)
+            return
+        state = self._state
+        assert state is not None
+        self._prebuild(units)
         meters = [WorkMeter() for _ in range(state.threads)]
         busy = [0.0] * state.threads
         errors: list[Exception | None] = [None] * state.threads
@@ -113,6 +184,7 @@ class ThreadedExecutor(StratumExecutor):
                 meters[t] = self._recover(size, t, assignment[t], errors[t])
         for meter in meters:
             state.meter.merge(meter)
+        self._realized_imbalances.append(realized_imbalance(busy))
         tracer = state.tracer
         if tracer.enabled:
             for t in range(state.threads):
@@ -124,6 +196,132 @@ class ThreadedExecutor(StratumExecutor):
                     meters[t].pairs_considered,
                     size=size,
                     worker=t,
+                )
+                tracer.gauge(
+                    "worker.realized_load", busy[t], size=size, worker=t
+                )
+                tracer.gauge("worker.busy", busy[t], size=size, worker=t)
+                tracer.gauge(
+                    "worker.barrier_wait",
+                    max(0.0, wall - busy[t]),
+                    size=size,
+                    worker=t,
+                )
+
+    def _run_stratum_dynamic(self, size: int, units: list[WorkUnit]) -> None:
+        """One stratum with online work stealing from a shared queue.
+
+        Every worker loops grab → run → grab until the queue drains; a
+        grab after a worker's first is counted as a *steal* (work a
+        static allocation would have parked elsewhere).  Per-unit meters
+        merge into the worker meter only on unit completion, so a failed
+        worker leaves behind exactly its unfinished units (recovered at
+        the barrier) and never a partial count.
+        """
+        state = self._state
+        assert state is not None
+        self._prebuild(units)
+        threads = state.threads
+        queue = _UnitQueue(
+            units, len(units) // (threads * STEAL_CHUNK_DIVISOR)
+        )
+        meters = [WorkMeter() for _ in range(threads)]
+        busy = [0.0] * threads
+        done_units = [0] * threads
+        dispatched = [0] * threads
+        stolen = [0] * threads
+        errors: list[Exception | None] = [None] * threads
+        leftovers: list[list[WorkUnit]] = [[] for _ in range(threads)]
+        injector = state.injector
+
+        def work(t: int) -> None:
+            t0 = time.perf_counter()
+            pending: list[WorkUnit] = []
+            try:
+                if injector.enabled:
+                    injector.check(
+                        "worker", worker=t, stratum=size, backend="threads"
+                    )
+                grabs = 0
+                while True:
+                    batch = queue.grab()
+                    if not batch:
+                        break
+                    grabs += 1
+                    dispatched[t] += len(batch)
+                    if grabs > 1:
+                        stolen[t] += len(batch)
+                    pending = list(batch)
+                    while pending:
+                        unit_meter = WorkMeter()
+                        run_unit(
+                            pending[0],
+                            state.memo,
+                            state.ctx,
+                            state.caches,
+                            state.require_connected,
+                            unit_meter,
+                            fast=state.fast_path,
+                        )
+                        # Merge only after the unit completes: a failure
+                        # mid-unit leaves no partial count behind.
+                        meters[t].merge(unit_meter)
+                        done_units[t] += 1
+                        pending.pop(0)
+            except Exception as exc:
+                errors[t] = exc
+                leftovers[t] = pending
+            busy[t] = time.perf_counter() - t0
+
+        start = time.perf_counter()
+        workers = [
+            threading.Thread(target=work, args=(t,), name=f"pdp-worker-{t}")
+            for t in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()  # the stratum barrier
+        wall = time.perf_counter() - start
+        self._stratum_walls.append(wall)
+        # If every worker failed, un-grabbed units are still queued; fold
+        # them into the first failed worker's recovery batch.  (Any worker
+        # finishing cleanly implies it saw the queue empty.)
+        remaining = queue.drain()
+        if remaining:
+            first_failed = next(
+                t for t in range(threads) if errors[t] is not None
+            )
+            leftovers[first_failed].extend(remaining)
+        for t in range(threads):
+            if errors[t] is not None:
+                # Only the failed worker's in-flight remainder re-runs:
+                # completed units already merged exactly once, and the
+                # rest of the queue was drained by the other workers.
+                recovered = self._recover(size, t, leftovers[t], errors[t])
+                meters[t].merge(recovered)
+                done_units[t] += len(leftovers[t])
+        for meter in meters:
+            state.meter.merge(meter)
+        self._realized_imbalances.append(realized_imbalance(busy))
+        tracer = state.tracer
+        if tracer.enabled:
+            for t in range(threads):
+                tracer.counter(
+                    "alloc.dispatch", dispatched[t], size=size, worker=t
+                )
+                tracer.counter("alloc.steal", stolen[t], size=size, worker=t)
+                tracer.counter(
+                    "worker.units", done_units[t], size=size, worker=t
+                )
+                tracer.counter(
+                    "worker.pairs",
+                    meters[t].pairs_considered,
+                    size=size,
+                    worker=t,
+                )
+                tracer.gauge(
+                    "worker.realized_load", busy[t], size=size, worker=t
                 )
                 tracer.gauge("worker.busy", busy[t], size=size, worker=t)
                 tracer.gauge(
@@ -140,7 +338,7 @@ class ThreadedExecutor(StratumExecutor):
         units: list[WorkUnit],
         error: Exception,
     ) -> WorkMeter:
-        """Re-run a failed worker thread's bucket on the master thread.
+        """Re-run a failed worker thread's units on the master thread.
 
         Bounded retries with exponential backoff; the injector is
         consulted again per attempt (with a ``retry`` coordinate) so
@@ -195,5 +393,6 @@ class ThreadedExecutor(StratumExecutor):
     def close(self) -> dict[str, Any]:
         return {
             "stratum_wall_times": list(self._stratum_walls),
+            "realized_imbalances": list(self._realized_imbalances),
             "fault_recovery": dict(self._recovery),
         }

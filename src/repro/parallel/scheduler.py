@@ -22,7 +22,11 @@ from repro.memo.concurrent import LockStripedMemo
 from repro.memo.counters import WorkMeter
 from repro.memo.soa import SoAMemo, soa_compatible
 from repro.memo.table import Memo, extract_plan
-from repro.parallel.allocation import allocate, allocation_imbalance
+from repro.parallel.allocation import (
+    DYNAMIC_ALLOCATION,
+    allocate,
+    allocation_imbalance,
+)
 from repro.parallel.executors import EXECUTORS
 from repro.parallel.executors.base import RunState
 from repro.parallel.executors.simulated import SimulatedExecutor
@@ -64,7 +68,7 @@ class ParallelDP:
 
     def __init__(
         self,
-        algorithm: str = "dpsva",
+        algorithm: str = "dpsize",
         threads: int = 8,
         allocation: str | None = None,
         backend: str | None = None,
@@ -109,6 +113,12 @@ class ParallelDP:
         self.tracer = config.effective_tracer
         self.fast_path = config.fast_path
         self.name = f"p{self.algorithm}"
+        #: Diagnostic: when set, :meth:`optimize` keeps the final memo on
+        #: :attr:`last_memo` so tests can compare memo contents across
+        #: allocation schemes and backends.  Off by default — memos for
+        #: large queries are big.
+        self.keep_memo = False
+        self.last_memo: Memo | None = None
 
     def _make_executor(self):
         if self.backend == "simulated":
@@ -156,6 +166,18 @@ class ParallelDP:
         memo = self._make_memo(ctx, cost_model, estimator, meter)
         caches_meter = WorkMeter()
         executor = self._make_executor()
+        if (
+            self.allocation == DYNAMIC_ALLOCATION
+            and not executor.supports_dynamic_allocation
+        ):
+            # Config validation already enforces this; re-check here so a
+            # hand-built executor can never silently receive a None
+            # assignment it does not understand.
+            raise ValidationError(
+                f"backend {self.backend!r} does not support dynamic "
+                f"allocation (executor {type(executor).__name__} opts out "
+                f"via supports_dynamic_allocation)"
+            )
         tracer = self.tracer
         injector = self.config.effective_fault_injector
 
@@ -253,6 +275,8 @@ class ParallelDP:
         )
         if tracer.enabled:
             extras["trace"] = tracer
+        if self.keep_memo:
+            self.last_memo = memo
         return OptimizationResult(
             algorithm=self.name,
             plan=extract_plan(memo),

@@ -24,6 +24,7 @@ _STRATUM_COUNTERS = (
 _WORKER_SERIES = (
     ("worker.units", "counter", "units"),
     ("worker.pairs", "counter", "pairs"),
+    ("alloc.steal", "counter", "steals"),
     ("worker.busy", "gauge", "busy"),
     ("worker.barrier_wait", "gauge", "barrier_wait"),
 )

@@ -1,0 +1,164 @@
+"""Allocation × backend parity: work stealing is bit-identical to static.
+
+The tentpole guarantee of the real-backend ``dynamic`` scheme: because
+memo writes are idempotent, deterministically tie-broken min-merges, the
+*order* in which workers pull units cannot change the final memo — so
+dynamic allocation must produce bit-identical plans, costs, and memo
+contents to ``equi_depth`` on the same query, on every backend, including
+under injected worker crashes (WorkMeter exactness under re-dispatch).
+
+Meter comparison notes: ``pairs_considered`` / ``pairs_valid`` /
+``plans_emitted`` are order-independent and must match exactly across
+allocation schemes and fault injection.  ``memo_inserts`` /
+``memo_improvements`` depend on candidate application order (thread
+interleaving, replica merge order) and ``latch_contended`` is
+timing-dependent, so those are only compared where the execution is
+deterministic (the simulated backend).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OptimizerConfig
+from repro.parallel.scheduler import ParallelDP
+from repro.plans import plan_signature
+from repro.query.workload import WorkloadSpec, generate_query
+from repro.trace import RecordingTracer
+
+REAL_BACKENDS = ("threads", "processes")
+ALL_BACKENDS = ("simulated",) + REAL_BACKENDS
+
+#: Counters whose totals do not depend on execution order.
+ORDER_INDEPENDENT = ("pairs_considered", "pairs_valid", "plans_emitted")
+
+
+def query_for(topology="star", n=9, seed=13):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+def run(backend, allocation, algorithm="dpsva", query=None, threads=3,
+        fault_plan=None, tracer=None):
+    config = OptimizerConfig(
+        algorithm=algorithm,
+        threads=threads,
+        backend=backend,
+        allocation=allocation,
+        fault_plan=fault_plan,
+        tracer=tracer,
+    )
+    optimizer = ParallelDP(config=config)
+    optimizer.keep_memo = True
+    result = optimizer.optimize(query if query is not None else query_for())
+    return result, optimizer.last_memo
+
+
+def memo_snapshot(memo) -> dict:
+    return {
+        e.mask: (e.cost, e.rows, e.left, e.right, int(e.method))
+        for e in memo.entries()
+    }
+
+
+@pytest.mark.parametrize("algorithm", ["dpsize", "dpsub", "dpsva"])
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_dynamic_bit_identical_to_equi_depth(backend, algorithm):
+    query = query_for("star", 9, seed=13)
+    static_r, static_memo = run(
+        backend, "equi_depth", algorithm, query=query
+    )
+    dynamic_r, dynamic_memo = run(
+        backend, "dynamic", algorithm, query=query
+    )
+    assert dynamic_r.cost == static_r.cost
+    assert plan_signature(dynamic_r.plan) == plan_signature(static_r.plan)
+    assert memo_snapshot(dynamic_memo) == memo_snapshot(static_memo)
+    for counter in ORDER_INDEPENDENT:
+        assert getattr(dynamic_r.meter, counter) == getattr(
+            static_r.meter, counter
+        ), counter
+
+
+def test_dynamic_is_deterministic_on_simulated():
+    # Execution order differs *between* schemes (so order-dependent
+    # counters like memo_improvements may differ), but the simulated
+    # backend is deterministic: repeated dynamic runs agree on the
+    # entire meter, bit for bit.
+    query = query_for("cycle", 8, seed=4)
+    first, first_memo = run("simulated", "dynamic", query=query)
+    second, second_memo = run("simulated", "dynamic", query=query)
+    assert first.meter.as_dict() == second.meter.as_dict()
+    assert memo_snapshot(first_memo) == memo_snapshot(second_memo)
+    assert first.extras["realized_imbalances"] == (
+        second.extras["realized_imbalances"]
+    )
+
+
+@pytest.mark.parametrize(
+    "backend,fault_plan",
+    [
+        ("threads", "seed=5;worker:raise@worker=1,stratum=4,count=1"),
+        ("threads", "seed=5;worker:raise@worker=0,count=2"),
+        ("processes", "seed=5;worker:crash@worker=1,count=1"),
+        ("processes", "seed=5;worker:raise@worker=2,stratum=3,count=1"),
+    ],
+)
+def test_dynamic_exact_under_worker_faults(backend, fault_plan):
+    """Crashed/raising workers hand their outstanding units back to the
+    queue; the recovered run stays bit-identical with exact counters."""
+    query = query_for("star", 8, seed=13)
+    clean_r, clean_memo = run(backend, "equi_depth", query=query)
+    faulty_r, faulty_memo = run(
+        backend, "dynamic", query=query, fault_plan=fault_plan
+    )
+    assert faulty_r.cost == clean_r.cost
+    assert plan_signature(faulty_r.plan) == plan_signature(clean_r.plan)
+    assert memo_snapshot(faulty_memo) == memo_snapshot(clean_memo)
+    # WorkMeter exactness under re-dispatch: every unit is counted by
+    # exactly one successful attempt, so the order-independent totals
+    # match the fault-free static run exactly.
+    for counter in ORDER_INDEPENDENT:
+        assert getattr(faulty_r.meter, counter) == getattr(
+            clean_r.meter, counter
+        ), counter
+    assert faulty_r.extras["fault_recovery"]["redispatch_attempts"] > 0
+
+
+@pytest.mark.parametrize("backend", REAL_BACKENDS)
+def test_steal_counters_and_realized_load(backend):
+    query = query_for("star", 8, seed=13)
+    tracer = RecordingTracer()
+    result, _ = run(backend, "dynamic", query=query, tracer=tracer)
+    steals = [
+        e for e in tracer.events
+        if e.kind == "counter" and e.name == "alloc.steal"
+    ]
+    dispatches = [
+        e for e in tracer.events
+        if e.kind == "counter" and e.name == "alloc.dispatch"
+    ]
+    loads = [
+        e for e in tracer.events
+        if e.kind == "gauge" and e.name == "worker.realized_load"
+    ]
+    assert sum(e.value for e in steals) > 0
+    # Every unit of every stratum was dispatched exactly once.
+    assert sum(e.value for e in dispatches) == sum(
+        result.extras["unit_counts"]
+    )
+    assert loads and all(e.value >= 0 for e in loads)
+    # Dynamic strata report no planned imbalance but do report realized.
+    assert all(x is None for x in result.extras["allocation_imbalances"])
+    realized = result.extras["realized_imbalances"]
+    assert len(realized) == len(result.extras["allocation_imbalances"])
+    assert all(x >= 1.0 for x in realized)
+
+
+@pytest.mark.parametrize("backend", REAL_BACKENDS)
+def test_static_schemes_emit_no_steals(backend):
+    tracer = RecordingTracer()
+    run(backend, "equi_depth", query=query_for("chain", 7), tracer=tracer)
+    assert not [
+        e for e in tracer.events
+        if e.kind == "counter" and e.name in ("alloc.steal", "alloc.dispatch")
+    ]

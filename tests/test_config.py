@@ -79,6 +79,18 @@ def test_threads_must_be_positive():
         OptimizerConfig(algorithm="dpsize", threads=0)
 
 
+def test_front_doors_share_default_algorithm():
+    # Regression: ParallelDP used to default to "dpsva" while
+    # OptimizerConfig and repro.optimize defaulted to "dpsize", so the
+    # two front doors silently ran different kernels for the same call
+    # shape.  All of them must agree.
+    assert OptimizerConfig().algorithm == "dpsize"
+    assert ParallelDP(threads=2).algorithm == "dpsize"
+    query = query_for()
+    assert optimize(query).algorithm == "dpsize"
+    assert ParallelDP(threads=2).optimize(query).algorithm == "pdpsize"
+
+
 def test_dpccp_has_no_parallel_kernel():
     with pytest.raises(ValidationError, match="no parallel kernel"):
         OptimizerConfig(algorithm="dpccp", threads=4)
@@ -96,11 +108,39 @@ def test_parallel_options_require_threads():
         OptimizerConfig(algorithm="dpsize", backend="threads")
 
 
-def test_dynamic_allocation_needs_simulated_backend():
+def test_dynamic_allocation_accepted_by_all_backends():
+    # Since the real backends grew true work stealing, every built-in
+    # executor advertises supports_dynamic_allocation.
+    for backend in ("simulated", "threads", "processes"):
+        config = OptimizerConfig(
+            algorithm="dpsva", threads=2, allocation="dynamic",
+            backend=backend,
+        )
+        assert config.effective_allocation == "dynamic"
+
+
+def test_dynamic_allocation_consults_capability_flag(monkeypatch):
+    # An executor that opts out (the base-class default) is rejected at
+    # config construction with one coherent error.
+    from repro.parallel import executors as executors_mod
+    from repro.parallel.executors.base import StratumExecutor
+
+    class NoStealExecutor(StratumExecutor):
+        def open(self, state):  # pragma: no cover - never run
+            raise NotImplementedError
+
+        def run_stratum(self, size, units, assignment):  # pragma: no cover
+            raise NotImplementedError
+
+        def close(self):  # pragma: no cover - never run
+            raise NotImplementedError
+
+    assert NoStealExecutor.supports_dynamic_allocation is False
+    monkeypatch.setitem(executors_mod.EXECUTORS, "threads", NoStealExecutor)
     with pytest.raises(ValidationError, match="dynamic allocation"):
         OptimizerConfig(
             algorithm="dpsva", threads=2, allocation="dynamic",
-            backend="processes",
+            backend="threads",
         )
 
 

@@ -1,0 +1,65 @@
+"""Degenerate-input coverage: inputs that exercise the boundaries of the
+stratum machinery — a single relation (no strata at all), far more
+threads than work units, and an empty service batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OptimizerConfig, OptimizerService, optimize
+from repro.parallel.scheduler import ParallelDP
+from repro.plans import plan_signature
+from repro.query.workload import WorkloadSpec, generate_query
+
+
+def query_for(topology, n, seed=0):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+def test_single_relation_serial():
+    query = query_for("chain", 1)
+    result = optimize(query)
+    assert result.cost == query.cardinalities[0]
+    assert result.plan.relations == 0b1
+    assert result.plan.size == 1
+    assert result.meter.pairs_considered == 0
+
+
+@pytest.mark.parametrize("backend", ["simulated", "threads", "processes"])
+@pytest.mark.parametrize("allocation", ["equi_depth", "dynamic"])
+def test_single_relation_parallel(backend, allocation):
+    # n=1 means the stratum loop body never runs: the optimum is the
+    # seeded scan, on every backend and allocation scheme.
+    query = query_for("chain", 1)
+    result = ParallelDP(
+        algorithm="dpsize", threads=4, backend=backend,
+        allocation=allocation,
+    ).optimize(query)
+    assert result.cost == query.cardinalities[0]
+    assert result.extras["unit_counts"] == []
+    assert result.extras["realized_imbalances"] == []
+
+
+@pytest.mark.parametrize("backend", ["simulated", "threads", "processes"])
+@pytest.mark.parametrize("allocation", ["equi_depth", "dynamic"])
+def test_many_more_threads_than_units(backend, allocation):
+    # chain-2 has exactly one joinable pair; 15 of the 16 workers get
+    # nothing to do and must still hit the barrier cleanly.
+    query = query_for("chain", 2)
+    serial = optimize(query)
+    result = ParallelDP(
+        algorithm="dpsva", threads=16, backend=backend,
+        allocation=allocation,
+    ).optimize(query)
+    assert result.cost == serial.cost
+    assert plan_signature(result.plan) == plan_signature(serial.plan)
+    assert result.meter.pairs_valid == serial.meter.pairs_valid
+
+
+def test_optimize_batch_empty_returns_empty_list():
+    service = OptimizerService(OptimizerConfig(algorithm="dpsize"))
+    try:
+        assert service.optimize_batch([]) == []
+    finally:
+        service.close()

@@ -174,15 +174,16 @@ def test_dynamic_allocation_oracle():
         assert dynamic_time <= static.extras["sim_report"].total_time * 1.02
 
 
-def test_dynamic_allocation_rejected_by_real_backends():
-    # The config validates at construction now, so the combination is
-    # rejected before a query is ever submitted.
-    for backend in ("threads", "processes"):
-        with pytest.raises(ValidationError):
-            ParallelDP(
-                algorithm="dpsize", threads=2, allocation="dynamic",
-                backend=backend,
-            )
+def test_dynamic_allocation_reports_realized_imbalance():
+    # Every backend reports per-stratum realized (pairs-based) load
+    # imbalance alongside the planned allocation imbalances.
+    query = query_for("star", 7, seed=13)
+    result = ParallelDP(
+        algorithm="dpsva", threads=4, allocation="dynamic"
+    ).optimize(query)
+    realized = result.extras["realized_imbalances"]
+    assert len(realized) == len(result.extras["allocation_imbalances"])
+    assert all(value >= 1.0 for value in realized)
 
 
 def test_parallel_validation():
