@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -20,6 +21,7 @@ from repro.bench import (
     kernel_speedup,
     run_serial_grid,
     save_manifest,
+    serving_throughput,
     size_scaling,
     speedup_curve,
     sva_effectiveness,
@@ -135,6 +137,17 @@ def main(argv=None) -> int:
         "star", 9 if quick else 11, threads=2 if quick else 4, seed=11
     )
     publish(args.out, "e11_wire", rows, {"experiment": "E11"})
+
+    with tempfile.TemporaryDirectory() as tmp:
+        rows = serving_throughput(
+            "star", 8 if quick else 10, seed=14,
+            distinct=8 if quick else 16,
+            requests_per_client=40 if quick else 250,
+            clients=4 if quick else 8,
+            shards=8 if quick else 16,
+            warm_start_path=str(Path(tmp) / "plancache.jsonl"),
+        )
+    publish(args.out, "e14_serving", rows, {"experiment": "E14"})
 
     print(f"\ndone in {time.perf_counter() - started:.1f}s "
           f"(E6/E8 need timing fixtures; run them via pytest benchmarks/)")

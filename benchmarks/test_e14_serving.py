@@ -1,0 +1,67 @@
+"""E14 — async sharded serving tier vs the single-lock sync baseline.
+
+The serving-layer scaling experiment: the same cache-hit-heavy replay
+(N closed-loop clients round-robining over a fixed set of distinct
+queries) is driven through
+
+* the synchronous facade with a 1-shard plan cache — every request pays
+  the cross-thread hop and contends on one cache lock (the PR-2-era
+  architecture), and
+* the asyncio-native :class:`~repro.service.AsyncOptimizerService` with
+  an N-way sharded cache — hits resolve on the event loop with per-shard
+  locking,
+
+then restarts the async service against its spilled warm-start file.
+
+Acceptance (full grid): the async sharded tier sustains >= 4x the
+baseline throughput at equal-or-better p99, sheds nothing (offered load
+equals the admission limit, never exceeds it), and the warm restart
+serves > 90% of requests from the reloaded cache.  ``--quick`` shrinks
+the grid and loosens the throughput floor for CI smoke.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, serving_throughput
+
+
+def test_e14_serving_throughput(quick, publish, tmp_path):
+    grid = (
+        dict(n=8, distinct=8, requests_per_client=40, clients=4, shards=8)
+        if quick
+        else dict(n=10, distinct=16, requests_per_client=250, clients=8,
+                  shards=16)
+    )
+    rows = serving_throughput(
+        "star", seed=14,
+        warm_start_path=str(tmp_path / "plancache.jsonl"), **grid,
+    )
+    publish("e14_serving", format_table(rows), rows)
+
+    baseline, sharded, warm = rows
+    assert baseline["mode"] == "sync-facade-1shard"
+    assert sharded["mode"] == "async-sharded"
+    assert warm["mode"] == "warm-restart"
+
+    # Offered load sits at the admission limit, never above it: the
+    # controller must not shed, and nothing may degrade to error.
+    for row in rows:
+        assert row["sheds"] == 0, row
+        assert row["errors"] == 0, row
+
+    # Warm restart: the reloaded cache covers every distinct query, so
+    # the replay runs without a single cold optimization.
+    assert warm["warm_entries"] == grid["distinct"]
+    assert warm["hit_rate"] > 0.9
+
+    floor = 1.5 if quick else 4.0
+    assert sharded["throughput_rps"] >= floor * baseline["throughput_rps"], (
+        f"async sharded {sharded['throughput_rps']:.0f} req/s < "
+        f"{floor}x baseline {baseline['throughput_rps']:.0f} req/s"
+    )
+    if not quick:
+        # Equal-or-better tail latency at 4x the throughput.
+        assert sharded["p99_ms"] <= baseline["p99_ms"] * 1.1, (
+            f"async p99 {sharded['p99_ms']}ms worse than baseline "
+            f"{baseline['p99_ms']}ms"
+        )

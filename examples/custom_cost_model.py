@@ -11,6 +11,7 @@ Run:  python examples/custom_cost_model.py
 
 from repro import (
     CostModel,
+    OptimizerConfig,
     JoinMethod,
     StandardCostModel,
     Workload,
@@ -59,10 +60,16 @@ def count_methods(plan) -> dict:
 def main() -> None:
     query = Workload(WorkloadSpec("cycle", 9, seed=5))[0]
 
-    standard = optimize(query, algorithm="dpsva", threads=4)
+    standard = optimize(
+        query, config=OptimizerConfig(algorithm="dpsva", threads=4)
+    )
     averse = optimize(
-        query, algorithm="dpsva", threads=4,
-        cost_model=MemoryAverseCostModel(),
+        query,
+        config=OptimizerConfig(
+            algorithm="dpsva",
+            threads=4,
+            cost_model=MemoryAverseCostModel(),
+        ),
     )
 
     print("-- StandardCostModel --")

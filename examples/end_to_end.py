@@ -15,6 +15,7 @@ from collections import Counter
 
 from repro import (
     CardinalityEstimator,
+    OptimizerConfig,
     JoinGraph,
     JoinMethod,
     JoinNode,
@@ -61,7 +62,7 @@ def main() -> None:
     print(f"query: {query.label}; table sizes: {sizes}\n")
 
     # The DP optimum.
-    best = optimize(query, algorithm="dpsva")
+    best = optimize(query, config=OptimizerConfig(algorithm="dpsva"))
     print("optimal plan (DPsva):")
     print(explain(best.plan, relation_names=query.relation_names))
 

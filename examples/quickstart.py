@@ -4,6 +4,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
+    OptimizerConfig,
     PDPsva,
     Workload,
     WorkloadSpec,
@@ -20,12 +21,12 @@ def main() -> None:
     print(f"cardinalities: {[int(c) for c in query.cardinalities]}")
 
     # Serial exact optimization with the classic DPsize enumerator.
-    serial = optimize(query, algorithm="dpsize")
+    serial = optimize(query, config=OptimizerConfig(algorithm="dpsize"))
     print("\n-- serial DPsize --")
     print(serial.summary())
 
     # Same optimum, far fewer candidate pairs: skip vector arrays.
-    sva = optimize(query, algorithm="dpsva")
+    sva = optimize(query, config=OptimizerConfig(algorithm="dpsva"))
     print("\n-- serial DPsva --")
     print(sva.summary())
     saved = serial.meter.pairs_considered - sva.meter.pairs_considered

@@ -13,7 +13,7 @@ Run:  python examples/sparql_chain_workload.py
 
 from repro.bench import format_table, run_serial_grid
 from repro.heuristics import IKKBZ
-from repro import Workload, WorkloadSpec, optimize
+from repro import OptimizerConfig, Workload, WorkloadSpec, optimize
 
 
 def main() -> None:
@@ -43,7 +43,7 @@ def main() -> None:
     print("IKKBZ vs exact DP on a 16-relation chain")
     print("=" * 64)
     query = Workload(WorkloadSpec("chain", 16, seed=21))[0]
-    dp = optimize(query, algorithm="dpccp")
+    dp = optimize(query, config=OptimizerConfig(algorithm="dpccp"))
     ik = IKKBZ().optimize(query)
     print(f"  DPccp optimum:  cost={dp.cost:.4g}  "
           f"({dp.elapsed_seconds * 1e3:.1f} ms)")

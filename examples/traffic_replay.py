@@ -1,27 +1,44 @@
-"""Traffic replay: plan-cache amortization under a skewed workload.
+"""Traffic replay: a closed-loop load generator for the async serving tier.
 
 Real optimizer traffic repeats itself — a dashboard re-issues the same
 handful of report queries far more often than it invents new ones.  This
-example replays a Zipf-skewed stream of star/chain queries through
-`OptimizerService` and shows what the serving layer buys:
+example drives a Zipf-skewed stream of star/chain/cycle/clique queries
+through :class:`repro.service.AsyncOptimizerService` with N closed-loop
+clients (each client submits its next request as soon as the previous
+response arrives) and reports what the serving layer buys:
 
-* the hot queries pay for exact DP optimization once and are answered
-  from the plan cache in microseconds afterwards;
-* identical requests submitted concurrently collapse to a single
-  optimization (singleflight);
-* a statistics refresh (`bump_stats_version`) lazily invalidates every
-  cached plan without stalling the service.
+* client-observed p50/p95/p99 latency and throughput — the hot queries
+  pay for exact DP optimization once, then answer in microseconds;
+* provenance per response (``hit``/``miss``/``shared``/``fallback``/
+  ``error``/``shed``) and the shed rate — with offered load at or below
+  the admission limit, the shed rate must be exactly zero;
+* a warm-start restart: the service spills its plan cache to a versioned
+  file on close and a new service instance reloads it, so the restarted
+  tier starts hot;
+* per-tenant token-bucket quotas: a greedy tenant is shed with
+  ``source="shed"``/``shed_reason="quota"`` while other tenants are
+  unaffected.
 
-Run:  python examples/traffic_replay.py
+The script exits non-zero if the replay sheds or errors while offered
+load is under the admission limit — CI runs it as a serving smoke test
+(``--quick``).
+
+Run:  python examples/traffic_replay.py [--quick]
 """
 
+import argparse
+import asyncio
+import math
+import os
 import random
-import statistics
+import sys
+import tempfile
 import time
 
-from repro import OptimizerConfig, OptimizerService
+from repro import OptimizerConfig
 from repro.bench import format_table
 from repro.query import WorkloadSpec, generate_query
+from repro.service import AsyncOptimizerService, OptimizeRequest
 
 
 def build_catalog_queries(seed: int = 7):
@@ -37,67 +54,173 @@ def build_catalog_queries(seed: int = 7):
     return [generate_query(spec) for spec in specs]
 
 
-def zipf_stream(queries, requests: int, seed: int = 0):
-    """Skewed traffic: query k is ~2x as popular as query k+1."""
-    rng = random.Random(seed)
+def percentile(values, q):
+    """Nearest-rank percentile of a sorted list."""
+    if not values:
+        return 0.0
+    rank = min(len(values) - 1, max(0, math.ceil(q * len(values)) - 1))
+    return values[rank]
+
+
+async def replay(config, queries, *, clients, requests_per_client, seed,
+                 tenant_of=None):
+    """Drive one closed-loop replay; returns (responses, stats, wall)."""
+    tenant_of = tenant_of or (lambda c: f"client-{c}")
     weights = [2.0 ** -k for k in range(len(queries))]
-    return rng.choices(queries, weights=weights, k=requests)
 
+    async with AsyncOptimizerService(config) as service:
 
-def main() -> None:
-    queries = build_catalog_queries()
-    stream = zipf_stream(queries, requests=200)
+        async def client(c):
+            rng = random.Random(seed * 1000 + c)
+            out = []
+            for _ in range(requests_per_client):
+                query = rng.choices(queries, weights=weights, k=1)[0]
+                started = time.perf_counter()
+                response = await service.optimize(
+                    OptimizeRequest(query, tenant=tenant_of(c))
+                )
+                out.append((response, time.perf_counter() - started))
+            return out
 
-    config = OptimizerConfig(
-        algorithm="dpsize", cache_size=64, service_workers=4
-    )
-    print(f"replaying {len(stream)} requests over {len(queries)} distinct "
-          f"queries (zipf-skewed) through {config.algorithm}")
-    print("=" * 64)
-
-    # Replay in waves of 20, as a client submitting batches would: the
-    # first wave pays for the hot queries, later waves mostly hit.
-    with OptimizerService(config) as svc:
         wall_start = time.perf_counter()
-        outcomes = []
-        for wave in range(0, len(stream), 20):
-            outcomes.extend(svc.optimize_batch(stream[wave:wave + 20]))
+        per_client = await asyncio.gather(
+            *(client(c) for c in range(clients))
+        )
         wall = time.perf_counter() - wall_start
-        stats = svc.stats()
+        stats = service.stats()
+    responses = [pair for chunk in per_client for pair in chunk]
+    return responses, stats, wall
 
-        by_source: dict[str, list[float]] = {}
-        for outcome in outcomes:
-            by_source.setdefault(outcome.source, []).append(
-                outcome.elapsed_seconds * 1000
-            )
-        rows = [
-            {
-                "source": source,
-                "requests": len(latencies),
-                "median_ms": round(statistics.median(latencies), 4),
-                "max_ms": round(max(latencies), 4),
-            }
-            for source, latencies in sorted(by_source.items())
-        ]
-        print(format_table(rows))
-        print()
-        cache = stats.plan_cache
-        print(f"wall time        {wall:.3f}s "
-              f"({len(stream) / wall:,.0f} requests/s)")
-        print(f"optimizations    {stats.optimizations} "
-              f"(one per distinct query — singleflight)")
-        print(f"plan cache       hits={cache.hits} misses={cache.misses} "
-              f"hit_rate={cache.hit_rate:.2%}")
 
-        # A statistics refresh invalidates lazily; the next wave re-warms.
-        print()
-        print("ANALYZE happens: bump_stats_version() ...")
-        svc.bump_stats_version()
-        rewarm = svc.optimize_batch(stream[:20])
-        fresh = sum(1 for o in rewarm if o.source in ("miss", "shared"))
-        print(f"first 20 requests after refresh: {fresh} went back to the "
-              f"optimizer, {len(rewarm) - fresh} hit the re-warmed cache")
+def source_table(responses):
+    by_source = {}
+    for response, latency in responses:
+        by_source.setdefault(response.source, []).append(latency * 1e3)
+    rows = []
+    for source, lat in sorted(by_source.items()):
+        lat.sort()
+        rows.append({
+            "source": source,
+            "requests": len(lat),
+            "p50_ms": round(percentile(lat, 0.50), 4),
+            "p99_ms": round(percentile(lat, 0.99), 4),
+            "max_ms": round(max(lat), 4),
+        })
+    return rows
+
+
+def report(title, responses, stats, wall):
+    latencies = sorted(lat * 1e3 for _, lat in responses)
+    sheds = sum(1 for r, _ in responses if r.source == "shed")
+    errors = sum(1 for r, _ in responses if r.source == "error")
+    print(f"-- {title} --")
+    print(format_table(source_table(responses)))
+    print(f"wall {wall:.3f}s  throughput {len(responses) / wall:,.0f} req/s  "
+          f"p50={percentile(latencies, 0.5):.3f}ms "
+          f"p95={percentile(latencies, 0.95):.3f}ms "
+          f"p99={percentile(latencies, 0.99):.3f}ms")
+    cache = stats.plan_cache
+    print(f"cache hit_rate={cache.hit_rate:.2%}  "
+          f"optimizations={stats.optimizations}  "
+          f"shed_rate={sheds / len(responses):.2%}  errors={errors}  "
+          f"warm_start_entries={stats.warm_start_entries}")
+    print()
+    return sheds, errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI-sized replay")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="closed-loop client count (default 8, quick 4)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client (default 50, quick 15)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shards", type=int, default=8,
+                        help="plan-cache shard count")
+    parser.add_argument("--admission-limit", type=int, default=None,
+                        help="waiting-request cap (default: client count, "
+                        "so offered load sits at the limit and nothing "
+                        "may shed)")
+    args = parser.parse_args(argv)
+
+    clients = args.clients or (4 if args.quick else 8)
+    per_client = args.requests or (15 if args.quick else 50)
+    limit = args.admission_limit or clients
+    queries = build_catalog_queries(args.seed)
+    if args.quick:
+        queries = queries[:4]
+
+    print(f"replaying {clients} closed-loop clients x {per_client} requests "
+          f"over {len(queries)} distinct queries (zipf-skewed), "
+          f"shards={args.shards} admission_limit={limit}")
+    print("=" * 70)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        warm_path = os.path.join(tmp, "plancache.jsonl")
+        config = OptimizerConfig(
+            algorithm="dpsize", cache_size=64, service_workers=4,
+            cache_shards=args.shards, admission_limit=limit,
+            warm_start_path=warm_path,
+        )
+
+        responses, stats, wall = asyncio.run(replay(
+            config, queries, clients=clients,
+            requests_per_client=per_client, seed=args.seed,
+        ))
+        sheds, errors = report("cold start", responses, stats, wall)
+
+        # Restart: a second service instance reloads the spilled cache, so
+        # every distinct query is already warm — no cold misses at all.
+        responses2, stats2, wall2 = asyncio.run(replay(
+            config, queries, clients=clients,
+            requests_per_client=per_client, seed=args.seed + 1,
+        ))
+        warm_hit_rate = stats2.plan_cache.hit_rate
+        sheds2, errors2 = report(
+            f"warm restart (reloaded {stats2.warm_start_entries} plans)",
+            responses2, stats2, wall2,
+        )
+
+    # A greedy tenant exhausts its token bucket and is shed; provenance
+    # says so explicitly.  These sheds are *expected* — quota, not
+    # admission — so they don't affect the exit code.
+    quota_config = OptimizerConfig(
+        algorithm="dpsize", cache_size=64, service_workers=4,
+        cache_shards=args.shards, quota_rate=5.0, quota_burst=5,
+    )
+    quota_responses, _, _ = asyncio.run(replay(
+        quota_config, queries[:2], clients=1, requests_per_client=20,
+        seed=args.seed, tenant_of=lambda c: "greedy",
+    ))
+    quota_sheds = [r for r, _ in quota_responses if r.source == "shed"]
+    print(f"-- tenant quota (5 req/s bucket, 20 back-to-back requests) --")
+    print(f"shed {len(quota_sheds)}/20 with "
+          f"shed_reason={{{', '.join(sorted({r.shed_reason for r in quota_sheds}))}}}"
+          if quota_sheds else "no quota sheds (machine too slow?)")
+    print()
+
+    failures = []
+    if sheds or sheds2:
+        failures.append(
+            f"shed {sheds + sheds2} requests with offered load "
+            f"({clients} clients) <= admission limit ({limit})"
+        )
+    if errors or errors2:
+        failures.append(f"{errors + errors2} responses degraded to error")
+    if warm_hit_rate <= 0.9:
+        failures.append(
+            f"warm-restart hit rate {warm_hit_rate:.2%} <= 90%"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: zero sheds/errors at offered load <= admission limit; "
+          f"warm-restart hit rate {warm_hit_rate:.2%}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

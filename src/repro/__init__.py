@@ -29,6 +29,8 @@ deadline degradation::
         svc.optimize(query).source      # "hit" — microseconds
 """
 
+import warnings
+
 from repro.catalog import Catalog, Column, TableStats, generate_catalog
 from repro.config import OptimizerConfig
 from repro.cost import (
@@ -73,12 +75,12 @@ from repro.util.errors import (
     ValidationError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def optimize(
     query,
-    algorithm: str = "dpsize",
+    algorithm: str | None = None,
     threads: int | None = None,
     cost_model: CostModel | None = None,
     cross_products: bool = False,
@@ -87,20 +89,24 @@ def optimize(
 ) -> OptimizationResult:
     """Optimize a join query — the library's front door.
 
-    The preferred calling convention is a single validated
+    The calling convention is a single validated
     :class:`OptimizerConfig`::
 
         optimize(query, config=OptimizerConfig(algorithm="dpsva", threads=8))
 
     The individual keyword arguments remain supported as a compatibility
-    shim: they are folded into an ``OptimizerConfig`` via
+    shim — they are folded into an ``OptimizerConfig`` via
     :meth:`OptimizerConfig.from_kwargs`, so both paths share one
-    validation surface and produce identical results.
+    validation surface and produce identical results — but the shim is
+    **deprecated**: passing any optimizer option without ``config=``
+    emits a :class:`DeprecationWarning`.  Build the config object
+    instead.
 
     Args:
         query: A :class:`~repro.query.joingraph.Query` or a prepared
             :class:`~repro.query.context.QueryContext`.
-        algorithm: ``dpsize``/``dpsub``/``dpccp``/``dpsva`` (exact DP),
+        algorithm: Defaults to ``dpsize``.  One of
+            ``dpsize``/``dpsub``/``dpccp``/``dpsva`` (exact DP),
             ``exhaustive`` (brute force, tiny queries), or a heuristic
             (``goo``/``ikkbz``/``iterated_improvement``/
             ``simulated_annealing``).
@@ -117,27 +123,67 @@ def optimize(
     Returns:
         An :class:`~repro.enumerate.base.OptimizationResult`.
     """
+    kwargs_used = (
+        algorithm is not None
+        or threads is not None
+        or cost_model is not None
+        or cross_products
+        or bool(options)
+    )
     if config is not None:
-        if (
-            algorithm != "dpsize"
-            or threads is not None
-            or cost_model is not None
-            or cross_products
-            or options
-        ):
+        if kwargs_used:
             raise ValidationError(
                 "pass either config= or individual optimizer options, "
                 "not both"
             )
     else:
+        if kwargs_used:
+            warnings.warn(
+                "passing individual optimizer options to repro.optimize() "
+                "is deprecated; build an OptimizerConfig and pass config= "
+                "instead (e.g. optimize(query, "
+                "config=OptimizerConfig(algorithm=..., threads=...)))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         config = OptimizerConfig.from_kwargs(
-            algorithm=algorithm,
+            algorithm=algorithm if algorithm is not None else "dpsize",
             threads=threads,
             cost_model=cost_model,
             cross_products=cross_products,
             **options,
         )
     return _run(query, config)
+
+
+def optimize_batch(
+    requests, config: OptimizerConfig | None = None, *, timeout=None
+):
+    """Answer a batch of requests through an ephemeral serving tier.
+
+    The module-level twin of
+    :meth:`~repro.service.OptimizerService.optimize_batch`: it accepts
+    the same inputs (a list of
+    :class:`~repro.service.OptimizeRequest` objects, bare queries, or
+    prepared contexts), returns the same
+    :class:`~repro.service.OptimizeResponse` objects with identical
+    provenance fields, and shares one deadline budget across the batch —
+    the only difference is that the service (cache, worker pool,
+    singleflight) lives exactly as long as the call.  Duplicate members
+    are deduplicated: a repeated query optimizes once and the repeats
+    are answered with ``source`` ``"hit"``/``"shared"``.
+
+    Args:
+        requests: Iterable of requests/queries/contexts.
+        config: An :class:`OptimizerConfig`; ``None`` uses the defaults.
+        timeout: One shared deadline budget for the whole batch, in
+            seconds; ``None`` uses the config's ``request_timeout``.
+
+    Returns:
+        ``list[OptimizeResponse]`` in input order.
+    """
+    with OptimizerService(config) as service:
+        return service.optimize_batch(requests, timeout=timeout)
 
 
 def _run(query, config: OptimizerConfig) -> OptimizationResult:
@@ -168,24 +214,33 @@ def _run(query, config: OptimizerConfig) -> OptimizationResult:
 # Imported after optimize/_run are defined: the service calls back into
 # _run lazily, so this late import is cycle-free by construction.
 from repro.service import (  # noqa: E402
+    AsyncOptimizerService,
     CacheStats,
+    OptimizeRequest,
+    OptimizeResponse,
     OptimizerService,
     PlanCache,
     QueryFingerprint,
     ServiceResult,
     ServiceStats,
+    ShardedPlanCache,
     fingerprint_query,
 )
 
 __all__ = [
     "__version__",
     "optimize",
+    "optimize_batch",
     "OptimizerConfig",
     # serving layer
+    "AsyncOptimizerService",
     "OptimizerService",
+    "OptimizeRequest",
+    "OptimizeResponse",
     "ServiceResult",
     "ServiceStats",
     "PlanCache",
+    "ShardedPlanCache",
     "CacheStats",
     "QueryFingerprint",
     "fingerprint_query",

@@ -8,6 +8,7 @@ be regenerated programmatically or from the examples.
 
 from repro.bench.manifest import (
     load_manifest,
+    plan_from_dict,
     plan_to_dict,
     result_to_dict,
     save_manifest,
@@ -23,6 +24,7 @@ from repro.bench.runner import (
     median,
     real_backend_allocation,
     run_serial_grid,
+    serving_throughput,
     size_scaling,
     speedup_curve,
     sva_effectiveness,
@@ -33,6 +35,7 @@ __all__ = [
     "format_table",
     "render_curve",
     "rows_to_csv",
+    "plan_from_dict",
     "plan_to_dict",
     "result_to_dict",
     "sim_report_to_dict",
@@ -50,4 +53,5 @@ __all__ = [
     "kernel_speedup",
     "wire_volume",
     "fault_tolerance",
+    "serving_throughput",
 ]

@@ -13,9 +13,10 @@ from pathlib import Path
 from typing import Any
 
 from repro.enumerate.base import OptimizationResult
-from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.plans.nodes import JoinMethod, JoinNode, PlanNode, ScanNode
 from repro.plans.printer import plan_signature
 from repro.simx.report import SimReport
+from repro.util.errors import ValidationError
 
 
 def plan_to_dict(plan: PlanNode) -> dict[str, Any]:
@@ -30,6 +31,42 @@ def plan_to_dict(plan: PlanNode) -> dict[str, Any]:
             "right": plan_to_dict(plan.right),
         }
     raise TypeError(f"not a plan node: {plan!r}")
+
+
+def plan_from_dict(data: dict[str, Any]) -> PlanNode:
+    """Rebuild a plan tree from :func:`plan_to_dict` output.
+
+    Raises :class:`~repro.util.errors.ValidationError` on malformed
+    input (unknown op or join method, missing fields) so callers — the
+    warm-start cache loader in particular — can reject corrupt files
+    instead of crashing on a ``KeyError`` deep in a parse.
+    """
+    if not isinstance(data, dict):
+        raise ValidationError(f"plan node must be a dict, got {data!r}")
+    op = data.get("op")
+    if op == "scan":
+        relation = data.get("relation")
+        if not isinstance(relation, int) or isinstance(relation, bool):
+            raise ValidationError(
+                f"scan node needs an integer relation: {data!r}"
+            )
+        return ScanNode(relation)
+    if op == "join":
+        method_name = data.get("method")
+        try:
+            method = JoinMethod[method_name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown join method {method_name!r}"
+            ) from None
+        if "left" not in data or "right" not in data:
+            raise ValidationError(f"join node needs left/right: {data!r}")
+        return JoinNode(
+            plan_from_dict(data["left"]),
+            plan_from_dict(data["right"]),
+            method,
+        )
+    raise ValidationError(f"unknown plan op {op!r}")
 
 
 def sim_report_to_dict(report: SimReport) -> dict[str, Any]:

@@ -8,7 +8,10 @@ optimized and the *median* is reported, mirroring the paper's methodology
 
 from __future__ import annotations
 
+import asyncio
+import math
 import statistics
+import threading
 import time
 
 from repro.cost.model import CostModel, StandardCostModel
@@ -688,4 +691,153 @@ def fault_tolerance(
                 "outcome": "exact" if exact else "degraded",
             }
         )
+    return rows
+
+
+def _percentile(values, q: float) -> float:
+    """Nearest-rank percentile of a sequence (0 for empty input)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def serving_throughput(
+    topology: str = "star",
+    n: int = 10,
+    algorithm: str = "dpsize",
+    distinct: int = 16,
+    requests_per_client: int = 250,
+    clients: int = 8,
+    shards: int = 16,
+    seed: int = 0,
+    admission_limit: int | None = None,
+    warm_start_path: str | None = None,
+) -> list[dict]:
+    """E14: serving-tier throughput and tail latency under replay.
+
+    A closed-loop cache-hit-heavy replay (``distinct`` queries warmed
+    first, then ``clients`` concurrent clients each issuing
+    ``requests_per_client`` requests round-robin) is driven against
+    three serving setups:
+
+    * ``sync-facade-1shard`` — the backwards-compatible synchronous
+      facade over a single-lock :class:`~repro.service.PlanCache`,
+      driven by OS threads: the PR-2-era architecture, the baseline.
+    * ``async-sharded`` — the asyncio-native
+      :class:`~repro.service.AsyncOptimizerService` over a
+      ``shards``-way :class:`~repro.service.ShardedPlanCache`, driven
+      by asyncio client tasks on one loop.
+    * ``warm-restart`` — a *fresh* async service reloading the previous
+      mode's spilled warm-start file (restart simulation), replaying
+      the same traffic; its hit rate shows how much of the cache
+      survived the restart.  Only emitted when ``warm_start_path`` is
+      given.
+
+    Per row: client-observed p50/p95/p99 latency, throughput, hit rate
+    (hits over all requests, warm-up misses included), sheds, and
+    errors.  ``admission_limit`` defaults to ``clients`` — offered load
+    sits exactly at the limit, so a correct admission controller sheds
+    nothing.
+    """
+    from repro.config import OptimizerConfig
+    from repro.service import AsyncOptimizerService, OptimizerService
+
+    qs = _queries(topology, n, distinct, seed)
+    limit = admission_limit if admission_limit is not None else clients
+    total = clients * requests_per_client
+
+    def client_stream(c: int):
+        # Offset per client so concurrent clients spread over distinct
+        # fingerprints (and therefore shards) instead of marching in
+        # lockstep on one key.
+        return [qs[(c + i) % distinct] for i in range(requests_per_client)]
+
+    def row(mode, shard_count, latencies, wall, stats):
+        return {
+            "mode": mode,
+            "clients": clients,
+            "shards": shard_count,
+            "requests": stats.requests,
+            "throughput_rps": round(total / wall, 1) if wall > 0 else 0.0,
+            "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 4),
+            "p95_ms": round(_percentile(latencies, 0.95) * 1e3, 4),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 4),
+            "hit_rate": (
+                round(stats.hits / stats.requests, 4) if stats.requests else 0.0
+            ),
+            "sheds": stats.sheds,
+            "errors": stats.errors,
+            "warm_entries": stats.warm_start_entries,
+        }
+
+    rows: list[dict] = []
+
+    # -- baseline: sync facade, single-lock cache, OS-thread clients ----
+    base_config = OptimizerConfig(
+        algorithm=algorithm, cache_shards=1, admission_limit=limit
+    )
+    with OptimizerService(base_config) as service:
+        for q in qs:
+            service.optimize(q)  # warm the cache
+        latencies: list[list[float]] = [[] for _ in range(clients)]
+
+        def run_client(c: int) -> None:
+            bucket = latencies[c]
+            for q in client_stream(c):
+                t0 = time.perf_counter()
+                service.optimize(q)
+                bucket.append(time.perf_counter() - t0)
+
+        workers = [
+            threading.Thread(target=run_client, args=(c,))
+            for c in range(clients)
+        ]
+        started = time.perf_counter()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        wall = time.perf_counter() - started
+        stats = service.stats()
+    flat = [sample for bucket in latencies for sample in bucket]
+    rows.append(row("sync-facade-1shard", 1, flat, wall, stats))
+
+    # -- treatment: async-native service, sharded cache, task clients ---
+    async_config = OptimizerConfig(
+        algorithm=algorithm,
+        cache_shards=shards,
+        admission_limit=limit,
+        warm_start_path=warm_start_path,
+    )
+
+    async def drive(config) -> tuple[list[float], float, object]:
+        async with AsyncOptimizerService(config) as service:
+            for q in qs:
+                await service.optimize(q)
+
+            async def run_client(c: int) -> list[float]:
+                bucket = []
+                for q in client_stream(c):
+                    t0 = time.perf_counter()
+                    await service.optimize(q)
+                    bucket.append(time.perf_counter() - t0)
+                return bucket
+
+            started = time.perf_counter()
+            buckets = await asyncio.gather(
+                *(run_client(c) for c in range(clients))
+            )
+            wall = time.perf_counter() - started
+            stats = service.stats()
+        return [s for bucket in buckets for s in bucket], wall, stats
+
+    flat, wall, stats = asyncio.run(drive(async_config))
+    rows.append(row("async-sharded", shards, flat, wall, stats))
+
+    # -- restart simulation: fresh service reloads the spilled cache ----
+    if warm_start_path is not None:
+        flat, wall, stats = asyncio.run(drive(async_config))
+        rows.append(row("warm-restart", shards, flat, wall, stats))
     return rows

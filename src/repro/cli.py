@@ -12,6 +12,7 @@ Five subcommands::
     python -m repro bench --experiment cache --topology star -n 10
     python -m repro bench --experiment kernels --topology clique -n 12
     python -m repro bench --experiment faults --topology chain -n 7
+    python -m repro bench --experiment serving --topology star -n 10
     python -m repro optimize --topology star -n 10 --threads 2 \\
         --backend processes --fault-plan "worker:crash@worker=1"
     python -m repro inspect --topology cycle -n 9
@@ -42,12 +43,14 @@ from repro.bench import (
     real_backend_allocation,
     render_curve,
     run_serial_grid,
+    serving_throughput,
     speedup_curve,
     sva_effectiveness,
     wire_volume,
 )
 from repro.catalog import generate_catalog
 from repro.plans import explain
+from repro.service.api import SOURCES
 from repro.query import TOPOLOGIES, WorkloadSpec, generate_query
 from repro.trace import RecordingTracer, read_jsonl, render_trace, write_jsonl
 from repro.util.errors import ReproError
@@ -143,6 +146,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "heuristic plan)",
     )
     serve.add_argument(
+        "--shards", type=int, default=None,
+        help="plan-cache shard count (default from the config)",
+    )
+    serve.add_argument(
+        "--admission-limit", type=int, default=None,
+        help="max requests waiting on optimizations before load shedding",
+    )
+    serve.add_argument(
+        "--warm-start", metavar="PATH", default=None,
+        help="warm-start file: reload cached plans on start, spill on exit",
+    )
+    serve.add_argument(
         "--trace", metavar="PATH", default=None,
         help="record service + optimizer events to PATH (JSONL)",
     )
@@ -162,7 +177,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--experiment",
         choices=(
             "serial", "sva", "speedup", "allocation", "real-allocation",
-            "cache", "kernels", "faults",
+            "cache", "kernels", "faults", "serving",
         ),
         default="speedup",
     )
@@ -300,6 +315,9 @@ def _cmd_serve_batch(args) -> int:
         service_workers=args.workers,
         cache_size=args.cache_size,
         request_timeout=args.timeout,
+        cache_shards=args.shards,
+        admission_limit=args.admission_limit,
+        warm_start_path=args.warm_start,
         tracer=tracer,
         fault_plan=_fault_plan(args),
         retry_limit=args.retry_limit,
@@ -310,10 +328,7 @@ def _cmd_serve_batch(args) -> int:
         wall = time.perf_counter() - started
         stats = service.stats()
     latencies = sorted(o.elapsed_seconds * 1e3 for o in outcomes)
-    sources = {
-        source: 0
-        for source in ("miss", "hit", "shared", "fallback", "error")
-    }
+    sources = {source: 0 for source in SOURCES}
     for outcome in outcomes:
         sources[outcome.source] += 1
     cache = stats.plan_cache
@@ -337,6 +352,12 @@ def _cmd_serve_batch(args) -> int:
         f"hit_rate={cache.hit_rate:.2f} evictions={cache.evictions} "
         f"stale={cache.stale}"
     )
+    if stats.sheds or stats.warm_start_entries:
+        print(
+            f"serving: sheds={stats.sheds} "
+            f"quota_rejections={stats.quota_rejections} "
+            f"warm_start_entries={stats.warm_start_entries}"
+        )
     if tracer is not None:
         meta = {
             "command": "serve-batch",
@@ -416,6 +437,14 @@ def _cmd_bench(args) -> int:
         rows = fault_tolerance(
             args.topology, args.relations, seed=args.seed,
             threads=min(2, max(args.threads)),
+        )
+        print(format_table(rows))
+    elif args.experiment == "serving":
+        rows = serving_throughput(
+            args.topology, args.relations, seed=args.seed,
+            distinct=max(4, args.queries),
+            requests_per_client=50,
+            clients=max(args.threads),
         )
         print(format_table(rows))
     elif args.experiment == "real-allocation":

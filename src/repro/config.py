@@ -12,8 +12,9 @@ replacing the ad-hoc ``threads is None`` checks that used to be scattered
 across the call sites.
 
 The legacy keyword path (``optimize(query, algorithm=..., threads=...)``)
-still works: it is a thin shim over :meth:`OptimizerConfig.from_kwargs`.
-New code should construct the config directly:
+still works but is **deprecated**: it is a thin shim over
+:meth:`OptimizerConfig.from_kwargs` and emits a ``DeprecationWarning``.
+Construct the config directly:
 
 >>> from repro import OptimizerConfig
 >>> config = OptimizerConfig(algorithm="dpsva", threads=8)
@@ -72,6 +73,7 @@ DEFAULT_ALLOCATION = "equi_depth"
 DEFAULT_OVERSUBSCRIPTION = 4
 
 DEFAULT_CACHE_SIZE = 256
+DEFAULT_CACHE_SHARDS = 8
 DEFAULT_SERVICE_WORKERS = 4
 DEFAULT_FALLBACK_ALGORITHM = "goo"
 
@@ -81,9 +83,14 @@ DEFAULT_RETRY_BACKOFF = 0.02
 _SERVICE_ONLY = (
     "cache_size",
     "cache_ttl",
+    "cache_shards",
     "service_workers",
     "request_timeout",
     "fallback_algorithm",
+    "admission_limit",
+    "quota_rate",
+    "quota_burst",
+    "warm_start_path",
 )
 """Fields that size an OptimizerService; excluded from the plan digest."""
 
@@ -116,6 +123,9 @@ class OptimizerConfig:
             config; ``None`` = default.
         cache_ttl: Plan-cache time-to-live in seconds; ``None`` disables
             expiry.
+        cache_shards: Number of independently-locked plan-cache shards;
+            ``None`` = default (8).  1 degenerates to the single-lock
+            cache.
         service_workers: Worker-pool size of the service; ``None`` =
             default.
         request_timeout: Per-request service deadline in seconds, after
@@ -123,6 +133,17 @@ class OptimizerConfig:
             indefinitely.
         fallback_algorithm: Heuristic used when a deadline expires;
             ``None`` = default (``goo``).
+        admission_limit: Maximum requests concurrently *waiting* on
+            optimizations before the service sheds new arrivals with
+            ``source="shed"``; ``None`` (the default) never sheds.
+        quota_rate: Per-tenant token-bucket refill rate in
+            requests/second; ``None`` (the default) disables tenant
+            quotas.
+        quota_burst: Per-tenant token-bucket capacity; ``None`` derives
+            ``max(1, int(quota_rate))``.  Requires ``quota_rate``.
+        warm_start_path: Path of the warm-start cache file: spilled on
+            service close, reloaded on service start (rejecting
+            version/config mismatches).  ``None`` disables persistence.
         retry_limit: Bounded-retry budget for fault recovery — extra
             attempts after the first failure, both for executor work-unit
             re-dispatch and for the service's per-request exact-
@@ -157,9 +178,14 @@ class OptimizerConfig:
     tracer: Tracer | None = None
     cache_size: int | None = None
     cache_ttl: float | None = None
+    cache_shards: int | None = None
     service_workers: int | None = None
     request_timeout: float | None = None
     fallback_algorithm: str | None = None
+    admission_limit: int | None = None
+    quota_rate: float | None = None
+    quota_burst: int | None = None
+    warm_start_path: str | None = None
     retry_limit: int | None = None
     retry_backoff: float | None = None
     fault_plan: object | None = None
@@ -234,6 +260,28 @@ class OptimizerConfig:
             raise ValidationError(
                 f"cache_ttl must be positive, got {self.cache_ttl}"
             )
+        if self.cache_shards is not None and self.cache_shards < 1:
+            raise ValidationError(
+                f"cache_shards must be >= 1, got {self.cache_shards}"
+            )
+        if self.admission_limit is not None and self.admission_limit < 1:
+            raise ValidationError(
+                f"admission_limit must be >= 1, got {self.admission_limit}"
+            )
+        if self.quota_rate is not None and self.quota_rate <= 0:
+            raise ValidationError(
+                f"quota_rate must be positive, got {self.quota_rate}"
+            )
+        if self.quota_burst is not None:
+            if self.quota_burst < 1:
+                raise ValidationError(
+                    f"quota_burst must be >= 1, got {self.quota_burst}"
+                )
+            if self.quota_rate is None:
+                raise ValidationError(
+                    "quota_burst requires quota_rate (a bucket capacity "
+                    "without a refill rate never admits anything)"
+                )
         if self.service_workers is not None and self.service_workers < 1:
             raise ValidationError(
                 f"service_workers must be >= 1, got {self.service_workers}"
@@ -313,6 +361,25 @@ class OptimizerConfig:
             if self.cache_size is not None
             else DEFAULT_CACHE_SIZE
         )
+
+    @property
+    def effective_cache_shards(self) -> int:
+        """Plan-cache shard count with the default applied."""
+        return (
+            self.cache_shards
+            if self.cache_shards is not None
+            else DEFAULT_CACHE_SHARDS
+        )
+
+    @property
+    def effective_quota_burst(self) -> int | None:
+        """Token-bucket capacity with the default derivation applied
+        (``None`` when quotas are disabled)."""
+        if self.quota_rate is None:
+            return None
+        if self.quota_burst is not None:
+            return self.quota_burst
+        return max(1, int(self.quota_rate))
 
     @property
     def effective_service_workers(self) -> int:

@@ -9,14 +9,14 @@ so any two plans for the same query must return the same multiset of
 rows — the end-to-end check that an "optimal" plan is still a *correct*
 plan, exercised by the tests and the ``end_to_end`` example.
 
->>> from repro import optimize
+>>> from repro import OptimizerConfig, optimize
 >>> from repro.engine import execute_plan, generate_database
 >>> from repro.query import WorkloadSpec, generate_query
 >>> query = generate_query(WorkloadSpec("chain", 4, seed=1))
 >>> database = generate_database(query, seed=1, max_rows=50)
 >>> rows = execute_plan(optimize(query).plan, query, database)
->>> rows == execute_plan(optimize(query, algorithm="dpccp").plan,
-...                      query, database)
+>>> ccp = optimize(query, config=OptimizerConfig(algorithm="dpccp"))
+>>> rows == execute_plan(ccp.plan, query, database)
 True
 """
 

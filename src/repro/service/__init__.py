@@ -1,20 +1,30 @@
-"""Concurrent optimization service: plan caching for repeated traffic.
+"""Concurrent optimization serving tier: caching, shedding, persistence.
 
 The paper optimizes one query at a time; a production optimizer serves a
 *stream* of queries, most of which it has seen before.  This package is
-that serving layer — the first piece of the ROADMAP's
-heavy-traffic architecture — in three parts:
+that serving layer — the ROADMAP's heavy-traffic front door — in six
+parts:
 
+* :mod:`repro.service.api` — the unified request/response schema:
+  typed :class:`OptimizeRequest` / :class:`OptimizeResponse` dataclasses
+  spoken by every entry point (async tier, sync facade, module-level
+  ``optimize_batch``, CLI, load generator).
 * :mod:`repro.service.fingerprint` — canonical, permutation-stable cache
   keys for bound queries (structure and literals hashed separately for
   parameterized traffic).
 * :mod:`repro.service.cache` — a thread-safe LRU + TTL
-  :class:`PlanCache` with hit/miss/eviction/stale counters, trace
-  integration, and catalog/stats-version invalidation hooks.
-* :mod:`repro.service.service` — :class:`OptimizerService`: single and
-  batched requests, singleflight deduplication of identical in-flight
-  optimizations, a bounded worker pool, and per-request deadlines that
-  degrade to a heuristic plan instead of raising.
+  :class:`PlanCache` and its N-way :class:`ShardedPlanCache` (per-shard
+  locks, aggregated counters), both with trace integration and
+  catalog/stats-version invalidation hooks.
+* :mod:`repro.service.async_service` — :class:`AsyncOptimizerService`:
+  the asyncio-native serving tier with singleflight deduplication,
+  admission control, per-tenant token-bucket quotas, deadline
+  propagation into retry, and warm-start persistence.
+* :mod:`repro.service.service` — :class:`OptimizerService`: the
+  synchronous facade for thread-based callers (identical semantics,
+  blocking calls).
+* :mod:`repro.service.persist` — the versioned warm-start file format
+  (spill on close, reload on start, reject mismatches).
 
 Quick start::
 
@@ -24,9 +34,28 @@ Quick start::
         first = svc.optimize(query)      # cold: runs the DP
         again = svc.optimize(query)      # warm: served from cache
         assert again.source == "hit" and again.cost == first.cost
+
+Async-native::
+
+    from repro.service import AsyncOptimizerService, OptimizeRequest
+
+    async with AsyncOptimizerService(config) as svc:
+        response = await svc.optimize(OptimizeRequest(query, tenant="etl"))
 """
 
-from repro.service.cache import CacheStats, PlanCache
+from repro.service.api import (
+    OptimizeRequest,
+    OptimizeResponse,
+    ServiceResult,
+    ServiceStats,
+)
+from repro.service.async_service import AsyncOptimizerService
+from repro.service.cache import (
+    CacheStats,
+    PlanCache,
+    ShardedPlanCache,
+    shard_index,
+)
 from repro.service.fingerprint import (
     QueryFingerprint,
     canonical_query_form,
@@ -34,21 +63,30 @@ from repro.service.fingerprint import (
     cost_model_id,
     fingerprint_query,
 )
-from repro.service.service import (
-    OptimizerService,
-    ServiceResult,
-    ServiceStats,
+from repro.service.persist import (
+    PERSIST_FORMAT,
+    load_cache_file,
+    spill_cache_file,
 )
+from repro.service.service import OptimizerService
 
 __all__ = [
+    "AsyncOptimizerService",
     "CacheStats",
+    "OptimizeRequest",
+    "OptimizeResponse",
+    "OptimizerService",
+    "PERSIST_FORMAT",
     "PlanCache",
     "QueryFingerprint",
+    "ServiceResult",
+    "ServiceStats",
+    "ShardedPlanCache",
     "canonical_query_form",
     "canonical_relation_order",
     "cost_model_id",
     "fingerprint_query",
-    "OptimizerService",
-    "ServiceResult",
-    "ServiceStats",
+    "load_cache_file",
+    "shard_index",
+    "spill_cache_file",
 ]

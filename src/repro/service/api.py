@@ -1,0 +1,267 @@
+"""The serving tier's request/response schema.
+
+:class:`OptimizeRequest` and :class:`OptimizeResponse` are the single
+request currency of the serving layer: the async tier
+(:class:`~repro.service.async_service.AsyncOptimizerService`), the
+synchronous facade (:class:`~repro.service.service.OptimizerService`),
+the module-level :func:`repro.optimize_batch`, the ``serve-batch`` CLI,
+and the traffic-replay load generator all accept requests and return
+responses of exactly these shapes.
+
+A request carries the bound query plus the per-request serving options
+(deadline override, tenant identity for quota accounting, a cosmetic
+label).  A response carries the optimization outcome plus explicit
+provenance:
+
+============ ========================================================
+source       meaning
+============ ========================================================
+``hit``      served from the plan cache
+``miss``     this request ran the optimization (and warmed the cache)
+``shared``   joined an identical in-flight optimization (singleflight)
+``fallback`` the deadline expired; a heuristic plan was returned while
+             the exact optimization kept running to warm the cache
+``error``    the optimization failed (worker exception, exhausted
+             retry budget); a heuristic plan was returned with the
+             error message attached
+``shed``     the request was refused by admission control or a tenant
+             quota before any optimization work was spent; ``result``
+             is ``None`` and ``shed_reason`` says which limit tripped
+============ ========================================================
+
+``ServiceResult`` is kept as a backwards-compatible alias of
+:class:`OptimizeResponse` — PR-2-era code that type-checks against it
+keeps working unchanged.
+
+>>> from repro.query import WorkloadSpec, generate_query
+>>> from repro.service.api import OptimizeRequest
+>>> query = generate_query(WorkloadSpec("star", 5, seed=3))
+>>> request = OptimizeRequest(query, tenant="reports")
+>>> OptimizeRequest.of(request) is request   # already a request
+True
+>>> OptimizeRequest.of(query).tenant         # bare queries are coerced
+'default'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enumerate.base import OptimizationResult
+from repro.query.context import QueryContext
+from repro.query.joingraph import Query
+from repro.service.cache import CacheStats
+from repro.service.fingerprint import QueryFingerprint
+from repro.util.errors import ValidationError
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "SOURCES",
+    "OptimizeRequest",
+    "OptimizeResponse",
+    "ServiceResult",
+    "ServiceStats",
+]
+
+SOURCES = ("hit", "miss", "shared", "fallback", "error", "shed")
+"""Every provenance value an :class:`OptimizeResponse` may carry."""
+
+SHED_REASONS = ("admission", "quota")
+"""Every load-shedding reason (``OptimizeResponse.shed_reason``)."""
+
+DEFAULT_TENANT = "default"
+"""Tenant identity assumed when a request does not name one."""
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizeRequest:
+    """One optimization request — the serving tier's input currency.
+
+    Attributes:
+        query: The bound :class:`~repro.query.joingraph.Query` (a
+            prepared :class:`~repro.query.context.QueryContext` is
+            coerced to its query at construction).
+        timeout: Per-request deadline in seconds, overriding the
+            service's configured ``request_timeout``; ``None`` uses the
+            service default.  The deadline is a remaining-time budget
+            measured from request entry.
+        tenant: Tenant identity for per-tenant quota accounting and
+            response attribution.
+        label: Cosmetic request label (surfaced in traces); never part
+            of the cache identity.
+    """
+
+    query: Query
+    timeout: float | None = None
+    tenant: str = DEFAULT_TENANT
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.query, QueryContext):
+            object.__setattr__(self, "query", self.query.query)
+        if not isinstance(self.query, Query):
+            raise ValidationError(
+                f"OptimizeRequest.query must be a Query (or QueryContext), "
+                f"got {type(self.query).__name__}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValidationError(
+                f"timeout must be positive, got {self.timeout}"
+            )
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ValidationError(
+                f"tenant must be a non-empty string, got {self.tenant!r}"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        request,
+        *,
+        timeout: float | None = None,
+        tenant: str | None = None,
+    ) -> "OptimizeRequest":
+        """Coerce a bare query (or pass a request through) to a request.
+
+        ``timeout``/``tenant`` overrides apply to coerced queries and to
+        requests whose corresponding field is still the default, so the
+        facade's ``optimize(query, timeout=...)`` convenience arguments
+        compose with explicit request objects.
+        """
+        if isinstance(request, OptimizeRequest):
+            if timeout is None and tenant is None:
+                return request
+            return OptimizeRequest(
+                query=request.query,
+                timeout=timeout if timeout is not None else request.timeout,
+                tenant=tenant if tenant is not None else request.tenant,
+                label=request.label,
+            )
+        if isinstance(request, (Query, QueryContext)):
+            return cls(
+                query=request,
+                timeout=timeout,
+                tenant=tenant if tenant is not None else DEFAULT_TENANT,
+            )
+        raise ValidationError(
+            f"cannot build an OptimizeRequest from "
+            f"{type(request).__name__}; pass a Query, QueryContext, or "
+            f"OptimizeRequest"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizeResponse:
+    """One answered optimization request, with explicit provenance.
+
+    Attributes:
+        result: The optimization outcome (exact, cached, or heuristic);
+            ``None`` only for shed requests, which do no plan work.
+        source: How the request was answered — one of :data:`SOURCES`.
+        fingerprint: The request's :class:`QueryFingerprint` (``None``
+            for requests shed before fingerprinting).
+        elapsed_seconds: Wall-clock service latency for this request,
+            including cache lookups, queueing, and any wait on a shared
+            flight.
+        degraded: True iff the response does not carry the exact
+            optimum (deadline expiry, optimization failure, or shed).
+        error: The failure message when ``source == "error"``; ``None``
+            otherwise.
+        tenant: The tenant the request was accounted against.
+        shed_reason: Which limit refused the request when
+            ``source == "shed"`` (one of :data:`SHED_REASONS`);
+            ``None`` otherwise.
+    """
+
+    result: OptimizationResult | None
+    source: str
+    fingerprint: QueryFingerprint | None
+    elapsed_seconds: float
+    degraded: bool = False
+    error: str | None = None
+    tenant: str = DEFAULT_TENANT
+    shed_reason: str | None = None
+
+    @property
+    def plan(self):
+        """The plan tree (``None`` for shed responses)."""
+        return self.result.plan if self.result is not None else None
+
+    @property
+    def cost(self) -> float | None:
+        """The plan cost (``None`` for shed responses)."""
+        return self.result.cost if self.result is not None else None
+
+    def __post_init__(self) -> None:
+        if self.source not in SOURCES:
+            raise ValidationError(
+                f"unknown provenance {self.source!r}; expected one of "
+                f"{SOURCES}"
+            )
+        if self.source == "shed":
+            if self.shed_reason not in SHED_REASONS:
+                raise ValidationError(
+                    f"shed responses must carry a shed_reason from "
+                    f"{SHED_REASONS}, got {self.shed_reason!r}"
+                )
+            if not self.degraded:
+                raise ValidationError("shed responses are degraded")
+        else:
+            if self.result is None:
+                raise ValidationError(
+                    f"source {self.source!r} requires a result; only shed "
+                    f"responses may omit it"
+                )
+            if self.shed_reason is not None:
+                raise ValidationError(
+                    f"shed_reason only applies to shed responses, got "
+                    f"source={self.source!r}"
+                )
+
+
+# Backwards-compatible alias: PR-2 code imported ``ServiceResult``; the
+# redesigned schema keeps that name bound to the response type.
+ServiceResult = OptimizeResponse
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceStats:
+    """Aggregate service counters plus per-tier cache snapshots.
+
+    Attributes:
+        requests: Requests answered (batch items count individually).
+        hits: Requests served from the plan cache.
+        optimizations: Exact optimizations actually executed (each one
+            corresponds to exactly one distinct missed fingerprint — the
+            singleflight guarantee).
+        shared: Requests that joined an in-flight optimization.
+        fallbacks: Requests degraded to a heuristic plan on deadline.
+        errors: Requests degraded because the optimization failed
+            (``source == "error"``); singleflight waiters count
+            individually, like ``fallbacks``.
+        retries: Optimization retry attempts spent recovering from
+            worker failures (counted once per attempt, not per waiter).
+        plan_cache: The plan tier's :class:`CacheStats` (aggregated
+            over shards for a sharded cache).
+        fingerprint_cache: The fingerprint tier's :class:`CacheStats`.
+        sheds: Requests refused by admission control or a tenant quota
+            (``source == "shed"``).
+        quota_rejections: The subset of ``sheds`` refused by a tenant
+            token bucket.
+        warm_start_entries: Plans restored from the warm-start file at
+            service start (0 when persistence is off or the file was
+            rejected).
+    """
+
+    requests: int
+    hits: int
+    optimizations: int
+    shared: int
+    fallbacks: int
+    errors: int
+    retries: int
+    plan_cache: CacheStats
+    fingerprint_cache: CacheStats
+    sheds: int = 0
+    quota_rejections: int = 0
+    warm_start_entries: int = 0

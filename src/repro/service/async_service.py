@@ -1,0 +1,788 @@
+"""The asyncio-native optimization serving tier.
+
+:class:`AsyncOptimizerService` is the rebuilt front door over
+:func:`repro.optimize`: requests arrive as
+:class:`~repro.service.api.OptimizeRequest` objects (bare queries are
+coerced) on one event loop, are answered from an N-way sharded plan
+cache (:class:`~repro.service.cache.ShardedPlanCache`), deduplicated
+against identical in-flight optimizations (*singleflight*), and
+otherwise dispatched to a bounded worker pool via
+``loop.run_in_executor`` — the event loop never blocks on optimizer
+CPU.  Every answer is an :class:`~repro.service.api.OptimizeResponse`
+with explicit provenance (see :mod:`repro.service.api` for the source
+table).
+
+On top of the PR-2 cache/singleflight and PR-4 retry/degradation
+machinery, the async tier adds the overload-protection layer the
+ROADMAP's heavy-traffic north star calls for:
+
+* **Admission control** — when more than ``admission_limit`` requests
+  are already suspended waiting on optimizations, new arrivals are
+  refused immediately with ``source="shed"`` /
+  ``shed_reason="admission"`` instead of queueing without bound.  The
+  check runs *after* the cache lookup: a hit settles in one event-loop
+  step without waiting, so cache hits are never shed regardless of how
+  deep the optimization backlog is.
+* **Per-tenant quotas** — a token bucket per ``request.tenant``
+  (``quota_rate`` tokens/second, ``quota_burst`` capacity) sheds the
+  tenants that exceed their budget (``shed_reason="quota"``) before
+  they can starve everyone else's optimizer workers.
+* **Deadline propagation** — a request deadline doesn't just bound the
+  *wait* (degrading to a heuristic fallback as in PR 4); it propagates
+  into the retry machinery: once every waiter of a flight has timed
+  out, further retry *attempts* are abandoned (the first attempt always
+  runs to completion so a timed-out flight still warms the cache).
+* **Warm-start persistence** — with ``warm_start_path`` configured, the
+  fingerprint→plan map is spilled to a versioned JSONL file on
+  :meth:`close` and reloaded on construction
+  (:mod:`repro.service.persist`), so a restart answers repeated traffic
+  from the cache instead of stampeding the optimizer.  Files from a
+  different config digest or format version are rejected and the
+  service starts cold.
+
+Failure semantics are unchanged from PR 4: a miss that raises retries
+up to ``retry_limit`` times with exponential backoff before degrading
+to the heuristic fallback with ``source="error"``; degraded results are
+never cached (and never spilled); nothing re-raises into callers except
+:class:`~repro.util.errors.ValidationError` for requests to a closed
+service.
+
+The synchronous :class:`~repro.service.service.OptimizerService` facade
+wraps this class for thread-based callers; new async code should use
+this tier directly::
+
+    async with AsyncOptimizerService(config) as svc:
+        response = await svc.optimize(OptimizeRequest(query, tenant="etl"))
+        assert response.source in ("hit", "miss", "shared")
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.enumerate.base import OptimizationResult
+from repro.query.joingraph import Query
+from repro.service.api import (
+    OptimizeRequest,
+    OptimizeResponse,
+    ServiceStats,
+)
+from repro.service.cache import PlanCache, ShardedPlanCache
+from repro.service.fingerprint import QueryFingerprint, fingerprint_query
+from repro.service.persist import load_cache_file, spill_cache_file
+from repro.trace.tracer import Tracer
+from repro.util.errors import InjectedFault, ValidationError
+
+__all__ = ["AsyncOptimizerService"]
+
+
+@dataclass(frozen=True, slots=True)
+class _MissOutcome:
+    """What one worker-pool optimization produced.
+
+    The miss task never raises into its future; failures surface as a
+    fallback ``result`` plus the ``error`` message, so the miss caller
+    and every singleflight waiter settle through one code path.
+    """
+
+    result: OptimizationResult
+    error: str | None = None
+
+
+class _Flight:
+    """One in-flight optimization: the singleflight unit.
+
+    ``deadline_at`` is the latest absolute deadline over all waiters
+    (``None`` once any waiter is unbounded); the worker thread consults
+    it before spending a *retry* attempt.  Written only from the event
+    loop, read from the worker thread — single-attribute reads/writes,
+    so no lock is needed.
+    """
+
+    __slots__ = ("key", "future", "deadline_at", "unbounded")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.future: asyncio.Future | None = None
+        self.deadline_at: float | None = None
+        self.unbounded = False
+
+    def note_waiter(self, deadline_at: float | None) -> None:
+        if deadline_at is None:
+            self.unbounded = True
+            self.deadline_at = None
+        elif not self.unbounded:
+            current = self.deadline_at
+            self.deadline_at = (
+                deadline_at if current is None else max(current, deadline_at)
+            )
+
+
+class _TokenBucket:
+    """Per-tenant request budget: ``rate`` tokens/second, ``burst`` cap."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: int, now: float) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = now
+
+    def try_take(self, now: float) -> bool:
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.stamp) * self.rate
+        )
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AsyncOptimizerService:
+    """Sharded, overload-protected async serving tier (see module docs).
+
+    Args:
+        config: An :class:`~repro.config.OptimizerConfig`.  Plan-relevant
+            fields select the algorithm exactly as :func:`repro.optimize`
+            would; the service knobs (``cache_size``, ``cache_ttl``,
+            ``cache_shards``, ``service_workers``, ``request_timeout``,
+            ``fallback_algorithm``, ``admission_limit``, ``quota_rate``,
+            ``quota_burst``, ``warm_start_path``) size this service, and
+            the robustness knobs (``retry_limit``, ``retry_backoff``,
+            ``fault_plan``) govern failure handling.  ``None`` uses the
+            defaults.
+        cache: Pre-built plan cache (a :class:`PlanCache` or
+            :class:`ShardedPlanCache`; overrides the config's cache
+            sizing) — lets several services share one cache.
+        tracer: Observability sink; falls back to ``config.tracer``.
+            Cache tiers emit ``cache.*`` counters against it, and the
+            service emits ``service.request`` / ``service.fallback`` /
+            ``service.error`` / ``service.retry`` / ``service.shed`` /
+            ``service.cache_error`` / ``service.warm_start``.
+
+    All request-path methods must be called from coroutines on a single
+    event loop (the first caller's loop binds the service).  ``stats``,
+    ``invalidate``, and ``bump_stats_version`` are thread-safe.
+    """
+
+    def __init__(
+        self,
+        config=None,
+        *,
+        cache: PlanCache | ShardedPlanCache | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        from repro.config import OptimizerConfig
+
+        if config is None:
+            config = OptimizerConfig()
+        elif not isinstance(config, OptimizerConfig):
+            raise ValidationError(
+                f"config must be an OptimizerConfig, got "
+                f"{type(config).__name__}"
+            )
+        self.config = config
+        self.tracer = (
+            tracer if tracer is not None else config.effective_tracer
+        )
+        self._injector = config.effective_fault_injector
+        self._retry_limit = config.effective_retry_limit
+        self._retry_backoff = config.effective_retry_backoff
+        if cache is not None:
+            self.cache = cache
+        elif config.effective_cache_shards == 1:
+            self.cache = PlanCache(
+                max_entries=config.effective_cache_size,
+                ttl_seconds=config.cache_ttl,
+                tier="plan",
+                tracer=self.tracer,
+                injector=self._injector,
+            )
+        else:
+            self.cache = ShardedPlanCache(
+                shards=config.effective_cache_shards,
+                max_entries=config.effective_cache_size,
+                ttl_seconds=config.cache_ttl,
+                tier="plan",
+                tracer=self.tracer,
+                injector=self._injector,
+            )
+        self._fingerprints = PlanCache(
+            max_entries=config.effective_cache_size,
+            tier="fingerprint",
+            tracer=self.tracer,
+            injector=self._injector,
+        )
+        self.timeout = config.request_timeout
+        self.fallback_algorithm = config.effective_fallback_algorithm
+        self.admission_limit = config.admission_limit
+        self._quota_rate = config.quota_rate
+        self._quota_burst = config.effective_quota_burst
+        self._buckets: dict[str, _TokenBucket] = {}
+        workers = config.effective_service_workers
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers,
+            thread_name_prefix="repro-service",
+        )
+        # Deadline fallbacks run on their own small pool so a fleet of
+        # stuck misses occupying every optimizer worker can never starve
+        # the degradation path (a batch of N expired misses must settle
+        # in ~one timeout, not wait for a worker).
+        self._fallback_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(2, workers),
+            thread_name_prefix="repro-fallback",
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._inflight: dict[str, _Flight] = {}
+        self._waiting = 0
+        # Counters cross the loop/worker boundary (retries are bumped on
+        # worker threads), so they share one lock.
+        self._counter_lock = threading.Lock()
+        self._requests = 0
+        self._hits = 0
+        self._optimizations = 0
+        self._shared = 0
+        self._fallbacks = 0
+        self._errors = 0
+        self._retries = 0
+        self._sheds = 0
+        self._quota_rejections = 0
+        self._closed = False
+        self._warm_start_path = (
+            Path(config.warm_start_path)
+            if config.warm_start_path is not None
+            else None
+        )
+        self._warm_start_entries = self._load_warm_start()
+
+    # -- public API -----------------------------------------------------
+
+    async def optimize(
+        self,
+        request,
+        *,
+        timeout: float | None = None,
+        tenant: str | None = None,
+    ) -> OptimizeResponse:
+        """Answer one request: quota → cache → admission → singleflight.
+
+        Args:
+            request: An :class:`OptimizeRequest`, or a bare query /
+                prepared context (coerced via :meth:`OptimizeRequest.of`).
+            timeout: Convenience override for the request's deadline;
+                ``None`` keeps the request's own value (which itself
+                defaults to the config's ``request_timeout``).
+            tenant: Convenience override for the request's tenant.
+
+        On deadline expiry a heuristic plan (``fallback_algorithm``) is
+        returned with ``degraded=True`` — never an exception — while the
+        exact optimization continues in the background to warm the
+        cache.  A shed request returns ``source="shed"`` with
+        ``result=None`` and does no optimization work at all.
+        """
+        start = time.perf_counter()
+        request = OptimizeRequest.of(request, timeout=timeout, tenant=tenant)
+        self._enter(request)
+        shed = self._shed_reason(request, start)
+        if shed is not None:
+            return self._shed_response(request, shed, start)
+        fingerprint = self._fingerprint(request.query)
+        source, flight, cached = self._lookup_or_launch(
+            request.query, fingerprint
+        )
+        if source == "shed":
+            return self._shed_response(request, "admission", start)
+        deadline = (
+            self.timeout if request.timeout is None else request.timeout
+        )
+        return await self._settle(
+            request, fingerprint, source, flight, cached, start, deadline
+        )
+
+    async def optimize_batch(
+        self, requests, *, timeout: float | None = None
+    ) -> list[OptimizeResponse]:
+        """Answer a batch, deduplicating identical members.
+
+        All misses are launched before any result is awaited, so
+        distinct queries optimize concurrently on the worker pool and
+        duplicate members share one flight.  Results preserve input
+        order.  The timeout is one *shared* budget measured from batch
+        entry: each item waits only the budget remaining when its turn
+        to settle comes, so a batch of N misses settles in at most
+        ~``timeout`` total (plus one fallback computation per expired
+        item), never N×``timeout``.
+        """
+        batch_start = time.perf_counter()
+        staged: list[OptimizeResponse | tuple] = []
+        for item in requests:
+            start = time.perf_counter()
+            request = OptimizeRequest.of(item)
+            self._enter(request)
+            shed = self._shed_reason(request, start)
+            if shed is not None:
+                staged.append(self._shed_response(request, shed, start))
+                continue
+            fingerprint = self._fingerprint(request.query)
+            source, flight, cached = self._lookup_or_launch(
+                request.query, fingerprint
+            )
+            if source == "shed":
+                staged.append(
+                    self._shed_response(request, "admission", start)
+                )
+                continue
+            if flight is None:
+                # Cache hits settle immediately, so their recorded
+                # latency is the lookup itself, not the whole batch.
+                staged.append(
+                    await self._settle(
+                        request, fingerprint, source, None, cached, start,
+                        None,
+                    )
+                )
+            else:
+                staged.append((request, fingerprint, start, source, flight))
+        settled: list[OptimizeResponse] = []
+        for item in staged:
+            if isinstance(item, OptimizeResponse):
+                settled.append(item)
+                continue
+            request, fingerprint, start, source, flight = item
+            budget = timeout if timeout is not None else (
+                request.timeout
+                if request.timeout is not None
+                else self.timeout
+            )
+            remaining = None
+            if budget is not None:
+                remaining = max(
+                    0.0, budget - (time.perf_counter() - batch_start)
+                )
+            settled.append(
+                await self._settle(
+                    request, fingerprint, source, flight, None, start,
+                    remaining,
+                )
+            )
+        return settled
+
+    def invalidate(self) -> int:
+        """Drop every cached plan (e.g. after a catalog reload)."""
+        return self.cache.invalidate()
+
+    def bump_stats_version(self) -> int:
+        """Catalog/stats-change hook: lazily invalidate all cached plans."""
+        return self.cache.bump_version()
+
+    def stats(self) -> ServiceStats:
+        """Aggregate service + cache counters."""
+        with self._counter_lock:
+            return ServiceStats(
+                requests=self._requests,
+                hits=self._hits,
+                optimizations=self._optimizations,
+                shared=self._shared,
+                fallbacks=self._fallbacks,
+                errors=self._errors,
+                retries=self._retries,
+                plan_cache=self.cache.stats(),
+                fingerprint_cache=self._fingerprints.stats(),
+                sheds=self._sheds,
+                quota_rejections=self._quota_rejections,
+                warm_start_entries=self._warm_start_entries,
+            )
+
+    async def close(self, wait: bool = True) -> None:
+        """Refuse new requests, drain in-flight work, spill warm-start.
+
+        Idempotent.  With ``wait=True`` (the default) every in-flight
+        optimization is awaited first — a request that timed out and
+        degraded still warms the cache before the spill, so the
+        warm-start file captures it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if wait:
+            pending = [
+                flight.future
+                for flight in list(self._inflight.values())
+                if flight.future is not None
+            ]
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._pool.shutdown(wait=wait)
+        self._fallback_pool.shutdown(wait=wait)
+        self._spill_warm_start()
+
+    async def __aenter__(self) -> "AsyncOptimizerService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncOptimizerService(algorithm={self.config.algorithm!r}, "
+            f"cache={len(self.cache)}/{self.cache.max_entries}, "
+            f"inflight={len(self._inflight)}, waiting={self._waiting})"
+        )
+
+    # -- admission & quotas ---------------------------------------------
+
+    def _enter(self, request: OptimizeRequest) -> None:
+        """Entry bookkeeping + closed check (one event-loop step)."""
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        elif self._loop is not loop:
+            raise ValidationError(
+                "AsyncOptimizerService is bound to a different event loop"
+            )
+        if self._closed:
+            raise ValidationError("AsyncOptimizerService is closed")
+        with self._counter_lock:
+            self._requests += 1
+        if self.tracer.enabled:
+            self.tracer.counter("service.request")
+
+    def _shed_reason(
+        self, request: OptimizeRequest, now: float
+    ) -> str | None:
+        """Pre-fingerprint shed decision: the tenant quota.
+
+        Runs before fingerprinting, so an over-quota request spends no
+        hashing or optimizer work and is always charged against its
+        bucket — even for queries that would have been cache hits.  The
+        *admission* check lives in :meth:`_lookup_or_launch` instead:
+        it only sheds requests that would actually have to wait, so
+        cache hits are never shed no matter how many optimizations are
+        queued.
+        """
+        if self._quota_rate is not None:
+            bucket = self._buckets.get(request.tenant)
+            if bucket is None:
+                bucket = _TokenBucket(
+                    self._quota_rate, self._quota_burst, now
+                )
+                self._buckets[request.tenant] = bucket
+            if not bucket.try_take(now):
+                return "quota"
+        return None
+
+    def _shed_response(
+        self, request: OptimizeRequest, reason: str, start: float
+    ) -> OptimizeResponse:
+        with self._counter_lock:
+            self._sheds += 1
+            if reason == "quota":
+                self._quota_rejections += 1
+        if self.tracer.enabled:
+            self.tracer.counter("service.shed", reason=reason)
+        return OptimizeResponse(
+            result=None,
+            source="shed",
+            fingerprint=None,
+            elapsed_seconds=time.perf_counter() - start,
+            degraded=True,
+            tenant=request.tenant,
+            shed_reason=reason,
+        )
+
+    # -- cache & singleflight -------------------------------------------
+
+    def _fingerprint(self, query: Query) -> QueryFingerprint:
+        cached = self._cache_get(self._fingerprints, query)
+        if cached is not None:
+            return cached
+        fingerprint = fingerprint_query(query, self.config)
+        self._cache_put(self._fingerprints, query, fingerprint)
+        return fingerprint
+
+    def _cache_get(self, cache, key):
+        """Cache lookup that absorbs injected cache faults.
+
+        Fail-open: a faulting cache tier is served as a miss (counted as
+        ``service.cache_error``), never an exception to the caller.
+        """
+        try:
+            return cache.get(key)
+        except InjectedFault:
+            if self.tracer.enabled:
+                self.tracer.counter("service.cache_error", tier=cache.tier)
+            return None
+
+    def _cache_put(self, cache, key, value) -> None:
+        """Cache insert that absorbs injected cache faults (fail-open)."""
+        try:
+            cache.put(key, value)
+        except InjectedFault:
+            if self.tracer.enabled:
+                self.tracer.counter("service.cache_error", tier=cache.tier)
+
+    def _lookup_or_launch(self, query: Query, fingerprint: QueryFingerprint):
+        """Resolve a request to a hit, a joined/new flight, or a shed.
+
+        Returns ``(source, flight, cached_result)``: a ``"hit"`` carries
+        the cached result, ``"miss"``/``"shared"`` carry a flight, and
+        ``("shed", None, None)`` means the admission limit is reached
+        and the caller must answer with an admission-shed response
+        (cache hits bypass the limit — they never wait).  Contains no
+        ``await``,
+        so it is atomic on the event loop: two identical concurrent
+        requests can never both launch.  A post-shutdown executor
+        submit is translated to :class:`ValidationError` rather than
+        leaking the pool's bare ``RuntimeError``.
+        """
+        key = fingerprint.key
+        cached = self._cache_get(self.cache, key)
+        if cached is not None:
+            with self._counter_lock:
+                self._hits += 1
+            return "hit", None, cached
+        # Admission control, checked only once the request is known to
+        # need a flight: joining or launching one means suspending until
+        # a worker delivers, and ``admission_limit`` caps how many
+        # requests may be suspended at once.  Cache hits settle without
+        # waiting, so they are never shed here.
+        if (
+            self.admission_limit is not None
+            and self._waiting >= self.admission_limit
+        ):
+            return "shed", None, None
+        flight = self._inflight.get(key)
+        if flight is not None:
+            with self._counter_lock:
+                self._shared += 1
+            return "shared", flight, None
+        flight = _Flight(key)
+        try:
+            flight.future = self._loop.run_in_executor(
+                self._pool, self._run_miss, key, query, flight
+            )
+        except RuntimeError as exc:
+            raise ValidationError(
+                "AsyncOptimizerService is closed"
+            ) from exc
+        self._inflight[key] = flight
+        flight.future.add_done_callback(
+            lambda _f, key=key, flight=flight: self._deregister(key, flight)
+        )
+        with self._counter_lock:
+            self._optimizations += 1
+        return "miss", flight, None
+
+    def _deregister(self, key: str, flight: _Flight) -> None:
+        if self._inflight.get(key) is flight:
+            del self._inflight[key]
+
+    def _run_miss(
+        self, key: str, query: Query, flight: _Flight
+    ) -> _MissOutcome:
+        """Worker-pool task: run the exact optimization, warm the cache.
+
+        Failures retry up to ``retry_limit`` times with exponential
+        backoff; an exhausted budget degrades to the heuristic fallback
+        with the error attached instead of raising, so singleflight
+        waiters never see a raw exception.  A *retry* attempt (never the
+        first) is abandoned once the flight's latest waiter deadline has
+        passed — nobody is waiting for it anymore, and a fresh request
+        will relaunch.  Only fault-free optima are cached.
+        """
+        from repro import _run
+
+        last: Exception | None = None
+        for attempt in range(self._retry_limit + 1):
+            if attempt:
+                deadline_at = flight.deadline_at
+                if (
+                    not flight.unbounded
+                    and deadline_at is not None
+                    and time.perf_counter() > deadline_at
+                ):
+                    return _MissOutcome(
+                        result=self._heuristic_fallback(query),
+                        error=(
+                            f"{type(last).__name__}: {last} "
+                            f"(retries abandoned past request deadline)"
+                        ),
+                    )
+                with self._counter_lock:
+                    self._retries += 1
+                if self.tracer.enabled:
+                    self.tracer.counter("service.retry")
+                if self._retry_backoff:
+                    time.sleep(self._retry_backoff * (2 ** (attempt - 1)))
+            try:
+                if self._injector.enabled:
+                    self._injector.check(
+                        "service", phase="miss", attempt=attempt + 1
+                    )
+                result = _run(query, self.config)
+            except Exception as exc:
+                last = exc
+                continue
+            self._cache_put(self.cache, key, result)
+            return _MissOutcome(result=result)
+        return _MissOutcome(
+            result=self._heuristic_fallback(query),
+            error=f"{type(last).__name__}: {last}",
+        )
+
+    # -- settling -------------------------------------------------------
+
+    async def _settle(
+        self,
+        request: OptimizeRequest,
+        fingerprint: QueryFingerprint,
+        source: str,
+        flight: _Flight | None,
+        cached,
+        start: float,
+        deadline: float | None,
+    ) -> OptimizeResponse:
+        """Wait for a staged request's outcome, degrading on deadline or
+        failure (each singleflight waiter settles — and is counted —
+        independently)."""
+        degraded = False
+        error: str | None = None
+        result = cached
+        if flight is not None:
+            if deadline is None:
+                flight.note_waiter(None)
+                remaining = None
+            else:
+                flight.note_waiter(start + deadline)
+                remaining = max(
+                    0.0, deadline - (time.perf_counter() - start)
+                )
+            self._waiting += 1
+            try:
+                if remaining is None:
+                    outcome = await asyncio.shield(flight.future)
+                else:
+                    # shield: a timed-out wait must not cancel the
+                    # flight — it keeps running to warm the cache.
+                    outcome = await asyncio.wait_for(
+                        asyncio.shield(flight.future), remaining
+                    )
+            except (asyncio.TimeoutError, TimeoutError):
+                result = await self._fallback(request.query)
+                source, degraded = "fallback", True
+                with self._counter_lock:
+                    self._fallbacks += 1
+                if self.tracer.enabled:
+                    self.tracer.counter("service.fallback")
+            except asyncio.CancelledError:
+                if not flight.future.cancelled():
+                    raise  # the *waiter* was cancelled; propagate
+                result = await self._fallback(request.query)
+                source, degraded = "error", True
+                error = "CancelledError: flight cancelled during shutdown"
+                with self._counter_lock:
+                    self._errors += 1
+                if self.tracer.enabled:
+                    self.tracer.counter("service.error")
+            except Exception as exc:
+                # Defensive: the miss task reports failures through its
+                # _MissOutcome, so a raw exception here means something
+                # outside the retry loop broke.  Degrade, don't raise.
+                result = await self._fallback(request.query)
+                source, degraded = "error", True
+                error = f"{type(exc).__name__}: {exc}"
+                with self._counter_lock:
+                    self._errors += 1
+                if self.tracer.enabled:
+                    self.tracer.counter("service.error")
+            else:
+                result = outcome.result
+                if outcome.error is not None:
+                    source, degraded, error = "error", True, outcome.error
+                    with self._counter_lock:
+                        self._errors += 1
+                    if self.tracer.enabled:
+                        self.tracer.counter("service.error")
+            finally:
+                self._waiting -= 1
+        return OptimizeResponse(
+            result=result,
+            source=source,
+            fingerprint=fingerprint,
+            elapsed_seconds=time.perf_counter() - start,
+            degraded=degraded,
+            error=error,
+            tenant=request.tenant,
+        )
+
+    async def _fallback(self, query: Query) -> OptimizationResult:
+        """Heuristic fallback off the optimizer pool (never starved by
+        stuck misses); computed inline if the pool is already shut."""
+        try:
+            return await self._loop.run_in_executor(
+                self._fallback_pool, self._heuristic_fallback, query
+            )
+        except RuntimeError:
+            return self._heuristic_fallback(query)
+
+    def _heuristic_fallback(self, query: Query) -> OptimizationResult:
+        """Produce a valid plan quickly after a missed deadline."""
+        from repro.heuristics import HEURISTICS
+        from repro.heuristics.goo import GOO
+
+        name = self.fallback_algorithm
+        if name == "goo":
+            algo = GOO(cross_products=self.config.cross_products)
+        else:
+            algo = HEURISTICS[name]()
+        return algo.optimize(
+            query, cost_model=self.config.effective_cost_model
+        )
+
+    # -- warm-start persistence -----------------------------------------
+
+    def _load_warm_start(self) -> int:
+        """Reload the spilled plan map, if any; reject mismatches.
+
+        A missing file is a normal first boot.  A present-but-invalid
+        file (format/config-digest mismatch, truncation, corruption) is
+        *rejected whole* — the service starts cold and counts the
+        rejection — never half-loaded.
+        """
+        path = self._warm_start_path
+        if path is None or not path.exists():
+            return 0
+        try:
+            restored = load_cache_file(path, config_digest=self.config.digest)
+        except ValidationError:
+            if self.tracer.enabled:
+                self.tracer.counter("service.warm_start_rejected")
+            return 0
+        for key, result in restored:
+            self._cache_put(self.cache, key, result)
+        if self.tracer.enabled and restored:
+            self.tracer.counter("service.warm_start", len(restored))
+        return len(restored)
+
+    def _spill_warm_start(self) -> None:
+        if self._warm_start_path is None:
+            return
+        try:
+            spill_cache_file(
+                self._warm_start_path,
+                self.cache.items(),
+                config_digest=self.config.digest,
+                algorithm=self.config.algorithm,
+            )
+        except OSError:
+            # Spilling is a best-effort optimization; a read-only disk
+            # must not turn a clean shutdown into a crash.
+            if self.tracer.enabled:
+                self.tracer.counter("service.warm_start_spill_error")

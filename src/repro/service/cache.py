@@ -26,10 +26,24 @@ so ``repro trace`` can render a per-cache-tier table.
 True
 >>> cache.stats().evictions
 1
+
+:class:`ShardedPlanCache` spreads the same contract over N
+independently-locked :class:`PlanCache` shards, routed by a stable hash
+of the key, so concurrent serving traffic does not serialize on one
+lock:
+
+>>> sharded = ShardedPlanCache(shards=4, max_entries=64)
+>>> sharded.put("a", 1)
+>>> sharded.get("a")
+1
+>>> sharded.shard_of("a") == sharded.shard_of("a")   # routing is stable
+True
 """
 
 from __future__ import annotations
 
+import hashlib
+import math
 import threading
 import time
 from collections import OrderedDict
@@ -40,7 +54,7 @@ from repro.faults import NULL_INJECTOR
 from repro.trace.tracer import NULL_TRACER, Tracer
 from repro.util.errors import ValidationError
 
-__all__ = ["CacheStats", "PlanCache"]
+__all__ = ["CacheStats", "PlanCache", "ShardedPlanCache", "shard_index"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -244,6 +258,24 @@ class PlanCache:
         with self._lock:
             return list(self._entries)
 
+    def items(self) -> list[tuple[Any, Any]]:
+        """Live ``(key, value)`` pairs, least- to most-recently used.
+
+        Entries past their TTL or from an older catalog/stats version are
+        skipped (but, unlike :meth:`get`, not dropped or counted — this is
+        a read-only snapshot used by warm-start persistence)."""
+        with self._lock:
+            now = self._clock()
+            return [
+                (key, entry.value)
+                for key, entry in self._entries.items()
+                if entry.version == self._version
+                and (
+                    self.ttl_seconds is None
+                    or now - entry.stamp <= self.ttl_seconds
+                )
+            ]
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -273,3 +305,147 @@ class PlanCache:
         # never calls back into the cache, so this cannot deadlock.
         if self.tracer.enabled:
             self.tracer.counter(name, value, tier=self.tier)
+
+
+def shard_index(key: Any, shards: int) -> int:
+    """Map ``key`` to a shard in ``[0, shards)``.
+
+    The mapping must be stable across processes and interpreter restarts
+    (warm-start files and tests both rely on it), so it hashes the key's
+    ``repr`` with blake2b rather than using the per-process-seeded
+    built-in ``hash``.  Fingerprint keys are hex-digest strings, whose
+    ``repr`` is stable by construction.
+    """
+    digest = hashlib.blake2b(
+        repr(key).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+class ShardedPlanCache:
+    """N independently-locked :class:`PlanCache` shards behind one facade.
+
+    Keys route to shards via :func:`shard_index` (stable across
+    processes).  Each shard enforces its own LRU capacity of
+    ``ceil(max_entries / shards)`` and its own TTL, so eviction pressure
+    in one shard never disturbs another.  All shards carry the *same*
+    tier label: their trace counters aggregate naturally in the per-tier
+    table, and :meth:`stats` returns the summed view (per-shard
+    snapshots via :meth:`shard_stats`).
+
+    The catalog/stats version is kept coherent across shards:
+    :meth:`bump_version` bumps every shard under a facade-level lock.
+
+    Args:
+        shards: Number of shards; must be >= 1.
+        max_entries: *Total* capacity, split evenly across shards.
+        ttl_seconds, tier, tracer, clock, injector: As for
+            :class:`PlanCache`; shared by every shard.
+    """
+
+    def __init__(
+        self,
+        shards: int = 8,
+        max_entries: int = 256,
+        ttl_seconds: float | None = None,
+        tier: str = "plan",
+        tracer: Tracer | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        injector=None,
+    ) -> None:
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        if max_entries < 1:
+            raise ValidationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        per_shard = math.ceil(max_entries / shards)
+        self.shards = shards
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self.tier = tier
+        self._version_lock = threading.Lock()
+        self._shards = tuple(
+            PlanCache(
+                max_entries=per_shard,
+                ttl_seconds=ttl_seconds,
+                tier=tier,
+                tracer=tracer,
+                clock=clock,
+                injector=injector,
+            )
+            for _ in range(shards)
+        )
+
+    def shard_of(self, key: Any) -> int:
+        """The shard index ``key`` routes to (stable across processes)."""
+        return shard_index(key, self.shards)
+
+    # -- core operations (route to one shard) ---------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._shards[self.shard_of(key)].get(key, default)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._shards[self.shard_of(key)].put(key, value)
+
+    def invalidate(self, key: Any = None) -> int:
+        """Drop one entry from its shard, or everything from all shards."""
+        if key is not None:
+            return self._shards[self.shard_of(key)].invalidate(key)
+        return sum(shard.invalidate() for shard in self._shards)
+
+    def bump_version(self) -> int:
+        """Bump every shard's catalog/stats version; returns the (common)
+        new version number."""
+        with self._version_lock:
+            versions = {shard.bump_version() for shard in self._shards}
+            # Shards only ever advance together under this lock, so they
+            # agree on the version.
+            (version,) = versions
+            return version
+
+    @property
+    def version(self) -> int:
+        with self._version_lock:
+            return self._shards[0].version
+
+    # -- introspection --------------------------------------------------
+
+    def shard_stats(self) -> list[CacheStats]:
+        """Per-shard counter snapshots, in shard order."""
+        return [shard.stats() for shard in self._shards]
+
+    def stats(self) -> CacheStats:
+        """Counters summed over every shard (same shape as one shard's)."""
+        per_shard = self.shard_stats()
+        return CacheStats(
+            tier=self.tier,
+            hits=sum(s.hits for s in per_shard),
+            misses=sum(s.misses for s in per_shard),
+            evictions=sum(s.evictions for s in per_shard),
+            stale=sum(s.stale for s in per_shard),
+            invalidated=sum(s.invalidated for s in per_shard),
+            entries=sum(s.entries for s in per_shard),
+        )
+
+    def keys(self) -> list:
+        """Resident keys, grouped by shard (LRU order within a shard)."""
+        return [key for shard in self._shards for key in shard.keys()]
+
+    def items(self) -> list[tuple[Any, Any]]:
+        """Live ``(key, value)`` pairs across every shard."""
+        return [pair for shard in self._shards for pair in shard.items()]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._shards[self.shard_of(key)]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedPlanCache(tier={self.tier!r}, shards={self.shards}, "
+            f"entries={len(self)}/{self.max_entries}, "
+            f"ttl={self.ttl_seconds})"
+        )

@@ -1,0 +1,196 @@
+"""Warm-start persistence for the plan cache.
+
+A serving-tier restart used to mean a cold cache — the first wave of
+traffic stampedes the optimizer re-deriving plans it had already found.
+This module spills the fingerprint→plan map to a *versioned* JSONL file
+on ``close()`` and reloads it on start, so a restarted service answers
+repeated traffic from the cache immediately.
+
+File layout (one JSON object per line):
+
+* line 1 — header: ``{"format": "repro.plancache.v1", "config_digest":
+  ..., "algorithm": ..., "entries": N}``
+* lines 2..N+1 — one cached plan each: the fingerprint key plus the
+  result's scalar fields, the serialized plan tree
+  (:func:`~repro.bench.manifest.plan_to_dict`), and the work-meter
+  snapshot.
+
+Safety rules (the provenance-hygiene fix this file owes its existence
+to):
+
+* **Spill skips degraded entries.**  The service never caches degraded
+  results, but the spiller re-checks anyway: any entry whose extras mark
+  it degraded or carry an ``"error"``/``"shed"``/``"fallback"`` source
+  is dropped rather than persisted, so a warm-start file can never
+  launder a heuristic or failed plan into a future cache hit.
+* **Reload rejects mismatches.**  A file whose format tag or config
+  digest differs from the loading service's — or that is truncated or
+  corrupt — raises :class:`~repro.util.errors.ValidationError` instead
+  of silently loading stale plans; the service catches that and starts
+  cold.
+
+Restored results are real :class:`~repro.enumerate.base
+.OptimizationResult` objects (plan tree rebuilt node-for-node, meter
+counts restored) tagged ``extras={"warm_start": True}`` so traces can
+tell a restored hit from a same-process one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.bench.manifest import plan_from_dict, plan_to_dict
+from repro.enumerate.base import OptimizationResult
+from repro.memo.counters import WorkMeter
+from repro.util.errors import ValidationError
+
+__all__ = ["PERSIST_FORMAT", "load_cache_file", "spill_cache_file"]
+
+PERSIST_FORMAT = "repro.plancache.v1"
+"""Format tag stamped in (and required of) every warm-start file."""
+
+# Provenance values that must never be persisted; a warm-start file only
+# carries fault-free exact optima.
+_DEGRADED_SOURCES = ("error", "shed", "fallback")
+
+
+def _is_persistable(result: Any) -> bool:
+    """Only fault-free exact optima may be spilled."""
+    if not isinstance(result, OptimizationResult):
+        return False
+    extras = result.extras or {}
+    if extras.get("degraded"):
+        return False
+    if extras.get("source") in _DEGRADED_SOURCES:
+        return False
+    return True
+
+
+def spill_cache_file(
+    path: str | Path,
+    entries: Iterable[tuple[str, OptimizationResult]],
+    *,
+    config_digest: str,
+    algorithm: str,
+) -> int:
+    """Write ``(fingerprint key, result)`` pairs as a warm-start file.
+
+    Degraded entries are skipped (see module docstring).  The file is
+    written to a temporary sibling and atomically renamed into place, so
+    a crash mid-spill never leaves a truncated file for the next start
+    to trip over.  Returns the number of entries persisted.
+    """
+    path = Path(path)
+    lines: list[str] = []
+    for key, result in entries:
+        if not _is_persistable(result):
+            continue
+        lines.append(
+            json.dumps(
+                {
+                    "key": key,
+                    "algorithm": result.algorithm,
+                    "cost": result.cost,
+                    "rows": result.rows,
+                    "memo_entries": result.memo_entries,
+                    "elapsed_seconds": result.elapsed_seconds,
+                    "plan": plan_to_dict(result.plan),
+                    "meter": result.meter.as_dict(),
+                },
+                sort_keys=True,
+            )
+        )
+    header = json.dumps(
+        {
+            "format": PERSIST_FORMAT,
+            "config_digest": config_digest,
+            "algorithm": algorithm,
+            "entries": len(lines),
+        },
+        sort_keys=True,
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text("\n".join([header, *lines]) + "\n")
+    os.replace(tmp, path)
+    return len(lines)
+
+
+def load_cache_file(
+    path: str | Path,
+    *,
+    config_digest: str,
+) -> list[tuple[str, OptimizationResult]]:
+    """Read a warm-start file back as ``(fingerprint key, result)`` pairs.
+
+    Raises :class:`ValidationError` when the file's format tag or config
+    digest does not match, the entry count disagrees with the header, or
+    any line fails to parse — a rejected file must never half-populate
+    the cache with stale plans.  A missing file also raises (callers
+    treat every load failure the same way: start cold).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ValidationError(
+            f"cannot read warm-start file {path}: {exc}"
+        ) from exc
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValidationError(f"warm-start file {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"warm-start file {path} has a corrupt header: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("format") != PERSIST_FORMAT:
+        raise ValidationError(
+            f"warm-start file {path} has format "
+            f"{header.get('format') if isinstance(header, dict) else header!r},"
+            f" expected {PERSIST_FORMAT}"
+        )
+    if header.get("config_digest") != config_digest:
+        raise ValidationError(
+            f"warm-start file {path} was spilled under a different "
+            f"optimizer config (digest mismatch); refusing to load "
+            f"stale plans"
+        )
+    body = lines[1:]
+    if header.get("entries") != len(body):
+        raise ValidationError(
+            f"warm-start file {path} is truncated: header promises "
+            f"{header.get('entries')} entries, found {len(body)}"
+        )
+    restored: list[tuple[str, OptimizationResult]] = []
+    for lineno, line in enumerate(body, start=2):
+        try:
+            record = json.loads(line)
+            key = record["key"]
+            if not isinstance(key, str):
+                raise ValidationError(f"non-string key {key!r}")
+            meter = WorkMeter()
+            meter.merge_dict(record["meter"])
+            result = OptimizationResult(
+                algorithm=record["algorithm"],
+                plan=plan_from_dict(record["plan"]),
+                cost=float(record["cost"]),
+                rows=float(record["rows"]),
+                meter=meter,
+                memo_entries=int(record["memo_entries"]),
+                elapsed_seconds=float(record["elapsed_seconds"]),
+                extras={"warm_start": True},
+            )
+        except ValidationError:
+            raise
+        except Exception as exc:
+            raise ValidationError(
+                f"warm-start file {path} line {lineno} is corrupt: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        restored.append((key, result))
+    return restored

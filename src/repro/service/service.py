@@ -1,350 +1,207 @@
-"""The concurrent optimization service.
+"""The synchronous serving facade.
 
-:class:`OptimizerService` is the serving-loop front end over
-:func:`repro.optimize`: requests are fingerprinted
-(:mod:`repro.service.fingerprint`), answered from an LRU+TTL plan cache
-(:mod:`repro.service.cache`) when possible, deduplicated against
-identical in-flight optimizations (*singleflight*), and otherwise run on
-a bounded worker pool with a per-request timeout that degrades to a
-heuristic plan instead of raising.
+:class:`OptimizerService` keeps the PR-2 thread-blocking API — call
+``optimize`` from any thread, get an
+:class:`~repro.service.api.OptimizeResponse` back — but it is now a thin
+facade over the asyncio-native
+:class:`~repro.service.async_service.AsyncOptimizerService`: the facade
+owns a background event-loop thread, forwards every request to the async
+tier with ``asyncio.run_coroutine_threadsafe``, and blocks the calling
+thread on the result.  All serving semantics — sharded cache,
+singleflight, deadlines-as-budgets, retry/degradation, admission
+control, tenant quotas, warm-start persistence — live in the async tier;
+this file only does the thread↔loop plumbing.
 
-Provenance is explicit: every request returns a :class:`ServiceResult`
-whose ``source`` says how the plan was produced —
+``ServiceResult`` and ``ServiceStats`` are re-exported from
+:mod:`repro.service.api` (``ServiceResult`` is an alias of
+``OptimizeResponse``), so PR-2-era imports keep working.
 
-========== ==========================================================
-source     meaning
-========== ==========================================================
-``hit``    served from the plan cache
-``miss``   this request ran the optimization (and populated the cache)
-``shared`` joined an identical in-flight optimization (singleflight)
-``fallback`` the deadline expired; a heuristic plan was returned while
-           the exact optimization kept running to warm the cache
-``error``  the optimization failed (worker exception, exhausted retry
-           budget); a heuristic plan was returned with the error
-           message attached
-========== ==========================================================
+Migrating to the async tier directly::
 
-Failure semantics: a miss that raises is retried up to
-``retry_limit`` times with exponential backoff (``retry_backoff``)
-before degrading to the heuristic fallback with ``source="error"`` —
-the miss caller *and* every singleflight waiter observe the same
-degraded outcome; nothing re-raises into callers.  Degraded results
-are never cached, so cached plans are always fault-free optima.
+    # sync facade (this class)
+    with OptimizerService(config) as svc:
+        response = svc.optimize(query, timeout=0.5)
 
-Deadlines are true remaining-time budgets: a single request's wait is
-``timeout`` minus the time already spent fingerprinting and staging,
-and a batch shares one budget measured from batch entry — a batch of N
-misses settles in at most ~``timeout``, not N×``timeout``.
+    # async tier (new code)
+    async with AsyncOptimizerService(config) as svc:
+        response = await svc.optimize(OptimizeRequest(query, timeout=0.5))
+
+The responses are identical objects either way.
 """
 
 from __future__ import annotations
 
+import asyncio
 import concurrent.futures
 import threading
-import time
-from dataclasses import dataclass
 
-from repro.enumerate.base import OptimizationResult
-from repro.query.context import QueryContext
-from repro.query.joingraph import Query
-from repro.service.cache import CacheStats, PlanCache
-from repro.service.fingerprint import QueryFingerprint, fingerprint_query
+from repro.service.api import (  # noqa: F401  (re-exported compat surface)
+    OptimizeRequest,
+    OptimizeResponse,
+    ServiceResult,
+    ServiceStats,
+)
+from repro.service.async_service import AsyncOptimizerService
+from repro.service.cache import PlanCache, ShardedPlanCache
 from repro.trace.tracer import Tracer
-from repro.util.errors import InjectedFault, ValidationError
+from repro.util.errors import ValidationError
 
-__all__ = ["OptimizerService", "ServiceResult", "ServiceStats"]
-
-_SOURCES = ("hit", "miss", "shared", "fallback", "error")
-
-
-@dataclass(frozen=True, slots=True)
-class ServiceResult:
-    """One answered optimization request, with cache provenance.
-
-    Attributes:
-        result: The optimization outcome (exact, cached, or heuristic).
-        source: How the plan was produced — ``"hit"``, ``"miss"``,
-            ``"shared"``, ``"fallback"``, or ``"error"``.
-        fingerprint: The request's :class:`QueryFingerprint`.
-        elapsed_seconds: Wall-clock service latency for this request,
-            including any cache lookups and queueing.
-        degraded: True iff ``result`` carries a heuristic plan rather
-            than the exact optimum (deadline expiry or optimization
-            failure).
-        error: The failure message when ``source == "error"``; ``None``
-            otherwise.
-    """
-
-    result: OptimizationResult
-    source: str
-    fingerprint: QueryFingerprint
-    elapsed_seconds: float
-    degraded: bool = False
-    error: str | None = None
-
-    @property
-    def plan(self):
-        """The plan tree (shorthand for ``result.plan``)."""
-        return self.result.plan
-
-    @property
-    def cost(self) -> float:
-        """The plan cost (shorthand for ``result.cost``)."""
-        return self.result.cost
-
-    def __post_init__(self) -> None:
-        if self.source not in _SOURCES:
-            raise ValidationError(
-                f"unknown provenance {self.source!r}; expected one of "
-                f"{_SOURCES}"
-            )
-
-
-@dataclass(frozen=True, slots=True)
-class ServiceStats:
-    """Aggregate service counters plus per-tier cache snapshots.
-
-    Attributes:
-        requests: Requests answered (batch items count individually).
-        hits: Requests served from the plan cache.
-        optimizations: Exact optimizations actually executed (each one
-            corresponds to exactly one distinct missed fingerprint — the
-            singleflight guarantee).
-        shared: Requests that joined an in-flight optimization.
-        fallbacks: Requests degraded to a heuristic plan on deadline.
-        errors: Requests degraded because the optimization failed
-            (``source == "error"``); singleflight waiters count
-            individually, like ``fallbacks``.
-        retries: Optimization retry attempts spent recovering from
-            worker failures (counted once per attempt, not per waiter).
-        plan_cache: The plan tier's :class:`CacheStats`.
-        fingerprint_cache: The fingerprint tier's :class:`CacheStats`.
-    """
-
-    requests: int
-    hits: int
-    optimizations: int
-    shared: int
-    fallbacks: int
-    errors: int
-    retries: int
-    plan_cache: CacheStats
-    fingerprint_cache: CacheStats
-
-
-@dataclass(frozen=True, slots=True)
-class _MissOutcome:
-    """What one worker-pool optimization produced.
-
-    The miss task never raises into its future; failures surface as a
-    fallback ``result`` plus the ``error`` message, so the miss caller
-    and every singleflight waiter settle through one code path.
-    """
-
-    result: OptimizationResult
-    error: str | None = None
+__all__ = [
+    "OptimizerService",
+    "OptimizeRequest",
+    "OptimizeResponse",
+    "ServiceResult",
+    "ServiceStats",
+]
 
 
 class OptimizerService:
-    """Concurrent, cached optimization in front of :func:`repro.optimize`.
+    """Thread-blocking facade over :class:`AsyncOptimizerService`.
 
     Args:
-        config: An :class:`~repro.config.OptimizerConfig`.  Plan-relevant
-            fields select the algorithm exactly as :func:`repro.optimize`
-            would; the service knobs (``cache_size``, ``cache_ttl``,
-            ``service_workers``, ``request_timeout``,
-            ``fallback_algorithm``) size this service, and the
-            robustness knobs (``retry_limit``, ``retry_backoff``,
-            ``fault_plan``) govern failure handling.  ``None`` uses the
-            defaults.
-        cache: Pre-built plan :class:`PlanCache` (overrides the config's
-            cache sizing) — lets several services share one cache.
+        config: An :class:`~repro.config.OptimizerConfig`; ``None`` uses
+            the defaults.  See :class:`AsyncOptimizerService` for how
+            the service and robustness knobs apply.
+        cache: Pre-built plan cache (overrides the config's cache
+            sizing) — lets several services share one cache.
         tracer: Observability sink; falls back to ``config.tracer``.
-            Cache tiers emit ``cache.*`` counters against it, and the
-            service emits ``service.request`` / ``service.fallback`` /
-            ``service.error`` / ``service.retry`` /
-            ``service.cache_error``.
 
-    The service is safe for concurrent use from many threads and is a
-    context manager (``with OptimizerService() as svc: ...``); exit shuts
-    the worker pool down.
+    The facade is safe for concurrent use from many threads and is a
+    context manager (``with OptimizerService() as svc: ...``); exit
+    drains in-flight work, spills the warm-start file (when configured),
+    and stops the background loop.
     """
 
     def __init__(
         self,
         config=None,
         *,
-        cache: PlanCache | None = None,
+        cache: PlanCache | ShardedPlanCache | None = None,
         tracer: Tracer | None = None,
     ) -> None:
-        from repro.config import OptimizerConfig
+        # Build the engine first: config validation errors must raise
+        # before any thread is started.
+        self._async = AsyncOptimizerService(config, cache=cache, tracer=tracer)
+        # One Condition guards the submission gate: `_stopped` flips only
+        # while no submission can race it, and close() waits here for
+        # `_outstanding` to drain before stopping the loop, so a
+        # run_coroutine_threadsafe future can never be stranded behind
+        # loop.stop().
+        self._gate = threading.Condition()
+        self._outstanding = 0
+        self._stopped = False
+        self._close_lock = threading.Lock()
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop,
+            name="repro-service-loop",
+            daemon=True,
+        )
+        self._thread.start()
 
-        if config is None:
-            config = OptimizerConfig()
-        elif not isinstance(config, OptimizerConfig):
-            raise ValidationError(
-                f"config must be an OptimizerConfig, got "
-                f"{type(config).__name__}"
-            )
-        self.config = config
-        self.tracer = (
-            tracer if tracer is not None else config.effective_tracer
-        )
-        self._injector = config.effective_fault_injector
-        self._retry_limit = config.effective_retry_limit
-        self._retry_backoff = config.effective_retry_backoff
-        self.cache = cache if cache is not None else PlanCache(
-            max_entries=config.effective_cache_size,
-            ttl_seconds=config.cache_ttl,
-            tier="plan",
-            tracer=self.tracer,
-            injector=self._injector,
-        )
-        self._fingerprints = PlanCache(
-            max_entries=config.effective_cache_size,
-            tier="fingerprint",
-            tracer=self.tracer,
-            injector=self._injector,
-        )
-        self.timeout = config.request_timeout
-        self.fallback_algorithm = config.effective_fallback_algorithm
-        self._pool = concurrent.futures.ThreadPoolExecutor(
-            max_workers=config.effective_service_workers,
-            thread_name_prefix="repro-service",
-        )
-        self._lock = threading.Lock()
-        self._inflight: dict[str, concurrent.futures.Future] = {}
-        self._requests = 0
-        self._hits = 0
-        self._optimizations = 0
-        self._shared = 0
-        self._fallbacks = 0
-        self._errors = 0
-        self._retries = 0
-        self._closed = False
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
 
     # -- public API -----------------------------------------------------
 
-    def optimize(
-        self, query: Query | QueryContext, *, timeout: float | None = None
-    ) -> ServiceResult:
-        """Answer one request: cache → singleflight → worker pool.
+    @property
+    def config(self):
+        """The engine's :class:`~repro.config.OptimizerConfig`."""
+        return self._async.config
 
-        Args:
-            query: A bound query (or prepared context; its query is used).
-            timeout: Per-request deadline in seconds, overriding the
-                config's ``request_timeout``.  The deadline is measured
-                from request entry (fingerprinting and staging spend it
-                too).  On expiry a heuristic plan
-                (``fallback_algorithm``) is returned with
-                ``degraded=True`` — never an exception — while the exact
-                optimization continues in the background to warm the
-                cache.
+    @property
+    def cache(self):
+        """The engine's plan cache (sharded unless ``cache_shards=1``)."""
+        return self._async.cache
+
+    @property
+    def tracer(self):
+        """The engine's observability sink."""
+        return self._async.tracer
+
+    @property
+    def timeout(self) -> float | None:
+        """The configured default request deadline."""
+        return self._async.timeout
+
+    @property
+    def fallback_algorithm(self) -> str:
+        """The deadline-fallback heuristic in effect."""
+        return self._async.fallback_algorithm
+
+    def optimize(
+        self,
+        request,
+        *,
+        timeout: float | None = None,
+        tenant: str | None = None,
+    ) -> OptimizeResponse:
+        """Answer one request, blocking the calling thread.
+
+        Accepts an :class:`OptimizeRequest` or a bare query / prepared
+        context, exactly like :meth:`AsyncOptimizerService.optimize`;
+        ``timeout``/``tenant`` are convenience overrides.  Deadlines,
+        degradation, shedding, and provenance behave identically to the
+        async tier — this method only hops threads.
         """
-        start = time.perf_counter()
-        query = self._coerce(query)
-        fingerprint = self._fingerprint(query)
-        source, future, result = self._lookup_or_launch(query, fingerprint)
-        deadline = self.timeout if timeout is None else timeout
-        if deadline is not None:
-            deadline = max(0.0, deadline - (time.perf_counter() - start))
-        return self._settle(
-            query, fingerprint, source, future, result, start, deadline
+        return self._submit(
+            self._async.optimize(request, timeout=timeout, tenant=tenant)
         )
 
     def optimize_batch(
-        self, queries, *, timeout: float | None = None
-    ) -> list[ServiceResult]:
-        """Answer a batch, deduplicating identical members.
-
-        All misses are launched before any result is awaited, so distinct
-        queries optimize concurrently on the worker pool and duplicate
-        members share one flight.  Results preserve input order.  The
-        timeout is one *shared* budget measured from batch entry: each
-        item waits only the budget remaining when its turn to settle
-        comes, so a batch of N misses settles in at most ~``timeout``
-        total (plus one fallback computation per expired item), never
-        N×``timeout``.
-        """
-        batch_start = time.perf_counter()
-        staged: list[ServiceResult | tuple] = []
-        for query in queries:
-            start = time.perf_counter()
-            query = self._coerce(query)
-            fingerprint = self._fingerprint(query)
-            source, future, result = self._lookup_or_launch(
-                query, fingerprint
-            )
-            if future is None:
-                # Cache hits settle immediately, so their recorded latency
-                # is the lookup itself, not the whole batch.
-                staged.append(
-                    self._settle(
-                        query, fingerprint, source, None, result, start, None
-                    )
-                )
-            else:
-                staged.append((query, fingerprint, start, source, future))
-        deadline = self.timeout if timeout is None else timeout
-        # Misses were all launched above, so they optimize concurrently;
-        # each request's latency runs from its own staging time while the
-        # deadline budget runs from batch entry.
-        settled: list[ServiceResult] = []
-        for item in staged:
-            if isinstance(item, ServiceResult):
-                settled.append(item)
-            else:
-                query, fingerprint, start, source, future = item
-                remaining = None
-                if deadline is not None:
-                    remaining = max(
-                        0.0,
-                        deadline - (time.perf_counter() - batch_start),
-                    )
-                settled.append(
-                    self._settle(
-                        query, fingerprint, source, future, None, start,
-                        remaining,
-                    )
-                )
-        return settled
+        self, requests, *, timeout: float | None = None
+    ) -> list[OptimizeResponse]:
+        """Answer a batch (see :meth:`AsyncOptimizerService.optimize_batch`
+        for dedup and shared-budget semantics), blocking the caller."""
+        requests = list(requests)
+        if not requests:
+            return []
+        return self._submit(
+            self._async.optimize_batch(requests, timeout=timeout)
+        )
 
     def invalidate(self) -> int:
         """Drop every cached plan (e.g. after a catalog reload)."""
-        return self.cache.invalidate()
+        return self._async.invalidate()
 
     def bump_stats_version(self) -> int:
         """Catalog/stats-change hook: lazily invalidate all cached plans."""
-        return self.cache.bump_version()
+        return self._async.bump_stats_version()
 
     def stats(self) -> ServiceStats:
         """Aggregate service + cache counters."""
-        with self._lock:
-            return ServiceStats(
-                requests=self._requests,
-                hits=self._hits,
-                optimizations=self._optimizations,
-                shared=self._shared,
-                fallbacks=self._fallbacks,
-                errors=self._errors,
-                retries=self._retries,
-                plan_cache=self.cache.stats(),
-                fingerprint_cache=self._fingerprints.stats(),
-            )
+        return self._async.stats()
 
     def close(self, wait: bool = True) -> None:
-        """Shut the worker pool down; idempotent.
+        """Shut the serving tier down; idempotent.
 
-        The closed flag is set under the service lock so a request that
-        already passed its closed-check settles normally; requests
-        arriving after are rejected with
-        :class:`~repro.util.errors.ValidationError`.  The pool shutdown
-        itself happens outside the lock (miss tasks take the lock to
-        deregister, so holding it while waiting would deadlock).
+        Ordering matters: (1) the async engine is closed *on the still-
+        running loop* — it refuses new requests, drains in-flight
+        optimizations, and spills the warm-start file; (2) the
+        submission gate flips to ``stopped`` and waits for every
+        outstanding cross-thread call to return; (3) only then is the
+        loop stopped and joined, so no submitted coroutine can be
+        stranded.  Requests arriving after (or racing) the close observe
+        :class:`~repro.util.errors.ValidationError`, never a bare
+        ``RuntimeError``.
         """
-        with self._lock:
-            self._closed = True
-        self._pool.shutdown(wait=wait)
+        with self._close_lock:
+            with self._gate:
+                if self._stopped:
+                    return
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self._async.close(wait=wait), self._loop
+                ).result()
+            finally:
+                with self._gate:
+                    self._stopped = True
+                    while self._outstanding:
+                        self._gate.wait()
+                self._loop.call_soon_threadsafe(self._loop.stop)
+                self._thread.join()
+                self._loop.close()
 
     def __enter__(self) -> "OptimizerService":
         return self
@@ -356,180 +213,30 @@ class OptimizerService:
         return (
             f"OptimizerService(algorithm={self.config.algorithm!r}, "
             f"cache={len(self.cache)}/{self.cache.max_entries}, "
-            f"inflight={len(self._inflight)})"
+            f"closed={self._stopped})"
         )
 
     # -- internals ------------------------------------------------------
 
-    @staticmethod
-    def _coerce(query) -> Query:
-        return query.query if isinstance(query, QueryContext) else query
+    def _submit(self, coro):
+        """Run ``coro`` on the engine's loop; block for its result.
 
-    def _fingerprint(self, query: Query) -> QueryFingerprint:
-        cached = self._cache_get(self._fingerprints, query)
-        if cached is not None:
-            return cached
-        fingerprint = fingerprint_query(query, self.config)
-        self._cache_put(self._fingerprints, query, fingerprint)
-        return fingerprint
-
-    def _cache_get(self, cache: PlanCache, key):
-        """Cache lookup that absorbs injected cache faults.
-
-        Fail-open: a faulting cache tier is served as a miss (counted as
-        ``service.cache_error``), never an exception to the caller.  May
-        run with the service lock held, so it must not take it.
+        The gate makes submission and close mutually safe: a submission
+        either lands before ``stopped`` flips (close waits for it to
+        drain) or is refused with :class:`ValidationError`.  Loop-side
+        refusals (the engine's own closed-check) surface unchanged.
         """
-        try:
-            return cache.get(key)
-        except InjectedFault:
-            if self.tracer.enabled:
-                self.tracer.counter("service.cache_error", tier=cache.tier)
-            return None
-
-    def _cache_put(self, cache: PlanCache, key, value) -> None:
-        """Cache insert that absorbs injected cache faults (fail-open)."""
-        try:
-            cache.put(key, value)
-        except InjectedFault:
-            if self.tracer.enabled:
-                self.tracer.counter("service.cache_error", tier=cache.tier)
-
-    def _lookup_or_launch(self, query, fingerprint):
-        """Resolve a request to a hit, a joined flight, or a new flight.
-
-        Returns ``(source, future, cached_result)``; exactly one of
-        ``future`` / ``cached_result`` is set.  Atomic under the service
-        lock: two identical concurrent requests can never both launch,
-        and the closed-check races with :meth:`close` under the same
-        lock (a post-shutdown submit is translated to
-        :class:`ValidationError` rather than leaking the pool's bare
-        ``RuntimeError``).
-        """
-        key = fingerprint.key
-        with self._lock:
-            if self._closed:
+        with self._gate:
+            if self._stopped:
+                coro.close()
                 raise ValidationError("OptimizerService is closed")
-            self._requests += 1
-            if self.tracer.enabled:
-                self.tracer.counter("service.request")
-            cached = self._cache_get(self.cache, key)
-            if cached is not None:
-                self._hits += 1
-                return "hit", None, cached
-            future = self._inflight.get(key)
-            if future is not None:
-                self._shared += 1
-                return "shared", future, None
-            try:
-                future = self._pool.submit(self._run_miss, key, query)
-            except RuntimeError as exc:
-                raise ValidationError(
-                    "OptimizerService is closed"
-                ) from exc
-            self._inflight[key] = future
-            self._optimizations += 1
-            return "miss", future, None
-
-    def _run_miss(self, key: str, query: Query) -> _MissOutcome:
-        """Worker-pool task: run the exact optimization, warm the cache.
-
-        Failures retry up to ``retry_limit`` times with exponential
-        backoff; an exhausted budget degrades to the heuristic fallback
-        with the error attached instead of raising, so singleflight
-        waiters never see a raw exception.  Only fault-free optima are
-        cached.
-        """
-        from repro import _run
-
+            self._outstanding += 1
+            future = asyncio.run_coroutine_threadsafe(coro, self._loop)
         try:
-            last: Exception | None = None
-            for attempt in range(self._retry_limit + 1):
-                if attempt:
-                    with self._lock:
-                        self._retries += 1
-                    if self.tracer.enabled:
-                        self.tracer.counter("service.retry")
-                    if self._retry_backoff:
-                        time.sleep(
-                            self._retry_backoff * (2 ** (attempt - 1))
-                        )
-                try:
-                    if self._injector.enabled:
-                        self._injector.check(
-                            "service", phase="miss", attempt=attempt + 1
-                        )
-                    result = _run(query, self.config)
-                except Exception as exc:
-                    last = exc
-                    continue
-                self._cache_put(self.cache, key, result)
-                return _MissOutcome(result=result)
-            return _MissOutcome(
-                result=self._heuristic_fallback(query),
-                error=f"{type(last).__name__}: {last}",
-            )
+            return future.result()
+        except concurrent.futures.CancelledError as exc:
+            raise ValidationError("OptimizerService is closed") from exc
         finally:
-            with self._lock:
-                self._inflight.pop(key, None)
-
-    def _settle(
-        self, query, fingerprint, source, future, result, start, timeout
-    ) -> ServiceResult:
-        """Wait for a staged request's outcome, degrading on deadline or
-        failure (each singleflight waiter settles — and is counted —
-        independently)."""
-        degraded = False
-        error: str | None = None
-        if future is not None:
-            try:
-                outcome = future.result(timeout)
-            except concurrent.futures.TimeoutError:
-                result = self._heuristic_fallback(query)
-                source, degraded = "fallback", True
-                with self._lock:
-                    self._fallbacks += 1
-                if self.tracer.enabled:
-                    self.tracer.counter("service.fallback")
-            except Exception as exc:
-                # Defensive: the miss task reports failures through its
-                # _MissOutcome, so a raw exception here means something
-                # outside the retry loop broke (e.g. a cancelled future
-                # during shutdown).  Degrade rather than propagate.
-                result = self._heuristic_fallback(query)
-                source, degraded = "error", True
-                error = f"{type(exc).__name__}: {exc}"
-                with self._lock:
-                    self._errors += 1
-                if self.tracer.enabled:
-                    self.tracer.counter("service.error")
-            else:
-                result = outcome.result
-                if outcome.error is not None:
-                    source, degraded, error = "error", True, outcome.error
-                    with self._lock:
-                        self._errors += 1
-                    if self.tracer.enabled:
-                        self.tracer.counter("service.error")
-        return ServiceResult(
-            result=result,
-            source=source,
-            fingerprint=fingerprint,
-            elapsed_seconds=time.perf_counter() - start,
-            degraded=degraded,
-            error=error,
-        )
-
-    def _heuristic_fallback(self, query: Query) -> OptimizationResult:
-        """Produce a valid plan quickly after a missed deadline."""
-        from repro.heuristics import HEURISTICS
-        from repro.heuristics.goo import GOO
-
-        name = self.fallback_algorithm
-        if name == "goo":
-            algo = GOO(cross_products=self.config.cross_products)
-        else:
-            algo = HEURISTICS[name]()
-        return algo.optimize(
-            query, cost_model=self.config.effective_cost_model
-        )
+            with self._gate:
+                self._outstanding -= 1
+                self._gate.notify_all()

@@ -23,7 +23,8 @@ determined the paper's measured speedups.
 >>> report = result.sim_report                    # typed accessor
 >>> report.threads
 4
->>> result.cost == optimize(query, algorithm="dpsva").cost
+>>> serial = optimize(query, config=OptimizerConfig(algorithm="dpsva"))
+>>> result.cost == serial.cost
 True
 """
 

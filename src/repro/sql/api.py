@@ -23,20 +23,29 @@ def optimize_sql(
         catalog: Catalog the statement binds against.
         label: Query label carried onto the bound
             :class:`~repro.query.joingraph.Query` (visible in reports).
-        **optimize_options: Forwarded to :func:`repro.optimize`
-            (``algorithm``, ``threads``, ``cost_model``,
-            ``cross_products``, ``config``, …).
+        **optimize_options: Either a ready-made ``config=``
+            (:class:`~repro.config.OptimizerConfig`) or the individual
+            optimizer options (``algorithm``, ``threads``,
+            ``cost_model``, ``cross_products``, …), which are folded
+            into a config here — never through the deprecated
+            :func:`repro.optimize` keyword shim.
     """
     from repro import optimize
+    from repro.config import OptimizerConfig
+    from repro.util.errors import ValidationError
 
     query = sql_to_query(sql, catalog, label=label)
-    if not query.graph.is_connected():
-        config = optimize_options.get("config")
-        if config is not None:
-            if not config.cross_products:
-                optimize_options["config"] = config.with_options(
-                    cross_products=True
-                )
-        else:
-            optimize_options.setdefault("cross_products", True)
-    return optimize(query, **optimize_options)
+    config = optimize_options.pop("config", None)
+    if config is not None:
+        if optimize_options:
+            raise ValidationError(
+                "pass either config= or individual optimizer options, "
+                "not both"
+            )
+    else:
+        config = OptimizerConfig.from_kwargs(**optimize_options)
+    if not query.graph.is_connected() and not config.cross_products:
+        # No join predicate linking every relation: the exact enumerators
+        # would find no complete plan, so admit cross products.
+        config = config.with_options(cross_products=True)
+    return optimize(query, config=config)

@@ -11,10 +11,11 @@ rejecting them one by one.
 DPsva inspects far fewer pairs than DPsize yet returns the identical
 optimum:
 
->>> from repro import optimize
+>>> from repro import OptimizerConfig, optimize
 >>> from repro.query import WorkloadSpec, generate_query
 >>> query = generate_query(WorkloadSpec("star", 8, seed=5))
->>> sva, size = (optimize(query, algorithm=a) for a in ("dpsva", "dpsize"))
+>>> sva, size = (optimize(query, config=OptimizerConfig(algorithm=a))
+...              for a in ("dpsva", "dpsize"))
 >>> sva.cost == size.cost
 True
 >>> sva.meter.pairs_considered < size.meter.pairs_considered

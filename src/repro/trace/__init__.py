@@ -27,8 +27,14 @@ event                   kind     meaning
                                  ``tier``): ``hit`` / ``miss`` /
                                  ``eviction`` / ``stale`` /
                                  ``invalidated`` (:mod:`repro.service`)
-``service.request``     counter  requests accepted by an OptimizerService
+``service.request``     counter  requests accepted by a serving tier
 ``service.fallback``    counter  deadline expiries degraded to a heuristic
+``service.error``       counter  failed optimizations degraded to heuristic
+``service.retry``       counter  optimization retry attempts
+``service.shed``        counter  requests refused by admission control or
+                                 a tenant quota (attr ``reason``:
+                                 ``admission`` / ``quota``)
+``service.warm_start``  counter  plans restored from the warm-start file
 ======================  =======  ==========================================
 """
 
@@ -42,6 +48,7 @@ from repro.trace.export import (
 from repro.trace.metrics import METER_COUNTERS, emit_meter_delta, stratum_scope
 from repro.trace.render import (
     per_cache_rows,
+    per_service_rows,
     per_stratum_rows,
     per_worker_rows,
     render_trace,
@@ -70,6 +77,7 @@ __all__ = [
     "write_jsonl",
     "tracer_from_jsonl",
     "per_cache_rows",
+    "per_service_rows",
     "per_stratum_rows",
     "per_worker_rows",
     "render_trace",

@@ -114,6 +114,47 @@ def per_cache_rows(events: list[TraceEvent]) -> list[dict[str, Any]]:
     return rows
 
 
+_SERVICE_COUNTERS = (
+    ("service.request", "requests"),
+    ("service.fallback", "fallbacks"),
+    ("service.error", "errors"),
+    ("service.retry", "retries"),
+    ("service.shed", "sheds"),
+    ("service.cache_error", "cache_errors"),
+    ("service.warm_start", "warm_start"),
+    ("service.warm_start_rejected", "warm_start_rejected"),
+)
+
+
+def per_service_rows(events: list[TraceEvent]) -> list[dict[str, Any]]:
+    """Single-row aggregate of the ``service.*`` counters a serving tier
+    emits (:mod:`repro.service.async_service`): request volume,
+    degradations, sheds (with the quota subset), retries, cache faults,
+    and warm-start activity.  Returns an empty list for runs with no
+    service activity."""
+    names = dict(_SERVICE_COUNTERS)
+    totals = {label: 0 for _, label in _SERVICE_COUNTERS}
+    totals["quota_sheds"] = 0
+    seen = False
+    for event in events:
+        if event.kind != "counter" or event.name not in names:
+            continue
+        seen = True
+        totals[names[event.name]] += int(event.value)
+        if (
+            event.name == "service.shed"
+            and event.attrs.get("reason") == "quota"
+        ):
+            totals["quota_sheds"] += int(event.value)
+    if not seen:
+        return []
+    requests = totals["requests"]
+    totals["shed_rate"] = (
+        round(totals["sheds"] / requests, 4) if requests else 0.0
+    )
+    return [totals]
+
+
 def trace_summary(events: list[TraceEvent]) -> dict[str, Any]:
     """Aggregate totals for one run (the bench runner's trace columns)."""
     spans = [e for e in events if e.kind == "span"]
@@ -166,6 +207,9 @@ def render_trace(
     cache_rows = per_cache_rows(events)
     if cache_rows:
         sections.append("per-cache-tier:\n" + format_table(cache_rows))
+    service_rows = per_service_rows(events)
+    if service_rows:
+        sections.append("service:\n" + format_table(service_rows))
     summary = trace_summary(events)
     sections.append(
         f"totals: events={summary['events']} strata={summary['strata']} "

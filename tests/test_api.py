@@ -8,6 +8,7 @@ import repro
 from repro import (
     CoutCostModel,
     OptimizationResult,
+    OptimizerConfig,
     Workload,
     WorkloadSpec,
     optimize,
@@ -36,7 +37,7 @@ def test_optimize_serial_default(query):
 )
 def test_optimize_exact_algorithms_agree(query, algorithm):
     baseline = optimize(query)
-    result = optimize(query, algorithm=algorithm)
+    result = optimize(query, config=OptimizerConfig(algorithm=algorithm))
     assert result.cost == pytest.approx(baseline.cost, rel=1e-12)
 
 
@@ -45,44 +46,52 @@ def test_optimize_exact_algorithms_agree(query, algorithm):
     ["goo", "ikkbz", "iterated_improvement", "simulated_annealing"],
 )
 def test_optimize_heuristics(query, algorithm):
-    dp = optimize(query, cross_products=True)
-    result = optimize(query, algorithm=algorithm)
+    dp = optimize(query, config=OptimizerConfig(cross_products=True))
+    result = optimize(query, config=OptimizerConfig(algorithm=algorithm))
     assert result.algorithm == algorithm
     assert result.cost >= dp.cost - 1e-9
 
 
 def test_optimize_parallel(query):
-    serial = optimize(query, algorithm="dpsva")
-    parallel = optimize(query, algorithm="dpsva", threads=4)
+    serial = optimize(query, config=OptimizerConfig(algorithm="dpsva"))
+    parallel = optimize(
+        query, config=OptimizerConfig(algorithm="dpsva", threads=4)
+    )
     assert parallel.cost == serial.cost
     assert "sim_report" in parallel.extras
 
 
 def test_optimize_parallel_options(query):
     result = optimize(
-        query, algorithm="dpsize", threads=2, allocation="round_robin"
+        query,
+        config=OptimizerConfig(
+            algorithm="dpsize", threads=2, allocation="round_robin"
+        ),
     )
     assert result.extras["allocation"] == "round_robin"
 
 
 def test_optimize_cost_model(query):
-    result = optimize(query, cost_model=CoutCostModel())
-    reference = optimize(query, algorithm="dpsub", cost_model=CoutCostModel())
+    result = optimize(query, config=OptimizerConfig(cost_model=CoutCostModel()))
+    reference = optimize(
+        query,
+        config=OptimizerConfig(algorithm="dpsub", cost_model=CoutCostModel()),
+    )
     assert result.cost == pytest.approx(reference.cost, rel=1e-12)
 
 
 def test_optimize_unknown_algorithm(query):
     with pytest.raises(ValidationError):
-        optimize(query, algorithm="magic")
+        optimize(query, config=OptimizerConfig(algorithm="magic"))
 
 
 def test_optimize_rejects_orphan_options(query):
     with pytest.raises(ValidationError):
-        optimize(query, allocation="chunked")
+        optimize(query, config=OptimizerConfig(allocation="chunked"))
 
 
 def test_optimize_cross_products(query):
-    result = optimize(query, cross_products=True)
+    result = optimize(query, config=OptimizerConfig(cross_products=True))
     assert result.cost <= optimize(query).cost + 1e-9
 
 

@@ -1,0 +1,387 @@
+"""AsyncOptimizerService: admission, quotas, singleflight, persistence.
+
+The asyncio-native serving tier and its unified request/response API.
+Complements ``test_service.py`` (which exercises the same semantics
+through the synchronous facade) and ``test_sharded_cache.py`` (the cache
+behind it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+
+import pytest
+
+from repro import OptimizerConfig, optimize, optimize_batch
+from repro.plans.validate import validate_plan
+from repro.query.context import QueryContext
+from repro.query.workload import WorkloadSpec, generate_query
+from repro.service import (
+    AsyncOptimizerService,
+    OptimizeRequest,
+    OptimizeResponse,
+    OptimizerService,
+    PERSIST_FORMAT,
+    load_cache_file,
+    spill_cache_file,
+)
+from repro.util.errors import ValidationError
+
+
+def query_for(topology="star", n=8, seed=1):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- request/response schema -------------------------------------------
+
+
+def test_request_validation():
+    query = query_for()
+    assert OptimizeRequest(query).tenant == "default"
+    with pytest.raises(ValidationError):
+        OptimizeRequest(query, timeout=0)
+    with pytest.raises(ValidationError):
+        OptimizeRequest(query, timeout=-1.0)
+    with pytest.raises(ValidationError):
+        OptimizeRequest(query, tenant="")
+
+
+def test_request_of_coercion():
+    query = query_for()
+    request = OptimizeRequest(query, tenant="etl")
+    assert OptimizeRequest.of(request) is request
+    override = OptimizeRequest.of(request, timeout=2.0)
+    assert override.timeout == 2.0 and override.tenant == "etl"
+    coerced = OptimizeRequest.of(query, tenant="adhoc")
+    assert coerced.query is not None and coerced.tenant == "adhoc"
+
+
+def test_response_validation():
+    result = optimize(query_for(n=4))
+    with pytest.raises(ValidationError):
+        OptimizeResponse(result=result, source="wat", fingerprint="f",
+                         elapsed_seconds=0.0)
+    # Shed responses must carry a reason and the degraded flag.
+    with pytest.raises(ValidationError):
+        OptimizeResponse(result=None, source="shed", fingerprint=None,
+                         elapsed_seconds=0.0, degraded=True)
+    with pytest.raises(ValidationError):
+        OptimizeResponse(result=None, source="shed", fingerprint=None,
+                         elapsed_seconds=0.0, degraded=True,
+                         shed_reason="bored")
+    # Non-shed responses must carry a result.
+    with pytest.raises(ValidationError):
+        OptimizeResponse(result=None, source="hit", fingerprint="f",
+                         elapsed_seconds=0.0)
+    shed = OptimizeResponse(result=None, source="shed", fingerprint=None,
+                            elapsed_seconds=0.0, degraded=True,
+                            shed_reason="admission")
+    assert shed.plan is None and shed.cost is None
+
+
+# -- basic serving ------------------------------------------------------
+
+
+def test_async_miss_then_hit():
+    query = query_for()
+
+    async def scenario():
+        async with AsyncOptimizerService(
+            OptimizerConfig(algorithm="dpsize")
+        ) as service:
+            cold = await service.optimize(query)
+            warm = await service.optimize(query)
+            stats = service.stats()
+        return cold, warm, stats
+
+    cold, warm, stats = run(scenario())
+    assert cold.source == "miss" and not cold.degraded
+    assert warm.source == "hit"
+    assert warm.cost == cold.cost
+    assert warm.fingerprint == cold.fingerprint
+    assert stats.optimizations == 1 and stats.hits == 1
+
+
+def test_singleflight_dedups_concurrent_async_misses():
+    # The injected delay keeps the one real optimization on the worker
+    # thread long enough that every other request finds the in-flight
+    # entry and joins it as "shared" instead of racing to a warm cache.
+    query = query_for(seed=3)
+
+    async def scenario():
+        async with AsyncOptimizerService(
+            OptimizerConfig(
+                algorithm="dpsize", cache_shards=4,
+                fault_plan="service:delay@delay=0.2",
+            )
+        ) as service:
+            responses = await asyncio.gather(
+                *(service.optimize(query) for _ in range(8))
+            )
+            stats = service.stats()
+        return responses, stats
+
+    responses, stats = run(scenario())
+    assert stats.optimizations == 1  # one DP run for eight requests
+    sources = sorted(r.source for r in responses)
+    assert sources.count("miss") == 1
+    assert sources.count("shared") == 7
+    assert len({r.cost for r in responses}) == 1
+    assert all(not r.degraded for r in responses)
+
+
+def test_deadline_degrades_to_fallback_plan():
+    query = query_for("clique", 9, seed=5)
+
+    async def scenario():
+        async with AsyncOptimizerService(
+            OptimizerConfig(algorithm="dpsub")
+        ) as service:
+            return await service.optimize(query, timeout=0.001)
+
+    response = run(scenario())
+    assert response.source == "fallback" and response.degraded
+    validate_plan(response.plan, QueryContext(query))
+
+
+def test_service_bound_to_one_loop_and_closed_rejects():
+    query = query_for(n=4)
+    service = run_holder = {}
+
+    async def first():
+        svc = AsyncOptimizerService(OptimizerConfig(algorithm="dpsize"))
+        await svc.optimize(query)
+        run_holder["svc"] = svc
+
+    run(first())
+
+    async def second():
+        with pytest.raises(ValidationError, match="different event loop"):
+            await run_holder["svc"].optimize(query)
+
+    run(second())
+
+    async def third():
+        svc = AsyncOptimizerService(OptimizerConfig(algorithm="dpsize"))
+        await svc.close()
+        with pytest.raises(ValidationError, match="closed"):
+            await svc.optimize(query)
+
+    run(third())
+
+
+# -- admission control --------------------------------------------------
+
+
+def test_admission_sheds_waiting_overflow_and_recovers():
+    slow, other = query_for(seed=11), query_for(seed=12)
+
+    async def scenario():
+        # The one-shot delay fault pins the first miss on the worker
+        # thread so the admission counter is observably at the limit.
+        async with AsyncOptimizerService(
+            OptimizerConfig(
+                algorithm="dpsize", admission_limit=1,
+                fault_plan="service:delay@delay=0.3",
+            )
+        ) as service:
+            first = asyncio.create_task(service.optimize(slow))
+            while service._waiting < 1:  # first request is now suspended
+                await asyncio.sleep(0.001)
+            shed = await service.optimize(other)
+            admitted = await first
+            # Capacity freed: the same query is admitted afterwards.
+            retry = await service.optimize(other)
+            stats = service.stats()
+        return shed, admitted, retry, stats
+
+    shed, admitted, retry, stats = run(scenario())
+    assert shed.source == "shed" and shed.shed_reason == "admission"
+    assert shed.degraded and shed.result is None
+    assert admitted.source == "miss"
+    assert retry.source == "miss" and not retry.degraded
+    assert stats.sheds == 1 and stats.quota_rejections == 0
+
+
+def test_cache_hits_never_shed_under_admission_pressure():
+    hot, cold = query_for(seed=21), query_for(seed=22)
+
+    async def scenario():
+        async with AsyncOptimizerService(
+            OptimizerConfig(
+                algorithm="dpsize", admission_limit=1,
+                fault_plan="service:delay@delay=0.3,count=inf",
+            )
+        ) as service:
+            await service.optimize(hot)  # warm the cache
+            miss = asyncio.create_task(service.optimize(cold))
+            while service._waiting < 1:
+                await asyncio.sleep(0.001)
+            hits = [await service.optimize(hot) for _ in range(5)]
+            await miss
+            stats = service.stats()
+        return hits, stats
+
+    hits, stats = run(scenario())
+    assert all(h.source == "hit" for h in hits)
+    assert stats.sheds == 0
+
+
+# -- per-tenant quotas --------------------------------------------------
+
+
+def test_quota_sheds_greedy_tenant_only():
+    query = query_for(seed=31)
+
+    async def scenario():
+        async with AsyncOptimizerService(
+            OptimizerConfig(
+                algorithm="dpsize", quota_rate=0.5, quota_burst=1
+            )
+        ) as service:
+            ok = await service.optimize(query, tenant="greedy")
+            shed = await service.optimize(query, tenant="greedy")
+            other = await service.optimize(query, tenant="patient")
+            stats = service.stats()
+        return ok, shed, other, stats
+
+    ok, shed, other, stats = run(scenario())
+    assert ok.source == "miss"
+    assert shed.source == "shed" and shed.shed_reason == "quota"
+    assert shed.tenant == "greedy"
+    assert other.source == "hit"  # own bucket, and the plan is cached
+    assert stats.quota_rejections == 1 and stats.sheds == 1
+
+
+# -- warm-start persistence --------------------------------------------
+
+
+def test_warm_start_round_trip(tmp_path):
+    query = query_for(seed=41)
+    config = OptimizerConfig(
+        algorithm="dpsize", warm_start_path=str(tmp_path / "warm.jsonl")
+    )
+
+    async def cold_run():
+        async with AsyncOptimizerService(config) as service:
+            response = await service.optimize(query)
+        return response
+
+    cold = run(cold_run())
+    assert cold.source == "miss"
+
+    async def warm_run():
+        async with AsyncOptimizerService(config) as service:
+            response = await service.optimize(query)
+            stats = service.stats()
+        return response, stats
+
+    warm, stats = run(warm_run())
+    assert stats.warm_start_entries == 1
+    assert warm.source == "hit"
+    assert warm.cost == cold.cost
+    assert warm.result.extras.get("warm_start") is True
+    validate_plan(warm.plan, QueryContext(query))
+
+
+def test_degraded_results_are_not_spilled(tmp_path):
+    path = tmp_path / "warm.jsonl"
+    good = optimize(query_for(n=5, seed=42))
+    degraded = dataclasses.replace(
+        good, extras={**good.extras, "source": "fallback"}
+    )
+    count = spill_cache_file(
+        path, [("good", good), ("bad", degraded)],
+        config_digest="d", algorithm="dpsize",
+    )
+    assert count == 1
+    loaded = load_cache_file(path, config_digest="d")
+    assert [key for key, _ in loaded] == ["good"]
+    restored = loaded[0][1]
+    assert restored.cost == good.cost
+    assert restored.extras.get("warm_start") is True
+
+
+def test_load_rejects_digest_and_format_mismatch(tmp_path):
+    path = tmp_path / "warm.jsonl"
+    result = optimize(query_for(n=5, seed=43))
+    spill_cache_file(path, [("k", result)],
+                     config_digest="digest-a", algorithm="dpsize")
+    with pytest.raises(ValidationError, match="digest"):
+        load_cache_file(path, config_digest="digest-b")
+
+    bogus = tmp_path / "bogus.jsonl"
+    bogus.write_text(json.dumps({"format": "someone.else.v9"}) + "\n")
+    with pytest.raises(ValidationError, match=PERSIST_FORMAT):
+        load_cache_file(bogus, config_digest="digest-a")
+
+
+def test_load_rejects_truncated_file(tmp_path):
+    path = tmp_path / "warm.jsonl"
+    results = [
+        ("k1", optimize(query_for(n=5, seed=44))),
+        ("k2", optimize(query_for(n=5, seed=45))),
+    ]
+    spill_cache_file(path, results, config_digest="d", algorithm="dpsize")
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")  # drop the last entry
+    with pytest.raises(ValidationError):
+        load_cache_file(path, config_digest="d")
+
+
+def test_rejected_warm_start_file_is_ignored_not_fatal(tmp_path):
+    path = tmp_path / "warm.jsonl"
+    path.write_text("this is not json\n")
+    config = OptimizerConfig(
+        algorithm="dpsize", warm_start_path=str(path)
+    )
+
+    async def scenario():
+        async with AsyncOptimizerService(config) as service:
+            response = await service.optimize(query_for(seed=46))
+            stats = service.stats()
+        return response, stats
+
+    response, stats = run(scenario())
+    assert response.source == "miss"  # served fresh, corruption absorbed
+    assert stats.warm_start_entries == 0
+
+
+# -- API alignment ------------------------------------------------------
+
+
+def test_module_level_batch_matches_service_batch():
+    q1, q2 = query_for(seed=51), query_for(seed=52)
+    config = OptimizerConfig(algorithm="dpsize")
+    stream = [OptimizeRequest(q1), OptimizeRequest(q2), OptimizeRequest(q1)]
+
+    module_responses = optimize_batch(stream, config)
+    with OptimizerService(config) as service:
+        service_responses = service.optimize_batch(stream)
+
+    assert len(module_responses) == len(service_responses) == 3
+    for mod, svc in zip(module_responses, service_responses):
+        assert isinstance(mod, OptimizeResponse)
+        assert isinstance(svc, OptimizeResponse)
+        assert mod.cost == svc.cost
+        assert mod.fingerprint == svc.fingerprint
+        assert mod.tenant == svc.tenant == "default"
+    # Identical provenance semantics: one cold optimization per distinct
+    # query, and the duplicate answered from cache/singleflight.
+    assert module_responses[0].source in ("miss", "shared")
+    assert module_responses[2].source in ("hit", "shared")
+
+
+def test_sync_facade_accepts_requests_and_tenants():
+    query = query_for(seed=53)
+    with OptimizerService(OptimizerConfig(algorithm="dpsize")) as service:
+        cold = service.optimize(OptimizeRequest(query, tenant="etl"))
+        warm = service.optimize(query, tenant="etl")
+    assert cold.source == "miss" and cold.tenant == "etl"
+    assert warm.source == "hit" and warm.tenant == "etl"

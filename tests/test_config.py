@@ -5,6 +5,7 @@ and the typed accessors on OptimizationResult.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 
 import pytest
 
@@ -31,7 +32,8 @@ def query_for(topology="cycle", n=7, seed=1):
 @pytest.mark.parametrize("algorithm", ["dpsize", "dpsub", "dpccp", "dpsva"])
 def test_config_and_kwargs_agree_serial(algorithm):
     query = query_for()
-    via_kwargs = optimize(query, algorithm=algorithm)
+    with pytest.warns(DeprecationWarning, match="config="):
+        via_kwargs = optimize(query, algorithm=algorithm)
     via_config = optimize(query, config=OptimizerConfig(algorithm=algorithm))
     assert via_config.cost == via_kwargs.cost
     assert plan_signature(via_config.plan) == plan_signature(via_kwargs.plan)
@@ -40,9 +42,10 @@ def test_config_and_kwargs_agree_serial(algorithm):
 @pytest.mark.parametrize("threads", [1, 4])
 def test_config_and_kwargs_agree_parallel(threads):
     query = query_for("star", 7, seed=2)
-    via_kwargs = optimize(
-        query, algorithm="dpsva", threads=threads, allocation="equi_depth"
-    )
+    with pytest.warns(DeprecationWarning, match="config="):
+        via_kwargs = optimize(
+            query, algorithm="dpsva", threads=threads, allocation="equi_depth"
+        )
     via_config = optimize(
         query,
         config=OptimizerConfig(
@@ -176,8 +179,20 @@ def test_optimize_rejects_config_plus_kwargs():
 
 
 def test_optimize_rejects_unknown_option():
-    with pytest.raises(ValidationError, match="unknown optimizer options"):
-        optimize(query_for(n=4), algorithm="dpsize", turbo=True)
+    with pytest.warns(DeprecationWarning, match="config="):
+        with pytest.raises(ValidationError, match="unknown optimizer options"):
+            optimize(query_for(n=4), algorithm="dpsize", turbo=True)
+
+
+def test_kwargs_shim_is_deprecated():
+    query = query_for(n=4)
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        optimize(query, algorithm="dpsub")
+    # The config= path and the all-defaults call stay silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        optimize(query)
+        optimize(query, config=OptimizerConfig(algorithm="dpsub"))
 
 
 def test_effective_defaults():
@@ -206,7 +221,7 @@ def test_typed_accessors_parallel():
 
 
 def test_typed_accessors_serial_defaults():
-    result = optimize(query_for(n=5), algorithm="dpsize")
+    result = optimize(query_for(n=5), config=OptimizerConfig(algorithm="dpsize"))
     assert result.sim_report is None
     assert result.trace is None
     assert result.work_meter.pairs_considered > 0

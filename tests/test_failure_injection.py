@@ -22,6 +22,7 @@ from repro import (
     ParallelDP,
     Query,
     ReproError,
+    OptimizerConfig,
     StandardCostModel,
     ValidationError,
     optimize,
@@ -120,13 +121,17 @@ def test_all_public_errors_are_repro_errors():
 def test_optimize_bad_inputs():
     query = generate_query(WorkloadSpec("chain", 4))
     with pytest.raises(ValidationError):
-        optimize(query, algorithm="not_an_algorithm")
+        optimize(query, config=OptimizerConfig(algorithm="not_an_algorithm"))
     with pytest.raises(ValidationError):
-        optimize(query, threads=0)
+        optimize(query, config=OptimizerConfig(threads=0))
     with pytest.raises(ValidationError):
-        optimize(query, threads=2, allocation="not_a_scheme")
+        optimize(
+            query, config=OptimizerConfig(threads=2, allocation="not_a_scheme")
+        )
     with pytest.raises(ValidationError):
-        optimize(query, threads=2, backend="not_a_backend")
+        optimize(
+            query, config=OptimizerConfig(threads=2, backend="not_a_backend")
+        )
 
 
 def test_more_threads_than_work():

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro import PDPsva, Workload, WorkloadSpec, optimize
+from repro import OptimizerConfig, PDPsva, Workload, WorkloadSpec, optimize
 from repro.bench import (
     load_manifest,
     plan_to_dict,
@@ -39,7 +39,7 @@ def test_plan_to_dict_roundtrip_structure():
 
 
 def test_result_to_dict_serial(query):
-    result = optimize(query, algorithm="dpsva")
+    result = optimize(query, config=OptimizerConfig(algorithm="dpsva"))
     d = result_to_dict(result)
     assert d["algorithm"] == "dpsva"
     assert d["cost"] == result.cost

@@ -121,7 +121,7 @@ def test_hit_returns_identical_result_and_provenance():
     assert warm.source == "hit" and not warm.degraded
     assert warm.result is cold.result  # the cached object itself
     assert warm.fingerprint == cold.fingerprint
-    reference = optimize(query, algorithm="dpsize")
+    reference = optimize(query, config=OptimizerConfig(algorithm="dpsize"))
     assert cold.cost == reference.cost
 
 

@@ -1,0 +1,179 @@
+"""Sharding invariants of ShardedPlanCache.
+
+The cache behind the async serving tier splits its key space N ways so
+concurrent hits contend on per-shard locks instead of one global lock.
+These tests pin the invariants the tier relies on: stable key routing,
+eviction confined to the owning shard, aggregated counters equal to the
+sum of the per-shard counters, and a catalog version kept coherent
+across every shard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import PlanCache, ShardedPlanCache, shard_index
+from repro.trace import RecordingTracer, per_cache_rows
+from repro.util.errors import ValidationError
+
+
+# -- key routing --------------------------------------------------------
+
+
+def test_shard_index_is_stable_and_bounded():
+    keys = [f"fingerprint-{i}" for i in range(200)]
+    first = [shard_index(k, 8) for k in keys]
+    second = [shard_index(k, 8) for k in keys]
+    assert first == second  # deterministic, PYTHONHASHSEED-independent
+    assert all(0 <= s < 8 for s in first)
+    # The blake2b route actually spreads keys: every shard gets traffic.
+    assert len(set(first)) == 8
+
+
+def test_shard_of_matches_module_function():
+    cache = ShardedPlanCache(shards=4)
+    for key in ("a", "b", "c", "0123abc"):
+        assert cache.shard_of(key) == shard_index(key, 4)
+
+
+def test_single_shard_degenerates_to_one_cache():
+    assert all(shard_index(f"k{i}", 1) == 0 for i in range(32))
+
+
+# -- routing + round trips ---------------------------------------------
+
+
+def test_roundtrip_and_membership():
+    cache = ShardedPlanCache(shards=4, max_entries=64)
+    for i in range(32):
+        cache.put(f"k{i}", i)
+    assert len(cache) == 32
+    assert all(f"k{i}" in cache for i in range(32))
+    assert cache.get("k7") == 7
+    assert cache.get("missing", "fallback") == "fallback"
+    assert sorted(cache.keys()) == sorted(f"k{i}" for i in range(32))
+    assert dict(cache.items())["k9"] == 9
+
+
+def test_eviction_is_confined_to_one_shard():
+    # Total capacity 8 over 4 shards -> 2 entries per shard.  Overfilling
+    # one shard evicts only within it; other shards keep everything.
+    cache = ShardedPlanCache(shards=4, max_entries=8)
+    per_shard = 8 // 4
+    by_shard: dict[int, list[str]] = {s: [] for s in range(4)}
+    i = 0
+    while any(len(keys) < per_shard + 2 for keys in by_shard.values()):
+        key = f"key-{i}"
+        by_shard[cache.shard_of(key)].append(key)
+        i += 1
+    target_shard = 0
+    target_keys = by_shard[target_shard]
+    victim_shards = {s: ks[:per_shard] for s, ks in by_shard.items()
+                     if s != target_shard}
+    # Fill every *other* shard exactly to capacity.
+    for keys in victim_shards.values():
+        for key in keys:
+            cache.put(key, key)
+    # Now overfill the target shard.
+    for key in target_keys:
+        cache.put(key, key)
+    stats = cache.shard_stats()
+    assert stats[target_shard].evictions == len(target_keys) - per_shard
+    for shard, keys in victim_shards.items():
+        assert stats[shard].evictions == 0
+        for key in keys:
+            assert cache.get(key) == key  # untouched by the hot shard
+
+
+def test_ttl_expiry_per_shard_with_fake_clock():
+    clock = [0.0]
+    cache = ShardedPlanCache(
+        shards=4, max_entries=16, ttl_seconds=10.0, clock=lambda: clock[0]
+    )
+    cache.put("early", 1)
+    clock[0] = 8.0
+    cache.put("late", 2)
+    clock[0] = 12.0
+    assert cache.get("early") is None  # expired
+    assert cache.get("late") == 2      # still fresh
+    assert cache.stats().stale == 1
+
+
+# -- aggregated counters ------------------------------------------------
+
+
+def test_stats_is_sum_of_shard_stats():
+    cache = ShardedPlanCache(shards=4, max_entries=8)
+    for i in range(24):
+        cache.put(f"k{i}", i)
+    for i in range(24):
+        cache.get(f"k{i}")
+    cache.get("nope")
+    total = cache.stats()
+    shards = cache.shard_stats()
+    for field in ("hits", "misses", "evictions", "stale", "invalidated",
+                  "entries"):
+        assert getattr(total, field) == sum(
+            getattr(s, field) for s in shards
+        ), field
+    assert total.entries == len(cache) <= 8
+
+
+def test_trace_counters_aggregate_under_one_tier():
+    tracer = RecordingTracer()
+    cache = ShardedPlanCache(
+        shards=4, max_entries=16, tier="plan", tracer=tracer
+    )
+    for i in range(8):
+        cache.put(f"k{i}", i)
+        cache.get(f"k{i}")
+    cache.get("missing")
+    rows = per_cache_rows(tracer.events)
+    assert len(rows) == 1  # every shard shares the tier label
+    assert rows[0]["tier"] == "plan"
+    assert rows[0]["hits"] == 8
+    assert rows[0]["misses"] == 1
+
+
+# -- version coherence --------------------------------------------------
+
+
+def test_bump_version_covers_every_shard():
+    cache = ShardedPlanCache(shards=4, max_entries=32)
+    for i in range(16):
+        cache.put(f"k{i}", i)
+    assert cache.version == 0
+    new_version = cache.bump_version()
+    assert new_version == 1
+    assert cache.version == 1
+    # Every entry in every shard is now version-stale.
+    assert all(cache.get(f"k{i}") is None for i in range(16))
+    assert cache.stats().invalidated == 16
+
+
+def test_invalidate_one_key_and_all():
+    cache = ShardedPlanCache(shards=4, max_entries=32)
+    for i in range(12):
+        cache.put(f"k{i}", i)
+    assert cache.invalidate("k3") == 1
+    assert cache.get("k3") is None
+    assert cache.invalidate() == 11
+    assert len(cache) == 0
+
+
+# -- validation ---------------------------------------------------------
+
+
+def test_sharded_cache_validation():
+    with pytest.raises(ValidationError):
+        ShardedPlanCache(shards=0)
+    with pytest.raises(ValidationError):
+        ShardedPlanCache(shards=4, max_entries=0)
+
+
+def test_capacity_splits_evenly():
+    cache = ShardedPlanCache(shards=4, max_entries=10)
+    # ceil(10/4) = 3 per shard.
+    assert all(s.max_entries == 3 for s in cache._shards)
+    plain = PlanCache(max_entries=10)
+    assert plain.max_entries == 10

@@ -136,7 +136,9 @@ def test_parallel_backends_emit_strata_and_workers(backend):
             algorithm="dpsize", threads=4, backend=backend, tracer=tracer
         ),
     )
-    serial = optimize(query_for(n=7), algorithm="dpsize")
+    serial = optimize(
+        query_for(n=7), config=OptimizerConfig(algorithm="dpsize")
+    )
     assert result.cost == serial.cost
     sizes = sorted(e.attrs["size"] for e in tracer.spans("stratum"))
     assert sizes == [2, 3, 4, 5, 6, 7]
@@ -168,7 +170,7 @@ def test_process_backend_aggregates_child_spans():
 
 
 def test_disabled_tracing_leaves_no_extras():
-    result = optimize(query_for(n=6), algorithm="dpsize")
+    result = optimize(query_for(n=6), config=OptimizerConfig(algorithm="dpsize"))
     assert result.trace is None
     assert "trace" not in result.extras
 
