@@ -22,6 +22,7 @@ from repro.bench import (
     run_serial_grid,
     save_manifest,
     serving_throughput,
+    shm_comparison,
     size_scaling,
     speedup_curve,
     sva_effectiveness,
@@ -148,6 +149,12 @@ def main(argv=None) -> int:
             warm_start_path=str(Path(tmp) / "plancache.jsonl"),
         )
     publish(args.out, "e14_serving", rows, {"experiment": "E14"})
+
+    rows = shm_comparison(
+        "clique", 10 if quick else 14, threads=4,
+        repeats=1 if quick else 3, seed=15,
+    )
+    publish(args.out, "e15_shm", rows, {"experiment": "E15"})
 
     print(f"\ndone in {time.perf_counter() - started:.1f}s "
           f"(E6/E8 need timing fixtures; run them via pytest benchmarks/)")

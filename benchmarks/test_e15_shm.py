@@ -1,0 +1,51 @@
+"""E15 — shared-memory memo versus packed wire on the process backend.
+
+The shm tier (PR 7) replaces the per-stratum delta broadcast over worker
+pipes with named shared-memory segments: the master publishes the SoA
+memo's row tail once per barrier, workers attach and splice, and replies
+carry only winner rows through per-worker slots.  Pipe traffic collapses
+to fixed-size control messages.  On top, the numpy kernels (optional
+``perf`` extra) vectorize the DPsize/DPsub filter loops and batch the
+candidate costing.
+
+Expected shape at clique-14 (the stress topology — widest strata, so the
+wire hop is at its most expensive): the ``shm`` row beats the ``wire``
+baseline on wall clock and ships ≥10× fewer pipe bytes (in practice
+hundreds of times fewer — descriptors are O(1) per message); ``shm+vec``
+adds a clear further speedup.  Parity (bit-identical memo, same optimum)
+is asserted inside the runner on the measured runs themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, shm_comparison
+from repro.memo.shm import list_segments, shm_available
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def test_e15_shm_comparison(publish, quick):
+    n, repeats = (10, 1) if quick else (14, 3)
+    rows = shm_comparison("clique", n, threads=4, repeats=repeats, seed=15)
+    publish("e15_shm", format_table(rows), rows)
+
+    by_mode = {r["mode"]: r for r in rows}
+    assert "wire" in by_mode and "shm" in by_mode
+
+    # The headline byte claim: shm ships at least 10× fewer bytes over
+    # the pipes per run (and therefore per stratum — descriptor size is
+    # constant while packed deltas scale with stratum width).
+    assert by_mode["shm"]["pipe_reduction"] >= 10.0
+
+    if not quick:
+        # The headline wall-clock claim at clique-14.
+        assert by_mode["shm"]["speedup"] > 1.0
+        if "shm+vec" in by_mode:
+            assert by_mode["shm+vec"]["speedup"] > 1.0
+
+    # Runs must not leak segments.
+    assert list_segments() == []

@@ -25,6 +25,7 @@ from repro.bench.runner import (
     real_backend_allocation,
     run_serial_grid,
     serving_throughput,
+    shm_comparison,
     size_scaling,
     speedup_curve,
     sva_effectiveness,
@@ -54,4 +55,5 @@ __all__ = [
     "wire_volume",
     "fault_tolerance",
     "serving_throughput",
+    "shm_comparison",
 ]

@@ -554,6 +554,92 @@ def wire_volume(
     return rows
 
 
+def shm_comparison(
+    topology: str = "clique",
+    n: int = 14,
+    algorithm: str = "dpsize",
+    threads: int = 4,
+    repeats: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """E15: shared-memory memo versus packed wire on the process backend.
+
+    One row per transport mode — ``wire`` (packed deltas over pipes, the
+    baseline), ``shm`` (shared-memory descriptors + winner rows), and
+    ``shm+vec`` (shm plus the numpy kernels, present only when numpy is
+    importable).  ``wall_seconds`` is the best of ``repeats`` runs;
+    ``pipe_bytes`` is the executor's approximate accounting of what
+    actually crossed the worker pipes, which is the quantity shm
+    collapses to fixed-size control messages.  The shm rows additionally
+    report the segment traffic that replaced the pipe hop.  Every mode is
+    checked to land on a bit-identical memo and the same optimum before
+    rows are returned.
+    """
+    from repro.config import OptimizerConfig
+    from repro.memo.shm import shm_available
+    from repro.util.vectorize import numpy_available
+
+    query = generate_query(WorkloadSpec(topology, n, seed=seed))
+    modes = [("wire", False, False), ("shm", True, False)]
+    if numpy_available():
+        modes.append(("shm+vec", True, None))
+
+    def snapshot(memo):
+        return {
+            e.mask: (e.cost, e.rows, e.left, e.right, int(e.method))
+            for e in memo.entries()
+        }
+
+    rows: list[dict] = []
+    baseline = None
+    for mode, shared, vectorize in modes:
+        if shared and not shm_available():  # pragma: no cover - CI guard
+            continue
+        best = None
+        for _ in range(max(1, repeats)):
+            dp = ParallelDP(
+                config=OptimizerConfig(
+                    algorithm=algorithm,
+                    threads=threads,
+                    backend="processes",
+                    shared_memo=shared,
+                    vectorize=vectorize,
+                )
+            )
+            dp.keep_memo = True
+            result = dp.optimize(query)
+            if best is None or result.elapsed_seconds < best[0].elapsed_seconds:
+                best = (result, snapshot(dp.last_memo))
+        result, snap = best
+        if baseline is None:
+            baseline = (result, snap)
+        else:
+            assert snap == baseline[1], f"{mode}: memo diverged from wire"
+            assert result.cost == baseline[0].cost
+        shm_info = result.extras.get("shm") or {}
+        rows.append(
+            {
+                "topology": topology,
+                "n": n,
+                "algorithm": algorithm,
+                "threads": threads,
+                "mode": mode,
+                "wall_seconds": result.elapsed_seconds,
+                "pipe_bytes": result.extras["approx_bytes_sent"],
+                "segment_bytes": shm_info.get("segment_bytes", 0),
+                "published_bytes": shm_info.get("published_bytes", 0),
+                "winner_bytes": shm_info.get("winner_bytes", 0),
+                "rounds": result.extras["rounds"],
+                "cost": result.cost,
+            }
+        )
+    wire = rows[0]
+    for row in rows:
+        row["speedup"] = wire["wall_seconds"] / row["wall_seconds"]
+        row["pipe_reduction"] = wire["pipe_bytes"] / max(1, row["pipe_bytes"])
+    return rows
+
+
 def heuristic_quality(
     topologies,
     n: int,

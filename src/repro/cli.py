@@ -44,6 +44,7 @@ from repro.bench import (
     render_curve,
     run_serial_grid,
     serving_throughput,
+    shm_comparison,
     speedup_curve,
     sva_effectiveness,
     wire_volume,
@@ -177,7 +178,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--experiment",
         choices=(
             "serial", "sva", "speedup", "allocation", "real-allocation",
-            "cache", "kernels", "faults", "serving",
+            "cache", "kernels", "faults", "serving", "shm",
         ),
         default="speedup",
     )
@@ -445,6 +446,13 @@ def _cmd_bench(args) -> int:
             distinct=max(4, args.queries),
             requests_per_client=50,
             clients=max(args.threads),
+        )
+        print(format_table(rows))
+    elif args.experiment == "shm":
+        rows = shm_comparison(
+            args.topology, args.relations,
+            threads=max(args.threads),
+            repeats=max(1, args.queries), seed=args.seed,
         )
         print(format_table(rows))
     elif args.experiment == "real-allocation":

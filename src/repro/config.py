@@ -99,6 +99,12 @@ _ROBUSTNESS = ("retry_limit", "retry_backoff", "fault_plan")
 either reproduces the exact optimum or returns an uncached degraded
 result — cached plans are always fault-free optima."""
 
+_RESULT_INVARIANT = ("shared_memo", "vectorize")
+"""Execution-strategy knobs verified bit-identical by the parity harness
+(tests/test_fast_path_parity.py, tests/test_vec_kernels.py); excluded
+from the plan digest so toggling them never invalidates cached plans or
+spilled warm-start files."""
+
 
 @dataclass(frozen=True)
 class OptimizerConfig:
@@ -165,6 +171,21 @@ class OptimizerConfig:
             batched costing disagrees with its per-method costing).  Set
             False to force the reference implementation, e.g. for A/B
             timing (see ``docs/performance.md``).
+        shared_memo: Parallel runs on the ``processes`` backend only —
+            keep the memo in named shared-memory segments
+            (:mod:`repro.memo.shm`) so workers attach zero-copy and ship
+            back only their winner rows, instead of the per-stratum wire
+            broadcast.  Eligibility is probed at run time (POSIX shared
+            memory, SoA-compatible memo) with automatic fallback to the
+            wire path; results are identical either way.  Other backends
+            ignore the flag.  See ``docs/memory.md``.
+        vectorize: Tri-state numpy upgrade of the fast path: ``None``
+            (the default) and ``True`` run the vectorized memo costing
+            and filter kernels when numpy (the optional ``perf`` extra)
+            is importable; ``False`` forces the pure list-comprehension
+            kernels.  Requesting ``True`` without numpy degrades
+            gracefully — it is a capability probe, not a hard dependency.
+            Results are identical in every case.
     """
 
     algorithm: str = "dpsize"
@@ -190,6 +211,8 @@ class OptimizerConfig:
     retry_backoff: float | None = None
     fault_plan: object | None = None
     fast_path: bool = True
+    shared_memo: bool = False
+    vectorize: bool | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALL_ALGORITHMS:
@@ -218,6 +241,11 @@ class OptimizerConfig:
                     f"options {set_options} only apply to parallel runs; "
                     f"set threads= (or drop them)"
                 )
+        if self.shared_memo and self.threads is None:
+            raise ValidationError(
+                "shared_memo only applies to parallel runs; set threads= "
+                "(and backend='processes')"
+            )
         if self.backend is not None and self.backend not in EXECUTORS:
             raise ValidationError(
                 f"unknown backend {self.backend!r}; expected one of "
@@ -465,11 +493,16 @@ class OptimizerConfig:
         digest are guaranteed to choose the same plan for the same query.
         Excluded by construction: the tracer (observability never changes
         the plan), the service knobs (they size the serving layer, not
-        the search), and the fault-tolerance knobs (recovery reproduces
-        the exact optimum or degrades without caching).
+        the search), the fault-tolerance knobs (recovery reproduces
+        the exact optimum or degrades without caching), and the
+        result-invariant execution knobs ``shared_memo``/``vectorize``
+        (bit-identical by the parity harness).
         """
         excluded = (
-            set(_SERVICE_ONLY) | set(_ROBUSTNESS) | {"tracer", "cost_model"}
+            set(_SERVICE_ONLY)
+            | set(_ROBUSTNESS)
+            | set(_RESULT_INVARIANT)
+            | {"tracer", "cost_model"}
         )
         parts = [
             f"{f.name}={getattr(self, f.name)!r}"
@@ -501,6 +534,7 @@ class OptimizerConfig:
                 cross_products=self.cross_products,
                 tracer=self.effective_tracer,
                 fast_path=self.fast_path,
+                vectorize=self.vectorize,
             )
         if self.algorithm == "dpsva":
             from repro.sva.dpsva import DPsva
@@ -509,6 +543,7 @@ class OptimizerConfig:
                 cross_products=self.cross_products,
                 tracer=self.effective_tracer,
                 fast_path=self.fast_path,
+                vectorize=self.vectorize,
             )
         if self.algorithm == "exhaustive":
             from repro.enumerate.exhaustive import ExhaustiveEnumerator

@@ -19,6 +19,8 @@ from repro.cost.model import CostModel, StandardCostModel
 from repro.memo.counters import WorkMeter
 from repro.memo.soa import SoAMemo, soa_compatible
 from repro.memo.table import Memo, extract_plan
+from repro.memo.vec import VecSoAMemo
+from repro.util.vectorize import resolve_vectorize
 from repro.plans.nodes import PlanNode
 from repro.query.context import QueryContext
 from repro.query.joingraph import Query
@@ -105,6 +107,11 @@ class Enumerator(ABC):
             eligible (``soa_compatible``); falls back to the reference
             path automatically otherwise.  Results — plan, cost, memo
             contents, and meter totals — are identical either way.
+        vectorize: Tri-state numpy upgrade of the fast path: ``None``
+            (default) and ``True`` use the vectorized memo and filter
+            kernels when numpy is importable, ``False`` forces the pure
+            list-comprehension kernels.  Only applies where the fast path
+            itself applies; results are identical in every case.
     """
 
     name: str = "enumerator"
@@ -114,10 +121,12 @@ class Enumerator(ABC):
         cross_products: bool = False,
         tracer: Tracer | None = None,
         fast_path: bool = True,
+        vectorize: bool | None = None,
     ) -> None:
         self.cross_products = cross_products
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.fast_path = fast_path
+        self.vectorize = resolve_vectorize(vectorize)
 
     def _use_fast_path(self, ctx: QueryContext, cost_model: CostModel) -> bool:
         """Fast path requested *and* eligible for this (query, model)?"""
@@ -138,7 +147,10 @@ class Enumerator(ABC):
         meter = WorkMeter()
         estimator = CardinalityEstimator(ctx, meter=meter)
         tracer = self.tracer
-        memo_cls = SoAMemo if self._use_fast_path(ctx, cost_model) else Memo
+        if self._use_fast_path(ctx, cost_model):
+            memo_cls = VecSoAMemo if self.vectorize else SoAMemo
+        else:
+            memo_cls = Memo
         memo = memo_cls(
             ctx, cost_model, estimator=estimator, meter=meter, tracer=tracer
         )

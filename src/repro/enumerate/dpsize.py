@@ -17,6 +17,7 @@ import math
 
 from repro.enumerate.base import Enumerator
 from repro.enumerate.kernels import dpsize_pair_kernel, dpsize_pair_kernel_fast
+from repro.enumerate.vkernels import dpsize_pair_kernel_vec
 from repro.memo.table import Memo
 from repro.trace.metrics import stratum_scope
 from repro.trace.tracer import Tracer
@@ -43,9 +44,11 @@ class DPsize(Enumerator):
         plan_space: str = "bushy",
         tracer: Tracer | None = None,
         fast_path: bool = True,
+        vectorize: bool | None = None,
     ) -> None:
         super().__init__(
-            cross_products=cross_products, tracer=tracer, fast_path=fast_path
+            cross_products=cross_products, tracer=tracer,
+            fast_path=fast_path, vectorize=vectorize,
         )
         if plan_space not in ("bushy", "left_deep"):
             raise ValueError(
@@ -58,7 +61,12 @@ class DPsize(Enumerator):
         n = ctx.n
         require_connected = not self.cross_products
         tracer = self.tracer
-        kernel = dpsize_pair_kernel_fast if self.fast_path else dpsize_pair_kernel
+        if getattr(memo, "vectorized", False):
+            kernel = dpsize_pair_kernel_vec
+        elif self.fast_path:
+            kernel = dpsize_pair_kernel_fast
+        else:
+            kernel = dpsize_pair_kernel
         for size in range(2, n + 1):
             outer_sizes = (
                 range(1, size)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.enumerate.base import Enumerator
 from repro.enumerate.kernels import dpsub_block_kernel, dpsub_block_kernel_fast
+from repro.enumerate.vkernels import dpsub_block_kernel_vec
 from repro.memo.table import Memo
 from repro.trace.metrics import stratum_scope
 from repro.util.bitsets import subsets_of_size
@@ -29,7 +30,12 @@ class DPsub(Enumerator):
         ctx = memo.ctx
         require_connected = not self.cross_products
         tracer = self.tracer
-        kernel = dpsub_block_kernel_fast if self.fast_path else dpsub_block_kernel
+        if getattr(memo, "vectorized", False):
+            kernel = dpsub_block_kernel_vec
+        elif self.fast_path:
+            kernel = dpsub_block_kernel_fast
+        else:
+            kernel = dpsub_block_kernel
         for size in range(2, ctx.n + 1):
             with stratum_scope(tracer, memo.meter, size, algorithm=self.name):
                 candidates = dpsub_stratum_candidates(ctx, size)

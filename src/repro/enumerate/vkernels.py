@@ -1,0 +1,165 @@
+"""Vectorized enumeration kernels (numpy over the bitmask columns).
+
+The third kernel tier, above the reference and fused (``*_fast``)
+kernels in :mod:`repro.enumerate.kernels`: the candidate *filters* run as
+elementwise numpy operations over a ``uint64`` view of the stratum mask
+lists — HoneyComb-style flat columnar traversal of the join space —
+while the surviving pairs still flow through the memo's batched
+``consider_joins``/``consider_pairs`` API (vectorized costing when the
+memo is a :class:`~repro.memo.vec.VecSoAMemo`).
+
+All mask arithmetic is integer and exact, so the surviving-pair sets —
+and therefore memo contents and meter totals — are identical to the
+fused kernels by construction; ``tests/test_vec_kernels.py`` and the
+parity harness hold all three tiers to bit-for-bit equality.
+
+* **DPsize** — per outer set, disjointness (``inner & outer == 0``) and
+  connectivity (``inner & adj_union(outer) != 0``) filter the whole inner
+  stratum in two vector ops; rejection counts fall out of population
+  counts.
+* **DPsub** — per result set, the descending ``(sub-1) & S`` submask walk
+  is generated in closed form: selector integers ``2^k-2 .. 1`` expanded
+  through the set's bit weights (order-preserving, so the split sequence
+  matches the scalar walk exactly), with operand existence tested by one
+  fancy-indexed load from the memo's dense presence table.
+
+Every kernel degrades to its fused sibling when numpy or a required memo
+capability is absent — callers can select the vec tier unconditionally.
+"""
+
+from __future__ import annotations
+
+from repro.enumerate.kernels import (
+    dpsize_pair_kernel_fast,
+    dpsub_block_kernel_fast,
+)
+from repro.memo.counters import WorkMeter
+from repro.memo.table import Memo
+from repro.query.context import QueryContext
+from repro.util.vectorize import np as _np
+
+
+def dpsize_pair_kernel_vec(
+    memo: Memo,
+    ctx: QueryContext,
+    outer_sets: list[int],
+    inner_sets: list[int],
+    outer_start: int,
+    outer_stop: int,
+    require_connected: bool,
+    meter: WorkMeter,
+) -> None:
+    """Vectorized DPsize inner loop; parity-equal to the fused kernel."""
+    if _np is None:
+        dpsize_pair_kernel_fast(
+            memo, ctx, outer_sets, inner_sets, outer_start, outer_stop,
+            require_connected, meter,
+        )
+        return
+    np = _np
+    inner_arr = np.array(inner_sets, dtype=np.uint64)
+    inner_count = len(inner_sets)
+    adj_union = ctx.adj_union
+    consider_joins = memo.consider_joins
+    zero = np.uint64(0)
+    pairs_local = 0
+    disjoint_local = 0
+    conn_checks_local = 0
+    conn_fail_local = 0
+    valid_local = 0
+    for i in range(outer_start, outer_stop):
+        outer = outer_sets[i]
+        pairs_local += inner_count
+        free_sel = (inner_arr & np.uint64(outer)) == zero
+        free_count = int(np.count_nonzero(free_sel))
+        disjoint_local += inner_count - free_count
+        if require_connected:
+            conn_checks_local += free_count
+            nbr = np.uint64(adj_union(outer))
+            valid = inner_arr[free_sel & ((inner_arr & nbr) != zero)].tolist()
+            conn_fail_local += free_count - len(valid)
+        else:
+            valid = inner_arr[free_sel].tolist()
+        valid_local += len(valid)
+        consider_joins(outer, valid, meter)
+    meter.pairs_considered += pairs_local
+    meter.disjoint_fail += disjoint_local
+    meter.conn_checks += conn_checks_local
+    meter.connectivity_fail += conn_fail_local
+    meter.pairs_valid += valid_local
+
+
+def dpsub_block_kernel_vec(
+    memo: Memo,
+    ctx: QueryContext,
+    candidate_masks: list[int],
+    start: int,
+    stop: int,
+    require_connected: bool,
+    meter: WorkMeter,
+) -> None:
+    """Vectorized DPsub inner loop; parity-equal to the fused kernel.
+
+    Requires the memo's dense presence table when connectivity is
+    enforced (``VecSoAMemo.presence_array``); otherwise delegates to the
+    fused kernel.
+    """
+    presence = getattr(memo, "presence_array", None)
+    if _np is None or (require_connected and presence is None):
+        dpsub_block_kernel_fast(
+            memo, ctx, candidate_masks, start, stop, require_connected,
+            meter,
+        )
+        return
+    np = _np
+    consider_pairs = memo.consider_pairs
+    is_connected = ctx.is_connected
+    one = np.uint64(1)
+    conn_checks_local = 0
+    conn_fail_local = 0
+    steps_local = 0
+    missing_local = 0
+    valid_local = 0
+    for idx in range(start, stop):
+        result = candidate_masks[idx]
+        if require_connected:
+            conn_checks_local += 1
+            if not is_connected(result):
+                conn_fail_local += 1
+                continue
+        k = result.bit_count()
+        nsubs = (1 << k) - 2
+        steps_local += nsubs
+        if nsubs <= 0:
+            continue
+        # Selector integers 2^k-2 .. 1 expanded through the ascending bit
+        # weights of ``result`` enumerate exactly the proper non-empty
+        # submasks in descending numeric order — the scalar
+        # ``(sub-1) & S`` walk's sequence, in closed form.
+        selectors = np.arange(nsubs, 0, -1, dtype=np.uint64)
+        subs = np.zeros(nsubs, dtype=np.uint64)
+        rest = result
+        j = 0
+        while rest:
+            weight = rest & -rest
+            subs |= ((selectors >> np.uint64(j)) & one) * np.uint64(weight)
+            rest ^= weight
+            j += 1
+        comps = np.uint64(result) ^ subs
+        if require_connected:
+            ok = presence[subs] & presence[comps]
+            sub_list = subs[ok].tolist()
+            comp_list = comps[ok].tolist()
+            missing_local += nsubs - len(sub_list)
+        else:
+            sub_list = subs.tolist()
+            comp_list = comps.tolist()
+        splits = list(zip(sub_list, comp_list))
+        valid_local += len(splits)
+        consider_pairs(splits, meter)
+    meter.conn_checks += conn_checks_local
+    meter.connectivity_fail += conn_fail_local
+    meter.submask_steps += steps_local
+    meter.pairs_considered += steps_local
+    meter.operand_missing += missing_local
+    meter.pairs_valid += valid_local

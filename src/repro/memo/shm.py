@@ -1,0 +1,411 @@
+"""Shared-memory memo tier — zero-copy stratum publishing for the
+process backend.
+
+The multiprocessing executor's replicas historically stayed consistent by
+shipping every completed stratum over a pipe to every worker (see
+:mod:`repro.parallel.wire`).  This module replaces that per-stratum wire
+hop with POSIX shared memory: the master lays the SoA memo columns into a
+named ``multiprocessing.shared_memory`` segment, workers attach read-only
+and splice new rows straight into their replicas, and each worker ships
+back only its **winner rows** (the rows it inserted this stratum) through
+a small per-worker shared-memory slot.  Pipe traffic drops to fixed-size
+control tuples regardless of stratum width.
+
+Layout
+------
+Segments hold rows in the SoA column order at fixed offsets.  For a
+segment of capacity ``C`` rows (``C = nbytes // ROW_BYTES``, 41 bytes per
+row)::
+
+    [0,    8C)  mask    uint64      [24C, 32C)  left    uint64
+    [8C,  16C)  cost    float64     [32C, 40C)  right   uint64
+    [16C, 24C)  rows    float64     [40C, 41C)  method  uint8
+
+Protocol
+--------
+* **Publish** (master, at each stratum barrier): copy the memo's new row
+  tail into the segment.  Rows are append-only and stratum-ordered, so
+  the published prefix is immutable — readers never race a writer.
+* **Grow**: a bigger segment is a new *generation* with a fresh name; the
+  master copies the full row prefix in, unlinks the old name immediately
+  (POSIX keeps live mappings valid), and the new name travels in the next
+  sync descriptor.  Workers re-attach when the name changes.
+* **Sync** (worker, on each stratum message): drop the replica's own
+  overlay rows (its previous stratum's speculative inserts), splice in
+  the published rows it has not applied yet, and start a new overlay.  A
+  descriptor whose published count equals the applied count is a
+  mid-stratum re-dispatch — the overlay is kept, mirroring the wire
+  path's accumulate semantics.
+* **Winners** (worker, per reply): bulk-copy the overlay rows into the
+  worker's winner slot and reply with just the row count; the master
+  reads the slot and min-merges.  A slot too small for the overlay falls
+  back to the classic packed wire reply and the master grows the slot.
+
+Ownership and cleanup
+---------------------
+The **master creates and unlinks every segment**; workers only attach
+and close.  Unlinks happen in :meth:`MasterShm.close` (reached via the
+scheduler's ``finally``, so mid-stratum exceptions clean up too), in
+:meth:`MasterShm.retire_worker` for a dead worker's slot, and eagerly on
+grow.  The one unavoidable leak is a hard kill of the *master* itself
+(``SIGKILL`` skips ``finally``); ``docs/memory.md`` documents how to find
+and remove such orphans under ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from array import array
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+
+#: Name prefix of every segment this module creates; the troubleshooting
+#: story (and the hygiene tests) key off it.
+SEGMENT_PREFIX = "repro-shm"
+
+#: Bytes per row: mask/cost/rows/left/right at 8 bytes each + 1 method byte.
+ROW_BYTES = 41
+
+#: First element of a sync-descriptor delta
+#: ``(DESCRIPTOR_TAG, segment_name, published_rows, winner_name)``.
+DESCRIPTOR_TAG = "shm"
+
+#: First element of a master-side winner payload
+#: ``(WINNER_TAG, masks, costs, rows, lefts, rights, methods)`` — same
+#: column shape as the packed wire format, sourced from a winner slot.
+WINNER_TAG = "shmwin"
+
+#: Nominal pickled size of one shm control message (descriptor or winner
+#: reply header) for the executor's approximate byte accounting — the
+#: actual pipe traffic in shm mode, replacing per-entry payload bytes.
+CONTROL_NBYTES = 64
+
+_COLUMN_WIDTHS = (8, 8, 8, 8, 8, 1)
+_COLUMN_CODES = ("Q", "d", "d", "Q", "Q", "B")
+
+#: Initial winner-slot capacity in rows (~168 KiB per worker).  Slots
+#: grow on overflow, so this only sets where growth starts.
+WINNER_SLOT_ROWS = 4096
+
+_SEQ = itertools.count()
+
+_available: bool | None = None
+
+
+def shm_available() -> bool:
+    """True when named shared memory actually works here (probed once).
+
+    Creating a probe segment also starts the ``resource_tracker`` helper
+    process, which callers rely on happening *before* workers fork (forked
+    children must inherit the tracker connection, not spawn their own).
+    """
+    global _available
+    if _available is not None:
+        return _available
+    if _shared_memory is None:
+        _available = False
+        return False
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=16)
+        probe.close()
+        probe.unlink()
+        _available = True
+    except Exception:  # pragma: no cover - e.g. /dev/shm unavailable
+        _available = False
+    return _available
+
+
+def list_segments() -> list[str]:
+    """Names of live ``repro-shm-*`` segments on this host.
+
+    Linux keeps named segments as files under ``/dev/shm``; elsewhere (or
+    when the directory is missing) this returns an empty list.  The
+    hygiene tests and the troubleshooting docs use this to prove nothing
+    leaked.
+    """
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:  # pragma: no cover - non-Linux
+        return []
+    return sorted(n for n in names if n.startswith(SEGMENT_PREFIX))
+
+
+def _next_name() -> str:
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_SEQ)}"
+
+
+class RowSegment:
+    """One fixed-layout columnar row buffer in a named segment.
+
+    Created by the master (``create``) and attached by workers
+    (``attach``); capacity is derived from the buffer size on both sides,
+    which agree because segments are created with an exact byte size.
+    """
+
+    def __init__(self, shm, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.capacity = len(shm.buf) // ROW_BYTES
+        cap = self.capacity
+        offsets = []
+        off = 0
+        for width in _COLUMN_WIDTHS:
+            offsets.append(off)
+            off += width * cap
+        self._offsets = tuple(offsets)
+
+    @classmethod
+    def create(cls, capacity: int) -> "RowSegment":
+        """Master side: allocate a fresh segment holding ``capacity`` rows."""
+        while True:
+            try:
+                shm = _shared_memory.SharedMemory(
+                    name=_next_name(), create=True,
+                    size=max(1, capacity) * ROW_BYTES,
+                )
+                return cls(shm, owner=True)
+            except FileExistsError:  # pragma: no cover - pid-recycled orphan
+                continue
+
+    @classmethod
+    def attach(cls, name: str) -> "RowSegment":
+        """Worker side: map an existing segment read/write, never unlink."""
+        return cls(_shared_memory.SharedMemory(name=name), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self.capacity * ROW_BYTES
+
+    def write_rows(self, start: int, cols: tuple[bytes, ...]) -> None:
+        """Copy raw column bytes (``SoAMemo.export_rows`` output) into
+        rows starting at ``start``."""
+        buf = self._shm.buf
+        for off, width, data in zip(self._offsets, _COLUMN_WIDTHS, cols):
+            at = off + start * width
+            buf[at : at + len(data)] = data
+
+    def read_rows(self, start: int, stop: int) -> tuple[array, ...]:
+        """Rows ``[start, stop)`` as typed ``array`` columns (copies)."""
+        buf = self._shm.buf
+        out = []
+        for off, width, code in zip(
+            self._offsets, _COLUMN_WIDTHS, _COLUMN_CODES
+        ):
+            col = array(code)
+            col.frombytes(bytes(buf[off + start * width : off + stop * width]))
+            out.append(col)
+        return tuple(out)
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        assert self._owner, "only the creating side unlinks"
+        self._shm.unlink()
+
+    def destroy(self) -> None:
+        """Close and unlink, swallowing already-gone errors."""
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - buffer already released
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class MasterShm:
+    """Master-side shm lifecycle: the memo segment + per-worker winner
+    slots, with publish/grow bookkeeping and counters for the tracer."""
+
+    def __init__(self, memo, workers: int) -> None:
+        self._memo = memo
+        rows = memo.row_count()
+        self._segment = RowSegment.create(max(1024, rows * 2))
+        self._published = 0
+        self._slots: list[RowSegment | None] = [
+            RowSegment.create(WINNER_SLOT_ROWS) for _ in range(workers)
+        ]
+        self._closed = False
+        self.published_rows = 0
+        self.published_bytes = 0
+        self.grows = 0
+        self.winner_rows = 0
+        self.winner_bytes = 0
+        self.winner_fallbacks = 0
+        self.publish()  # the scan seed rows
+
+    @property
+    def published(self) -> int:
+        return self._published
+
+    @property
+    def segment_bytes(self) -> int:
+        return self._segment.nbytes
+
+    def publish(self) -> int:
+        """Copy the memo's unpublished row tail into the segment (growing
+        to a new generation first if needed); returns rows published."""
+        count = self._memo.row_count()
+        new = count - self._published
+        if new <= 0:
+            return 0
+        if count > self._segment.capacity:
+            bigger = RowSegment.create(max(count * 2, self._segment.capacity * 2))
+            bigger.write_rows(0, self._memo.export_rows(0, self._published))
+            self._segment.destroy()
+            self._segment = bigger
+            self.grows += 1
+        self._segment.write_rows(
+            self._published, self._memo.export_rows(self._published, count)
+        )
+        self._published = count
+        self.published_rows += new
+        self.published_bytes += new * ROW_BYTES
+        return new
+
+    def descriptor(self, worker: int):
+        """The sync-descriptor delta for ``worker``'s next message."""
+        slot = self._slots[worker]
+        return (
+            DESCRIPTOR_TAG,
+            self._segment.name,
+            self._published,
+            slot.name if slot is not None else "",
+        )
+
+    def read_winners(self, worker: int, count: int):
+        """A worker's winner rows as a ``(WINNER_TAG, *columns)`` payload."""
+        self.winner_rows += count
+        self.winner_bytes += count * ROW_BYTES
+        return (WINNER_TAG, *self._slots[worker].read_rows(0, count))
+
+    def grow_winner_slot(self, worker: int, min_rows: int) -> None:
+        """Replace a worker's slot with one holding ``>= min_rows`` rows
+        (called after an overflow fallback; the new name travels in the
+        next descriptor)."""
+        slot = self._slots[worker]
+        if slot is None:  # pragma: no cover - retired worker
+            return
+        capacity = max(slot.capacity, WINNER_SLOT_ROWS)
+        while capacity < min_rows:
+            capacity *= 4
+        slot.destroy()
+        self._slots[worker] = RowSegment.create(capacity)
+        self.winner_fallbacks += 1
+
+    def retire_worker(self, worker: int) -> None:
+        """Unlink a dead worker's slot right away."""
+        slot = self._slots[worker]
+        if slot is not None:
+            slot.destroy()
+            self._slots[worker] = None
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "segment_bytes": self._segment.nbytes if not self._closed else 0,
+            "published_rows": self.published_rows,
+            "published_bytes": self.published_bytes,
+            "grows": self.grows,
+            "winner_rows": self.winner_rows,
+            "winner_bytes": self.winner_bytes,
+            "winner_fallbacks": self.winner_fallbacks,
+        }
+
+    def close(self) -> dict[str, int]:
+        """Unlink every segment (idempotent); returns the final counters."""
+        counters = self.counters()
+        if not self._closed:
+            self._segment.destroy()
+            for t, slot in enumerate(self._slots):
+                if slot is not None:
+                    slot.destroy()
+                    self._slots[t] = None
+            self._closed = True
+        return counters
+
+
+class WorkerShmSession:
+    """Worker-side shm state: cached attachments + the replica sync
+    protocol (applied/overlay row accounting)."""
+
+    def __init__(self, memo) -> None:
+        self._memo = memo
+        self._segment: RowSegment | None = None
+        self._segment_name: str | None = None
+        self._slot: RowSegment | None = None
+        self._slot_name: str | None = None
+        self._slot_pending = ""
+        #: Published rows already spliced into the replica.  The replica
+        #: is forked after scan seeding, so the scan rows count as
+        #: applied from the start.
+        self.applied = memo.row_count()
+        #: First row of the replica's own current-stratum overlay.
+        self.overlay_base = self.applied
+        self.attaches = 0
+
+    def sync(self, descriptor) -> int:
+        """Apply one sync descriptor; returns new attaches performed.
+
+        ``published > applied`` means a stratum barrier happened: the
+        replica's overlay is dropped (the master's merged rows supersede
+        it) and the unseen published rows are spliced in.  Otherwise this
+        is a mid-stratum re-dispatch and the overlay is kept — exactly
+        the wire path's empty-delta accumulate semantics, so meters stay
+        comparable across modes.
+        """
+        _tag, name, published, winner_name = descriptor
+        self._slot_pending = winner_name
+        if published <= self.applied:
+            return 0
+        attached = 0
+        if name != self._segment_name:
+            if self._segment is not None:
+                self._segment.close()
+            self._segment = RowSegment.attach(name)
+            self._segment_name = name
+            attached = 1
+            self.attaches += 1
+        memo = self._memo
+        memo.drop_tail(self.overlay_base)
+        memo.append_rows(*self._segment.read_rows(self.applied, published))
+        self.applied = published
+        self.overlay_base = memo.row_count()
+        return attached
+
+    def write_winners(self) -> int | None:
+        """Copy the overlay rows into the winner slot; ``None`` when the
+        slot is too small (caller falls back to the packed wire reply)."""
+        memo = self._memo
+        count = memo.row_count() - self.overlay_base
+        name = self._slot_pending
+        if name and name != self._slot_name:
+            if self._slot is not None:
+                self._slot.close()
+            self._slot = RowSegment.attach(name)
+            self._slot_name = name
+            self.attaches += 1
+        if self._slot is None or count > self._slot.capacity:
+            return None
+        self._slot.write_rows(
+            0, memo.export_rows(self.overlay_base, memo.row_count())
+        )
+        return count
+
+    def close(self) -> None:
+        """Close (never unlink) both attachments."""
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+        if self._slot is not None:
+            self._slot.close()
+            self._slot = None

@@ -364,6 +364,89 @@ class SoAMemo(Memo):
         if improves_local:
             meter.memo_improvements += improves_local
 
+    # ------------------------------------------------------------------
+    # Bulk row transfer — the shared-memory tier's building blocks
+    # ------------------------------------------------------------------
+    # Rows are append-only and stratum-ordered (every row of stratum k is
+    # finalized at barrier k), so a contiguous row range is a complete,
+    # immutable unit of transfer.  ``export_rows`` snapshots such a range
+    # as raw column bytes; ``append_rows`` splices one in with bulk
+    # C-level extends; ``drop_tail`` rolls back a worker replica's own
+    # speculative stratum rows before the master's merged rows replace
+    # them.  See :mod:`repro.memo.shm`.
+
+    def row_count(self) -> int:
+        """Number of stored rows (== number of memoized sets)."""
+        return len(self._col_mask)
+
+    def export_rows(self, start: int, stop: int) -> tuple[bytes, ...]:
+        """Raw column bytes for rows ``[start, stop)`` in storage order.
+
+        Returns ``(mask, cost, rows, left, right, method)`` byte strings;
+        the numeric columns are 8 bytes per row, methods 1 byte.
+        """
+        return (
+            self._col_mask[start:stop].tobytes(),
+            self._col_cost[start:stop].tobytes(),
+            self._col_rows[start:stop].tobytes(),
+            self._col_left[start:stop].tobytes(),
+            self._col_right[start:stop].tobytes(),
+            self._col_method[start:stop].tobytes(),
+        )
+
+    def append_rows(self, masks, costs, rows, lefts, rights, methods) -> None:
+        """Bulk-append externally published rows (no costing, no metering).
+
+        ``masks``..``methods`` are equal-length sequences (``array``
+        columns read back from a shared-memory segment).  None of the
+        masks may already be present — the publish protocol guarantees
+        the range is strictly new rows.
+        """
+        base = len(self._col_mask)
+        self._col_mask.extend(masks)
+        self._col_cost.extend(costs)
+        self._col_rows.extend(rows)
+        self._col_left.extend(lefts)
+        self._col_right.extend(rights)
+        self._col_method.extend(methods)
+        mask_list = masks.tolist() if hasattr(masks, "tolist") else list(masks)
+        self._index.update(zip(mask_list, range(base, base + len(mask_list))))
+        by_size = self._by_size
+        size_sorted = self._size_sorted
+        for mask in mask_list:
+            size = popcount(mask)
+            bucket = by_size[size]
+            if bucket and mask < bucket[-1]:
+                size_sorted[size] = False
+            bucket.append(mask)
+
+    def drop_tail(self, base: int) -> None:
+        """Remove every row with index ``>= base`` (a replica's overlay).
+
+        The dropped rows are the replica's own current-stratum inserts;
+        the masks are removed from the index and their per-size buckets
+        are rebuilt filtered (bucket order may interleave after lazy
+        sorting, so truncation by length would be wrong).
+        """
+        if base >= len(self._col_mask):
+            return
+        index = self._index
+        tail = self._col_mask[base:]
+        sizes = set()
+        for mask in tail:
+            del index[mask]
+            sizes.add(popcount(mask))
+        del self._col_mask[base:]
+        del self._col_cost[base:]
+        del self._col_rows[base:]
+        del self._col_left[base:]
+        del self._col_right[base:]
+        del self._col_method[base:]
+        for size in sizes:
+            self._by_size[size] = [
+                mask for mask in self._by_size[size] if mask in index
+            ]
+
     def merge_candidate(
         self,
         mask: int,

@@ -1,0 +1,361 @@
+"""Vectorized struct-of-arrays memo — numpy batch costing over the SoA
+columns.
+
+:class:`VecSoAMemo` extends :class:`~repro.memo.soa.SoAMemo` with a
+vectorized candidate-evaluation path: per batch, the operand columns are
+gathered with numpy fancy indexing and every method's cost formula is
+evaluated elementwise over the whole batch, leaving only the dict lookups,
+the estimator calls, and the insert/improve decision loop in Python.  The
+decision loop itself is byte-for-byte the SoA one, fed precomputed totals
+— which is what keeps the parity contract (identical memo contents *and*
+meter counts) trivially true.
+
+Bit-identical floats are non-negotiable, and two numpy facts shape the
+design:
+
+* ``numpy.log2`` is **not** bit-identical to ``math.log2`` (last-ulp
+  differences on ~1 in 10⁵ doubles on common platforms).  The sort-merge
+  formula therefore never calls ``numpy.log2``: ``log2(rows + 1)`` is
+  computed once per memo row with ``math.log2`` at insert time and cached
+  in a dedicated column (``_col_log2``), so the vectorized expression
+  multiplies by exactly the double the scalar path would compute.
+* elementwise ``+``/``*``/``/``/``ceil`` over float64 **are** IEEE-754
+  identical to the scalar operations, so every other term vectorizes
+  directly.
+
+Vector costing is built only for cost models whose formulas are known
+exactly (``type(model) is StandardCostModel`` / ``CoutCostModel`` — exact
+type, so subclasses with overridden costing never get a stale kernel),
+and the result is probe-verified against ``join_costs`` at construction.
+Any other model falls back to the scalar fused path per batch; the
+vectorized *filter* kernels (:mod:`repro.enumerate.vkernels`) still apply.
+
+The memo also maintains a dense boolean presence table over all ``2^n``
+masks (for ``n <= PRESENCE_MAX_N``) so DPsub's operand-existence checks
+vectorize as one fancy-indexed load per result set.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CostModel, CoutCostModel, StandardCostModel
+from repro.memo.counters import WorkMeter
+from repro.memo.soa import _PROBE_POINTS, SoAMemo
+from repro.query.context import QueryContext
+from repro.trace.tracer import Tracer
+from repro.util.vectorize import np as _np
+
+#: Largest ``n`` for which the dense DPsub presence table is allocated
+#: (``2^n`` bytes — 4 MiB at the cap; beyond it DPsub's vectorized kernel
+#: falls back to the scalar presence checks).
+PRESENCE_MAX_N = 22
+
+#: Batches smaller than this skip the vectorized path — numpy call
+#: overhead beats the win below a handful of candidates.  Thresholding is
+#: semantically free: both paths produce identical rows and counts.
+VEC_MIN_BATCH = 8
+
+
+class _StandardVecCoster:
+    """Elementwise :class:`StandardCostModel` formulas.
+
+    Each expression mirrors ``StandardCostModel.join_costs`` term order
+    exactly; ``llog2``/``rlog2`` are the cached ``math.log2(rows + 1)``
+    columns (see the module docstring for why ``numpy.log2`` is banned).
+    """
+
+    def __init__(self, model: StandardCostModel) -> None:
+        self._block = model.block_size
+        self._hb = model.hash_build_factor
+        self._hp = model.hash_probe_factor
+
+    def method_costs(self, lrows, llog2, rrows, rlog2, out_rows):
+        np = _np
+        return (
+            lrows + lrows * rrows,
+            lrows + np.ceil(lrows / self._block) * rrows,
+            self._hb * lrows + self._hp * rrows,
+            lrows * llog2 + rrows * rlog2 + lrows + rrows,
+        )
+
+
+class _CoutVecCoster:
+    """Elementwise :class:`CoutCostModel`: one method, cost = out rows."""
+
+    def method_costs(self, lrows, llog2, rrows, rlog2, out_rows):
+        return (out_rows,)
+
+
+def make_vector_coster(cost_model: CostModel):
+    """A vector coster for ``cost_model``, or ``None`` when unavailable.
+
+    Exact-type matching only: a subclass may have overridden ``join_cost``
+    (the ``_InconsistentModel`` shape the SoA probe guards against), and a
+    vectorized kernel built from the parent's formulas would silently
+    diverge.  Unknown models cost scalar batches instead — correct, just
+    not vectorized.
+    """
+    if _np is None:
+        return None
+    if type(cost_model) is StandardCostModel:
+        return _StandardVecCoster(cost_model)
+    if type(cost_model) is CoutCostModel:
+        return _CoutVecCoster()
+    return None
+
+
+def vectorized_costing_consistent(cost_model: CostModel, coster) -> bool:
+    """Probe: does the vector coster reproduce ``join_costs`` bit-for-bit?
+
+    Defense in depth next to the exact-type gate — run once per memo on
+    the same probe points as ``fused_costing_consistent``.
+    """
+    if coster is None or _np is None:
+        return False
+    for lrows, rrows, orows in _PROBE_POINTS:
+        llog2 = math.log2(lrows + 1.0)
+        rlog2 = math.log2(rrows + 1.0)
+        cols = coster.method_costs(
+            lrows,
+            llog2,
+            _np.array([rrows]),
+            _np.array([rlog2]),
+            _np.array([orows]),
+        )
+        reference = cost_model.join_costs(lrows, rrows, orows)
+        if len(cols) != len(reference):
+            return False
+        for col, want in zip(cols, reference):
+            if float(col[0]) != want:
+                return False
+    return True
+
+
+class VecSoAMemo(SoAMemo):
+    """SoA memo with numpy-vectorized batch costing and a presence table.
+
+    Drop-in for :class:`SoAMemo` (same parity contract); requires numpy.
+    """
+
+    #: Kernel-selection marker consulted by enumerators and ``run_unit``.
+    vectorized = True
+
+    def __init__(
+        self,
+        ctx: QueryContext,
+        cost_model: CostModel,
+        estimator: CardinalityEstimator | None = None,
+        meter: WorkMeter | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if _np is None:  # pragma: no cover - callers gate on numpy_available
+            raise RuntimeError("VecSoAMemo requires numpy (repro[perf])")
+        super().__init__(ctx, cost_model, estimator, meter, tracer)
+        #: ``math.log2(rows + 1.0)`` per row, maintained at insert time.
+        self._col_log2 = array("d")
+        coster = make_vector_coster(cost_model)
+        if coster is not None and not vectorized_costing_consistent(
+            cost_model, coster
+        ):  # pragma: no cover - exact-type gate makes this unreachable
+            coster = None
+        self._coster = coster
+        self._presence = (
+            _np.zeros(1 << ctx.n, dtype=bool)
+            if ctx.n <= PRESENCE_MAX_N
+            else None
+        )
+
+    @property
+    def presence_array(self):
+        """Dense ``mask -> memoized?`` bool array (or ``None`` for large
+        ``n``) — DPsub's vectorized operand-existence table."""
+        return self._presence
+
+    # -- auxiliary-column maintenance -----------------------------------
+
+    def _store_row(
+        self,
+        mask: int,
+        cost: float,
+        rows: float,
+        left: int,
+        right: int,
+        method_int: int,
+    ) -> None:
+        super()._store_row(mask, cost, rows, left, right, method_int)
+        self._col_log2.append(math.log2(rows + 1.0))
+        if self._presence is not None:
+            self._presence[mask] = True
+
+    def append_rows(self, masks, costs, rows, lefts, rights, methods) -> None:
+        super().append_rows(masks, costs, rows, lefts, rights, methods)
+        log2 = math.log2
+        self._col_log2.extend(log2(r + 1.0) for r in rows)
+        if self._presence is not None and len(masks):
+            self._presence[_np.frombuffer(masks, dtype=_np.uint64)] = True
+
+    def drop_tail(self, base: int) -> None:
+        if base >= len(self._col_mask):
+            return
+        if self._presence is not None:
+            tail = self._col_mask[base:]
+            self._presence[_np.frombuffer(tail, dtype=_np.uint64)] = False
+        del self._col_log2[base:]
+        super().drop_tail(base)
+
+    # -- vectorized candidate evaluation --------------------------------
+
+    def consider_joins(
+        self, left: int, rights: list[int], meter: WorkMeter | None = None
+    ) -> None:
+        coster = self._coster
+        if coster is None or len(rights) < VEC_MIN_BATCH:
+            super().consider_joins(left, rights, meter)
+            return
+        np = _np
+        meter = meter or self.meter
+        index = self._index
+        estimator_rows = self.estimator.rows
+        left_idx = index[left]
+        lcost = self._col_cost[left_idx]
+        lrows = self._col_rows[left_idx]
+        llog2 = self._col_log2[left_idx]
+        right_idxs = [index[right] for right in rights]
+        # One estimator call per pair, in order — the cache-hit count is
+        # part of the parity contract and the estimator's own cache is
+        # memo-independent, so hoisting the calls ahead of the inserts
+        # leaves every count unchanged.
+        out_list = [estimator_rows(left | right) for right in rights]
+        idx_arr = np.array(right_idxs, dtype=np.intp)
+        # The frombuffer views export the column buffers; the gathers
+        # copy, and the views must die before the insert loop appends
+        # (array resize with a live export raises BufferError).
+        cost_view = np.frombuffer(self._col_cost, dtype=np.float64)
+        rows_view = np.frombuffer(self._col_rows, dtype=np.float64)
+        log2_view = np.frombuffer(self._col_log2, dtype=np.float64)
+        rcost = cost_view[idx_arr]
+        rrows = rows_view[idx_arr]
+        rlog2 = log2_view[idx_arr]
+        del cost_view, rows_view, log2_view
+        out_arr = np.array(out_list)
+        base = lcost + rcost
+        totals = [
+            (base + col).tolist()
+            for col in coster.method_costs(lrows, llog2, rrows, rlog2, out_arr)
+        ]
+        self._apply_batch(rights, [left] * len(rights), out_list, totals, meter)
+
+    def consider_pairs(
+        self,
+        pairs: list[tuple[int, int]],
+        meter: WorkMeter | None = None,
+    ) -> None:
+        coster = self._coster
+        if coster is None or len(pairs) < VEC_MIN_BATCH:
+            super().consider_pairs(pairs, meter)
+            return
+        np = _np
+        meter = meter or self.meter
+        index = self._index
+        estimator_rows = self.estimator.rows
+        lefts = [pair[0] for pair in pairs]
+        rights = [pair[1] for pair in pairs]
+        left_idxs = [index[left] for left in lefts]
+        right_idxs = [index[right] for right in rights]
+        out_list = [estimator_rows(left | right) for left, right in pairs]
+        lidx = np.array(left_idxs, dtype=np.intp)
+        ridx = np.array(right_idxs, dtype=np.intp)
+        cost_view = np.frombuffer(self._col_cost, dtype=np.float64)
+        rows_view = np.frombuffer(self._col_rows, dtype=np.float64)
+        log2_view = np.frombuffer(self._col_log2, dtype=np.float64)
+        lcost = cost_view[lidx]
+        rcost = cost_view[ridx]
+        lrows = rows_view[lidx]
+        rrows = rows_view[ridx]
+        llog2 = log2_view[lidx]
+        rlog2 = log2_view[ridx]
+        del cost_view, rows_view, log2_view
+        out_arr = np.array(out_list)
+        base = lcost + rcost
+        totals = [
+            (base + col).tolist()
+            for col in coster.method_costs(lrows, llog2, rrows, rlog2, out_arr)
+        ]
+        self._apply_batch(rights, lefts, out_list, totals, meter)
+
+    def _apply_batch(self, rights, lefts, out_list, totals, meter) -> None:
+        """The SoA insert/improve decision loop over precomputed totals.
+
+        ``totals[k][j]`` is ``base_cost + join_costs(...)[k]`` for pair
+        ``j`` — the exact doubles the scalar loop would compute — so the
+        comparisons, tie-breaks, and meter counts below replay
+        :meth:`SoAMemo.consider_joins` operation-for-operation.
+        """
+        index = self._index
+        col_cost = self._col_cost
+        col_left = self._col_left
+        col_right = self._col_right
+        col_method = self._col_method
+        method_ints = self._method_ints
+        nmethods = len(method_ints)
+
+        plans_local = 0
+        inserts_local = 0
+        improves_local = 0
+
+        for j, right in enumerate(rights):
+            left = lefts[j]
+            result = left | right
+            plans_local += nmethods
+
+            cur_idx = index.get(result)
+            if cur_idx is None:
+                best_cost = totals[0][j]
+                best_k = 0
+                for k in range(1, nmethods):
+                    cost = totals[k][j]
+                    if cost < best_cost or (
+                        cost == best_cost
+                        and method_ints[k] < method_ints[best_k]
+                    ):
+                        best_cost = cost
+                        best_k = k
+                        improves_local += 1
+                self._store_row(
+                    result, best_cost, out_list[j], left, right,
+                    method_ints[best_k],
+                )
+                inserts_local += 1
+            else:
+                cur_cost = col_cost[cur_idx]
+                cur_left = col_left[cur_idx]
+                cur_right = col_right[cur_idx]
+                cur_method = col_method[cur_idx]
+                changed = False
+                for k in range(nmethods):
+                    cost = totals[k][j]
+                    if cost < cur_cost or (
+                        cost == cur_cost
+                        and (left, right, method_ints[k])
+                        < (cur_left, cur_right, cur_method)
+                    ):
+                        cur_cost = cost
+                        cur_left = left
+                        cur_right = right
+                        cur_method = method_ints[k]
+                        changed = True
+                        improves_local += 1
+                if changed:
+                    col_cost[cur_idx] = cur_cost
+                    col_left[cur_idx] = cur_left
+                    col_right[cur_idx] = cur_right
+                    col_method[cur_idx] = cur_method
+
+        meter.plans_emitted += plans_local
+        if inserts_local:
+            meter.memo_inserts += inserts_local
+        if improves_local:
+            meter.memo_improvements += improves_local

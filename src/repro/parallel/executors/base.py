@@ -40,6 +40,11 @@ class RunState:
         wire_packed: Process backend only — ship per-stratum entry deltas
             in the packed columnar wire format instead of lists of
             6-tuples (requires masks to fit 64 bits).
+        shared_memo: Process backend only — requested shared-memory memo
+            tier (:mod:`repro.memo.shm`).  The executor refines this to
+            the *effective* mode in ``open`` (eligibility probing with
+            automatic fallback) before forking, so workers and master
+            agree on the protocol.
         injector: Fault injector consulted once per (worker, stratum);
             the shared null injector when no fault plan is configured.
         retry_limit: Extra recovery attempts an executor may spend
@@ -60,6 +65,7 @@ class RunState:
     tracer: Tracer = NULL_TRACER
     fast_path: bool = False
     wire_packed: bool = False
+    shared_memo: bool = False
     injector: object = NULL_INJECTOR
     retry_limit: int = 2
     retry_backoff: float = 0.02

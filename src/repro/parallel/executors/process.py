@@ -11,6 +11,17 @@ consistent; per-stratum traffic is one delta broadcast plus one candidate
 collection per worker.  This is the executor behind the real-speedup half
 of experiment E8.
 
+Shared-memory mode (``RunState.shared_memo``, resolved in :meth:`open`
+before forking): the delta broadcast is replaced by a fixed-size sync
+descriptor pointing into named shared-memory segments
+(:mod:`repro.memo.shm`), and workers reply ``("okshm", count, ...)``
+after bulk-copying their winner rows into a per-worker slot — the master
+reads the slot and normalizes the reply to the classic candidate shape
+in ``_collect``, so merge/recovery logic is mode-agnostic.  A worker
+whose winner overlay outgrows its slot falls back to the classic packed
+reply for that message and the master grows the slot.  See
+``docs/memory.md`` for the protocol and cleanup guarantees.
+
 Fault tolerance: the master treats worker failure as a first-class event.
 A worker that raises mid-stratum reports ``("error", message, meter)``
 and stays in the pool; a worker that dies (crash, kill, injected
@@ -38,11 +49,19 @@ from multiprocessing import connection as mp_connection
 from typing import Any
 
 from repro.memo.counters import WorkMeter
+from repro.memo.shm import (
+    ROW_BYTES,
+    MasterShm,
+    WorkerShmSession,
+    shm_available,
+)
+from repro.memo.soa import SoAMemo
 from repro.parallel.allocation import Assignment, realized_imbalance
 from repro.parallel.executors.base import RunState, StratumExecutor
 from repro.parallel.wire import (
     apply_stratum,
     encode_stratum,
+    payload_entries,
     payload_nbytes,
 )
 from repro.parallel.workunits import KernelCaches, WorkUnit, run_unit
@@ -81,6 +100,12 @@ def _worker_loop(conn, state: RunState, worker: int) -> None:
       static path's semantics (persistent plans can still exhaust the
       retry budget).
 
+    In shared-memory mode the ``delta`` slot carries an shm sync
+    descriptor instead of row data (applied via
+    :class:`~repro.memo.shm.WorkerShmSession`), and replies prefer
+    ``("okshm", winner_count, meter, elapsed, trace)`` over the packed
+    ``"ok"`` shape whenever the winner rows fit the worker's slot.
+
     When the parent's tracer is enabled, each stratum is timed into a
     fresh child-side :class:`RecordingTracer` whose serialized event
     buffer rides back with the stratum reply; the parent merges it into
@@ -99,6 +124,7 @@ def _worker_loop(conn, state: RunState, worker: int) -> None:
     trace_enabled = state.tracer.enabled
     fast = state.fast_path
     packed = state.wire_packed
+    shm = WorkerShmSession(memo) if state.shared_memo else None
     try:
         while True:
             message = conn.recv()
@@ -106,10 +132,16 @@ def _worker_loop(conn, state: RunState, worker: int) -> None:
                 break
             kind, size, delta, units = message[:4]
             probe = True if kind == "stratum" else message[4]
+            attached = 0
             if delta is not None:
-                apply_stratum(memo, delta)
+                if shm is not None:
+                    attached = shm.sync(delta)
+                else:
+                    apply_stratum(memo, delta)
             meter = WorkMeter()
             tracer = RecordingTracer() if trace_enabled else None
+            if tracer is not None and attached:
+                tracer.counter("memo.shm.attach", attached, size=size)
             start = time.perf_counter()
             span = (
                 tracer.span("worker.stratum", size=size)
@@ -152,16 +184,29 @@ def _worker_loop(conn, state: RunState, worker: int) -> None:
                 )
                 continue
             elapsed = time.perf_counter() - start
+            trace_payload = tracer.payload() if tracer is not None else None
+            if shm is not None:
+                count = shm.write_winners()
+                if count is not None:
+                    conn.send(
+                        ("okshm", count, meter.as_dict(), elapsed,
+                         trace_payload)
+                    )
+                    continue
+                # Winner slot too small for this overlay: classic packed
+                # reply; the master grows the slot for the next stratum.
             conn.send(
                 (
                     "ok",
                     encode_stratum(memo, size, packed),
                     meter.as_dict(),
                     elapsed,
-                    tracer.payload() if tracer is not None else None,
+                    trace_payload,
                 )
             )
     finally:
+        if shm is not None:
+            shm.close()
         conn.close()
 
 
@@ -184,6 +229,9 @@ class ProcessExecutor(StratumExecutor):
             "redispatch_attempts": 0,
         }
         self._partial_meter = WorkMeter()
+        self._shm: MasterShm | None = None
+        self._shm_requested = False
+        self._shm_fallback_reason: str | None = None
 
     def open(self, state: RunState) -> None:
         try:
@@ -193,6 +241,19 @@ class ProcessExecutor(StratumExecutor):
                 "ProcessExecutor requires the 'fork' start method"
             ) from exc
         self._state = state
+        # Refine the requested shared-memo mode to the effective one
+        # BEFORE forking: workers inherit ``state.shared_memo`` and must
+        # agree with the master on the sync protocol.  Creating the
+        # segments here also starts the resource tracker pre-fork.
+        self._shm_requested = state.shared_memo
+        if state.shared_memo:
+            if not isinstance(state.memo, SoAMemo):
+                self._shm_fallback_reason = "memo backend is not SoA"
+            elif not shm_available():  # pragma: no cover - needs /dev/shm
+                self._shm_fallback_reason = "shared memory unavailable"
+            else:
+                self._shm = MasterShm(state.memo, state.threads)
+            state.shared_memo = self._shm is not None
         for t in range(state.threads):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
@@ -202,8 +263,40 @@ class ProcessExecutor(StratumExecutor):
             child_conn.close()
             self._procs.append(proc)
             self._conns.append(parent_conn)
-        # Empty first delta in the run's wire encoding (size-0 stratum).
-        self._pending_delta = encode_stratum(state.memo, 0, state.wire_packed)
+        # Empty first delta in the run's wire encoding (size-0 stratum);
+        # in shm mode the delta is a per-worker sync descriptor instead.
+        self._pending_delta = (
+            None
+            if self._shm is not None
+            else encode_stratum(state.memo, 0, state.wire_packed)
+        )
+
+    def _delta_for(self, t: int):
+        """The delta to ride on worker ``t``'s next stratum message."""
+        if self._shm is not None:
+            return self._shm.descriptor(t)
+        return self._pending_delta
+
+    def _publish_stratum(self, size: int) -> None:
+        """Make the merged stratum visible to workers for the next round:
+        publish to the shm segment, or re-encode the wire delta."""
+        state = self._state
+        assert state is not None
+        if self._shm is not None:
+            published = self._shm.publish()
+            if state.tracer.enabled:
+                state.tracer.counter(
+                    "memo.shm.published_rows", published, size=size
+                )
+                state.tracer.counter(
+                    "memo.shm.published_bytes",
+                    published * ROW_BYTES,
+                    size=size,
+                )
+        else:
+            self._pending_delta = encode_stratum(
+                state.memo, size, state.wire_packed
+            )
 
     # -- worker bookkeeping ---------------------------------------------
 
@@ -221,6 +314,8 @@ class ProcessExecutor(StratumExecutor):
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - hung worker
                 proc.terminate()
+        if self._shm is not None:
+            self._shm.retire_worker(t)
         self._recovery["worker_deaths"] += 1
         state = self._state
         if state is not None and state.tracer.enabled:
@@ -231,7 +326,10 @@ class ProcessExecutor(StratumExecutor):
 
         Returns the successful reply tuple, or ``None`` when the worker
         failed (errored or died) — in which case it has been counted and,
-        if dead, retired.
+        if dead, retired.  Shared-memory ``okshm`` replies are normalized
+        here: the winner rows are read from the worker's slot into a
+        winner payload, so every caller sees the uniform ``("ok",
+        candidates, ...)`` shape.
         """
         state = self._state
         assert state is not None
@@ -252,6 +350,24 @@ class ProcessExecutor(StratumExecutor):
                     "fault.worker_error", size=size, worker=t
                 )
             return None
+        if reply[0] == "okshm":
+            _, count, meter_counts, elapsed, payload = reply
+            candidates = self._shm.read_winners(t, count)
+            if state.tracer.enabled:
+                state.tracer.counter(
+                    "memo.shm.winner_rows", count, size=size, worker=t
+                )
+                state.tracer.counter(
+                    "memo.shm.winner_bytes",
+                    count * ROW_BYTES,
+                    size=size,
+                    worker=t,
+                )
+            return ("ok", candidates, meter_counts, elapsed, payload)
+        if self._shm is not None:
+            # A classic packed reply in shm mode is a winner-slot
+            # overflow: grow the slot so the next stratum fits.
+            self._shm.grow_winner_slot(t, 2 * payload_entries(reply[1]))
         return reply
 
     def _redispatch(
@@ -267,7 +383,13 @@ class ProcessExecutor(StratumExecutor):
         """
         state = self._state
         assert state is not None
-        empty_delta = encode_stratum(state.memo, 0, state.wire_packed)
+        # Survivors already hold the stratum's broadcast: wire mode sends
+        # an empty delta, shm mode its (idempotent, tiny) descriptor.
+        empty_delta = (
+            None
+            if self._shm is not None
+            else encode_stratum(state.memo, 0, state.wire_packed)
+        )
         last_error = "no surviving workers"
         for attempt in range(state.retry_limit + 1):
             targets = [t for t in prefer if self._conns[t] is not None]
@@ -282,14 +404,17 @@ class ProcessExecutor(StratumExecutor):
                 state.tracer.counter(
                     "fault.redispatch", len(units), size=size, worker=target
                 )
+            delta = (
+                self._delta_for(target)
+                if self._shm is not None
+                else empty_delta
+            )
             try:
-                self._conns[target].send(
-                    ("stratum", size, empty_delta, units)
-                )
+                self._conns[target].send(("stratum", size, delta, units))
             except (BrokenPipeError, OSError):
                 self._retire(target, size)
                 continue
-            self._bytes_sent += payload_nbytes(empty_delta)
+            self._bytes_sent += payload_nbytes(delta)
             reply = self._collect(target, size)
             if reply is None:
                 last_error = f"worker {target} failed during re-dispatch"
@@ -317,7 +442,6 @@ class ProcessExecutor(StratumExecutor):
             return
         state = self._state
         assert state is not None
-        delta = self._pending_delta
         alive = self._alive()
         if not alive:
             raise OptimizationError(
@@ -340,6 +464,7 @@ class ProcessExecutor(StratumExecutor):
         sent: list[int] = []
         failed_units: list[WorkUnit] = []
         for t in alive:
+            delta = self._delta_for(t)
             try:
                 self._conns[t].send(("stratum", size, delta, buckets[t]))
             except (BrokenPipeError, OSError):
@@ -389,10 +514,9 @@ class ProcessExecutor(StratumExecutor):
                     size=size,
                     worker=t,
                 )
-        # The merged stratum becomes the next round's broadcast delta.
-        self._pending_delta = encode_stratum(
-            state.memo, size, state.wire_packed
-        )
+        # The merged stratum becomes the next round's broadcast (wire
+        # delta or shm publish).
+        self._publish_stratum(size)
         self._rounds += 1
 
     def _run_stratum_dynamic(self, size: int, units: list[WorkUnit]) -> None:
@@ -416,7 +540,6 @@ class ProcessExecutor(StratumExecutor):
                 "all worker processes have died; cannot run stratum "
                 f"{size}"
             )
-        delta = self._pending_delta
         tracer = state.tracer
         # Heaviest-first service order (greedy list scheduling): expensive
         # units go out early so the tail stays fine-grained.
@@ -443,10 +566,9 @@ class ProcessExecutor(StratumExecutor):
             while queue and len(batch) < batch_size:
                 batch.append(queue.popleft())
             probe = first or any(u.uid in requeued for u in batch)
+            delta = self._delta_for(t) if first else None
             try:
-                self._conns[t].send(
-                    ("batch", size, delta if first else None, batch, probe)
-                )
+                self._conns[t].send(("batch", size, delta, batch, probe))
             except (BrokenPipeError, OSError):
                 self._retire(t, size)
                 queue.extendleft(reversed(batch))
@@ -557,10 +679,9 @@ class ProcessExecutor(StratumExecutor):
                     size=size,
                     worker=t,
                 )
-        # The merged stratum becomes the next round's broadcast delta.
-        self._pending_delta = encode_stratum(
-            state.memo, size, state.wire_packed
-        )
+        # The merged stratum becomes the next round's broadcast (wire
+        # delta or shm publish).
+        self._publish_stratum(size)
         self._rounds += 1
 
     def close(self) -> dict[str, Any]:
@@ -584,9 +705,21 @@ class ProcessExecutor(StratumExecutor):
         self._conns.clear()
         recovery = dict(self._recovery)
         recovery["partial_meter"] = self._partial_meter.as_dict()
-        return {
+        extras = {
             "rounds": self._rounds,
             "approx_bytes_sent": self._bytes_sent,
             "realized_imbalances": list(self._realized_imbalances),
             "fault_recovery": recovery,
         }
+        if self._shm_requested:
+            if self._shm is not None:
+                shm_extras: dict[str, Any] = {"enabled": True}
+                shm_extras.update(self._shm.close())
+                self._shm = None
+            else:
+                shm_extras = {
+                    "enabled": False,
+                    "reason": self._shm_fallback_reason,
+                }
+            extras["shm"] = shm_extras
+        return extras

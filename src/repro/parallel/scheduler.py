@@ -22,6 +22,8 @@ from repro.memo.concurrent import LockStripedMemo
 from repro.memo.counters import WorkMeter
 from repro.memo.soa import SoAMemo, soa_compatible
 from repro.memo.table import Memo, extract_plan
+from repro.memo.vec import VecSoAMemo
+from repro.util.vectorize import resolve_vectorize
 from repro.parallel.allocation import (
     DYNAMIC_ALLOCATION,
     allocate,
@@ -112,6 +114,8 @@ class ParallelDP:
         self.sim_params = config.sim_params or SimCostParams()
         self.tracer = config.effective_tracer
         self.fast_path = config.fast_path
+        self.shared_memo = config.shared_memo
+        self.vectorize = resolve_vectorize(config.vectorize)
         self.name = f"p{self.algorithm}"
         #: Diagnostic: when set, :meth:`optimize` keeps the final memo on
         #: :attr:`last_memo` so tests can compare memo contents across
@@ -134,7 +138,8 @@ class ParallelDP:
                 tracer=self.tracer,
             )
         if self.fast_path and soa_compatible(ctx, cost_model):
-            return SoAMemo(
+            memo_cls = VecSoAMemo if self.vectorize else SoAMemo
+            return memo_cls(
                 ctx, cost_model, estimator=estimator, meter=meter,
                 tracer=self.tracer,
             )
@@ -205,6 +210,7 @@ class ParallelDP:
                 tracer=tracer,
                 fast_path=self.fast_path,
                 wire_packed=self.fast_path and ctx.n <= 64,
+                shared_memo=self.shared_memo and self.backend == "processes",
                 injector=injector,
                 retry_limit=self.config.effective_retry_limit,
                 retry_backoff=self.config.effective_retry_backoff,

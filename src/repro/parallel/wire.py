@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from array import array
 
+from repro.memo.shm import CONTROL_NBYTES, DESCRIPTOR_TAG, WINNER_TAG
 from repro.memo.table import Memo
 from repro.plans.operators import JoinMethod
 
@@ -91,8 +92,17 @@ def encode_stratum(memo: Memo, size: int, packed: bool):
 
 
 def apply_stratum(memo: Memo, payload) -> int:
-    """Merge a wire payload into ``memo``; returns the entry count."""
-    if isinstance(payload, tuple) and payload and payload[0] == PACKED_TAG:
+    """Merge a wire payload into ``memo``; returns the entry count.
+
+    Accepts the legacy tuple list, the packed columnar encoding, and the
+    shared-memory winner payload (same column shape as packed, read from
+    a winner slot instead of the pipe — see :mod:`repro.memo.shm`).
+    """
+    if (
+        isinstance(payload, tuple)
+        and payload
+        and payload[0] in (PACKED_TAG, WINNER_TAG)
+    ):
         _, col_mask, col_cost, col_rows, col_left, col_right, col_method = (
             payload
         )
@@ -115,7 +125,11 @@ def apply_stratum(memo: Memo, payload) -> int:
 
 def payload_entries(payload) -> int:
     """Number of entries a payload carries."""
-    if isinstance(payload, tuple) and payload and payload[0] == PACKED_TAG:
+    if (
+        isinstance(payload, tuple)
+        and payload
+        and payload[0] in (PACKED_TAG, WINNER_TAG)
+    ):
         return len(payload[1])
     return len(payload)
 
@@ -126,7 +140,13 @@ def payload_nbytes(payload) -> int:
     Legacy lists keep the historical 48-bytes-per-entry estimate; packed
     payloads report the exact column buffer sizes (the dominant term —
     pickle framing adds a small constant per payload, not per entry).
+    Shared-memory descriptors and winner payloads count only the nominal
+    control-tuple size — the row bytes never cross the pipe (they move
+    through ``/dev/shm`` and are accounted under ``memo.shm.*``).
     """
-    if isinstance(payload, tuple) and payload and payload[0] == PACKED_TAG:
-        return sum(col.itemsize * len(col) for col in payload[1:])
+    if isinstance(payload, tuple) and payload:
+        if payload[0] == PACKED_TAG:
+            return sum(col.itemsize * len(col) for col in payload[1:])
+        if payload[0] in (DESCRIPTOR_TAG, WINNER_TAG):
+            return CONTROL_NBYTES
     return len(payload) * LEGACY_ENTRY_BYTES

@@ -23,6 +23,10 @@ from repro.enumerate.kernels import (
     dpsub_block_kernel,
     dpsub_block_kernel_fast,
 )
+from repro.enumerate.vkernels import (
+    dpsize_pair_kernel_vec,
+    dpsub_block_kernel_vec,
+)
 from repro.memo.counters import WorkMeter
 from repro.memo.table import Memo
 from repro.query.context import QueryContext
@@ -181,11 +185,18 @@ def run_unit(
     supplies the stratum lists and SVA source when the view does not
     (defaults to ``memo`` itself).  ``fast`` selects the fused kernels
     (identical memo contents and meter totals; see
-    :mod:`repro.enumerate.kernels`).
+    :mod:`repro.enumerate.kernels`).  A memo carrying the ``vectorized``
+    marker (:class:`~repro.memo.vec.VecSoAMemo`) upgrades DPsize/DPsub to
+    the numpy filter kernels (:mod:`repro.enumerate.vkernels`) — still
+    result-identical.
     """
     source = real_memo if real_memo is not None else memo
+    vec = getattr(memo, "vectorized", False)
     if unit.algorithm == "dpsize":
-        kernel = dpsize_pair_kernel_fast if fast else dpsize_pair_kernel
+        if vec:
+            kernel = dpsize_pair_kernel_vec
+        else:
+            kernel = dpsize_pair_kernel_fast if fast else dpsize_pair_kernel
         kernel(
             memo,
             ctx,
@@ -209,7 +220,10 @@ def run_unit(
             meter,
         )
     elif unit.algorithm == "dpsub":
-        kernel = dpsub_block_kernel_fast if fast else dpsub_block_kernel
+        if vec:
+            kernel = dpsub_block_kernel_vec
+        else:
+            kernel = dpsub_block_kernel_fast if fast else dpsub_block_kernel
         kernel(
             memo,
             ctx,

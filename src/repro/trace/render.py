@@ -114,6 +114,37 @@ def per_cache_rows(events: list[TraceEvent]) -> list[dict[str, Any]]:
     return rows
 
 
+_SHM_COUNTERS = (
+    ("memo.shm.attach", "attaches"),
+    ("memo.shm.published_rows", "published_rows"),
+    ("memo.shm.published_bytes", "published_bytes"),
+    ("memo.shm.winner_rows", "winner_rows"),
+    ("memo.shm.winner_bytes", "winner_bytes"),
+)
+
+
+def per_shm_rows(events: list[TraceEvent]) -> list[dict[str, Any]]:
+    """One row per stratum size of the ``memo.shm.*`` counter group the
+    shared-memory memo tier emits (:mod:`repro.memo.shm` via the process
+    executor): segment attaches, rows/bytes the master published at the
+    barrier, and winner rows/bytes read back from worker slots.  Returns
+    an empty list for runs without the shm tier.
+    """
+    names = dict(_SHM_COUNTERS)
+    strata: dict[int, dict[str, Any]] = {}
+    for event in events:
+        if event.kind != "counter" or event.name not in names:
+            continue
+        size = event.attrs.get("size", 0)
+        if size not in strata:
+            strata[size] = {
+                "size": size,
+                **{label: 0 for _, label in _SHM_COUNTERS},
+            }
+        strata[size][names[event.name]] += int(event.value)
+    return [strata[size] for size in sorted(strata)]
+
+
 _SERVICE_COUNTERS = (
     ("service.request", "requests"),
     ("service.fallback", "fallbacks"),
@@ -204,6 +235,9 @@ def render_trace(
             sections.append("per-worker:\n" + format_table(rows))
         elif by == "worker":
             sections.append("per-worker: (no worker events — serial run?)")
+    shm_rows = per_shm_rows(events)
+    if shm_rows:
+        sections.append("memo.shm:\n" + format_table(shm_rows))
     cache_rows = per_cache_rows(events)
     if cache_rows:
         sections.append("per-cache-tier:\n" + format_table(cache_rows))

@@ -1,0 +1,39 @@
+"""Numpy capability probe — the single import point for the optional
+``perf`` extra.
+
+Everything vectorized in the repo (the :class:`~repro.memo.vec.VecSoAMemo`
+costing batches, the :mod:`repro.enumerate.vkernels` filter kernels) goes
+through this module, so "is numpy installed?" is answered in exactly one
+place and the pure-Python fallback is a data-driven decision rather than
+scattered ``try: import numpy`` blocks.
+
+``pip install repro[perf]`` provides numpy; without it, every consumer
+degrades to the list-comprehension fast path automatically (identical
+results — the vectorized code is a performance tier, never a semantic
+one).
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+
+def numpy_available() -> bool:
+    """True when the optional ``perf`` extra (numpy) is importable."""
+    return np is not None
+
+
+def resolve_vectorize(flag: bool | None) -> bool:
+    """Resolve the ``OptimizerConfig.vectorize`` tri-state.
+
+    ``None`` (auto) and ``True`` both enable vectorized kernels when
+    numpy is present; ``True`` additionally *requesting* numpy still
+    degrades gracefully when it is absent (capability probe, not a hard
+    dependency).  ``False`` forces the pure-Python kernels.
+    """
+    if flag is False:
+        return False
+    return numpy_available()

@@ -12,11 +12,13 @@ from __future__ import annotations
 import pytest
 
 from repro import Workload, WorkloadSpec
+from repro.config import OptimizerConfig
 from repro.cost.estimator import CardinalityEstimator
 from repro.cost.model import CoutCostModel, StandardCostModel
 from repro.enumerate.dpsize import DPsize
 from repro.enumerate.dpsub import DPsub
 from repro.memo.counters import WorkMeter
+from repro.memo.shm import list_segments, shm_available
 from repro.memo.soa import SoAMemo, fused_costing_consistent, soa_compatible
 from repro.memo.table import Memo
 from repro.parallel.scheduler import ParallelDP
@@ -161,6 +163,121 @@ def test_incompatible_cost_model_falls_back_to_reference():
     ref = DPsize(fast_path=False).optimize(query, cost_model=model)
     assert fast.cost == ref.cost
     assert plan_signature(fast.plan) == plan_signature(ref.plan)
+
+
+# --- shared-memory memo + vectorized kernel executor legs ---------------
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def run_processes(
+    algorithm,
+    query,
+    *,
+    shared_memo=False,
+    vectorize=False,
+    allocation=None,
+    fault_plan=None,
+):
+    """Run the process backend with explicit shm/vectorize knobs, keeping
+    the master memo so contents can be compared bit for bit."""
+    dp = ParallelDP(
+        config=OptimizerConfig(
+            algorithm=algorithm,
+            threads=3,
+            backend="processes",
+            allocation=allocation,
+            shared_memo=shared_memo,
+            vectorize=vectorize,
+            fault_plan=fault_plan,
+        )
+    )
+    dp.keep_memo = True
+    result = dp.optimize(query)
+    return result, memo_snapshot(dp.last_memo)
+
+
+@needs_shm
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("vectorize", [False, None])
+def test_shm_executor_parity(algorithm, vectorize):
+    """shm descriptors + winner rows replicate the packed-wire run exactly
+    (memo contents, meter totals, plan cost), with or without numpy."""
+    query = make_query("cycle", 9, seed=11)
+    wire_r, wire_snap = run_processes(algorithm, query, shared_memo=False)
+    shm_r, shm_snap = run_processes(
+        algorithm, query, shared_memo=True, vectorize=vectorize
+    )
+    assert shm_r.extras["shm"]["enabled"], shm_r.extras["shm"]
+    assert shm_snap == wire_snap
+    assert shm_r.meter.as_dict() == wire_r.meter.as_dict()
+    assert shm_r.cost == wire_r.cost
+    assert plan_signature(shm_r.plan) == plan_signature(wire_r.plan)
+    assert list_segments() == []
+
+
+@needs_shm
+def test_shm_dynamic_allocation_parity():
+    """Dynamic batching is timing-dependent, so per-worker insert/improve
+    counts legitimately vary between *any* two dynamic runs; the memo
+    contents and the optimum must still match the wire run exactly."""
+    query = make_query("star", 9, seed=5)
+    wire_r, wire_snap = run_processes(
+        "dpsize", query, shared_memo=False, allocation="dynamic"
+    )
+    shm_r, shm_snap = run_processes(
+        "dpsize", query, shared_memo=True, allocation="dynamic"
+    )
+    assert shm_r.extras["shm"]["enabled"]
+    assert shm_snap == wire_snap
+    assert shm_r.cost == wire_r.cost
+    assert plan_signature(shm_r.plan) == plan_signature(wire_r.plan)
+    assert list_segments() == []
+
+
+@needs_shm
+@pytest.mark.parametrize(
+    "fault_plan", ["worker:crash@worker=1", "worker:raise@worker=2"]
+)
+def test_shm_parity_under_single_fault(fault_plan):
+    """E12-style single-fault plans: recovery over shm descriptors lands on
+    the same memo and optimum as the healthy wire run."""
+    query = make_query("chain", 9, seed=8)
+    wire_r, wire_snap = run_processes("dpsize", query, shared_memo=False)
+    shm_r, shm_snap = run_processes(
+        "dpsize", query, shared_memo=True, fault_plan=fault_plan
+    )
+    assert shm_snap == wire_snap
+    assert shm_r.cost == wire_r.cost
+    assert list_segments() == []
+
+
+def test_shm_requires_parallel_config():
+    with pytest.raises(Exception, match="shared_memo"):
+        OptimizerConfig(shared_memo=True)
+
+
+def test_shm_falls_back_without_soa_memo():
+    """Ineligible memo backend (reference path) → shm disabled with a
+    recorded reason, run still correct."""
+    query = make_query("chain", 7, seed=3)
+    dp = ParallelDP(
+        config=OptimizerConfig(
+            algorithm="dpsize",
+            threads=2,
+            backend="processes",
+            shared_memo=True,
+            fast_path=False,
+        )
+    )
+    result = dp.optimize(query)
+    shm_info = result.extras["shm"]
+    assert not shm_info["enabled"]
+    assert "reason" in shm_info
+    serial = DPsize(fast_path=False).optimize(query)
+    assert result.cost == serial.cost
 
 
 def test_soa_memo_is_a_memo_view():

@@ -310,3 +310,13 @@ def test_frozen_config_derivations_are_cached():
     other = config.with_options(cross_products=True)
     assert other.effective_cost_model is not config.effective_cost_model
     assert other.digest != config.digest
+
+
+def test_digest_ignores_result_invariant_knobs():
+    # shared_memo/vectorize are bit-identical execution strategies
+    # (parity harness), so toggling them must not invalidate cached
+    # plans or spilled warm-start files.
+    base = OptimizerConfig(algorithm="dpsize", threads=2, backend="processes")
+    tuned = base.with_options(shared_memo=True, vectorize=True)
+    assert tuned.digest == base.digest
+    assert base.with_options(vectorize=False).digest == base.digest

@@ -1,0 +1,303 @@
+"""Shared-memory memo tier: unit protocol tests + segment hygiene.
+
+Parity of shm runs against the packed-wire baseline lives in
+``test_fast_path_parity.py``; this file covers the pieces in isolation
+(:class:`~repro.memo.shm.RowSegment` round-trips, the publish/grow
+generation protocol, the worker sync/overlay accounting, winner-slot
+overflow) and the cleanup guarantee: **no leaked ``/dev/shm`` segments**
+after normal close, worker crashes, or master-side mid-stratum faults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Workload, WorkloadSpec
+from repro.config import OptimizerConfig
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import StandardCostModel
+from repro.faults import InjectedFault
+from repro.memo.counters import WorkMeter
+from repro.memo.shm import (
+    ROW_BYTES,
+    SEGMENT_PREFIX,
+    MasterShm,
+    RowSegment,
+    WorkerShmSession,
+    list_segments,
+    shm_available,
+)
+from repro.memo.soa import SoAMemo
+from repro.parallel.scheduler import ParallelDP
+from repro.query import QueryContext
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def make_memo(topology="chain", n=6, seed=1):
+    query = Workload(WorkloadSpec(topology, n, seed=seed))[0]
+    ctx = QueryContext(query)
+    meter = WorkMeter()
+    memo = SoAMemo(
+        ctx,
+        StandardCostModel(),
+        estimator=CardinalityEstimator(ctx, meter=meter),
+        meter=meter,
+    )
+    memo.init_scans()
+    return memo
+
+
+def snapshot(memo):
+    return {
+        e.mask: (e.cost, e.rows, e.left, e.right, int(e.method))
+        for e in memo.entries()
+    }
+
+
+# -- RowSegment ---------------------------------------------------------
+
+
+def test_row_segment_round_trip():
+    memo = make_memo()
+    rows = memo.row_count()
+    seg = RowSegment.create(rows)
+    try:
+        assert seg.capacity == rows
+        assert seg.nbytes == rows * ROW_BYTES
+        assert seg.name.startswith(SEGMENT_PREFIX)
+        seg.write_rows(0, memo.export_rows(0, rows))
+        cols = seg.read_rows(0, rows)
+        assert tuple(bytes(c) for c in cols) == tuple(
+            bytes(c) for c in memo.export_rows(0, rows)
+        )
+    finally:
+        seg.destroy()
+    assert seg.name not in list_segments()
+
+
+def test_row_segment_partial_write_offsets():
+    """Rows written at an offset land in the right column slots."""
+    memo = make_memo()
+    rows = memo.row_count()
+    seg = RowSegment.create(rows + 4)
+    try:
+        seg.write_rows(2, memo.export_rows(0, rows))
+        cols = seg.read_rows(2, 2 + rows)
+        assert tuple(bytes(c) for c in cols) == tuple(
+            bytes(c) for c in memo.export_rows(0, rows)
+        )
+    finally:
+        seg.destroy()
+
+
+def test_destroy_is_idempotent():
+    seg = RowSegment.create(8)
+    seg.destroy()
+    seg.destroy()  # already closed + unlinked: must not raise
+    assert list_segments() == []
+
+
+# -- MasterShm / WorkerShmSession protocol ------------------------------
+
+
+def simulate_stratum(master_memo, inserts):
+    """Append ``inserts`` candidate rows to the master memo the way
+    ``apply_stratum`` would (min-merge of winner candidates)."""
+    for mask, cost, rows, left, right, method in inserts:
+        master_memo.merge_candidate(mask, cost, rows, left, right, method)
+
+
+def fresh_candidates(memo, k):
+    """``k`` synthetic next-stratum candidates not yet in the memo."""
+    present = {e.mask for e in memo.entries()}
+    n = memo.ctx.n
+    out = []
+    for mask in range(3, 1 << n):
+        if mask in present or mask.bit_count() < 2:
+            continue
+        left = mask & -mask
+        right = mask ^ left
+        out.append((mask, float(mask), 10.0, left, right, 0))
+        if len(out) == k:
+            break
+    return out
+
+
+def test_publish_sync_round_trip():
+    master_memo = make_memo()
+    # Fork point: the replica starts as a copy of the seeded memo.
+    replica = make_memo()
+    master = MasterShm(master_memo, workers=1)
+    session = WorkerShmSession(replica)
+    try:
+        # Stratum barrier: master merges new rows, publishes, worker syncs.
+        batch = fresh_candidates(master_memo, 4)
+        simulate_stratum(master_memo, batch)
+        assert master.publish() == 4
+        attached = session.sync(master.descriptor(0))
+        assert attached == 1  # first descriptor → first attach
+        assert snapshot(replica) == snapshot(master_memo)
+        assert session.applied == master.published
+        # Re-dispatch with no new published rows keeps the overlay.
+        replica.merge_candidate(*fresh_candidates(replica, 1)[0])
+        overlay_rows = replica.row_count() - session.overlay_base
+        assert overlay_rows == 1
+        assert session.sync(master.descriptor(0)) == 0
+        assert replica.row_count() - session.overlay_base == 1
+        # Next barrier: overlay dropped, replaced by master's merged rows.
+        simulate_stratum(master_memo, fresh_candidates(master_memo, 2))
+        master.publish()
+        session.sync(master.descriptor(0))
+        assert snapshot(replica) == snapshot(master_memo)
+    finally:
+        session.close()
+        master.close()
+    assert list_segments() == []
+
+
+def test_grow_creates_new_generation_and_unlinks_old():
+    # n=11 gives 2^11 candidate masks — enough to overflow the segment's
+    # initial 1024-row capacity floor and force a generation change.
+    master_memo = make_memo(n=11)
+    master = MasterShm(master_memo, workers=1)
+    try:
+        first_name = master.descriptor(0)[1]
+        capacity = master.segment_bytes // ROW_BYTES
+        while master_memo.row_count() <= capacity:
+            batch = fresh_candidates(master_memo, 64)
+            assert batch, "ran out of masks before overflowing the segment"
+            simulate_stratum(master_memo, batch)
+        master.publish()
+        second_name = master.descriptor(0)[1]
+        assert second_name != first_name
+        assert master.grows == 1
+        assert first_name not in list_segments()
+        # The new generation holds the *full* prefix, not just the tail.
+        replica = make_memo(n=11)
+        session = WorkerShmSession(replica)
+        session.sync(master.descriptor(0))
+        assert snapshot(replica) == snapshot(master_memo)
+        session.close()
+    finally:
+        master.close()
+    assert list_segments() == []
+
+
+def test_winner_slot_overflow_and_grow(monkeypatch):
+    # Shrink the initial slot so a handful of overlay rows overflows it.
+    monkeypatch.setattr("repro.memo.shm.WINNER_SLOT_ROWS", 2)
+    master_memo = make_memo(n=4)
+    replica = make_memo(n=4)
+    master = MasterShm(master_memo, workers=1)
+    session = WorkerShmSession(replica)
+    try:
+        session.sync(master.descriptor(0))
+        # Overlay bigger than the slot → write_winners refuses (wire
+        # fallback) until the master grows the slot.
+        simulate_stratum(replica, fresh_candidates(replica, 5))
+        overlay = replica.row_count() - session.overlay_base
+        assert overlay == 5
+        assert session.write_winners() is None
+        master.grow_winner_slot(0, 2 * overlay)
+        assert master.winner_fallbacks == 1
+        session.sync(master.descriptor(0))  # picks up the new slot name
+        count = session.write_winners()
+        assert count == overlay
+        # Winner rows read back equal the overlay rows bit for bit.
+        payload = master.read_winners(0, count)
+        assert payload[0] == "shmwin"
+        assert tuple(bytes(c) for c in payload[1:]) == tuple(
+            bytes(c)
+            for c in replica.export_rows(
+                session.overlay_base, replica.row_count()
+            )
+        )
+    finally:
+        session.close()
+        master.close()
+    assert list_segments() == []
+
+
+def test_retire_worker_unlinks_slot():
+    memo = make_memo()
+    master = MasterShm(memo, workers=2)
+    try:
+        slot_name = master.descriptor(1)[3]
+        assert slot_name in list_segments()
+        master.retire_worker(1)
+        assert slot_name not in list_segments()
+        # Descriptor for a retired worker carries no slot.
+        assert master.descriptor(1)[3] == ""
+    finally:
+        master.close()
+    assert list_segments() == []
+
+
+def test_master_close_idempotent_and_counts():
+    memo = make_memo()
+    master = MasterShm(memo, workers=2)
+    counters = master.close()
+    assert counters["published_rows"] == memo.row_count()
+    assert counters["published_bytes"] == memo.row_count() * ROW_BYTES
+    again = master.close()
+    assert again["published_rows"] == counters["published_rows"]
+    assert list_segments() == []
+
+
+# -- hygiene: executor runs must never leak segments --------------------
+
+
+def run_shm(fault_plan=None, allocation=None, threads=3):
+    query = Workload(WorkloadSpec("cycle", 9, seed=4))[0]
+    dp = ParallelDP(
+        config=OptimizerConfig(
+            algorithm="dpsize",
+            threads=threads,
+            backend="processes",
+            allocation=allocation,
+            shared_memo=True,
+            fault_plan=fault_plan,
+        )
+    )
+    return dp.optimize(query)
+
+
+def test_no_leak_after_normal_run():
+    result = run_shm()
+    assert result.extras["shm"]["enabled"]
+    assert result.extras["shm"]["winner_fallbacks"] == 0
+    assert list_segments() == []
+
+
+def test_no_leak_after_worker_crash():
+    result = run_shm(fault_plan="worker:crash@worker=1")
+    assert result.extras["shm"]["enabled"]
+    assert result.plan is not None
+    assert list_segments() == []
+
+
+def test_no_leak_after_repeated_worker_crashes():
+    result = run_shm(
+        fault_plan="worker:crash@worker=1,count=1;"
+        "worker:crash@worker=2,count=1",
+        threads=4,
+    )
+    assert result.plan is not None
+    assert list_segments() == []
+
+
+def test_no_leak_after_master_stratum_fault():
+    """A master-side exception escapes the scheduler (by design), but its
+    ``finally`` still reaches MasterShm.close — nothing leaks."""
+    with pytest.raises(InjectedFault):
+        run_shm(fault_plan="stratum:raise@stratum=3")
+    assert list_segments() == []
+
+
+def test_no_leak_dynamic_allocation():
+    result = run_shm(allocation="dynamic")
+    assert result.extras["shm"]["enabled"]
+    assert list_segments() == []

@@ -1,0 +1,172 @@
+"""Vectorized kernel tier ⇄ fused fast path parity.
+
+The numpy tier (:class:`~repro.memo.vec.VecSoAMemo` batch costing plus the
+:mod:`repro.enumerate.vkernels` filter kernels) is a performance upgrade of
+the fused fast path, never a semantic one: memo contents and WorkMeter
+totals must be bit-for-bit identical whether numpy is present, absent, or
+explicitly disabled.  These tests pin that down serially (the executor
+legs live in ``test_fast_path_parity.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Workload, WorkloadSpec
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CoutCostModel, StandardCostModel
+from repro.enumerate.dpsize import DPsize
+from repro.enumerate.dpsub import DPsub
+from repro.memo.counters import WorkMeter
+from repro.memo.soa import SoAMemo
+from repro.memo.vec import PRESENCE_MAX_N, VecSoAMemo, make_vector_coster
+from repro.query import QueryContext
+from repro.sva.dpsva import DPsva
+from repro.util.vectorize import numpy_available, resolve_vectorize
+
+ALGORITHMS = {"dpsize": DPsize, "dpsub": DPsub, "dpsva": DPsva}
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy (perf extra) not installed"
+)
+
+
+def make_query(topology: str, n: int, seed: int):
+    return Workload(WorkloadSpec(topology, n, seed=seed))[0]
+
+
+def run_with_memo(
+    algo_cls, query, memo_cls, cost_model=None, cross_products=False
+):
+    enum = algo_cls(cross_products=cross_products, fast_path=True)
+    ctx = QueryContext(query)
+    cost_model = cost_model or StandardCostModel()
+    meter = WorkMeter()
+    estimator = CardinalityEstimator(ctx, meter=meter)
+    memo = memo_cls(ctx, cost_model, estimator=estimator, meter=meter)
+    memo.init_scans()
+    enum.populate(memo)
+    return memo, meter
+
+
+def memo_snapshot(memo) -> dict:
+    return {
+        e.mask: (e.cost, e.rows, e.left, e.right, int(e.method))
+        for e in memo.entries()
+    }
+
+
+@needs_numpy
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize(
+    "topology,n", [("chain", 9), ("star", 9), ("cycle", 9), ("clique", 7)]
+)
+def test_vec_memo_bit_for_bit(algorithm, topology, n):
+    query = make_query(topology, n, seed=13)
+    algo_cls = ALGORITHMS[algorithm]
+    vec_memo, vec_meter = run_with_memo(algo_cls, query, VecSoAMemo)
+    soa_memo, soa_meter = run_with_memo(algo_cls, query, SoAMemo)
+    assert memo_snapshot(vec_memo) == memo_snapshot(soa_memo)
+    assert vec_meter.as_dict() == soa_meter.as_dict()
+    assert vec_memo.best().cost == soa_memo.best().cost
+
+
+@needs_numpy
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_vec_cout_model_parity(algorithm):
+    query = make_query("cycle", 8, seed=21)
+    algo_cls = ALGORITHMS[algorithm]
+    vec_memo, vec_meter = run_with_memo(
+        algo_cls, query, VecSoAMemo, cost_model=CoutCostModel()
+    )
+    soa_memo, soa_meter = run_with_memo(
+        algo_cls, query, SoAMemo, cost_model=CoutCostModel()
+    )
+    assert memo_snapshot(vec_memo) == memo_snapshot(soa_memo)
+    assert vec_meter.as_dict() == soa_meter.as_dict()
+
+
+@needs_numpy
+@pytest.mark.parametrize("algorithm", ["dpsize", "dpsub"])
+def test_vec_cross_products_parity(algorithm):
+    """Cross products change both the admissible sets and the filter logic
+    — the vectorized kernels must track the fused ones exactly."""
+    query = make_query("chain", 8, seed=17)
+    algo_cls = ALGORITHMS[algorithm]
+    vec_memo, vec_meter = run_with_memo(
+        algo_cls, query, VecSoAMemo, cross_products=True
+    )
+    soa_memo, soa_meter = run_with_memo(
+        algo_cls, query, SoAMemo, cross_products=True
+    )
+    assert memo_snapshot(vec_memo) == memo_snapshot(soa_memo)
+    assert vec_meter.as_dict() == soa_meter.as_dict()
+
+
+@needs_numpy
+def test_enumerator_auto_selects_vec_memo():
+    """``vectorize=None`` (auto) upgrades to VecSoAMemo when numpy is
+    importable; ``vectorize=False`` pins the plain SoA fast path.  Both
+    land on identical results."""
+    query = make_query("star", 8, seed=2)
+    auto = DPsize(vectorize=None).optimize(query)
+    forced_off = DPsize(vectorize=False).optimize(query)
+    assert auto.cost == forced_off.cost
+    assert auto.meter.as_dict() == forced_off.meter.as_dict()
+    assert auto.memo_entries == forced_off.memo_entries
+
+
+def test_resolve_vectorize_tristate():
+    assert resolve_vectorize(False) is False
+    assert resolve_vectorize(True) == numpy_available()
+    assert resolve_vectorize(None) == numpy_available()
+
+
+@needs_numpy
+def test_presence_table_tracks_inserts():
+    """The dense DPsub presence table flips exactly the inserted masks."""
+    query = make_query("cycle", 7, seed=3)
+    memo, _ = run_with_memo(DPsub, query, VecSoAMemo)
+    presence = memo.presence_array
+    assert presence is not None
+    assert len(presence) == 1 << memo.ctx.n
+    populated = {e.mask for e in memo.entries()}
+    flagged = {i for i in range(len(presence)) if presence[i]}
+    assert flagged == populated
+    assert memo.ctx.n <= PRESENCE_MAX_N
+
+
+@needs_numpy
+def test_vec_coster_rejects_stale_subclass():
+    """A cost-model subclass that overrides the scalar formula without
+    refreshing the batched one must not get a vectorized coster."""
+
+    class Stale(StandardCostModel):
+        def join_cost(self, method, left_rows, right_rows, out_rows):
+            return (
+                super().join_cost(method, left_rows, right_rows, out_rows)
+                + 1.0
+            )
+
+    assert make_vector_coster(StandardCostModel()) is not None
+    assert make_vector_coster(CoutCostModel()) is not None
+    assert make_vector_coster(Stale()) is None
+
+
+@needs_numpy
+@pytest.mark.parametrize("algorithm", ["dpsize", "dpsub"])
+def test_vkernels_degrade_without_numpy(algorithm, monkeypatch):
+    """With numpy masked out of the kernel module, the vectorized kernels
+    delegate to the fused ones and still produce identical results (the
+    no-numpy CI leg exercises the real ImportError path; this simulates
+    it in-process)."""
+    import repro.enumerate.vkernels as vk
+
+    query = make_query("chain", 8, seed=5)
+    algo_cls = ALGORITHMS[algorithm]
+    baseline = algo_cls(vectorize=True).optimize(query)
+    monkeypatch.setattr(vk, "_np", None)
+    degraded = algo_cls(vectorize=True).optimize(query)
+    assert degraded.cost == baseline.cost
+    assert degraded.meter.as_dict() == baseline.meter.as_dict()
+    assert degraded.memo_entries == baseline.memo_entries
