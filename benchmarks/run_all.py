@@ -15,7 +15,10 @@ import time
 from pathlib import Path
 
 from repro.bench import (
+    EXPERIMENTS,
     allocation_comparison,
+    cluster_comparison,
+    describe,
     format_table,
     heuristic_quality,
     kernel_speedup,
@@ -50,7 +53,14 @@ def main(argv=None) -> int:
         "--out", type=Path, default=DEFAULT_RESULTS,
         help="artifact directory (default: benchmarks/results)",
     )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the experiment registry and exit",
+    )
     args = parser.parse_args(argv)
+    if args.list:
+        print(describe())
+        return 0
     quick = args.quick
     started = time.perf_counter()
 
@@ -156,8 +166,20 @@ def main(argv=None) -> int:
     )
     publish(args.out, "e15_shm", rows, {"experiment": "E15"})
 
+    modes, strata = cluster_comparison(
+        "clique", 10 if quick else 14,
+        worker_counts=(2, 4) if quick else (2, 4, 8),
+        repeats=1, seed=16,
+    )
+    publish(args.out, "e16_cluster", modes, {"experiment": "E16"})
+    publish(args.out, "e16_cluster_strata", strata, {"experiment": "E16"})
+
+    pytest_only = ", ".join(
+        exp.eid for exp in EXPERIMENTS if not exp.in_run_all
+    )
     print(f"\ndone in {time.perf_counter() - started:.1f}s "
-          f"(E6/E8 need timing fixtures; run them via pytest benchmarks/)")
+          f"({pytest_only} need timing fixtures or pytest-only harnesses; "
+          f"run them via pytest benchmarks/)")
     return 0
 
 

@@ -1,0 +1,60 @@
+"""E16 — shared-nothing cluster versus replicated-memo process backend.
+
+The cluster backend (PR 8) partitions the memo itself: each worker owns
+a hash shard of the quantifier sets, enumerates only its own result
+sets, and per stratum exchanges 3-column best-plan *summaries* peer to
+peer instead of the process backend's 6-column full-row delta broadcast
+plus candidate collection.
+
+Expected shape at clique-14 (widest strata, the stress topology): the
+cluster's per-stratum dissemination bytes sit **strictly below** the
+process backend's at every stratum and every worker count — summaries
+are 3 columns against 6, shipped to W-1 peers against W broadcast
+replicas plus the collection hop.  Parity (same optimum, bit-identical
+memo snapshot) is asserted inside the runner on the measured runs.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench import cluster_comparison, format_table
+
+pytestmark = pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="needs fork()"
+)
+
+
+def test_e16_cluster_comparison(publish, quick):
+    n = 10 if quick else 14
+    worker_counts = (2, 4) if quick else (2, 4, 8)
+    modes, strata = cluster_comparison(
+        "clique", n, worker_counts=worker_counts, repeats=1, seed=16
+    )
+    publish("e16_cluster", format_table(modes), modes)
+    publish("e16_cluster_strata", format_table(strata), strata)
+
+    by_mode = {(r["workers"], r["mode"]): r for r in modes}
+    for workers in worker_counts:
+        process = by_mode[(workers, "processes")]
+        cluster = by_mode[(workers, "cluster")]
+        # Parity is asserted inside the runner; re-check the headline.
+        assert cluster["cost"] == process["cost"]
+        # Aggregate summary traffic beats full-row traffic outright.
+        # (rows_moved is not comparable across modes: cluster counts
+        # every peer transfer, process only master-side collection.)
+        assert cluster["payload_bytes"] < process["payload_bytes"]
+        assert cluster["wall_seconds"] > 0
+        assert cluster["speedup"] > 0
+
+    # The acceptance claim: strictly below at EVERY stratum, not just in
+    # aggregate — no stratum exists where partitioned exchange loses.
+    assert strata, "no per-stratum rows"
+    for row in strata:
+        assert row["cluster_bytes"] < row["process_bytes"], (
+            f"W={row['workers']} stratum {row['size']}: cluster "
+            f"{row['cluster_bytes']}B !< process {row['process_bytes']}B"
+        )
+        assert row["reduction"] > 1.0

@@ -14,10 +14,18 @@ from repro.bench.manifest import (
     save_manifest,
     sim_report_to_dict,
 )
+from repro.bench.experiments import (
+    BY_CLI,
+    CLI_CHOICES,
+    EXPERIMENTS,
+    Experiment,
+    describe,
+)
 from repro.bench.reporting import format_table, render_curve, rows_to_csv
 from repro.bench.runner import (
     allocation_comparison,
     cache_workload,
+    cluster_comparison,
     fault_tolerance,
     heuristic_quality,
     kernel_speedup,
@@ -33,6 +41,12 @@ from repro.bench.runner import (
 )
 
 __all__ = [
+    "Experiment",
+    "EXPERIMENTS",
+    "BY_CLI",
+    "CLI_CHOICES",
+    "describe",
+    "cluster_comparison",
     "format_table",
     "render_curve",
     "rows_to_csv",

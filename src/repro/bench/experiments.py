@@ -1,0 +1,79 @@
+"""The experiment registry — single source of truth for what exists.
+
+``repro bench --help`` (the ``--experiment`` choices), the standalone
+driver ``benchmarks/run_all.py``, and the benchmark suite's artifact
+names were previously three hand-maintained lists that drifted
+independently; this module replaces them.  One :class:`Experiment` per
+family, keyed by the CLI name, recording the DESIGN.md experiment id,
+a one-line title, and whether ``run_all.py`` regenerates it standalone
+(the two timing-fixture families need pytest).
+
+``tests/test_bench.py`` asserts the CLI parser and the driver both agree
+with this registry, so adding an experiment in one place and not the
+other fails fast instead of shipping a stale ``--help``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One experiment family.
+
+    Attributes:
+        cli: Name accepted by ``repro bench --experiment``, or ``None``
+            for families only reachable through ``run_all.py`` / the
+            benchmark suite.
+        eid: DESIGN.md experiment id (``E1`` … ``E16``).
+        title: One-line description (shown by ``run_all.py --list``).
+        in_run_all: True when ``benchmarks/run_all.py`` regenerates the
+            family standalone; False for families that need the pytest
+            timing fixtures.
+    """
+
+    cli: str | None
+    eid: str
+    title: str
+    in_run_all: bool = True
+
+
+EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment("serial", "E1", "serial enumerator grid"),
+    Experiment("sva", "E2", "skip-vector-array effectiveness"),
+    Experiment("speedup", "E3/E4", "parallel speedup curves per algorithm"),
+    Experiment("allocation", "E5", "work-unit allocation schemes"),
+    Experiment(None, "E6", "synchronization overhead (timing fixtures)",
+               in_run_all=False),
+    Experiment(None, "E7", "search-space size scaling"),
+    Experiment(
+        "real-allocation", "E8",
+        "allocation on the real backends (timing fixtures)",
+        in_run_all=False,
+    ),
+    Experiment(None, "E9", "heuristic plan quality"),
+    Experiment("cache", "E10", "plan-cache workload", in_run_all=False),
+    Experiment("kernels", "E11", "fused kernels + packed wire volume"),
+    Experiment("faults", "E12", "fault injection and recovery",
+               in_run_all=False),
+    Experiment("serving", "E14", "service throughput and latency"),
+    Experiment("shm", "E15", "shared-memory memo vs packed wire"),
+    Experiment("cluster", "E16", "shared-nothing cluster vs process comm"),
+)
+
+BY_CLI: dict[str, Experiment] = {
+    exp.cli: exp for exp in EXPERIMENTS if exp.cli is not None
+}
+
+CLI_CHOICES: tuple[str, ...] = tuple(BY_CLI)
+
+
+def describe() -> str:
+    """The registry as a listing, one experiment per line."""
+    lines = []
+    for exp in EXPERIMENTS:
+        note = "" if exp.in_run_all else "  (pytest benchmarks/ only)"
+        cli = exp.cli or "-"
+        lines.append(f"{exp.eid:>6}  {cli:<16} {exp.title}{note}")
+    return "\n".join(lines)

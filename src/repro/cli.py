@@ -15,6 +15,10 @@ Five subcommands::
     python -m repro bench --experiment serving --topology star -n 10
     python -m repro optimize --topology star -n 10 --threads 2 \\
         --backend processes --fault-plan "worker:crash@worker=1"
+    python -m repro worker --listen 127.0.0.1:7101 &
+    python -m repro worker --listen 127.0.0.1:7102 &
+    python -m repro optimize --topology star -n 10 --threads 2 \\
+        --backend cluster --cluster-connect 127.0.0.1:7101 127.0.0.1:7102
     python -m repro inspect --topology cycle -n 9
 
 ``optimize`` runs one query end to end (``--cache`` routes it through an
@@ -23,8 +27,11 @@ Five subcommands::
 summary tables), ``trace`` renders a previously saved trace file,
 ``serve-batch`` replays a repeated workload through the concurrent
 optimization service and reports hit rates and latency, ``bench``
-regenerates one of the experiment families on a compact grid, ``inspect``
-prints a query's statistics and search-space numbers.
+regenerates one of the experiment families on a compact grid (the
+``--experiment`` list comes from the registry in
+:mod:`repro.bench.experiments`), ``inspect`` prints a query's statistics
+and search-space numbers, and ``worker`` serves one shared-nothing
+cluster job over TCP (``docs/distributed.md``).
 """
 
 from __future__ import annotations
@@ -35,8 +42,10 @@ import sys
 
 from repro import OptimizerConfig, OptimizerService, __version__, optimize
 from repro.bench import (
+    CLI_CHOICES,
     allocation_comparison,
     cache_workload,
+    cluster_comparison,
     fault_tolerance,
     format_table,
     kernel_speedup,
@@ -90,7 +99,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     opt.add_argument(
         "--backend", default="simulated",
-        choices=("simulated", "threads", "processes"),
+        choices=("simulated", "threads", "processes", "cluster"),
+    )
+    opt.add_argument(
+        "--cluster-workers", type=int, default=None,
+        help="shard-owning workers for --backend cluster "
+        "(default: --threads)",
+    )
+    opt.add_argument(
+        "--cluster-connect", nargs="+", metavar="HOST:PORT", default=None,
+        help="addresses of pre-started 'repro worker --listen' processes "
+        "(--backend cluster; omit to fork workers in-process)",
     )
     opt.add_argument("--cross-products", action="store_true")
     opt.add_argument("--explain", action="store_true", help="print the plan")
@@ -169,17 +188,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("file", help="JSONL trace file to render")
     trace.add_argument(
-        "--by", choices=("stratum", "worker", "both"), default="both",
+        "--by", choices=("stratum", "worker", "comm", "both"),
+        default="both",
         help="which aggregation table(s) to print",
     )
 
     bench = sub.add_parser("bench", help="regenerate an experiment family")
     bench.add_argument(
         "--experiment",
-        choices=(
-            "serial", "sva", "speedup", "allocation", "real-allocation",
-            "cache", "kernels", "faults", "serving", "shm",
-        ),
+        # One registry feeds this list, benchmarks/run_all.py, and the
+        # artifact names — see repro.bench.experiments.
+        choices=CLI_CHOICES,
         default="speedup",
     )
     bench.add_argument("--topology", choices=sorted(TOPOLOGIES), default="star")
@@ -194,6 +213,16 @@ def _build_parser() -> argparse.ArgumentParser:
     ins.add_argument("--topology", choices=sorted(TOPOLOGIES), default="star")
     ins.add_argument("-n", "--relations", type=int, default=10)
     ins.add_argument("--seed", type=int, default=0)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve one cluster job as a TCP shard worker "
+        "(see docs/distributed.md)",
+    )
+    worker.add_argument(
+        "--listen", required=True, metavar="HOST:PORT",
+        help="address to accept the coordinator and peer meshes on",
+    )
     return parser
 
 
@@ -232,11 +261,20 @@ def _build_config(args, tracer) -> "OptimizerConfig":
         fault_plan=_fault_plan(args),
         retry_limit=getattr(args, "retry_limit", None),
     )
-    if args.threads:
+    backend = getattr(args, "backend", None)
+    # The cluster knobs imply their own worker count, so --backend
+    # cluster must survive even without an explicit --threads.
+    if args.threads or backend == "cluster":
         kwargs.update(
             allocation=getattr(args, "allocation", None),
-            backend=getattr(args, "backend", None),
+            backend=backend,
         )
+        if backend == "cluster":
+            connect = getattr(args, "cluster_connect", None)
+            kwargs.update(
+                cluster_workers=getattr(args, "cluster_workers", None),
+                cluster_connect=tuple(connect) if connect else None,
+            )
     return OptimizerConfig(**kwargs)
 
 
@@ -283,10 +321,14 @@ def _cmd_optimize(args) -> int:
     if args.explain:
         print(explain(result.plan, relation_names=names))
     if tracer is not None:
+        # Report the resolved config, not the raw flags: the cluster
+        # knobs imply threads/backend without --threads being given.
         meta = {
             "algorithm": result.algorithm,
-            "threads": args.threads or 1,
-            "backend": args.backend if args.threads else "serial",
+            "threads": config.threads or 1,
+            "backend": (
+                config.effective_backend if config.threads else "serial"
+            ),
             "query": args.sql or f"{args.topology}/{args.relations}",
         }
         try:
@@ -455,6 +497,15 @@ def _cmd_bench(args) -> int:
             repeats=max(1, args.queries), seed=args.seed,
         )
         print(format_table(rows))
+    elif args.experiment == "cluster":
+        modes, strata = cluster_comparison(
+            args.topology, args.relations,
+            worker_counts=tuple(sorted(set(args.threads) - {1}) or [2]),
+            repeats=max(1, args.queries), seed=args.seed,
+        )
+        print(format_table(modes))
+        print()
+        print(format_table(strata))
     elif args.experiment == "real-allocation":
         rows = real_backend_allocation(
             args.topology, args.relations,
@@ -471,6 +522,13 @@ def _cmd_bench(args) -> int:
             threads=max(args.threads), queries=args.queries, seed=args.seed,
         )
         print(format_table(rows))
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.parallel.executors.cluster import serve_worker
+
+    serve_worker(args.listen)
     return 0
 
 
@@ -511,6 +569,8 @@ def main(argv=None) -> int:
             return _cmd_trace(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         return _cmd_inspect(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

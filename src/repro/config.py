@@ -66,7 +66,14 @@ HEURISTIC_NAMES = tuple(sorted(HEURISTICS))
 ALL_ALGORITHMS = tuple(sorted(set(SERIAL_NAMES) | set(HEURISTIC_NAMES)))
 """Every algorithm name the front door accepts."""
 
-_PARALLEL_ONLY = ("backend", "allocation", "oversubscription", "sim_params")
+_PARALLEL_ONLY = (
+    "backend",
+    "allocation",
+    "oversubscription",
+    "sim_params",
+    "cluster_workers",
+    "cluster_connect",
+)
 
 DEFAULT_BACKEND = "simulated"
 DEFAULT_ALLOCATION = "equi_depth"
@@ -104,6 +111,12 @@ _RESULT_INVARIANT = ("shared_memo", "vectorize")
 (tests/test_fast_path_parity.py, tests/test_vec_kernels.py); excluded
 from the plan digest so toggling them never invalidates cached plans or
 spilled warm-start files."""
+
+_CLUSTER = ("cluster_workers", "cluster_connect")
+"""Cluster-topology knobs (how many shard owners, where they listen);
+excluded from the plan digest because the shard partition is
+result-invariant — every worker count and transport produces the
+bit-identical optimum (tests/test_cluster_executor.py)."""
 
 
 @dataclass(frozen=True)
@@ -186,6 +199,14 @@ class OptimizerConfig:
             kernels.  Requesting ``True`` without numpy degrades
             gracefully — it is a capability probe, not a hard dependency.
             Results are identical in every case.
+        cluster_workers: Cluster backend only — number of shard-owning
+            workers; ``None`` defaults to ``threads``.  Requires
+            ``backend="cluster"``.
+        cluster_connect: Cluster backend only — ``host:port`` addresses
+            of pre-started ``repro worker --listen`` processes, one per
+            worker (its length overrides ``cluster_workers``).  ``None``
+            (the default) forks the workers in-process.  See
+            ``docs/distributed.md``.
     """
 
     algorithm: str = "dpsize"
@@ -213,12 +234,35 @@ class OptimizerConfig:
     fast_path: bool = True
     shared_memo: bool = False
     vectorize: bool | None = None
+    cluster_workers: int | None = None
+    cluster_connect: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALL_ALGORITHMS:
             raise ValidationError(
                 f"unknown algorithm {self.algorithm!r}; expected one of "
                 f"{list(ALL_ALGORITHMS)}"
+            )
+        if self.cluster_connect is not None and not isinstance(
+            self.cluster_connect, tuple
+        ):
+            # Normalize list input so the frozen config stays hashable
+            # and the digest representation is canonical.
+            object.__setattr__(
+                self, "cluster_connect", tuple(self.cluster_connect)
+            )
+        if (
+            self.threads is None
+            and self.backend == "cluster"
+            and (self.cluster_workers or self.cluster_connect)
+        ):
+            # The cluster knobs already name a worker count; a cluster
+            # run is by definition parallel, so derive threads rather
+            # than demanding the caller state it twice.
+            object.__setattr__(
+                self,
+                "threads",
+                self.cluster_workers or len(self.cluster_connect),
             )
         if self.threads is not None:
             if self.threads < 1:
@@ -246,6 +290,41 @@ class OptimizerConfig:
                 "shared_memo only applies to parallel runs; set threads= "
                 "(and backend='processes')"
             )
+        if self.cluster_workers is not None:
+            if self.cluster_workers < 1:
+                raise ValidationError(
+                    f"cluster_workers must be >= 1, got "
+                    f"{self.cluster_workers}"
+                )
+            if self.effective_backend != "cluster":
+                raise ValidationError(
+                    "cluster_workers requires backend='cluster', got "
+                    f"backend={self.effective_backend!r}"
+                )
+        if self.cluster_connect is not None:
+            if self.effective_backend != "cluster":
+                raise ValidationError(
+                    "cluster_connect requires backend='cluster', got "
+                    f"backend={self.effective_backend!r}"
+                )
+            from repro.parallel.net import parse_hostport
+
+            for addr in self.cluster_connect:
+                try:
+                    parse_hostport(addr)
+                except (ValueError, TypeError) as exc:
+                    raise ValidationError(
+                        f"cluster_connect address {addr!r} is not "
+                        f"host:port: {exc}"
+                    ) from exc
+            if (
+                self.cluster_workers is not None
+                and len(self.cluster_connect) != self.cluster_workers
+            ):
+                raise ValidationError(
+                    f"cluster_connect lists {len(self.cluster_connect)} "
+                    f"addresses but cluster_workers={self.cluster_workers}"
+                )
         if self.backend is not None and self.backend not in EXECUTORS:
             raise ValidationError(
                 f"unknown backend {self.backend!r}; expected one of "
@@ -428,6 +507,18 @@ class OptimizerConfig:
         )
 
     @property
+    def effective_cluster_workers(self) -> int | None:
+        """Cluster worker count: address-list length, explicit knob, or
+        ``threads``; ``None`` when this is not a cluster config."""
+        if self.effective_backend != "cluster":
+            return None
+        if self.cluster_connect:
+            return len(self.cluster_connect)
+        if self.cluster_workers is not None:
+            return self.cluster_workers
+        return self.threads
+
+    @property
     def effective_retry_limit(self) -> int:
         """Fault-recovery retry budget with the default applied."""
         return (
@@ -502,6 +593,7 @@ class OptimizerConfig:
             set(_SERVICE_ONLY)
             | set(_ROBUSTNESS)
             | set(_RESULT_INVARIANT)
+            | set(_CLUSTER)
             | {"tracer", "cost_model"}
         )
         parts = [

@@ -251,6 +251,42 @@ class Memo:
             return True
         return False
 
+    def install_summary(self, mask: int, cost: float, rows: float) -> bool:
+        """Install a summary-only entry for a set owned by a remote shard.
+
+        Cluster workers know only (cost, rows) for sets other workers
+        own — enough to cost joins against them, not enough to extract a
+        plan through them.  The entry is stored with ``left = right = 0``
+        (plan extraction must never traverse it; the coordinator collects
+        full rows from each set's owner instead).  An existing entry is
+        left untouched — never downgrade a full local row, and summary
+        costs are deterministic optima so there is nothing to merge.
+
+        Returns True if the summary was installed.
+        """
+        if mask in self._entries:
+            return False
+        self._store_new(
+            MemoEntry(mask, cost, rows, 0, 0, JoinMethod.SCAN)
+        )
+        return True
+
+    def forget(self, mask: int) -> bool:
+        """Drop the entry for ``mask`` entirely; True if one existed.
+
+        Needed by cluster shard recovery: a summary entry's tie-break key
+        ``(0, 0, 0)`` is lexicographically minimal, so a recompute that
+        rediscovers the same optimal cost could never replace it through
+        :meth:`consider_join` — the placeholder must be removed first.
+        """
+        entry = self._entries.pop(mask, None)
+        if entry is None:
+            return False
+        # list.remove preserves relative order, so the sorted flag for
+        # this size bucket stays valid.
+        self._by_size[popcount(mask)].remove(mask)
+        return True
+
     def _store_new(self, entry: MemoEntry) -> None:
         self._entries[entry.mask] = entry
         size = popcount(entry.mask)

@@ -12,6 +12,10 @@ scheme distributes units across worker threads, and an executor runs them:
 * ``processes`` — real ``multiprocessing`` workers with replicated memos
   and per-stratum delta broadcast (correct under true parallelism;
   quantifies the IPC cost of shared-nothing memo replication, E8).
+* ``cluster`` — shared-nothing workers (forked or ``repro worker``
+  TCP processes) that each own a hash shard of the memo and exchange
+  per-stratum best-plan summaries peer to peer; the coordinator only
+  sequences barriers (docs/distributed.md, E16).
 
 ``PDPsize``, ``PDPsub``, and ``PDPsva`` are presets of
 :class:`~repro.parallel.scheduler.ParallelDP` for the three enumeration

@@ -1,6 +1,7 @@
-"""Stratum executors: simulated, real threads, real processes."""
+"""Stratum executors: simulated, threads, processes, cluster."""
 
 from repro.parallel.executors.base import RunState, StratumExecutor
+from repro.parallel.executors.cluster import ClusterExecutor
 from repro.parallel.executors.process import ProcessExecutor
 from repro.parallel.executors.simulated import SimulatedExecutor
 from repro.parallel.executors.threaded import ThreadedExecutor
@@ -9,6 +10,7 @@ EXECUTORS = {
     "simulated": SimulatedExecutor,
     "threads": ThreadedExecutor,
     "processes": ProcessExecutor,
+    "cluster": ClusterExecutor,
 }
 """Registry of executor backends keyed by scheduler name."""
 
@@ -18,5 +20,6 @@ __all__ = [
     "SimulatedExecutor",
     "ThreadedExecutor",
     "ProcessExecutor",
+    "ClusterExecutor",
     "EXECUTORS",
 ]

@@ -51,6 +51,11 @@ class RunState:
             re-dispatching a failed worker's units before raising.
         retry_backoff: Exponential-backoff base slept between recovery
             attempts, in seconds.
+        cluster_workers: Cluster backend only — number of shard-owning
+            workers (defaults to ``threads`` upstream; 0 elsewhere).
+        cluster_connect: Cluster backend only — ``host:port`` addresses
+            of pre-started ``repro worker`` processes; empty selects the
+            in-process (forked) cluster.
     """
 
     ctx: QueryContext
@@ -69,6 +74,8 @@ class RunState:
     injector: object = NULL_INJECTOR
     retry_limit: int = 2
     retry_backoff: float = 0.02
+    cluster_workers: int = 0
+    cluster_connect: tuple = ()
 
 
 class StratumExecutor(ABC):
@@ -81,6 +88,17 @@ class StratumExecutor(ABC):
     #: truth replacing the per-executor "simulated only" guards — and the
     #: scheduler re-checks it defensively before the first stratum.
     supports_dynamic_allocation: bool = False
+
+    #: Whether this executor partitions the search space itself
+    #: (shared-nothing memo sharding).  When true the scheduler skips
+    #: work-unit generation and allocation entirely — ``run_stratum``
+    #: receives ``units=[]``/``assignment=None`` and the executor derives
+    #: each worker's share from the hash partition
+    #: (:mod:`repro.parallel.partition`).  Such an executor is also
+    #: allowed to leave the master memo without the stratum's full rows
+    #: until ``close`` (the coordinator collects shard contents once, at
+    #: the end).
+    partitions_search_space: bool = False
 
     @abstractmethod
     def open(self, state: RunState) -> None:

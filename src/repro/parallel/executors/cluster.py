@@ -1,0 +1,894 @@
+"""Shared-nothing cluster executor: memo-partitioned, summary exchange.
+
+Every other backend replicates the memo and has the coordinator
+re-broadcast each merged stratum — the master is the comms bottleneck
+Trummer & Koch's shared-nothing formulation removes.  Here the DP search
+space itself is partitioned: each of N workers owns the quantifier sets
+hashing to its shard (:mod:`repro.parallel.partition`), enumerates *only*
+plans whose result set it owns, and per stratum exchanges best-plan
+**summary rows** — (mask, cost, rows), no operands — directly with its
+peers over a deterministic round-robin tournament schedule.  The
+coordinator never touches plan data mid-run: it sequences the two phases
+of each stratum barrier (compute, then exchange), merges
+:class:`~repro.memo.counters.WorkMeter` dicts, and drives recovery.  Full
+rows (operands + method) travel exactly once, at the final collect.
+
+Why this is bit-identical to the serial optimum: every quantifier set has
+exactly one owner, ownership is a pure function of the mask, and the
+owner enumerates *all* splits of its sets via the DPsub submask walk — the
+same candidate (outer, inner) pair set any kernel produces — against
+children whose (cost, rows) are the deterministic optima regardless of
+which worker computed them.  The memo tie-break is total, so the winning
+(left, right, method) per set is emission-order-independent.  The
+``algorithm`` knob therefore selects the same results here by
+construction; the cluster always enumerates with the DPsub block kernel
+over owned masks (a per-set enumeration is the only one compatible with
+set ownership).
+
+Two transports share one protocol (:mod:`repro.parallel.net`):
+
+* **in-process** — workers forked from the master (scan-seeded memo
+  replicas inherited), linked by ``socketpair`` meshes.  The default;
+  what the parity and chaos suites run.
+* **TCP** — pre-started ``repro worker --listen HOST:PORT`` processes;
+  the master connects, ships a pickled job spec (query, cost model,
+  flags), and workers dial each other to form the mesh.  Fault injectors
+  hold locks and do not pickle, so TCP workers run without injection.
+
+Failure handling (PR-4 semantics): a worker that *raises* stays in the
+pool and is told to ``redo`` the stratum (forget-owned-then-recompute, so
+the main meter stays exact; the failed attempt's partial counts are kept
+aside).  A worker that *dies* is detected by EOF on its channel; the
+coordinator deals its shards to survivors round-robin
+(:func:`~repro.parallel.partition.reassign`) and the new owners recompute
+the orphaned sets for every completed stratum — summaries of those sets
+already exist everywhere (the dead worker exchanged before dying), but
+their full rows died with it, and a summary's ``(0, 0, 0)`` tie-break key
+would shadow any recompute, so the placeholders are forgotten first.
+Recomputed strata below the current one are charged to the recovery
+meter (their work was already counted from the dead worker's earlier
+replies); the current stratum is charged to the main meter only if the
+dead worker never reported it.  Both recovery paths are bounded by
+``retry_limit`` with exponential backoff.
+
+Observability: workers time their strata into
+:class:`~repro.trace.tracer.RecordingTracer` buffers merged master-side,
+and the coordinator emits the ``comm.*`` group — ``comm.bytes_out`` /
+``comm.bytes_in`` / ``comm.rows`` counters and the ``comm.barrier_wait``
+gauge, per stratum and worker — rendered by ``repro trace`` as the
+``comm`` table.  The counters report nominal payload bytes (the
+:func:`~repro.parallel.wire.payload_nbytes` basis the process backend's
+comm counters also use, so E16 compares like with like); the *actual
+framed bytes* the channels moved — pickle framing and length prefixes
+included — are surfaced separately as ``framed_out``/``framed_in`` in the
+``cluster_comm`` extras.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import socket
+import time
+import uuid
+from contextlib import nullcontext
+from typing import Any
+
+from repro.enumerate.dpsub import dpsub_stratum_candidates
+from repro.enumerate.kernels import (
+    dpsub_block_kernel,
+    dpsub_block_kernel_fast,
+)
+from repro.faults import NULL_INJECTOR
+from repro.memo.counters import WorkMeter
+from repro.memo.table import Memo
+from repro.parallel.allocation import Assignment
+from repro.parallel.executors.base import RunState, StratumExecutor
+from repro.parallel.executors.process import CRASH_EXIT_CODE
+from repro.parallel.net import (
+    Channel,
+    ChannelClosed,
+    connect,
+    listen,
+    parse_hostport,
+)
+from repro.parallel.partition import (
+    identity_owner_map,
+    owned,
+    reassign,
+    shard_of,
+)
+from repro.parallel.wire import (
+    apply_stratum,
+    apply_summary,
+    encode_entries,
+    encode_summary,
+    payload_entries,
+    payload_nbytes,
+)
+from repro.parallel.workunits import WorkUnit
+from repro.trace.tracer import RecordingTracer
+from repro.util.errors import (
+    InjectedFault,
+    OptimizationError,
+    ValidationError,
+)
+
+
+def exchange_rounds(ids: list[int]) -> list[list[tuple[int, int]]]:
+    """Round-robin tournament schedule over ``ids`` (the circle method).
+
+    Every participant computes the identical schedule from the same id
+    list; within a round the pairs are disjoint, so with the fixed
+    lower-id-sends-first discipline the all-to-all exchange cannot
+    deadlock regardless of payload size.
+    """
+    players: list[int | None] = sorted(ids)
+    if len(players) % 2:
+        players.append(None)
+    m = len(players)
+    rounds: list[list[tuple[int, int]]] = []
+    arr = players[:]
+    for _ in range(max(0, m - 1)):
+        pairs = []
+        for i in range(m // 2):
+            a, b = arr[i], arr[m - 1 - i]
+            if a is not None and b is not None:
+                pairs.append((min(a, b), max(a, b)))
+        rounds.append(pairs)
+        arr = [arr[0], arr[-1], *arr[1:-1]]
+    return rounds
+
+
+class _ClusterWorker:
+    """Worker-side protocol loop, shared by the fork and TCP transports.
+
+    Holds this worker's memo replica (scans + own full rows + peer
+    summaries), the control channel to the coordinator, and one mesh
+    channel per peer.  See the module docstring for the message protocol.
+    """
+
+    def __init__(
+        self,
+        ctrl: Channel,
+        peers: dict[int, Channel],
+        worker: int,
+        num_workers: int,
+        memo: Memo,
+        qctx,
+        require_connected: bool,
+        fast: bool,
+        packed: bool,
+        injector=NULL_INJECTOR,
+        trace_enabled: bool = False,
+    ) -> None:
+        self.ctrl = ctrl
+        self.peers = peers
+        self.worker = worker
+        self.num_workers = num_workers
+        self.memo = memo
+        self.qctx = qctx
+        self.require_connected = require_connected
+        self.kernel = dpsub_block_kernel_fast if fast else dpsub_block_kernel
+        self.packed = packed
+        self.injector = injector
+        self.trace_enabled = trace_enabled
+        self.owner_map = identity_owner_map(num_workers)
+        self.dead: set[int] = set()
+        self._strata: dict[int, list[int]] = {}
+
+    # -- partition views -------------------------------------------------
+
+    def _stratum(self, size: int) -> list[int]:
+        masks = self._strata.get(size)
+        if masks is None:
+            masks = dpsub_stratum_candidates(self.qctx, size)
+            self._strata[size] = masks
+        return masks
+
+    def _owned(self, size: int) -> list[int]:
+        return owned(self._stratum(size), self.owner_map, self.worker)
+
+    # -- message handlers --------------------------------------------------
+
+    def serve(self) -> None:
+        """Serve coordinator messages until ``stop`` or coordinator EOF."""
+        try:
+            while True:
+                msg = self.ctrl.recv()
+                kind = msg[0]
+                if kind == "stop":
+                    break
+                if kind in ("go", "redo"):
+                    self._compute(msg[1], forget_first=kind == "redo")
+                elif kind == "exchange":
+                    self._exchange(msg[1], msg[2])
+                elif kind == "reassign":
+                    self._reassign(*msg[1:])
+                elif kind == "collect":
+                    self._collect()
+        except ChannelClosed:
+            pass  # coordinator gone; nothing left to report to
+        finally:
+            self.ctrl.close()
+            for ch in self.peers.values():
+                ch.close()
+
+    def _compute(self, size: int, forget_first: bool = False) -> None:
+        """Enumerate all owned result sets of one stratum.
+
+        ``forget_first`` (the ``redo`` path) drops any partial results of
+        a failed attempt so the recompute's insert/improvement counts
+        match a clean run exactly.
+        """
+        memo = self.memo
+        masks = self._owned(size)
+        meter = WorkMeter()
+        tracer = RecordingTracer() if self.trace_enabled else None
+        error: str | None = None
+        start = time.perf_counter()
+        span = (
+            tracer.span("worker.stratum", size=size)
+            if tracer is not None
+            else nullcontext()
+        )
+        try:
+            with span:
+                if self.injector.enabled:
+                    action = self.injector.fire(
+                        "worker",
+                        worker=self.worker,
+                        stratum=size,
+                        backend="cluster",
+                    )
+                    if action is not None:
+                        if action.kind == "crash":
+                            os._exit(CRASH_EXIT_CODE)
+                        if action.kind == "delay":
+                            time.sleep(action.delay_seconds)
+                        else:
+                            raise InjectedFault(action.message)
+                if forget_first:
+                    for mask in masks:
+                        memo.forget(mask)
+                self.kernel(
+                    memo,
+                    self.qctx,
+                    masks,
+                    0,
+                    len(masks),
+                    self.require_connected,
+                    meter,
+                )
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        elapsed = time.perf_counter() - start
+        payload = tracer.payload() if tracer is not None else None
+        self.ctrl.send(
+            ("done", size, error, meter.as_dict(), len(masks), elapsed,
+             payload)
+        )
+
+    def _exchange(self, size: int, alive: list[int]) -> None:
+        """All-to-all summary exchange for one stratum among ``alive``.
+
+        Within each tournament round, the lower id sends first then
+        receives; the higher id does the reverse.  A peer dying
+        mid-exchange is recorded and skipped — the coordinator reassigns
+        its shards and re-runs the exchange (summary installation is
+        idempotent, so the re-run is safe).
+        """
+        memo = self.memo
+        payload = encode_summary(memo, self._owned(size), self.packed)
+        my_rows = payload_entries(payload)
+        my_nbytes = payload_nbytes(payload)
+        rows_out = rows_in = sends = bytes_in = 0
+        before_out = sum(ch.bytes_out for ch in self.peers.values())
+        before_in = sum(ch.bytes_in for ch in self.peers.values())
+        for rnd in exchange_rounds(alive):
+            peer = None
+            for a, b in rnd:
+                if a == self.worker:
+                    peer = b
+                    break
+                if b == self.worker:
+                    peer = a
+                    break
+            if peer is None or peer in self.dead:
+                continue
+            ch = self.peers[peer]
+            try:
+                if self.worker < peer:
+                    ch.send(payload)
+                    sends += 1
+                    rows_out += my_rows
+                    incoming = ch.recv()
+                    bytes_in += payload_nbytes(incoming)
+                    rows_in += apply_summary(memo, incoming)
+                else:
+                    incoming = ch.recv()
+                    bytes_in += payload_nbytes(incoming)
+                    rows_in += apply_summary(memo, incoming)
+                    ch.send(payload)
+                    sends += 1
+                    rows_out += my_rows
+            except ChannelClosed:
+                self.dead.add(peer)
+        # bytes_out/bytes_in are nominal payload bytes (same
+        # payload_nbytes basis the process backend's comm counters use,
+        # so E16 compares like with like); framed_* are the actual bytes
+        # the channels moved, pickle framing and length prefixes included.
+        comm = {
+            "bytes_out": my_nbytes * sends,
+            "bytes_in": bytes_in,
+            "rows_out": rows_out,
+            "rows_in": rows_in,
+            "framed_out": (
+                sum(ch.bytes_out for ch in self.peers.values()) - before_out
+            ),
+            "framed_in": (
+                sum(ch.bytes_in for ch in self.peers.values()) - before_in
+            ),
+        }
+        self.ctrl.send(("exchanged", size, sorted(self.dead), comm))
+
+    def _reassign(
+        self,
+        new_map: dict[int, int],
+        size: int,
+        count_size_in_main: bool,
+        dead_list: list[int],
+    ) -> None:
+        """Adopt a post-failure owner map; recompute newly gained sets.
+
+        Gained sets are recomputed in ascending stratum order so each
+        recompute finds its children (own rows, peer summaries, or
+        just-recovered gained sets) already present.  Their summary
+        placeholders are forgotten first — see the module docstring.
+        The adoption is relative to *this worker's* current map, so a
+        worker that failed a previous adoption self-heals on the retry.
+        """
+        memo = self.memo
+        self.dead.update(dead_list)
+        main = WorkMeter()
+        recovery = WorkMeter()
+        error: str | None = None
+        recomputed = 0
+        num = self.num_workers
+        try:
+            for t in range(2, size + 1):
+                gained = [
+                    mask
+                    for mask in self._stratum(t)
+                    if new_map[shard_of(mask, num)] == self.worker
+                    and self.owner_map[shard_of(mask, num)] != self.worker
+                ]
+                if not gained:
+                    continue
+                for mask in gained:
+                    memo.forget(mask)
+                meter = (
+                    main if (t == size and count_size_in_main) else recovery
+                )
+                self.kernel(
+                    memo,
+                    self.qctx,
+                    gained,
+                    0,
+                    len(gained),
+                    self.require_connected,
+                    meter,
+                )
+                recomputed += len(gained)
+            self.owner_map = dict(new_map)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        self.ctrl.send(
+            ("reassigned", size, error, main.as_dict(), recovery.as_dict(),
+             recomputed)
+        )
+
+    def _collect(self) -> None:
+        """Ship full rows for every owned set — the one full-row transfer."""
+        masks: list[int] = []
+        for t in range(2, self.qctx.n + 1):
+            masks.extend(self._owned(t))
+        self.ctrl.send(("rows", encode_entries(self.memo, masks, self.packed)))
+
+
+def _fork_worker_main(
+    state: RunState, worker: int, num_workers: int, control, mesh
+) -> None:
+    """Entry point of a forked in-process cluster worker.
+
+    FD hygiene is load-bearing: every socket end this worker does not own
+    is closed, so a peer's death produces a clean EOF on the surviving
+    ends instead of a silently held-open descriptor.
+    """
+    ctrl = Channel(control[worker][1])
+    peers: dict[int, Channel] = {}
+    for (i, j), (a, b) in mesh.items():
+        if i == worker:
+            peers[j] = Channel(a)
+            b.close()
+        elif j == worker:
+            peers[i] = Channel(b)
+            a.close()
+        else:
+            a.close()
+            b.close()
+    for w, (master_end, child_end) in enumerate(control):
+        master_end.close()
+        if w != worker:
+            child_end.close()
+    _ClusterWorker(
+        ctrl,
+        peers,
+        worker,
+        num_workers,
+        memo=state.memo,
+        qctx=state.ctx,
+        require_connected=state.require_connected,
+        fast=state.fast_path,
+        packed=state.wire_packed,
+        injector=state.injector,
+        trace_enabled=state.tracer.enabled,
+    ).serve()
+
+
+def serve_worker(listen_spec: str) -> None:
+    """Run one TCP cluster worker: the ``repro worker --listen`` loop.
+
+    One-shot lifecycle: bind, accept exactly one coordinator, receive the
+    job spec, mesh up with the peers it names (dial lower ids, accept
+    higher ids, token-checked hellos), serve the run, exit.  Start one
+    process per address the coordinator will list in ``cluster_connect``.
+    """
+    try:
+        host, port = parse_hostport(listen_spec)
+    except ValueError as exc:
+        raise ValidationError(f"--listen {exc}") from exc
+    lsock = listen(host, port)
+    conn, _ = lsock.accept()
+    ctrl = Channel(conn)
+    msg = ctrl.recv()
+    if msg[0] != "job":
+        raise ValidationError(f"expected a job message, got {msg[0]!r}")
+    spec = msg[1]
+    worker = spec["worker"]
+    num = spec["workers"]
+    token = spec["token"]
+    addrs = spec["peers"]
+    peers: dict[int, Channel] = {}
+    for j in range(worker):
+        peer_host, peer_port = parse_hostport(addrs[j])
+        ch = connect(peer_host, peer_port)
+        ch.send(("hello", worker, token))
+        peers[j] = ch
+    for _ in range(num - 1 - worker):
+        peer_conn, _ = lsock.accept()
+        ch = Channel(peer_conn)
+        hello = ch.recv()
+        if hello[0] != "hello" or hello[2] != token:
+            raise ValidationError("cluster peer handshake failed (bad token)")
+        peers[hello[1]] = ch
+    lsock.close()
+    from repro.enumerate.base import make_context
+
+    qctx = make_context(spec["query"])
+    memo = Memo(qctx, spec["cost_model"])
+    memo.init_scans()
+    ctrl.send(("ready",))
+    _ClusterWorker(
+        ctrl,
+        peers,
+        worker,
+        num,
+        memo=memo,
+        qctx=qctx,
+        require_connected=spec["require_connected"],
+        fast=spec["fast_path"],
+        packed=spec["packed"],
+        trace_enabled=spec["trace"],
+    ).serve()
+
+
+class ClusterExecutor(StratumExecutor):
+    """Coordinator for the shared-nothing cluster backend."""
+
+    supports_dynamic_allocation = False
+    partitions_search_space = True
+
+    def __init__(self) -> None:
+        self._state: RunState | None = None
+        self._chans: dict[int, Channel | None] = {}
+        self._procs: dict[int, mp.Process] = {}
+        self._owner_map: dict[int, int] = {}
+        self._num_workers = 0
+        self._mode = "fork"
+        self._dead: set[int] = set()
+        self._dead_unhandled = False
+        self._rounds = 0
+        self._failed = False
+        self._partial_meter = WorkMeter()
+        self._comm = {"bytes_out": 0, "bytes_in": 0, "rows_out": 0,
+                      "rows_in": 0, "framed_out": 0, "framed_in": 0}
+        self._recovery = {
+            "worker_errors": 0,
+            "worker_deaths": 0,
+            "reassignments": 0,
+            "recomputed_masks": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def open(self, state: RunState) -> None:
+        self._state = state
+        workers = state.cluster_workers or state.threads
+        self._num_workers = workers
+        self._owner_map = identity_owner_map(workers)
+        if state.cluster_connect:
+            self._mode = "tcp"
+            self._open_tcp(state, workers)
+        else:
+            self._open_fork(state, workers)
+
+    def _open_fork(self, state: RunState, workers: int) -> None:
+        try:
+            ctx_mp = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise ValidationError(
+                "the cluster backend's in-process mode requires the "
+                "'fork' start method"
+            ) from exc
+        # Create every socket before the first fork so all children
+        # inherit the full mesh, then let each side close what it does
+        # not own.
+        control = [socket.socketpair() for _ in range(workers)]
+        mesh = {
+            (i, j): socket.socketpair()
+            for i in range(workers)
+            for j in range(i + 1, workers)
+        }
+        for w in range(workers):
+            proc = ctx_mp.Process(
+                target=_fork_worker_main,
+                args=(state, w, workers, control, mesh),
+                daemon=True,
+            )
+            proc.start()
+            self._procs[w] = proc
+        for a, b in mesh.values():
+            a.close()
+            b.close()
+        for w, (master_end, child_end) in enumerate(control):
+            child_end.close()
+            self._chans[w] = Channel(master_end)
+
+    def _open_tcp(self, state: RunState, workers: int) -> None:
+        token = uuid.uuid4().hex
+        addrs = list(state.cluster_connect)
+        spec_common = {
+            "workers": workers,
+            "peers": addrs,
+            "token": token,
+            "query": state.ctx.query,
+            "cost_model": state.memo.cost_model,
+            "require_connected": state.require_connected,
+            "fast_path": state.fast_path,
+            "packed": state.wire_packed,
+            "trace": state.tracer.enabled,
+        }
+        for w, addr in enumerate(addrs):
+            host, port = parse_hostport(addr)
+            self._chans[w] = connect(host, port)
+        for w in range(workers):
+            self._chans[w].send(("job", {**spec_common, "worker": w}))
+        for w in range(workers):
+            reply = self._recv(w, 0)
+            if reply is None or reply[0] != "ready":
+                self._failed = True
+                raise OptimizationError(
+                    f"cluster worker {w} failed to initialize"
+                )
+
+    # -- worker bookkeeping ----------------------------------------------
+
+    def _alive(self) -> list[int]:
+        return sorted(w for w, ch in self._chans.items() if ch is not None)
+
+    def _retire(self, w: int, size: int) -> None:
+        ch = self._chans.get(w)
+        if ch is None:
+            return
+        self._chans[w] = None
+        ch.close()
+        proc = self._procs.pop(w, None)
+        if proc is not None:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+        self._dead.add(w)
+        self._dead_unhandled = True
+        self._recovery["worker_deaths"] += 1
+        state = self._state
+        if state is not None and state.tracer.enabled:
+            state.tracer.counter("fault.worker_dead", size=size, worker=w)
+
+    def _send(self, w: int, message, size: int) -> bool:
+        ch = self._chans.get(w)
+        if ch is None:
+            return False
+        try:
+            ch.send(message)
+            return True
+        except ChannelClosed:
+            self._retire(w, size)
+            return False
+
+    def _recv(self, w: int, size: int):
+        ch = self._chans.get(w)
+        if ch is None:
+            return None
+        try:
+            return ch.recv()
+        except ChannelClosed:
+            self._retire(w, size)
+            return None
+
+    # -- the stratum barrier ---------------------------------------------
+
+    def run_stratum(
+        self, size: int, units: list[WorkUnit], assignment: Assignment | None
+    ) -> None:
+        state = self._state
+        assert state is not None
+        self._phase_compute(size)
+        if size < state.ctx.n:
+            # The full-query stratum's summary interests nobody; its full
+            # row arrives with the final collect.
+            self._phase_exchange(size)
+        self._rounds += 1
+
+    def _phase_compute(self, size: int) -> None:
+        state = self._state
+        assert state is not None
+        tracer = state.tracer
+        done: dict[int, tuple[int, float]] = {}
+        errors: list[int] = []
+
+        def dispatch(targets: list[int], message) -> None:
+            sent = [w for w in targets if self._send(w, message, size)]
+            for w in sent:
+                reply = self._recv(w, size)
+                if reply is None:
+                    continue
+                _, _rsize, error, meter_d, owned_count, elapsed, payload = (
+                    reply
+                )
+                if error is not None:
+                    errors.append(w)
+                    self._partial_meter.merge_dict(meter_d)
+                    self._recovery["worker_errors"] += 1
+                    if tracer.enabled:
+                        tracer.counter(
+                            "fault.worker_error", size=size, worker=w
+                        )
+                    continue
+                state.meter.merge_dict(meter_d)
+                done[w] = (owned_count, elapsed)
+                if tracer.enabled and payload:
+                    tracer.ingest(payload, worker=w)
+
+        dispatch(self._alive(), ("go", size))
+        attempts = 0
+        while self._dead_unhandled or errors:
+            attempts += 1
+            if attempts > state.retry_limit + 1:
+                self._failed = True
+                raise OptimizationError(
+                    f"stratum {size}: cluster recovery exhausted after "
+                    f"{state.retry_limit + 1} attempts"
+                )
+            if state.retry_backoff and attempts > 1:
+                time.sleep(state.retry_backoff * (2 ** (attempts - 2)))
+            if self._dead_unhandled:
+                # The dead worker never reported this stratum, so the
+                # recovered sets' stratum-``size`` work belongs in the
+                # main meter.
+                self._do_reassign(size, count_size_in_main=True)
+                errors = [w for w in errors if self._chans.get(w) is not None]
+            if errors:
+                redo, errors = list(errors), []
+                dispatch(redo, ("redo", size))
+        if not self._alive():
+            self._failed = True
+            raise OptimizationError("all cluster workers died")
+        if tracer.enabled:
+            slowest = max((e for _, e in done.values()), default=0.0)
+            for w, (owned_count, elapsed) in sorted(done.items()):
+                tracer.counter(
+                    "worker.units", owned_count, size=size, worker=w
+                )
+                tracer.gauge("worker.busy", elapsed, size=size, worker=w)
+                tracer.gauge(
+                    "worker.barrier_wait",
+                    slowest - elapsed,
+                    size=size,
+                    worker=w,
+                )
+                tracer.gauge(
+                    "comm.barrier_wait",
+                    slowest - elapsed,
+                    size=size,
+                    worker=w,
+                )
+
+    def _do_reassign(self, size: int, count_size_in_main: bool) -> bool:
+        """Deal dead workers' shards to survivors; drive the recompute.
+
+        Returns True when every surviving worker adopted cleanly.  A
+        worker that errors (or dies) mid-adoption leaves
+        ``_dead_unhandled`` set, so the caller's bounded retry loop
+        re-runs the reassignment — adoption is computed against each
+        worker's own current map, making the retry self-healing and
+        idempotent for workers that already adopted.
+        """
+        state = self._state
+        assert state is not None
+        tracer = state.tracer
+        alive = self._alive()
+        if not alive:
+            self._failed = True
+            raise OptimizationError("all cluster workers died")
+        self._dead_unhandled = False
+        new_map = reassign(self._owner_map, self._dead, alive)
+        self._owner_map = new_map
+        self._recovery["reassignments"] += 1
+        clean = True
+        message = (
+            "reassign", new_map, size, count_size_in_main, sorted(self._dead)
+        )
+        sent = [w for w in alive if self._send(w, message, size)]
+        if len(sent) < len(alive):
+            clean = False
+        for w in sent:
+            reply = self._recv(w, size)
+            if reply is None:
+                clean = False
+                continue
+            _, _rsize, error, main_d, recovery_d, recomputed = reply
+            if error is not None:
+                clean = False
+                self._partial_meter.merge_dict(main_d)
+                self._partial_meter.merge_dict(recovery_d)
+                self._recovery["worker_errors"] += 1
+                continue
+            state.meter.merge_dict(main_d)
+            self._partial_meter.merge_dict(recovery_d)
+            self._recovery["recomputed_masks"] += recomputed
+            if tracer.enabled and recomputed:
+                tracer.counter(
+                    "fault.redispatch", recomputed, size=size, worker=w
+                )
+        if not clean and not self._dead_unhandled:
+            self._dead_unhandled = True  # force the caller to retry
+        return clean
+
+    def _phase_exchange(self, size: int) -> None:
+        state = self._state
+        assert state is not None
+        tracer = state.tracer
+        attempts = 0
+        while True:
+            alive = self._alive()
+            if len(alive) <= 1:
+                return
+            sent = [
+                w
+                for w in alive
+                if self._send(w, ("exchange", size, alive), size)
+            ]
+            peer_dead: set[int] = set()
+            clean = len(sent) == len(alive)
+            for w in sent:
+                reply = self._recv(w, size)
+                if reply is None:
+                    clean = False
+                    continue
+                _, _rsize, dead_list, comm = reply
+                peer_dead.update(dead_list)
+                for key in self._comm:
+                    self._comm[key] += comm[key]
+                if tracer.enabled:
+                    tracer.counter(
+                        "comm.bytes_out", comm["bytes_out"], size=size,
+                        worker=w,
+                    )
+                    tracer.counter(
+                        "comm.bytes_in", comm["bytes_in"], size=size,
+                        worker=w,
+                    )
+                    tracer.counter(
+                        "comm.rows", comm["rows_in"], size=size, worker=w
+                    )
+            for w in sorted(peer_dead):
+                if self._chans.get(w) is not None:
+                    self._retire(w, size)
+            if clean and not self._dead_unhandled:
+                return
+            attempts += 1
+            if attempts > state.retry_limit + 1:
+                self._failed = True
+                raise OptimizationError(
+                    f"stratum {size}: cluster exchange failed after "
+                    f"{state.retry_limit + 1} attempts"
+                )
+            if state.retry_backoff and attempts > 1:
+                time.sleep(state.retry_backoff * (2 ** (attempts - 2)))
+            # The dead worker reported this stratum's compute before the
+            # exchange broke, so recovered work is all recovery-metered;
+            # the re-run of the (idempotent) exchange follows.
+            self._do_reassign(size, count_size_in_main=False)
+
+    # -- teardown --------------------------------------------------------
+
+    def close(self) -> dict[str, Any]:
+        state = self._state
+        collected = 0
+        collect_bytes = 0
+        if state is not None and not self._failed and self._alive():
+            before = sum(
+                ch.bytes_in for ch in self._chans.values() if ch is not None
+            )
+            for w in self._alive():
+                if not self._send(w, ("collect",), 0):
+                    continue
+                reply = self._recv(w, 0)
+                if reply is None:
+                    continue
+                collected += apply_stratum(state.memo, reply[1])
+            collect_bytes = (
+                sum(
+                    ch.bytes_in
+                    for ch in self._chans.values()
+                    if ch is not None
+                )
+                - before
+            )
+            if state.tracer.enabled:
+                state.tracer.counter("comm.collect_rows", collected)
+                state.tracer.counter("comm.collect_bytes", collect_bytes)
+        for w in self._alive():
+            self._send(w, ("stop",), 0)
+        for w, proc in list(self._procs.items()):
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+        self._procs.clear()
+        control_out = sum(
+            ch.bytes_out for ch in self._chans.values() if ch is not None
+        )
+        control_in = sum(
+            ch.bytes_in for ch in self._chans.values() if ch is not None
+        )
+        for ch in self._chans.values():
+            if ch is not None:
+                ch.close()
+        self._chans.clear()
+        recovery = dict(self._recovery)
+        recovery["partial_meter"] = self._partial_meter.as_dict()
+        return {
+            "rounds": self._rounds,
+            "workers": self._num_workers,
+            "mode": self._mode,
+            "cluster_comm": {
+                **self._comm,
+                "collect_rows": collected,
+                "collect_bytes": collect_bytes,
+                "control_bytes_out": control_out,
+                "control_bytes_in": control_in,
+            },
+            "fault_recovery": recovery,
+            "owner_map": dict(self._owner_map),
+        }

@@ -461,6 +461,7 @@ class ProcessExecutor(StratumExecutor):
         for i, unit in enumerate(orphaned):
             buckets[alive[i % len(alive)]].append(unit)
 
+        tracer = state.tracer
         sent: list[int] = []
         failed_units: list[WorkUnit] = []
         for t in alive:
@@ -473,8 +474,12 @@ class ProcessExecutor(StratumExecutor):
                 continue
             sent.append(t)
             self._bytes_sent += payload_nbytes(delta)
+            if tracer.enabled:
+                tracer.counter(
+                    "comm.bytes_out", payload_nbytes(delta), size=size,
+                    worker=t,
+                )
 
-        tracer = state.tracer
         walls: dict[int, float] = {}
         pairs: dict[int, int] = {}
         clean: list[int] = []
@@ -487,6 +492,15 @@ class ProcessExecutor(StratumExecutor):
             apply_stratum(state.memo, candidates)
             state.meter.merge_dict(meter_counts)
             self._bytes_sent += payload_nbytes(candidates)
+            if tracer.enabled:
+                tracer.counter(
+                    "comm.bytes_in", payload_nbytes(candidates), size=size,
+                    worker=t,
+                )
+                tracer.counter(
+                    "comm.rows", payload_entries(candidates), size=size,
+                    worker=t,
+                )
             walls[t] = elapsed
             pairs[t] = meter_counts.get("pairs_considered", 0)
             clean.append(t)
@@ -510,6 +524,12 @@ class ProcessExecutor(StratumExecutor):
                 tracer.gauge("worker.busy", walls[t], size=size, worker=t)
                 tracer.gauge(
                     "worker.barrier_wait",
+                    slowest - walls[t],
+                    size=size,
+                    worker=t,
+                )
+                tracer.gauge(
+                    "comm.barrier_wait",
                     slowest - walls[t],
                     size=size,
                     worker=t,
@@ -578,6 +598,11 @@ class ProcessExecutor(StratumExecutor):
             if first:
                 need_delta.discard(t)
                 self._bytes_sent += payload_nbytes(delta)
+                if tracer.enabled:
+                    tracer.counter(
+                        "comm.bytes_out", payload_nbytes(delta), size=size,
+                        worker=t,
+                    )
             outstanding[t] = batch
             batches[t] = batches.get(t, 0) + 1
             dispatched[t] = dispatched.get(t, 0) + len(batch)
@@ -637,6 +662,15 @@ class ProcessExecutor(StratumExecutor):
                     apply_stratum(state.memo, candidates)
                     state.meter.merge_dict(meter_counts)
                     self._bytes_sent += payload_nbytes(candidates)
+                    if tracer.enabled:
+                        tracer.counter(
+                            "comm.bytes_in", payload_nbytes(candidates),
+                            size=size, worker=t,
+                        )
+                        tracer.counter(
+                            "comm.rows", payload_entries(candidates),
+                            size=size, worker=t,
+                        )
                     walls[t] = walls.get(t, 0.0) + elapsed
                     pairs[t] = pairs.get(t, 0) + meter_counts.get(
                         "pairs_considered", 0
@@ -675,6 +709,12 @@ class ProcessExecutor(StratumExecutor):
                 )
                 tracer.gauge(
                     "worker.barrier_wait",
+                    slowest - walls.get(t, 0.0),
+                    size=size,
+                    worker=t,
+                )
+                tracer.gauge(
+                    "comm.barrier_wait",
                     slowest - walls.get(t, 0.0),
                     size=size,
                     worker=t,

@@ -1,0 +1,126 @@
+"""Length-prefixed socket framing for the cluster backend.
+
+One framing layer serves both transports: ``socket.socketpair()`` links
+for in-process (forked) clusters and TCP connections for
+``repro worker --listen`` processes on other machines.  A frame is a
+4-byte big-endian length followed by a pickled payload — the payloads
+themselves are the packed columnar encodings from
+:mod:`repro.parallel.wire`, so the per-entry wire cost matches the
+process backend's and the two are directly comparable in E16.
+
+:class:`Channel` counts the *actual framed bytes* it moves (prefix
+included) in ``bytes_out``/``bytes_in``; the cluster executor surfaces
+those as the ``framed_*`` fields of its ``cluster_comm`` extras (its
+``comm.*`` trace counters report nominal payload bytes instead, matching
+the process backend's accounting).  A peer closing its end (clean
+shutdown or crash) surfaces as :class:`ChannelClosed` on the next read —
+the failure-detection primitive the coordinator's shard reassignment is
+built on.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import time
+
+from repro.util.errors import ReproError
+
+_LEN = struct.Struct(">I")
+
+#: Frame-prefix overhead per message, exposed for byte accounting.
+FRAME_OVERHEAD = _LEN.size
+
+
+class ChannelClosed(ReproError):
+    """The peer closed its end of the channel (EOF mid-protocol)."""
+
+
+class Channel:
+    """A framed, metered, pickle-speaking wrapper around one socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self.bytes_out = 0
+        self.bytes_in = 0
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def send(self, obj) -> None:
+        """Send one frame; raises :class:`ChannelClosed` on a dead peer."""
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = _LEN.pack(len(payload)) + payload
+        try:
+            self._sock.sendall(frame)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise ChannelClosed(f"peer closed channel: {exc}") from exc
+        self.bytes_out += len(frame)
+
+    def recv(self):
+        """Receive one frame; raises :class:`ChannelClosed` on EOF."""
+        header = self._recv_exact(_LEN.size)
+        (length,) = _LEN.unpack(header)
+        payload = self._recv_exact(length)
+        self.bytes_in += _LEN.size + length
+        return pickle.loads(payload)
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except (ConnectionResetError, OSError) as exc:
+                raise ChannelClosed(f"peer closed channel: {exc}") from exc
+            if not chunk:
+                raise ChannelClosed("peer closed channel (EOF)")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def channel_pair() -> tuple[Channel, Channel]:
+    """A connected in-process channel pair (``socketpair`` underneath)."""
+    a, b = socket.socketpair()
+    return Channel(a), Channel(b)
+
+
+def parse_hostport(spec: str) -> tuple[str, int]:
+    """Parse ``"host:port"``; raises :class:`ValueError` on bad input."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected host:port, got {spec!r}")
+    return host, int(port)
+
+
+def listen(host: str, port: int, backlog: int = 16) -> socket.socket:
+    """An accepting TCP socket (``SO_REUSEADDR`` set)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(backlog)
+    return sock
+
+
+def connect(
+    host: str, port: int, retries: int = 40, delay: float = 0.05
+) -> Channel:
+    """Dial a peer, retrying while it finishes binding its listener."""
+    last: Exception | None = None
+    for _ in range(max(1, retries)):
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+            sock.settimeout(None)
+            return Channel(sock)
+        except OSError as exc:
+            last = exc
+            time.sleep(delay)
+    raise ChannelClosed(f"could not connect to {host}:{port}: {last}")

@@ -1,0 +1,115 @@
+"""Hash partitioning of the DP search space (cluster backend).
+
+Trummer & Koch's shared-nothing formulation partitions the *memo itself*:
+every quantifier set is owned by exactly one worker, determined by a
+stable hash of the set.  A worker enumerates only the result sets it
+owns, which makes candidate traffic disjoint by construction — no two
+workers ever compute a plan for the same set, so the per-stratum exchange
+carries each winner exactly once instead of the replicated-memo backends'
+overlapping candidate streams.
+
+The hash must be identical across processes, machines, and Python
+versions (``hash()`` is salted per process, so it is unusable here):
+:func:`shard_of` feeds the canonical big-endian byte encoding of the
+quantifier-set bitmask through ``blake2b`` and reduces the first eight
+digest bytes modulo the shard count.  Placement is therefore a pure
+function of ``(mask, num_shards)`` — deterministic, testable, and
+independent of who computes it.
+
+Shards are a level of indirection above workers: ownership is
+``owner_map[shard_of(mask, num_shards)]``.  With one shard per worker
+(the default) the map starts as the identity; when a worker dies, its
+shards are reassigned to survivors (:func:`reassign`) without moving any
+other shard — the recovery story in ``docs/distributed.md``.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+
+__all__ = [
+    "shard_of",
+    "shard_sizes",
+    "shard_balance",
+    "identity_owner_map",
+    "reassign",
+    "owned",
+]
+
+
+def _canonical_bytes(mask: int) -> bytes:
+    """Minimal big-endian byte encoding of a bitmask (canonical form)."""
+    return mask.to_bytes((mask.bit_length() + 7) // 8 or 1, "big")
+
+
+def shard_of(mask: int, num_shards: int) -> int:
+    """Shard owning quantifier set ``mask`` — stable across processes.
+
+    >>> shard_of(0b1011, 4) == shard_of(0b1011, 4)
+    True
+    >>> 0 <= shard_of(0b1011, 4) < 4
+    True
+    """
+    if num_shards <= 1:
+        return 0
+    digest = blake2b(_canonical_bytes(mask), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+def shard_sizes(masks, num_shards: int) -> list[int]:
+    """Number of masks landing in each shard."""
+    sizes = [0] * num_shards
+    for mask in masks:
+        sizes[shard_of(mask, num_shards)] += 1
+    return sizes
+
+
+def shard_balance(masks, num_shards: int) -> float:
+    """Max/mean shard size — 1.0 is perfect balance.
+
+    Returns 0.0 for an empty mask collection (nothing to balance).
+    """
+    sizes = shard_sizes(masks, num_shards)
+    total = sum(sizes)
+    if total == 0:
+        return 0.0
+    return max(sizes) / (total / num_shards)
+
+
+def identity_owner_map(num_shards: int) -> dict[int, int]:
+    """The initial shard → worker map: one shard per worker."""
+    return {shard: shard for shard in range(num_shards)}
+
+
+def reassign(
+    owner_map: dict[int, int], dead: set[int], alive: list[int]
+) -> dict[int, int]:
+    """New owner map with dead workers' shards spread over survivors.
+
+    Deterministic: orphaned shards are taken in ascending order and dealt
+    round-robin to the ascending survivor list, so every participant can
+    compute the same map from the same failure report.  Shards already on
+    survivors do not move.
+    """
+    if not alive:
+        raise ValueError("cannot reassign shards: no surviving workers")
+    survivors = sorted(alive)
+    new_map = dict(owner_map)
+    orphaned = sorted(s for s, w in owner_map.items() if w in dead)
+    for i, shard in enumerate(orphaned):
+        new_map[shard] = survivors[i % len(survivors)]
+    return new_map
+
+
+def owned(masks, owner_map: dict[int, int], worker: int) -> list[int]:
+    """The subsequence of ``masks`` owned by ``worker`` under ``owner_map``.
+
+    Order-preserving, so passing an ascending stratum keeps the kernels'
+    deterministic iteration order.
+    """
+    num_shards = len(owner_map)
+    return [
+        mask
+        for mask in masks
+        if owner_map[shard_of(mask, num_shards)] == worker
+    ]

@@ -130,6 +130,14 @@ class ParallelDP:
         return EXECUTORS[self.backend]()
 
     def _make_memo(self, ctx, cost_model, estimator, meter) -> Memo:
+        if self.backend == "cluster":
+            # Cluster workers need install_summary/forget (shard recovery
+            # and summary exchange); the SoA memo carries neither, and
+            # sharded workers see too few sets for its batching to pay.
+            return Memo(
+                ctx, cost_model, estimator=estimator, meter=meter,
+                tracer=self.tracer,
+            )
         if self.backend == "threads":
             # The threads backend needs the stripe locks; the fused
             # kernels still apply, but the memo stays the reference one.
@@ -214,8 +222,15 @@ class ParallelDP:
                 injector=injector,
                 retry_limit=self.config.effective_retry_limit,
                 retry_backoff=self.config.effective_retry_backoff,
+                cluster_workers=self.config.effective_cluster_workers or 0,
+                cluster_connect=tuple(self.config.cluster_connect or ()),
             )
             executor.open(state)
+            # A search-space-partitioning executor (cluster) derives each
+            # worker's share from the hash partition; unit generation and
+            # allocation would be dead work — and would force-sort memo
+            # strata the master does not even hold mid-run.
+            partitioned = getattr(executor, "partitions_search_space", False)
             # Dynamic allocation has no precomputed assignment, so its
             # strata record None; extras consumers must tolerate that.
             imbalances: list[float | None] = []
@@ -230,16 +245,22 @@ class ParallelDP:
                         injector.check(
                             "stratum", stratum=size, backend=self.backend
                         )
-                    units = stratum_units(
-                        self.algorithm,
-                        memo,
-                        ctx,
-                        caches,
-                        size,
-                        self.threads,
-                        self.oversubscription,
-                    )
-                    assignment = allocate(units, self.threads, self.allocation)
+                    if partitioned:
+                        units = []
+                        assignment = None
+                    else:
+                        units = stratum_units(
+                            self.algorithm,
+                            memo,
+                            ctx,
+                            caches,
+                            size,
+                            self.threads,
+                            self.oversubscription,
+                        )
+                        assignment = allocate(
+                            units, self.threads, self.allocation
+                        )
                     imbalance = (
                         None
                         if assignment is None

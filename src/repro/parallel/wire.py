@@ -32,6 +32,13 @@ from repro.plans.operators import JoinMethod
 #: Marker distinguishing packed payloads from legacy tuple lists.
 PACKED_TAG = "soa"
 
+#: Marker for packed best-plan *summary* payloads — the cluster backend's
+#: per-stratum exchange currency: three columns (mask, cost, rows), no
+#: operands or method.  Summaries are all a peer needs to cost joins
+#: against a remote shard's sets; the full rows travel once, at the final
+#: collect (see :mod:`repro.parallel.executors.cluster`).
+SUMMARY_TAG = "sum"
+
 #: Nominal pickled size of one legacy entry tuple, used by the process
 #: executor's approximate byte accounting (kept from the original
 #: implementation so E8 numbers stay comparable).
@@ -54,10 +61,20 @@ def _mask_typecode(highest: int) -> str:
 
 def encode_stratum(memo: Memo, size: int, packed: bool):
     """Encode all entries of one completed stratum for the wire."""
-    masks = memo.sets_of_size(size)
+    return encode_entries(memo, memo.sets_of_size(size), packed)
+
+
+def encode_entries(memo: Memo, masks, packed: bool):
+    """Encode the full entries for ``masks`` (entry-less masks skipped).
+
+    The general form of :func:`encode_stratum` over an arbitrary mask
+    list — the cluster executor's final collect ships each worker's owned
+    sets across all strata in one payload this way.
+    """
+    present = [mask for mask in masks if memo.entry(mask) is not None]
     if not packed:
         out = []
-        for mask in masks:
+        for mask in present:
             entry = memo.entry(mask)
             out.append(
                 (
@@ -72,14 +89,14 @@ def encode_stratum(memo: Memo, size: int, packed: bool):
         return out
     # The result mask bounds its operands (mask == left | right), so one
     # typecode fits all three columns.
-    code = _mask_typecode(max(masks, default=0))
+    code = _mask_typecode(max(present, default=0))
     col_mask = array(code)
     col_cost = array("d")
     col_rows = array("d")
     col_left = array(code)
     col_right = array(code)
     col_method = array("B")
-    for mask in masks:
+    for mask in present:
         entry = memo.entry(mask)
         col_mask.append(entry.mask)
         col_cost.append(entry.cost)
@@ -89,6 +106,55 @@ def encode_stratum(memo: Memo, size: int, packed: bool):
         col_method.append(int(entry.method))
     return (PACKED_TAG, col_mask, col_cost, col_rows, col_left, col_right,
             col_method)
+
+
+def encode_summary(memo: Memo, masks, packed: bool):
+    """Encode best-plan summaries (mask, cost, rows) for ``masks``.
+
+    Masks without a memo entry (disconnected candidates) are skipped.
+    Packed form is three parallel columns behind :data:`SUMMARY_TAG`;
+    legacy form is a list of 3-tuples.
+    """
+    present = [mask for mask in masks if memo.entry(mask) is not None]
+    if not packed:
+        out = []
+        for mask in present:
+            entry = memo.entry(mask)
+            out.append((entry.mask, entry.cost, entry.rows))
+        return out
+    code = _mask_typecode(max(present, default=0))
+    col_mask = array(code)
+    col_cost = array("d")
+    col_rows = array("d")
+    for mask in present:
+        entry = memo.entry(mask)
+        col_mask.append(entry.mask)
+        col_cost.append(entry.cost)
+        col_rows.append(entry.rows)
+    return (SUMMARY_TAG, col_mask, col_cost, col_rows)
+
+
+def apply_summary(memo: Memo, payload) -> int:
+    """Install summary rows into ``memo``; returns the row count.
+
+    Installation is via :meth:`~repro.memo.table.Memo.install_summary`,
+    which never overwrites an existing entry — re-applying a summary (the
+    cluster's post-recovery re-exchange) is a no-op, and a full local row
+    is never downgraded to a summary.
+    """
+    install = memo.install_summary
+    if (
+        isinstance(payload, tuple)
+        and payload
+        and payload[0] == SUMMARY_TAG
+    ):
+        _, col_mask, col_cost, col_rows = payload
+        for i in range(len(col_mask)):
+            install(col_mask[i], col_cost[i], col_rows[i])
+        return len(col_mask)
+    for mask, cost, rows in payload:
+        install(mask, cost, rows)
+    return len(payload)
 
 
 def apply_stratum(memo: Memo, payload) -> int:
@@ -128,7 +194,7 @@ def payload_entries(payload) -> int:
     if (
         isinstance(payload, tuple)
         and payload
-        and payload[0] in (PACKED_TAG, WINNER_TAG)
+        and payload[0] in (PACKED_TAG, WINNER_TAG, SUMMARY_TAG)
     ):
         return len(payload[1])
     return len(payload)
@@ -145,7 +211,7 @@ def payload_nbytes(payload) -> int:
     through ``/dev/shm`` and are accounted under ``memo.shm.*``).
     """
     if isinstance(payload, tuple) and payload:
-        if payload[0] == PACKED_TAG:
+        if payload[0] in (PACKED_TAG, SUMMARY_TAG):
             return sum(col.itemsize * len(col) for col in payload[1:])
         if payload[0] in (DESCRIPTOR_TAG, WINNER_TAG):
             return CONTROL_NBYTES

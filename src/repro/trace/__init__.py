@@ -49,6 +49,7 @@ from repro.trace.metrics import METER_COUNTERS, emit_meter_delta, stratum_scope
 from repro.trace.render import (
     per_cache_rows,
     per_service_rows,
+    per_comm_rows,
     per_shm_rows,
     per_stratum_rows,
     per_worker_rows,
@@ -79,6 +80,7 @@ __all__ = [
     "tracer_from_jsonl",
     "per_cache_rows",
     "per_service_rows",
+    "per_comm_rows",
     "per_shm_rows",
     "per_stratum_rows",
     "per_worker_rows",

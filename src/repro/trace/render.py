@@ -145,6 +145,42 @@ def per_shm_rows(events: list[TraceEvent]) -> list[dict[str, Any]]:
     return [strata[size] for size in sorted(strata)]
 
 
+_COMM_COUNTERS = (
+    ("comm.bytes_out", "bytes_out"),
+    ("comm.bytes_in", "bytes_in"),
+    ("comm.rows", "rows"),
+)
+
+
+def per_comm_rows(events: list[TraceEvent]) -> list[dict[str, Any]]:
+    """One row per stratum size of the ``comm.*`` group the distributed
+    executors emit: bytes sent/received on the data path (cluster summary
+    exchange, or the process backend's delta broadcast + candidate
+    collection), rows moved, and the barrier-wait gauge summed across
+    workers.  Returns an empty list for runs without comm counters.
+    """
+    names = dict(_COMM_COUNTERS)
+    strata: dict[int, dict[str, Any]] = {}
+
+    def row(size: int) -> dict[str, Any]:
+        if size not in strata:
+            strata[size] = {
+                "size": size,
+                **{label: 0 for _, label in _COMM_COUNTERS},
+                "barrier_wait": 0.0,
+            }
+        return strata[size]
+
+    for event in events:
+        if event.kind == "counter" and event.name in names:
+            size = event.attrs.get("size", 0)
+            row(size)[names[event.name]] += int(event.value)
+        elif event.kind == "gauge" and event.name == "comm.barrier_wait":
+            size = event.attrs.get("size", 0)
+            row(size)["barrier_wait"] += event.value
+    return [strata[size] for size in sorted(strata)]
+
+
 _SERVICE_COUNTERS = (
     ("service.request", "requests"),
     ("service.fallback", "fallbacks"),
@@ -213,8 +249,10 @@ def render_trace(
     meta: dict[str, Any] | None = None,
     by: str = "both",
 ) -> str:
-    """Human-readable report: per-stratum and/or per-worker tables, plus
-    a per-cache-tier table when the trace carries ``cache.*`` counters
+    """Human-readable report: per-stratum and/or per-worker tables, a
+    per-stratum comm table when the trace carries ``comm.*`` counters
+    (process/cluster runs; ``by="comm"`` prints it alone), plus a
+    per-cache-tier table when the trace carries ``cache.*`` counters
     (service runs)."""
     from repro.bench.reporting import format_table
 
@@ -235,6 +273,14 @@ def render_trace(
             sections.append("per-worker:\n" + format_table(rows))
         elif by == "worker":
             sections.append("per-worker: (no worker events — serial run?)")
+    if by in ("comm", "stratum", "worker", "both"):
+        comm_rows = per_comm_rows(events)
+        if comm_rows:
+            sections.append("comm:\n" + format_table(comm_rows))
+        elif by == "comm":
+            sections.append(
+                "comm: (no comm events — replicated-memo or serial run?)"
+            )
     shm_rows = per_shm_rows(events)
     if shm_rows:
         sections.append("memo.shm:\n" + format_table(shm_rows))

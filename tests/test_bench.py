@@ -1,11 +1,18 @@
-"""Tests for the bench harness (runners + reporting)."""
+"""Tests for the bench harness (runners + reporting + registry)."""
 
 from __future__ import annotations
+
+import re
+from pathlib import Path
 
 import pytest
 
 from repro.bench import (
+    BY_CLI,
+    CLI_CHOICES,
+    EXPERIMENTS,
     allocation_comparison,
+    describe,
     format_table,
     heuristic_quality,
     median,
@@ -17,6 +24,8 @@ from repro.bench import (
     sva_effectiveness,
 )
 from repro.util.errors import ValidationError
+
+REPO = Path(__file__).resolve().parent.parent
 
 
 def test_median():
@@ -124,3 +133,52 @@ def test_heuristic_quality_rows():
         assert row["vs_own_space_median"] >= 1.0 - 1e-9
         assert row["vs_bushy_median"] >= 1.0 - 1e-9
         assert row["space_gap"] >= 1.0 - 1e-9
+
+
+# -- experiment registry ---------------------------------------------------
+#
+# The registry is the single source of truth: the CLI's --experiment
+# choices and the standalone driver must both agree with it, so drift in
+# either direction fails here instead of shipping a stale --help.
+
+
+def test_registry_shape():
+    assert len(EXPERIMENTS) >= 14
+    eids = [exp.eid for exp in EXPERIMENTS]
+    assert len(eids) == len(set(eids))
+    for eid in eids:
+        assert re.fullmatch(r"E\d+(/E\d+)?", eid)
+    assert set(BY_CLI) == set(CLI_CHOICES)
+    assert "cluster" in CLI_CHOICES
+    assert BY_CLI["cluster"].eid == "E16"
+
+
+def test_cli_parser_uses_registry():
+    source = (REPO / "src" / "repro" / "cli.py").read_text()
+    # The parser must take its choices from the registry, not a literal.
+    assert "choices=CLI_CHOICES" in source
+    # And every registered CLI experiment needs a dispatch branch.
+    for cli in CLI_CHOICES:
+        assert f'"{cli}"' in source, f"no bench branch for {cli!r}"
+
+
+def test_run_all_driver_covers_registry():
+    source = (REPO / "benchmarks" / "run_all.py").read_text()
+    for exp in EXPERIMENTS:
+        for eid in exp.eid.split("/"):
+            token = f'"{eid.lower()}_'
+            if exp.in_run_all:
+                assert token in source, f"run_all.py missing {eid}"
+            else:
+                assert token not in source, (
+                    f"run_all.py publishes {eid} but the registry says "
+                    f"in_run_all=False"
+                )
+
+
+def test_describe_lists_every_experiment():
+    text = describe()
+    for exp in EXPERIMENTS:
+        assert exp.eid in text
+        if exp.cli:
+            assert exp.cli in text

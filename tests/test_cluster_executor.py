@@ -1,0 +1,349 @@
+"""Correctness of the shared-nothing cluster executor.
+
+The memo-partitioned backend must be bit-identical to the serial
+enumerators on every topology and worker count, survive worker crashes
+mid-stratum through shard reassignment, and speak the same protocol over
+its TCP transport as over forked ``socketpair`` meshes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import OptimizerConfig, ParallelDP, ValidationError
+from repro.parallel.executors.cluster import exchange_rounds
+from repro.plans import plan_signature
+from repro.query import WorkloadSpec, generate_query
+
+
+def query_for(topology, n, seed=0):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+def serial_result(query, algorithm="dpsub"):
+    return ParallelDP(algorithm=algorithm, threads=1).optimize(query)
+
+
+def cluster_dp(algorithm="dpsub", workers=2, **kwargs):
+    return ParallelDP(
+        config=OptimizerConfig(
+            algorithm=algorithm,
+            threads=workers,
+            backend="cluster",
+            **kwargs,
+        )
+    )
+
+
+def memo_snapshot(memo):
+    return {
+        e.mask: (e.cost, e.rows, e.left, e.right, int(e.method))
+        for e in memo.entries()
+    }
+
+
+# ---------------------------------------------------------------------------
+# exchange schedule (pure function — no fork needed)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("count", [2, 3, 4, 5, 8])
+def test_exchange_rounds_cover_every_pair_once(count):
+    ids = list(range(count))
+    rounds = exchange_rounds(ids)
+    seen = [pair for pairs in rounds for pair in pairs]
+    expected = {(a, b) for a, b in itertools.combinations(ids, 2)}
+    assert set(seen) == expected
+    assert len(seen) == len(expected)  # no pair twice
+
+
+@pytest.mark.parametrize("count", [2, 3, 4, 7])
+def test_exchange_rounds_disjoint_within_round(count):
+    for pairs in exchange_rounds(list(range(count))):
+        flat = [w for pair in pairs for w in pair]
+        assert len(flat) == len(set(flat))
+        assert all(a < b for a, b in pairs)
+
+
+def test_exchange_rounds_degenerate():
+    assert exchange_rounds([]) == []
+    assert all(not pairs for pairs in exchange_rounds([5]))
+    # Survivor ids need not be contiguous.
+    rounds = exchange_rounds([0, 2, 5])
+    seen = {pair for pairs in rounds for pair in pairs}
+    assert seen == {(0, 2), (0, 5), (2, 5)}
+
+
+# ---------------------------------------------------------------------------
+# configuration surface
+# ---------------------------------------------------------------------------
+
+
+def test_cluster_workers_requires_cluster_backend():
+    with pytest.raises(ValidationError):
+        OptimizerConfig(backend="threads", cluster_workers=2)
+
+
+def test_cluster_connect_rejects_bad_hostport():
+    with pytest.raises(ValidationError):
+        OptimizerConfig(backend="cluster", cluster_connect=("nonsense",))
+
+
+def test_cluster_connect_must_match_worker_count():
+    with pytest.raises(ValidationError):
+        OptimizerConfig(
+            backend="cluster",
+            cluster_workers=3,
+            cluster_connect=("localhost:9001", "localhost:9002"),
+        )
+
+
+def test_cli_worker_rejects_bad_listen_spec(capsys):
+    from repro.cli import main as cli_main
+
+    rc = cli_main(["worker", "--listen", "nonsense"])
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cluster_knobs_do_not_change_plan_digest():
+    # Placement is result-invariant, so the digest (cache identity) must
+    # not depend on how many workers ran the search.
+    base = OptimizerConfig(backend="cluster", threads=2)
+    more = OptimizerConfig(backend="cluster", threads=2, cluster_workers=8)
+    assert base.digest == more.digest
+
+
+# ---------------------------------------------------------------------------
+# parity with the serial optimum (fork transport)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="needs fork()"
+)
+class TestClusterParity:
+    @pytest.mark.parametrize("algorithm", ["dpsize", "dpsub", "dpsva"])
+    @pytest.mark.parametrize("topology", ["star", "chain", "cycle", "clique"])
+    def test_matches_serial(self, algorithm, topology):
+        query = query_for(topology, 7, seed=1)
+        serial = serial_result(query, algorithm)
+        clustered = cluster_dp(algorithm, workers=2).optimize(query)
+        assert clustered.cost == serial.cost
+        assert plan_signature(clustered.plan) == plan_signature(serial.plan)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_counts(self, workers):
+        query = query_for("clique", 8, seed=2)
+        serial = serial_result(query)
+        clustered = cluster_dp(workers=workers).optimize(query)
+        assert clustered.cost == serial.cost
+        assert plan_signature(clustered.plan) == plan_signature(serial.plan)
+
+    def test_memo_snapshot_identical(self):
+        query = query_for("cycle", 8, seed=3)
+        serial_dp = ParallelDP(algorithm="dpsub", threads=1)
+        serial_dp.keep_memo = True
+        serial = serial_dp.optimize(query)
+        dp = cluster_dp(workers=3)
+        dp.keep_memo = True
+        clustered = dp.optimize(query)
+        assert clustered.cost == serial.cost
+        assert memo_snapshot(dp.last_memo) == memo_snapshot(
+            serial_dp.last_memo
+        )
+
+    def test_meter_exact_parity(self):
+        # Single-owner enumeration means the summed worker meters equal
+        # the serial counts exactly — not approximately.
+        query = query_for("star", 7, seed=4)
+        serial = serial_result(query)
+        clustered = cluster_dp(workers=4).optimize(query)
+        assert clustered.meter.pairs_considered == serial.meter.pairs_considered
+        assert clustered.meter.pairs_valid == serial.meter.pairs_valid
+        assert clustered.meter.plans_emitted == serial.meter.plans_emitted
+
+    def test_extras_shape(self):
+        query = query_for("chain", 6, seed=5)
+        result = cluster_dp(workers=2).optimize(query)
+        extras = result.extras
+        assert extras["backend"] == "cluster"
+        assert extras["mode"] == "fork"
+        assert extras["workers"] == 2
+        comm = extras["cluster_comm"]
+        for key in ("bytes_out", "bytes_in", "rows_out", "rows_in",
+                    "framed_out", "framed_in", "collect_rows",
+                    "collect_bytes"):
+            assert key in comm
+        recovery = extras["fault_recovery"]
+        assert recovery["worker_deaths"] == 0
+        assert recovery["reassignments"] == 0
+        assert set(extras["owner_map"].values()) == {0, 1}
+
+    def test_comm_volume_positive_and_symmetric(self):
+        query = query_for("clique", 7, seed=6)
+        result = cluster_dp(workers=3).optimize(query)
+        comm = result.extras["cluster_comm"]
+        assert comm["bytes_out"] > 0
+        assert comm["rows_out"] > 0
+        # Everything sent over the mesh is received by a peer.
+        assert comm["rows_out"] == comm["rows_in"]
+        assert comm["bytes_out"] == comm["bytes_in"]
+        assert comm["framed_out"] == comm["framed_in"]
+        assert comm["collect_rows"] > 0
+
+    def test_single_worker_skips_exchange(self):
+        query = query_for("chain", 6, seed=7)
+        result = cluster_dp(workers=1).optimize(query)
+        comm = result.extras["cluster_comm"]
+        assert comm["rows_out"] == 0
+        assert result.cost == serial_result(query).cost
+
+
+# ---------------------------------------------------------------------------
+# fault recovery (fork transport)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="needs fork()"
+)
+class TestClusterRecovery:
+    def test_crash_mid_stratum_reassigns_and_stays_exact(self):
+        # A worker dies with SIGKILL semantics mid-optimization; its
+        # shards move to survivors, who recompute the orphaned sets, and
+        # the final plan is still the exact optimum.
+        query = query_for("clique", 8, seed=8)
+        serial = serial_result(query)
+        dp = cluster_dp(
+            workers=3, fault_plan="worker:crash@worker=1,stratum=4"
+        )
+        result = dp.optimize(query)
+        assert result.cost == serial.cost
+        assert plan_signature(result.plan) == plan_signature(serial.plan)
+        recovery = result.extras["fault_recovery"]
+        assert recovery["worker_deaths"] == 1
+        assert recovery["reassignments"] >= 1
+        assert recovery["recomputed_masks"] > 0
+        # Every shard now maps to a survivor.
+        assert 1 not in set(result.extras["owner_map"].values())
+
+    def test_crash_during_exchange_phase(self):
+        query = query_for("star", 8, seed=9)
+        serial = serial_result(query)
+        result = cluster_dp(
+            workers=4, fault_plan="worker:crash@worker=2,stratum=3"
+        ).optimize(query)
+        assert result.cost == serial.cost
+        assert result.extras["fault_recovery"]["worker_deaths"] == 1
+
+    def test_raised_fault_redoes_stratum_with_exact_meters(self):
+        # A raising worker stays in the pool; the stratum is redone with
+        # forget-first so the operation counts still match serial exactly.
+        query = query_for("cycle", 7, seed=10)
+        serial = serial_result(query)
+        result = cluster_dp(
+            workers=2, fault_plan="worker:raise@worker=0,stratum=3"
+        ).optimize(query)
+        assert result.cost == serial.cost
+        assert result.meter.pairs_valid == serial.meter.pairs_valid
+        recovery = result.extras["fault_recovery"]
+        assert recovery["worker_errors"] == 1
+        assert recovery["worker_deaths"] == 0
+        # The failed attempt's counts land in the partial meter, never
+        # the main one (the fault fires before compute, so zeros here).
+        assert all(v >= 0 for v in recovery["partial_meter"].values())
+
+    def test_delay_fault_only_slows(self):
+        query = query_for("chain", 6, seed=11)
+        serial = serial_result(query)
+        result = cluster_dp(
+            workers=2,
+            fault_plan="worker:delay@worker=1,stratum=2,delay=0.05",
+        ).optimize(query)
+        assert result.cost == serial.cost
+        assert result.extras["fault_recovery"]["worker_errors"] == 0
+
+
+@pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="needs fork()"
+)
+def test_cli_cluster_without_explicit_threads(capsys):
+    # --backend cluster must not be silently dropped when --threads is
+    # absent: the cluster knobs imply the worker count.
+    from repro.cli import main as cli_main
+
+    rc = cli_main(
+        [
+            "optimize", "--topology", "chain", "-n", "6",
+            "--backend", "cluster", "--cluster-workers", "2",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pdp" in out  # parallel driver ran, not the serial fallback
+
+
+# ---------------------------------------------------------------------------
+# TCP transport
+# ---------------------------------------------------------------------------
+
+
+def free_ports(count):
+    socks = [socket.socket() for _ in range(count)]
+    for s in socks:
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind(("127.0.0.1", 0))
+    ports = [s.getsockname()[1] for s in socks]
+    for s in socks:
+        s.close()
+    return ports
+
+
+@pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="needs subprocesses"
+)
+def test_tcp_round_trip_matches_serial():
+    # Two `repro worker --listen` processes on localhost, driven by a
+    # master using cluster_connect — the full distributed deployment in
+    # miniature.
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    addrs = [f"127.0.0.1:{port}" for port in free_ports(2)]
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--listen", addr],
+            env=env,
+        )
+        for addr in addrs
+    ]
+    try:
+        query = query_for("cycle", 7, seed=12)
+        serial = serial_result(query)
+        result = ParallelDP(
+            config=OptimizerConfig(
+                algorithm="dpsub",
+                backend="cluster",
+                cluster_connect=tuple(addrs),
+            )
+        ).optimize(query)
+        assert result.cost == serial.cost
+        assert plan_signature(result.plan) == plan_signature(serial.plan)
+        assert result.extras["mode"] == "tcp"
+        assert result.extras["workers"] == 2
+        for proc in procs:
+            assert proc.wait(timeout=30) == 0  # one-shot: clean exit
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

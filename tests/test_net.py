@@ -1,0 +1,152 @@
+"""Framing layer for the cluster backend: framing, metering, EOF.
+
+These run over in-process ``socketpair`` channels — the same code path
+the TCP transport uses, minus the dial/accept handshake (covered by the
+cluster executor's TCP round-trip test).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.parallel.net import (
+    FRAME_OVERHEAD,
+    Channel,
+    ChannelClosed,
+    channel_pair,
+    connect,
+    listen,
+    parse_hostport,
+)
+
+
+def test_round_trip_preserves_objects():
+    a, b = channel_pair()
+    try:
+        for obj in ("go", 3, ("done", 2, None, {"pairs": 7}), [1, 2, 3],
+                    {"mask": 0b101}, b"\x00\xff" * 100, None):
+            a.send(obj)
+            assert b.recv() == obj
+    finally:
+        a.close()
+        b.close()
+
+
+def test_multiple_frames_in_flight():
+    # The 4-byte length prefix must delimit back-to-back frames
+    # correctly even when they coalesce in the socket buffer.
+    a, b = channel_pair()
+    try:
+        for i in range(50):
+            a.send(("msg", i, "x" * i))
+        for i in range(50):
+            assert b.recv() == ("msg", i, "x" * i)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_byte_counters_are_symmetric():
+    a, b = channel_pair()
+    try:
+        a.send({"payload": "y" * 1000})
+        received = b.recv()
+        assert received == {"payload": "y" * 1000}
+        assert a.bytes_out == b.bytes_in
+        assert a.bytes_out > 1000  # pickle + frame prefix
+        assert b.bytes_out == 0 and a.bytes_in == 0
+        b.send("ack")
+        a.recv()
+        assert b.bytes_out == a.bytes_in
+    finally:
+        a.close()
+        b.close()
+
+
+def test_frame_overhead_constant():
+    a, b = channel_pair()
+    try:
+        a.send(None)
+        payload_len = a.bytes_out - FRAME_OVERHEAD
+        assert payload_len > 0
+        b.recv()
+        assert b.bytes_in == FRAME_OVERHEAD + payload_len
+    finally:
+        a.close()
+        b.close()
+
+
+def test_recv_on_closed_peer_raises_channel_closed():
+    a, b = channel_pair()
+    a.close()
+    with pytest.raises(ChannelClosed):
+        b.recv()
+    b.close()
+
+
+def test_eof_mid_conversation():
+    # A crashing worker looks like EOF after whatever it already sent:
+    # the buffered frame must still arrive, then ChannelClosed.
+    a, b = channel_pair()
+    a.send(("done", 4))
+    a.close()
+    assert b.recv() == ("done", 4)
+    with pytest.raises(ChannelClosed):
+        b.recv()
+    b.close()
+
+
+def test_send_to_closed_peer_raises_channel_closed():
+    a, b = channel_pair()
+    b.close()
+    with pytest.raises(ChannelClosed):
+        # May take a couple of sends for the RST to surface.
+        for _ in range(20):
+            a.send("x" * 4096)
+    a.close()
+
+
+def test_parse_hostport():
+    assert parse_hostport("localhost:9000") == ("localhost", 9000)
+    assert parse_hostport("10.0.0.1:51234") == ("10.0.0.1", 51234)
+
+
+@pytest.mark.parametrize("bad", ["localhost", ":9000", "host:", "host:abc"])
+def test_parse_hostport_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_hostport(bad)
+
+
+def test_listen_connect_round_trip():
+    server_sock = listen("127.0.0.1", 0)
+    port = server_sock.getsockname()[1]
+    accepted = {}
+
+    def accept():
+        conn, _ = server_sock.accept()
+        accepted["chan"] = Channel(conn)
+
+    thread = threading.Thread(target=accept)
+    thread.start()
+    client = connect("127.0.0.1", port)
+    thread.join(timeout=5)
+    server = accepted["chan"]
+    try:
+        client.send(("hello", 1))
+        assert server.recv() == ("hello", 1)
+        server.send(("ready",))
+        assert client.recv() == ("ready",)
+    finally:
+        client.close()
+        server.close()
+        server_sock.close()
+
+
+def test_connect_refused_raises_channel_closed():
+    sock = listen("127.0.0.1", 0)
+    port = sock.getsockname()[1]
+    sock.close()  # now nothing listens there
+    with pytest.raises(ChannelClosed):
+        connect("127.0.0.1", port, retries=2, delay=0.01)

@@ -1,0 +1,109 @@
+"""The quantifier-set hash partition behind the cluster backend.
+
+Determinism is correctness here: every worker computes shard ownership
+locally from nothing but the mask, so any instability (process-dependent
+hashing, ordering sensitivity) would silently drop or duplicate sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.partition import (
+    identity_owner_map,
+    owned,
+    reassign,
+    shard_balance,
+    shard_of,
+    shard_sizes,
+)
+from repro.query import QueryContext, WorkloadSpec, generate_query
+
+
+def clique_masks(n: int) -> list[int]:
+    query = generate_query(WorkloadSpec("clique", n, seed=0))
+    ctx = QueryContext(query)
+    return [
+        m for m in range(1, ctx.all_mask + 1) if ctx.is_connected(m)
+    ]
+
+
+def test_shard_of_is_deterministic():
+    # blake2b over the canonical bytes: stable across calls, processes,
+    # and PYTHONHASHSEED (unlike the builtin hash()).
+    for mask in (1, 0b1010, 0xFFFF, 1 << 63):
+        assert shard_of(mask, 8) == shard_of(mask, 8)
+    assert shard_of(0b1101, 4) == shard_of(0b1101, 4)
+
+
+def test_shard_of_known_range():
+    for mask in range(1, 500):
+        for num in (1, 2, 3, 7, 8):
+            assert 0 <= shard_of(mask, num) < num
+
+
+def test_shard_of_single_shard_is_zero():
+    assert shard_of(12345, 1) == 0
+    assert shard_of(12345, 0) == 0
+
+
+def test_every_mask_has_exactly_one_owner():
+    masks = clique_masks(10)
+    owner_map = identity_owner_map(4)
+    shares = [owned(masks, owner_map, w) for w in range(4)]
+    combined = sorted(m for share in shares for m in share)
+    assert combined == sorted(masks)
+
+
+def test_owned_preserves_order():
+    masks = clique_masks(8)
+    share = owned(masks, identity_owner_map(3), 1)
+    assert share == [m for m in masks if m in set(share)]
+    assert share == sorted(share)  # ascending input stays ascending
+
+
+@pytest.mark.parametrize("num_shards", [2, 4, 8])
+def test_shard_balance_clique14(num_shards):
+    # The acceptance bound: max/mean shard size stays within 1.5x on the
+    # full clique-14 search space (16k sets).
+    masks = clique_masks(14)
+    assert len(masks) > 16000
+    balance = shard_balance(masks, num_shards)
+    assert balance <= 1.5, f"{num_shards} shards: balance {balance:.3f}"
+    sizes = shard_sizes(masks, num_shards)
+    assert sum(sizes) == len(masks)
+    assert all(s > 0 for s in sizes)
+
+
+def test_shard_balance_empty_and_single():
+    assert shard_balance([], 4) == 0.0
+    assert shard_balance([5], 1) == 1.0
+
+
+def test_reassign_deals_orphans_round_robin():
+    owner_map = identity_owner_map(4)
+    new_map = reassign(owner_map, dead={1, 3}, alive=[0, 2])
+    assert new_map[0] == 0 and new_map[2] == 2
+    # Orphaned shards in ascending order (1, 3) dealt to sorted
+    # survivors round-robin.
+    assert new_map[1] == 0 and new_map[3] == 2
+
+
+def test_reassign_is_deterministic_and_pure():
+    owner_map = identity_owner_map(5)
+    a = reassign(owner_map, dead={0}, alive=[1, 2, 3, 4])
+    b = reassign(owner_map, dead={0}, alive=[1, 2, 3, 4])
+    assert a == b
+    assert owner_map == identity_owner_map(5)  # input untouched
+
+
+def test_reassign_chained_failures():
+    owner_map = identity_owner_map(3)
+    after_one = reassign(owner_map, dead={2}, alive=[0, 1])
+    after_two = reassign(after_one, dead={1, 2}, alive=[0])
+    assert set(after_two.values()) == {0}
+
+
+def test_reassign_no_survivors_raises():
+    with pytest.raises(ValueError):
+        reassign(identity_owner_map(2), dead={0, 1}, alive=[])

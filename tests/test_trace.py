@@ -27,6 +27,7 @@ from repro.trace import (
     NULL_TRACER,
     events_to_jsonl,
     parse_jsonl,
+    per_comm_rows,
     per_stratum_rows,
     per_worker_rows,
     read_jsonl,
@@ -238,6 +239,44 @@ def test_render_tables_from_real_run():
     assert summary["events"] == len(tracer)
     text = render_trace(tracer.events, {"threads": 4})
     assert "per-stratum:" in text and "per-worker:" in text
+
+
+def test_per_comm_rows_empty_without_comm_counters():
+    tracer = RecordingTracer()
+    optimize(
+        query_for(n=6),
+        config=OptimizerConfig(algorithm="dpsub", threads=2, tracer=tracer),
+    )
+    assert per_comm_rows(tracer.events) == []
+    assert "comm:" not in render_trace(tracer.events)
+
+
+@pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="needs fork()"
+)
+@pytest.mark.parametrize("backend", ["processes", "cluster"])
+def test_comm_table_from_distributed_run(backend):
+    # Both message-passing backends emit comm.* counters; the rendered
+    # trace gains a per-stratum comm table showing the exchanged volume.
+    tracer = RecordingTracer()
+    optimize(
+        query_for(n=7),
+        config=OptimizerConfig(
+            algorithm="dpsub", threads=2, backend=backend, tracer=tracer
+        ),
+    )
+    rows = per_comm_rows(tracer.events)
+    assert rows, f"{backend}: no comm rows"
+    sizes = [row["size"] for row in rows]
+    assert sizes == sorted(sizes)
+    assert all(2 <= s <= 7 for s in sizes)
+    total_out = sum(row["bytes_out"] for row in rows)
+    assert total_out > 0
+    assert all(row["barrier_wait"] >= 0 for row in rows)
+    text = render_trace(tracer.events, {"backend": backend})
+    assert "comm:" in text and "bytes_out" in text
+    comm_only = render_trace(tracer.events, by="comm")
+    assert "comm:" in comm_only and "per-stratum:" not in comm_only
 
 
 # -- CLI -----------------------------------------------------------------
