@@ -22,6 +22,7 @@ from repro.bench import (
     format_table,
     heuristic_quality,
     kernel_speedup,
+    large_query,
     run_serial_grid,
     save_manifest,
     serving_throughput,
@@ -139,6 +140,15 @@ def main(argv=None) -> int:
         seed=9,
     )
     publish(args.out, "e9_heuristics", rows, {"experiment": "E9"})
+
+    rows = large_query(
+        ["star", "chain"] if quick else
+        ["star", "chain", "cycle", "grid", "clique"],
+        sizes=[10, 20, 30] if quick else [10, 12, 20, 30, 50, 100],
+        queries=1 if quick else 2,
+        seed=13,
+    )
+    publish(args.out, "e13_large_query", rows, {"experiment": "E13"})
 
     rows = kernel_speedup(
         "clique", 10 if quick else 14, repeats=1 if quick else 2, seed=11

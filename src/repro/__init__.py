@@ -49,6 +49,7 @@ from repro.enumerate import (
 )
 from repro.faults import FaultInjector, FaultSpec
 from repro.heuristics import GOO, IKKBZ, IteratedImprovement, SimulatedAnnealing
+from repro.hybrid import HybridOptimizer
 from repro.memo import Memo, WorkMeter
 from repro.parallel import PDPsize, PDPsub, PDPsva, ParallelDP
 from repro.plans import JoinMethod, JoinNode, PlanNode, ScanNode, explain
@@ -75,7 +76,7 @@ from repro.util.errors import (
     ValidationError,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.6.0"
 
 
 def optimize(
@@ -290,11 +291,12 @@ __all__ = [
     "PDPsva",
     "SimCostParams",
     "SimReport",
-    # heuristics
+    # heuristics + hybrid
     "GOO",
     "IKKBZ",
     "IteratedImprovement",
     "SimulatedAnnealing",
+    "HybridOptimizer",
     # fault injection
     "FaultInjector",
     "FaultSpec",

@@ -29,6 +29,7 @@ from repro.bench.runner import (
     fault_tolerance,
     heuristic_quality,
     kernel_speedup,
+    large_query,
     median,
     real_backend_allocation,
     run_serial_grid,
@@ -66,6 +67,7 @@ __all__ = [
     "size_scaling",
     "heuristic_quality",
     "kernel_speedup",
+    "large_query",
     "wire_volume",
     "fault_tolerance",
     "serving_throughput",

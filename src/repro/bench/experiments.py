@@ -57,6 +57,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("kernels", "E11", "fused kernels + packed wire volume"),
     Experiment("faults", "E12", "fault injection and recovery",
                in_run_all=False),
+    Experiment("large-query", "E13",
+               "hybrid optimizer at and past the DP horizon"),
     Experiment("serving", "E14", "service throughput and latency"),
     Experiment("shm", "E15", "shared-memory memo vs packed wire"),
     Experiment("cluster", "E16", "shared-nothing cluster vs process comm"),

@@ -835,6 +835,80 @@ def heuristic_quality(
     return rows
 
 
+def large_query(
+    topologies=("star", "chain", "cycle", "grid", "clique"),
+    sizes=(10, 12, 20, 30, 50, 100),
+    queries: int = 2,
+    seed: int = 0,
+    exact_limit: int = 12,
+    core_cap: int | None = None,
+    cost_model: CostModel | None = None,
+) -> list[dict]:
+    """E13: the adaptive hybrid across and past the exact-DP horizon.
+
+    One row per (topology, n).  At or below ``exact_limit`` relations the
+    exact DP optimum is also computed and ``vs_exact`` reports the
+    hybrid's optimality gap ratio — 1.0 whenever the decomposition is a
+    single core (the adaptive guarantee).  At every size the hybrid is
+    compared against GOO (``vs_goo``, the strongest heuristic that stays
+    feasible at 100 relations); values below 1.0 mean the hybrid's plan
+    is cheaper.  Decomposition shape (cores, largest core, share of
+    relations planned by exact DP) and the winning stitch method are
+    carried alongside so the scaling behaviour is visible in one table.
+    """
+    from repro.config import OptimizerConfig
+
+    rows: list[dict] = []
+    cost_model = cost_model or StandardCostModel()
+    config = (
+        OptimizerConfig(algorithm="hybrid", hybrid_core_cap=core_cap)
+        if core_cap is not None
+        else OptimizerConfig(algorithm="hybrid")
+    )
+    for topology in topologies:
+        for n in sizes:
+            qs = _queries(topology, n, queries, seed)
+            hybrid = [
+                config.runner.optimize(q, cost_model=cost_model)
+                for q in qs
+            ]
+            goo = [
+                HEURISTICS["goo"]().optimize(q, cost_model=cost_model)
+                for q in qs
+            ]
+            if n <= exact_limit:
+                exact = [
+                    ALL_SERIAL["dpsize"]().optimize(
+                        q, cost_model=cost_model
+                    )
+                    for q in qs
+                ]
+                vs_exact = median(
+                    h.cost / e.cost for h, e in zip(hybrid, exact)
+                )
+            else:
+                vs_exact = "-"
+            info = hybrid[0].extras["hybrid"]
+            rows.append(
+                {
+                    "topology": topology,
+                    "n": n,
+                    "vs_exact": vs_exact,
+                    "vs_goo": median(
+                        h.cost / g.cost for h, g in zip(hybrid, goo)
+                    ),
+                    "cores": len(info["core_sizes"]),
+                    "core_max": max(info["core_sizes"]),
+                    "dp_share": info["dp_relations"] / n,
+                    "stitch": info["stitch_method"],
+                    "time_ms": median(
+                        h.elapsed_seconds * 1e3 for h in hybrid
+                    ),
+                }
+            )
+    return rows
+
+
 def fault_tolerance(
     topology: str = "chain",
     n: int = 7,

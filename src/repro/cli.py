@@ -49,6 +49,7 @@ from repro.bench import (
     fault_tolerance,
     format_table,
     kernel_speedup,
+    large_query,
     real_backend_allocation,
     render_curve,
     run_serial_grid,
@@ -63,7 +64,8 @@ from repro.plans import explain
 from repro.service.api import SOURCES
 from repro.query import TOPOLOGIES, WorkloadSpec, generate_query
 from repro.trace import RecordingTracer, read_jsonl, render_trace, write_jsonl
-from repro.util.errors import ReproError
+from repro.config import HYBRID_NAME, PARALLEL_ALGORITHMS
+from repro.util.errors import ReproError, ValidationError
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -94,12 +96,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     opt.add_argument("--threads", type=int, default=None)
     opt.add_argument(
-        "--allocation", default="equi_depth",
-        help="work-unit allocation scheme (parallel runs)",
+        "--allocation", default=None,
+        help="work-unit allocation scheme (parallel runs; "
+        "default equi_depth)",
     )
     opt.add_argument(
-        "--backend", default="simulated",
+        "--backend", default=None,
         choices=("simulated", "threads", "processes", "cluster"),
+        help="parallel execution substrate (default simulated)",
+    )
+    opt.add_argument(
+        "--core-cap", type=int, default=None,
+        help="hybrid: max relations per exact-DP core (default 12)",
+    )
+    opt.add_argument(
+        "--density-threshold", type=float, default=None,
+        help="hybrid: min internal edge density while growing a core "
+        "(default 0.3)",
+    )
+    opt.add_argument(
+        "--hybrid-dp", default=None,
+        help="hybrid: exact DP kernel run on each core (default dpsize)",
     )
     opt.add_argument(
         "--cluster-workers", type=int, default=None,
@@ -251,8 +268,56 @@ def _fault_plan(args) -> str | None:
     return plan if seed is None else f"seed={seed};{plan}"
 
 
+def _check_knob_compatibility(args) -> None:
+    """Reject flag combinations up front with CLI-level names.
+
+    The config layer validates the same constraints, but its messages
+    speak in keyword arguments (``threads=``, ``hybrid_core_cap=``);
+    here the offending *flags* are named and the valid combinations
+    suggested, so a shell user is never left translating.
+    """
+    algorithm = args.algorithm
+    parallel_ok = (
+        algorithm in PARALLEL_ALGORITHMS or algorithm == HYBRID_NAME
+    )
+    offending = []
+    if not parallel_ok:
+        if getattr(args, "threads", None):
+            offending.append("--threads")
+        if getattr(args, "backend", None) is not None:
+            offending.append("--backend")
+        if getattr(args, "allocation", None) is not None:
+            offending.append("--allocation")
+    if offending:
+        flags = ", ".join(offending)
+        raise ValidationError(
+            f"{flags} only applies to parallel runs, but --algorithm "
+            f"{algorithm} runs serially; drop {flags}, or pick a "
+            f"parallel-capable algorithm "
+            f"({', '.join(sorted(PARALLEL_ALGORITHMS))}), or use "
+            f"--algorithm hybrid (which runs its DP cores in parallel)"
+        )
+    hybrid_only = [
+        flag
+        for flag, name in (
+            ("--core-cap", "core_cap"),
+            ("--density-threshold", "density_threshold"),
+            ("--hybrid-dp", "hybrid_dp"),
+        )
+        if getattr(args, name, None) is not None
+    ]
+    if hybrid_only and algorithm != HYBRID_NAME:
+        flags = ", ".join(hybrid_only)
+        raise ValidationError(
+            f"{flags} only applies to --algorithm hybrid, but "
+            f"--algorithm {algorithm} was given; drop {flags} or switch "
+            f"to --algorithm hybrid"
+        )
+
+
 def _build_config(args, tracer) -> "OptimizerConfig":
     """Resolve CLI optimizer arguments into one OptimizerConfig."""
+    _check_knob_compatibility(args)
     kwargs = dict(
         algorithm=args.algorithm,
         threads=args.threads,
@@ -274,6 +339,19 @@ def _build_config(args, tracer) -> "OptimizerConfig":
             kwargs.update(
                 cluster_workers=getattr(args, "cluster_workers", None),
                 cluster_connect=tuple(connect) if connect else None,
+            )
+    if args.algorithm == HYBRID_NAME:
+        kwargs.update(
+            hybrid_core_cap=getattr(args, "core_cap", None),
+            hybrid_density=getattr(args, "density_threshold", None),
+            hybrid_dp=getattr(args, "hybrid_dp", None),
+        )
+        # Hybrid runs its DP cores on the configured substrate, so the
+        # parallel knobs pass straight through.
+        if args.threads:
+            kwargs.update(
+                backend=getattr(args, "backend", None),
+                allocation=getattr(args, "allocation", None),
             )
     return OptimizerConfig(**kwargs)
 
@@ -480,6 +558,12 @@ def _cmd_bench(args) -> int:
         rows = fault_tolerance(
             args.topology, args.relations, seed=args.seed,
             threads=min(2, max(args.threads)),
+        )
+        print(format_table(rows))
+    elif args.experiment == "large-query":
+        rows = large_query(
+            [args.topology], [args.relations],
+            queries=args.queries, seed=args.seed,
         )
         print(format_table(rows))
     elif args.experiment == "serving":

@@ -63,8 +63,16 @@ SERIAL_NAMES = tuple(sorted(SERIAL_ALGORITHMS)) + ("dpsva", "exhaustive")
 HEURISTIC_NAMES = tuple(sorted(HEURISTICS))
 """Heuristic algorithms accepted by ``algorithm``."""
 
-ALL_ALGORITHMS = tuple(sorted(set(SERIAL_NAMES) | set(HEURISTIC_NAMES)))
+HYBRID_NAME = "hybrid"
+"""The adaptive DP/heuristic hybrid (:mod:`repro.hybrid`)."""
+
+ALL_ALGORITHMS = tuple(
+    sorted(set(SERIAL_NAMES) | set(HEURISTIC_NAMES) | {HYBRID_NAME})
+)
 """Every algorithm name the front door accepts."""
+
+EXACT_DP_NAMES = tuple(sorted(SERIAL_ALGORITHMS)) + ("dpsva",)
+"""Exact DP kernels eligible as the hybrid's per-core enumerator."""
 
 _PARALLEL_ONLY = (
     "backend",
@@ -86,6 +94,13 @@ DEFAULT_FALLBACK_ALGORITHM = "goo"
 
 DEFAULT_RETRY_LIMIT = 2
 DEFAULT_RETRY_BACKOFF = 0.02
+
+DEFAULT_HYBRID_DP = "dpsize"
+
+_HYBRID = ("hybrid_core_cap", "hybrid_density", "hybrid_dp")
+"""Hybrid-decomposition knobs; they change which plan is chosen, so they
+stay in the digest (unlike the service/cluster knobs) — two configs with
+different core caps may legitimately cache different plans."""
 
 _SERVICE_ONLY = (
     "cache_size",
@@ -207,6 +222,17 @@ class OptimizerConfig:
             worker (its length overrides ``cluster_workers``).  ``None``
             (the default) forks the workers in-process.  See
             ``docs/distributed.md``.
+        hybrid_core_cap: ``algorithm="hybrid"`` only — largest sub-query
+            handed to exact DP.  Queries at or below the cap are a single
+            core (pure exact DP, zero optimality gap).  ``None`` =
+            default (12).
+        hybrid_density: ``algorithm="hybrid"`` only — minimum induced
+            edge density (``edges / C(size, 2)``) a growing core must
+            keep, in ``(0, 1]``.  ``None`` = default (0.3).
+        hybrid_dp: ``algorithm="hybrid"`` only — the exact DP kernel run
+            on each core (:data:`EXACT_DP_NAMES`).  With ``threads`` set
+            it must be one of the parallel kernels.  ``None`` = default
+            (``dpsize``).
     """
 
     algorithm: str = "dpsize"
@@ -236,6 +262,9 @@ class OptimizerConfig:
     vectorize: bool | None = None
     cluster_workers: int | None = None
     cluster_connect: tuple[str, ...] | None = None
+    hybrid_core_cap: int | None = None
+    hybrid_density: float | None = None
+    hybrid_dp: str | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALL_ALGORITHMS:
@@ -269,10 +298,15 @@ class OptimizerConfig:
                 raise ValidationError(
                     f"threads must be >= 1, got {self.threads}"
                 )
-            if self.algorithm not in PARALLEL_ALGORITHMS:
+            if (
+                self.algorithm not in PARALLEL_ALGORITHMS
+                and self.algorithm != HYBRID_NAME
+            ):
                 raise ValidationError(
                     f"algorithm {self.algorithm!r} has no parallel kernel; "
-                    f"threads= requires one of {list(PARALLEL_ALGORITHMS)}"
+                    f"threads= requires one of {list(PARALLEL_ALGORITHMS)} "
+                    f"or 'hybrid' (which runs its DP cores in parallel) — "
+                    f"drop threads= for a serial run"
                 )
         else:
             set_options = [
@@ -284,6 +318,40 @@ class OptimizerConfig:
                 raise ValidationError(
                     f"options {set_options} only apply to parallel runs; "
                     f"set threads= (or drop them)"
+                )
+        if self.algorithm != HYBRID_NAME:
+            set_hybrid = [
+                name for name in _HYBRID if getattr(self, name) is not None
+            ]
+            if set_hybrid:
+                raise ValidationError(
+                    f"options {set_hybrid} only apply to "
+                    f"algorithm='hybrid', got "
+                    f"algorithm={self.algorithm!r}"
+                )
+        if self.hybrid_core_cap is not None and self.hybrid_core_cap < 1:
+            raise ValidationError(
+                f"hybrid_core_cap must be >= 1, got {self.hybrid_core_cap}"
+            )
+        if self.hybrid_density is not None and not (
+            0.0 < self.hybrid_density <= 1.0
+        ):
+            raise ValidationError(
+                f"hybrid_density must be in (0, 1], got "
+                f"{self.hybrid_density}"
+            )
+        if self.algorithm == HYBRID_NAME:
+            dp = self.effective_hybrid_dp
+            if dp not in EXACT_DP_NAMES:
+                raise ValidationError(
+                    f"hybrid_dp {dp!r} is not an exact DP kernel; "
+                    f"expected one of {list(EXACT_DP_NAMES)}"
+                )
+            if self.threads is not None and dp not in PARALLEL_ALGORITHMS:
+                raise ValidationError(
+                    f"hybrid_dp {dp!r} has no parallel kernel; threads= "
+                    f"with algorithm='hybrid' requires hybrid_dp in "
+                    f"{list(PARALLEL_ALGORITHMS)}"
                 )
         if self.shared_memo and self.threads is None:
             raise ValidationError(
@@ -519,6 +587,37 @@ class OptimizerConfig:
         return self.threads
 
     @property
+    def effective_hybrid_core_cap(self) -> int:
+        """Hybrid core-size cap with the default applied."""
+        from repro.query.decompose import DEFAULT_CORE_CAP
+
+        return (
+            self.hybrid_core_cap
+            if self.hybrid_core_cap is not None
+            else DEFAULT_CORE_CAP
+        )
+
+    @property
+    def effective_hybrid_density(self) -> float:
+        """Hybrid density threshold with the default applied."""
+        from repro.query.decompose import DEFAULT_DENSITY_THRESHOLD
+
+        return (
+            self.hybrid_density
+            if self.hybrid_density is not None
+            else DEFAULT_DENSITY_THRESHOLD
+        )
+
+    @property
+    def effective_hybrid_dp(self) -> str:
+        """Hybrid per-core DP kernel with the default applied."""
+        return (
+            self.hybrid_dp
+            if self.hybrid_dp is not None
+            else DEFAULT_HYBRID_DP
+        )
+
+    @property
     def effective_retry_limit(self) -> int:
         """Fault-recovery retry budget with the default applied."""
         return (
@@ -617,6 +716,10 @@ class OptimizerConfig:
         randomized heuristics derive a fresh RNG from their seed each
         call).
         """
+        if self.algorithm == HYBRID_NAME:
+            from repro.hybrid import HybridOptimizer
+
+            return HybridOptimizer(config=self)
         if self.is_parallel:
             from repro.parallel.scheduler import ParallelDP
 
@@ -650,8 +753,11 @@ class OptimizerConfig:
         """True when :attr:`runner` emits its own ``optimize`` span and
         attaches the trace itself (parallel framework and the stratified
         serial DP enumerators); the front door wraps the others."""
-        return self.is_parallel or (
-            self.algorithm in SERIAL_ALGORITHMS or self.algorithm == "dpsva"
+        return (
+            self.is_parallel
+            or self.algorithm == HYBRID_NAME
+            or self.algorithm in SERIAL_ALGORITHMS
+            or self.algorithm == "dpsva"
         )
 
     # -- construction ---------------------------------------------------

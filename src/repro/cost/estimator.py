@@ -17,6 +17,17 @@ from repro.util.bitsets import first_bit
 if TYPE_CHECKING:  # imported lazily to avoid a cost ↔ memo import cycle
     from repro.memo.counters import WorkMeter
 
+ROWS_CAP = 1e300
+"""Saturation ceiling for row estimates.
+
+At 100-relation scale the raw product of base cardinalities overflows
+float64 to ``inf``, at which point every ``rows(a) < rows(b)`` comparison
+the greedy heuristics rely on goes false and plan construction breaks.
+Estimates saturate here instead: still astronomically past any real plan,
+but finite, ordered, and safe to multiply by per-edge selectivities.  The
+cap sits far above anything an exact-DP-sized query can produce, so
+results for feasible queries are bit-identical with or without it."""
+
 
 class CardinalityEstimator:
     """Memoized row-count estimates for quantifier sets of one query.
@@ -45,9 +56,12 @@ class CardinalityEstimator:
     def rows(self, mask: int) -> float:
         """Estimated row count of the join over ``mask``.
 
-        ``mask`` must be non-empty.  Estimates are at least 1 row: a join
-        that filters everything still produces a result the cost model can
-        reason about, and clamping avoids degenerate zero-cost plans.
+        ``mask`` must be non-empty.  Estimates are clamped to
+        ``[1, ROWS_CAP]``: a join that filters everything still produces
+        a result the cost model can reason about (and zero-cost plans are
+        ruled out), while very large queries saturate finitely instead of
+        overflowing to ``inf`` (which would break every row comparison
+        downstream).
         """
         cached = self._rows.get(mask)
         if cached is not None:
@@ -62,7 +76,7 @@ class CardinalityEstimator:
             * self.ctx.cards[rel]
             * self.ctx.cross_selectivity(low, rest)
         )
-        value = max(1.0, value)
+        value = max(1.0, min(value, ROWS_CAP))
         self._rows[mask] = value
         return value
 

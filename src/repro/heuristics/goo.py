@@ -17,7 +17,7 @@ from repro.cost.plan_cost import plan_cost
 from repro.enumerate.base import OptimizationResult, make_context
 from repro.memo.counters import WorkMeter
 from repro.plans.nodes import JoinNode, PlanNode, ScanNode
-from repro.util.errors import OptimizationError
+from repro.util.errors import OptimizationError, ValidationError
 
 
 class GOO:
@@ -37,6 +37,12 @@ class GOO:
         started = time.perf_counter()
         ctx = make_context(query)
         cost_model = cost_model or StandardCostModel()
+        if not self.cross_products and not ctx.query.graph.is_connected():
+            raise ValidationError(
+                "GOO: join graph is disconnected; no cross-product-free "
+                "plan covers all relations (pass cross_products=True to "
+                "admit cross-product joins)"
+            )
         estimator = CardinalityEstimator(ctx)
         meter = WorkMeter()
 

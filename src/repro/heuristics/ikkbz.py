@@ -23,7 +23,7 @@ from repro.enumerate.base import make_context
 from repro.heuristics.common import left_deep_cost, result_from_order
 from repro.memo.counters import WorkMeter
 from repro.query.context import QueryContext
-from repro.util.errors import OptimizationError, ValidationError
+from repro.util.errors import ValidationError
 
 
 class _Module:
@@ -99,7 +99,11 @@ class IKKBZ:
         ctx = make_context(query)
         cost_model = cost_model or StandardCostModel()
         if not ctx.query.graph.is_connected():
-            raise OptimizationError("IKKBZ requires a connected join graph")
+            raise ValidationError(
+                "IKKBZ requires a connected join graph (the algorithm "
+                "never admits cross products; optimize each connected "
+                "component separately)"
+            )
 
         edges = dict(ctx.edge_selectivity)
         is_tree = len(edges) == ctx.n - 1

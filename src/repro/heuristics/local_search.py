@@ -24,9 +24,15 @@ from repro.util.rng import derive_rng
 
 
 def _random_neighbour(order: list[int], rng) -> list[int]:
-    """Apply one random move: swap (p=0.5) or 3-cycle (p=0.5)."""
+    """Apply one random move: swap (p=0.5) or 3-cycle (p=0.5).
+
+    Orders shorter than two relations have no neighbours — returned
+    unchanged (``rng.sample`` would raise on them).
+    """
     n = len(order)
     out = list(order)
+    if n < 2:
+        return out
     if n >= 3 and rng.random() < 0.5:
         i, j, k = rng.sample(range(n), 3)
         out[i], out[j], out[k] = out[j], out[k], out[i]
@@ -60,8 +66,15 @@ class IteratedImprovement:
         started = time.perf_counter()
         ctx = make_context(query)
         cost_model = cost_model or StandardCostModel()
-        estimator = CardinalityEstimator(ctx)
         meter = WorkMeter()
+        if ctx.n == 1:
+            # A single relation has exactly one (trivial) order — no
+            # neighbourhood to search.
+            return result_from_order(
+                self.name, ctx, cost_model, [0], meter, started,
+                extras={"restarts": 0},
+            )
+        estimator = CardinalityEstimator(ctx)
 
         best_order: list[int] | None = None
         best_cost = float("inf")
@@ -133,8 +146,13 @@ class SimulatedAnnealing:
         started = time.perf_counter()
         ctx = make_context(query)
         cost_model = cost_model or StandardCostModel()
-        estimator = CardinalityEstimator(ctx)
         meter = WorkMeter()
+        if ctx.n == 1:
+            return result_from_order(
+                self.name, ctx, cost_model, [0], meter, started,
+                extras={"final_temperature": 0.0},
+            )
+        estimator = CardinalityEstimator(ctx)
         rng = derive_rng(self.seed, "sa")
 
         order = list(range(ctx.n))

@@ -1,0 +1,21 @@
+"""Adaptive DP/heuristic hybrid for queries past the exact-DP horizon.
+
+See :mod:`repro.hybrid.optimizer` for the pipeline and
+:mod:`repro.query.decompose` for the density-based partitioning pass.
+"""
+
+from repro.hybrid.optimizer import HybridOptimizer
+from repro.hybrid.stitch import (
+    StitchResult,
+    induced_subquery,
+    relabel_plan,
+    stitch_cores,
+)
+
+__all__ = [
+    "HybridOptimizer",
+    "StitchResult",
+    "induced_subquery",
+    "relabel_plan",
+    "stitch_cores",
+]

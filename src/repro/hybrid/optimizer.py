@@ -1,0 +1,243 @@
+"""The adaptive DP/heuristic hybrid optimizer.
+
+``algorithm="hybrid"`` composes the repo's two halves for queries past the
+exact-DP horizon: the decomposer (:mod:`repro.query.decompose`) partitions
+the join graph into dense cores; exact DP — serial or any parallel
+backend, fast-path and vectorized kernels included — optimizes each core
+as a standalone sub-query; the stitcher (:mod:`repro.hybrid.stitch`)
+orders the cores with GOO/IKKBZ and polishes the composition with seeded
+local search.
+
+Adaptivity is structural: a query at or below the core-size cap is a
+single core, so the hybrid degenerates to pure exact DP with a **zero**
+optimality gap — no mode switch, no cost threshold.  Past the cap, the
+exponential work is bounded by the cap while the heuristic layer only
+ever decides the plan shape *between* cores.
+
+The run reports through the standard machinery: one
+:class:`~repro.enumerate.base.OptimizationResult` whose meter and memo
+counts aggregate the per-core DP runs, plus a ``hybrid.*`` trace group
+(cores found, core sizes, DP vs heuristic share, stitch cost).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.cost.model import CostModel
+from repro.enumerate.base import OptimizationResult, make_context
+from repro.heuristics.goo import GOO
+from repro.hybrid.stitch import (
+    induced_subquery,
+    relabel_plan,
+    stitch_cores,
+)
+from repro.memo.counters import WorkMeter
+from repro.plans.nodes import ScanNode
+from repro.query.decompose import Decomposition, decompose
+from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:
+    from repro.config import OptimizerConfig
+
+
+class HybridOptimizer:
+    """Decompose → per-core exact DP → heuristic stitch.
+
+    Built from an :class:`~repro.config.OptimizerConfig` with
+    ``algorithm="hybrid"``; the config's ``hybrid_dp`` kernel (and its
+    ``threads``/``backend``/``fast_path``/``vectorize`` settings) run each
+    core, so every execution substrate the DP framework supports is
+    available per core.
+    """
+
+    name = "hybrid"
+
+    def __init__(self, config: "OptimizerConfig") -> None:
+        self.config = config
+
+    @property
+    def _core_config(self) -> "OptimizerConfig":
+        """The per-core DP config: same substrate, DP kernel, no tracer.
+
+        Core runs inherit threads/backend/fast-path/vectorize so parallel
+        kernels apply inside each core; the tracer is dropped because the
+        hybrid emits its own ``hybrid.*`` group and per-core DP spans
+        would otherwise be misattributed to the full query.
+        """
+        return self.config.with_options(
+            algorithm=self.config.effective_hybrid_dp,
+            hybrid_core_cap=None,
+            hybrid_density=None,
+            hybrid_dp=None,
+            tracer=None,
+        )
+
+    def optimize(
+        self, query, cost_model: CostModel | None = None
+    ) -> OptimizationResult:
+        """Optimize ``query`` with the decompose/DP/stitch pipeline."""
+        from repro import _run
+
+        started = time.perf_counter()
+        ctx = make_context(query)
+        config = self.config
+        cost_model = (
+            cost_model
+            if cost_model is not None
+            else config.effective_cost_model
+        )
+        if not config.cross_products and not ctx.query.graph.is_connected():
+            raise ValidationError(
+                "hybrid: join graph is disconnected; no cross-product-"
+                "free plan covers all relations (enable cross_products)"
+            )
+        tracer = config.effective_tracer
+        meter = WorkMeter()
+        estimator = CardinalityEstimator(ctx)
+        core_config = self._core_config
+
+        with tracer.span("optimize", algorithm=self.name, n=ctx.n):
+            with tracer.span("hybrid.decompose", n=ctx.n):
+                decomposition = decompose(
+                    ctx,
+                    core_cap=config.effective_hybrid_core_cap,
+                    density_threshold=config.effective_hybrid_density,
+                )
+            self._trace_decomposition(tracer, ctx, decomposition)
+
+            core_results = []
+            with tracer.span(
+                "hybrid.dp_cores", cores=len(decomposition.cores)
+            ):
+                for core in decomposition.cores:
+                    if core.size == 1:
+                        core_results.append(None)
+                        continue
+                    sub = induced_subquery(
+                        ctx, core.mask, f"core{core.index}"
+                    )
+                    core_results.append(_run(sub, core_config))
+
+            memo_entries = 0
+            core_plans = []
+            for core, sub_result in zip(
+                decomposition.cores, core_results
+            ):
+                if sub_result is None:
+                    core_plans.append(
+                        ScanNode(relation=core.relations[0])
+                    )
+                    continue
+                meter.merge(sub_result.meter)
+                memo_entries += sub_result.memo_entries
+                mapping = dict(enumerate(core.relations))
+                core_plans.append(
+                    relabel_plan(sub_result.plan, mapping)
+                )
+
+            with tracer.span(
+                "hybrid.stitch", cores=len(core_plans)
+            ):
+                stitched = stitch_cores(
+                    ctx,
+                    core_plans,
+                    estimator,
+                    cost_model,
+                    meter,
+                    cross_products=config.cross_products,
+                )
+            tracer.counter(
+                "hybrid.stitch_joins", len(core_plans) - 1
+            )
+            tracer.counter(
+                "hybrid.polish_improvements",
+                stitched.polish_improvements,
+            )
+            tracer.gauge("hybrid.stitch_cost", stitched.stitch_cost)
+
+            plan = stitched.plan
+            cost = stitched.cost
+            stitch_method = stitched.method
+            stitch_cost = stitched.stitch_cost
+            if len(core_plans) > 1:
+                # Adaptive backstop: on sparse topologies (chains above
+                # all) core boundaries can cost more than per-core
+                # optimality buys, and a flat greedy plan over the
+                # original graph wins.  Pricing both and keeping the
+                # cheaper makes the hybrid never worse than its own
+                # heuristic baseline.
+                with tracer.span("hybrid.flat_goo"):
+                    flat = GOO(
+                        cross_products=config.cross_products
+                    ).optimize(ctx, cost_model=cost_model)
+                meter.merge(flat.meter)
+                if flat.cost < cost:
+                    plan, cost = flat.plan, flat.cost
+                    stitch_method = "flat_goo"
+                    stitch_cost = 0.0
+
+        extras: dict[str, Any] = {
+            "hybrid": {
+                "cores": [
+                    list(core.relations)
+                    for core in decomposition.cores
+                ],
+                "core_sizes": [
+                    core.size for core in decomposition.cores
+                ],
+                "core_cap": decomposition.core_cap,
+                "density_threshold": decomposition.density_threshold,
+                "connector_edges": decomposition.connector_edges,
+                "dp_relations": decomposition.dp_relations,
+                "heuristic_relations": (
+                    decomposition.heuristic_relations
+                ),
+                "dp_algorithm": core_config.algorithm,
+                "stitch_method": stitch_method,
+                "stitch_cost": stitch_cost,
+                "polish_improvements": stitched.polish_improvements,
+            },
+        }
+        if tracer.enabled:
+            extras["trace"] = tracer
+        return OptimizationResult(
+            algorithm=self.name,
+            plan=plan,
+            cost=cost,
+            rows=estimator.rows(ctx.all_mask),
+            meter=meter,
+            memo_entries=memo_entries,
+            elapsed_seconds=time.perf_counter() - started,
+            extras=extras,
+        )
+
+    def _trace_decomposition(
+        self, tracer, ctx, decomposition: Decomposition
+    ) -> None:
+        """Emit the ``hybrid.*`` decomposition counters/gauges."""
+        if not tracer.enabled:
+            return
+        sizes = [core.size for core in decomposition.cores]
+        tracer.counter("hybrid.cores", len(sizes))
+        tracer.gauge("hybrid.core_size_max", max(sizes))
+        tracer.gauge(
+            "hybrid.core_size_mean", sum(sizes) / len(sizes)
+        )
+        tracer.gauge(
+            "hybrid.dp_share",
+            decomposition.dp_relations / ctx.n,
+        )
+        tracer.counter(
+            "hybrid.connector_edges", decomposition.connector_edges
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridOptimizer(core_cap="
+            f"{self.config.effective_hybrid_core_cap}, "
+            f"density={self.config.effective_hybrid_density}, "
+            f"dp={self.config.effective_hybrid_dp!r})"
+        )

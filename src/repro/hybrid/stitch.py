@@ -1,0 +1,376 @@
+"""Stitching: compose per-core optimal sub-plans into one full plan.
+
+The decomposer (:mod:`repro.query.decompose`) hands exact DP a set of
+dense cores; each comes back as an optimal plan tree over its own
+relations.  This module treats those trees as indivisible *macro
+relations* and orders them with the repo's own heuristics:
+
+* **GOO stitch** — greedy smallest-output pairing over the forest of core
+  plans, producing a bushy composition (the Fegaras move, applied to
+  cores instead of scans).
+* **IKKBZ stitch** — a contracted *macro query* (one pseudo-relation per
+  core, carrying the core's estimated output rows; one edge per connected
+  core pair, carrying the product of the crossing selectivities) is
+  handed to :class:`~repro.heuristics.ikkbz.IKKBZ`, whose left-deep core
+  order is then materialized over the real core plans.
+* **Local-search polish** — seeded hill climbing over left-deep core
+  orders (swap / 3-cycle moves, the Steinbrunn move set) started from the
+  best order found so far.
+
+The cheapest composition wins.  Core-internal plans are never rewritten —
+their costs are DP-optimal already — so stitching only ever decides the
+shape *between* cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.estimator import ROWS_CAP, CardinalityEstimator
+from repro.cost.model import CostModel
+from repro.cost.plan_cost import plan_cost
+from repro.heuristics.ikkbz import IKKBZ
+from repro.memo.counters import WorkMeter
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.query.context import QueryContext
+from repro.query.joingraph import JoinGraph, Query
+from repro.util.errors import OptimizationError
+from repro.util.rng import derive_rng
+
+_MACRO_SEL_FLOOR = 1e-300
+"""Floor for contracted-edge selectivities.
+
+The product of every selectivity crossing two large cores can underflow
+float64 to exactly ``0.0``, which :class:`~repro.query.joingraph.JoinEdge`
+rightly rejects.  The contracted macro query only needs the *ordering*
+of edge strengths, so flooring at the smallest practical normal keeps
+IKKBZ applicable without changing any comparison that matters."""
+
+
+def relabel_plan(plan: PlanNode, mapping: dict[int, int]) -> PlanNode:
+    """Rewrite a sub-query plan's relation indices into global numbering.
+
+    DP optimizes each core as a standalone sub-query with relations
+    ``0 … k-1``; ``mapping`` sends those local indices back to the parent
+    query's numbering so the stitched tree prices correctly under the
+    global estimator.
+    """
+    if isinstance(plan, ScanNode):
+        return ScanNode(relation=mapping[plan.relation])
+    if isinstance(plan, JoinNode):
+        return JoinNode(
+            left=relabel_plan(plan.left, mapping),
+            right=relabel_plan(plan.right, mapping),
+            method=plan.method,
+        )
+    raise TypeError(f"not a plan node: {plan!r}")
+
+
+def induced_subquery(ctx: QueryContext, mask: int, label: str) -> Query:
+    """The sub-query induced by ``mask``, relations renumbered ``0 … k-1``.
+
+    Cardinalities and internal edge selectivities carry over unchanged, so
+    the sub-query's DP optimum equals the globally-priced cost of the same
+    tree — the property the zero-gap guarantee rests on.
+    """
+    relations = [r for r in range(ctx.n) if mask >> r & 1]
+    local = {rel: i for i, rel in enumerate(relations)}
+    edges = [
+        (local[u], local[v], sel)
+        for (u, v), sel in sorted(ctx.edge_selectivity.items())
+        if u in local and v in local
+    ]
+    graph = JoinGraph(len(relations), edges)
+    return Query(
+        graph=graph,
+        relation_names=tuple(
+            ctx.query.relation_names[r] for r in relations
+        ),
+        cardinalities=tuple(ctx.cards[r] for r in relations),
+        label=f"{ctx.query.label}/{label}",
+    )
+
+
+@dataclass
+class StitchResult:
+    """Outcome of composing core plans into one tree.
+
+    Attributes:
+        plan: The stitched full-query plan.
+        cost: Its total cost (core-internal costs included).
+        method: Which composition won (``goo`` / ``ikkbz`` /
+            ``polished``).
+        stitch_cost: Cost added on top of the summed core costs — the
+            price of the inter-core joins (scans and core internals
+            excluded).
+        polish_improvements: Accepted cost-improving polish moves.
+    """
+
+    plan: PlanNode
+    cost: float
+    method: str
+    stitch_cost: float
+    polish_improvements: int
+
+
+def _left_deep_over_cores(
+    order: list[int],
+    core_plans: list[PlanNode],
+    estimator: CardinalityEstimator,
+    cost_model: CostModel,
+) -> PlanNode:
+    """Materialize a left-deep composition joining cores in ``order``."""
+    plan = core_plans[order[0]]
+    for index in order[1:]:
+        right = core_plans[index]
+        rows_left = estimator.rows(plan.mask)
+        rows_right = estimator.rows(right.mask)
+        rows_out = estimator.rows(plan.mask | right.mask)
+        method, _ = cost_model.cheapest_join(rows_left, rows_right, rows_out)
+        plan = JoinNode(left=plan, right=right, method=method)
+    return plan
+
+
+def _order_join_cost(
+    order: list[int],
+    core_plans: list[PlanNode],
+    ctx: QueryContext,
+    estimator: CardinalityEstimator,
+    cost_model: CostModel,
+    meter: WorkMeter | None = None,
+) -> float:
+    """Inter-core join cost of a left-deep core order (core internals are
+    order-invariant and excluded, so orders compare on this alone).
+
+    Prefix rows are grown incrementally with the independence product rule
+    (``rows(P ∪ C) = rows(P) · rows(C) · sel(P, C)``, clamped exactly like
+    the estimator) rather than queried per prefix mask: local search
+    evaluates thousands of orders and each order walks a fresh chain of
+    prefix masks, so per-mask memoization buys nothing while the recursive
+    expansion costs O(n²) per mask.  The core-mask lookups below are the
+    memoized (hence cheap) ones.
+    """
+    prefix = core_plans[order[0]].mask
+    prefix_rows = estimator.rows(prefix)
+    cost = 0.0
+    for index in order[1:]:
+        mask = core_plans[index].mask
+        right_rows = estimator.rows(mask)
+        # cross_selectivity iterates bits of its first argument — pass the
+        # (small) core mask, not the ever-growing prefix.
+        out_rows = max(
+            1.0,
+            min(
+                prefix_rows
+                * right_rows
+                * ctx.cross_selectivity(mask, prefix),
+                ROWS_CAP,
+            ),
+        )
+        _, join_cost = cost_model.cheapest_join(
+            prefix_rows, right_rows, out_rows
+        )
+        cost += join_cost
+        prefix |= mask
+        prefix_rows = out_rows
+        if meter is not None:
+            meter.plans_emitted += len(cost_model.methods)
+    return cost
+
+
+def _goo_stitch(
+    ctx: QueryContext,
+    core_plans: list[PlanNode],
+    estimator: CardinalityEstimator,
+    cost_model: CostModel,
+    meter: WorkMeter,
+    cross_products: bool,
+) -> PlanNode:
+    """Greedy smallest-output bushy composition of the core forest."""
+    forest = list(core_plans)
+    while len(forest) > 1:
+        best_pair: tuple[int, int] | None = None
+        best_rows = float("inf")
+        for i in range(len(forest)):
+            for j in range(i + 1, len(forest)):
+                left, right = forest[i], forest[j]
+                meter.pairs_considered += 1
+                if not cross_products and not ctx.connects(
+                    left.mask, right.mask
+                ):
+                    meter.connectivity_fail += 1
+                    continue
+                meter.pairs_valid += 1
+                rows = estimator.rows(left.mask | right.mask)
+                if rows < best_rows:
+                    best_rows = rows
+                    best_pair = (i, j)
+        if best_pair is None:
+            raise OptimizationError(
+                "hybrid stitch: no joinable core pair (disconnected "
+                "contracted graph without cross products)"
+            )
+        i, j = best_pair
+        left, right = forest[i], forest[j]
+        method, _ = cost_model.cheapest_join(
+            estimator.rows(left.mask), estimator.rows(right.mask), best_rows
+        )
+        meter.plans_emitted += len(cost_model.methods)
+        joined = JoinNode(left=left, right=right, method=method)
+        forest = [node for k, node in enumerate(forest) if k not in (i, j)]
+        forest.append(joined)
+    return forest[0]
+
+
+def _ikkbz_core_order(
+    ctx: QueryContext,
+    core_plans: list[PlanNode],
+    estimator: CardinalityEstimator,
+    cost_model: CostModel,
+) -> list[int] | None:
+    """Left-deep core order from IKKBZ on the contracted macro query.
+
+    Each core becomes one pseudo-relation whose cardinality is the core's
+    estimated output rows; connected core pairs get one edge carrying the
+    product of all crossing selectivities.  Returns ``None`` when the
+    contracted graph is disconnected (cross-product stitching required —
+    IKKBZ does not apply).
+    """
+    count = len(core_plans)
+    edges = []
+    for i in range(count):
+        for j in range(i + 1, count):
+            if ctx.connects(core_plans[i].mask, core_plans[j].mask):
+                sel = ctx.cross_selectivity(
+                    core_plans[i].mask, core_plans[j].mask
+                )
+                edges.append(
+                    (i, j, min(1.0, max(sel, _MACRO_SEL_FLOOR)))
+                )
+    macro_graph = JoinGraph(count, edges)
+    if not macro_graph.is_connected():
+        return None
+    macro = Query(
+        graph=macro_graph,
+        relation_names=tuple(f"core{i}" for i in range(count)),
+        cardinalities=tuple(
+            max(1.0, estimator.rows(plan.mask)) for plan in core_plans
+        ),
+        label=f"{ctx.query.label}/contracted",
+    )
+    result = IKKBZ().optimize(macro, cost_model=cost_model)
+    return list(result.extras["order"])
+
+
+def _polish_order(
+    order: list[int],
+    core_plans: list[PlanNode],
+    ctx: QueryContext,
+    estimator: CardinalityEstimator,
+    cost_model: CostModel,
+    meter: WorkMeter,
+    seed: int,
+    max_stall: int,
+) -> tuple[list[int], float, int]:
+    """Hill-climb over core orders with swap / 3-cycle moves (seeded)."""
+    rng = derive_rng(seed, "hybrid-polish")
+    count = len(order)
+    best = list(order)
+    best_cost = _order_join_cost(
+        best, core_plans, ctx, estimator, cost_model
+    )
+    improvements = 0
+    stall = 0
+    while stall < max_stall:
+        candidate = list(best)
+        if count >= 3 and rng.random() < 0.5:
+            i, j, k = rng.sample(range(count), 3)
+            candidate[i], candidate[j], candidate[k] = (
+                candidate[j], candidate[k], candidate[i],
+            )
+        else:
+            i, j = rng.sample(range(count), 2)
+            candidate[i], candidate[j] = candidate[j], candidate[i]
+        cost = _order_join_cost(
+            candidate, core_plans, ctx, estimator, cost_model, meter
+        )
+        if cost < best_cost:
+            best, best_cost = candidate, cost
+            improvements += 1
+            stall = 0
+        else:
+            stall += 1
+    return best, best_cost, improvements
+
+
+def stitch_cores(
+    ctx: QueryContext,
+    core_plans: list[PlanNode],
+    estimator: CardinalityEstimator,
+    cost_model: CostModel,
+    meter: WorkMeter,
+    cross_products: bool = False,
+    seed: int = 0,
+    polish_stall: int | None = None,
+) -> StitchResult:
+    """Compose core sub-plans into the cheapest full-query plan found.
+
+    Runs the GOO bushy stitch and the IKKBZ left-deep core order, polishes
+    the best left-deep order with seeded local search, and returns the
+    cheapest composition overall.  Deterministic per seed.
+    """
+    if not core_plans:
+        raise OptimizationError("hybrid stitch: no core plans")
+    if len(core_plans) == 1:
+        plan = core_plans[0]
+        return StitchResult(
+            plan=plan,
+            cost=plan_cost(plan, estimator, cost_model),
+            method="single_core",
+            stitch_cost=0.0,
+            polish_improvements=0,
+        )
+
+    core_cost_total = sum(
+        plan_cost(plan, estimator, cost_model) for plan in core_plans
+    )
+
+    goo_plan = _goo_stitch(
+        ctx, core_plans, estimator, cost_model, meter, cross_products
+    )
+    goo_cost = plan_cost(goo_plan, estimator, cost_model)
+    best_plan, best_cost, method = goo_plan, goo_cost, "goo"
+
+    base_order = _ikkbz_core_order(ctx, core_plans, estimator, cost_model)
+    if base_order is not None:
+        ikkbz_plan = _left_deep_over_cores(
+            base_order, core_plans, estimator, cost_model
+        )
+        ikkbz_cost = plan_cost(ikkbz_plan, estimator, cost_model)
+        if ikkbz_cost < best_cost:
+            best_plan, best_cost, method = ikkbz_plan, ikkbz_cost, "ikkbz"
+    else:
+        base_order = list(range(len(core_plans)))
+
+    if polish_stall is None:
+        polish_stall = max(40, 8 * len(core_plans))
+    polished, _, improvements = _polish_order(
+        base_order, core_plans, ctx, estimator, cost_model, meter,
+        seed, polish_stall,
+    )
+    polished_plan = _left_deep_over_cores(
+        polished, core_plans, estimator, cost_model
+    )
+    polished_cost = plan_cost(polished_plan, estimator, cost_model)
+    if polished_cost < best_cost:
+        best_plan, best_cost, method = (
+            polished_plan, polished_cost, "polished",
+        )
+
+    return StitchResult(
+        plan=best_plan,
+        cost=best_cost,
+        method=method,
+        stitch_cost=best_cost - core_cost_total,
+        polish_improvements=improvements,
+    )

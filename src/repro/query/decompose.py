@@ -1,0 +1,231 @@
+"""Join-graph decomposition for the adaptive DP/heuristic hybrid.
+
+Exact DP is exponential in the number of relations, so past ~14 relations
+it stops being an option — but real join graphs at that scale are rarely
+*uniformly* dense.  Following the decomposition idea in massively-parallel
+join optimization for large queries (Mancini et al., see PAPERS.md), the
+graph is partitioned into **dense cores** — connected vertex sets whose
+induced edge density stays above a threshold — and **sparse connectors**,
+the leftover relations whose neighbourhoods are too thin to reward
+exponential search.  Exact DP then optimizes each core as a sub-query
+while cheap heuristics order the cores, bounding the exponential work by
+the core-size cap instead of the query size.
+
+The partition is computed from query-graph topology alone (degrees and
+induced edge counts — a cheap treewidth proxy), never from cardinalities,
+so it is deterministic per graph and independent of the catalog.
+
+>>> from repro.query import WorkloadSpec, generate_query
+>>> from repro.query.context import QueryContext
+>>> from repro.query.decompose import decompose
+>>> ctx = QueryContext(generate_query(WorkloadSpec("star", 30, seed=1)))
+>>> d = decompose(ctx, core_cap=12, density_threshold=0.3)
+>>> d.is_single_core
+False
+>>> max(core.size for core in d.cores) <= 12
+True
+>>> sorted(r for core in d.cores for r in core.relations) == list(range(30))
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.context import QueryContext
+from repro.util.bitsets import bits_of, popcount
+from repro.util.errors import ValidationError
+
+DEFAULT_CORE_CAP = 12
+"""Largest sub-query handed to exact DP (clique-12 is sub-second with the
+fast-path kernels; every query at or below this size is a single core,
+which is what makes the hybrid *adaptive*: small queries degenerate to
+pure exact DP with a zero optimality gap)."""
+
+DEFAULT_DENSITY_THRESHOLD = 0.3
+"""Minimum induced edge density ``edges / C(size, 2)`` a growing core must
+keep.  Chains (density ``2/k``) stop growing around six relations; cliques
+(density 1) grow to the cap; stars shed their spokes as connectors."""
+
+
+@dataclass(frozen=True)
+class Core:
+    """One dense core: a connected set of relations optimized by exact DP.
+
+    Attributes:
+        index: Position in the decomposition's core list.
+        mask: Bitmask of the member relations (global numbering).
+        relations: Member relations, ascending.
+        internal_edges: Join edges with both endpoints inside the core.
+    """
+
+    index: int
+    mask: int
+    relations: tuple[int, ...]
+    internal_edges: int
+
+    @property
+    def size(self) -> int:
+        """Number of member relations."""
+        return len(self.relations)
+
+    @property
+    def density(self) -> float:
+        """Induced edge density ``edges / C(size, 2)`` (1.0 for singletons)."""
+        if self.size < 2:
+            return 1.0
+        return self.internal_edges / (self.size * (self.size - 1) / 2)
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A partition of a join graph into dense cores.
+
+    Every relation belongs to exactly one core; cores are connected
+    subgraphs.  Edges not internal to any core are the *connector* edges
+    the stitcher prices when it orders the cores.
+    """
+
+    cores: tuple[Core, ...]
+    connector_edges: int
+    core_cap: int
+    density_threshold: float
+
+    @property
+    def is_single_core(self) -> bool:
+        """True when the whole query fits in one core (pure exact DP)."""
+        return len(self.cores) == 1
+
+    @property
+    def dp_relations(self) -> int:
+        """Relations inside multi-relation cores (the exact-DP share)."""
+        return sum(core.size for core in self.cores if core.size > 1)
+
+    @property
+    def heuristic_relations(self) -> int:
+        """Singleton-core relations ordered purely by the heuristics."""
+        return sum(core.size for core in self.cores if core.size == 1)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        sizes = sorted((core.size for core in self.cores), reverse=True)
+        return (
+            f"{len(self.cores)} cores (sizes {sizes}), "
+            f"{self.connector_edges} connector edges, "
+            f"dp_share={self.dp_relations}/"
+            f"{self.dp_relations + self.heuristic_relations}"
+        )
+
+
+def _internal_edges(ctx: QueryContext, mask: int) -> int:
+    """Join edges with both endpoints in ``mask``."""
+    count = 0
+    for rel in bits_of(mask):
+        count += popcount(ctx.adjacency[rel] & mask)
+    return count // 2
+
+
+def decompose(
+    ctx: QueryContext,
+    core_cap: int = DEFAULT_CORE_CAP,
+    density_threshold: float = DEFAULT_DENSITY_THRESHOLD,
+) -> Decomposition:
+    """Partition ``ctx``'s join graph into dense cores.
+
+    Greedy densest-first growth: seed a core at the highest-degree
+    unassigned relation, then repeatedly absorb the neighbour with the
+    most edges into the core, stopping when the cap is reached, the
+    enlarged core's density would fall below ``density_threshold``, or no
+    neighbour remains.  Repeats until every relation is assigned; isolated
+    leftovers become singleton cores.  When the whole query fits under the
+    cap the result is a single core — the adaptive fast path back to pure
+    exact DP.
+
+    Cores are connected by construction (growth only follows join edges),
+    which the stitcher and the DP sub-queries both rely on.
+    """
+    if core_cap < 1:
+        raise ValidationError(f"core_cap must be >= 1, got {core_cap}")
+    if not 0.0 < density_threshold <= 1.0:
+        raise ValidationError(
+            f"density_threshold must be in (0, 1], got {density_threshold}"
+        )
+    n = ctx.n
+    cores: list[Core] = []
+
+    def emit(mask: int) -> None:
+        cores.append(
+            Core(
+                index=len(cores),
+                mask=mask,
+                relations=tuple(bits_of(mask)),
+                internal_edges=_internal_edges(ctx, mask),
+            )
+        )
+
+    if n <= core_cap:
+        emit(ctx.all_mask)
+    else:
+        remaining = ctx.all_mask
+        while remaining:
+            seed = max(
+                bits_of(remaining),
+                key=lambda r: (popcount(ctx.adjacency[r] & remaining), -r),
+            )
+            core = 1 << seed
+            size = 1
+            while size < core_cap:
+                frontier = ctx.adj_union(core) & remaining & ~core
+                if not frontier:
+                    break
+                candidate = max(
+                    bits_of(frontier),
+                    key=lambda r: (
+                        popcount(ctx.adjacency[r] & core),
+                        popcount(ctx.adjacency[r] & remaining),
+                        -r,
+                    ),
+                )
+                grown = core | (1 << candidate)
+                grown_size = size + 1
+                density = _internal_edges(ctx, grown) / (
+                    grown_size * (grown_size - 1) / 2
+                )
+                if density < density_threshold:
+                    break
+                core = grown
+                size = grown_size
+            emit(core)
+            remaining &= ~core
+
+    total_edges = len(ctx.edge_selectivity)
+    internal = sum(core.internal_edges for core in cores)
+    decomposition = Decomposition(
+        cores=tuple(cores),
+        connector_edges=total_edges - internal,
+        core_cap=core_cap,
+        density_threshold=density_threshold,
+    )
+    _check_partition(ctx, decomposition)
+    return decomposition
+
+
+def _check_partition(ctx: QueryContext, decomposition: Decomposition) -> None:
+    """Defensive invariants: exact cover and per-core connectivity."""
+    union = 0
+    for core in decomposition.cores:
+        if union & core.mask:
+            raise ValidationError(
+                f"decomposition cores overlap at mask {union & core.mask:#x}"
+            )
+        union |= core.mask
+        if not ctx.is_connected(core.mask):
+            raise ValidationError(
+                f"decomposition produced a disconnected core "
+                f"{list(core.relations)}"
+            )
+    if union != ctx.all_mask:
+        raise ValidationError(
+            f"decomposition does not cover the query: missing "
+            f"{list(bits_of(ctx.all_mask & ~union))}"
+        )

@@ -25,11 +25,33 @@ def _selectivities(count: int, seed: int, label: str) -> list[float]:
     return [math.exp(rng.uniform(lo, hi)) for _ in range(count)]
 
 
+def _verified(graph: JoinGraph, expected_edges: int, label: str) -> JoinGraph:
+    """Post-construction check: exact edge count and connectivity.
+
+    Generator bugs at large ``n`` (an off-by-one in a grid loop, a
+    truncated clique pair walk) would otherwise flow silently into every
+    experiment built on the topology; a mis-sized or disconnected graph
+    raises here instead.
+    """
+    if len(graph.edges) != expected_edges:
+        raise ValidationError(
+            f"{label} generator produced {len(graph.edges)} edges for "
+            f"n={graph.n}, expected exactly {expected_edges}"
+        )
+    if graph.n > 1 and not graph.is_connected():
+        raise ValidationError(
+            f"{label} generator produced a disconnected graph for "
+            f"n={graph.n}"
+        )
+    return graph
+
+
 def chain_graph(n: int, seed: int = 0) -> JoinGraph:
     """Chain: ``0 — 1 — 2 — … — n-1``."""
     _require_n(n, 1)
     sels = _selectivities(max(0, n - 1), seed, "chain")
-    return JoinGraph(n, [(i, i + 1, sels[i]) for i in range(n - 1)])
+    graph = JoinGraph(n, [(i, i + 1, sels[i]) for i in range(n - 1)])
+    return _verified(graph, n - 1 if n > 1 else 0, "chain")
 
 
 def cycle_graph(n: int, seed: int = 0) -> JoinGraph:
@@ -38,14 +60,15 @@ def cycle_graph(n: int, seed: int = 0) -> JoinGraph:
     sels = _selectivities(n, seed, "cycle")
     edges = [(i, i + 1, sels[i]) for i in range(n - 1)]
     edges.append((0, n - 1, sels[n - 1]))
-    return JoinGraph(n, edges)
+    return _verified(JoinGraph(n, edges), n, "cycle")
 
 
 def star_graph(n: int, seed: int = 0) -> JoinGraph:
     """Star: relation 0 is the hub joined to every other relation."""
     _require_n(n, 2)
     sels = _selectivities(n - 1, seed, "star")
-    return JoinGraph(n, [(0, i, sels[i - 1]) for i in range(1, n)])
+    graph = JoinGraph(n, [(0, i, sels[i - 1]) for i in range(1, n)])
+    return _verified(graph, n - 1, "star")
 
 
 def clique_graph(n: int, seed: int = 0) -> JoinGraph:
@@ -59,7 +82,7 @@ def clique_graph(n: int, seed: int = 0) -> JoinGraph:
         for v in range(u + 1, n):
             edges.append((u, v, sels[k]))
             k += 1
-    return JoinGraph(n, edges)
+    return _verified(JoinGraph(n, edges), count, "clique")
 
 
 def grid_graph(n: int, seed: int = 0) -> JoinGraph:
@@ -83,8 +106,11 @@ def grid_graph(n: int, seed: int = 0) -> JoinGraph:
             if r + 1 < rows:
                 edges_ix.append((idx, idx + cols))
     sels = _selectivities(len(edges_ix), seed, "grid")
-    return JoinGraph(
+    graph = JoinGraph(
         n, [(u, v, sels[i]) for i, (u, v) in enumerate(edges_ix)]
+    )
+    return _verified(
+        graph, rows * (cols - 1) + cols * (rows - 1), "grid"
     )
 
 
@@ -110,9 +136,10 @@ def random_graph(n: int, seed: int = 0, edge_probability: float = 0.35) -> JoinG
                 pairs.add((u, v))
     ordered = sorted(pairs)
     sels = _selectivities(len(ordered), seed, "random")
-    return JoinGraph(
+    graph = JoinGraph(
         n, [(u, v, sels[i]) for i, (u, v) in enumerate(ordered)]
     )
+    return _verified(graph, len(ordered), "random")
 
 
 def _require_n(n: int, minimum: int) -> None:

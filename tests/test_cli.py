@@ -172,3 +172,87 @@ def test_bench_cache_experiment(capsys):
     assert code == 0
     assert "hit_speedup" in out
     assert "hit_rate" in out
+
+
+def test_optimize_hybrid(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "optimize", "--algorithm", "hybrid", "--topology", "star",
+        "-n", "30", "--seed", "2",
+    )
+    assert code == 0
+    assert "hybrid" in out
+    assert "cost=" in out
+
+
+def test_optimize_hybrid_knobs(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "optimize", "--algorithm", "hybrid", "--topology", "grid",
+        "-n", "20", "--core-cap", "6", "--density-threshold", "0.4",
+        "--hybrid-dp", "dpsub",
+    )
+    assert code == 0
+    assert "hybrid" in out
+
+
+def test_optimize_hybrid_with_threads(capsys):
+    # Hybrid accepts the parallel knobs: its DP cores run on the
+    # configured substrate.
+    code, out, _ = run_cli(
+        capsys,
+        "optimize", "--algorithm", "hybrid", "--topology", "star",
+        "-n", "20", "--threads", "2",
+    )
+    assert code == 0
+    assert "hybrid" in out
+
+
+def test_heuristic_with_threads_names_the_flag(capsys):
+    code, _, err = run_cli(
+        capsys, "optimize", "--algorithm", "goo", "--threads", "4"
+    )
+    assert code == 1
+    assert "--threads" in err
+    assert "goo" in err
+    assert "hybrid" in err  # the suggested valid combinations
+
+
+def test_heuristic_with_backend_names_the_flag(capsys):
+    code, _, err = run_cli(
+        capsys,
+        "optimize", "--algorithm", "ikkbz", "--backend", "threads",
+    )
+    assert code == 1
+    assert "--backend" in err
+
+
+def test_heuristic_with_allocation_names_the_flag(capsys):
+    code, _, err = run_cli(
+        capsys,
+        "optimize", "--algorithm", "simulated_annealing",
+        "--allocation", "dynamic",
+    )
+    assert code == 1
+    assert "--allocation" in err
+    assert "simulated_annealing" in err
+
+
+def test_hybrid_knob_on_serial_algorithm_names_the_flag(capsys):
+    code, _, err = run_cli(
+        capsys,
+        "optimize", "--algorithm", "dpsize", "--core-cap", "8",
+    )
+    assert code == 1
+    assert "--core-cap" in err
+    assert "hybrid" in err
+
+
+def test_bench_large_query(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "bench", "--experiment", "large-query", "--topology", "chain",
+        "-n", "20", "--queries", "1",
+    )
+    assert code == 0
+    assert "vs_goo" in out

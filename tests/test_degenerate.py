@@ -63,3 +63,82 @@ def test_optimize_batch_empty_returns_empty_list():
         assert service.optimize_batch([]) == []
     finally:
         service.close()
+
+
+# ---------------------------------------------------------------------------
+# Heuristic entry points on degenerate inputs.  The hybrid optimizer feeds
+# the heuristics single-relation cores, two-relation chains, and (when
+# misconfigured) disconnected graphs — each must come back as a valid plan
+# or a clean ValidationError, never an internal crash.
+
+from repro.heuristics import GOO, IKKBZ, IteratedImprovement, SimulatedAnnealing
+from repro.query import JoinGraph, Query
+from repro.util.errors import ValidationError
+
+HEURISTIC_CLASSES = [GOO, IKKBZ, IteratedImprovement, SimulatedAnnealing]
+
+
+def disconnected_query():
+    graph = JoinGraph(4, [(0, 1, 0.1), (2, 3, 0.1)])
+    return Query(
+        graph=graph,
+        relation_names=("a", "b", "c", "d"),
+        cardinalities=(10.0, 10.0, 10.0, 10.0),
+    )
+
+
+@pytest.mark.parametrize("heuristic", HEURISTIC_CLASSES)
+def test_heuristic_single_relation(heuristic):
+    query = query_for("chain", 1)
+    result = heuristic().optimize(query)
+    assert result.plan.size == 1
+    assert result.plan.relations == 0b1
+    assert result.cost >= 0.0
+
+
+@pytest.mark.parametrize("heuristic", HEURISTIC_CLASSES)
+def test_heuristic_two_relation_chain(heuristic):
+    query = query_for("chain", 2)
+    serial = optimize(query)
+    result = heuristic().optimize(query)
+    assert result.plan.size == 2
+    # One joinable pair exists, so every heuristic finds the optimum.
+    assert result.cost <= serial.cost * (1.0 + 1e-9)
+
+
+@pytest.mark.parametrize("heuristic", [GOO, IKKBZ])
+def test_connected_heuristics_reject_disconnected(heuristic):
+    # GOO (without cross products) and IKKBZ cannot cover a disconnected
+    # graph — the failure is a clean input-validation error.
+    with pytest.raises(ValidationError):
+        heuristic().optimize(disconnected_query())
+
+
+def test_goo_cross_products_covers_disconnected():
+    result = GOO(cross_products=True).optimize(disconnected_query())
+    assert result.plan.size == 4
+
+
+@pytest.mark.parametrize(
+    "heuristic", [IteratedImprovement, SimulatedAnnealing]
+)
+def test_randomized_heuristics_cover_disconnected(heuristic):
+    # The randomized searches admit cross products by construction
+    # (Steinbrunn et al.), so disconnected inputs still yield a plan.
+    result = heuristic().optimize(disconnected_query())
+    assert result.plan.size == 4
+
+
+def test_hybrid_single_relation():
+    query = query_for("chain", 1)
+    result = optimize(query, config=OptimizerConfig(algorithm="hybrid"))
+    assert result.plan.size == 1
+    assert result.extras["hybrid"]["stitch_method"] == "single_core"
+
+
+def test_hybrid_rejects_disconnected():
+    with pytest.raises(ValidationError):
+        optimize(
+            disconnected_query(),
+            config=OptimizerConfig(algorithm="hybrid"),
+        )

@@ -93,7 +93,7 @@ def test_goo_disconnected_needs_cross_products():
         relation_names=("a", "b", "c", "d"),
         cardinalities=(10.0, 10.0, 10.0, 10.0),
     )
-    with pytest.raises(OptimizationError):
+    with pytest.raises(ValidationError):
         GOO().optimize(q)
     result = GOO(cross_products=True).optimize(q)
     assert result.plan.size == 4

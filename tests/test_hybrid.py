@@ -1,0 +1,209 @@
+"""Hybrid optimizer: optimality-gap accounting, knob validation, tracing.
+
+The adaptive contract under test:
+
+* at or below the core cap the decomposition is a **single core** and
+  the hybrid *is* exact DP — the gap is exactly zero, bit for bit;
+* forced multi-core decompositions (small ``hybrid_core_cap``) stay
+  within a stated bound of the DP optimum on the benchmark topologies,
+  and are **never** worse than GOO (the flat-GOO backstop guarantee);
+* every run is deterministic per seed and reports its decomposition
+  through ``extras["hybrid"]`` and the ``hybrid.*`` trace group.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    GOO,
+    OptimizerConfig,
+    RecordingTracer,
+    ValidationError,
+    optimize,
+)
+from repro.hybrid import induced_subquery, relabel_plan
+from repro.enumerate.base import make_context
+from repro.plans import plan_signature
+from repro.query.decompose import decompose
+from repro.query.workload import WorkloadSpec, generate_query
+
+
+def query_for(topology, n, seed=0):
+    return generate_query(WorkloadSpec(topology, n, seed=seed))
+
+
+HYBRID = OptimizerConfig(algorithm="hybrid")
+EXACT = OptimizerConfig(algorithm="dpsize")
+
+
+# -- single-core decompositions: gap must be exactly zero -----------------
+
+@pytest.mark.parametrize(
+    "topology", ["chain", "cycle", "star", "grid", "random"]
+)
+@pytest.mark.parametrize("n", [5, 9, 12])
+def test_single_core_gap_is_exactly_zero(topology, n):
+    query = query_for(topology, n, seed=1)
+    hybrid = optimize(query, config=HYBRID)
+    exact = optimize(query, config=EXACT)
+    info = hybrid.extras["hybrid"]
+    assert len(info["core_sizes"]) == 1
+    assert info["stitch_method"] == "single_core"
+    assert info["dp_relations"] == n
+    # Not approximately — the sub-query DP optimum re-priced globally is
+    # the same float arithmetic as the full DP run.
+    assert hybrid.cost == exact.cost
+
+
+@pytest.mark.parametrize("n", [5, 9])
+def test_single_core_gap_zero_on_cliques(n):
+    query = query_for("clique", n, seed=1)
+    hybrid = optimize(query, config=HYBRID)
+    exact = optimize(query, config=EXACT)
+    assert hybrid.extras["hybrid"]["stitch_method"] == "single_core"
+    assert hybrid.cost == exact.cost
+
+
+# -- forced multi-core: gap bounded, never worse than GOO -----------------
+
+SMALL_CORES = OptimizerConfig(algorithm="hybrid", hybrid_core_cap=4)
+
+# Stated bound: on star/chain/grid at 12 relations with cores capped at 4,
+# the seeded decompositions stay within 2x of the bushy DP optimum
+# (measured worst case 1.83, chain seed 1).
+MULTI_CORE_BOUND = 2.0
+
+
+@pytest.mark.parametrize("topology", ["star", "chain", "grid"])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_multi_core_gap_within_stated_bound(topology, seed):
+    query = query_for(topology, 12, seed=seed)
+    hybrid = optimize(query, config=SMALL_CORES)
+    exact = optimize(query, config=EXACT)
+    assert len(hybrid.extras["hybrid"]["core_sizes"]) > 1
+    ratio = hybrid.cost / exact.cost
+    assert 1.0 - 1e-9 <= ratio <= MULTI_CORE_BOUND
+
+
+@pytest.mark.parametrize("topology", ["star", "chain", "cycle", "grid"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_multi_core_never_worse_than_goo(topology, seed):
+    # Even where forced tiny cores hurt (cycles), the flat-GOO backstop
+    # keeps the hybrid at or below its own heuristic baseline.
+    query = query_for(topology, 12, seed=seed)
+    hybrid = optimize(query, config=SMALL_CORES)
+    goo = GOO().optimize(query)
+    assert hybrid.cost <= goo.cost * (1.0 + 1e-9)
+
+
+def test_hybrid_deterministic_per_seed():
+    query = query_for("star", 30, seed=5)
+    first = optimize(query, config=HYBRID)
+    second = optimize(query, config=HYBRID)
+    assert first.cost == second.cost
+    assert plan_signature(first.plan) == plan_signature(second.plan)
+
+
+def test_hybrid_parallel_cores_match_serial():
+    query = query_for("star", 25, seed=2)
+    serial = optimize(query, config=HYBRID)
+    parallel = optimize(
+        query,
+        config=OptimizerConfig(algorithm="hybrid", threads=2),
+    )
+    # Parallel DP finds the same per-core optima; the stitch is seeded.
+    assert parallel.cost == serial.cost
+
+
+# -- decomposition and plumbing -------------------------------------------
+
+def test_decomposition_covers_and_respects_cap():
+    ctx = make_context(query_for("grid", 30, seed=0))
+    decomposition = decompose(ctx, core_cap=6, density_threshold=0.3)
+    union = 0
+    for core in decomposition.cores:
+        assert core.size <= 6
+        assert union & core.mask == 0
+        union |= core.mask
+    assert union == ctx.all_mask
+
+
+def test_induced_subquery_preserves_statistics():
+    ctx = make_context(query_for("star", 10, seed=0))
+    mask = 0b1011  # hub + two spokes
+    sub = induced_subquery(ctx, mask, "core0")
+    assert sub.graph.n == 3
+    assert sub.cardinalities == (
+        ctx.cards[0], ctx.cards[1], ctx.cards[3],
+    )
+
+
+def test_relabel_plan_maps_scans():
+    ctx = make_context(query_for("chain", 4, seed=0))
+    sub = induced_subquery(ctx, 0b1100, "core0")
+    result = optimize(sub, config=EXACT)
+    relabeled = relabel_plan(result.plan, {0: 2, 1: 3})
+    assert relabeled.relations == 0b1100
+
+
+def test_hybrid_trace_group():
+    tracer = RecordingTracer()
+    query = query_for("star", 20, seed=0)
+    optimize(
+        query, config=OptimizerConfig(algorithm="hybrid", tracer=tracer)
+    )
+    names = {event.name for event in tracer.events}
+    assert "hybrid.decompose" in names
+    assert "hybrid.dp_cores" in names
+    assert "hybrid.stitch" in names
+    assert "hybrid.cores" in names
+    assert "hybrid.dp_share" in names
+    assert "hybrid.stitch_cost" in names
+
+
+def test_hybrid_extras_report_decomposition():
+    query = query_for("star", 20, seed=0)
+    result = optimize(query, config=HYBRID)
+    info = result.extras["hybrid"]
+    assert sum(info["core_sizes"]) == 20
+    assert info["dp_relations"] + info["heuristic_relations"] == 20
+    assert info["dp_algorithm"] == "dpsize"
+    assert info["core_cap"] == 12
+
+
+# -- knob validation -------------------------------------------------------
+
+def test_hybrid_knobs_require_hybrid_algorithm():
+    with pytest.raises(ValidationError):
+        OptimizerConfig(algorithm="dpsize", hybrid_core_cap=8)
+    with pytest.raises(ValidationError):
+        OptimizerConfig(algorithm="goo", hybrid_density=0.5)
+    with pytest.raises(ValidationError):
+        OptimizerConfig(algorithm="dpsva", hybrid_dp="dpsize")
+
+
+def test_hybrid_knob_ranges():
+    with pytest.raises(ValidationError):
+        OptimizerConfig(algorithm="hybrid", hybrid_core_cap=0)
+    with pytest.raises(ValidationError):
+        OptimizerConfig(algorithm="hybrid", hybrid_density=0.0)
+    with pytest.raises(ValidationError):
+        OptimizerConfig(algorithm="hybrid", hybrid_density=1.5)
+    # The boundary density 1.0 (only cliques qualify as cores) is legal.
+    OptimizerConfig(algorithm="hybrid", hybrid_density=1.0)
+
+
+def test_hybrid_dp_must_be_exact():
+    with pytest.raises(ValidationError):
+        OptimizerConfig(algorithm="hybrid", hybrid_dp="goo")
+    with pytest.raises(ValidationError):
+        OptimizerConfig(algorithm="hybrid", hybrid_dp="exhaustive")
+
+
+def test_hybrid_threads_require_parallel_core_kernel():
+    # dpccp has no parallel variant, so threads cannot apply to it.
+    with pytest.raises(ValidationError):
+        OptimizerConfig(algorithm="hybrid", threads=4, hybrid_dp="dpccp")
+    # The default kernel (dpsize) parallelizes fine.
+    OptimizerConfig(algorithm="hybrid", threads=4)

@@ -133,3 +133,67 @@ def test_with_count():
     assert bigger.topology == "chain"
     # Same query at same index regardless of count.
     assert generate_query(spec, 1).cardinalities == generate_query(bigger, 1).cardinalities
+
+
+# ---------------------------------------------------------------------------
+# Large-n hardening: generators must stay connected with exact edge counts
+# far past the sizes the DP experiments exercise, and mis-sized output must
+# raise instead of flowing silently into the large-query experiments.
+
+LARGE_NS = [20, 50, 100]
+
+
+def expected_edge_count(name: str, graph, n: int) -> int:
+    if name == "chain":
+        return n - 1
+    if name == "cycle":
+        return n
+    if name == "star":
+        return n - 1
+    if name == "clique":
+        return n * (n - 1) // 2
+    if name == "grid":
+        import math
+
+        rows = max(1, int(math.isqrt(n)))
+        while n % rows:
+            rows -= 1
+        cols = n // rows
+        return rows * (cols - 1) + cols * (rows - 1)
+    return len(graph.edges)  # random: count is stochastic but verified
+
+
+@pytest.mark.parametrize("n", LARGE_NS)
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_large_n_connected_with_exact_edge_counts(name, n):
+    graph = TOPOLOGIES[name](n, seed=3)
+    assert graph.n == n
+    assert graph.is_connected()
+    assert len(graph.edges) == expected_edge_count(name, graph, n)
+    # Every relation participates in at least one join.
+    assert all(graph.adjacency(i) != 0 for i in range(n))
+
+
+@given(n=st.integers(min_value=3, max_value=64), seed=st.integers(0, 7))
+def test_generator_sweep_property(n, seed):
+    for name in ("chain", "cycle", "star", "grid"):
+        graph = TOPOLOGIES[name](n, seed=seed)
+        assert graph.is_connected()
+        assert len(graph.edges) == expected_edge_count(name, graph, n)
+
+
+def test_verified_rejects_missized_graph():
+    from repro.query.topologies import _verified
+
+    graph = chain_graph(6, seed=0)
+    with pytest.raises(ValidationError, match="expected exactly"):
+        _verified(graph, 99, "chain")
+
+
+def test_verified_rejects_disconnected_graph():
+    from repro.query import JoinGraph
+    from repro.query.topologies import _verified
+
+    graph = JoinGraph(4, [(0, 1, 0.5), (2, 3, 0.5)])
+    with pytest.raises(ValidationError, match="disconnected"):
+        _verified(graph, 2, "broken")
