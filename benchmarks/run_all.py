@@ -31,6 +31,7 @@ from repro.bench import (
     speedup_curve,
     sva_effectiveness,
     wire_volume,
+    workload_mqo,
 )
 
 DEFAULT_RESULTS = Path(__file__).parent / "results"
@@ -183,6 +184,12 @@ def main(argv=None) -> int:
     )
     publish(args.out, "e16_cluster", modes, {"experiment": "E16"})
     publish(args.out, "e16_cluster_strata", strata, {"experiment": "E16"})
+
+    rows = workload_mqo(
+        seeds=(0, 1) if quick else (0, 1, 3, 7, 11),
+        count=6 if quick else 8,
+    )
+    publish(args.out, "e17_workload_mqo", rows, {"experiment": "E17"})
 
     pytest_only = ", ".join(
         exp.eid for exp in EXPERIMENTS if not exp.in_run_all

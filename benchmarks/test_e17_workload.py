@@ -1,0 +1,43 @@
+"""E17 — multi-query optimization on TPC-H-style SQL batches.
+
+The SQL front end's workload generator emits batches whose members embed
+one shared join core; ``optimize_batch`` with ``mqo=True`` detects the
+core across members, optimizes it once, and splices the resulting memo
+into each member's enumeration.  Acceptance (the MQO contract):
+
+* at least one member per batch is answered with ``source="subplan"``;
+* every member's cost is **bit-identical** to its unshared baseline —
+  splicing is an enumeration shortcut, never an approximation;
+* the batch's total enumeration work (member pairs plus the one-time
+  core DP pairs) is *strictly* below the sum of per-query baselines.
+"""
+
+from __future__ import annotations
+
+from repro import OptimizerConfig, OptimizerService
+from repro.bench import format_table, workload_mqo
+from repro.sql import SqlWorkload, SqlWorkloadSpec
+
+
+def test_e17_workload_mqo(benchmark, publish):
+    rows = workload_mqo(seeds=(0, 1, 3), count=6, core_tables=4,
+                        overlap=0.67)
+    publish("e17_workload_mqo", format_table(rows), rows)
+
+    for row in rows:
+        assert row["exact"], f"seed {row['seed']}: costs diverged"
+        assert row["subplan"] > 0, f"seed {row['seed']}: no subplan reuse"
+        assert row["cores"] > 0
+        assert row["mqo_pairs"] < row["baseline_pairs"], (
+            f"seed {row['seed']}: MQO did not reduce enumeration work"
+        )
+        assert row["saving"] > 0
+
+    queries = SqlWorkload(SqlWorkloadSpec(seed=0, count=6)).queries()
+    config = OptimizerConfig(algorithm="dpsize", mqo=True)
+
+    def run_batch():
+        with OptimizerService(config) as svc:
+            return svc.optimize_batch(queries)
+
+    benchmark(run_batch)

@@ -76,7 +76,7 @@ from repro.util.errors import (
     ValidationError,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 
 def optimize(

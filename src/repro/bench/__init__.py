@@ -39,6 +39,7 @@ from repro.bench.runner import (
     speedup_curve,
     sva_effectiveness,
     wire_volume,
+    workload_mqo,
 )
 
 __all__ = [
@@ -72,4 +73,5 @@ __all__ = [
     "fault_tolerance",
     "serving_throughput",
     "shm_comparison",
+    "workload_mqo",
 ]

@@ -26,7 +26,7 @@ class Experiment:
         cli: Name accepted by ``repro bench --experiment``, or ``None``
             for families only reachable through ``run_all.py`` / the
             benchmark suite.
-        eid: DESIGN.md experiment id (``E1`` … ``E16``).
+        eid: DESIGN.md experiment id (``E1`` … ``E17``).
         title: One-line description (shown by ``run_all.py --list``).
         in_run_all: True when ``benchmarks/run_all.py`` regenerates the
             family standalone; False for families that need the pytest
@@ -62,6 +62,8 @@ EXPERIMENTS: tuple[Experiment, ...] = (
     Experiment("serving", "E14", "service throughput and latency"),
     Experiment("shm", "E15", "shared-memory memo vs packed wire"),
     Experiment("cluster", "E16", "shared-nothing cluster vs process comm"),
+    Experiment("workload", "E17",
+               "SQL batch multi-query optimization (shared subplans)"),
 )
 
 BY_CLI: dict[str, Experiment] = {

@@ -1132,3 +1132,78 @@ def serving_throughput(
         flat, wall, stats = asyncio.run(drive(async_config))
         rows.append(row("warm-restart", shards, flat, wall, stats))
     return rows
+
+
+def workload_mqo(
+    seeds=(0, 1, 3),
+    count: int = 6,
+    core_tables: int = 4,
+    overlap: float = 0.67,
+    algorithm: str = "dpsize",
+) -> list[dict]:
+    """E17: multi-query optimization on TPC-H-style SQL batches.
+
+    Per seed, a :class:`~repro.sql.SqlWorkloadSpec` batch (``count``
+    members, ``core_tables``-way shared join core embedded in
+    ``overlap`` of them) is optimized two ways:
+
+    * **baseline** — each member independently through
+      :func:`repro.optimize` (no sharing of any kind);
+    * **mqo** — the whole batch through
+      :meth:`~repro.service.OptimizerService.optimize_batch` with
+      ``mqo=True``: shared cores detected, optimized once, and spliced.
+
+    Per row: members answered with spliced cores (``subplan`` sources),
+    detected cores, total enumeration pairs under both regimes (the mqo
+    total counts each core's one-time DP, via ``mqo_core_pairs``), the
+    saving, and whether every member's cost matched the baseline
+    bit-for-bit (``exact`` — the MQO correctness contract).
+    """
+    from repro import optimize
+    from repro.config import OptimizerConfig
+    from repro.service import OptimizerService
+    from repro.sql import SqlWorkload, SqlWorkloadSpec
+
+    base_config = OptimizerConfig(algorithm=algorithm)
+    mqo_config = OptimizerConfig(algorithm=algorithm, mqo=True)
+    rows: list[dict] = []
+    for seed in seeds:
+        spec = SqlWorkloadSpec(
+            seed=seed, count=count, core_tables=core_tables, overlap=overlap
+        )
+        queries = SqlWorkload(spec).queries()
+        baselines = [optimize(q, config=base_config) for q in queries]
+        base_pairs = sum(r.meter.pairs_considered for r in baselines)
+        with OptimizerService(mqo_config) as service:
+            responses = service.optimize_batch(queries)
+            stats = service.stats()
+        member_pairs = sum(
+            r.result.meter.pairs_considered for r in responses
+        )
+        mqo_pairs = member_pairs + stats.mqo_core_pairs
+        exact = all(
+            r.result.cost == b.cost
+            for r, b in zip(responses, baselines)
+        )
+        rows.append(
+            {
+                "seed": seed,
+                "members": count,
+                "core_tables": core_tables,
+                "overlap": overlap,
+                "cores": stats.mqo_shared_cores,
+                "subplan": sum(
+                    1 for r in responses if r.source == "subplan"
+                ),
+                "baseline_pairs": base_pairs,
+                "mqo_pairs": mqo_pairs,
+                "core_pairs": stats.mqo_core_pairs,
+                "saving": (
+                    round(1.0 - mqo_pairs / base_pairs, 4)
+                    if base_pairs
+                    else 0.0
+                ),
+                "exact": exact,
+            }
+        )
+    return rows

@@ -10,6 +10,7 @@ that the paper's workload generation tradition descends from.
 
 from repro.catalog.generator import CatalogGeneratorConfig, generate_catalog
 from repro.catalog.model import Catalog, Column, TableStats
+from repro.catalog.tpch import tpch_catalog
 
 __all__ = [
     "Catalog",
@@ -17,4 +18,5 @@ __all__ = [
     "TableStats",
     "CatalogGeneratorConfig",
     "generate_catalog",
+    "tpch_catalog",
 ]

@@ -1,0 +1,164 @@
+"""A TPC-H-style schema for realistic SQL workloads.
+
+The eight-table TPC-H schema scaled down so that exact DP over any
+foreign-key join subgraph stays interactive: cardinalities follow the
+benchmark's fixed ratios (25 nations over 5 regions, four lineitems per
+order, …) at a configurable ``scale`` (default 0.01, i.e. 1/100 of
+TPC-H SF1).  Keys have ``distinct == cardinality``; foreign keys have
+the referenced table's cardinality as their distinct count, which makes
+the binder's System-R estimate ``1 / max(d_fk, d_pk)`` reproduce the
+classic "one match per foreign row" selectivity.  Attribute columns use
+the benchmark's documented domain sizes (3 order statuses, 5 market
+segments, 50 quantities, ~2526 ship dates, …).
+
+:data:`FK_EDGES` exposes the foreign-key join graph — each entry maps an
+unordered table pair to the equality predicate joining them — which is
+what the workload generator walks to build overlapping SPJ queries.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.model import Catalog, Column, TableStats
+from repro.util.errors import ValidationError
+
+# (table, column) -> (referenced table, referenced column), one entry per
+# foreign key of the schema.  Keys are attribute names without the TPC-H
+# prefixes (``orderkey`` not ``l_orderkey``) — aliases carry the table.
+FK_EDGES: dict[tuple[str, str], tuple[str, str]] = {
+    ("nation", "regionkey"): ("region", "regionkey"),
+    ("supplier", "nationkey"): ("nation", "nationkey"),
+    ("customer", "nationkey"): ("nation", "nationkey"),
+    ("partsupp", "partkey"): ("part", "partkey"),
+    ("partsupp", "suppkey"): ("supplier", "suppkey"),
+    ("orders", "custkey"): ("customer", "custkey"),
+    ("lineitem", "orderkey"): ("orders", "orderkey"),
+    ("lineitem", "partkey"): ("part", "partkey"),
+    ("lineitem", "suppkey"): ("supplier", "suppkey"),
+}
+
+# Attribute (non-key) columns: table -> [(name, distinct count)].
+# Domain sizes follow the TPC-H specification where it fixes them and
+# sensible constants where it does not; they are independent of scale.
+_ATTRIBUTES: dict[str, list[tuple[str, int]]] = {
+    "region": [("name", 5)],
+    "nation": [("name", 25)],
+    "supplier": [("acctbal", 9999)],
+    "customer": [("mktsegment", 5), ("acctbal", 9999)],
+    "part": [("brand", 25), ("size", 50), ("type", 150)],
+    "partsupp": [("availqty", 9999)],
+    "orders": [("orderstatus", 3), ("orderpriority", 5)],
+    "lineitem": [("quantity", 50), ("shipdate", 2526), ("shipmode", 7)],
+}
+
+# TPC-H SF1 base cardinalities; ``region``/``nation`` are fixed-size and
+# never scaled.
+_SF1_CARDS: dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+_FIXED_SIZE = frozenset({"region", "nation"})
+
+TABLE_NAMES: tuple[str, ...] = tuple(_SF1_CARDS)
+"""Schema tables in foreign-key topological order (referenced first)."""
+
+
+def _scaled_card(table: str, scale: float) -> int:
+    if table in _FIXED_SIZE:
+        return _SF1_CARDS[table]
+    return max(1, round(_SF1_CARDS[table] * scale))
+
+
+def tpch_catalog(scale: float = 0.01) -> Catalog:
+    """Build the TPC-H-style catalog at ``scale`` (fraction of SF1).
+
+    >>> cat = tpch_catalog()
+    >>> cat.table("nation").cardinality
+    25
+    >>> cat.table("lineitem").cardinality
+    60000
+    >>> cat.table("orders").column("orderkey").distinct_count
+    15000
+    """
+    if scale <= 0:
+        raise ValidationError(f"scale must be positive, got {scale}")
+    cards = {t: _scaled_card(t, scale) for t in TABLE_NAMES}
+
+    # Column sets: foreign keys first (they draw from the referenced
+    # key's domain, so e.g. ``lineitem.orderkey`` has |orders| distinct
+    # values, not |lineitem|), then standalone primary keys, then
+    # attributes.  ``partsupp`` and ``lineitem`` have composite primary
+    # keys made entirely of foreign keys, so they add no key column.
+    columns: dict[str, dict[str, int]] = {t: {} for t in TABLE_NAMES}
+    for (table, column), (ref_table, _ref_column) in FK_EDGES.items():
+        columns[table][column] = cards[ref_table]
+    pk_name = {
+        "region": "regionkey",
+        "nation": "nationkey",
+        "supplier": "suppkey",
+        "customer": "custkey",
+        "part": "partkey",
+        "orders": "orderkey",
+    }
+    for table, key in pk_name.items():
+        columns[table].setdefault(key, cards[table])
+    for table, attrs in _ATTRIBUTES.items():
+        for name, distinct in attrs:
+            columns[table][name] = min(distinct, cards[table])
+
+    catalog = Catalog()
+    for table in TABLE_NAMES:
+        catalog.add(
+            TableStats(
+                name=table,
+                cardinality=cards[table],
+                columns=tuple(
+                    Column(name, max(1, distinct))
+                    for name, distinct in columns[table].items()
+                ),
+            )
+        )
+    return catalog
+
+
+def join_predicate(table_a: str, table_b: str) -> tuple[str, str] | None:
+    """The FK equality columns joining two tables, or ``None``.
+
+    Returns ``(column_on_a, column_on_b)`` such that
+    ``a.column_on_a = b.column_on_b`` is the schema's foreign-key join.
+
+    >>> join_predicate("lineitem", "orders")
+    ('orderkey', 'orderkey')
+    >>> join_predicate("customer", "nation")
+    ('nationkey', 'nationkey')
+    >>> join_predicate("region", "lineitem") is None
+    True
+    """
+    for (t, c), (rt, rc) in FK_EDGES.items():
+        if (t, rt) == (table_a, table_b):
+            return (c, rc)
+        if (t, rt) == (table_b, table_a):
+            return (rc, c)
+    return None
+
+
+def adjacent_tables(table: str) -> tuple[str, ...]:
+    """Tables joined to ``table`` by a foreign key, in schema order."""
+    out = []
+    for (t, _c), (rt, _rc) in FK_EDGES.items():
+        if t == table and rt not in out:
+            out.append(rt)
+        elif rt == table and t not in out:
+            out.append(t)
+    return tuple(sorted(out, key=TABLE_NAMES.index))
+
+
+def filter_columns(table: str) -> tuple[str, ...]:
+    """Attribute columns of ``table`` suitable for local predicates."""
+    return tuple(name for name, _d in _ATTRIBUTES.get(table, ()))

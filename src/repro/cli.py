@@ -20,7 +20,14 @@ Five subcommands::
     python -m repro optimize --topology star -n 10 --threads 2 \\
         --backend cluster --cluster-connect 127.0.0.1:7101 127.0.0.1:7102
     python -m repro inspect --topology cycle -n 9
+    python -m repro explain --sql "SELECT ..." --diff goo
+    python -m repro explain --topology star -n 8 --dot
 
+``explain`` optimizes one query just to show its plan — rendered as an
+indented operator tree or Graphviz ``dot`` (``--dot``) — and with
+``--diff ALGORITHM`` optimizes the same query a second time and prints a
+clause-level plan diff (:mod:`repro.plans.diff`): which join blocks the
+two optimizers agree on, and where they diverge.
 ``optimize`` runs one query end to end (``--cache`` routes it through an
 :class:`~repro.service.OptimizerService` and prints cache provenance;
 ``--trace PATH`` records the run into a JSONL trace file and prints its
@@ -58,6 +65,7 @@ from repro.bench import (
     speedup_curve,
     sva_effectiveness,
     wire_volume,
+    workload_mqo,
 )
 from repro.catalog import generate_catalog
 from repro.plans import explain
@@ -226,6 +234,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--threads", type=int, nargs="+", default=[1, 2, 4, 8]
     )
 
+    exp = sub.add_parser(
+        "explain",
+        help="optimize one query and print (or diff) its plan",
+    )
+    exp.add_argument("--topology", choices=sorted(TOPOLOGIES), default="star")
+    exp.add_argument("-n", "--relations", type=int, default=10)
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--sql", help="explain an SPJ SQL statement instead")
+    exp.add_argument(
+        "--catalog-tables", type=int, default=8,
+        help="tables in the generated catalog (SQL mode)",
+    )
+    exp.add_argument(
+        "--algorithm", default="dpsize",
+        help="dpsize/dpsub/dpccp/dpsva/exhaustive or a heuristic name",
+    )
+    exp.add_argument(
+        "--diff", metavar="ALGORITHM", default=None,
+        help="optimize again with this algorithm and print a "
+        "clause-level diff of the two plans",
+    )
+    exp.add_argument("--cross-products", action="store_true")
+    exp.add_argument(
+        "--dot", action="store_true",
+        help="emit the plan as Graphviz dot instead of a tree",
+    )
+
     ins = sub.add_parser("inspect", help="print query statistics")
     ins.add_argument("--topology", choices=sorted(TOPOLOGIES), default="star")
     ins.add_argument("-n", "--relations", type=int, default=10)
@@ -364,8 +399,15 @@ def _cmd_optimize(args) -> int:
         catalog = generate_catalog(args.catalog_tables, seed=args.seed)
         query = sql_to_query(args.sql, catalog)
         names = None
-        if not query.graph.is_connected():
+        if not query.graph.is_connected() and not args.cross_products:
+            # Mirror optimize_sql's override — and say so, instead of
+            # silently flipping a flag the user never passed.
             args.cross_products = True
+            print(
+                "note: join graph is disconnected; enabling cross "
+                "products (as if --cross-products were given)",
+                file=sys.stderr,
+            )
     else:
         query = generate_query(
             WorkloadSpec(args.topology, args.relations, seed=args.seed)
@@ -590,6 +632,12 @@ def _cmd_bench(args) -> int:
         print(format_table(modes))
         print()
         print(format_table(strata))
+    elif args.experiment == "workload":
+        rows = workload_mqo(
+            seeds=(args.seed, args.seed + 1, args.seed + 3),
+            count=max(2, args.queries * 3),
+        )
+        print(format_table(rows))
     elif args.experiment == "real-allocation":
         rows = real_backend_allocation(
             args.topology, args.relations,
@@ -606,6 +654,54 @@ def _cmd_bench(args) -> int:
             threads=max(args.threads), queries=args.queries, seed=args.seed,
         )
         print(format_table(rows))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.plans import diff_plans, plan_to_dot, render_diff
+
+    if args.sql:
+        from repro.sql import sql_to_query
+
+        catalog = generate_catalog(args.catalog_tables, seed=args.seed)
+        query = sql_to_query(args.sql, catalog)
+        if not query.graph.is_connected() and not args.cross_products:
+            args.cross_products = True
+            print(
+                "note: join graph is disconnected; enabling cross "
+                "products (as if --cross-products were given)",
+                file=sys.stderr,
+            )
+    else:
+        query = generate_query(
+            WorkloadSpec(args.topology, args.relations, seed=args.seed)
+        )
+    names = query.relation_names
+    config = OptimizerConfig(
+        algorithm=args.algorithm, cross_products=args.cross_products
+    )
+    result = optimize(query, config=config)
+    if args.diff is not None:
+        other = optimize(
+            query, config=config.with_options(algorithm=args.diff)
+        )
+        diff = diff_plans(result.plan, other.plan)
+        print(
+            render_diff(
+                diff, names, label_a=args.algorithm, label_b=args.diff
+            )
+        )
+        print()
+        print(
+            f"{args.algorithm}: cost={result.cost:.6g}  "
+            f"{args.diff}: cost={other.cost:.6g}"
+        )
+        return 0
+    if args.dot:
+        print(plan_to_dot(result.plan, relation_names=names))
+        return 0
+    print(explain(result.plan, relation_names=names))
+    print(result.summary())
     return 0
 
 
@@ -655,6 +751,8 @@ def main(argv=None) -> int:
             return _cmd_bench(args)
         if args.command == "worker":
             return _cmd_worker(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
         return _cmd_inspect(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

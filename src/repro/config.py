@@ -91,6 +91,7 @@ DEFAULT_CACHE_SIZE = 256
 DEFAULT_CACHE_SHARDS = 8
 DEFAULT_SERVICE_WORKERS = 4
 DEFAULT_FALLBACK_ALGORITHM = "goo"
+DEFAULT_MQO_MIN_CORE = 3
 
 DEFAULT_RETRY_LIMIT = 2
 DEFAULT_RETRY_BACKOFF = 0.02
@@ -113,8 +114,14 @@ _SERVICE_ONLY = (
     "quota_rate",
     "quota_burst",
     "warm_start_path",
+    "mqo",
+    "mqo_min_core",
 )
-"""Fields that size an OptimizerService; excluded from the plan digest."""
+"""Fields that size an OptimizerService; excluded from the plan digest.
+
+The multi-query knobs (``mqo``, ``mqo_min_core``) live here because
+shared-subplan splicing is cost-exact (tests/test_mqo.py): toggling MQO
+never changes a returned plan's cost, so cached plans stay valid."""
 
 _ROBUSTNESS = ("retry_limit", "retry_backoff", "fault_plan")
 """Fault-tolerance knobs; excluded from the plan digest because recovery
@@ -178,6 +185,14 @@ class OptimizerConfig:
         warm_start_path: Path of the warm-start cache file: spilled on
             service close, reloaded on service start (rejecting
             version/config mismatches).  ``None`` disables persistence.
+        mqo: Multi-query optimization for ``optimize_batch``: detect
+            join cores shared by several batch members, optimize each
+            core once, and splice the core's memo into every member
+            before its own enumeration (``source="subplan"``).  Spliced
+            answers are cost-identical to unshared optimization;
+            see ``docs/sql.md``.  Default off.
+        mqo_min_core: Smallest shared core (relation count) worth
+            splicing; ``None`` = default (3).  Requires ``mqo=True``.
         retry_limit: Bounded-retry budget for fault recovery — extra
             attempts after the first failure, both for executor work-unit
             re-dispatch and for the service's per-request exact-
@@ -254,6 +269,8 @@ class OptimizerConfig:
     quota_rate: float | None = None
     quota_burst: int | None = None
     warm_start_path: str | None = None
+    mqo: bool = False
+    mqo_min_core: int | None = None
     retry_limit: int | None = None
     retry_backoff: float | None = None
     fault_plan: object | None = None
@@ -457,6 +474,17 @@ class OptimizerConfig:
                     "quota_burst requires quota_rate (a bucket capacity "
                     "without a refill rate never admits anything)"
                 )
+        if self.mqo_min_core is not None:
+            if self.mqo_min_core < 2:
+                raise ValidationError(
+                    f"mqo_min_core must be >= 2 (a shared core is at "
+                    f"least one join), got {self.mqo_min_core}"
+                )
+            if not self.mqo:
+                raise ValidationError(
+                    "mqo_min_core requires mqo=True (a core-size floor "
+                    "without multi-query sharing does nothing)"
+                )
         if self.service_workers is not None and self.service_workers < 1:
             raise ValidationError(
                 f"service_workers must be >= 1, got {self.service_workers}"
@@ -555,6 +583,15 @@ class OptimizerConfig:
         if self.quota_burst is not None:
             return self.quota_burst
         return max(1, int(self.quota_rate))
+
+    @property
+    def effective_mqo_min_core(self) -> int:
+        """Shared-core size floor with the default applied."""
+        return (
+            self.mqo_min_core
+            if self.mqo_min_core is not None
+            else DEFAULT_MQO_MIN_CORE
+        )
 
     @property
     def effective_service_workers(self) -> int:

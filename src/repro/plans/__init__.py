@@ -1,8 +1,9 @@
-"""Query-plan model: trees, join operators, validation, printing."""
+"""Query-plan model: trees, join operators, validation, printing, diffing."""
 
+from repro.plans.diff import PlanDiff, diff_plans, render_diff
 from repro.plans.nodes import JoinNode, PlanNode, ScanNode
 from repro.plans.operators import JOIN_METHODS, JoinMethod
-from repro.plans.printer import explain, plan_signature
+from repro.plans.printer import explain, plan_signature, plan_to_dot
 from repro.plans.validate import validate_plan
 
 __all__ = [
@@ -13,5 +14,9 @@ __all__ = [
     "JOIN_METHODS",
     "explain",
     "plan_signature",
+    "plan_to_dot",
+    "PlanDiff",
+    "diff_plans",
+    "render_diff",
     "validate_plan",
 ]

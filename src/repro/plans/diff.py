@@ -1,0 +1,189 @@
+"""Structural plan diffing via clause-level block maps.
+
+A plan tree is decomposed into *clauses* — one per node, keyed by the
+node's quantifier-set mask.  A join clause records how its quantifier
+set was split (left mask, right mask) and with which physical method; a
+scan clause records the relation it reads.  Because the key is the
+quantifier set itself (not a tree position), two plans over the same
+query align block-by-block no matter how their shapes differ: a clause
+present in both maps with equal bodies is *same*, present with a
+different split or method is *changed*, and present in only one plan is
+*only_a*/*only_b*.
+
+This is far more informative than a boolean ``plan_signature``
+comparison: the diff pinpoints *which* intermediate results two
+configurations disagree on, which is exactly the question when
+comparing algorithms, cost models, or sharing modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.util.bitsets import bits_of, popcount
+
+
+@dataclass(frozen=True, slots=True)
+class Clause:
+    """One block of a plan: how one quantifier set is produced.
+
+    Attributes:
+        mask: Quantifier-set bitmask this clause produces.
+        kind: ``"scan"`` or ``"join"``.
+        left: Left input mask (``0`` for scans).
+        right: Right input mask (``0`` for scans).
+        method: Join method name (``"SCAN"`` for scans).
+    """
+
+    mask: int
+    kind: str
+    left: int
+    right: int
+    method: str
+
+    def body(self) -> tuple[int, int, str]:
+        """The comparable payload (everything except the key)."""
+        return (self.left, self.right, self.method)
+
+
+def block_map(plan: PlanNode) -> dict[int, Clause]:
+    """Decompose ``plan`` into a clause map keyed by quantifier-set mask."""
+    clauses: dict[int, Clause] = {}
+
+    def walk(node: PlanNode) -> None:
+        if isinstance(node, ScanNode):
+            clauses[node.mask] = Clause(node.mask, "scan", 0, 0, "SCAN")
+            return
+        if isinstance(node, JoinNode):
+            clauses[node.mask] = Clause(
+                node.mask,
+                "join",
+                node.left.mask,
+                node.right.mask,
+                node.method.name,
+            )
+            walk(node.left)
+            walk(node.right)
+            return
+        raise TypeError(f"not a plan node: {node!r}")  # pragma: no cover
+
+    walk(plan)
+    return clauses
+
+
+@dataclass(frozen=True, slots=True)
+class PlanDiff:
+    """Clause-level structural diff between two plans.
+
+    Attributes:
+        same: Masks produced identically by both plans.
+        changed: ``mask -> (clause_a, clause_b)`` where both plans build
+            the quantifier set but disagree on split or method.
+        only_a: Clauses (intermediate results) only plan A materializes.
+        only_b: Clauses only plan B materializes.
+    """
+
+    same: tuple[int, ...]
+    changed: dict[int, tuple[Clause, Clause]] = field(default_factory=dict)
+    only_a: dict[int, Clause] = field(default_factory=dict)
+    only_b: dict[int, Clause] = field(default_factory=dict)
+
+    @property
+    def identical(self) -> bool:
+        """True iff the two plans share every clause."""
+        return not self.changed and not self.only_a and not self.only_b
+
+
+def diff_plans(plan_a: PlanNode, plan_b: PlanNode) -> PlanDiff:
+    """Diff two plans clause-by-clause.
+
+    The plans should cover the same query (same relation index space);
+    nothing breaks otherwise, but masks only align meaningfully when
+    they do.
+    """
+    map_a = block_map(plan_a)
+    map_b = block_map(plan_b)
+    same: list[int] = []
+    changed: dict[int, tuple[Clause, Clause]] = {}
+    only_a: dict[int, Clause] = {}
+    only_b: dict[int, Clause] = {}
+    for mask in sorted(set(map_a) | set(map_b), key=lambda m: (popcount(m), m)):
+        a = map_a.get(mask)
+        b = map_b.get(mask)
+        if a is not None and b is not None:
+            if a.body() == b.body():
+                same.append(mask)
+            else:
+                changed[mask] = (a, b)
+        elif a is not None:
+            only_a[mask] = a
+        else:
+            assert b is not None
+            only_b[mask] = b
+    return PlanDiff(tuple(same), changed, only_a, only_b)
+
+
+def _set_name(mask: int, relation_names=None) -> str:
+    def name_of(i: int) -> str:
+        if relation_names is not None and i < len(relation_names):
+            return str(relation_names[i])
+        return f"t{i}"
+
+    return "{" + ",".join(name_of(i) for i in bits_of(mask)) + "}"
+
+
+def _clause_text(clause: Clause, relation_names=None) -> str:
+    if clause.kind == "scan":
+        return "Scan"
+    return (
+        f"{_set_name(clause.left, relation_names)} {clause.method} "
+        f"{_set_name(clause.right, relation_names)}"
+    )
+
+
+def render_diff(
+    diff: PlanDiff,
+    relation_names=None,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> str:
+    """Render a :class:`PlanDiff` as aligned text, one clause per line.
+
+    Same clauses print with a leading two spaces, changed clauses with
+    ``~`` (showing both bodies), and clauses unique to one plan with
+    ``-``/``+`` for A/B respectively — smallest quantifier sets first.
+    """
+    lines: list[str] = []
+    if diff.identical:
+        lines.append(f"plans identical ({len(diff.same)} clauses)")
+    else:
+        lines.append(
+            f"plans differ: {len(diff.changed)} changed, "
+            f"{len(diff.only_a)} only in {label_a}, "
+            f"{len(diff.only_b)} only in {label_b}"
+        )
+    entries: list[tuple[int, str]] = [(m, "same") for m in diff.same]
+    entries += [(m, "changed") for m in diff.changed]
+    entries += [(m, "only_a") for m in diff.only_a]
+    entries += [(m, "only_b") for m in diff.only_b]
+    for mask, tag in sorted(entries, key=lambda e: (popcount(e[0]), e[0])):
+        name = _set_name(mask, relation_names)
+        if tag == "same":
+            # Only joins are interesting in the "same" listing; scans of
+            # shared base relations would drown the signal.
+            if popcount(mask) > 1:
+                lines.append(f"  {name}")
+        elif tag == "changed":
+            a, b = diff.changed[mask]
+            lines.append(
+                f"~ {name}: {label_a}={_clause_text(a, relation_names)} | "
+                f"{label_b}={_clause_text(b, relation_names)}"
+            )
+        elif tag == "only_a":
+            clause = diff.only_a[mask]
+            lines.append(f"- {name}: {_clause_text(clause, relation_names)}")
+        else:
+            clause = diff.only_b[mask]
+            lines.append(f"+ {name}: {_clause_text(clause, relation_names)}")
+    return "\n".join(lines)

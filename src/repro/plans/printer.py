@@ -64,14 +64,18 @@ def plan_to_dot(
             return str(relation_names[relation])
         return f"t{relation}"
 
+    def quote(label: str) -> str:
+        # Dot double-quoted strings treat backslash and ``"`` specially;
+        # unescaped they produce invalid (or mislabelled) graphs.
+        return label.replace("\\", "\\\\").replace('"', '\\"')
+
     def emit(node: PlanNode) -> str:
         nonlocal counter
         node_id = f"n{counter}"
         counter += 1
         if isinstance(node, ScanNode):
-            lines.append(
-                f'  {node_id} [shape=ellipse label="{name_of(node.relation)}"];'
-            )
+            label = quote(name_of(node.relation))
+            lines.append(f'  {node_id} [shape=ellipse label="{label}"];')
         elif isinstance(node, JoinNode):
             lines.append(
                 f'  {node_id} [shape=box label="{node.method.name}"];'
@@ -81,7 +85,7 @@ def plan_to_dot(
             lines.append(f"  {node_id} -> {left_id};")
             lines.append(f"  {node_id} -> {right_id};")
         else:  # pragma: no cover - defensive
-            lines.append(f'  {node_id} [label="{node!r}"];')
+            lines.append(f'  {node_id} [label="{quote(repr(node))}"];')
         return node_id
 
     emit(plan)

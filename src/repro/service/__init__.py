@@ -20,6 +20,11 @@ parts:
   the asyncio-native serving tier with singleflight deduplication,
   admission control, per-tenant token-bucket quotas, deadline
   propagation into retry, and warm-start persistence.
+* :mod:`repro.service.mqo` — multi-query optimization for
+  ``optimize_batch``: shared join cores detected across batch members
+  are optimized once and their memos spliced (exactly) into each
+  member's enumeration, surfacing as the ``subplan`` cache tier and
+  ``source="subplan"`` provenance.
 * :mod:`repro.service.service` — :class:`OptimizerService`: the
   synchronous facade for thread-based callers (identical semantics,
   blocking calls).
@@ -63,6 +68,15 @@ from repro.service.fingerprint import (
     cost_model_id,
     fingerprint_query,
 )
+from repro.service.mqo import (
+    CoreMemo,
+    CoreRef,
+    MqoPlan,
+    SharedCore,
+    detect_shared_cores,
+    optimize_core,
+    optimize_with_subplans,
+)
 from repro.service.persist import (
     PERSIST_FORMAT,
     load_cache_file,
@@ -73,6 +87,9 @@ from repro.service.service import OptimizerService
 __all__ = [
     "AsyncOptimizerService",
     "CacheStats",
+    "CoreMemo",
+    "CoreRef",
+    "MqoPlan",
     "OptimizeRequest",
     "OptimizeResponse",
     "OptimizerService",
@@ -82,11 +99,15 @@ __all__ = [
     "ServiceResult",
     "ServiceStats",
     "ShardedPlanCache",
+    "SharedCore",
     "canonical_query_form",
     "canonical_relation_order",
     "cost_model_id",
+    "detect_shared_cores",
     "fingerprint_query",
     "load_cache_file",
+    "optimize_core",
+    "optimize_with_subplans",
     "shard_index",
     "spill_cache_file",
 ]

@@ -19,6 +19,10 @@ source       meaning
 ``hit``      served from the plan cache
 ``miss``     this request ran the optimization (and warmed the cache)
 ``shared``   joined an identical in-flight optimization (singleflight)
+``subplan``  this request ran the optimization with one or more shared
+             join-core memos spliced in by the multi-query optimizer
+             (:mod:`repro.service.mqo`); the cost is bit-identical to a
+             plain miss, but part of the enumeration was reused
 ``fallback`` the deadline expired; a heuristic plan was returned while
              the exact optimization kept running to warm the cache
 ``error``    the optimization failed (worker exception, exhausted
@@ -63,7 +67,7 @@ __all__ = [
     "ServiceStats",
 ]
 
-SOURCES = ("hit", "miss", "shared", "fallback", "error", "shed")
+SOURCES = ("hit", "miss", "shared", "subplan", "fallback", "error", "shed")
 """Every provenance value an :class:`OptimizeResponse` may carry."""
 
 SHED_REASONS = ("admission", "quota")
@@ -251,6 +255,17 @@ class ServiceStats:
         warm_start_entries: Plans restored from the warm-start file at
             service start (0 when persistence is off or the file was
             rejected).
+        subplan_cache: The shared-subplan tier's :class:`CacheStats`
+            (``None`` for services built before the tier existed; the
+            async tier always fills it).
+        mqo_shared_cores: Shared join cores detected across batches.
+        mqo_core_optimizations: Core optimizations actually executed
+            (cores answered from the subplan cache don't count).
+        mqo_splices: Batch members optimized with at least one core
+            memo spliced in (``source == "subplan"``).
+        mqo_core_pairs: Enumeration pairs spent inside core
+            optimizations — the once-per-core work that replaces the
+            members' skipped interior enumeration.
     """
 
     requests: int
@@ -265,3 +280,8 @@ class ServiceStats:
     sheds: int = 0
     quota_rejections: int = 0
     warm_start_entries: int = 0
+    subplan_cache: CacheStats | None = None
+    mqo_shared_cores: int = 0
+    mqo_core_optimizations: int = 0
+    mqo_splices: int = 0
+    mqo_core_pairs: int = 0

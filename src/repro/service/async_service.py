@@ -74,6 +74,13 @@ from repro.service.api import (
 )
 from repro.service.cache import PlanCache, ShardedPlanCache
 from repro.service.fingerprint import QueryFingerprint, fingerprint_query
+from repro.service.mqo import (
+    CoreMemo,
+    CoreRef,
+    detect_shared_cores,
+    optimize_core,
+    optimize_with_subplans,
+)
 from repro.service.persist import load_cache_file, spill_cache_file
 from repro.trace.tracer import Tracer
 from repro.util.errors import InjectedFault, ValidationError
@@ -88,10 +95,14 @@ class _MissOutcome:
     The miss task never raises into its future; failures surface as a
     fallback ``result`` plus the ``error`` message, so the miss caller
     and every singleflight waiter settle through one code path.
+    ``source`` promotes the launcher's ``"miss"`` provenance (currently
+    only to ``"subplan"`` when shared core memos were spliced in);
+    singleflight waiters keep ``"shared"``.
     """
 
     result: OptimizationResult
     error: str | None = None
+    source: str | None = None
 
 
 class _Flight:
@@ -220,6 +231,23 @@ class AsyncOptimizerService:
             tracer=self.tracer,
             injector=self._injector,
         )
+        self._subplans = PlanCache(
+            max_entries=config.effective_cache_size,
+            ttl_seconds=config.cache_ttl,
+            tier="subplan",
+            tracer=self.tracer,
+            injector=self._injector,
+        )
+        # MQO splicing is exact only along the serial exact-DP path: the
+        # sealed member enumeration is a DPsize pass, so heuristic and
+        # threaded configs keep their normal per-query route.
+        from repro.config import EXACT_DP_NAMES
+
+        self._mqo_enabled = (
+            config.mqo
+            and config.algorithm in EXACT_DP_NAMES
+            and config.threads is None
+        )
         self.timeout = config.request_timeout
         self.fallback_algorithm = config.effective_fallback_algorithm
         self.admission_limit = config.admission_limit
@@ -254,6 +282,10 @@ class AsyncOptimizerService:
         self._retries = 0
         self._sheds = 0
         self._quota_rejections = 0
+        self._mqo_shared_cores = 0
+        self._mqo_core_optimizations = 0
+        self._mqo_splices = 0
+        self._mqo_core_pairs = 0
         self._closed = False
         self._warm_start_path = (
             Path(config.warm_start_path)
@@ -321,18 +353,22 @@ class AsyncOptimizerService:
         item), never N×``timeout``.
         """
         batch_start = time.perf_counter()
+        batch = [OptimizeRequest.of(item) for item in requests]
+        member_refs, core_memos = await self._prepare_subplans(batch)
         staged: list[OptimizeResponse | tuple] = []
-        for item in requests:
+        for index, request in enumerate(batch):
             start = time.perf_counter()
-            request = OptimizeRequest.of(item)
             self._enter(request)
             shed = self._shed_reason(request, start)
             if shed is not None:
                 staged.append(self._shed_response(request, shed, start))
                 continue
             fingerprint = self._fingerprint(request.query)
+            refs = member_refs[index] if member_refs is not None else ()
             source, flight, cached = self._lookup_or_launch(
-                request.query, fingerprint
+                request.query,
+                fingerprint,
+                mqo=(refs, core_memos) if refs and core_memos else None,
             )
             if source == "shed":
                 staged.append(
@@ -398,6 +434,11 @@ class AsyncOptimizerService:
                 sheds=self._sheds,
                 quota_rejections=self._quota_rejections,
                 warm_start_entries=self._warm_start_entries,
+                subplan_cache=self._subplans.stats(),
+                mqo_shared_cores=self._mqo_shared_cores,
+                mqo_core_optimizations=self._mqo_core_optimizations,
+                mqo_splices=self._mqo_splices,
+                mqo_core_pairs=self._mqo_core_pairs,
             )
 
     async def close(self, wait: bool = True) -> None:
@@ -528,7 +569,66 @@ class AsyncOptimizerService:
             if self.tracer.enabled:
                 self.tracer.counter("service.cache_error", tier=cache.tier)
 
-    def _lookup_or_launch(self, query: Query, fingerprint: QueryFingerprint):
+    async def _prepare_subplans(self, batch):
+        """Batch pre-pass: detect shared join cores, optimize each once.
+
+        Returns ``(member_refs, core_memos)`` — per-slot
+        :class:`~repro.service.mqo.CoreRef` tuples and the optimized
+        (or subplan-cache-restored) core memos.  Disabled configs and
+        sub-2 batches return ``(None, {})`` and cost nothing.  A core
+        whose optimization fails is simply dropped: its members fall
+        back to plain misses — sharing is an optimization, never a new
+        failure mode.
+        """
+        if not self._mqo_enabled or len(batch) < 2:
+            return None, {}
+        plan = detect_shared_cores(
+            [request.query for request in batch], self.config
+        )
+        if not plan.cores:
+            return None, {}
+        with self._counter_lock:
+            self._mqo_shared_cores += len(plan.cores)
+        if self.tracer.enabled:
+            self.tracer.counter("mqo.shared_cores", len(plan.cores))
+        loop = asyncio.get_running_loop()
+        core_memos: dict[str, CoreMemo] = {}
+        pending: dict[str, asyncio.Future] = {}
+        for key, core in plan.cores.items():
+            cached = self._cache_get(self._subplans, key)
+            if cached is not None:
+                core_memos[key] = cached
+                if self.tracer.enabled:
+                    self.tracer.counter("mqo.core_cache_hit")
+                continue
+            try:
+                pending[key] = loop.run_in_executor(
+                    self._pool, optimize_core, core, self.config
+                )
+            except RuntimeError:
+                break  # pool shut down mid-batch; _enter will refuse
+        for key, future in pending.items():
+            try:
+                core_memo = await future
+            except Exception:
+                if self.tracer.enabled:
+                    self.tracer.counter("mqo.core_error")
+                continue
+            core_memos[key] = core_memo
+            self._cache_put(self._subplans, key, core_memo)
+            with self._counter_lock:
+                self._mqo_core_optimizations += 1
+                self._mqo_core_pairs += core_memo.meter.pairs_considered
+            if self.tracer.enabled:
+                self.tracer.counter("mqo.core_optimized")
+        return plan.members, core_memos
+
+    def _lookup_or_launch(
+        self,
+        query: Query,
+        fingerprint: QueryFingerprint,
+        mqo: tuple[tuple[CoreRef, ...], dict[str, CoreMemo]] | None = None,
+    ):
         """Resolve a request to a hit, a joined/new flight, or a shed.
 
         Returns ``(source, flight, cached_result)``: a ``"hit"`` carries
@@ -566,7 +666,7 @@ class AsyncOptimizerService:
         flight = _Flight(key)
         try:
             flight.future = self._loop.run_in_executor(
-                self._pool, self._run_miss, key, query, flight
+                self._pool, self._run_miss, key, query, flight, mqo
             )
         except RuntimeError as exc:
             raise ValidationError(
@@ -585,7 +685,11 @@ class AsyncOptimizerService:
             del self._inflight[key]
 
     def _run_miss(
-        self, key: str, query: Query, flight: _Flight
+        self,
+        key: str,
+        query: Query,
+        flight: _Flight,
+        mqo: tuple | None = None,
     ) -> _MissOutcome:
         """Worker-pool task: run the exact optimization, warm the cache.
 
@@ -596,6 +700,12 @@ class AsyncOptimizerService:
         first) is abandoned once the flight's latest waiter deadline has
         passed — nobody is waiting for it anymore, and a fresh request
         will relaunch.  Only fault-free optima are cached.
+
+        With ``mqo=(refs, core_memos)`` the optimization runs through
+        :func:`~repro.service.mqo.optimize_with_subplans`; when at least
+        one core memo was actually spliced (verification can still skip
+        them all) the outcome carries ``source="subplan"``.  Spliced
+        results are exact optima, so they are cached like any miss.
         """
         from repro import _run
 
@@ -626,12 +736,27 @@ class AsyncOptimizerService:
                     self._injector.check(
                         "service", phase="miss", attempt=attempt + 1
                     )
-                result = _run(query, self.config)
+                source = None
+                if mqo is not None:
+                    refs, core_memos = mqo
+                    result, cores_used = optimize_with_subplans(
+                        query, refs, core_memos, self.config
+                    )
+                    if cores_used:
+                        source = "subplan"
+                        with self._counter_lock:
+                            self._mqo_splices += 1
+                        if self.tracer.enabled:
+                            self.tracer.counter(
+                                "mqo.splices", cores=cores_used
+                            )
+                else:
+                    result = _run(query, self.config)
             except Exception as exc:
                 last = exc
                 continue
             self._cache_put(self.cache, key, result)
-            return _MissOutcome(result=result)
+            return _MissOutcome(result=result, source=source)
         return _MissOutcome(
             result=self._heuristic_fallback(query),
             error=f"{type(last).__name__}: {last}",
@@ -710,6 +835,10 @@ class AsyncOptimizerService:
                         self._errors += 1
                     if self.tracer.enabled:
                         self.tracer.counter("service.error")
+                elif outcome.source is not None and source == "miss":
+                    # Only the launching request is promoted (e.g. to
+                    # "subplan"); singleflight waiters stay "shared".
+                    source = outcome.source
             finally:
                 self._waiting -= 1
         return OptimizeResponse(

@@ -1,0 +1,525 @@
+"""Multi-query optimization: shared join cores computed once per batch.
+
+Batches of analytic queries frequently share large common subexpressions
+(the GLADE observation — arXiv:1608.04686): the same join core appears in
+many members, differing only in how each member extends it.  This module
+gives :meth:`~repro.service.async_service.AsyncOptimizerService.optimize_batch`
+a sharing tier on top of the plan cache:
+
+1. **Detection** (:func:`detect_shared_cores`) — every edge of every
+   batch member is signed by its endpoint descriptors (relation name,
+   effective cardinality) and selectivity; edges whose signature appears
+   in ≥ 2 members induce, per member, connected *candidate cores*.  Each
+   candidate's full induced subquery (all internal edges, shared or
+   not) is canonically fingerprinted via the WL relabeling in
+   :mod:`repro.service.fingerprint`; candidates grouped under one key in
+   ≥ 2 distinct members become **shared cores**.
+2. **Core optimization** (:func:`optimize_core`) — each shared core runs
+   serial reference DPsize once, over the canonical core subquery.  The
+   *entire* interior memo (every entry of size ≥ 2) is kept, not just
+   the winner: that is what makes member splicing exact.
+3. **Splicing** (:func:`optimize_with_subplans`) — each sharing member
+   relabels the core memo into its own relation numbering and merges
+   every entry (`merge_candidate`, the full-row sibling of the cluster
+   tier's ``install_summary``), then runs a *sealed* DPsize enumeration:
+   candidate pairs falling wholly inside a sealed core mask are skipped
+   without being counted — their optima are already installed — so the
+   member's WorkMeter is strictly below its unshared baseline while the
+   memo's cost content is identical.
+
+Exactness rests on the induced-subquery property (see
+:func:`repro.hybrid.stitch.induced_subquery`): a core occurrence carries
+its member's cardinalities and internal selectivities, so the core DP's
+sub-optima equal the member-priced cost of the same trees.  Splicing is
+additionally guarded by :func:`_ref_is_exact`, which verifies the
+relabeling is a genuine statistics-preserving isomorphism before any
+entry is merged — a WL fingerprint collision degrades to no sharing,
+never to a wrong plan.  Costs are bit-identical to the unshared run;
+plan *structure* may differ only where two plans tie exactly on cost
+(the deterministic ``(left, right, method)`` tie-break keys are
+relabeled along with the masks, so relabeling can reorder ties).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+
+from repro.cost.estimator import CardinalityEstimator
+from repro.enumerate.base import OptimizationResult
+from repro.memo.counters import WorkMeter
+from repro.memo.table import Memo, extract_plan
+from repro.plans.operators import JoinMethod
+from repro.query.context import QueryContext
+from repro.query.joingraph import JoinGraph, Query
+from repro.service.fingerprint import (
+    canonical_query_form,
+    canonical_relation_order,
+    cost_model_id,
+)
+from repro.util.bitsets import bits_of, mask_of, popcount
+
+__all__ = [
+    "CoreMemo",
+    "CoreRef",
+    "MqoPlan",
+    "SharedCore",
+    "detect_shared_cores",
+    "optimize_core",
+    "optimize_with_subplans",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CoreRef:
+    """One member's occurrence of a shared core.
+
+    Attributes:
+        key: The shared core's cache key.
+        mask: The member-relation bitmask the core occupies.
+        mapping: Canonical core index ``k`` → member relation index.
+    """
+
+    key: str
+    mask: int
+    mapping: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SharedCore:
+    """A join core shared by ≥ 2 batch members.
+
+    Attributes:
+        key: Stable cache key (canonical structure + literals + cost
+            model + cross-product admissibility).
+        query: The canonical core subquery (relations in canonical
+            order) that core DP runs over.
+        occurrences: Number of member occurrences across the batch.
+    """
+
+    key: str
+    query: Query
+    occurrences: int
+
+
+@dataclass(frozen=True, slots=True)
+class MqoPlan:
+    """Outcome of shared-core detection over one batch.
+
+    Attributes:
+        cores: ``key`` → :class:`SharedCore` for every shared core.
+        members: Per batch slot, the slot's :class:`CoreRef` tuple
+            (empty for members that share nothing).
+    """
+
+    cores: dict[str, SharedCore]
+    members: tuple[tuple[CoreRef, ...], ...]
+
+    @property
+    def shares_anything(self) -> bool:
+        """True iff at least one core is shared."""
+        return bool(self.cores)
+
+
+@dataclass(frozen=True, slots=True)
+class CoreMemo:
+    """The cached product of one core optimization — the ``subplan`` tier's
+    value type.
+
+    Attributes:
+        key: The shared core's cache key.
+        query: The canonical core subquery the memo was computed over —
+            kept so splices can verify the member relabeling preserves
+            every cardinality and selectivity (see :func:`_ref_is_exact`).
+        entries: Every interior memo row of the core DP, as compact
+            ``(mask, cost, rows, left, right, method)`` tuples (size ≥ 2
+            only; scans are re-derived by each member).
+        meter: The work spent by the core DP (counted once per core, not
+            per member).
+    """
+
+    key: str
+    query: Query
+    entries: tuple[tuple[int, float, float, int, int, int], ...]
+    meter: WorkMeter
+
+
+# ---------------------------------------------------------------------------
+# Detection
+# ---------------------------------------------------------------------------
+
+
+def _edge_signature(query: Query, edge) -> tuple:
+    """Order-invariant identity of one join edge across batch members."""
+    a = (query.relation_names[edge.u], query.cardinalities[edge.u])
+    b = (query.relation_names[edge.v], query.cardinalities[edge.v])
+    lo, hi = sorted((a, b))
+    return (lo, hi, edge.selectivity)
+
+
+def _components(n: int, edges) -> list[list[int]]:
+    """Connected components (≥ 2 relations) of an edge subset."""
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for edge in edges:
+        ru, rv = find(edge.u), find(edge.v)
+        if ru != rv:
+            parent[ru] = rv
+    groups: dict[int, list[int]] = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(i)
+    return [
+        sorted(group) for group in groups.values() if len(group) >= 2
+    ]
+
+
+def _induced(ctx: QueryContext, mask: int, label: str) -> Query:
+    """Induced subquery over ``mask`` (local indices ascending).
+
+    Same construction as :func:`repro.hybrid.stitch.induced_subquery`,
+    inlined to keep the service layer free of a hybrid dependency.
+    """
+    relations = [r for r in range(ctx.n) if mask >> r & 1]
+    local = {rel: i for i, rel in enumerate(relations)}
+    edges = [
+        (local[u], local[v], sel)
+        for (u, v), sel in sorted(ctx.edge_selectivity.items())
+        if u in local and v in local
+    ]
+    return Query(
+        graph=JoinGraph(len(relations), edges),
+        relation_names=tuple(ctx.query.relation_names[r] for r in relations),
+        cardinalities=tuple(ctx.cards[r] for r in relations),
+        label=label,
+    )
+
+
+def _reorder_query(query: Query, order: list[int], label: str) -> Query:
+    """Permute a query's relations so new index ``k`` is ``order[k]``."""
+    position = {orig: k for k, orig in enumerate(order)}
+    edges = [
+        (position[e.u], position[e.v], e.selectivity)
+        for e in query.graph.edges
+    ]
+    return Query(
+        graph=JoinGraph(query.n, edges),
+        relation_names=tuple(query.relation_names[i] for i in order),
+        cardinalities=tuple(query.cardinalities[i] for i in order),
+        label=label,
+    )
+
+
+def _core_key(core_query: Query, config) -> str:
+    """Stable subplan-tier cache key for one canonical core."""
+    structure, literals = canonical_query_form(core_query)
+    payload = "|".join(
+        (
+            "repro.mqo.v1",
+            hashlib.sha256(repr(structure).encode()).hexdigest(),
+            hashlib.sha256(repr(literals).encode()).hexdigest(),
+            cost_model_id(config.effective_cost_model),
+            str(bool(config.cross_products)),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def detect_shared_cores(queries, config) -> MqoPlan:
+    """Find join cores shared across a batch of bound queries.
+
+    Args:
+        queries: The batch members, in slot order.
+        config: The service's :class:`~repro.config.OptimizerConfig`
+            (``effective_mqo_min_core`` floors the core size; the cost
+            model and cross-product flag enter the core keys).
+
+    Returns:
+        An :class:`MqoPlan`.  A core must occur in ≥ 2 *distinct* batch
+        slots to be shared; candidates are keyed by their full induced
+        subquery, so a member with a private predicate inside the same
+        relation set simply fingerprints apart and shares nothing.
+    """
+    queries = list(queries)
+    min_core = config.effective_mqo_min_core
+    edge_slots: dict[tuple, frozenset[int]] = {}
+    raw: dict[tuple, set[int]] = {}
+    for slot, query in enumerate(queries):
+        for edge in query.graph.edges:
+            raw.setdefault(_edge_signature(query, edge), set()).add(slot)
+    edge_slots = {sig: frozenset(slots) for sig, slots in raw.items()}
+
+    # Candidate cores are built per *slot-set*: for every distinct set S
+    # of ≥ 2 members sharing some edge signature, each member of S takes
+    # the components of its edges shared by (at least) all of S.  This
+    # finds the core shared by the whole group even when a sub-group
+    # additionally shares a private extension edge — with a single "any
+    # shared edge" subgraph, that accidental edge would enlarge the
+    # component and break the group's fingerprint match.
+    slot_sets = sorted(
+        {slots for slots in edge_slots.values() if len(slots) >= 2},
+        key=lambda s: (len(s), tuple(sorted(s))),
+    )
+    candidates: dict[str, list[tuple[int, CoreRef]]] = {}
+    core_query_of: dict[str, Query] = {}
+    emitted: set[tuple[int, int]] = set()  # (slot, mask) dedup across S
+    contexts: dict[int, QueryContext] = {}
+    for group in slot_sets:
+        for slot in sorted(group):
+            query = queries[slot]
+            group_edges = [
+                edge
+                for edge in query.graph.edges
+                if edge_slots[_edge_signature(query, edge)] >= group
+            ]
+            if not group_edges:
+                continue
+            ctx = contexts.get(slot)
+            if ctx is None:
+                ctx = contexts[slot] = QueryContext(query)
+            for component in _components(query.n, group_edges):
+                if len(component) < min_core:
+                    continue
+                mask = mask_of(component)
+                if (slot, mask) in emitted:
+                    continue
+                emitted.add((slot, mask))
+                sub = _induced(ctx, mask, f"{query.label}/mqo")
+                key = _core_key(sub, config)
+                order = canonical_relation_order(sub)
+                if key not in core_query_of:
+                    core_query_of[key] = _reorder_query(
+                        sub, order, label=f"mqo-core-{key[:12]}"
+                    )
+                # Canonical position k holds local index order[k], which
+                # is member relation component[order[k]].
+                mapping = tuple(component[local] for local in order)
+                candidates.setdefault(key, []).append(
+                    (slot, CoreRef(key=key, mask=mask, mapping=mapping))
+                )
+
+    cores: dict[str, SharedCore] = {}
+    members: list[list[CoreRef]] = [[] for _ in queries]
+    for key, occurrences in candidates.items():
+        slots = {slot for slot, _ in occurrences}
+        if len(slots) < 2:
+            continue
+        cores[key] = SharedCore(
+            key=key,
+            query=core_query_of[key],
+            occurrences=len(occurrences),
+        )
+        for slot, ref in occurrences:
+            members[slot].append(ref)
+    return MqoPlan(
+        cores=cores, members=tuple(tuple(refs) for refs in members)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Core optimization
+# ---------------------------------------------------------------------------
+
+
+def _populate_dpsize(
+    memo: Memo,
+    ctx: QueryContext,
+    require_connected: bool,
+    meter: WorkMeter,
+    sealed: tuple[int, ...] = (),
+) -> None:
+    """Reference DPsize strata loop, optionally *sealed*.
+
+    With ``sealed`` core masks, any candidate pair whose union lies
+    wholly inside one sealed mask is skipped silently — no meter count,
+    no memo call — because the splice already installed the optimal
+    entry for every interior set.  Sealed masks may nest or overlap
+    (one member can carry both a group-wide core and a larger core
+    shared with a sub-group); every seal's interior is independently
+    verified exact, so skipping against any containing seal is sound.
+    """
+    connects = ctx.connects
+    consider = memo.consider_join
+    n = ctx.n
+    for size in range(2, n + 1):
+        for outer_size in range(1, size):
+            inner_size = size - outer_size
+            outer_sets = memo.sets_of_size(outer_size)
+            inner_sets = memo.sets_of_size(inner_size)
+            for outer in outer_sets:
+                seals = [core for core in sealed if outer & ~core == 0]
+                for inner in inner_sets:
+                    if seals and any(
+                        inner & ~core == 0 for core in seals
+                    ):
+                        continue  # interior pair: optimum pre-installed
+                    meter.pairs_considered += 1
+                    if outer & inner:
+                        meter.disjoint_fail += 1
+                        continue
+                    if require_connected:
+                        meter.conn_checks += 1
+                        if not connects(outer, inner):
+                            meter.connectivity_fail += 1
+                            continue
+                    meter.pairs_valid += 1
+                    consider(outer, inner, meter)
+
+
+def optimize_core(core: SharedCore, config) -> CoreMemo:
+    """Run serial reference DPsize over a canonical core; keep the memo.
+
+    The full interior memo (every quantifier set of size ≥ 2) is the
+    product, not just the top entry — members splice all of it, so joins
+    crossing the core boundary can still consume any interior sub-plan.
+    """
+    ctx = QueryContext(core.query)
+    meter = WorkMeter()
+    estimator = CardinalityEstimator(ctx, meter=meter)
+    memo = Memo(
+        ctx, config.effective_cost_model, estimator=estimator, meter=meter
+    )
+    memo.init_scans()
+    _populate_dpsize(
+        memo, ctx, require_connected=not config.cross_products, meter=meter
+    )
+    entries = tuple(
+        (e.mask, e.cost, e.rows, e.left, e.right, int(e.method))
+        for e in sorted(memo.entries(), key=lambda e: e.mask)
+        if popcount(e.mask) >= 2
+    )
+    return CoreMemo(
+        key=core.key, query=core.query, entries=entries, meter=meter
+    )
+
+
+# ---------------------------------------------------------------------------
+# Splicing
+# ---------------------------------------------------------------------------
+
+
+def _ref_is_exact(ctx: QueryContext, ref: CoreRef, core_query: Query) -> bool:
+    """Verify a core occurrence is a statistics-preserving isomorphism.
+
+    Checks that the mapping carries every canonical cardinality and edge
+    selectivity onto the member exactly, and that the member has no
+    *extra* edge internal to the core mask.  This is the safety net that
+    turns a (theoretically possible) WL fingerprint collision into a
+    skipped splice instead of a wrong cost.
+    """
+    mapping = ref.mapping
+    if len(mapping) != core_query.n:
+        return False
+    if mask_of(mapping) != ref.mask:
+        return False
+    for k, rel in enumerate(mapping):
+        if ctx.cards[rel] != core_query.cardinalities[k]:
+            return False
+    internal = sum(
+        1
+        for (u, v) in ctx.edge_selectivity
+        if (1 << u | 1 << v) & ~ref.mask == 0
+    )
+    if internal != len(core_query.graph.edges):
+        return False
+    for edge in core_query.graph.edges:
+        a, b = mapping[edge.u], mapping[edge.v]
+        key = (a, b) if a < b else (b, a)
+        if ctx.edge_selectivity.get(key) != edge.selectivity:
+            return False
+    return True
+
+
+def optimize_with_subplans(
+    query: Query,
+    refs,
+    cores: dict[str, CoreMemo],
+    config,
+) -> tuple[OptimizationResult, int]:
+    """Optimize one member with shared-core memos spliced in.
+
+    Args:
+        query: The member's bound query.
+        refs: The member's :class:`CoreRef` occurrences.
+        cores: ``key`` → :class:`CoreMemo` for the batch's optimized
+            cores (missing keys are tolerated — that core is skipped).
+        config: The service's config; ``cross_products`` and the cost
+            model must match the values the cores were optimized under
+            (the core key guarantees this for cache hits).
+
+    Returns:
+        ``(result, cores_used)``.  The result's cost is bit-identical to
+        an unshared exact-DP run; its ``extras["mqo"]`` records the
+        spliced cores, entry count, and sealed masks.  ``cores_used`` is
+        0 when every ref was missing or failed verification — the run is
+        then an ordinary reference DPsize.
+    """
+    ctx = QueryContext(query)
+    meter = WorkMeter()
+    estimator = CardinalityEstimator(ctx, meter=meter)
+    memo = Memo(
+        ctx, config.effective_cost_model, estimator=estimator, meter=meter
+    )
+    start = time.perf_counter()
+    memo.init_scans()
+    sealed: list[int] = []
+    spliced_entries = 0
+    used_keys: list[str] = []
+    for ref in refs:
+        core_memo = cores.get(ref.key)
+        if core_memo is None:
+            continue
+        if not _ref_is_exact(ctx, ref, core_memo.query):
+            continue
+        mapping = ref.mapping
+
+        def remap(mask: int) -> int:
+            out = 0
+            for b in bits_of(mask):
+                out |= 1 << mapping[b]
+            return out
+
+        for cmask, cost, rows, left, right, method in core_memo.entries:
+            memo.merge_candidate(
+                remap(cmask),
+                cost,
+                rows,
+                remap(left),
+                remap(right),
+                JoinMethod(method),
+            )
+        sealed.append(ref.mask)
+        spliced_entries += len(core_memo.entries)
+        used_keys.append(ref.key)
+    _populate_dpsize(
+        memo,
+        ctx,
+        require_connected=not config.cross_products,
+        meter=meter,
+        sealed=tuple(sealed),
+    )
+    elapsed = time.perf_counter() - start
+    best = memo.best()
+    result = OptimizationResult(
+        algorithm=config.algorithm,
+        plan=extract_plan(memo),
+        cost=best.cost,
+        rows=best.rows,
+        meter=meter,
+        memo_entries=len(memo),
+        elapsed_seconds=elapsed,
+        extras={
+            "mqo": {
+                "cores": tuple(used_keys),
+                "spliced_entries": spliced_entries,
+                "sealed_masks": tuple(sealed),
+            }
+        },
+    )
+    return result, len(used_keys)

@@ -21,6 +21,12 @@ Supports the select-project-join subset the optimizers operate on::
 from repro.sql.binder import bind
 from repro.sql.parser import ParseError, SelectStatement, parse_select
 from repro.sql.api import optimize_sql, sql_to_query
+from repro.sql.workload import (
+    GeneratedStatement,
+    SqlWorkload,
+    SqlWorkloadSpec,
+    generate_statement,
+)
 
 __all__ = [
     "ParseError",
@@ -29,4 +35,8 @@ __all__ = [
     "bind",
     "sql_to_query",
     "optimize_sql",
+    "SqlWorkload",
+    "SqlWorkloadSpec",
+    "GeneratedStatement",
+    "generate_statement",
 ]

@@ -44,8 +44,18 @@ def optimize_sql(
             )
     else:
         config = OptimizerConfig.from_kwargs(**optimize_options)
+    forced_cross_products = False
     if not query.graph.is_connected() and not config.cross_products:
         # No join predicate linking every relation: the exact enumerators
-        # would find no complete plan, so admit cross products.
+        # would find no complete plan, so admit cross products.  The
+        # override is recorded (extras + trace counter) rather than
+        # applied silently, so the resulting plan stays explainable.
         config = config.with_options(cross_products=True)
-    return optimize(query, config=config)
+        forced_cross_products = True
+        config.effective_tracer.counter(
+            "sql.cross_products_forced", 1, label=label
+        )
+    result = optimize(query, config=config)
+    if forced_cross_products:
+        result.extras["cross_products_forced"] = True
+    return result

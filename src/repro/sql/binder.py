@@ -41,6 +41,13 @@ def bind(statement: SelectStatement, catalog: Catalog, label: str = "sql") -> Qu
     for index, item in enumerate(statement.relations):
         if item.table not in catalog:
             raise ValidationError(f"unknown table {item.table!r}")
+        if item.alias in alias_tables:
+            # A silent overwrite would resolve every ``alias.x`` reference
+            # against the *last* relation and emit duplicate relation
+            # names — reject instead, naming the offending alias.
+            raise ValidationError(
+                f"duplicate relation alias {item.alias!r} in FROM list"
+            )
         alias_tables[item.alias] = (index, item.table)
 
     n = len(statement.relations)

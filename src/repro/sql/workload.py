@@ -1,0 +1,273 @@
+"""Seeded SQL workloads over the TPC-H-style schema.
+
+A :class:`SqlWorkloadSpec` describes a *batch* of SPJ SELECT statements
+with controllable overlap: a shared **join core** (a connected set of
+foreign-key joins plus a shared filter set, identical in every sharing
+member) that a configurable fraction of the batch contains, with each
+member extended by its own random foreign-key walk and private filters.
+This produces batches with measurable common subexpressions — the input
+the multi-query optimizer (:mod:`repro.service.mqo`) exploits — while
+non-sharing members exercise the no-reuse path.
+
+Overlap is engineered precisely:
+
+* Core members use the same core tables, join predicates, and filter
+  literals, so the core's induced subquery fingerprints identically in
+  every member (same System-R cardinalities and selectivities).
+* Private extensions attach through foreign keys *outside* the core and
+  private filters land only on non-core relations — the core's effective
+  statistics stay untouched.
+
+Everything is deterministic in ``(spec, index)`` via
+:func:`repro.util.rng.spawn_seed`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field, replace
+
+from repro.catalog.model import Catalog
+from repro.catalog.tpch import (
+    TABLE_NAMES,
+    adjacent_tables,
+    filter_columns,
+    join_predicate,
+    tpch_catalog,
+)
+from repro.query.joingraph import Query
+from repro.util.errors import ValidationError
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True, slots=True)
+class SqlWorkloadSpec:
+    """Description of a batch of overlapping SQL queries.
+
+    Attributes:
+        seed: Master seed; the core and each member derive child streams.
+        count: Number of statements in the batch.
+        core_tables: Size of the shared join core (≥ 2 enables sharing).
+        overlap: Fraction of the batch containing the core; the first
+            ``round(overlap * count)`` members share it, the rest are
+            independent random queries.
+        extra_tables: Inclusive ``(lo, hi)`` range of per-member
+            foreign-key extensions beyond the core.
+        core_filters: Number of shared local predicates on core tables
+            (identical literals across members).
+        member_filters: Inclusive ``(lo, hi)`` range of private local
+            predicates on non-core tables per member.
+        scale: TPC-H scale fraction passed to
+            :func:`~repro.catalog.tpch.tpch_catalog`.
+    """
+
+    seed: int = 0
+    count: int = 8
+    core_tables: int = 4
+    overlap: float = 1.0
+    extra_tables: tuple[int, int] = (1, 2)
+    core_filters: int = 1
+    member_filters: tuple[int, int] = (0, 2)
+    scale: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValidationError("count must be >= 1")
+        if not 2 <= self.core_tables <= len(TABLE_NAMES):
+            raise ValidationError(
+                f"core_tables must be in [2, {len(TABLE_NAMES)}]"
+            )
+        if not 0.0 <= self.overlap <= 1.0:
+            raise ValidationError("overlap must be in [0, 1]")
+        lo, hi = self.extra_tables
+        if not 0 <= lo <= hi:
+            raise ValidationError("extra_tables range must be 0 <= lo <= hi")
+        if self.core_tables + hi > len(TABLE_NAMES):
+            raise ValidationError(
+                "core_tables + max extra_tables exceeds the schema's "
+                f"{len(TABLE_NAMES)} tables"
+            )
+        flo, fhi = self.member_filters
+        if not 0 <= flo <= fhi:
+            raise ValidationError("member_filters range must be 0 <= lo <= hi")
+        if self.core_filters < 0:
+            raise ValidationError("core_filters must be >= 0")
+        if self.scale <= 0:
+            raise ValidationError("scale must be positive")
+
+    def with_count(self, count: int) -> "SqlWorkloadSpec":
+        """Copy of this spec with a different member count."""
+        return replace(self, count=count)
+
+    @property
+    def core_members(self) -> int:
+        """How many members of the batch contain the shared core."""
+        return round(self.overlap * self.count)
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedStatement:
+    """One generated batch member: SQL text plus provenance.
+
+    Attributes:
+        index: Position in the batch.
+        sql: The SELECT statement.
+        tables: Tables referenced, in FROM order (each at most once, so
+            aliases equal table names).
+        core_member: Whether this member embeds the shared join core.
+        core_tables: The core's tables (empty for non-members).
+    """
+
+    index: int
+    sql: str
+    tables: tuple[str, ...] = ()
+    core_member: bool = False
+    core_tables: tuple[str, ...] = ()
+
+
+def _fk_walk(rng, size: int, exclude: frozenset[str] = frozenset(),
+             start: list[str] | None = None) -> tuple[list[str], list[str]]:
+    """Grow a connected table set along foreign keys.
+
+    Returns ``(tables, predicates)`` where each predicate is SQL text
+    joining a newly added table to an already-chosen neighbour.  The walk
+    is deterministic in ``rng`` and never revisits a table or enters
+    ``exclude``.
+    """
+    tables: list[str] = list(start or ())
+    predicates: list[str] = []
+    if not tables:
+        candidates = sorted(
+            t for t in TABLE_NAMES
+            if t not in exclude and adjacent_tables(t)
+        )
+        tables.append(rng.choice(candidates))
+    while len(tables) < size:
+        frontier = sorted(
+            (anchor, nxt)
+            for anchor in tables
+            for nxt in adjacent_tables(anchor)
+            if nxt not in tables and nxt not in exclude
+        )
+        if not frontier:
+            break  # schema exhausted; caller tolerates shorter walks
+        anchor, nxt = rng.choice(frontier)
+        pred = join_predicate(anchor, nxt)
+        assert pred is not None
+        predicates.append(f"{anchor}.{pred[0]} = {nxt}.{pred[1]}")
+        tables.append(nxt)
+    return tables, predicates
+
+
+def _filters(rng, tables: list[str], count: int) -> list[str]:
+    """Draw ``count`` local equality predicates on attribute columns."""
+    pool = sorted(
+        (table, column) for table in tables for column in filter_columns(table)
+    )
+    out: list[str] = []
+    if not pool:
+        return out
+    picks = rng.sample(pool, min(count, len(pool)))
+    for table, column in picks:
+        out.append(f"{table}.{column} = {rng.randrange(1, 100)}")
+    return out
+
+
+def _core(spec: SqlWorkloadSpec) -> tuple[list[str], list[str], list[str]]:
+    """The shared core: ``(tables, join predicates, filter predicates)``."""
+    rng = derive_rng(spec.seed, "sql-workload", "core")
+    tables, joins = _fk_walk(rng, spec.core_tables)
+    filters = _filters(rng, tables, spec.core_filters)
+    return tables, joins, filters
+
+
+def generate_statement(
+    spec: SqlWorkloadSpec, index: int
+) -> GeneratedStatement:
+    """Generate the ``index``-th statement of the batch, deterministically."""
+    if not 0 <= index < spec.count:
+        raise ValidationError(
+            f"statement index {index} out of range for count={spec.count}"
+        )
+    rng = derive_rng(spec.seed, "sql-workload", "member", index)
+    is_core = index < spec.core_members
+    core_tables: list[str] = []
+    if is_core:
+        core_tables, joins, filters = _core(spec)
+        tables = list(core_tables)
+        extra = rng.randint(*spec.extra_tables)
+        grown, extra_joins = _fk_walk(
+            rng, len(tables) + extra, start=tables
+        )
+        new_tables = grown[len(core_tables):]
+        joins = joins + extra_joins
+        # Private filters only touch non-core tables, so the core's
+        # effective cardinalities are identical across members.
+        filters = filters + _filters(
+            rng, new_tables, rng.randint(*spec.member_filters)
+        )
+        tables = grown
+    else:
+        size = spec.core_tables + rng.randint(*spec.extra_tables)
+        tables, joins = _fk_walk(rng, size)
+        filters = _filters(rng, tables, rng.randint(*spec.member_filters))
+
+    where = " AND ".join(joins + filters)
+    sql = f"SELECT * FROM {', '.join(tables)}"
+    if where:
+        sql += f" WHERE {where}"
+    return GeneratedStatement(
+        index=index,
+        sql=sql,
+        tables=tuple(tables),
+        core_member=is_core and bool(core_tables),
+        core_tables=tuple(core_tables),
+    )
+
+
+class SqlWorkload:
+    """A reproducible batch of SQL statements from one spec.
+
+    Iterates :class:`GeneratedStatement` objects; :meth:`queries` binds
+    the whole batch against the spec's TPC-H catalog in one call.
+    """
+
+    def __init__(
+        self, spec: SqlWorkloadSpec, catalog: Catalog | None = None
+    ) -> None:
+        self.spec = spec
+        self.catalog = catalog if catalog is not None else tpch_catalog(
+            spec.scale
+        )
+
+    def __len__(self) -> int:
+        return self.spec.count
+
+    def __iter__(self) -> Iterator[GeneratedStatement]:
+        for index in range(self.spec.count):
+            yield generate_statement(self.spec, index)
+
+    def __getitem__(self, index: int) -> GeneratedStatement:
+        return generate_statement(self.spec, index)
+
+    def statements(self) -> list[str]:
+        """The batch's SQL texts, in order."""
+        return [item.sql for item in self]
+
+    def queries(self) -> list[Query]:
+        """Parse and bind every statement into a :class:`Query`."""
+        from repro.sql.api import sql_to_query
+
+        return [
+            sql_to_query(
+                item.sql, self.catalog, label=f"sqlwl-s{self.spec.seed}-q{item.index}"
+            )
+            for item in self
+        ]
+
+    def __repr__(self) -> str:
+        s = self.spec
+        return (
+            f"SqlWorkload(count={s.count}, core={s.core_tables}, "
+            f"overlap={s.overlap}, seed={s.seed})"
+        )

@@ -1,0 +1,190 @@
+"""Tests for multi-query optimization (repro.service.mqo).
+
+The MQO contract under test: shared-core detection is exact-or-nothing
+(a member whose candidate core differs in any statistic simply shares
+nothing), core splicing never changes a member's optimal cost, the
+sealed enumeration strictly reduces metered work, and the service
+surfaces everything as the ``subplan`` source/tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import optimize
+from repro.config import OptimizerConfig
+from repro.query import JoinGraph, Query
+from repro.service import OptimizerService
+from repro.service.mqo import (
+    detect_shared_cores,
+    optimize_core,
+    optimize_with_subplans,
+)
+from repro.sql import SqlWorkload, SqlWorkloadSpec
+from repro.util.errors import ValidationError
+
+
+def chain_query(names, cards, sels, label):
+    edges = [(i, i + 1, sels[i]) for i in range(len(names) - 1)]
+    return Query(
+        graph=JoinGraph(len(names), edges),
+        relation_names=tuple(names),
+        cardinalities=tuple(float(c) for c in cards),
+        label=label,
+    )
+
+
+@pytest.fixture
+def mqo_config():
+    return OptimizerConfig(algorithm="dpsize", mqo=True)
+
+
+def shared_pair():
+    """Two queries sharing a 3-relation chain core, distinct tails."""
+    a = chain_query(
+        ["r", "s", "t", "u"], [100, 200, 300, 50],
+        [0.01, 0.005, 0.02], "qa",
+    )
+    b = chain_query(
+        ["r", "s", "t", "v"], [100, 200, 300, 900],
+        [0.01, 0.005, 0.001], "qb",
+    )
+    return a, b
+
+
+def test_detection_finds_shared_core(mqo_config):
+    a, b = shared_pair()
+    plan = detect_shared_cores([a, b], mqo_config)
+    assert plan.shares_anything
+    assert len(plan.cores) == 1
+    (core,) = plan.cores.values()
+    assert core.query.n == 3
+    assert core.occurrences == 2
+    assert len(plan.members[0]) == 1 and len(plan.members[1]) == 1
+    # Both refs cover relations {0,1,2} (r, s, t).
+    assert plan.members[0][0].mask == 0b111
+    assert plan.members[1][0].mask == 0b111
+
+
+def test_detection_rejects_statistic_mismatch(mqo_config):
+    a, b = shared_pair()
+    # Same names/structure, but t's cardinality differs: no sharing.
+    c = chain_query(
+        ["r", "s", "t", "v"], [100, 200, 301, 900],
+        [0.01, 0.005, 0.001], "qc",
+    )
+    plan = detect_shared_cores([a, c], mqo_config)
+    assert not plan.shares_anything
+
+
+def test_detection_respects_min_core(mqo_config):
+    a, b = shared_pair()
+    wide = OptimizerConfig(algorithm="dpsize", mqo=True, mqo_min_core=4)
+    assert not detect_shared_cores([a, b], wide).shares_anything
+    assert detect_shared_cores([a, b], mqo_config).shares_anything
+
+
+def test_splice_costs_bit_identical(mqo_config):
+    a, b = shared_pair()
+    plan = detect_shared_cores([a, b], mqo_config)
+    cores = {
+        key: optimize_core(core, mqo_config)
+        for key, core in plan.cores.items()
+    }
+    base_config = OptimizerConfig(algorithm="dpsize")
+    for query, refs in zip((a, b), plan.members):
+        result, used = optimize_with_subplans(
+            query, refs, cores, mqo_config
+        )
+        assert used == 1
+        baseline = optimize(query, config=base_config)
+        assert result.cost == baseline.cost
+        assert result.rows == baseline.rows
+        assert result.extras["mqo"]["spliced_entries"] > 0
+
+
+def test_sealed_enumeration_reduces_metered_work(mqo_config):
+    a, b = shared_pair()
+    plan = detect_shared_cores([a, b], mqo_config)
+    cores = {
+        key: optimize_core(core, mqo_config)
+        for key, core in plan.cores.items()
+    }
+    core_pairs = sum(c.meter.pairs_considered for c in cores.values())
+    base_config = OptimizerConfig(algorithm="dpsize")
+    member_pairs = 0
+    for query, refs in zip((a, b), plan.members):
+        result, _ = optimize_with_subplans(query, refs, cores, mqo_config)
+        member_pairs += result.meter.pairs_considered
+    baseline_pairs = sum(
+        optimize(q, config=base_config).meter.pairs_considered
+        for q in (a, b)
+    )
+    assert member_pairs + core_pairs < baseline_pairs
+
+
+def test_missing_core_memo_degrades_to_plain_run(mqo_config):
+    a, b = shared_pair()
+    plan = detect_shared_cores([a, b], mqo_config)
+    result, used = optimize_with_subplans(
+        a, plan.members[0], {}, mqo_config
+    )
+    assert used == 0
+    baseline = optimize(a, config=OptimizerConfig(algorithm="dpsize"))
+    assert result.cost == baseline.cost
+    assert result.meter.pairs_considered == baseline.meter.pairs_considered
+
+
+def test_service_batch_surfaces_subplan_source(mqo_config):
+    queries = SqlWorkload(
+        SqlWorkloadSpec(seed=0, count=6, core_tables=4, overlap=0.67)
+    ).queries()
+    with OptimizerService(mqo_config) as service:
+        responses = service.optimize_batch(queries)
+        stats = service.stats()
+    assert any(r.source == "subplan" for r in responses)
+    assert stats.mqo_shared_cores > 0
+    assert stats.mqo_splices > 0
+    assert stats.subplan_cache is not None
+    assert stats.subplan_cache.entries == stats.mqo_core_optimizations
+    base = OptimizerConfig(algorithm="dpsize")
+    for response, query in zip(responses, queries):
+        assert response.result.cost == optimize(query, config=base).cost
+        assert not response.degraded
+
+
+def test_subplan_cache_hits_across_batches(mqo_config):
+    spec = SqlWorkloadSpec(seed=1, count=4, core_tables=4, overlap=1.0)
+    queries = SqlWorkload(spec).queries()
+    with OptimizerService(mqo_config) as service:
+        service.optimize_batch(queries)
+        first = service.stats()
+        service.invalidate()  # drop plans, keep subplan memos
+        service.optimize_batch(queries)
+        second = service.stats()
+    assert second.subplan_cache.hits > first.subplan_cache.hits
+    assert second.mqo_core_optimizations == first.mqo_core_optimizations
+
+
+def test_mqo_disabled_for_non_dp_configs():
+    queries = SqlWorkload(SqlWorkloadSpec(seed=0, count=4)).queries()
+    config = OptimizerConfig(algorithm="goo", mqo=True)
+    with OptimizerService(config) as service:
+        responses = service.optimize_batch(queries)
+        stats = service.stats()
+    assert all(r.source != "subplan" for r in responses)
+    assert stats.mqo_shared_cores == 0
+
+
+def test_mqo_knobs_validation_and_digest():
+    with pytest.raises(ValidationError):
+        OptimizerConfig(mqo_min_core=1, mqo=True)
+    with pytest.raises(ValidationError):
+        OptimizerConfig(mqo_min_core=3)  # requires mqo=True
+    plain = OptimizerConfig(algorithm="dpsize")
+    tuned = OptimizerConfig(algorithm="dpsize", mqo=True, mqo_min_core=4)
+    # Plan-relevant digest must ignore the MQO knobs: splicing is
+    # cost-exact, so cached plans remain valid across them.
+    assert plain.digest == tuned.digest
+    assert tuned.effective_mqo_min_core == 4
+    assert plain.effective_mqo_min_core == 3

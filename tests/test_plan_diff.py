@@ -1,0 +1,98 @@
+"""Tests for clause-level plan diffing (repro.plans.diff)."""
+
+from __future__ import annotations
+
+from repro.plans import (
+    JoinMethod,
+    JoinNode,
+    ScanNode,
+    diff_plans,
+    render_diff,
+)
+from repro.plans.diff import Clause, block_map
+
+
+def left_deep():
+    return JoinNode(
+        left=JoinNode(
+            left=ScanNode(0), right=ScanNode(1), method=JoinMethod.HASH
+        ),
+        right=ScanNode(2),
+        method=JoinMethod.NESTED_LOOP,
+    )
+
+
+def bushy():
+    return JoinNode(
+        left=JoinNode(
+            left=ScanNode(0), right=ScanNode(1), method=JoinMethod.HASH
+        ),
+        right=JoinNode(
+            left=ScanNode(2), right=ScanNode(3), method=JoinMethod.HASH
+        ),
+        method=JoinMethod.SORT_MERGE,
+    )
+
+
+def test_block_map_contents():
+    blocks = block_map(left_deep())
+    assert set(blocks) == {0b001, 0b010, 0b100, 0b011, 0b111}
+    top = blocks[0b111]
+    assert top.kind == "join"
+    assert top.left == 0b011
+    assert top.right == 0b100
+    assert top.method == "NESTED_LOOP"
+    scan = blocks[0b001]
+    assert scan.kind == "scan"
+    assert scan.method == "SCAN"
+
+
+def test_diff_identical_plans():
+    diff = diff_plans(left_deep(), left_deep())
+    assert diff.identical
+    assert not diff.changed and not diff.only_a and not diff.only_b
+    text = render_diff(diff, ("a", "b", "c"))
+    assert text.startswith("plans identical")
+
+
+def test_diff_divergent_plans():
+    diff = diff_plans(left_deep(), bushy())
+    assert not diff.identical
+    # The {0,1} HASH block is shared; the tops differ.
+    assert 0b011 in diff.same
+    changed_masks = set(diff.changed)
+    only_b = set(diff.only_b)
+    assert 0b1100 in only_b or 0b1000 in only_b
+    assert 0b111 in set(diff.only_a) or 0b111 in changed_masks
+
+
+def test_diff_method_change_is_changed_not_only():
+    a = JoinNode(left=ScanNode(0), right=ScanNode(1), method=JoinMethod.HASH)
+    b = JoinNode(
+        left=ScanNode(0), right=ScanNode(1), method=JoinMethod.SORT_MERGE
+    )
+    diff = diff_plans(a, b)
+    assert 0b11 in diff.changed
+    before, after = diff.changed[0b11]
+    assert isinstance(before, Clause) and isinstance(after, Clause)
+    assert before.method == "HASH" and after.method == "SORT_MERGE"
+
+
+def test_render_diff_markers():
+    text = render_diff(
+        diff_plans(left_deep(), bushy()), ("a", "b", "c", "d"),
+        label_a="dp", label_b="heuristic",
+    )
+    assert "plans differ" in text.splitlines()[0]
+    assert any(line.startswith("- ") for line in text.splitlines())
+    assert any(line.startswith("+ ") for line in text.splitlines())
+    assert "dp" in text and "heuristic" in text
+
+
+def test_diff_is_symmetric_under_swap():
+    d1 = diff_plans(left_deep(), bushy())
+    d2 = diff_plans(bushy(), left_deep())
+    assert set(d1.only_a) == set(d2.only_b)
+    assert set(d1.only_b) == set(d2.only_a)
+    assert set(d1.changed) == set(d2.changed)
+    assert d1.same == d2.same

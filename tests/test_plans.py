@@ -143,3 +143,27 @@ def test_join_method_properties():
     assert JoinMethod.HASH.is_join
     assert JoinMethod.SORT_MERGE.symmetric
     assert not JoinMethod.NESTED_LOOP.symmetric
+
+
+def test_plan_to_dot_escapes_labels():
+    # Regression: relation names containing quotes or backslashes used
+    # to be interpolated raw into dot `label="..."` attributes,
+    # producing unparseable Graphviz output.
+    from repro.plans import plan_to_dot
+
+    plan = JoinNode(left=ScanNode(0), right=ScanNode(1))
+    dot = plan_to_dot(plan, relation_names=['evil"name', "back\\slash"])
+    assert 'label="evil\\"name"' in dot
+    assert 'label="back\\\\slash"' in dot
+    # After removing escape pairs, every line's quotes stay balanced —
+    # i.e. the raw quote in the name never terminates the attribute.
+    for line in dot.splitlines():
+        stripped = line.replace("\\\\", "").replace('\\"', "")
+        assert stripped.count('"') % 2 == 0
+
+
+def test_plan_signature_stability():
+    # The signature is part of the diffing/caching surface: identical
+    # trees must render identically and distinct shapes must differ.
+    assert plan_signature(left_deep_3()) == plan_signature(left_deep_3())
+    assert plan_signature(left_deep_3()) != plan_signature(bushy_4())

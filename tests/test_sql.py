@@ -210,3 +210,76 @@ def test_optimize_sql_disconnected_auto_cross(catalog):
     # No join predicate: disconnected graph; cross products auto-enabled.
     result = optimize_sql("SELECT * FROM orders o, part p", catalog)
     assert result.plan.size == 2
+
+
+def test_bind_duplicate_alias_rejected(catalog):
+    # Regression: the parser rejects duplicate aliases in SQL text, but
+    # the binder is also a public API for programmatic statements — it
+    # used to silently overwrite the first alias's binding, joining a
+    # relation with itself under two names.
+    from repro.sql.binder import bind
+    from repro.sql.parser import FromItem, SelectStatement
+
+    stmt = SelectStatement(
+        relations=[
+            FromItem(table="orders", alias="o"),
+            FromItem(table="lineitem", alias="o"),
+        ]
+    )
+    with pytest.raises(ValidationError, match="duplicate relation alias"):
+        bind(stmt, catalog)
+
+
+def test_optimize_sql_records_cross_product_override(catalog):
+    from repro.trace import RecordingTracer
+
+    tracer = RecordingTracer()
+    result = optimize_sql(
+        "SELECT * FROM orders o, part p", catalog, tracer=tracer
+    )
+    # The forced override is recorded, not silent.
+    assert result.extras["cross_products_forced"] is True
+    assert any(
+        e.name == "sql.cross_products_forced" for e in tracer.events
+    )
+    # A connected query does not set the marker.
+    connected = optimize_sql(
+        "SELECT * FROM orders o, lineitem l WHERE o.id = l.oid", catalog
+    )
+    assert "cross_products_forced" not in connected.extras
+
+
+def test_sql_round_trip_properties(catalog):
+    # Property-style invariants over generated SPJ statements: parsing
+    # is deterministic, binding is order-stable, and the bound query's
+    # statistics are insensitive to WHERE-clause ordering.
+    import random
+
+    from repro.sql import parse_select
+
+    rng = random.Random(5)
+    tables = [("orders", "o"), ("lineitem", "l"), ("part", "p")]
+    joins = ["o.id = l.oid", "l.part = p.id"]
+    filters = ["o.cust = 7", "p.brand = 3"]
+    for _ in range(25):
+        preds = joins + rng.sample(filters, rng.randint(0, 2))
+        rng.shuffle(preds)
+        sql = (
+            "SELECT * FROM orders o, lineitem l, part p WHERE "
+            + " AND ".join(preds)
+        )
+        stmt = parse_select(sql)
+        again = parse_select(sql)
+        assert stmt.relations == again.relations
+        assert stmt.joins == again.joins
+        query = sql_to_query(sql, catalog)
+        assert query.relation_names == ("o", "l", "p")
+        # Join selectivities don't depend on predicate order.
+        base = sql_to_query(
+            "SELECT * FROM orders o, lineitem l, part p WHERE "
+            + " AND ".join(joins),
+            catalog,
+        )
+        assert [e.selectivity for e in query.graph.edges] == [
+            e.selectivity for e in base.graph.edges
+        ]

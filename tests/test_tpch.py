@@ -1,0 +1,101 @@
+"""Tests for the TPC-H-style synthetic catalog (repro.catalog.tpch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.tpch import (
+    FK_EDGES,
+    TABLE_NAMES,
+    adjacent_tables,
+    filter_columns,
+    join_predicate,
+    tpch_catalog,
+)
+from repro.sql import sql_to_query
+from repro.util.errors import ValidationError
+
+
+def test_catalog_has_all_eight_tables():
+    cat = tpch_catalog()
+    for name in TABLE_NAMES:
+        assert cat.table(name).cardinality > 0
+    assert len(TABLE_NAMES) == 8
+
+
+def test_scaling_tracks_sf1_except_fixed_tables():
+    cat = tpch_catalog(scale=0.01)
+    assert cat.table("region").cardinality == 5      # fixed size
+    assert cat.table("nation").cardinality == 25     # fixed size
+    assert cat.table("orders").cardinality == 15_000
+    assert cat.table("lineitem").cardinality == 60_000
+    bigger = tpch_catalog(scale=0.1)
+    assert bigger.table("orders").cardinality == 150_000
+    assert bigger.table("region").cardinality == 5
+
+
+def test_fk_columns_take_referenced_distinct_counts():
+    cat = tpch_catalog(scale=0.01)
+    # lineitem.orderkey references orders: its distinct count is the
+    # orders cardinality, giving the System-R selectivity 1/|orders|.
+    li = cat.table("lineitem")
+    orderkey = next(c for c in li.columns if c.name == "orderkey")
+    assert orderkey.distinct_count == cat.table("orders").cardinality
+    ps = cat.table("partsupp")
+    partkey = next(c for c in ps.columns if c.name == "partkey")
+    assert partkey.distinct_count == cat.table("part").cardinality
+
+
+def test_join_predicates_follow_fk_edges():
+    assert join_predicate("customer", "nation") == ("nationkey", "nationkey")
+    assert join_predicate("nation", "customer") == ("nationkey", "nationkey")
+    assert join_predicate("orders", "lineitem") == ("orderkey", "orderkey")
+    assert join_predicate("region", "lineitem") is None
+    for (table, _column), (ref, _ref_column) in FK_EDGES.items():
+        assert ref in adjacent_tables(table)
+        assert table in adjacent_tables(ref)
+
+
+def test_fk_graph_is_connected():
+    seen = {"lineitem"}
+    frontier = ["lineitem"]
+    while frontier:
+        nxt = frontier.pop()
+        for other in adjacent_tables(nxt):
+            if other not in seen:
+                seen.add(other)
+                frontier.append(other)
+    assert seen == set(TABLE_NAMES)
+
+
+def test_filter_columns_exclude_keys():
+    for table in TABLE_NAMES:
+        for column in filter_columns(table):
+            assert not column.endswith("key")
+    assert "mktsegment" in filter_columns("customer")
+
+
+def test_catalog_binds_a_tpch_join():
+    cat = tpch_catalog(scale=0.01)
+    query = sql_to_query(
+        "SELECT * FROM customer c, orders o, lineitem l "
+        "WHERE c.custkey = o.custkey AND o.orderkey = l.orderkey "
+        "AND c.mktsegment = 1",
+        cat,
+    )
+    assert query.n == 3
+    # customer filtered by mktsegment (5 distinct): 1500/5.
+    assert query.cardinalities[0] == pytest.approx(300.0)
+    sel = {
+        tuple(sorted((e.u, e.v))): e.selectivity
+        for e in query.graph.edges
+    }
+    assert sel[(0, 1)] == pytest.approx(1 / 1_500)   # 1/|customer|
+    assert sel[(1, 2)] == pytest.approx(1 / 15_000)  # 1/|orders|
+
+
+def test_scale_validation():
+    with pytest.raises(ValidationError):
+        tpch_catalog(scale=0)
+    with pytest.raises(ValidationError):
+        tpch_catalog(scale=-1)

@@ -1,0 +1,107 @@
+"""Tests for the seeded SQL workload generator (repro.sql.workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import (
+    SqlWorkload,
+    SqlWorkloadSpec,
+    generate_statement,
+    parse_select,
+)
+from repro.util.errors import ValidationError
+
+
+def test_workload_is_deterministic():
+    spec = SqlWorkloadSpec(seed=3, count=5)
+    a = [s.sql for s in SqlWorkload(spec)]
+    b = [s.sql for s in SqlWorkload(spec)]
+    assert a == b
+    assert generate_statement(spec, 2).sql == a[2]
+
+
+def test_seed_changes_statements():
+    a = SqlWorkload(SqlWorkloadSpec(seed=1, count=4)).statements()
+    b = SqlWorkload(SqlWorkloadSpec(seed=2, count=4)).statements()
+    assert a != b
+
+
+def test_every_statement_parses_and_binds():
+    wl = SqlWorkload(SqlWorkloadSpec(seed=5, count=8, overlap=0.5))
+    for item in wl:
+        stmt = parse_select(item.sql)
+        assert len(stmt.relations) == len(item.tables)
+    queries = wl.queries()
+    assert len(queries) == 8
+    for query in queries:
+        assert query.graph.is_connected()
+        assert all(c >= 1.0 for c in query.cardinalities)
+
+
+def test_core_members_share_the_core_exactly():
+    spec = SqlWorkloadSpec(seed=7, count=6, core_tables=4, overlap=0.67)
+    wl = SqlWorkload(spec)
+    members = list(wl)
+    core_members = [m for m in members if m.core_member]
+    assert len(core_members) == spec.core_members == 4
+    core_sets = {m.core_tables for m in core_members}
+    assert len(core_sets) == 1
+    (core,) = core_sets
+    assert len(core) == 4
+    for member in core_members:
+        assert set(core) <= set(member.tables)
+        # Core tables come first, so the shared prefix is textual too.
+        assert member.tables[: len(core)] == core
+    for member in members:
+        if not member.core_member:
+            assert member.core_tables == ()
+
+
+def test_private_filters_never_touch_core_tables():
+    spec = SqlWorkloadSpec(seed=7, count=6, core_tables=4, overlap=1.0)
+    core = generate_statement(spec, 0).core_tables
+    core_filter_sets = set()
+    for index in range(spec.count):
+        stmt = parse_select(generate_statement(spec, index).sql)
+        core_filters = tuple(
+            sorted(
+                (f.column.table, f.column.column, f.value)
+                for f in stmt.filters
+                if f.column.table in core
+            )
+        )
+        core_filter_sets.add(core_filters)
+    # Identical shared filters on core tables across every member.
+    assert len(core_filter_sets) == 1
+
+
+def test_overlap_zero_disables_core():
+    wl = SqlWorkload(SqlWorkloadSpec(seed=4, count=4, overlap=0.0))
+    assert all(not m.core_member for m in wl)
+
+
+def test_spec_validation():
+    with pytest.raises(ValidationError):
+        SqlWorkloadSpec(count=0)
+    with pytest.raises(ValidationError):
+        SqlWorkloadSpec(core_tables=1)
+    with pytest.raises(ValidationError):
+        SqlWorkloadSpec(overlap=1.5)
+    with pytest.raises(ValidationError):
+        SqlWorkloadSpec(extra_tables=(3, 2))
+    with pytest.raises(ValidationError):
+        SqlWorkloadSpec(core_tables=8, extra_tables=(1, 2))
+    with pytest.raises(ValidationError):
+        SqlWorkloadSpec(scale=0.0)
+    with pytest.raises(ValidationError):
+        generate_statement(SqlWorkloadSpec(count=2), 2)
+
+
+def test_workload_sequence_protocol():
+    spec = SqlWorkloadSpec(seed=0, count=3)
+    wl = SqlWorkload(spec)
+    assert len(wl) == 3
+    assert wl[1].index == 1
+    assert wl.spec.with_count(5).count == 5
+    assert "SqlWorkload" in repr(wl)
